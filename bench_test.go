@@ -1,0 +1,330 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus ablations of the design choices DESIGN.md calls out. Scales are kept
+// small so `go test -bench=.` completes in minutes; cmd/experiments runs the
+// same harness at arbitrary scale.
+package gatesim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/harness"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/partsim"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sdf"
+	"gatesim/internal/sim"
+	"gatesim/internal/truthtab"
+)
+
+const (
+	benchScale  = 0.005
+	benchCycles = 60
+)
+
+// BenchmarkTable1Stats regenerates Table I: building all seven benchmark
+// presets and collecting their statistics.
+func BenchmarkTable1Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+type benchDesign struct {
+	d      *gen.Design
+	delays *sdf.Delays
+	unit   *sdf.Delays
+	stim   []gen.Change
+}
+
+func buildBench(b *testing.B, preset string, cycles int, af float64) *benchDesign {
+	b.Helper()
+	p, err := gen.PresetByName(preset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := gen.Build(p.Spec(benchScale, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchDesign{
+		d:      d,
+		delays: gen.Delays(d, 1),
+		unit:   sdf.Uniform(d.Netlist, 120),
+		stim:   gen.Stimuli(d, gen.StimSpec{Cycles: cycles, ActivityFactor: af, Seed: 1, ScanBurst: 16}),
+	}
+}
+
+func (bd *benchDesign) runEngine(b *testing.B, delays *sdf.Delays, opts sim.Options) {
+	b.Helper()
+	changes := make([]sim.Change, len(bd.stim))
+	for i, s := range bd.stim {
+		changes[i] = sim.Change{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := sim.New(bd.d.Netlist, harness.CompiledBuiltin(), delays, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := sim.NewSliceSource(changes)
+		if err := e.RunStream(src, sim.StreamConfig{SlicePS: 16 * bd.d.Spec.ClockPeriodPS}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func (bd *benchDesign) runRefsim(b *testing.B, delays *sdf.Delays) {
+	b.Helper()
+	rstim := make([]refsim.Stim, len(bd.stim))
+	for i, s := range bd.stim {
+		rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := refsim.New(bd.d.Netlist, harness.CompiledBuiltin(), delays)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Run(append([]refsim.Stim(nil), rstim...), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func (bd *benchDesign) runPartsim(b *testing.B, delays *sdf.Delays, partitions int) {
+	b.Helper()
+	pstim := make([]partsim.Stim, len(bd.stim))
+	for i, s := range bd.stim {
+		pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, err := partsim.New(bd.d.Netlist, harness.CompiledBuiltin(), delays, partsim.Options{Partitions: partitions})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ps.Run(append([]partsim.Stim(nil), pstim...), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II's columns: the sequential reference
+// ("VCS" stand-in), our engine with 1 thread, N threads, and the manycore
+// (GPU-analogue) executor, on short (high-activity) and long traces.
+func BenchmarkTable2(b *testing.B) {
+	for _, preset := range []string{"blabla", "picorv32a", "aes128"} {
+		for _, trace := range []struct {
+			name   string
+			cycles int
+			af     float64
+		}{
+			{"short", benchCycles, 0.8},
+			{"long", 4 * benchCycles, 0.5},
+		} {
+			bd := buildBench(b, preset, trace.cycles, trace.af)
+			b.Run(fmt.Sprintf("%s/%s/ref", preset, trace.name), func(b *testing.B) {
+				bd.runRefsim(b, bd.delays)
+			})
+			b.Run(fmt.Sprintf("%s/%s/ours-1cpu", preset, trace.name), func(b *testing.B) {
+				bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeSerial})
+			})
+			b.Run(fmt.Sprintf("%s/%s/ours-ncpu", preset, trace.name), func(b *testing.B) {
+				bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeParallel})
+			})
+			b.Run(fmt.Sprintf("%s/%s/ours-manycore", preset, trace.name), func(b *testing.B) {
+				bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeManycore})
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: thread scalability of the
+// partition-based baseline versus the stable-time engine, with and without
+// SDF annotation, on the aes256 design.
+func BenchmarkFig8(b *testing.B) {
+	bd := buildBench(b, "aes256", benchCycles, 0.6)
+	for _, threads := range []int{1, 2, 4, 8} {
+		mode := sim.ModeParallel
+		if threads == 1 {
+			mode = sim.ModeSerial
+		}
+		b.Run(fmt.Sprintf("partition/no-sdf/t%d", threads), func(b *testing.B) {
+			bd.runPartsim(b, bd.unit, threads)
+		})
+		b.Run(fmt.Sprintf("partition/sdf/t%d", threads), func(b *testing.B) {
+			bd.runPartsim(b, bd.delays, threads)
+		})
+		b.Run(fmt.Sprintf("ours/no-sdf/t%d", threads), func(b *testing.B) {
+			bd.runEngine(b, bd.unit, sim.Options{Mode: mode, Threads: threads})
+		})
+		b.Run(fmt.Sprintf("ours/sdf/t%d", threads), func(b *testing.B) {
+			bd.runEngine(b, bd.delays, sim.Options{Mode: mode, Threads: threads})
+		})
+	}
+}
+
+// BenchmarkLibraryCompile1000 measures the paper's §III-B claim: a
+// 1000-cell library compiles with the bitmask DP in about a second.
+func BenchmarkLibraryCompile1000(b *testing.B) {
+	src := gen.LibrarySource(1000, 1)
+	lib, err := liberty.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := truthtab.CompileLibrary(lib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cl.Tables) != 1000 {
+			b.Fatal("wrong cell count")
+		}
+	}
+}
+
+// BenchmarkLibraryCompileBuiltin compiles the built-in sky130-style library.
+func BenchmarkLibraryCompileBuiltin(b *testing.B) {
+	lib := liberty.MustBuiltin()
+	for i := 0; i < b.N; i++ {
+		if _, err := truthtab.CompileLibrary(lib); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDirtyVsOblivious isolates the dirty-set work filtering
+// (CPU mode) against oblivious full-level scans (the GPU-style execution)
+// on the same thread count: the cost of obliviousness on sparse activity.
+func BenchmarkAblationDirtyVsOblivious(b *testing.B) {
+	bd := buildBench(b, "picorv32a", benchCycles, 0.3) // sparse activity
+	b.Run("dirty-set", func(b *testing.B) {
+		bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeParallel, Threads: 4})
+	})
+	b.Run("oblivious", func(b *testing.B) {
+		bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeManycore, Threads: 4})
+	})
+}
+
+// BenchmarkAblationPagedQueue compares the paper's paged event storage
+// (§III-D.3) against a plain slice under the simulator's trim-heavy access
+// pattern.
+func BenchmarkAblationPagedQueue(b *testing.B) {
+	const events = 1 << 16
+	b.Run("paged", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var pool event.Pool
+			q := event.NewQueue(&pool, logic.V0)
+			for k := int64(0); k < events; k++ {
+				q.Append(k, logic.Value(k&1))
+				if k%4096 == 4095 {
+					q.TrimTo(k - 64)
+				}
+			}
+		}
+	})
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var q []event.Event
+			start := 0
+			for k := int64(0); k < events; k++ {
+				q = append(q, event.Event{Time: k, Val: logic.Value(k & 1)})
+				if k%4096 == 4095 {
+					// Naive trim: re-slice (keeps backing array live) plus
+					// periodic copy to actually release memory.
+					keep := int(k-64) - start
+					q = append([]event.Event(nil), q[keep:]...)
+					start = int(k - 64)
+				}
+			}
+			_ = q
+		}
+	})
+}
+
+// BenchmarkAblationTableLookup measures the extended-truth-table hot path.
+func BenchmarkAblationTableLookup(b *testing.B) {
+	lib := harness.CompiledBuiltin()
+	tab := lib.Tables["DFF_NSR"]
+	ins := []logic.Value{logic.VR, logic.V1, logic.V1, logic.V1}
+	states := []logic.Value{logic.V0, logic.V1}
+	outs := make([]logic.Value, tab.NumOutputs)
+	next := make([]logic.Value, tab.NumStates)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.LookupInto(ins, states, outs, next)
+	}
+}
+
+// BenchmarkAblationHybridThreshold shows the mode-selection crossover that
+// motivates the paper's hybrid CPU/GPU dispatch: serial wins on a tiny
+// design, parallel on a larger one.
+func BenchmarkAblationHybridThreshold(b *testing.B) {
+	for _, sc := range []struct {
+		name  string
+		scale float64
+	}{
+		{"tiny", 0.001},
+		{"mid", 0.01},
+	} {
+		p, err := gen.PresetByName("blabla")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := gen.Build(p.Spec(sc.scale, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bd := &benchDesign{
+			d:      d,
+			delays: gen.Delays(d, 1),
+			stim:   gen.Stimuli(d, gen.StimSpec{Cycles: benchCycles, ActivityFactor: 0.6, Seed: 1}),
+		}
+		b.Run(sc.name+"/serial", func(b *testing.B) {
+			bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeSerial})
+		})
+		b.Run(sc.name+"/parallel", func(b *testing.B) {
+			bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeParallel})
+		})
+	}
+}
+
+// BenchmarkAblationPartitionQuality reproduces the paper's claim that
+// partition-based simulators depend on partition quality: the same design
+// and stimulus under a locality-preserving versus a scattered partition.
+func BenchmarkAblationPartitionQuality(b *testing.B) {
+	bd := buildBench(b, "aes128", benchCycles, 0.6)
+	runStrategy := func(b *testing.B, strategy partsim.Strategy) {
+		pstim := make([]partsim.Stim, len(bd.stim))
+		for i, s := range bd.stim {
+			pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ps, err := partsim.New(bd.d.Netlist, harness.CompiledBuiltin(), bd.delays,
+				partsim.Options{Partitions: 4, Strategy: strategy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ps.Run(append([]partsim.Stim(nil), pstim...), nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(ps.CrossMessages), "crossmsgs")
+		}
+	}
+	b.Run("contiguous", func(b *testing.B) { runStrategy(b, partsim.StrategyContiguous) })
+	b.Run("round-robin", func(b *testing.B) { runStrategy(b, partsim.StrategyRoundRobin) })
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/vcd"
+)
+
+func TestBenchgenRun(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("picorv32a", 0.004, 1, 20, 0.5, 8, dir); err != nil {
+		t.Fatal(err)
+	}
+	// All three artifacts must exist and parse with our own readers.
+	vSrc, err := os.ReadFile(filepath.Join(dir, "picorv32a.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := netlist.ParseVerilog(string(vSrc), liberty.MustBuiltin())
+	if err != nil {
+		t.Fatalf("emitted verilog invalid: %v", err)
+	}
+	sdfSrc, err := os.ReadFile(filepath.Join(dir, "picorv32a.sdf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sdf.Parse(string(sdfSrc))
+	if err != nil {
+		t.Fatalf("emitted SDF invalid: %v", err)
+	}
+	if _, err := sdf.Apply(f, nl, sdf.Delay{Rise: 1, Fall: 1}); err != nil {
+		t.Fatalf("emitted SDF does not apply: %v", err)
+	}
+	vcdF, err := os.Open(filepath.Join(dir, "picorv32a.vcd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vcdF.Close()
+	r, err := vcd.NewReader(vcdF)
+	if err != nil {
+		t.Fatalf("emitted VCD invalid: %v", err)
+	}
+	if len(r.Signals()) != len(nl.PortsIn) {
+		t.Errorf("VCD signals %d, want %d", len(r.Signals()), len(nl.PortsIn))
+	}
+	chs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) == 0 {
+		t.Error("no stimulus events written")
+	}
+}
+
+func TestBenchgenUnknownPreset(t *testing.T) {
+	if err := run("nope", 0.01, 1, 10, 0.5, 0, t.TempDir()); err == nil {
+		t.Error("unknown preset must fail")
+	}
+}

@@ -1,0 +1,109 @@
+// experiments regenerates every table and figure of the paper's evaluation
+// on this repository's substrates. See EXPERIMENTS.md for the mapping and
+// recorded results.
+//
+// Usage:
+//
+//	experiments -table1 [-scale S]
+//	experiments -table2 [-scale S] [-presets a,b] [-short N] [-threads T]
+//	experiments -fig8   [-preset aes256] [-scale S] [-cycles N] [-threadlist 1,2,4,8]
+//	experiments -libcomp [-cells 1000]
+//	experiments -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"gatesim/internal/harness"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "regenerate Table I (benchmark statistics)")
+		table2  = flag.Bool("table2", false, "regenerate Table II (runtime comparison)")
+		fig8    = flag.Bool("fig8", false, "regenerate Figure 8 (thread scalability)")
+		libcomp = flag.Bool("libcomp", false, "measure the library-compilation claim")
+		par     = flag.Bool("parallelism", false, "report hardware-independent parallelism metrics")
+		all     = flag.Bool("all", false, "run everything")
+
+		scale      = flag.Float64("scale", 0.01, "design scale relative to the paper")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		presets    = flag.String("presets", "", "comma-separated preset subset for -table2")
+		shortCyc   = flag.Int("short", 200, "short-trace cycles (paper: 1000)")
+		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "thread count for the multicore column")
+		fig8Preset = flag.String("preset", "aes256", "design for -fig8 (paper: aes256 and leon2)")
+		fig8Cycles = flag.Int("cycles", 200, "cycles for -fig8")
+		threadList = flag.String("threadlist", "1,2,4,8", "thread counts for -fig8")
+		cells      = flag.Int("cells", 1000, "library size for -libcomp")
+	)
+	flag.Parse()
+	if !(*table1 || *table2 || *fig8 || *libcomp || *par || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *all {
+		*table1, *table2, *fig8, *libcomp, *par = true, true, true, true, true
+	}
+
+	if *table1 {
+		rows, err := harness.Table1(*scale, *seed)
+		fail(err)
+		fmt.Print(harness.FormatTable1(rows, *scale))
+		fmt.Println()
+	}
+	if *table2 {
+		var names []string
+		if *presets != "" {
+			names = strings.Split(*presets, ",")
+		}
+		rows, err := harness.Table2(harness.Table2Config{
+			Scale: *scale, Presets: names,
+			ShortCycles: *shortCyc, Threads: *threads, Seed: *seed,
+		})
+		fail(err)
+		fmt.Print(harness.FormatTable2(rows, *threads))
+		fmt.Println()
+	}
+	if *fig8 {
+		var ths []int
+		for _, s := range strings.Split(*threadList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			fail(err)
+			ths = append(ths, n)
+		}
+		pts, err := harness.Fig8(harness.Fig8Config{
+			Preset: *fig8Preset, Scale: *scale, Cycles: *fig8Cycles,
+			Threads: ths, Seed: *seed,
+		})
+		fail(err)
+		fmt.Print(harness.FormatFig8(*fig8Preset, pts))
+		fmt.Println()
+	}
+	if *par {
+		var rows []harness.ParallelismRow
+		for _, name := range []string{"blabla", "picorv32a", "aes128", "aes256", "jpeg_encoder"} {
+			r, err := harness.Parallelism(name, *scale, 50, *seed)
+			fail(err)
+			rows = append(rows, r)
+		}
+		fmt.Print(harness.FormatParallelism(rows))
+		fmt.Println()
+	}
+	if *libcomp {
+		r, err := harness.Libcomp(*cells, *seed)
+		fail(err)
+		fmt.Print(harness.FormatLibcomp(r))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,257 @@
+// glsim simulates a delay-annotated gate-level netlist: the end-to-end tool
+// the paper's Figure 1 describes. Inputs are a Liberty cell library, a
+// structural-Verilog netlist, an SDF delay annotation and a VCD stimulus
+// file; the output is a VCD of the watched nets plus activity statistics.
+//
+// Usage:
+//
+//	glsim -v design.v -sdf design.sdf -vcd stimuli.vcd -o out.vcd \
+//	      [-lib cells.lib] [-mode auto|serial|parallel|manycore] \
+//	      [-threads N] [-slice PS] [-watch all|outputs] [-power]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/harness"
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/sim"
+	"gatesim/internal/stats"
+	"gatesim/internal/timing"
+	"gatesim/internal/truthtab"
+	"gatesim/internal/vcd"
+)
+
+func main() {
+	var (
+		vFile    = flag.String("v", "", "structural Verilog netlist, flat or hierarchical (required)")
+		topMod   = flag.String("top", "", "top module for hierarchical netlists (default: auto-detect)")
+		libFile  = flag.String("lib", "", "Liberty library (default: built-in library)")
+		sdfFile  = flag.String("sdf", "", "SDF delay annotation (default: toy-STA delays)")
+		vcdFile  = flag.String("vcd", "", "VCD stimulus file (required)")
+		outFile  = flag.String("o", "", "output VCD file (default: stdout)")
+		modeFlag = flag.String("mode", "auto", "execution mode: auto, serial, parallel, manycore")
+		threads  = flag.Int("threads", 0, "worker threads (0 = all cores)")
+		slicePS  = flag.Int64("slice", 0, "streaming slice length in ps (0 = default)")
+		watch    = flag.String("watch", "outputs", "nets to dump: outputs or all")
+		power    = flag.Bool("power", false, "print activity and power report")
+		setup    = flag.Int64("setup", 0, "setup margin in ps for dynamic timing checks (0 = off)")
+		hold     = flag.Int64("hold", 0, "hold margin in ps for dynamic timing checks")
+		saifOut  = flag.String("saif", "", "write switching activity to this SAIF file (implies -watch all)")
+	)
+	flag.Parse()
+	if *vFile == "" || *vcdFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*vFile, *topMod, *libFile, *sdfFile, *vcdFile, *outFile, *saifOut, *modeFlag, *threads, *slicePS, *watch, *power, timing.Margins{Setup: *setup, Hold: *hold}); err != nil {
+		fmt.Fprintln(os.Stderr, "glsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag string, threads int, slicePS int64, watch string, power bool, margins timing.Margins) error {
+	lib := liberty.MustBuiltin()
+	if libFile != "" {
+		src, err := os.ReadFile(libFile)
+		if err != nil {
+			return err
+		}
+		if lib, err = liberty.Parse(string(src)); err != nil {
+			return err
+		}
+	}
+	compileStart := time.Now()
+	clib, err := truthtab.CompileLibrary(lib)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "glsim: compiled %d cells in %v\n", len(clib.Tables), time.Since(compileStart).Round(time.Millisecond))
+
+	src, err := os.ReadFile(vFile)
+	if err != nil {
+		return err
+	}
+	nl, err := netlist.ParseVerilogHierarchy(string(src), lib, topMod)
+	if err != nil {
+		return err
+	}
+	st := nl.Stats()
+	fmt.Fprintf(os.Stderr, "glsim: %s: %d cells, %d nets, %d pins (%d sequential)\n",
+		nl.Name, st.Cells, st.Nets, st.Pins, nl.SequentialCount())
+
+	var delays *sdf.Delays
+	if sdfFile != "" {
+		text, err := os.ReadFile(sdfFile)
+		if err != nil {
+			return err
+		}
+		f, err := sdf.Parse(string(text))
+		if err != nil {
+			return err
+		}
+		if delays, err = sdf.Apply(f, nl, sdf.Delay{Rise: 1, Fall: 1}); err != nil {
+			return err
+		}
+	} else {
+		d := &gen.Design{Netlist: nl}
+		delays = gen.Delays(d, 1)
+		fmt.Fprintln(os.Stderr, "glsim: no SDF given; using toy-STA delays")
+	}
+
+	var mode sim.Mode
+	switch modeFlag {
+	case "auto":
+		mode = sim.ModeAuto
+	case "serial":
+		mode = sim.ModeSerial
+	case "parallel":
+		mode = sim.ModeParallel
+	case "manycore":
+		mode = sim.ModeManycore
+	default:
+		return fmt.Errorf("unknown mode %q", modeFlag)
+	}
+	engine, err := sim.New(nl, clib, delays, sim.Options{Mode: mode, Threads: threads})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "glsim: execution mode %v\n", engine.Mode())
+
+	stimF, err := os.Open(vcdFile)
+	if err != nil {
+		return err
+	}
+	defer stimF.Close()
+	reader, err := vcd.NewReader(stimF)
+	if err != nil {
+		return err
+	}
+	source, err := harness.NewVCDSource(reader, nl)
+	if err != nil {
+		return err
+	}
+
+	if saifOut != "" {
+		watch = "all"
+	}
+	var checker *timing.Checker
+	if margins.Setup > 0 || margins.Hold > 0 {
+		if checker, err = timing.NewChecker(nl, clib, margins); err != nil {
+			return err
+		}
+	}
+
+	// dump = nets written to the output VCD; watched = dump plus whatever
+	// the timing checker needs to observe.
+	var dump []netlist.NetID
+	switch watch {
+	case "outputs":
+		dump = nl.PortsOut
+	case "all":
+		for i := range nl.Nets {
+			dump = append(dump, netlist.NetID(i))
+		}
+	default:
+		return fmt.Errorf("unknown -watch value %q", watch)
+	}
+	watched := append([]netlist.NetID(nil), dump...)
+	if checker != nil {
+		seen := make(map[netlist.NetID]bool, len(watched))
+		for _, nid := range watched {
+			seen[nid] = true
+		}
+		for _, nid := range checker.WatchedNets() {
+			if !seen[nid] {
+				seen[nid] = true
+				watched = append(watched, nid)
+			}
+		}
+	}
+	names := make([]string, len(dump))
+	for i, nid := range dump {
+		names[i] = nl.Nets[nid].Name
+	}
+
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	writer := vcd.NewWriter(out, nl.Name, names)
+	idx := make(map[netlist.NetID]int, len(dump))
+	for i, nid := range dump {
+		idx[nid] = i
+	}
+	activity := stats.NewActivity(nl)
+	var tracker *stats.DurationTracker
+	if saifOut != "" {
+		ic, err := truthtab.ComputeInitialConditions(nl, clib)
+		if err != nil {
+			return err
+		}
+		tracker = stats.NewDurationTracker(nl, ic.NetVals)
+	}
+
+	simStart := time.Now()
+	var lastTime int64
+	var writeErr error
+	err = engine.RunStream(source, sim.StreamConfig{
+		SlicePS: slicePS,
+		Watch:   watched,
+		OnEvent: func(nid netlist.NetID, ev event.Event) {
+			activity.Record(nid, ev)
+			if tracker != nil {
+				tracker.Record(nid, ev)
+			}
+			if checker != nil {
+				checker.Observe(nid, ev)
+			}
+			if ev.Time > lastTime {
+				lastTime = ev.Time
+			}
+			if di, ok := idx[nid]; ok {
+				if werr := writer.Change(ev.Time, di, ev.Val); werr != nil && writeErr == nil {
+					writeErr = werr
+				}
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := writer.Flush(); err != nil {
+		return err
+	}
+	es := engine.Stats()
+	fmt.Fprintf(os.Stderr, "glsim: simulated in %v (%d sweeps, %d gate visits, %d queries, %d events)\n",
+		time.Since(simStart).Round(time.Millisecond), es.Sweeps, es.Visits, es.Queries, es.EventsCommitted)
+	if power {
+		rep := activity.Power(lastTime, 1.0)
+		fmt.Fprint(os.Stderr, rep.Format(15))
+	}
+	if checker != nil {
+		fmt.Fprint(os.Stderr, checker.Summary(20))
+	}
+	if tracker != nil {
+		if err := os.WriteFile(saifOut, []byte(tracker.WriteSAIF(lastTime)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "glsim: wrote SAIF activity to %s"+"\n", saifOut)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/netlist"
+	"gatesim/internal/timing"
+	"gatesim/internal/vcd"
+)
+
+// TestEndToEnd exercises the full command path: generate a benchmark to
+// disk, run the simulator over the files, and validate the output VCD.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p, err := gen.PresetByName("blabla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gen.Build(p.Spec(0.005, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	vPath := write("d.v", netlist.WriteVerilog(d.Netlist))
+	sdfPath := write("d.sdf", gen.SDFText(d, 1))
+
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 40, ActivityFactor: 0.7, Seed: 1, ScanBurst: 8})
+	var sb strings.Builder
+	names := make([]string, len(d.Netlist.PortsIn))
+	idx := map[int]int{}
+	for i, nid := range d.Netlist.PortsIn {
+		names[i] = d.Netlist.Nets[nid].Name
+		idx[int(nid)] = i
+	}
+	w := vcd.NewWriter(&sb, "d", names)
+	// Stimuli must be globally time-sorted for the writer.
+	for tcur := int64(0); ; {
+		next := int64(-1)
+		for _, s := range stim {
+			if s.Time >= tcur && (next == -1 || s.Time < next) {
+				next = s.Time
+			}
+		}
+		if next == -1 {
+			break
+		}
+		for _, s := range stim {
+			if s.Time == next {
+				if err := w.Change(s.Time, idx[int(s.Net)], s.Val); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		tcur = next + 1
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	vcdPath := write("d.vcd", sb.String())
+	outPath := filepath.Join(dir, "out.vcd")
+
+	saifPath := filepath.Join(dir, "out.saif")
+	if err := run(vPath, "", "", sdfPath, vcdPath, outPath, saifPath, "serial", 1, 0, "outputs", false,
+		timing.Margins{Setup: 50, Hold: 20}); err != nil {
+		t.Fatal(err)
+	}
+	outF, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	r, err := vcd.NewReader(outF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) == 0 {
+		t.Error("no output events produced")
+	}
+	// -saif implies -watch all, so the VCD carries every net.
+	if len(r.Signals()) != len(d.Netlist.Nets) {
+		t.Errorf("output signals: %d, want %d", len(r.Signals()), len(d.Netlist.Nets))
+	}
+	saifData, err := os.ReadFile(saifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(saifData), "(SAIFILE") || !strings.Contains(string(saifData), "(TC ") {
+		t.Error("SAIF output malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.v", "", "", "", "/nonexistent.vcd", "", "", "serial", 1, 0, "outputs", false, timing.Margins{}); err == nil {
+		t.Error("missing netlist must fail")
+	}
+}

@@ -1,0 +1,159 @@
+// vcddiff compares two VCD waveform files signal by signal and reports the
+// first divergences — the regression tool for comparing simulator runs
+// (e.g. different thread counts or executors, or this simulator against
+// another one).
+//
+// Usage:
+//
+//	vcddiff a.vcd b.vcd [-max N] [-signals s1,s2]
+//
+// Exit status 0 when equivalent, 1 when differences were found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gatesim/internal/logic"
+	"gatesim/internal/vcd"
+)
+
+func main() {
+	maxDiffs := flag.Int("max", 20, "maximum differences to print")
+	sigFilter := flag.String("signals", "", "comma-separated subset of signals to compare")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vcddiff a.vcd b.vcd")
+		os.Exit(2)
+	}
+	diffs, err := diff(flag.Arg(0), flag.Arg(1), *sigFilter, *maxDiffs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcddiff:", err)
+		os.Exit(2)
+	}
+	if diffs > 0 {
+		fmt.Printf("%d difference(s)\n", diffs)
+		os.Exit(1)
+	}
+	fmt.Println("waveforms are equivalent")
+}
+
+type wave struct {
+	events map[string][]vcd.Change // by signal name (sig index rebound)
+	names  []string
+}
+
+func load(path string) (*wave, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := vcd.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	w := &wave{events: map[string][]vcd.Change{}, names: r.Signals()}
+	chs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, c := range chs {
+		name := w.names[c.Sig]
+		// Collapse same-time re-changes (last wins) and drop no-op changes,
+		// so semantically identical dumps with different verbosity compare
+		// equal.
+		evs := w.events[name]
+		if n := len(evs); n > 0 && evs[n-1].Time == c.Time {
+			evs[n-1].Val = c.Val
+			if n > 1 && evs[n-2].Val == c.Val {
+				evs = evs[:n-1]
+			}
+			w.events[name] = evs
+			continue
+		}
+		if n := len(evs); n > 0 && evs[n-1].Val == c.Val {
+			continue
+		}
+		w.events[name] = append(evs, c)
+	}
+	return w, nil
+}
+
+func diff(pathA, pathB, sigFilter string, maxDiffs int) (int, error) {
+	a, err := load(pathA)
+	if err != nil {
+		return 0, err
+	}
+	b, err := load(pathB)
+	if err != nil {
+		return 0, err
+	}
+
+	var names []string
+	if sigFilter != "" {
+		names = strings.Split(sigFilter, ",")
+	} else {
+		seen := map[string]bool{}
+		for _, n := range a.names {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+		for _, n := range b.names {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+	}
+
+	diffs := 0
+	report := func(format string, args ...any) {
+		diffs++
+		if diffs <= maxDiffs {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	inA, inB := map[string]bool{}, map[string]bool{}
+	for _, n := range a.names {
+		inA[n] = true
+	}
+	for _, n := range b.names {
+		inB[n] = true
+	}
+	for _, name := range names {
+		switch {
+		case !inA[name]:
+			report("signal %s only in %s", name, pathB)
+			continue
+		case !inB[name]:
+			report("signal %s only in %s", name, pathA)
+			continue
+		}
+		ea, eb := a.events[name], b.events[name]
+		n := len(ea)
+		if len(eb) < n {
+			n = len(eb)
+		}
+		for i := 0; i < n; i++ {
+			if ea[i].Time != eb[i].Time || ea[i].Val != eb[i].Val {
+				report("%s: event %d: %s vs %s", name, i, fmtEv(ea[i]), fmtEv(eb[i]))
+				break
+			}
+		}
+		if len(ea) != len(eb) && diffs < maxDiffs {
+			report("%s: %d vs %d events", name, len(ea), len(eb))
+		}
+	}
+	return diffs, nil
+}
+
+func fmtEv(c vcd.Change) string {
+	return fmt.Sprintf("%d->%v", c.Time, logic.Value(c.Val))
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gatesim/internal/logic"
+	"gatesim/internal/vcd"
+)
+
+func writeVCD(t *testing.T, dir, name string, f func(w *vcd.Writer)) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	w := vcd.NewWriter(file, "m", []string{"a", "b"})
+	f(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffEqual(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(w *vcd.Writer) {
+		w.Change(0, 0, logic.V0)
+		w.Change(10, 0, logic.V1)
+		w.Change(10, 1, logic.V0)
+		w.Change(20, 0, logic.V0)
+	}
+	a := writeVCD(t, dir, "a.vcd", gen)
+	b := writeVCD(t, dir, "b.vcd", gen)
+	n, err := diff(a, b, "", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("diffs: %d", n)
+	}
+}
+
+func TestDiffValueMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := writeVCD(t, dir, "a.vcd", func(w *vcd.Writer) {
+		w.Change(10, 0, logic.V1)
+	})
+	b := writeVCD(t, dir, "b.vcd", func(w *vcd.Writer) {
+		w.Change(10, 0, logic.V0)
+	})
+	n, err := diff(a, b, "", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("value mismatch not detected")
+	}
+}
+
+func TestDiffLengthMismatchAndFilter(t *testing.T) {
+	dir := t.TempDir()
+	a := writeVCD(t, dir, "a.vcd", func(w *vcd.Writer) {
+		w.Change(10, 0, logic.V1)
+		w.Change(10, 1, logic.V1)
+		w.Change(20, 0, logic.V0)
+	})
+	b := writeVCD(t, dir, "b.vcd", func(w *vcd.Writer) {
+		w.Change(10, 0, logic.V1)
+		w.Change(10, 1, logic.V1)
+	})
+	n, err := diff(a, b, "", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("diffs: %d", n)
+	}
+	// Filtering to the matching signal hides the difference.
+	n, err = diff(a, b, "b", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("filtered diffs: %d", n)
+	}
+}
+
+func TestDiffMissingFile(t *testing.T) {
+	if _, err := diff("/nope.vcd", "/nope2.vcd", "", 5); err == nil {
+		t.Error("missing file must error")
+	}
+}

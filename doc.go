@@ -1,0 +1,14 @@
+// Package gatesim is a general-purpose gate-level simulator with
+// partition-agnostic parallelism — a from-scratch Go reproduction of
+// Guo et al., "General-Purpose Gate-Level Simulation with Partition-Agnostic
+// Parallelism" (DAC 2023).
+//
+// The library lives under internal/: see internal/sim for the stable-time
+// engine (the paper's core contribution), internal/truthtab for the
+// bitmask-DP library compiler, internal/refsim and internal/partsim for the
+// sequential and partition-based baselines, and internal/gen plus
+// internal/harness for the benchmark suite and the experiment drivers.
+// The binaries under cmd/ expose the complete flow; the benchmarks in this
+// package regenerate every table and figure of the paper's evaluation
+// (see EXPERIMENTS.md).
+package gatesim

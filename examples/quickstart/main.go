@@ -1,0 +1,98 @@
+// Quickstart: build a tiny delay-annotated circuit in code, simulate it
+// with the stable-time engine, and print the resulting waveform.
+//
+// The circuit is the classic divide-by-two: a rising-edge flip-flop whose
+// inverted output feeds its own D input, plus an XOR "phase detector"
+// against the raw clock. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/sim"
+	"gatesim/internal/truthtab"
+)
+
+func main() {
+	// 1. The cell library: parse (here: the built-in sky130-style library)
+	//    and compile it into extended truth tables (paper §III-B).
+	lib := liberty.MustBuiltin()
+	clib, err := truthtab.CompileLibrary(lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The netlist: a DFF with async reset, QN looped back to D, and an
+	//    XOR of Q with the clock.
+	nl := netlist.New("quickstart", lib)
+	for _, p := range []string{"clk", "rst_n"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustInst(nl, "ff", "DFF_PR", map[string]string{
+		"CLK": "clk", "D": "qn", "RESET_B": "rst_n", "Q": "q", "QN": "qn",
+	})
+	mustInst(nl, "phase", "XOR2", map[string]string{"A": "q", "B": "clk", "Y": "ph"})
+	q, _ := nl.Net("q")
+	ph, _ := nl.Net("ph")
+	nl.MarkOutput(q)
+	nl.MarkOutput(ph)
+
+	// 3. Delay annotation: every arc gets 50 ps (use sdf.Parse/Apply for
+	//    real SDF files).
+	delays := sdf.Uniform(nl, 50)
+
+	// 4. The engine. ModeAuto picks serial/parallel/manycore by size.
+	engine, err := sim.New(nl, clib, delays, sim.Options{Mode: sim.ModeAuto})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Stimuli: hold reset for 1.2 ns, run a 1 ns clock for 8 cycles.
+	clk, _ := nl.Net("clk")
+	rst, _ := nl.Net("rst_n")
+	inject(engine, rst, 0, logic.V0)
+	inject(engine, rst, 1200, logic.V1)
+	inject(engine, clk, 0, logic.V0)
+	for c := 0; c < 8; c++ {
+		inject(engine, clk, int64(c*1000+500), logic.V1)
+		inject(engine, clk, int64(c*1000+1000), logic.V0)
+	}
+	if err := engine.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Read the committed waveforms.
+	for _, nid := range []netlist.NetID{q, ph} {
+		fmt.Printf("%-3s:", nl.Nets[nid].Name)
+		evq := engine.Events(nid)
+		for i := evq.Start(); i < evq.Len(); i++ {
+			ev := evq.At(i)
+			fmt.Printf(" %d->%v", ev.Time, ev.Val)
+		}
+		fmt.Println()
+	}
+	st := engine.Stats()
+	fmt.Printf("stats: %d sweeps, %d gate visits, %d table queries, %d events\n",
+		st.Sweeps, st.Visits, st.Queries, st.EventsCommitted)
+}
+
+func mustInst(nl *netlist.Netlist, name, cell string, conns map[string]string) {
+	if _, err := nl.AddInstance(name, cell, conns); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func inject(e *sim.Engine, nid netlist.NetID, t int64, v logic.Value) {
+	if err := e.Inject(nid, t, v); err != nil {
+		log.Fatal(err)
+	}
+}

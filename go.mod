@@ -1,0 +1,3 @@
+module gatesim
+
+go 1.22

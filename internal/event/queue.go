@@ -1,0 +1,264 @@
+// Package event implements the per-net event storage of the simulator:
+// first-in-first-out queues of (time, value) signal changes, stored in
+// fixed-size pages.
+//
+// This reproduces the paper's GPU paging mechanism (§III-D.3) in a form that
+// serves the same purpose on a garbage-collected runtime: every 32 events
+// form a page, pages are allocated from a shared pool in large blocks, and
+// pages released by a queue are kept on that queue's own free list and
+// reused by the same pin — mirroring "the deallocated memory pages still
+// belong to the pin it was allocated to". The result is allocation-free
+// steady-state simulation regardless of trace length.
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gatesim/internal/logic"
+)
+
+// PageSize is the number of events per page (the paper groups 32).
+const PageSize = 32
+
+// Event is one signal change.
+type Event struct {
+	Time int64
+	Val  logic.Value
+}
+
+type page struct {
+	times [PageSize]int64
+	vals  [PageSize]logic.Value
+	next  *page
+}
+
+// Pool hands out pages in blocks; it is safe for concurrent use. The zero
+// value is ready to use.
+type Pool struct {
+	mu    sync.Mutex
+	block []page
+	next  int64 // atomic index into block
+
+	allocated atomic.Int64 // total pages ever handed out (for stats)
+}
+
+const poolBlockPages = 1024
+
+// get returns a fresh page.
+func (p *Pool) get() *page {
+	for {
+		p.mu.Lock()
+		if int(p.next) < len(p.block) {
+			pg := &p.block[p.next]
+			p.next++
+			p.mu.Unlock()
+			p.allocated.Add(1)
+			return pg
+		}
+		p.block = make([]page, poolBlockPages)
+		p.next = 0
+		p.mu.Unlock()
+	}
+}
+
+// AllocatedPages reports how many pages were ever handed out.
+func (p *Pool) AllocatedPages() int64 { return p.allocated.Load() }
+
+// Queue is a FIFO of events on one net.
+//
+// Events are addressed by a monotonically increasing absolute index:
+// Append assigns indices 0, 1, 2, ...; TrimTo releases storage for a prefix
+// but indices never shift. Exactly one goroutine may Append/TrimTo at a
+// time (each net has one driver); any number may read concurrently with
+// neither.
+//
+// Beyond the event list the queue carries the net's stable-time state:
+// DeterminedUntil is the time up to which the net's value is known (the
+// paper's "stable time" watermark), and the value before the first retained
+// event is kept so reads never fall off the front.
+type Queue struct {
+	pool *Pool
+
+	head *page // page containing index start
+	tail *page // page containing index end-1 (nil when empty)
+	free *page // per-pin free list (paper: freed pages stay with the pin)
+
+	start    int64 // absolute index of first retained event
+	end      int64 // absolute index one past the last event
+	headSkip int   // offset of index `start` within head page
+	tailBase int64 // absolute index of tail.times[0] (valid when tail != nil)
+
+	baseVal logic.Value // value of the net before event index `start`
+
+	// DeterminedUntil is the exclusive time up to which the value of this
+	// net is determined; at and beyond it the net reads as U. Maintained by
+	// the simulator.
+	DeterminedUntil int64
+}
+
+// NewQueue creates a queue with the given initial value (the net's value at
+// the beginning of time) backed by the pool.
+func NewQueue(pool *Pool, initial logic.Value) *Queue {
+	return &Queue{pool: pool, baseVal: initial}
+}
+
+// Len returns the absolute index one past the last event.
+func (q *Queue) Len() int64 { return q.end }
+
+// Start returns the absolute index of the first retained event.
+func (q *Queue) Start() int64 { return q.start }
+
+// BaseVal returns the net value immediately before event Start().
+func (q *Queue) BaseVal() logic.Value { return q.baseVal }
+
+// Append adds an event. Time must not decrease versus the previous event.
+func (q *Queue) Append(t int64, v logic.Value) {
+	if q.tail == nil || q.end-q.tailBase == PageSize {
+		pg := q.takePage()
+		if q.tail == nil {
+			q.head, q.tail = pg, pg
+			q.headSkip = 0
+			q.start = q.end // no retained events existed
+		} else {
+			q.tail.next = pg
+			q.tail = pg
+		}
+		q.tailBase = q.end
+	}
+	off := q.end - q.tailBase
+	q.tail.times[off] = t
+	q.tail.vals[off] = v
+	q.end++
+}
+
+func (q *Queue) takePage() *page {
+	if q.free != nil {
+		pg := q.free
+		q.free = pg.next
+		pg.next = nil
+		return pg
+	}
+	return q.pool.get()
+}
+
+// At returns the event at absolute index i; i must be in [Start(), Len()).
+func (q *Queue) At(i int64) Event {
+	if i < q.start || i >= q.end {
+		panic("event: index out of range")
+	}
+	// Walk from head. Consumers overwhelmingly read near their cursor and
+	// the prefix is trimmed regularly, so the walk is short; the engine
+	// additionally caches (page, index) cursors via Cursor.
+	pg := q.head
+	idx := q.start - int64(q.headSkip) // absolute index of pg.times[0]
+	for i-idx >= PageSize {
+		pg = pg.next
+		idx += PageSize
+	}
+	return Event{Time: pg.times[i-idx], Val: pg.vals[i-idx]}
+}
+
+// LastTime returns the time of the last event, or min64 when no event was
+// ever appended.
+func (q *Queue) LastTime() int64 {
+	if q.end == q.start {
+		return -1 << 62
+	}
+	return q.tail.times[q.end-1-q.tailBase]
+}
+
+// LastVal returns the value after the last event (or the base value when
+// empty).
+func (q *Queue) LastVal() logic.Value {
+	if q.end == q.start {
+		return q.baseVal
+	}
+	return q.tail.vals[q.end-1-q.tailBase]
+}
+
+// TrimTo releases events with absolute index < keep. The value before the
+// new start is preserved as the base value. Fully consumed pages return to
+// the queue's free list.
+func (q *Queue) TrimTo(keep int64) {
+	if keep > q.end {
+		keep = q.end
+	}
+	if keep <= q.start {
+		return
+	}
+	// Record the value right before `keep`.
+	q.baseVal = q.At(keep - 1).Val
+	// Release whole pages that fall entirely before keep.
+	pgStart := q.start - int64(q.headSkip)
+	for q.head != nil && pgStart+PageSize <= keep {
+		pg := q.head
+		q.head = pg.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		pg.next = q.free
+		q.free = pg
+		pgStart += PageSize
+	}
+	q.start = keep
+	if q.head == nil {
+		// Everything gone; reset offsets so the next Append starts cleanly.
+		q.headSkip = 0
+		if keep == q.end {
+			q.tail = nil
+		}
+	} else {
+		q.headSkip = int(keep - pgStart)
+	}
+}
+
+// Cursor is a cached read position into a queue, letting a consumer read
+// sequential events in O(1) without re-walking the page list.
+type Cursor struct {
+	pg     *page
+	pgBase int64 // absolute index of pg.times[0]
+	Idx    int64 // next absolute index to read
+}
+
+// NewCursor positions a cursor at absolute index idx (>= q.Start()).
+func (q *Queue) NewCursor(idx int64) Cursor {
+	c := Cursor{Idx: idx}
+	c.seek(q)
+	return c
+}
+
+func (c *Cursor) seek(q *Queue) {
+	c.pg = q.head
+	c.pgBase = q.start - int64(q.headSkip)
+	for c.pg != nil && c.Idx-c.pgBase >= PageSize {
+		c.pg = c.pg.next
+		c.pgBase += PageSize
+	}
+}
+
+// Peek returns the event at the cursor without advancing; the cursor must
+// be in [q.Start(), q.Len()). The queue must be the one the cursor was
+// created on; after TrimTo below the cursor the behaviour is undefined.
+func (c *Cursor) Peek(q *Queue) Event {
+	if c.pg == nil || c.Idx < c.pgBase || c.Idx-c.pgBase >= PageSize {
+		c.seek(q)
+	}
+	return Event{Time: c.pg.times[c.Idx-c.pgBase], Val: c.pg.vals[c.Idx-c.pgBase]}
+}
+
+// Advance moves the cursor one event forward.
+func (c *Cursor) Advance() {
+	c.Idx++
+	if c.pg != nil && c.Idx-c.pgBase >= PageSize {
+		c.pg = c.pg.next
+		c.pgBase += PageSize
+	}
+}
+
+// NewQueueAt creates a queue whose first appended event receives absolute
+// index start — used when reconstructing queues from snapshots so that
+// consumer cursors (which store absolute indices) stay valid.
+func NewQueueAt(pool *Pool, initial logic.Value, start int64) *Queue {
+	return &Queue{pool: pool, baseVal: initial, start: start, end: start}
+}

@@ -1,0 +1,277 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gatesim/internal/logic"
+)
+
+func TestQueueBasic(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	if q.Len() != 0 || q.Start() != 0 || q.BaseVal() != logic.V0 {
+		t.Fatal("empty queue state wrong")
+	}
+	if q.LastVal() != logic.V0 {
+		t.Error("LastVal of empty queue should be base value")
+	}
+	q.Append(10, logic.V1)
+	q.Append(20, logic.V0)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if e := q.At(0); e.Time != 10 || e.Val != logic.V1 {
+		t.Errorf("At(0) = %+v", e)
+	}
+	if e := q.At(1); e.Time != 20 || e.Val != logic.V0 {
+		t.Errorf("At(1) = %+v", e)
+	}
+	if q.LastTime() != 20 || q.LastVal() != logic.V0 {
+		t.Errorf("last: %d %v", q.LastTime(), q.LastVal())
+	}
+}
+
+func TestQueueManyPages(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	n := int64(PageSize*7 + 13)
+	for i := int64(0); i < n; i++ {
+		q.Append(i*5, logic.Value(i%2))
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := int64(0); i < n; i++ {
+		if e := q.At(i); e.Time != i*5 || e.Val != logic.Value(i%2) {
+			t.Fatalf("At(%d) = %+v", i, e)
+		}
+	}
+}
+
+func TestQueueTrim(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.VX)
+	for i := int64(0); i < 100; i++ {
+		q.Append(i, logic.Value(i%4))
+	}
+	q.TrimTo(50)
+	if q.Start() != 50 || q.Len() != 100 {
+		t.Fatalf("after trim: start=%d len=%d", q.Start(), q.Len())
+	}
+	if q.BaseVal() != logic.Value(49%4) {
+		t.Errorf("BaseVal = %v", q.BaseVal())
+	}
+	for i := int64(50); i < 100; i++ {
+		if e := q.At(i); e.Time != i {
+			t.Fatalf("At(%d) = %+v", i, e)
+		}
+	}
+	// Trimming backwards is a no-op.
+	q.TrimTo(10)
+	if q.Start() != 50 {
+		t.Error("backwards trim must be a no-op")
+	}
+	// Trim everything, including beyond the end (clamped).
+	q.TrimTo(200)
+	if q.Start() != 100 || q.Len() != 100 {
+		t.Fatalf("full trim: start=%d len=%d", q.Start(), q.Len())
+	}
+	if q.BaseVal() != logic.Value(99%4) {
+		t.Errorf("BaseVal after full trim = %v", q.BaseVal())
+	}
+	// Trim on the now-empty queue must not panic.
+	q.TrimTo(300)
+	// Appending after a full trim keeps indices monotone.
+	q.Append(1000, logic.V1)
+	if q.Len() != 101 || q.At(100).Time != 1000 {
+		t.Fatalf("append after trim: len=%d", q.Len())
+	}
+}
+
+func TestQueuePageRecycling(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	// Fill and trim repeatedly; page demand must stabilize because freed
+	// pages return to this queue's free list (the paper's per-pin pools).
+	for round := 0; round < 50; round++ {
+		for i := 0; i < PageSize*4; i++ {
+			q.Append(int64(round*1000+i), logic.V1)
+		}
+		q.TrimTo(q.Len())
+	}
+	if got := pool.AllocatedPages(); got > 8 {
+		t.Errorf("pool allocated %d pages; recycling is not working", got)
+	}
+}
+
+func TestQueueTrimMidPage(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	for i := int64(0); i < PageSize*3; i++ {
+		q.Append(i, logic.Value(i%2))
+	}
+	q.TrimTo(PageSize + 7) // mid-page
+	if q.Start() != PageSize+7 {
+		t.Fatalf("start = %d", q.Start())
+	}
+	for i := q.Start(); i < q.Len(); i++ {
+		if e := q.At(i); e.Time != i {
+			t.Fatalf("At(%d).Time = %d", i, e.Time)
+		}
+	}
+	// Continue appending across page boundaries.
+	for i := int64(PageSize * 3); i < PageSize*6; i++ {
+		q.Append(i, logic.V0)
+	}
+	for i := q.Start(); i < q.Len(); i++ {
+		if e := q.At(i); e.Time != i {
+			t.Fatalf("after more appends At(%d).Time = %d", i, e.Time)
+		}
+	}
+}
+
+func TestCursorSequentialRead(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	n := int64(PageSize*5 + 3)
+	for i := int64(0); i < n; i++ {
+		q.Append(i*2, logic.Value(i%2))
+	}
+	c := q.NewCursor(0)
+	for i := int64(0); i < n; i++ {
+		e := c.Peek(q)
+		if e.Time != i*2 {
+			t.Fatalf("cursor at %d: %+v", i, e)
+		}
+		c.Advance()
+	}
+	if c.Idx != n {
+		t.Errorf("cursor idx = %d", c.Idx)
+	}
+}
+
+func TestCursorReadWhileAppending(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	c := q.NewCursor(0)
+	for i := int64(0); i < PageSize*3; i++ {
+		q.Append(i, logic.V1)
+		if e := c.Peek(q); e.Time != i {
+			t.Fatalf("peek after append %d: %+v", i, e)
+		}
+		c.Advance()
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	q.Append(1, logic.V1)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range should panic")
+		}
+	}()
+	q.At(5)
+}
+
+// Property test: a queue behaves exactly like a plain slice under a random
+// interleaving of appends and trims.
+func TestQueueMatchesSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var pool Pool
+		q := NewQueue(&pool, logic.VX)
+		var model []Event
+		modelStart := int64(0)
+		now := int64(0)
+		for op := 0; op < 2000; op++ {
+			if rng.Intn(4) != 0 { // append
+				now += int64(rng.Intn(3))
+				e := Event{Time: now, Val: logic.Value(rng.Intn(4))}
+				q.Append(e.Time, e.Val)
+				model = append(model, e)
+			} else { // trim, sometimes beyond the end
+				keep := rng.Int63n(int64(len(model)) + 3)
+				q.TrimTo(keep)
+				if keep > int64(len(model)) {
+					keep = int64(len(model))
+				}
+				if keep > modelStart {
+					modelStart = keep
+				}
+			}
+			// Verify a few random reads.
+			if int64(len(model)) > modelStart {
+				i := modelStart + rng.Int63n(int64(len(model))-modelStart)
+				if got := q.At(i); got != model[i] {
+					t.Fatalf("trial %d op %d: At(%d) = %+v, model %+v", trial, op, i, got, model[i])
+				}
+			}
+			if q.Len() != int64(len(model)) || q.Start() != modelStart {
+				t.Fatalf("trial %d op %d: len/start %d/%d vs model %d/%d",
+					trial, op, q.Len(), q.Start(), len(model), modelStart)
+			}
+		}
+	}
+}
+
+// Property (testing/quick): append preserves FIFO order and At agrees with
+// LastTime/LastVal for arbitrary monotone time sequences.
+func TestQueueFIFOQuick(t *testing.T) {
+	f := func(deltas []uint8, vals []uint8) bool {
+		var pool Pool
+		q := NewQueue(&pool, logic.V0)
+		now := int64(0)
+		n := len(deltas)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			now += int64(deltas[i])
+			q.Append(now, logic.Value(vals[i]%4))
+		}
+		if q.Len() != int64(n) {
+			return false
+		}
+		prev := int64(-1)
+		for i := int64(0); i < q.Len(); i++ {
+			e := q.At(i)
+			if e.Time < prev {
+				return false
+			}
+			prev = e.Time
+		}
+		if n > 0 {
+			last := q.At(int64(n - 1))
+			if q.LastTime() != last.Time || q.LastVal() != last.Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewQueueAt(t *testing.T) {
+	var pool Pool
+	q := NewQueueAt(&pool, logic.V1, 40)
+	if q.Start() != 40 || q.Len() != 40 || q.BaseVal() != logic.V1 {
+		t.Fatalf("initial: start=%d len=%d", q.Start(), q.Len())
+	}
+	q.Append(100, logic.V0)
+	if q.Len() != 41 {
+		t.Fatalf("len after append: %d", q.Len())
+	}
+	if e := q.At(40); e.Time != 100 || e.Val != logic.V0 {
+		t.Fatalf("At(40) = %+v", e)
+	}
+	c := q.NewCursor(40)
+	if e := c.Peek(q); e.Time != 100 {
+		t.Fatalf("cursor peek: %+v", e)
+	}
+}

@@ -1,0 +1,626 @@
+// Package gen generates synthetic gate-level benchmarks, stimuli and delay
+// annotations. It replaces the paper's benchmark suite (TAU'15 designs and
+// million-gate netlists retargeted to proprietary 130nm/14nm PDKs with
+// OpenSTA delays — none of which are redistributable) with parameterized
+// circuits that preserve what matters to the simulation algorithms:
+//
+//   - cyclic sequential structure (FF feedback through combinational cones),
+//   - the general sequential elements the paper targets: gated clocks, scan
+//     chains, latches, asynchronous resets, enable flip-flops,
+//   - realistic depth/fanout profiles and per-arc delay spread,
+//   - stimuli with controlled activity factors and scan injection (§IV-A).
+//
+// Generation is deterministic per seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+)
+
+// Spec parameterizes one synthetic design.
+type Spec struct {
+	Name string
+	Seed int64
+
+	// Structure.
+	CombGates  int // combinational gate count
+	FFs        int // plain/reset/enable flip-flops
+	Latches    int // transparent latches (timing borrowing)
+	ScanFFs    int // scan flip-flops, linked into chains
+	ClockGates int // integrated clock-gating cells
+	Depth      int // target combinational depth (layers)
+	DataInputs int // primary data inputs
+	Outputs    int // primary outputs
+
+	// Timing.
+	ClockPeriodPS int64 // nominal clock period (for stimulus generation)
+	// ClockPeriod2PS enables a second, asynchronous clock domain with the
+	// given period (0 = single-clock design). A slice of the FFs moves into
+	// the second domain, and 2-FF synchronizers guard the crossings back.
+	ClockPeriod2PS int64
+}
+
+// Design bundles the generated netlist with the names the stimulus
+// generator needs.
+type Design struct {
+	Spec    Spec
+	Netlist *netlist.Netlist
+
+	Clk    netlist.NetID
+	Clk2   netlist.NetID // second clock domain (-1 when disabled)
+	RstN   netlist.NetID
+	ScanEn netlist.NetID
+	Data   []netlist.NetID // primary data inputs
+	Outs   []netlist.NetID // primary outputs
+}
+
+// Build generates the design. The same spec always yields the same netlist.
+func Build(spec Spec) (*Design, error) {
+	if spec.CombGates < 1 || spec.Depth < 1 || spec.DataInputs < 1 {
+		return nil, fmt.Errorf("gen: spec needs at least one gate, layer and input")
+	}
+	if spec.ClockPeriodPS <= 0 {
+		spec.ClockPeriodPS = 1000
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	lib := liberty.MustBuiltin()
+	nl := netlist.New(spec.Name, lib)
+	d := &Design{Spec: spec, Netlist: nl}
+
+	// Primary inputs.
+	d.Clk = nl.AddNet("clk")
+	d.RstN = nl.AddNet("rst_n")
+	d.ScanEn = nl.AddNet("scan_en")
+	d.Clk2 = -1
+	pins := []netlist.NetID{d.Clk, d.RstN, d.ScanEn}
+	if spec.ClockPeriod2PS > 0 {
+		d.Clk2 = nl.AddNet("clk2")
+		pins = append(pins, d.Clk2)
+	}
+	for _, p := range pins {
+		if err := nl.MarkInput(p); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < spec.DataInputs; i++ {
+		nid := nl.AddNet(fmt.Sprintf("in%d", i))
+		if err := nl.MarkInput(nid); err != nil {
+			return nil, err
+		}
+		d.Data = append(d.Data, nid)
+	}
+
+	b := &builder{nl: nl, rng: rng}
+
+	// Clock tree: a couple of buffer stages plus gated branches.
+	rootClk := b.inst("CLKBUF", "clkbuf_root", "A", net(nl, d.Clk))
+	gatedClks := make([]string, 0, spec.ClockGates)
+	for i := 0; i < spec.ClockGates; i++ {
+		// The gate control net is created now and driven from the
+		// combinational cloud after it exists (state-dependent gating).
+		ctl := fmt.Sprintf("cg_ctl%d", i)
+		gclk := fmt.Sprintf("cg%d_gclk", i)
+		b.instName(fmt.Sprintf("cg%d", i), "CLKGATE", "CLK", rootClk, "GATE", ctl, "GCLK", gclk)
+		gatedClks = append(gatedClks, gclk)
+	}
+
+	// State elements. Their Q nets are sources for the combinational cloud;
+	// their D nets are sinks produced by the cloud.
+	type seqCell struct {
+		dNet string // net the cloud must drive (for FFs/latches)
+		qNet string
+	}
+	var seqs []seqCell
+	clk2Root := ""
+	if spec.ClockPeriod2PS > 0 {
+		clk2Root = b.inst("CLKBUF", "clkbuf2_root", "A", "clk2")
+	}
+	pickClk := func(i int) string {
+		if clk2Root != "" && i%5 == 2 { // a fifth of FFs live in domain 2
+			return clk2Root
+		}
+		if len(gatedClks) > 0 && i%4 == 0 { // a quarter of FFs are gated
+			return gatedClks[rng.Intn(len(gatedClks))]
+		}
+		return rootClk
+	}
+
+	for i := 0; i < spec.FFs; i++ {
+		dn := fmt.Sprintf("ffd%d", i)
+		qn := fmt.Sprintf("ffq%d", i)
+		switch i % 3 {
+		case 0: // async reset FF: gives the design a determined start state
+			b.instName(fmt.Sprintf("ff%d", i), "DFF_PR",
+				"CLK", pickClk(i), "D", dn, "RESET_B", "rst_n", "Q", qn)
+		case 1:
+			b.instName(fmt.Sprintf("ff%d", i), "DFF_P",
+				"CLK", pickClk(i), "D", dn, "Q", qn)
+		default:
+			if i%6 == 5 {
+				// JK flip-flop (statetable cell): J from the cloud, K from
+				// the reset (hold while in reset, then J/hold mix).
+				b.instName(fmt.Sprintf("ff%d", i), "JKFF",
+					"CK", pickClk(i), "J", dn, "K", "rst_n", "Q", qn)
+				seqs = append(seqs, seqCell{dNet: dn, qNet: qn})
+				continue
+			}
+			en := fmt.Sprintf("ffen%d", i)
+			b.instName(fmt.Sprintf("ff%d", i), "DFFE_P",
+				"CLK", pickClk(i), "D", dn, "EN", en, "Q", qn)
+			b.pendingEnables = append(b.pendingEnables, en)
+		}
+		seqs = append(seqs, seqCell{dNet: dn, qNet: qn})
+	}
+
+	// Scan chains: SDFFs chained SI <- previous Q; functional D from cloud.
+	prevScanQ := "scan_en" // head of chain shifts in the enable (just a bit source)
+	for i := 0; i < spec.ScanFFs; i++ {
+		dn := fmt.Sprintf("sfd%d", i)
+		qn := fmt.Sprintf("sfq%d", i)
+		b.instName(fmt.Sprintf("sff%d", i), "SDFF_P",
+			"CLK", rootClk, "D", dn, "SI", prevScanQ, "SE", "scan_en", "Q", qn)
+		prevScanQ = qn
+		seqs = append(seqs, seqCell{dNet: dn, qNet: qn})
+	}
+
+	// Clock-domain crossings back into domain 1 are guarded by classic
+	// 2-FF synchronizers; their outputs join the cloud sources.
+	if clk2Root != "" {
+		for i := 0; i < 2; i++ {
+			src := fmt.Sprintf("ffq%d", 2+5*i) // a domain-2 FF output (i%5==2)
+			if 2+5*i >= spec.FFs {
+				break
+			}
+			meta := fmt.Sprintf("sync%d_meta", i)
+			out := fmt.Sprintf("sync%d_q", i)
+			b.instName(fmt.Sprintf("sync%d_a", i), "DFF_P", "CLK", rootClk, "D", src, "Q", meta)
+			b.instName(fmt.Sprintf("sync%d_b", i), "DFF_P", "CLK", rootClk, "D", meta, "Q", out)
+			seqs = append(seqs, seqCell{dNet: "", qNet: out})
+		}
+	}
+
+	// Latches for timing borrowing: transparent on the low clock phase.
+	clkInv := b.inst("INV", "clk_inv", "A", rootClk)
+	for i := 0; i < spec.Latches; i++ {
+		dn := fmt.Sprintf("lad%d", i)
+		qn := fmt.Sprintf("laq%d", i)
+		b.instName(fmt.Sprintf("lat%d", i), "DLATCH_H",
+			"GATE", clkInv, "D", dn, "Q", qn)
+		seqs = append(seqs, seqCell{dNet: dn, qNet: qn})
+	}
+
+	// Combinational cloud: `Depth` layers of random gates. Layer 0 draws
+	// from PIs and sequential outputs; later layers also from earlier layers.
+	sources := make([]string, 0, len(d.Data)+len(seqs))
+	for _, nid := range d.Data {
+		sources = append(sources, nl.Nets[nid].Name)
+	}
+	for _, s := range seqs {
+		sources = append(sources, s.qNet)
+	}
+	layers := make([][]string, spec.Depth)
+	perLayer := spec.CombGates / spec.Depth
+	if perLayer == 0 {
+		perLayer = 1
+	}
+	gateID := 0
+	for layer := 0; layer < spec.Depth; layer++ {
+		count := perLayer
+		if layer == spec.Depth-1 {
+			count = spec.CombGates - perLayer*(spec.Depth-1)
+			if count <= 0 {
+				count = perLayer
+			}
+		}
+		pool := sources
+		if layer > 0 {
+			// Mix: mostly previous layer, some long arcs from sources.
+			pool = append(append([]string{}, layers[layer-1]...), sources...)
+		}
+		outs := make([]string, 0, count)
+		for g := 0; g < count; g++ {
+			pick := func() string { return pool[rng.Intn(len(pool))] }
+			name := fmt.Sprintf("g%d", gateID)
+			gateID++
+			var out string
+			switch rng.Intn(13) {
+			case 0:
+				out = b.inst("INV", name, "A", pick())
+			case 1:
+				out = b.inst("NAND2", name, "A", pick(), "B", pick())
+			case 2:
+				out = b.inst("NOR2", name, "A", pick(), "B", pick())
+			case 3:
+				out = b.inst("AND2", name, "A", pick(), "B", pick())
+			case 4:
+				out = b.inst("OR2", name, "A", pick(), "B", pick())
+			case 5:
+				out = b.inst("XOR2", name, "A", pick(), "B", pick())
+			case 6:
+				out = b.inst("AOI21", name, "A1", pick(), "A2", pick(), "B", pick())
+			case 7:
+				out = b.inst("OAI21", name, "A1", pick(), "A2", pick(), "B", pick())
+			case 8:
+				out = b.inst("MUX2", name, "A", pick(), "B", pick(), "S", pick())
+			case 9:
+				out = b.inst("NAND4", name, "A", pick(), "B", pick(), "C", pick(), "D", pick())
+			case 10:
+				out = b.inst("AOI211", name, "A1", pick(), "A2", pick(), "B", pick(), "C", pick())
+			case 11:
+				out = b.inst("OR3", name, "A", pick(), "B", pick(), "C", pick())
+			default:
+				out = b.inst("XNOR2", name, "A", pick(), "B", pick())
+			}
+			outs = append(outs, out)
+		}
+		layers[layer] = outs
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	lastLayer := layers[spec.Depth-1]
+
+	// Wire the cloud back into sequential inputs, clock-gate controls and
+	// enables: the feedback loops the paper is about.
+	pickBack := func() string { return lastLayer[rng.Intn(len(lastLayer))] }
+	for _, s := range seqs {
+		if s.dNet == "" {
+			continue // synchronizer stages have fixed D wiring
+		}
+		b.instName("drv_"+s.dNet, "BUF", "A", pickBack(), "Y", s.dNet)
+	}
+	for i := 0; i < spec.ClockGates; i++ {
+		b.instName(fmt.Sprintf("drv_cg_ctl%d", i), "BUF", "A", pickBack(), "Y", fmt.Sprintf("cg_ctl%d", i))
+	}
+	for _, en := range b.pendingEnables {
+		b.instName("drv_"+en, "BUF", "A", pickBack(), "Y", en)
+	}
+
+	// Primary outputs (distinct nets).
+	seen := make(map[netlist.NetID]bool)
+	for i := 0; len(d.Outs) < spec.Outputs && i < spec.Outputs*10; i++ {
+		src := pickBack()
+		if i < len(seqs) && i%2 == 1 {
+			src = seqs[i].qNet
+		}
+		nid, _ := nl.Net(src)
+		if seen[nid] {
+			continue
+		}
+		seen[nid] = true
+		nl.MarkOutput(nid)
+		d.Outs = append(d.Outs, nid)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func net(nl *netlist.Netlist, id netlist.NetID) string { return nl.Nets[id].Name }
+
+// builder accumulates instances and the first error.
+type builder struct {
+	nl             *netlist.Netlist
+	rng            *rand.Rand
+	err            error
+	pendingEnables []string
+}
+
+// inst places a cell whose single output net is auto-named "<name>_Y" and
+// returned. Pin arguments alternate name, net.
+func (b *builder) inst(cellType, name string, pins ...string) string {
+	out := name + "_Y"
+	cell := b.nl.Lib.Cells[cellType]
+	if cell == nil {
+		if b.err == nil {
+			b.err = fmt.Errorf("gen: unknown cell %s", cellType)
+		}
+		return out
+	}
+	all := append(append([]string{}, pins...), cell.Outputs[0], out)
+	b.instName(name, cellType, all...)
+	return out
+}
+
+// instName places a cell with fully explicit pin connections.
+func (b *builder) instName(name, cellType string, pins ...string) string {
+	if b.err != nil {
+		return name
+	}
+	conns := make(map[string]string, len(pins)/2)
+	for i := 0; i+1 < len(pins); i += 2 {
+		conns[pins[i]] = pins[i+1]
+	}
+	if _, err := b.nl.AddInstance(name, cellType, conns); err != nil {
+		b.err = err
+	}
+	return name
+}
+
+// Delays builds the toy-STA delay annotation: per-arc delays derived from
+// cell drive strength (area) and fanout load, with deterministic jitter.
+// All delays are >= 1 ps. This stands in for the paper's OpenSTA+SDF flow.
+func Delays(d *Design, seed int64) *sdf.Delays {
+	nl := d.Netlist
+	rng := rand.New(rand.NewSource(seed ^ 0x5f3759df))
+	file := &sdf.File{Design: nl.Name, Timescale: 1}
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		cell := sdf.Cell{CellType: inst.Type.Name, Instance: inst.Name}
+		base := int64(20 + inst.Type.Area*12)
+		for o, outPin := range inst.Type.Outputs {
+			nid := inst.OutNets[o]
+			if nid < 0 {
+				continue
+			}
+			load := int64(len(nl.Nets[nid].Fanout)) * 6
+			for in, inPin := range inst.Type.Inputs {
+				rise := base + load + int64(rng.Intn(30)) + int64(in*3)
+				fall := rise - 5 + int64(rng.Intn(11))
+				if rise < 1 {
+					rise = 1
+				}
+				if fall < 1 {
+					fall = 1
+				}
+				cell.Paths = append(cell.Paths, sdf.IOPath{
+					From: inPin, To: outPin,
+					Delay: sdf.Delay{Rise: rise, Fall: fall},
+				})
+			}
+		}
+		if len(cell.Paths) > 0 {
+			file.Cells = append(file.Cells, cell)
+		}
+	}
+	delays, err := sdf.Apply(file, nl, sdf.Delay{Rise: 1, Fall: 1})
+	if err != nil {
+		// Impossible by construction; fall back to uniform rather than panic.
+		return sdf.Uniform(nl, 10)
+	}
+	return delays
+}
+
+// SDFText renders the toy-STA annotation as an SDF file.
+func SDFText(d *Design, seed int64) string {
+	return sdf.Write(sdf.FromNetlist(d.Netlist, Delays(d, seed)))
+}
+
+// Change is one stimulus event.
+type Change struct {
+	Net  netlist.NetID
+	Time int64
+	Val  logic.Value
+}
+
+// StimSpec parameterizes stimulus generation.
+type StimSpec struct {
+	Cycles         int
+	ActivityFactor float64 // fraction of data inputs toggled per cycle
+	Seed           int64
+	ResetCycles    int // cycles to hold rst_n low at the start (default 2)
+	ScanBurst      int // every ScanBurst cycles, raise scan_en for one cycle
+}
+
+// Stimuli generates the input trace: a free-running clock, an initial
+// reset pulse, random data toggles at the given activity factor (injected
+// shortly after each rising edge), and periodic scan-enable bursts that
+// shift the scan chains (§IV-A: "insert random signals to the scan chain
+// FFs to mimic the test scenario"). Events are strictly increasing per net.
+func Stimuli(d *Design, spec StimSpec) []Change {
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x9e3779b9))
+	period := d.Spec.ClockPeriodPS
+	if spec.ResetCycles == 0 {
+		spec.ResetCycles = 2
+	}
+	var out []Change
+	add := func(nid netlist.NetID, t int64, v logic.Value) {
+		out = append(out, Change{Net: nid, Time: t, Val: v})
+	}
+
+	// Initial values at t=0.
+	add(d.Clk, 0, logic.V0)
+	if d.Clk2 >= 0 {
+		add(d.Clk2, 0, logic.V0)
+	}
+	add(d.RstN, 0, logic.V0)
+	add(d.ScanEn, 0, logic.V0)
+	dataVal := make([]logic.Value, len(d.Data))
+	for i, nid := range d.Data {
+		dataVal[i] = logic.Value(rng.Intn(2))
+		add(nid, 0, dataVal[i])
+	}
+
+	// Second clock domain: free-running at its own (asynchronous) period.
+	if d.Clk2 >= 0 && d.Spec.ClockPeriod2PS > 0 {
+		p2 := d.Spec.ClockPeriod2PS
+		end := int64(spec.Cycles) * period
+		for t := p2 / 2; t < end; t += p2 {
+			add(d.Clk2, t, logic.V1)
+			if t+p2/2 < end {
+				add(d.Clk2, t+p2/2, logic.V0)
+			}
+		}
+	}
+
+	scanOn := false
+	for c := 0; c < spec.Cycles; c++ {
+		t0 := int64(c)*period + period/2 // rising edge of cycle c
+		add(d.Clk, t0, logic.V1)
+		add(d.Clk, t0+period/2, logic.V0)
+		if c == spec.ResetCycles {
+			add(d.RstN, t0+period/4, logic.V1)
+		}
+		if spec.ScanBurst > 0 && c > spec.ResetCycles {
+			if c%spec.ScanBurst == 0 && !scanOn {
+				add(d.ScanEn, t0+period/4, logic.V1)
+				scanOn = true
+			} else if scanOn {
+				add(d.ScanEn, t0+period/4, logic.V0)
+				scanOn = false
+			}
+		}
+		// Data toggles shortly after the edge.
+		for i, nid := range d.Data {
+			if rng.Float64() < spec.ActivityFactor {
+				dataVal[i] = logic.Not(dataVal[i])
+				add(nid, t0+period/8+int64(i%7), dataVal[i])
+			}
+		}
+	}
+	return out
+}
+
+// EndTime returns a horizon past the last stimulus event plus a full cycle
+// of settling room.
+func EndTime(d *Design, spec StimSpec) int64 {
+	return (int64(spec.Cycles) + 2) * d.Spec.ClockPeriodPS
+}
+
+// LibrarySource generates a Liberty library with approximately nCells cells:
+// randomized combinational functions over 1-4 inputs plus flip-flop and
+// latch variants. It supports the paper's library-compilation claim
+// ("compilation of a large cell library with 1000 cells takes only 1
+// second") with a library of realistic shape.
+func LibrarySource(nCells int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed ^ 0x1234567))
+	var b strings.Builder
+	b.WriteString("library (gatesim_synth) {\n")
+	vars := []string{"A", "B", "C", "D"}
+	var expr func(depth, nvars int) string
+	expr = func(depth, nvars int) string {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return vars[rng.Intn(nvars)]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return "(" + expr(depth-1, nvars) + " & " + expr(depth-1, nvars) + ")"
+		case 1:
+			return "(" + expr(depth-1, nvars) + " | " + expr(depth-1, nvars) + ")"
+		case 2:
+			return "(" + expr(depth-1, nvars) + " ^ " + expr(depth-1, nvars) + ")"
+		default:
+			return "!(" + expr(depth-1, nvars) + ")"
+		}
+	}
+	for i := 0; i < nCells; i++ {
+		switch {
+		case i%5 == 4: // sequential variants
+			if i%2 == 0 {
+				fmt.Fprintf(&b, `  cell (SYNFF_%d) {
+    area : %0.2f;
+    ff (IQ, IQN) { next_state : "D"; clocked_on : "CLK"; clear : "!RB"; }
+    pin (CLK) { direction : input; clock : true; }
+    pin (D)  { direction : input; }
+    pin (RB) { direction : input; }
+    pin (Q)  { direction : output; function : "IQ"; }
+  }
+`, i, 4.0+float64(i%7))
+			} else {
+				fmt.Fprintf(&b, `  cell (SYNLAT_%d) {
+    area : %0.2f;
+    latch (IQ, IQN) { data_in : "D"; enable : "G"; }
+    pin (G) { direction : input; }
+    pin (D) { direction : input; }
+    pin (Q) { direction : output; function : "IQ"; }
+  }
+`, i, 3.0+float64(i%5))
+			}
+		default:
+			nv := 1 + rng.Intn(4)
+			fmt.Fprintf(&b, "  cell (SYNC_%d) {\n    area : %0.2f;\n", i, 1.0+float64(i%9)/4)
+			for v := 0; v < nv; v++ {
+				fmt.Fprintf(&b, "    pin (%s) { direction : input; capacitance : 1.0; }\n", vars[v])
+			}
+			fmt.Fprintf(&b, "    pin (Y) { direction : output; function : \"%s\"; }\n  }\n", expr(2+rng.Intn(2), nv))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// BuildCounter generates an n-bit synchronous binary up-counter with
+// asynchronous reset: bit i toggles when all lower bits are 1
+// (d[i] = q[i] XOR carry[i-1], carry[i] = carry[i-1] AND q[i]).
+// Unlike the random benchmark circuits, its exact cycle-by-cycle behaviour
+// is computable, which makes it the repository's end-to-end functional
+// oracle: after k clock cycles the register must read k (mod 2^n).
+func BuildCounter(bits int) (*Design, error) {
+	if bits < 1 || bits > 62 {
+		return nil, fmt.Errorf("gen: counter bits must be in [1,62]")
+	}
+	lib := liberty.MustBuiltin()
+	nl := netlist.New(fmt.Sprintf("counter%d", bits), lib)
+	d := &Design{Spec: Spec{Name: nl.Name, ClockPeriodPS: 2000}, Netlist: nl}
+	d.Clk = nl.AddNet("clk")
+	d.RstN = nl.AddNet("rst_n")
+	for _, p := range []netlist.NetID{d.Clk, d.RstN} {
+		if err := nl.MarkInput(p); err != nil {
+			return nil, err
+		}
+	}
+	b := &builder{nl: nl}
+	carry := "" // carry into bit i; bit 0 always toggles
+	for i := 0; i < bits; i++ {
+		q := fmt.Sprintf("q%d", i)
+		dn := fmt.Sprintf("d%d", i)
+		if i == 0 {
+			// d0 = !q0
+			b.instName("tgl0", "INV", "A", q, "Y", dn)
+		} else {
+			b.instName(fmt.Sprintf("tgl%d", i), "XOR2", "A", q, "B", carry, "Y", dn)
+		}
+		b.instName(fmt.Sprintf("ff%d", i), "DFF_PR",
+			"CLK", "clk", "D", dn, "RESET_B", "rst_n", "Q", q)
+		// carry[i] = carry[i-1] & q[i] (carry[0] = q0)
+		switch i {
+		case 0:
+			carry = q
+		default:
+			nc := fmt.Sprintf("c%d", i)
+			b.instName(fmt.Sprintf("cand%d", i), "AND2", "A", carry, "B", q, "Y", nc)
+			carry = nc
+		}
+		nid, _ := nl.Net(q)
+		nl.MarkOutput(nid)
+		d.Outs = append(d.Outs, nid)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// CounterStimuli produces the clock/reset trace for a counter run: reset
+// asserted for the first cycle, then `cycles` rising edges.
+func CounterStimuli(d *Design, cycles int) []Change {
+	period := d.Spec.ClockPeriodPS
+	var out []Change
+	out = append(out,
+		Change{Net: d.Clk, Time: 0, Val: logic.V0},
+		Change{Net: d.RstN, Time: 0, Val: logic.V0},
+		Change{Net: d.RstN, Time: period / 4, Val: logic.V1},
+	)
+	for c := 0; c < cycles; c++ {
+		t0 := int64(c)*period + period/2
+		out = append(out,
+			Change{Net: d.Clk, Time: t0, Val: logic.V1},
+			Change{Net: d.Clk, Time: t0 + period/2, Val: logic.V0},
+		)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"gatesim/internal/levelize"
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+)
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Spec{Name: "x", Seed: 42, CombGates: 200, FFs: 30, Latches: 4,
+		ScanFFs: 8, ClockGates: 2, Depth: 6, DataInputs: 10, Outputs: 4}
+	d1, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := netlist.WriteVerilog(d1.Netlist)
+	v2 := netlist.WriteVerilog(d2.Netlist)
+	if v1 != v2 {
+		t.Error("same spec must generate identical netlists")
+	}
+	if s1, s2 := d1.Netlist.Stats(), d2.Netlist.Stats(); s1 != s2 {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	spec := Spec{Name: "x", Seed: 1, CombGates: 300, FFs: 45, Latches: 6,
+		ScanFFs: 10, ClockGates: 3, Depth: 8, DataInputs: 12, Outputs: 6}
+	d, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := d.Netlist
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential census.
+	wantSeq := spec.FFs + spec.Latches + spec.ScanFFs + spec.ClockGates
+	if got := nl.SequentialCount(); got != wantSeq {
+		t.Errorf("sequential cells: %d, want %d", got, wantSeq)
+	}
+	// The design must levelize (no combinational cycles).
+	lv, err := levelize.Compute(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.NumCells() != len(nl.Instances) {
+		t.Error("levelization incomplete")
+	}
+	// Ports present.
+	if len(nl.PortsIn) != 3+spec.DataInputs {
+		t.Errorf("inputs: %d", len(nl.PortsIn))
+	}
+	if len(d.Outs) != spec.Outputs {
+		t.Errorf("outputs: %d", len(d.Outs))
+	}
+	// Outputs are distinct.
+	seen := map[netlist.NetID]bool{}
+	for _, o := range d.Outs {
+		if seen[o] {
+			t.Error("duplicate primary output")
+		}
+		seen[o] = true
+	}
+	// The generated netlist round-trips through the Verilog writer/parser.
+	src := netlist.WriteVerilog(nl)
+	nl2, err := netlist.ParseVerilog(src, liberty.MustBuiltin())
+	if err != nil {
+		t.Fatalf("generated verilog does not re-parse: %v", err)
+	}
+	if nl.Stats() != nl2.Stats() {
+		t.Error("verilog round-trip changes stats")
+	}
+}
+
+func TestDelaysPositiveAndDeterministic(t *testing.T) {
+	d, err := Build(Spec{Name: "x", Seed: 3, CombGates: 100, FFs: 10,
+		Depth: 4, DataInputs: 6, Outputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl1 := Delays(d, 9)
+	dl2 := Delays(d, 9)
+	for i := range d.Netlist.Instances {
+		inst := &d.Netlist.Instances[i]
+		for o := range inst.Type.Outputs {
+			if inst.OutNets[o] < 0 {
+				continue
+			}
+			for in := range inst.Type.Inputs {
+				a1 := dl1.Arc(netlist.CellID(i), o, in)
+				a2 := dl2.Arc(netlist.CellID(i), o, in)
+				if a1 != a2 {
+					t.Fatalf("delays not deterministic at %d/%d/%d", i, o, in)
+				}
+				if a1.Min() < 1 {
+					t.Fatalf("delay < 1ps at %d/%d/%d: %+v", i, o, in, a1)
+				}
+			}
+		}
+	}
+	if dl1.MinPositive < 1 {
+		t.Error("MinPositive must be >= 1")
+	}
+}
+
+func TestSDFTextParses(t *testing.T) {
+	d, err := Build(Spec{Name: "x", Seed: 3, CombGates: 50, FFs: 6,
+		Depth: 3, DataInputs: 4, Outputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := SDFText(d, 9)
+	f, err := sdf.Parse(text)
+	if err != nil {
+		t.Fatalf("generated SDF does not parse: %v", err)
+	}
+	if _, err := sdf.Apply(f, d.Netlist, sdf.Delay{Rise: 1, Fall: 1}); err != nil {
+		t.Fatalf("generated SDF does not apply: %v", err)
+	}
+}
+
+func TestStimuliWellFormed(t *testing.T) {
+	d, err := Build(Spec{Name: "x", Seed: 5, CombGates: 80, FFs: 12, ScanFFs: 4,
+		Depth: 4, DataInputs: 8, Outputs: 2, ClockPeriodPS: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := Stimuli(d, StimSpec{Cycles: 50, ActivityFactor: 0.5, Seed: 5, ScanBurst: 10})
+	// Strictly increasing per net; all targets are primary inputs.
+	last := map[netlist.NetID]int64{}
+	counts := map[netlist.NetID]int{}
+	for _, s := range stim {
+		if !d.Netlist.Nets[s.Net].IsInput {
+			t.Fatalf("stimulus on non-input %s", d.Netlist.Nets[s.Net].Name)
+		}
+		if lt, ok := last[s.Net]; ok && s.Time <= lt {
+			t.Fatalf("non-increasing stimulus on %s: %d after %d",
+				d.Netlist.Nets[s.Net].Name, s.Time, lt)
+		}
+		last[s.Net] = s.Time
+		counts[s.Net]++
+	}
+	// Clock toggles twice per cycle.
+	if got := counts[d.Clk]; got != 2*50+1 {
+		t.Errorf("clock events: %d", got)
+	}
+	// Reset rises exactly once after the initial assertion.
+	if got := counts[d.RstN]; got != 2 {
+		t.Errorf("reset events: %d", got)
+	}
+	// Activity factor controls data event volume (rough band).
+	dataEvents := 0
+	for _, nid := range d.Data {
+		dataEvents += counts[nid] - 1 // minus the t=0 init
+	}
+	expect := float64(len(d.Data)) * 50 * 0.5
+	if float64(dataEvents) < expect*0.7 || float64(dataEvents) > expect*1.3 {
+		t.Errorf("data events %d, expected about %.0f", dataEvents, expect)
+	}
+	if EndTime(d, StimSpec{Cycles: 50}) <= last[d.Clk] {
+		t.Error("EndTime must clear the last clock event")
+	}
+}
+
+func TestActivityFactorMonotone(t *testing.T) {
+	d, err := Build(Spec{Name: "x", Seed: 5, CombGates: 60, FFs: 8,
+		Depth: 3, DataInputs: 10, Outputs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(af float64) int {
+		return len(Stimuli(d, StimSpec{Cycles: 40, ActivityFactor: af, Seed: 1}))
+	}
+	if !(count(0.1) < count(0.5) && count(0.5) < count(0.9)) {
+		t.Errorf("activity factor not monotone: %d %d %d", count(0.1), count(0.5), count(0.9))
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if len(Presets) != 7 {
+		t.Fatalf("expected the 7 Table I presets, got %d", len(Presets))
+	}
+	names := map[string]bool{}
+	for _, p := range Presets {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"aes128", "aes256", "jpeg_encoder", "blabla", "picorv32a", "netcard", "leon2"} {
+		if !names[want] {
+			t.Errorf("missing preset %s", want)
+		}
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Error("unknown preset should error")
+	}
+	p, err := PresetByName("picorv32a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(p.Spec(0.02, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(d.Netlist.Instances)
+	want := int(float64(p.FullCells) * 0.02)
+	if got < want*7/10 || got > want*13/10 {
+		t.Errorf("scaled instance count %d, target %d", got, want)
+	}
+}
+
+func TestPresetCellCountsSorted(t *testing.T) {
+	// Sanity: Table I numbers increase from blabla to leon2 when sorted.
+	counts := make([]int, 0)
+	for _, p := range Presets {
+		counts = append(counts, p.FullCells)
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	if sorted[len(sorted)-1] != 1616370 {
+		t.Errorf("leon2 should be the largest, got max %d", sorted[len(sorted)-1])
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Spec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+}
+
+func TestLibrarySourceCompiles(t *testing.T) {
+	src := LibrarySource(60, 3)
+	lib, err := liberty.Parse(src)
+	if err != nil {
+		t.Fatalf("generated library does not parse: %v", err)
+	}
+	if len(lib.Cells) != 60 {
+		t.Fatalf("cells: %d", len(lib.Cells))
+	}
+	seq := 0
+	for _, c := range lib.Cells {
+		if c.IsSequential() {
+			seq++
+		}
+	}
+	if seq == 0 {
+		t.Error("synthetic library should contain sequential cells")
+	}
+	// Deterministic per seed.
+	if LibrarySource(60, 3) != src {
+		t.Error("LibrarySource must be deterministic")
+	}
+	if LibrarySource(60, 4) == src {
+		t.Error("different seeds should differ")
+	}
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset describes one benchmark family from the paper's Table I. FullCells
+// is the original design's cell count; building at Scale s targets
+// approximately FullCells*s instances with the family's structural flavour.
+type Preset struct {
+	Name      string
+	Process   string // the PDK the paper mapped the design to
+	FullCells int    // Table I "#Cells"
+	FullNets  int    // Table I "#Nets"
+	FullPins  int    // Table I "#Pins"
+
+	seqRatio   float64 // sequential elements per cell
+	scanRatio  float64 // share of sequential cells on scan chains
+	latchRatio float64 // share of sequential cells that are latches
+	depth      int     // combinational depth
+	clockGates int     // ICG count at full scale
+	periodPS   int64
+	period2PS  int64 // second clock domain (0 = single clock)
+}
+
+// Presets mirrors Table I of the paper.
+var Presets = []Preset{
+	{Name: "aes128", Process: "130nm", FullCells: 138457, FullNets: 148997, FullPins: 211045,
+		seqRatio: 0.06, scanRatio: 0.15, latchRatio: 0.02, depth: 14, clockGates: 40, periodPS: 4000},
+	{Name: "aes256", Process: "130nm", FullCells: 189262, FullNets: 207414, FullPins: 290955,
+		seqRatio: 0.06, scanRatio: 0.15, latchRatio: 0.02, depth: 16, clockGates: 56, periodPS: 4000},
+	{Name: "jpeg_encoder", Process: "130nm", FullCells: 167960, FullNets: 176737, FullPins: 238216,
+		seqRatio: 0.10, scanRatio: 0.10, latchRatio: 0.03, depth: 22, clockGates: 48, periodPS: 5000},
+	{Name: "blabla", Process: "130nm", FullCells: 35689, FullNets: 39853, FullPins: 55568,
+		seqRatio: 0.12, scanRatio: 0.10, latchRatio: 0.02, depth: 12, clockGates: 12, periodPS: 3000},
+	{Name: "picorv32a", Process: "130nm", FullCells: 40208, FullNets: 43047, FullPins: 58676,
+		seqRatio: 0.16, scanRatio: 0.25, latchRatio: 0.02, depth: 15, clockGates: 16, periodPS: 3500},
+	{Name: "netcard", Process: "14nm", FullCells: 1496720, FullNets: 1498555, FullPins: 3901343,
+		seqRatio: 0.25, scanRatio: 0.20, latchRatio: 0.04, depth: 18, clockGates: 400, periodPS: 1500, period2PS: 2740},
+	{Name: "leon2", Process: "14nm", FullCells: 1616370, FullNets: 1616984, FullPins: 4178874,
+		seqRatio: 0.22, scanRatio: 0.25, latchRatio: 0.03, depth: 20, clockGates: 420, periodPS: 1500, period2PS: 2260},
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, len(Presets))
+	for _, p := range Presets {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, names)
+}
+
+// Spec instantiates the preset at the given scale (1.0 = the paper's size).
+// Every sequential driver adds one buffer instance, so the structural counts
+// are solved to make total instances approximate FullCells*scale.
+func (p Preset) Spec(scale float64, seed int64) Spec {
+	target := float64(p.FullCells) * scale
+	if target < 60 {
+		target = 60
+	}
+	// total ~= comb + seq + seqBuffers(=seq) + clock tree overhead
+	seq := target * p.seqRatio
+	comb := target - 2*seq
+	if comb < 20 {
+		comb = 20
+	}
+	scan := seq * p.scanRatio
+	latch := seq * p.latchRatio
+	ffs := seq - scan - latch
+	cg := int(float64(p.clockGates)*scale + 0.5)
+	if cg < 1 {
+		cg = 1
+	}
+	ins := int(target/200) + 8
+	outs := ins / 2
+	if outs < 2 {
+		outs = 2
+	}
+	return Spec{
+		Name:           p.Name,
+		Seed:           seed,
+		CombGates:      int(comb),
+		FFs:            int(ffs),
+		Latches:        int(latch),
+		ScanFFs:        int(scan),
+		ClockGates:     cg,
+		Depth:          p.depth,
+		DataInputs:     ins,
+		Outputs:        outs,
+		ClockPeriodPS:  p.periodPS,
+		ClockPeriod2PS: p.period2PS,
+	}
+}

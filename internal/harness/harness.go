@@ -1,0 +1,559 @@
+// Package harness drives the paper's experiments end to end and formats
+// results in the shape of its tables and figures. The same entry points are
+// used by cmd/experiments and by the repository's benchmarks, so numbers in
+// EXPERIMENTS.md can be regenerated with one command.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/partsim"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sdf"
+	"gatesim/internal/sim"
+	"gatesim/internal/truthtab"
+	"gatesim/internal/vcd"
+)
+
+// CompiledBuiltin returns the compiled builtin library (cached).
+func CompiledBuiltin() *truthtab.CompiledLibrary {
+	compiledOnce.Do(func() {
+		cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+		if err != nil {
+			panic(err)
+		}
+		compiled = cl
+	})
+	return compiled
+}
+
+var (
+	compiledOnce sync.Once
+	compiled     *truthtab.CompiledLibrary
+)
+
+// ---------------------------------------------------------------- Table I
+
+// Table1Row is one benchmark statistics line.
+type Table1Row struct {
+	Name       string
+	Process    string
+	Cells      int
+	Nets       int
+	Pins       int
+	Sequential int
+	PaperCells int
+}
+
+// Table1 builds every preset at the given scale and reports its statistics.
+func Table1(scale float64, seed int64) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(gen.Presets))
+	for _, p := range gen.Presets {
+		d, err := gen.Build(p.Spec(scale, seed))
+		if err != nil {
+			return nil, fmt.Errorf("harness: building %s: %w", p.Name, err)
+		}
+		st := d.Netlist.Stats()
+		rows = append(rows, Table1Row{
+			Name: p.Name, Process: p.Process,
+			Cells: st.Cells, Nets: st.Nets, Pins: st.Pins,
+			Sequential: d.Netlist.SequentialCount(),
+			PaperCells: p.FullCells,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table I.
+func FormatTable1(rows []Table1Row, scale float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I: Benchmark statistics (scale %.3g of the paper's designs)\n", scale)
+	fmt.Fprintf(&b, "%-14s %-8s %9s %9s %9s %7s %12s\n",
+		"Benchmark", "Process", "#Cells", "#Nets", "#Pins", "#Seq", "paper#Cells")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-8s %9d %9d %9d %7d %12d\n",
+			r.Name, r.Process, r.Cells, r.Nets, r.Pins, r.Sequential, r.PaperCells)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------- Table II
+
+// Table2Config controls the runtime-comparison experiment.
+type Table2Config struct {
+	Scale       float64  // design scale vs the paper
+	Presets     []string // nil = all seven
+	ShortCycles int      // paper: 1000 (activity 0.8)
+	LongCycles  int      // paper: 10000 (activity 0.5)
+	Threads     int      // "24 CPUs" column; 0 = GOMAXPROCS
+	Seed        int64
+}
+
+// Table2Row is one line of the runtime comparison.
+type Table2Row struct {
+	Benchmark string
+	Trace     string
+	Cycles    int
+	Activity  float64
+
+	Ref      time.Duration // sequential reference ("VCS execute")
+	Ours1T   time.Duration
+	OursNT   time.Duration
+	Manycore time.Duration // GPU-analogue executor
+	Hybrid   time.Duration // auto-selected mode
+
+	Events int64
+}
+
+// Speedups relative to the sequential reference.
+func (r Table2Row) Speedup1T() float64   { return ratio(r.Ref, r.Ours1T) }
+func (r Table2Row) SpeedupNT() float64   { return ratio(r.Ref, r.OursNT) }
+func (r Table2Row) SpeedupHyb() float64  { return ratio(r.Ref, r.Hybrid) }
+func (r Table2Row) SpeedupMany() float64 { return ratio(r.Ref, r.Manycore) }
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Table2 runs the full comparison. This is the expensive experiment; tune
+// Scale and cycle counts to the time budget.
+func Table2(cfg Table2Config) ([]Table2Row, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ShortCycles <= 0 {
+		cfg.ShortCycles = 200
+	}
+	if cfg.LongCycles <= 0 {
+		cfg.LongCycles = 10 * cfg.ShortCycles
+	}
+	names := cfg.Presets
+	if names == nil {
+		for _, p := range gen.Presets {
+			names = append(names, p.Name)
+		}
+	}
+	var rows []Table2Row
+	for _, name := range names {
+		p, err := gen.PresetByName(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := gen.Build(p.Spec(cfg.Scale, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		delays := gen.Delays(d, cfg.Seed)
+		traces := []struct {
+			label  string
+			cycles int
+			af     float64
+		}{
+			{"short", cfg.ShortCycles, 0.8},
+			{"long", cfg.LongCycles, 0.5},
+		}
+		for _, tr := range traces {
+			stim := gen.Stimuli(d, gen.StimSpec{
+				Cycles: tr.cycles, ActivityFactor: tr.af, Seed: cfg.Seed, ScanBurst: 16,
+			})
+			row := Table2Row{Benchmark: name, Trace: tr.label, Cycles: tr.cycles, Activity: tr.af}
+
+			var events int64
+			row.Ref, events = timeRefsim(d, delays, stim)
+			row.Events = events
+			row.Ours1T = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeSerial})
+			row.OursNT = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads})
+			row.Manycore = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads})
+			row.Hybrid = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads})
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func timeRefsim(d *gen.Design, delays *sdf.Delays, stim []gen.Change) (time.Duration, int64) {
+	ref, err := refsim.New(d.Netlist, CompiledBuiltin(), delays)
+	if err != nil {
+		panic(err)
+	}
+	rstim := make([]refsim.Stim, len(stim))
+	for i, s := range stim {
+		rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	start := time.Now()
+	if err := ref.Run(rstim, nil); err != nil {
+		panic(err)
+	}
+	return time.Since(start), ref.Events
+}
+
+func timeEngine(d *gen.Design, delays *sdf.Delays, stim []gen.Change, opts sim.Options) time.Duration {
+	e, err := sim.New(d.Netlist, CompiledBuiltin(), delays, opts)
+	if err != nil {
+		panic(err)
+	}
+	changes := make([]sim.Change, len(stim))
+	for i, s := range stim {
+		changes[i] = sim.Change{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	slice := 16 * d.Spec.ClockPeriodPS
+	start := time.Now()
+	if err := e.RunStream(sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: slice}); err != nil {
+		panic(err)
+	}
+	return time.Since(start)
+}
+
+// FormatTable2 renders rows like the paper's Table II.
+func FormatTable2(rows []Table2Row, threads int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II: Runtime comparison (reference = sequential event-driven simulator standing in for 1-CPU VCS)\n")
+	fmt.Fprintf(&b, "%-14s %-6s %7s %4s | %10s %10s %10s %10s %10s | %7s %7s %7s\n",
+		"Benchmark", "Trace", "#Cycles", "AF",
+		"Ref(s)", "1CPU(s)", fmt.Sprintf("%dCPU(s)", threads), "Many(s)", "Hybrid(s)",
+		"x1CPU", fmt.Sprintf("x%dCPU", threads), "xHyb")
+	var s1, sn, sh float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-6s %7d %4.1f | %10.3f %10.3f %10.3f %10.3f %10.3f | %6.2fx %6.2fx %6.2fx\n",
+			r.Benchmark, r.Trace, r.Cycles, r.Activity,
+			r.Ref.Seconds(), r.Ours1T.Seconds(), r.OursNT.Seconds(), r.Manycore.Seconds(), r.Hybrid.Seconds(),
+			r.Speedup1T(), r.SpeedupNT(), r.SpeedupHyb())
+		s1 += r.Speedup1T()
+		sn += r.SpeedupNT()
+		sh += r.SpeedupHyb()
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-14s %-6s %7s %4s | %10s %10s %10s %10s %10s | %6.2fx %6.2fx %6.2fx\n",
+			"Avg.", "", "", "", "", "", "", "", "", s1/n, sn/n, sh/n)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+// Fig8Config controls the scalability experiment.
+type Fig8Config struct {
+	Preset  string
+	Scale   float64
+	Cycles  int
+	Threads []int // e.g. 1,2,4,8,16
+	Seed    int64
+}
+
+// Fig8Point is one (threads, runtime) sample for each simulator/annotation.
+type Fig8Point struct {
+	Threads int
+
+	PartUnit time.Duration // partition-based, uniform delays ("no SDF")
+	PartSDF  time.Duration // partition-based, SDF delays
+	OursUnit time.Duration
+	OursSDF  time.Duration
+
+	PartRoundsSDF int64 // lockstep rounds: the mechanism behind the curve
+}
+
+// Fig8 measures runtime versus thread count for the partition-based
+// baseline (VCS-FGP stand-in) and the stable-time engine, with and without
+// SDF annotation — the paper's Figure 8.
+func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
+	p, err := gen.PresetByName(cfg.Preset)
+	if err != nil {
+		return nil, err
+	}
+	d, err := gen.Build(p.Spec(cfg.Scale, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sdfDelays := gen.Delays(d, cfg.Seed)
+	unitDelays := sdf.Uniform(d.Netlist, 120)
+	stim := gen.Stimuli(d, gen.StimSpec{
+		Cycles: cfg.Cycles, ActivityFactor: 0.6, Seed: cfg.Seed, ScanBurst: 16,
+	})
+
+	var points []Fig8Point
+	for _, th := range cfg.Threads {
+		pt := Fig8Point{Threads: th}
+		pt.PartUnit, _ = timePartsim(d, unitDelays, stim, th)
+		pt.PartSDF, pt.PartRoundsSDF = timePartsim(d, sdfDelays, stim, th)
+		mode := sim.ModeParallel
+		if th == 1 {
+			mode = sim.ModeSerial
+		}
+		pt.OursUnit = timeEngine(d, unitDelays, stim, sim.Options{Mode: mode, Threads: th})
+		pt.OursSDF = timeEngine(d, sdfDelays, stim, sim.Options{Mode: mode, Threads: th})
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func timePartsim(d *gen.Design, delays *sdf.Delays, stim []gen.Change, threads int) (time.Duration, int64) {
+	ps, err := partsim.New(d.Netlist, CompiledBuiltin(), delays, partsim.Options{Partitions: threads})
+	if err != nil {
+		panic(err)
+	}
+	pstim := make([]partsim.Stim, len(stim))
+	for i, s := range stim {
+		pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	start := time.Now()
+	if err := ps.Run(pstim, nil); err != nil {
+		panic(err)
+	}
+	return time.Since(start), ps.Rounds
+}
+
+// FormatFig8 renders the two series of Figure 8 as text.
+func FormatFig8(preset string, points []Fig8Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 8: Runtime scalability on %s (seconds; lower is better)\n", preset)
+	fmt.Fprintf(&b, "%8s | %14s %14s | %14s %14s | %12s\n",
+		"threads", "part. no-SDF", "ours no-SDF", "part. SDF", "ours SDF", "part rounds")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d | %14.3f %14.3f | %14.3f %14.3f | %12d\n",
+			p.Threads, p.PartUnit.Seconds(), p.OursUnit.Seconds(),
+			p.PartSDF.Seconds(), p.OursSDF.Seconds(), p.PartRoundsSDF)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------- Library compile
+
+// LibcompResult reports the §III-B compilation claim measurement.
+type LibcompResult struct {
+	Cells    int
+	Duration time.Duration
+	Entries  int
+	Bytes    int
+}
+
+// Libcomp generates a synthetic library of n cells, compiles it with the
+// bitmask DP, and reports time and table sizes (paper: 1000 cells in ~1 s
+// using ~50 MB).
+func Libcomp(n int, seed int64) (LibcompResult, error) {
+	src := gen.LibrarySource(n, seed)
+	lib, err := liberty.Parse(src)
+	if err != nil {
+		return LibcompResult{}, err
+	}
+	start := time.Now()
+	cl, err := truthtab.CompileLibrary(lib)
+	if err != nil {
+		return LibcompResult{}, err
+	}
+	dur := time.Since(start)
+	st := cl.Stats()
+	return LibcompResult{Cells: st.Cells, Duration: dur, Entries: st.Entries, Bytes: st.Bytes}, nil
+}
+
+// FormatLibcomp renders the result.
+func FormatLibcomp(r LibcompResult) string {
+	return fmt.Sprintf("library compilation: %d cells in %v (%d table entries, %.1f MB)\n",
+		r.Cells, r.Duration.Round(time.Millisecond), r.Entries, float64(r.Bytes)/1e6)
+}
+
+// VCDNetMap resolves VCD signal names onto netlist nets, for drivers that
+// feed waveform stimuli into a simulator.
+func VCDNetMap(nl *netlist.Netlist, signals []string) ([]netlist.NetID, error) {
+	out := make([]netlist.NetID, len(signals))
+	for i, name := range signals {
+		nid, ok := nl.Net(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: VCD signal %q is not a net in %s", name, nl.Name)
+		}
+		out[i] = nid
+	}
+	return out, nil
+}
+
+// VCDSource adapts a VCD reader into a simulation stimulus source. Changes
+// within one VCD timestamp for the same signal collapse to the last value
+// (VCD semantics); each timestamp's changes are emitted in net-id order.
+type VCDSource struct {
+	r    *vcd.Reader
+	nets []netlist.NetID
+
+	pending   vcd.Change
+	havePend  bool
+	batch     []sim.Change
+	batchPos  int
+	exhausted bool
+}
+
+// NewVCDSource binds reader signals onto netlist nets by name.
+func NewVCDSource(r *vcd.Reader, nl *netlist.Netlist) (*VCDSource, error) {
+	nets, err := VCDNetMap(nl, r.Signals())
+	if err != nil {
+		return nil, err
+	}
+	return &VCDSource{r: r, nets: nets}, nil
+}
+
+// Next implements sim.StimulusSource.
+func (s *VCDSource) Next() (sim.Change, error) {
+	for s.batchPos >= len(s.batch) {
+		if s.exhausted {
+			return sim.Change{}, io.EOF
+		}
+		if err := s.fillBatch(); err != nil {
+			return sim.Change{}, err
+		}
+	}
+	c := s.batch[s.batchPos]
+	s.batchPos++
+	return c, nil
+}
+
+// fillBatch gathers all changes sharing the next timestamp.
+func (s *VCDSource) fillBatch() error {
+	s.batch = s.batch[:0]
+	s.batchPos = 0
+	if !s.havePend {
+		c, err := s.r.Next()
+		if err == io.EOF {
+			s.exhausted = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s.pending = c
+		s.havePend = true
+	}
+	t := s.pending.Time
+	last := make(map[netlist.NetID]logic.Value)
+	var order []netlist.NetID
+	for s.havePend && s.pending.Time == t {
+		nid := s.nets[s.pending.Sig]
+		if _, seen := last[nid]; !seen {
+			order = append(order, nid)
+		}
+		last[nid] = s.pending.Val
+		c, err := s.r.Next()
+		if err == io.EOF {
+			s.havePend = false
+			s.exhausted = true
+		} else if err != nil {
+			return err
+		} else {
+			s.pending = c
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+	for _, nid := range order {
+		s.batch = append(s.batch, sim.Change{Net: nid, Time: t, Val: last[nid]})
+	}
+	return nil
+}
+
+// ParallelismRow quantifies the parallelism each simulator can exploit on a
+// design, independent of host hardware — the mechanism behind Figure 8:
+// the stable-time engine exposes wide independent levels with one barrier
+// per level per sweep, while the conservative partition baseline's round
+// count explodes once SDF annotation shrinks its lookahead.
+type ParallelismRow struct {
+	Preset string
+	Cells  int
+	Pins   int
+
+	Levels   int // combinational depth (barriers per sweep)
+	MaxWidth int // widest level = peak oblivious parallelism
+	AvgWidth float64
+
+	EngineSweepsSDF int64 // our barrier count for the whole run
+	PartRoundsSDF   int64 // partition-baseline lockstep rounds, SDF delays
+	PartRoundsUnit  int64 // ... with uniform delays
+	LookaheadSDFPS  int64
+	LookaheadUnitPS int64
+}
+
+// Parallelism measures the structural parallelism metrics for one preset.
+func Parallelism(preset string, scale float64, cycles int, seed int64) (ParallelismRow, error) {
+	p, err := gen.PresetByName(preset)
+	if err != nil {
+		return ParallelismRow{}, err
+	}
+	d, err := gen.Build(p.Spec(scale, seed))
+	if err != nil {
+		return ParallelismRow{}, err
+	}
+	row := ParallelismRow{Preset: preset}
+	st := d.Netlist.Stats()
+	row.Cells, row.Pins = st.Cells, st.Pins
+
+	sdfDelays := gen.Delays(d, seed)
+	unitDelays := sdf.Uniform(d.Netlist, 120)
+	row.LookaheadSDFPS = sdfDelays.MinPositive
+	row.LookaheadUnitPS = unitDelays.MinPositive
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: cycles, ActivityFactor: 0.6, Seed: seed, ScanBurst: 16})
+
+	e, err := sim.New(d.Netlist, CompiledBuiltin(), sdfDelays, sim.Options{Mode: sim.ModeSerial})
+	if err != nil {
+		return ParallelismRow{}, err
+	}
+	lv := e.Levelization()
+	row.Levels = len(lv.Levels)
+	row.MaxWidth = lv.MaxWidth()
+	if row.Levels > 0 {
+		total := 0
+		for _, l := range lv.Levels {
+			total += len(l)
+		}
+		row.AvgWidth = float64(total) / float64(row.Levels)
+	}
+	changes := make([]sim.Change, len(stim))
+	for i, s := range stim {
+		changes[i] = sim.Change{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	if err := e.RunStream(sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: 16 * d.Spec.ClockPeriodPS}); err != nil {
+		return ParallelismRow{}, err
+	}
+	row.EngineSweepsSDF = e.Stats().Sweeps
+
+	for _, dl := range []struct {
+		delays *sdf.Delays
+		out    *int64
+	}{{sdfDelays, &row.PartRoundsSDF}, {unitDelays, &row.PartRoundsUnit}} {
+		ps, err := partsim.New(d.Netlist, CompiledBuiltin(), dl.delays, partsim.Options{Partitions: 4})
+		if err != nil {
+			return ParallelismRow{}, err
+		}
+		pstim := make([]partsim.Stim, len(stim))
+		for i, s := range stim {
+			pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+		}
+		if err := ps.Run(pstim, nil); err != nil {
+			return ParallelismRow{}, err
+		}
+		*dl.out = ps.Rounds
+	}
+	return row, nil
+}
+
+// FormatParallelism renders rows.
+func FormatParallelism(rows []ParallelismRow) string {
+	var b strings.Builder
+	b.WriteString("Structural parallelism (hardware-independent Figure 8 drivers)\n")
+	fmt.Fprintf(&b, "%-12s %8s %8s %7s %9s %9s | %12s %14s %14s\n",
+		"preset", "cells", "pins", "levels", "maxWidth", "avgWidth",
+		"our sweeps", "part rnds SDF", "part rnds unit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %8d %7d %9d %9.1f | %12d %14d %14d\n",
+			r.Preset, r.Cells, r.Pins, r.Levels, r.MaxWidth, r.AvgWidth,
+			r.EngineSweepsSDF, r.PartRoundsSDF, r.PartRoundsUnit)
+	}
+	return b.String()
+}

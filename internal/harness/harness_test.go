@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Smoke(t *testing.T) {
+	rows, err := Table1(0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cells <= 0 || r.Nets <= 0 || r.Pins <= r.Cells {
+			t.Errorf("row %s implausible: %+v", r.Name, r)
+		}
+	}
+	out := FormatTable1(rows, 0.002)
+	for _, name := range []string{"aes128", "leon2", "#Cells"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %q in:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	rows, err := Table2(Table2Config{
+		Scale: 0.004, Presets: []string{"blabla"},
+		ShortCycles: 20, LongCycles: 40, Threads: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ref <= 0 || r.Ours1T <= 0 || r.OursNT <= 0 || r.Hybrid <= 0 {
+			t.Errorf("missing timings: %+v", r)
+		}
+		if r.Events == 0 {
+			t.Error("no events simulated")
+		}
+	}
+	out := FormatTable2(rows, 2)
+	if !strings.Contains(out, "blabla") || !strings.Contains(out, "Avg.") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	pts, err := Fig8(Fig8Config{
+		Preset: "blabla", Scale: 0.004, Cycles: 15, Threads: []int{1, 2}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.PartSDF <= 0 || p.OursSDF <= 0 || p.PartUnit <= 0 || p.OursUnit <= 0 {
+			t.Errorf("missing timings: %+v", p)
+		}
+		if p.PartRoundsSDF == 0 {
+			t.Error("no rounds recorded")
+		}
+	}
+	out := FormatFig8("blabla", pts)
+	if !strings.Contains(out, "FIGURE 8") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestLibcompSmoke(t *testing.T) {
+	r, err := Libcomp(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells != 60 || r.Entries == 0 || r.Duration <= 0 {
+		t.Errorf("result: %+v", r)
+	}
+	if !strings.Contains(FormatLibcomp(r), "60 cells") {
+		t.Error("format wrong")
+	}
+}
+
+func TestParallelismSmoke(t *testing.T) {
+	r, err := Parallelism("blabla", 0.004, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Levels == 0 || r.MaxWidth == 0 || r.EngineSweepsSDF == 0 {
+		t.Errorf("row: %+v", r)
+	}
+	if r.PartRoundsSDF <= r.PartRoundsUnit {
+		t.Errorf("SDF rounds (%d) should exceed unit rounds (%d)", r.PartRoundsSDF, r.PartRoundsUnit)
+	}
+	out := FormatParallelism([]ParallelismRow{r})
+	if !strings.Contains(out, "blabla") {
+		t.Error("format wrong")
+	}
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sim"
+	"gatesim/internal/vcd"
+)
+
+func TestVCDSource(t *testing.T) {
+	nl := netlist.New("top", liberty.MustBuiltin())
+	for _, p := range []string{"a", "b"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nl.AddInstance("g", "AND2", map[string]string{"A": "a", "B": "b", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+
+	src := `$timescale 1ps $end
+$scope module top $end
+$var wire 1 ! a $end
+$var wire 1 " b $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+0"
+#10
+1!
+1!
+#20
+1"
+0"
+1"
+`
+	r, err := vcd.NewReader(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewVCDSource(r, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []sim.Change
+	for {
+		c, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, c)
+	}
+	// Duplicate same-time changes collapse to the last value.
+	a, _ := nl.Net("a")
+	b, _ := nl.Net("b")
+	want := []sim.Change{
+		{Net: a, Time: 0, Val: 0}, {Net: b, Time: 0, Val: 0},
+		{Net: a, Time: 10, Val: 1},
+		{Net: b, Time: 20, Val: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("changes: %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("change %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVCDSourceUnknownSignal(t *testing.T) {
+	nl := netlist.New("top", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("a"))
+	src := "$var wire 1 ! nosuch $end\n$enddefinitions $end\n"
+	r, err := vcd.NewReader(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVCDSource(r, nl); err == nil {
+		t.Error("unknown signal must fail")
+	}
+}

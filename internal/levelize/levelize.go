@@ -1,0 +1,169 @@
+// Package levelize computes the combinational levelization of a netlist
+// (paper §III-D.1): after deleting every edge that passes *through* a
+// sequential element (its outputs depend on internal state, not
+// combinationally on its inputs), the remaining graph of combinational
+// dependencies is acyclic and can be sorted into levels whose members are
+// mutually independent — the units of oblivious parallelism in Algorithm 2.
+//
+// Sequential cells form a dedicated level that every sweep processes first:
+// their output events are generated from input events of the *previous*
+// sweep, which is exactly the fixpoint iteration that replaces cross-cycle
+// ordering.
+package levelize
+
+import (
+	"fmt"
+	"strings"
+
+	"gatesim/internal/netlist"
+)
+
+// Levelization is the parallel execution plan for one netlist.
+type Levelization struct {
+	// Sequential holds every sequential instance; they are processed as the
+	// first "level" of each sweep (mutually independent by construction,
+	// since their internal input->output edges are removed).
+	Sequential []netlist.CellID
+	// Levels holds the combinational instances in topological levels: every
+	// combinational arc goes from a lower level (or a sequential output or
+	// primary input) to a higher level.
+	Levels [][]netlist.CellID
+	// LevelOf[cell] is the level index of a combinational cell, or -1 for
+	// sequential cells.
+	LevelOf []int
+}
+
+// Compute levelizes the netlist. It returns an error describing a cycle if
+// the design contains a purely combinational loop (which the stable-time
+// mechanism cannot break — only loops through sequential elements are
+// legal).
+func Compute(nl *netlist.Netlist) (*Levelization, error) {
+	n := len(nl.Instances)
+	lv := &Levelization{LevelOf: make([]int, n)}
+
+	// indegree over combinational instances: one count per input driven by
+	// another *combinational* instance.
+	indeg := make([]int, n)
+	isSeq := make([]bool, n)
+	for i := range nl.Instances {
+		isSeq[i] = nl.Instances[i].Type.IsSequential()
+		lv.LevelOf[i] = -1
+	}
+	for i := range nl.Instances {
+		if isSeq[i] {
+			lv.Sequential = append(lv.Sequential, netlist.CellID(i))
+			continue
+		}
+		for _, nid := range nl.Instances[i].InNets {
+			drv := nl.Nets[nid].Driver
+			if drv >= 0 && !isSeq[drv] {
+				indeg[i]++
+			}
+		}
+	}
+
+	// Kahn's algorithm, level by level.
+	current := make([]netlist.CellID, 0)
+	for i := 0; i < n; i++ {
+		if !isSeq[i] && indeg[i] == 0 {
+			current = append(current, netlist.CellID(i))
+		}
+	}
+	placed := len(lv.Sequential)
+	level := 0
+	for len(current) > 0 {
+		lv.Levels = append(lv.Levels, current)
+		var next []netlist.CellID
+		for _, id := range current {
+			lv.LevelOf[id] = level
+			placed++
+			inst := &nl.Instances[id]
+			for _, out := range inst.OutNets {
+				if out < 0 {
+					continue
+				}
+				for _, load := range nl.Nets[out].Fanout {
+					if isSeq[load.Cell] {
+						continue
+					}
+					indeg[load.Cell]--
+					if indeg[load.Cell] == 0 {
+						next = append(next, load.Cell)
+					}
+				}
+			}
+		}
+		current = next
+		level++
+	}
+	if placed != n {
+		return nil, fmt.Errorf("levelize: %s", describeCycle(nl, indeg, isSeq))
+	}
+	return lv, nil
+}
+
+// describeCycle reports one combinational loop for diagnostics.
+func describeCycle(nl *netlist.Netlist, indeg []int, isSeq []bool) string {
+	// Any instance with remaining indegree is on or downstream of a cycle;
+	// walk predecessors until a repeat.
+	start := netlist.CellID(-1)
+	for i := range indeg {
+		if !isSeq[i] && indeg[i] > 0 {
+			start = netlist.CellID(i)
+			break
+		}
+	}
+	if start < 0 {
+		return "combinational cycle detected"
+	}
+	seen := make(map[netlist.CellID]int)
+	var path []netlist.CellID
+	cur := start
+	for {
+		if at, ok := seen[cur]; ok {
+			names := make([]string, 0, len(path)-at+1)
+			for _, id := range path[at:] {
+				names = append(names, nl.Instances[id].Name)
+			}
+			names = append(names, nl.Instances[cur].Name)
+			return "combinational cycle: " + strings.Join(names, " -> ")
+		}
+		seen[cur] = len(path)
+		path = append(path, cur)
+		// Move to any unsatisfied combinational predecessor.
+		moved := false
+		for _, nid := range nl.Instances[cur].InNets {
+			drv := nl.Nets[nid].Driver
+			if drv >= 0 && !isSeq[drv] && indeg[drv] > 0 {
+				cur = drv
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			// Predecessors all placed yet indegree > 0 cannot happen; be safe.
+			return "combinational cycle involving " + nl.Instances[cur].Name
+		}
+	}
+}
+
+// NumCells returns the total number of instances covered by the plan.
+func (lv *Levelization) NumCells() int {
+	n := len(lv.Sequential)
+	for _, l := range lv.Levels {
+		n += len(l)
+	}
+	return n
+}
+
+// MaxWidth returns the size of the widest combinational level — an upper
+// bound on usable oblivious parallelism.
+func (lv *Levelization) MaxWidth() int {
+	w := len(lv.Sequential)
+	for _, l := range lv.Levels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}

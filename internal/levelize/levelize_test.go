@@ -1,0 +1,184 @@
+package levelize
+
+import (
+	"math/rand"
+	"testing"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+)
+
+// chain builds in0 -> INV -> INV -> ... -> out
+func buildChain(t *testing.T, n int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("chain", liberty.MustBuiltin())
+	if err := nl.MarkInput(nl.AddNet("n0")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := nl.AddInstance(
+			"u"+itoa(i), "INV",
+			map[string]string{"A": "n" + itoa(i), "Y": "n" + itoa(i+1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nl
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestLevelizeChain(t *testing.T) {
+	nl := buildChain(t, 10)
+	lv, err := Compute(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv.Levels) != 10 {
+		t.Fatalf("levels: %d", len(lv.Levels))
+	}
+	for i, l := range lv.Levels {
+		if len(l) != 1 || lv.LevelOf[l[0]] != i {
+			t.Fatalf("level %d: %v", i, l)
+		}
+	}
+	if lv.NumCells() != 10 || lv.MaxWidth() != 1 {
+		t.Errorf("NumCells=%d MaxWidth=%d", lv.NumCells(), lv.MaxWidth())
+	}
+}
+
+func TestLevelizeSequentialLoop(t *testing.T) {
+	// FF feedback loop: q -> INV -> d -> FF -> q. Legal because the loop
+	// passes through a sequential element.
+	nl := netlist.New("loop", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("clk"))
+	if _, err := nl.AddInstance("inv", "INV", map[string]string{"A": "q", "Y": "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("ff", "DFF_P", map[string]string{"CLK": "clk", "D": "d", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	lv, err := Compute(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lv.Sequential) != 1 || len(lv.Levels) != 1 {
+		t.Fatalf("seq=%v levels=%v", lv.Sequential, lv.Levels)
+	}
+	if lv.LevelOf[1] != -1 { // the FF
+		t.Error("sequential cell should have level -1")
+	}
+}
+
+func TestLevelizeCombinationalCycle(t *testing.T) {
+	// Two NAND gates cross-coupled without a sequential cell: must be
+	// rejected with a cycle diagnostic.
+	nl := netlist.New("sr", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("s"))
+	nl.MarkInput(nl.AddNet("r"))
+	if _, err := nl.AddInstance("g1", "NAND2", map[string]string{"A": "s", "B": "q2", "Y": "q1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g2", "NAND2", map[string]string{"A": "r", "B": "q1", "Y": "q2"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Compute(nl)
+	if err == nil {
+		t.Fatal("combinational cycle must be rejected")
+	}
+	if got := err.Error(); !contains(got, "cycle") || !contains(got, "g1") {
+		t.Errorf("diagnostic not helpful: %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Property: on random acyclic circuits, every combinational arc goes
+// strictly level-up, and every instance appears exactly once.
+func TestLevelizeProperty(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		nl := netlist.New("rand", lib)
+		nl.MarkInput(nl.AddNet("clk"))
+		nl.MarkInput(nl.AddNet("pi0"))
+		nl.MarkInput(nl.AddNet("pi1"))
+		avail := []string{"pi0", "pi1"}
+		nGates := 30 + rng.Intn(50)
+		for i := 0; i < nGates; i++ {
+			out := "w" + itoa(i)
+			pick := func() string { return avail[rng.Intn(len(avail))] }
+			var err error
+			switch rng.Intn(4) {
+			case 0:
+				_, err = nl.AddInstance("g"+itoa(i), "INV", map[string]string{"A": pick(), "Y": out})
+			case 1:
+				_, err = nl.AddInstance("g"+itoa(i), "NAND2", map[string]string{"A": pick(), "B": pick(), "Y": out})
+			case 2:
+				_, err = nl.AddInstance("g"+itoa(i), "DFF_P", map[string]string{"CLK": "clk", "D": pick(), "Q": out})
+			case 3:
+				_, err = nl.AddInstance("g"+itoa(i), "DLATCH_H", map[string]string{"GATE": pick(), "D": pick(), "Q": out})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			avail = append(avail, out)
+		}
+		lv, err := Compute(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lv.NumCells() != nGates {
+			t.Fatalf("trial %d: NumCells=%d, want %d", trial, lv.NumCells(), nGates)
+		}
+		seen := make(map[netlist.CellID]bool)
+		for _, id := range lv.Sequential {
+			seen[id] = true
+		}
+		for _, l := range lv.Levels {
+			for _, id := range l {
+				if seen[id] {
+					t.Fatalf("trial %d: cell %d appears twice", trial, id)
+				}
+				seen[id] = true
+			}
+		}
+		// Arc property.
+		for i := range nl.Instances {
+			if nl.Instances[i].Type.IsSequential() {
+				continue
+			}
+			for _, nid := range nl.Instances[i].InNets {
+				drv := nl.Nets[nid].Driver
+				if drv < 0 || nl.Instances[drv].Type.IsSequential() {
+					continue
+				}
+				if lv.LevelOf[drv] >= lv.LevelOf[i] {
+					t.Fatalf("trial %d: arc %d(level %d) -> %d(level %d) not level-up",
+						trial, drv, lv.LevelOf[drv], i, lv.LevelOf[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package liberty
+
+import "fmt"
+
+// Group is a node of the generic Liberty AST:
+//
+//	name (arg, arg, ...) { attribute : value ; subgroup (...) { ... } }
+//
+// Attribute values are kept as raw strings (quotes stripped); the semantic
+// layer interprets the ones it knows about.
+type Group struct {
+	Name   string
+	Args   []string
+	Attrs  []Attr
+	Groups []*Group
+}
+
+// Attr is a simple or complex attribute of a group. Complex attributes
+// (`values ("a", "b");`) store their arguments in Args with Value empty.
+type Attr struct {
+	Name  string
+	Value string
+	Args  []string
+}
+
+// Attr returns the value of the first simple attribute with the given name
+// and whether it was present.
+func (g *Group) Attr(name string) (string, bool) {
+	for _, a := range g.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SubGroups returns all direct subgroups with the given name.
+func (g *Group) SubGroups(name string) []*Group {
+	var out []*Group
+	for _, sg := range g.Groups {
+		if sg.Name == name {
+			out = append(out, sg)
+		}
+	}
+	return out
+}
+
+// SubGroup returns the first direct subgroup with the given name, or nil.
+func (g *Group) SubGroup(name string) *Group {
+	for _, sg := range g.Groups {
+		if sg.Name == name {
+			return sg
+		}
+	}
+	return nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+	err error
+}
+
+// ParseAST parses Liberty source into its generic group AST. The root group
+// is normally `library (name) { ... }`.
+func ParseAST(src string) (*Group, error) {
+	p := &parser{lex: newLexer(src)}
+	p.advance()
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("liberty: line %d: trailing input %s", p.tok.line, p.tok)
+	}
+	return g, nil
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.next()
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.err != nil {
+		return token{}, p.err
+	}
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("liberty: line %d: expected %s, got %s", p.tok.line, what, p.tok)
+	}
+	t := p.tok
+	p.advance()
+	return t, p.err
+}
+
+func (p *parser) parseGroup() (*Group, error) {
+	name, err := p.expect(tokIdent, "group name")
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{Name: name.text}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRParen {
+		switch p.tok.kind {
+		case tokIdent, tokString, tokNumber:
+			g.Args = append(g.Args, p.tok.text)
+			p.advance()
+		case tokComma:
+			p.advance()
+		default:
+			return nil, fmt.Errorf("liberty: line %d: unexpected %s in group args", p.tok.line, p.tok)
+		}
+		if p.err != nil {
+			return nil, p.err
+		}
+	}
+	p.advance() // ')'
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.tok.kind == tokEOF {
+			return nil, fmt.Errorf("liberty: unexpected EOF in group %s", g.Name)
+		}
+		if err := p.parseStatement(g); err != nil {
+			return nil, err
+		}
+	}
+	p.advance() // '}'
+	return g, p.err
+}
+
+// parseStatement parses one `name : value ;`, `name (args) ;` or
+// `name (args) { ... }` inside a group body.
+func (p *parser) parseStatement(g *Group) error {
+	name, err := p.expect(tokIdent, "attribute or group name")
+	if err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokColon:
+		p.advance()
+		if p.tok.kind != tokIdent && p.tok.kind != tokString && p.tok.kind != tokNumber {
+			return fmt.Errorf("liberty: line %d: expected attribute value, got %s", p.tok.line, p.tok)
+		}
+		g.Attrs = append(g.Attrs, Attr{Name: name.text, Value: p.tok.text})
+		p.advance()
+		if p.tok.kind == tokSemi {
+			p.advance()
+		}
+		return p.err
+	case tokLParen:
+		// Could be a complex attribute or a subgroup; decide by what follows
+		// the closing paren.
+		var args []string
+		p.advance()
+		for p.tok.kind != tokRParen {
+			switch p.tok.kind {
+			case tokIdent, tokString, tokNumber:
+				args = append(args, p.tok.text)
+				p.advance()
+			case tokComma:
+				p.advance()
+			default:
+				return fmt.Errorf("liberty: line %d: unexpected %s in args", p.tok.line, p.tok)
+			}
+			if p.err != nil {
+				return p.err
+			}
+		}
+		p.advance() // ')'
+		if p.tok.kind == tokLBrace {
+			p.advance()
+			sub := &Group{Name: name.text, Args: args}
+			for p.tok.kind != tokRBrace {
+				if p.err != nil {
+					return p.err
+				}
+				if p.tok.kind == tokEOF {
+					return fmt.Errorf("liberty: unexpected EOF in group %s", sub.Name)
+				}
+				if err := p.parseStatement(sub); err != nil {
+					return err
+				}
+			}
+			p.advance() // '}'
+			g.Groups = append(g.Groups, sub)
+			return p.err
+		}
+		g.Attrs = append(g.Attrs, Attr{Name: name.text, Args: args})
+		if p.tok.kind == tokSemi {
+			p.advance()
+		}
+		return p.err
+	}
+	return fmt.Errorf("liberty: line %d: expected ':' or '(' after %q, got %s", p.tok.line, name.text, p.tok)
+}

@@ -1,0 +1,393 @@
+package liberty
+
+import "sync"
+
+// BuiltinSource is a self-contained Liberty library in the spirit of the
+// sky130 standard cells. It covers the gate types the paper's benchmarks
+// exercise: the usual combinational gates, positive- and negative-edge
+// flip-flops with asynchronous set/reset, enable and scan variants, high-
+// and low-transparent latches, an integrated clock-gating cell, and an SR
+// latch expressed as a statetable. Areas are loosely based on relative
+// sky130 cell sizes and feed the toy STA's delay model.
+const BuiltinSource = `
+library (gatesim_builtin) {
+  /* ---- combinational ---- */
+  cell (BUF) {
+    area : 1.25;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "A"; }
+  }
+  cell (INV) {
+    area : 1.0;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!A"; }
+  }
+  cell (CLKBUF) {
+    area : 1.5;
+    pin (A) { direction : input; capacitance : 1.2; }
+    pin (Y) { direction : output; function : "A"; }
+  }
+  cell (NAND2) {
+    area : 1.25;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!(A & B)"; }
+  }
+  cell (NAND3) {
+    area : 1.5;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (C) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!(A & B & C)"; }
+  }
+  cell (NOR2) {
+    area : 1.25;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!(A | B)"; }
+  }
+  cell (NOR3) {
+    area : 1.5;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (C) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!(A | B | C)"; }
+  }
+  cell (AND2) {
+    area : 1.5;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "A & B"; }
+  }
+  cell (OR2) {
+    area : 1.5;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "A | B"; }
+  }
+  cell (XOR2) {
+    area : 2.0;
+    pin (A) { direction : input; capacitance : 1.2; }
+    pin (B) { direction : input; capacitance : 1.2; }
+    pin (Y) { direction : output; function : "A ^ B"; }
+  }
+  cell (XNOR2) {
+    area : 2.0;
+    pin (A) { direction : input; capacitance : 1.2; }
+    pin (B) { direction : input; capacitance : 1.2; }
+    pin (Y) { direction : output; function : "!(A ^ B)"; }
+  }
+  cell (AOI21) {
+    area : 1.75;
+    pin (A1) { direction : input; capacitance : 1.0; }
+    pin (A2) { direction : input; capacitance : 1.0; }
+    pin (B)  { direction : input; capacitance : 1.0; }
+    pin (Y)  { direction : output; function : "!((A1 & A2) | B)"; }
+  }
+  cell (AOI22) {
+    area : 2.0;
+    pin (A1) { direction : input; capacitance : 1.0; }
+    pin (A2) { direction : input; capacitance : 1.0; }
+    pin (B1) { direction : input; capacitance : 1.0; }
+    pin (B2) { direction : input; capacitance : 1.0; }
+    pin (Y)  { direction : output; function : "!((A1 & A2) | (B1 & B2))"; }
+  }
+  cell (OAI21) {
+    area : 1.75;
+    pin (A1) { direction : input; capacitance : 1.0; }
+    pin (A2) { direction : input; capacitance : 1.0; }
+    pin (B)  { direction : input; capacitance : 1.0; }
+    pin (Y)  { direction : output; function : "!((A1 | A2) & B)"; }
+  }
+  cell (OAI22) {
+    area : 2.0;
+    pin (A1) { direction : input; capacitance : 1.0; }
+    pin (A2) { direction : input; capacitance : 1.0; }
+    pin (B1) { direction : input; capacitance : 1.0; }
+    pin (B2) { direction : input; capacitance : 1.0; }
+    pin (Y)  { direction : output; function : "!((A1 | A2) & (B1 | B2))"; }
+  }
+  cell (MUX2) {
+    area : 2.25;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (S) { direction : input; capacitance : 1.1; }
+    pin (Y) { direction : output; function : "(S & B) | (!S & A)"; }
+  }
+  cell (HA) {
+    area : 3.0;
+    pin (A)    { direction : input; capacitance : 1.0; }
+    pin (B)    { direction : input; capacitance : 1.0; }
+    pin (SUM)  { direction : output; function : "A ^ B"; }
+    pin (COUT) { direction : output; function : "A & B"; }
+  }
+  cell (FA) {
+    area : 4.0;
+    pin (A)    { direction : input; capacitance : 1.0; }
+    pin (B)    { direction : input; capacitance : 1.0; }
+    pin (CIN)  { direction : input; capacitance : 1.0; }
+    pin (SUM)  { direction : output; function : "A ^ B ^ CIN"; }
+    pin (COUT) { direction : output; function : "(A & B) | (A & CIN) | (B & CIN)"; }
+  }
+  cell (NAND4) {
+    area : 2.0;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (C) { direction : input; capacitance : 1.0; }
+    pin (D) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!(A & B & C & D)"; }
+  }
+  cell (NOR4) {
+    area : 2.0;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (C) { direction : input; capacitance : 1.0; }
+    pin (D) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "!(A | B | C | D)"; }
+  }
+  cell (AND3) {
+    area : 1.75;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (C) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "A & B & C"; }
+  }
+  cell (OR3) {
+    area : 1.75;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (C) { direction : input; capacitance : 1.0; }
+    pin (Y) { direction : output; function : "A | B | C"; }
+  }
+  cell (AOI211) {
+    area : 2.0;
+    pin (A1) { direction : input; capacitance : 1.0; }
+    pin (A2) { direction : input; capacitance : 1.0; }
+    pin (B)  { direction : input; capacitance : 1.0; }
+    pin (C)  { direction : input; capacitance : 1.0; }
+    pin (Y)  { direction : output; function : "!((A1 & A2) | B | C)"; }
+  }
+  cell (OAI211) {
+    area : 2.0;
+    pin (A1) { direction : input; capacitance : 1.0; }
+    pin (A2) { direction : input; capacitance : 1.0; }
+    pin (B)  { direction : input; capacitance : 1.0; }
+    pin (C)  { direction : input; capacitance : 1.0; }
+    pin (Y)  { direction : output; function : "!((A1 | A2) & B & C)"; }
+  }
+  cell (MUX4) {
+    area : 4.0;
+    pin (A)  { direction : input; capacitance : 1.0; }
+    pin (B)  { direction : input; capacitance : 1.0; }
+    pin (C)  { direction : input; capacitance : 1.0; }
+    pin (D)  { direction : input; capacitance : 1.0; }
+    pin (S0) { direction : input; capacitance : 1.1; }
+    pin (S1) { direction : input; capacitance : 1.1; }
+    pin (Y)  { direction : output; function : "(!S1 & !S0 & A) | (!S1 & S0 & B) | (S1 & !S0 & C) | (S1 & S0 & D)"; }
+  }
+  cell (TIEHI) {
+    area : 0.75;
+    pin (Y) { direction : output; function : "1"; }
+  }
+  cell (TIELO) {
+    area : 0.75;
+    pin (Y) { direction : output; function : "0"; }
+  }
+
+  /* ---- flip-flops ---- */
+  cell (DFF_P) {
+    area : 5.0;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "CLK";
+    }
+    pin (CLK) { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)   { direction : input; capacitance : 1.0; }
+    pin (Q)   { direction : output; function : "IQ"; }
+    pin (QN)  { direction : output; function : "IQN"; }
+  }
+  cell (DFF_N) {
+    area : 5.0;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "!CLK_N";
+    }
+    pin (CLK_N) { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)     { direction : input; capacitance : 1.0; }
+    pin (Q)     { direction : output; function : "IQ"; }
+    pin (QN)    { direction : output; function : "IQN"; }
+  }
+  cell (DFF_PR) {
+    area : 5.5;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "CLK";
+      clear : "!RESET_B";
+    }
+    pin (CLK)     { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)       { direction : input; capacitance : 1.0; }
+    pin (RESET_B) { direction : input; capacitance : 1.0; }
+    pin (Q)       { direction : output; function : "IQ"; }
+    pin (QN)      { direction : output; function : "IQN"; }
+  }
+  cell (DFF_PS) {
+    area : 5.5;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "CLK";
+      preset : "!SET_B";
+    }
+    pin (CLK)   { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)     { direction : input; capacitance : 1.0; }
+    pin (SET_B) { direction : input; capacitance : 1.0; }
+    pin (Q)     { direction : output; function : "IQ"; }
+    pin (QN)    { direction : output; function : "IQN"; }
+  }
+  /* The Fig. 5 cell: negative-edge DFF with low-enable set and reset. */
+  cell (DFF_NSR) {
+    area : 6.0;
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "!CLK_N";
+      clear : "!RESET_B";
+      preset : "!SET_B";
+      clear_preset_var1 : L;
+      clear_preset_var2 : L;
+    }
+    pin (CLK_N)   { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)       { direction : input; capacitance : 1.0; }
+    pin (SET_B)   { direction : input; capacitance : 1.0; }
+    pin (RESET_B) { direction : input; capacitance : 1.0; }
+    pin (Q)       { direction : output; function : "IQ"; }
+    pin (QN)      { direction : output; function : "IQN"; }
+  }
+  /* Scan flip-flop: mux between functional D and scan-in SI. */
+  cell (SDFF_P) {
+    area : 6.5;
+    ff (IQ, IQN) {
+      next_state : "(SE & SI) | (!SE & D)";
+      clocked_on : "CLK";
+    }
+    pin (CLK) { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)   { direction : input; capacitance : 1.0; }
+    pin (SI)  { direction : input; capacitance : 1.0; }
+    pin (SE)  { direction : input; capacitance : 1.0; }
+    pin (Q)   { direction : output; function : "IQ"; }
+    pin (QN)  { direction : output; function : "IQN"; }
+  }
+  /* Enable flip-flop: holds state while EN is low. */
+  cell (DFFE_P) {
+    area : 6.0;
+    ff (IQ, IQN) {
+      next_state : "(EN & D) | (!EN & IQ)";
+      clocked_on : "CLK";
+    }
+    pin (CLK) { direction : input; capacitance : 1.0; clock : true; }
+    pin (D)   { direction : input; capacitance : 1.0; }
+    pin (EN)  { direction : input; capacitance : 1.0; }
+    pin (Q)   { direction : output; function : "IQ"; }
+    pin (QN)  { direction : output; function : "IQN"; }
+  }
+
+  /* ---- latches ---- */
+  cell (DLATCH_H) {
+    area : 3.5;
+    latch (IQ, IQN) {
+      data_in : "D";
+      enable : "GATE";
+    }
+    pin (GATE) { direction : input; capacitance : 1.0; }
+    pin (D)    { direction : input; capacitance : 1.0; }
+    pin (Q)    { direction : output; function : "IQ"; }
+  }
+  cell (DLATCH_L) {
+    area : 3.5;
+    latch (IQ, IQN) {
+      data_in : "D";
+      enable : "!GATE_N";
+    }
+    pin (GATE_N) { direction : input; capacitance : 1.0; }
+    pin (D)      { direction : input; capacitance : 1.0; }
+    pin (Q)      { direction : output; function : "IQ"; }
+  }
+  cell (DLATCH_HR) {
+    area : 4.0;
+    latch (IQ, IQN) {
+      data_in : "D";
+      enable : "GATE";
+      clear : "!RESET_B";
+    }
+    pin (GATE)    { direction : input; capacitance : 1.0; }
+    pin (D)       { direction : input; capacitance : 1.0; }
+    pin (RESET_B) { direction : input; capacitance : 1.0; }
+    pin (Q)       { direction : output; function : "IQ"; }
+  }
+
+  /* Integrated clock gate: low-transparent latch on the enable plus an AND.
+     While CLK is high the latch holds, so glitches on GATE cannot slip
+     through; GCLK pulses only when the latched enable is high. */
+  cell (CLKGATE) {
+    area : 4.5;
+    latch (IQ, IQN) {
+      data_in : "GATE";
+      enable : "!CLK";
+    }
+    pin (CLK)  { direction : input; capacitance : 1.2; clock : true; }
+    pin (GATE) { direction : input; capacitance : 1.0; }
+    pin (GCLK) { direction : output; function : "CLK & IQ"; }
+  }
+
+  /* JK flip-flop expressed as a statetable with edge tokens: hold, reset,
+     set and toggle behaviour, exercising edge-sensitive statetable rows
+     including current-state matching for the toggle. */
+  cell (JKFF) {
+    area : 6.0;
+    statetable ("CK J K", "IQ") {
+      table : "R L L : - : N ,                R L H : - : L ,                R H L : - : H ,                R H H : L : H ,                R H H : H : L ,                F - - : - : N ,                L - - : - : N ,                H - - : - : N ";
+    }
+    pin (CK) { direction : input; capacitance : 1.0; clock : true; }
+    pin (J)  { direction : input; capacitance : 1.0; }
+    pin (K)  { direction : input; capacitance : 1.0; }
+    pin (Q)  { direction : output; function : "IQ"; }
+  }
+
+  /* NOR-style SR latch expressed as a statetable: exercises the general
+     state-table path of the library compiler. */
+  cell (SRLATCH) {
+    area : 3.0;
+    statetable ("S R", "IQ") {
+      table : "H L : - : H , \
+               L H : - : L , \
+               L L : - : N , \
+               H H : - : X ";
+    }
+    pin (S)  { direction : input; capacitance : 1.0; }
+    pin (R)  { direction : input; capacitance : 1.0; }
+    pin (Q)  { direction : output; function : "IQ"; }
+  }
+}
+`
+
+var (
+	builtinOnce sync.Once
+	builtinLib  *Library
+	builtinErr  error
+)
+
+// Builtin parses and returns the built-in library. The result is cached;
+// callers must not mutate it.
+func Builtin() (*Library, error) {
+	builtinOnce.Do(func() {
+		builtinLib, builtinErr = Parse(BuiltinSource)
+	})
+	return builtinLib, builtinErr
+}
+
+// MustBuiltin is Builtin for tests and examples; it panics on parse failure.
+func MustBuiltin() *Library {
+	lib, err := Builtin()
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}

@@ -1,0 +1,525 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gatesim/internal/logic"
+)
+
+// Direction of a pin.
+type Direction uint8
+
+const (
+	DirInput Direction = iota
+	DirOutput
+	DirInout
+	DirInternal
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirInput:
+		return "input"
+	case DirOutput:
+		return "output"
+	case DirInout:
+		return "inout"
+	default:
+		return "internal"
+	}
+}
+
+// Pin is a cell pin.
+type Pin struct {
+	Name     string
+	Dir      Direction
+	Function *logic.Expr // output function; may reference inputs and state vars
+	Cap      float64     // input capacitance (arbitrary units)
+	IsClock  bool        // pin declared with `clock : true`
+	Timing   []TimingArc // delay arcs into this (output) pin
+}
+
+// FF models a Liberty `ff (var1, var2) { ... }` group.
+type FF struct {
+	Var1, Var2 string // state variable names, conventionally IQ and IQN
+	NextState  *logic.Expr
+	ClockedOn  *logic.Expr
+	Clear      *logic.Expr // asynchronous clear, active when it evaluates to 1
+	Preset     *logic.Expr // asynchronous preset, active when it evaluates to 1
+	// Values of Var1/Var2 when clear and preset are simultaneously active.
+	ClearPresetVar1 logic.Value
+	ClearPresetVar2 logic.Value
+}
+
+// Latch models a Liberty `latch (var1, var2) { ... }` group.
+type Latch struct {
+	Var1, Var2      string
+	DataIn          *logic.Expr
+	Enable          *logic.Expr // transparent while it evaluates to 1
+	Clear           *logic.Expr
+	Preset          *logic.Expr
+	ClearPresetVar1 logic.Value
+	ClearPresetVar2 logic.Value
+}
+
+// StateTableToken is one symbol of a statetable row.
+type StateTableToken uint8
+
+const (
+	STLow      StateTableToken = iota // L
+	STHigh                            // H
+	STDontCare                        // - (input) or unspecified
+	STRise                            // R
+	STFall                            // F
+	STNoChange                        // N (next-state: hold current value)
+	STUnknown                         // X
+)
+
+// StateTableRow is one row: input conditions, current-state conditions, and
+// the resulting next state per state variable.
+type StateTableRow struct {
+	Inputs []StateTableToken
+	Cur    []StateTableToken
+	Next   []StateTableToken
+}
+
+// StateTable models a Liberty `statetable ("inputs", "states") { table: ... }`.
+type StateTable struct {
+	Inputs []string
+	States []string
+	Rows   []StateTableRow
+}
+
+// Cell is the simulation-relevant model of one library cell.
+type Cell struct {
+	Name    string
+	Area    float64
+	Pins    []Pin
+	Inputs  []string // input pin names in declaration order
+	Outputs []string // output pin names in declaration order
+	FF      *FF
+	Latch   *Latch
+	Table   *StateTable
+}
+
+// IsSequential reports whether the cell holds internal state.
+func (c *Cell) IsSequential() bool { return c.FF != nil || c.Latch != nil || c.Table != nil }
+
+// StateVars returns the internal state variable names of the cell, in a
+// canonical order (empty for combinational cells).
+func (c *Cell) StateVars() []string {
+	switch {
+	case c.FF != nil:
+		return seqVars(c.FF.Var1, c.FF.Var2)
+	case c.Latch != nil:
+		return seqVars(c.Latch.Var1, c.Latch.Var2)
+	case c.Table != nil:
+		return c.Table.States
+	}
+	return nil
+}
+
+func seqVars(v1, v2 string) []string {
+	vars := []string{}
+	if v1 != "" {
+		vars = append(vars, v1)
+	}
+	if v2 != "" {
+		vars = append(vars, v2)
+	}
+	return vars
+}
+
+// Pin returns the pin with the given name, or nil.
+func (c *Cell) Pin(name string) *Pin {
+	for i := range c.Pins {
+		if c.Pins[i].Name == name {
+			return &c.Pins[i]
+		}
+	}
+	return nil
+}
+
+// Library is a parsed cell library.
+type Library struct {
+	Name  string
+	Cells map[string]*Cell
+	// TimeUnitPS is picoseconds per library time unit (from time_unit,
+	// default 1000 = 1ns, the Liberty default).
+	TimeUnitPS float64
+}
+
+// CellNames returns the sorted cell names, for deterministic iteration.
+func (l *Library) CellNames() []string {
+	names := make([]string, 0, len(l.Cells))
+	for n := range l.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse parses Liberty source text into a Library.
+func Parse(src string) (*Library, error) {
+	ast, err := ParseAST(src)
+	if err != nil {
+		return nil, err
+	}
+	if ast.Name != "library" {
+		return nil, fmt.Errorf("liberty: top-level group is %q, want library", ast.Name)
+	}
+	lib := &Library{Cells: make(map[string]*Cell), TimeUnitPS: 1000}
+	if len(ast.Args) > 0 {
+		lib.Name = ast.Args[0]
+	}
+	if tu, ok := ast.Attr("time_unit"); ok {
+		if ps, err := parseTimeUnit(tu); err == nil {
+			lib.TimeUnitPS = ps
+		}
+	}
+	for _, cg := range ast.SubGroups("cell") {
+		cell, err := parseCell(cg)
+		if err != nil {
+			return nil, err
+		}
+		lib.Cells[cell.Name] = cell
+	}
+	return lib, nil
+}
+
+func parseCell(g *Group) (*Cell, error) {
+	if len(g.Args) != 1 {
+		return nil, fmt.Errorf("liberty: cell group needs exactly one name argument")
+	}
+	c := &Cell{Name: g.Args[0]}
+	if a, ok := g.Attr("area"); ok {
+		if f, err := strconv.ParseFloat(a, 64); err == nil {
+			c.Area = f
+		}
+	}
+	for _, pg := range g.SubGroups("pin") {
+		if len(pg.Args) != 1 {
+			return nil, fmt.Errorf("liberty: cell %s: pin group needs one name", c.Name)
+		}
+		p := Pin{Name: pg.Args[0]}
+		dir, _ := pg.Attr("direction")
+		switch dir {
+		case "input":
+			p.Dir = DirInput
+		case "output":
+			p.Dir = DirOutput
+		case "inout":
+			p.Dir = DirInout
+		case "internal":
+			p.Dir = DirInternal
+		default:
+			return nil, fmt.Errorf("liberty: cell %s pin %s: missing or bad direction %q", c.Name, p.Name, dir)
+		}
+		if v, ok := pg.Attr("capacitance"); ok {
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				p.Cap = f
+			}
+		}
+		if v, ok := pg.Attr("clock"); ok && v == "true" {
+			p.IsClock = true
+		}
+		if fn, ok := pg.Attr("function"); ok {
+			e, err := logic.ParseExpr(fn)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: cell %s pin %s: %v", c.Name, p.Name, err)
+			}
+			p.Function = e
+		}
+		for _, tg := range pg.SubGroups("timing") {
+			if arc, ok := parseTimingArc(tg); ok {
+				p.Timing = append(p.Timing, arc)
+			}
+		}
+		c.Pins = append(c.Pins, p)
+		switch p.Dir {
+		case DirInput:
+			c.Inputs = append(c.Inputs, p.Name)
+		case DirOutput:
+			c.Outputs = append(c.Outputs, p.Name)
+		}
+	}
+	if ffg := g.SubGroup("ff"); ffg != nil {
+		ff, err := parseFF(c.Name, ffg)
+		if err != nil {
+			return nil, err
+		}
+		c.FF = ff
+	}
+	if lg := g.SubGroup("latch"); lg != nil {
+		l, err := parseLatch(c.Name, lg)
+		if err != nil {
+			return nil, err
+		}
+		c.Latch = l
+	}
+	if st := g.SubGroup("statetable"); st != nil {
+		tab, err := parseStateTable(c.Name, st)
+		if err != nil {
+			return nil, err
+		}
+		c.Table = tab
+	}
+	if n := boolToInt(c.FF != nil) + boolToInt(c.Latch != nil) + boolToInt(c.Table != nil); n > 1 {
+		return nil, fmt.Errorf("liberty: cell %s: multiple sequential groups", c.Name)
+	}
+	// Every output needs a function; sequential outputs reference state vars.
+	for _, out := range c.Outputs {
+		if c.Pin(out).Function == nil {
+			return nil, fmt.Errorf("liberty: cell %s output %s has no function", c.Name, out)
+		}
+	}
+	return c, nil
+}
+
+// parseTimeUnit converts "1ns"/"10ps"-style units to picoseconds.
+func parseTimeUnit(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	var num string
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		num, mult = s[:len(s)-2], 1000
+	case strings.HasSuffix(s, "us"):
+		num, mult = s[:len(s)-2], 1e6
+	default:
+		return 0, fmt.Errorf("liberty: unsupported time_unit %q", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, err
+	}
+	return f * mult, nil
+}
+
+// parseTimingArc extracts the worst rise/fall delay from a timing group.
+// Both scalar values (`cell_rise (scalar) { values ("0.12"); }`) and tables
+// (the maximum entry) are supported; groups without delays (constraint
+// checks, tristate arcs) are skipped.
+func parseTimingArc(g *Group) (TimingArc, bool) {
+	arc := TimingArc{}
+	if rp, ok := g.Attr("related_pin"); ok {
+		arc.RelatedPin = strings.Trim(rp, `"`)
+	} else {
+		return arc, false
+	}
+	read := func(name string) (float64, bool) {
+		sub := g.SubGroup(name)
+		if sub == nil {
+			return 0, false
+		}
+		max := 0.0
+		found := false
+		for _, a := range sub.Attrs {
+			if a.Name != "values" {
+				continue
+			}
+			for _, chunk := range a.Args {
+				for _, fstr := range strings.Fields(strings.NewReplacer(",", " ", "\\", " ").Replace(chunk)) {
+					if f, err := strconv.ParseFloat(fstr, 64); err == nil {
+						found = true
+						if f > max {
+							max = f
+						}
+					}
+				}
+			}
+		}
+		return max, found
+	}
+	rise, okR := read("cell_rise")
+	fall, okF := read("cell_fall")
+	if !okR && !okF {
+		return arc, false
+	}
+	if !okR {
+		rise = fall
+	}
+	if !okF {
+		fall = rise
+	}
+	arc.Rise, arc.Fall = rise, fall
+	return arc, true
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func parseSeqExpr(cell string, g *Group, attr string, required bool) (*logic.Expr, error) {
+	v, ok := g.Attr(attr)
+	if !ok {
+		if required {
+			return nil, fmt.Errorf("liberty: cell %s: %s group missing %s", cell, g.Name, attr)
+		}
+		return nil, nil
+	}
+	e, err := logic.ParseExpr(v)
+	if err != nil {
+		return nil, fmt.Errorf("liberty: cell %s %s.%s: %v", cell, g.Name, attr, err)
+	}
+	return e, nil
+}
+
+func parseCPVar(g *Group, attr string) logic.Value {
+	v, ok := g.Attr(attr)
+	if !ok {
+		return logic.VX
+	}
+	switch strings.ToUpper(v) {
+	case "L":
+		return logic.V0
+	case "H":
+		return logic.V1
+	}
+	return logic.VX
+}
+
+func parseFF(cell string, g *Group) (*FF, error) {
+	ff := &FF{}
+	if len(g.Args) > 0 {
+		ff.Var1 = g.Args[0]
+	}
+	if len(g.Args) > 1 {
+		ff.Var2 = g.Args[1]
+	}
+	var err error
+	if ff.NextState, err = parseSeqExpr(cell, g, "next_state", true); err != nil {
+		return nil, err
+	}
+	if ff.ClockedOn, err = parseSeqExpr(cell, g, "clocked_on", true); err != nil {
+		return nil, err
+	}
+	if ff.Clear, err = parseSeqExpr(cell, g, "clear", false); err != nil {
+		return nil, err
+	}
+	if ff.Preset, err = parseSeqExpr(cell, g, "preset", false); err != nil {
+		return nil, err
+	}
+	ff.ClearPresetVar1 = parseCPVar(g, "clear_preset_var1")
+	ff.ClearPresetVar2 = parseCPVar(g, "clear_preset_var2")
+	return ff, nil
+}
+
+func parseLatch(cell string, g *Group) (*Latch, error) {
+	l := &Latch{}
+	if len(g.Args) > 0 {
+		l.Var1 = g.Args[0]
+	}
+	if len(g.Args) > 1 {
+		l.Var2 = g.Args[1]
+	}
+	var err error
+	// data_in/enable may be absent for pure set/reset latches.
+	if l.DataIn, err = parseSeqExpr(cell, g, "data_in", false); err != nil {
+		return nil, err
+	}
+	if l.Enable, err = parseSeqExpr(cell, g, "enable", false); err != nil {
+		return nil, err
+	}
+	if (l.DataIn == nil) != (l.Enable == nil) {
+		return nil, fmt.Errorf("liberty: cell %s: latch needs both data_in and enable or neither", cell)
+	}
+	if l.Clear, err = parseSeqExpr(cell, g, "clear", false); err != nil {
+		return nil, err
+	}
+	if l.Preset, err = parseSeqExpr(cell, g, "preset", false); err != nil {
+		return nil, err
+	}
+	l.ClearPresetVar1 = parseCPVar(g, "clear_preset_var1")
+	l.ClearPresetVar2 = parseCPVar(g, "clear_preset_var2")
+	return l, nil
+}
+
+func parseStateTable(cell string, g *Group) (*StateTable, error) {
+	if len(g.Args) != 2 {
+		return nil, fmt.Errorf("liberty: cell %s: statetable needs (\"inputs\", \"states\")", cell)
+	}
+	st := &StateTable{
+		Inputs: strings.Fields(g.Args[0]),
+		States: strings.Fields(g.Args[1]),
+	}
+	raw, ok := g.Attr("table")
+	if !ok {
+		return nil, fmt.Errorf("liberty: cell %s: statetable missing table attribute", cell)
+	}
+	// Rows are separated by commas or newlines; fields inside a row are
+	// separated by ':' into input part, current-state part, next-state part.
+	for _, rowSrc := range strings.FieldsFunc(raw, func(r rune) bool { return r == ',' || r == '\n' }) {
+		rowSrc = strings.TrimSpace(rowSrc)
+		if rowSrc == "" {
+			continue
+		}
+		parts := strings.Split(rowSrc, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("liberty: cell %s: statetable row %q needs 3 ':' sections", cell, rowSrc)
+		}
+		row := StateTableRow{}
+		var err error
+		if row.Inputs, err = parseSTTokens(parts[0], len(st.Inputs)); err != nil {
+			return nil, fmt.Errorf("liberty: cell %s: row %q: %v", cell, rowSrc, err)
+		}
+		if row.Cur, err = parseSTTokens(parts[1], len(st.States)); err != nil {
+			return nil, fmt.Errorf("liberty: cell %s: row %q: %v", cell, rowSrc, err)
+		}
+		if row.Next, err = parseSTTokens(parts[2], len(st.States)); err != nil {
+			return nil, fmt.Errorf("liberty: cell %s: row %q: %v", cell, rowSrc, err)
+		}
+		st.Rows = append(st.Rows, row)
+	}
+	if len(st.Rows) == 0 {
+		return nil, fmt.Errorf("liberty: cell %s: empty statetable", cell)
+	}
+	return st, nil
+}
+
+func parseSTTokens(s string, want int) ([]StateTableToken, error) {
+	fields := strings.Fields(s)
+	if len(fields) != want {
+		return nil, fmt.Errorf("expected %d tokens, got %d in %q", want, len(fields), s)
+	}
+	out := make([]StateTableToken, len(fields))
+	for i, f := range fields {
+		switch strings.ToUpper(f) {
+		case "L":
+			out[i] = STLow
+		case "H":
+			out[i] = STHigh
+		case "-":
+			out[i] = STDontCare
+		case "R":
+			out[i] = STRise
+		case "F":
+			out[i] = STFall
+		case "N":
+			out[i] = STNoChange
+		case "X":
+			out[i] = STUnknown
+		default:
+			return nil, fmt.Errorf("bad statetable token %q", f)
+		}
+	}
+	return out, nil
+}
+
+// TimingArc is a simplified pin-to-pin delay extracted from a Liberty
+// `timing () { ... }` group: the worst (maximum) cell_rise / cell_fall value
+// in library time units. It lets designs be simulated with library delays
+// when no SDF annotation is available.
+type TimingArc struct {
+	RelatedPin string
+	Rise       float64 // max cell_rise value, library time units
+	Fall       float64 // max cell_fall value
+}

@@ -1,0 +1,167 @@
+// Package liberty parses the subset of the Liberty (.lib) cell-library
+// format needed for gate-level simulation: cell groups with pin directions
+// and functions, and the sequential-element groups ff, latch and statetable.
+//
+// The parser is deliberately forgiving about attributes and groups it does
+// not understand (timing arcs, power tables, operating conditions, ...): it
+// parses them into the generic AST and the semantic layer ignores them, so
+// real-world libraries load without modification.
+package liberty
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokColon
+	tokSemi
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("liberty: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token, skipping whitespace, comments and line
+// continuations.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '\\': // line continuation
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, l.errorf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scanToken() (token, error) {
+	c := l.src[l.pos]
+	line := l.line
+	switch c {
+	case '{':
+		l.pos++
+		return token{tokLBrace, "{", line}, nil
+	case '}':
+		l.pos++
+		return token{tokRBrace, "}", line}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", line}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", line}, nil
+	case ':':
+		l.pos++
+		return token{tokColon, ":", line}, nil
+	case ';':
+		l.pos++
+		return token{tokSemi, ";", line}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", line}, nil
+	case '"':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++ // skip escaped char (commonly \ at end of line)
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated string")
+		}
+		text := l.src[start:l.pos]
+		l.pos++ // closing quote
+		// Remove line continuations inside strings (statetable rows).
+		text = strings.ReplaceAll(text, "\\\n", "\n")
+		return token{tokString, text, line}, nil
+	}
+	if isNumStart(c) {
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && isNumChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokNumber, l.src[start:l.pos], line}, nil
+	}
+	if isWordChar(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isWordChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], line}, nil
+	}
+	return token{}, l.errorf("unexpected character %q", c)
+}
+
+func isNumStart(c byte) bool { return (c >= '0' && c <= '9') || c == '-' || c == '+' }
+
+func isNumChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+'
+}
+
+func isWordChar(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+		c == '_' || c == '.' || c == '[' || c == ']' || c == '!' || c == '\''
+}

@@ -1,0 +1,261 @@
+package liberty
+
+import (
+	"strings"
+	"testing"
+
+	"gatesim/internal/logic"
+)
+
+func TestParseASTBasic(t *testing.T) {
+	src := `
+library (test) {
+  time_unit : "1ps";
+  cell (INV) {
+    area : 1.0;
+    pin (A) { direction : input; }
+    pin (Y) { direction : output; function : "!A"; }
+  }
+}`
+	g, err := ParseAST(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "library" || len(g.Args) != 1 || g.Args[0] != "test" {
+		t.Fatalf("library header wrong: %+v", g)
+	}
+	if v, ok := g.Attr("time_unit"); !ok || v != "1ps" {
+		t.Errorf("time_unit = %q, %v", v, ok)
+	}
+	cells := g.SubGroups("cell")
+	if len(cells) != 1 || cells[0].Args[0] != "INV" {
+		t.Fatalf("cells wrong: %+v", cells)
+	}
+	pins := cells[0].SubGroups("pin")
+	if len(pins) != 2 {
+		t.Fatalf("pins wrong: %+v", pins)
+	}
+}
+
+func TestParseASTComplexAttr(t *testing.T) {
+	src := `library (t) { capacitive_load_unit (1, pf); cell (X) { pin (Y) { direction : output; function : "1"; } } }`
+	g, err := ParseAST(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range g.Attrs {
+		if a.Name == "capacitive_load_unit" {
+			found = true
+			if len(a.Args) != 2 || a.Args[0] != "1" || a.Args[1] != "pf" {
+				t.Errorf("complex attr args = %v", a.Args)
+			}
+		}
+	}
+	if !found {
+		t.Error("complex attribute not parsed")
+	}
+}
+
+func TestParseASTComments(t *testing.T) {
+	src := `
+/* header comment
+   spanning lines */
+library (t) {
+  // line comment
+  cell (B) { /* inline */ area : 2.0;
+    pin (Y) { direction : output; function : "0"; }
+  }
+}`
+	lib, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Cells["B"].Area != 2.0 {
+		t.Errorf("area = %v", lib.Cells["B"].Area)
+	}
+}
+
+func TestParseASTErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`library (t) {`,
+		`library (t) } {`,
+		`library (t) { cell (X) { pin (Y) { direction output; } } }`,
+		`library (t) { "str" : x; }`,
+		`library (t) { /* unterminated`,
+		`library (t) { s : "unterminated }`,
+	}
+	for _, src := range bad {
+		if _, err := ParseAST(src); err == nil {
+			t.Errorf("ParseAST(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSemanticErrors(t *testing.T) {
+	bad := []string{
+		// not a library
+		`cell (X) { pin (Y) { direction : output; function : "1"; } }`,
+		// missing direction
+		`library (t) { cell (X) { pin (Y) { function : "1"; } } }`,
+		// output without function
+		`library (t) { cell (X) { pin (Y) { direction : output; } } }`,
+		// ff missing clocked_on
+		`library (t) { cell (X) { ff (IQ, IQN) { next_state : "D"; }
+		   pin (D) { direction : input; } pin (Q) { direction : output; function : "IQ"; } } }`,
+		// both ff and latch
+		`library (t) { cell (X) {
+		   ff (IQ, IQN) { next_state : "D"; clocked_on : "C"; }
+		   latch (IP, IPN) { data_in : "D"; enable : "E"; }
+		   pin (D) { direction : input; } pin (C) { direction : input; }
+		   pin (E) { direction : input; } pin (Q) { direction : output; function : "IQ"; } } }`,
+		// bad function expression
+		`library (t) { cell (X) { pin (Y) { direction : output; function : "A &"; } pin (A) { direction : input; } } }`,
+		// statetable with wrong token count
+		`library (t) { cell (X) { statetable ("S R", "IQ") { table : "H : - : H"; }
+		   pin (S) { direction : input; } pin (R) { direction : input; }
+		   pin (Q) { direction : output; function : "IQ"; } } }`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d should fail to parse", i)
+		}
+	}
+}
+
+func TestBuiltinParses(t *testing.T) {
+	lib, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Cells) < 25 {
+		t.Fatalf("builtin library too small: %d cells", len(lib.Cells))
+	}
+	for _, want := range []string{"INV", "NAND2", "AOI21", "DFF_P", "DFF_NSR", "SDFF_P", "DLATCH_H", "CLKGATE", "SRLATCH", "FA", "TIEHI"} {
+		if lib.Cells[want] == nil {
+			t.Errorf("builtin missing cell %s", want)
+		}
+	}
+}
+
+func TestBuiltinDFFNSR(t *testing.T) {
+	lib := MustBuiltin()
+	c := lib.Cells["DFF_NSR"]
+	if c.FF == nil {
+		t.Fatal("DFF_NSR has no ff group")
+	}
+	if got := c.StateVars(); len(got) != 2 || got[0] != "IQ" || got[1] != "IQN" {
+		t.Errorf("StateVars = %v", got)
+	}
+	if c.FF.Clear == nil || c.FF.Preset == nil {
+		t.Fatal("clear/preset missing")
+	}
+	if c.FF.ClearPresetVar1 != logic.V0 || c.FF.ClearPresetVar2 != logic.V0 {
+		t.Errorf("clear_preset vars = %v %v", c.FF.ClearPresetVar1, c.FF.ClearPresetVar2)
+	}
+	if got := c.FF.ClockedOn.Eval(map[string]logic.Value{"CLK_N": logic.V0}); got != logic.V1 {
+		t.Errorf("clocked_on with CLK_N=0 = %v, want 1 (negative edge sensing)", got)
+	}
+	if !c.IsSequential() {
+		t.Error("DFF_NSR should be sequential")
+	}
+	if c.Pin("CLK_N") == nil || !c.Pin("CLK_N").IsClock {
+		t.Error("CLK_N should be a clock pin")
+	}
+}
+
+func TestBuiltinSRLatchStatetable(t *testing.T) {
+	lib := MustBuiltin()
+	c := lib.Cells["SRLATCH"]
+	if c.Table == nil {
+		t.Fatal("SRLATCH has no statetable")
+	}
+	if len(c.Table.Inputs) != 2 || len(c.Table.States) != 1 {
+		t.Fatalf("statetable dims: %v %v", c.Table.Inputs, c.Table.States)
+	}
+	if len(c.Table.Rows) != 4 {
+		t.Fatalf("statetable rows: %d", len(c.Table.Rows))
+	}
+	r := c.Table.Rows[2] // L L : - : N
+	if r.Inputs[0] != STLow || r.Inputs[1] != STLow || r.Cur[0] != STDontCare || r.Next[0] != STNoChange {
+		t.Errorf("row 2 parsed wrong: %+v", r)
+	}
+}
+
+func TestBuiltinCombinationalFunctions(t *testing.T) {
+	lib := MustBuiltin()
+	cases := []struct {
+		cell string
+		env  map[string]logic.Value
+		pin  string
+		want logic.Value
+	}{
+		{"NAND2", map[string]logic.Value{"A": logic.V1, "B": logic.V1}, "Y", logic.V0},
+		{"NAND2", map[string]logic.Value{"A": logic.V0, "B": logic.V1}, "Y", logic.V1},
+		{"AOI21", map[string]logic.Value{"A1": logic.V1, "A2": logic.V1, "B": logic.V0}, "Y", logic.V0},
+		{"AOI21", map[string]logic.Value{"A1": logic.V1, "A2": logic.V0, "B": logic.V0}, "Y", logic.V1},
+		{"MUX2", map[string]logic.Value{"A": logic.V1, "B": logic.V0, "S": logic.V0}, "Y", logic.V1},
+		{"MUX2", map[string]logic.Value{"A": logic.V1, "B": logic.V0, "S": logic.V1}, "Y", logic.V0},
+		{"FA", map[string]logic.Value{"A": logic.V1, "B": logic.V1, "CIN": logic.V0}, "SUM", logic.V0},
+		{"FA", map[string]logic.Value{"A": logic.V1, "B": logic.V1, "CIN": logic.V0}, "COUT", logic.V1},
+		{"TIEHI", nil, "Y", logic.V1},
+		{"TIELO", nil, "Y", logic.V0},
+	}
+	for _, c := range cases {
+		cell := lib.Cells[c.cell]
+		if cell == nil {
+			t.Fatalf("missing cell %s", c.cell)
+		}
+		got := cell.Pin(c.pin).Function.Eval(c.env)
+		if got != c.want {
+			t.Errorf("%s.%s under %v = %v, want %v", c.cell, c.pin, c.env, got, c.want)
+		}
+	}
+}
+
+func TestCellPinLookup(t *testing.T) {
+	lib := MustBuiltin()
+	c := lib.Cells["MUX2"]
+	if c.Pin("S") == nil || c.Pin("nope") != nil {
+		t.Error("Pin lookup broken")
+	}
+	if len(c.Inputs) != 3 || len(c.Outputs) != 1 {
+		t.Errorf("MUX2 inputs=%v outputs=%v", c.Inputs, c.Outputs)
+	}
+}
+
+func TestLibraryCellNamesSorted(t *testing.T) {
+	lib := MustBuiltin()
+	names := lib.CellNames()
+	if len(names) != len(lib.Cells) {
+		t.Fatal("CellNames length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if strings.Compare(names[i-1], names[i]) >= 0 {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestIgnoresUnknownGroups(t *testing.T) {
+	src := `
+library (t) {
+  operating_conditions (typ) { process : 1; temperature : 25; }
+  cell (G) {
+    area : 1.0;
+    pin (A) { direction : input;
+      timing () { related_pin : "A"; cell_rise (tbl) { values ("0.1, 0.2"); } }
+    }
+    pin (Y) { direction : output; function : "A"; }
+    leakage_power () { value : 0.1; }
+  }
+}`
+	lib, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Cells["G"] == nil || lib.Cells["G"].Pin("Y").Function == nil {
+		t.Error("cell with unknown groups not parsed")
+	}
+}

@@ -1,0 +1,316 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed Liberty boolean function over named variables.
+//
+// Supported syntax (the common subset found in Liberty function strings):
+//
+//	expr   := term   (('|' | '+') term)*
+//	term   := factor (('&' | '*' | ' ') factor)*     -- juxtaposition = AND
+//	factor := unary ('^' unary)*
+//	unary  := '!' unary | atom '\''* | atom
+//	atom   := IDENT | '0' | '1' | '(' expr ')'
+//
+// Both '!' prefix and '\” postfix negation are accepted, matching Liberty
+// practice.
+type Expr struct {
+	root exprNode
+	vars []string // distinct variable names in first-appearance order
+	src  string
+}
+
+type exprKind uint8
+
+const (
+	exprVar exprKind = iota
+	exprConst
+	exprNot
+	exprAnd
+	exprOr
+	exprXor
+)
+
+type exprNode struct {
+	kind exprKind
+	// exprVar: index into Expr.vars. exprConst: 0 or 1.
+	arg int
+	// children (nil for leaves)
+	a, b *exprNode
+}
+
+// ParseExpr parses a Liberty boolean function string.
+func ParseExpr(src string) (*Expr, error) {
+	p := &exprParser{src: src, e: &Expr{src: src}}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("logic: trailing input at %d in %q", p.pos, src)
+	}
+	p.e.root = root
+	return p.e, nil
+}
+
+// MustParseExpr is ParseExpr that panics on error, for static tables.
+func MustParseExpr(src string) *Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Vars returns the distinct variable names referenced by the expression, in
+// order of first appearance.
+func (e *Expr) Vars() []string { return e.vars }
+
+// String returns the original source of the expression.
+func (e *Expr) String() string { return e.src }
+
+// Eval evaluates the expression with the given variable binding. Missing
+// variables read as X. Values are collapsed to Kleene {0,1,X} first.
+func (e *Expr) Eval(env map[string]Value) Value {
+	vals := make([]Value, len(e.vars))
+	for i, name := range e.vars {
+		if v, ok := env[name]; ok {
+			vals[i] = v.ToKleene()
+		} else {
+			vals[i] = VX
+		}
+	}
+	return e.EvalVec(vals)
+}
+
+// EvalVec evaluates with values bound positionally to Vars(). It collapses
+// each input to the Kleene domain first, so edges and U read as their
+// conservative steady interpretation (R->1, F->0, U->X).
+func (e *Expr) EvalVec(vals []Value) Value {
+	return evalNode(&e.root, vals)
+}
+
+func evalNode(n *exprNode, vals []Value) Value {
+	switch n.kind {
+	case exprVar:
+		if n.arg < len(vals) {
+			return vals[n.arg].ToKleene()
+		}
+		return VX
+	case exprConst:
+		if n.arg == 0 {
+			return V0
+		}
+		return V1
+	case exprNot:
+		return Not(evalNode(n.a, vals))
+	case exprAnd:
+		return And(evalNode(n.a, vals), evalNode(n.b, vals))
+	case exprOr:
+		return Or(evalNode(n.a, vals), evalNode(n.b, vals))
+	case exprXor:
+		return Xor(evalNode(n.a, vals), evalNode(n.b, vals))
+	}
+	return VX
+}
+
+type exprParser struct {
+	src string
+	pos int
+	e   *Expr
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *exprParser) parseOr() (exprNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return exprNode{}, err
+	}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c != '|' && c != '+' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return exprNode{}, err
+		}
+		l := left
+		left = exprNode{kind: exprOr, a: &l, b: &right}
+	}
+}
+
+// parseAnd handles explicit '&'/'*' and implicit juxtaposition ("A B" = A&B).
+func (p *exprParser) parseAnd() (exprNode, error) {
+	left, err := p.parseXor()
+	if err != nil {
+		return exprNode{}, err
+	}
+	for {
+		save := p.pos
+		p.skipSpace()
+		c := p.peek()
+		switch {
+		case c == '&' || c == '*':
+			p.pos++
+		case c == '!' || c == '(' || isIdentStart(c) || c == '0' || c == '1':
+			// implicit AND via juxtaposition; keep pos (already skipped space)
+		default:
+			p.pos = save
+			return left, nil
+		}
+		right, err := p.parseXor()
+		if err != nil {
+			return exprNode{}, err
+		}
+		l := left
+		left = exprNode{kind: exprAnd, a: &l, b: &right}
+	}
+}
+
+func (p *exprParser) parseXor() (exprNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return exprNode{}, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '^' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return exprNode{}, err
+		}
+		l := left
+		left = exprNode{kind: exprXor, a: &l, b: &right}
+	}
+}
+
+func (p *exprParser) parseUnary() (exprNode, error) {
+	p.skipSpace()
+	if p.peek() == '!' {
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return exprNode{}, err
+		}
+		return exprNode{kind: exprNot, a: &inner}, nil
+	}
+	atom, err := p.parseAtom()
+	if err != nil {
+		return exprNode{}, err
+	}
+	// Postfix ' negation, possibly repeated.
+	for p.peek() == '\'' {
+		p.pos++
+		a := atom
+		atom = exprNode{kind: exprNot, a: &a}
+	}
+	return atom, nil
+}
+
+func (p *exprParser) parseAtom() (exprNode, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return exprNode{}, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return exprNode{}, fmt.Errorf("logic: expected ')' at %d in %q", p.pos, p.src)
+		}
+		p.pos++
+		return inner, nil
+	case c == '0' || c == '1':
+		p.pos++
+		return exprNode{kind: exprConst, arg: int(c - '0')}, nil
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		return exprNode{kind: exprVar, arg: p.varIndex(name)}, nil
+	}
+	return exprNode{}, fmt.Errorf("logic: unexpected character %q at %d in %q", c, p.pos, p.src)
+}
+
+func (p *exprParser) varIndex(name string) int {
+	for i, v := range p.e.vars {
+		if v == name {
+			return i
+		}
+	}
+	p.e.vars = append(p.e.vars, name)
+	return len(p.e.vars) - 1
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '[' || c == ']' || c == '.'
+}
+
+// RenameVars returns a copy of the expression whose variable list is the
+// given superset ordering; every variable of e must appear in vars.
+// It is used to align an output function and the sequential control
+// expressions of a cell onto one shared input ordering.
+func (e *Expr) RenameVars(vars []string) (*Expr, error) {
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	remap := make([]int, len(e.vars))
+	for i, v := range e.vars {
+		j, ok := idx[v]
+		if !ok {
+			return nil, fmt.Errorf("logic: variable %q of %q not in %s", v, e.src, strings.Join(vars, ","))
+		}
+		remap[i] = j
+	}
+	out := &Expr{vars: append([]string(nil), vars...), src: e.src}
+	out.root = remapNode(&e.root, remap)
+	return out, nil
+}
+
+func remapNode(n *exprNode, remap []int) exprNode {
+	out := *n
+	if n.kind == exprVar {
+		out.arg = remap[n.arg]
+	}
+	if n.a != nil {
+		a := remapNode(n.a, remap)
+		out.a = &a
+	}
+	if n.b != nil {
+		b := remapNode(n.b, remap)
+		out.b = &b
+	}
+	return out
+}

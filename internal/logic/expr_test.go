@@ -1,0 +1,244 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func env(pairs ...any) map[string]Value {
+	m := make(map[string]Value)
+	for i := 0; i < len(pairs); i += 2 {
+		m[pairs[i].(string)] = pairs[i+1].(Value)
+	}
+	return m
+}
+
+func TestParseExprBasic(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  map[string]Value
+		want Value
+	}{
+		{"A & B", env("A", V1, "B", V1), V1},
+		{"A & B", env("A", V1, "B", V0), V0},
+		{"A * B", env("A", V1, "B", V1), V1},
+		{"A | B", env("A", V0, "B", V1), V1},
+		{"A + B", env("A", V0, "B", V0), V0},
+		{"A ^ B", env("A", V1, "B", V1), V0},
+		{"!A", env("A", V0), V1},
+		{"A'", env("A", V1), V0},
+		{"A''", env("A", V1), V1},
+		{"(A & B) | C", env("A", V0, "B", V1, "C", V1), V1},
+		{"!(A | B)", env("A", V0, "B", V0), V1},
+		{"A B", env("A", V1, "B", V1), V1}, // juxtaposition AND
+		{"A B", env("A", V1, "B", V0), V0},
+		{"1", nil, V1},
+		{"0", nil, V0},
+		{"A & 1", env("A", V1), V1},
+		{"CLK_N'", env("CLK_N", V0), V1},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", c.src, err)
+		}
+		if got := e.Eval(c.env); got != c.want {
+			t.Errorf("%q with %v = %v, want %v", c.src, c.env, got, c.want)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	// OR binds loosest, then AND, then XOR, then NOT.
+	e := MustParseExpr("A | B & C")
+	if got := e.Eval(env("A", V1, "B", V0, "C", V0)); got != V1 {
+		t.Errorf("A|B&C mis-parsed: got %v", got)
+	}
+	e = MustParseExpr("A & B ^ C") // = A & (B ^ C)
+	if got := e.Eval(env("A", V1, "B", V1, "C", V1)); got != V0 {
+		t.Errorf("A&B^C mis-parsed: got %v", got)
+	}
+	e = MustParseExpr("!A & B")
+	if got := e.Eval(env("A", V0, "B", V1)); got != V1 {
+		t.Errorf("!A&B mis-parsed: got %v", got)
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{"", "A &", "(A", "A ) B", "&A", "A @ B", "A B &"} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprVarsOrder(t *testing.T) {
+	e := MustParseExpr("(B & A) | C | A")
+	vars := e.Vars()
+	if len(vars) != 3 || vars[0] != "B" || vars[1] != "A" || vars[2] != "C" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestExprMissingVarIsX(t *testing.T) {
+	e := MustParseExpr("A & B")
+	if got := e.Eval(env("A", V1)); got != VX {
+		t.Errorf("missing var should read X: got %v", got)
+	}
+	if got := e.Eval(env("A", V0)); got != V0 {
+		t.Errorf("0 should dominate missing var: got %v", got)
+	}
+}
+
+func TestExprEvalVec(t *testing.T) {
+	e := MustParseExpr("A ^ B")
+	if got := e.EvalVec([]Value{V1, V0}); got != V1 {
+		t.Errorf("EvalVec = %v", got)
+	}
+	// Edges settle before evaluation.
+	if got := e.EvalVec([]Value{VR, V0}); got != V1 {
+		t.Errorf("EvalVec with R = %v", got)
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	e := MustParseExpr("B & A")
+	r, err := e.RenameVars([]string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.EvalVec([]Value{V1, V1, V0}); got != V1 {
+		t.Errorf("renamed eval = %v", got)
+	}
+	if got := r.EvalVec([]Value{V0, V1, V1}); got != V0 {
+		t.Errorf("renamed eval = %v", got)
+	}
+	if _, err := e.RenameVars([]string{"A"}); err == nil {
+		t.Error("RenameVars with missing variable should fail")
+	}
+}
+
+// Property test: evaluation on random expressions agrees with a separately
+// written reference evaluator over {0,1}.
+func TestExprRandomAgainstBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []string{"A", "B", "C", "D"}
+	var build func(depth int) string
+	build = func(depth int) string {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return "(" + build(depth-1) + " & " + build(depth-1) + ")"
+		case 1:
+			return "(" + build(depth-1) + " | " + build(depth-1) + ")"
+		case 2:
+			return "(" + build(depth-1) + " ^ " + build(depth-1) + ")"
+		default:
+			return "!" + "(" + build(depth-1) + ")"
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		src := build(4)
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		for assign := 0; assign < 16; assign++ {
+			m := make(map[string]Value)
+			bools := make(map[string]bool)
+			for i, v := range vars {
+				b := assign&(1<<i) != 0
+				bools[v] = b
+				if b {
+					m[v] = V1
+				} else {
+					m[v] = V0
+				}
+			}
+			want := boolEval(src, bools)
+			got := e.Eval(m)
+			wantV := V0
+			if want {
+				wantV = V1
+			}
+			if got != wantV {
+				t.Fatalf("%q under %v: got %v want %v", src, bools, got, wantV)
+			}
+		}
+	}
+}
+
+// boolEval is an independent recursive-descent evaluator over pure booleans,
+// used only as a test oracle.
+func boolEval(src string, env map[string]bool) bool {
+	pos := 0
+	var or func() bool
+	var and func() bool
+	var xor func() bool
+	var unary func() bool
+	skip := func() {
+		for pos < len(src) && src[pos] == ' ' {
+			pos++
+		}
+	}
+	unary = func() bool {
+		skip()
+		if src[pos] == '!' {
+			pos++
+			return !unary()
+		}
+		if src[pos] == '(' {
+			pos++
+			v := or()
+			skip()
+			pos++ // ')'
+			return v
+		}
+		start := pos
+		for pos < len(src) && isIdentChar(src[pos]) {
+			pos++
+		}
+		return env[src[start:pos]]
+	}
+	xor = func() bool {
+		v := unary()
+		for {
+			skip()
+			if pos < len(src) && src[pos] == '^' {
+				pos++
+				v = v != unary()
+			} else {
+				return v
+			}
+		}
+	}
+	and = func() bool {
+		v := xor()
+		for {
+			skip()
+			if pos < len(src) && src[pos] == '&' {
+				pos++
+				w := xor()
+				v = v && w
+			} else {
+				return v
+			}
+		}
+	}
+	or = func() bool {
+		v := and()
+		for {
+			skip()
+			if pos < len(src) && src[pos] == '|' {
+				pos++
+				w := and()
+				v = v || w
+			} else {
+				return v
+			}
+		}
+	}
+	return or()
+}

@@ -1,0 +1,215 @@
+// Package logic implements the multi-valued logic system used throughout the
+// simulator: the four steady-state values 0, 1, X, Z; the transient edge
+// markers R (rising) and F (falling) used when querying sequential truth
+// tables; and the undetermined marker U that powers the stable-time
+// mechanism of the paper (§III-A).
+//
+// It also provides a parser and Kleene-style evaluator for Liberty boolean
+// function expressions ("(A & !B) | C"), which are used both for
+// combinational cell functions and for sequential control expressions such
+// as clocked_on, enable, clear and preset.
+package logic
+
+import "fmt"
+
+// Value is one symbol of the extended logic alphabet.
+//
+// The ordering is load-bearing: V0..VZ are the four steady-state values used
+// as internal-state table indices, VR/VF extend the alphabet for
+// edge-sensitive inputs, and VU ("undetermined") always sorts last so that a
+// table dimension with k determined choices uses indices 0..k-1 and index k
+// for U.
+type Value uint8
+
+const (
+	V0 Value = iota // logic low
+	V1              // logic high
+	VX              // unknown
+	VZ              // high impedance
+	VR              // rising edge (0 -> 1) at this instant
+	VF              // falling edge (1 -> 0) at this instant
+	VU              // undetermined: beyond the pin's stable time
+
+	// NumValues is the size of the full alphabet.
+	NumValues = 7
+)
+
+// String returns the canonical single-letter spelling of v.
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case VX:
+		return "X"
+	case VZ:
+		return "Z"
+	case VR:
+		return "R"
+	case VF:
+		return "F"
+	case VU:
+		return "U"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// ParseValue converts a single character to a Value. It accepts the VCD
+// spellings (0, 1, x, z) as well as the truth-table spellings (R, F, U).
+func ParseValue(c byte) (Value, error) {
+	switch c {
+	case '0':
+		return V0, nil
+	case '1':
+		return V1, nil
+	case 'x', 'X':
+		return VX, nil
+	case 'z', 'Z':
+		return VZ, nil
+	case 'r', 'R':
+		return VR, nil
+	case 'f', 'F':
+		return VF, nil
+	case 'u', 'U':
+		return VU, nil
+	}
+	return VX, fmt.Errorf("logic: invalid value character %q", c)
+}
+
+// IsSteady reports whether v is one of the four steady-state values.
+func (v Value) IsSteady() bool { return v <= VZ }
+
+// IsEdge reports whether v is a transient edge marker.
+func (v Value) IsEdge() bool { return v == VR || v == VF }
+
+// IsDetermined reports whether v carries information (anything but U).
+func (v Value) IsDetermined() bool { return v != VU }
+
+// Settle maps an edge marker to the steady value it settles to after the
+// instant of the edge, and leaves every other value unchanged.
+func (v Value) Settle() Value {
+	switch v {
+	case VR:
+		return V1
+	case VF:
+		return V0
+	}
+	return v
+}
+
+// Before returns the steady value an edge marker implies immediately before
+// the instant of the edge, and leaves every other value unchanged.
+func (v Value) Before() Value {
+	switch v {
+	case VR:
+		return V0
+	case VF:
+		return V1
+	}
+	return v
+}
+
+// ToKleene collapses the value onto the three-valued {0,1,X} domain used for
+// boolean evaluation: Z and U read as X, edges read as their settled value.
+func (v Value) ToKleene() Value {
+	switch v {
+	case V0, V1:
+		return v
+	case VR:
+		return V1
+	case VF:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// Merge combines two candidate values for the same storage element: equal
+// values survive, conflicting values collapse to X. It is used when an
+// ambiguous clock edge may or may not have captured new data.
+func Merge(a, b Value) Value {
+	if a == b {
+		return a
+	}
+	return VX
+}
+
+// Not returns the Kleene negation of v.
+func Not(v Value) Value {
+	switch v.ToKleene() {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// And returns the Kleene conjunction of a and b (0 dominates X).
+func And(a, b Value) Value {
+	ka, kb := a.ToKleene(), b.ToKleene()
+	switch {
+	case ka == V0 || kb == V0:
+		return V0
+	case ka == V1 && kb == V1:
+		return V1
+	default:
+		return VX
+	}
+}
+
+// Or returns the Kleene disjunction of a and b (1 dominates X).
+func Or(a, b Value) Value {
+	ka, kb := a.ToKleene(), b.ToKleene()
+	switch {
+	case ka == V1 || kb == V1:
+		return V1
+	case ka == V0 && kb == V0:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// Xor returns the Kleene exclusive-or of a and b.
+func Xor(a, b Value) Value {
+	ka, kb := a.ToKleene(), b.ToKleene()
+	if ka == VX || kb == VX {
+		return VX
+	}
+	if ka == kb {
+		return V0
+	}
+	return V1
+}
+
+// FormatValues renders a value vector like "01XR".
+func FormatValues(vs []Value) string {
+	b := make([]byte, len(vs))
+	for i, v := range vs {
+		b[i] = v.String()[0]
+	}
+	return string(b)
+}
+
+// EdgeCode returns the value to present to a truth-table query at the
+// instant an input transitions from old to new: a definite edge marker for
+// 0->1 / 1->0, the steady value when nothing changed, and X (the
+// conservative "maybe edge") when the previous value is unknown (X, Z or U).
+// Every simulator in this repository uses this one rule, which is what makes
+// their event streams comparable.
+func EdgeCode(old, new Value) Value {
+	o, n := old.ToKleene(), new.ToKleene()
+	switch {
+	case o == V0 && n == V1:
+		return VR
+	case o == V1 && n == V0:
+		return VF
+	case o == n:
+		return n
+	default:
+		return VX
+	}
+}

@@ -1,0 +1,172 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := map[Value]string{V0: "0", V1: "1", VX: "X", VZ: "Z", VR: "R", VF: "F", VU: "U"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Value(%d).String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := Value(99).String(); got != "Value(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	for _, c := range []byte("01xXzZrRfFuU") {
+		v, err := ParseValue(c)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c, err)
+		}
+		if v >= NumValues {
+			t.Fatalf("ParseValue(%q) = %d out of range", c, v)
+		}
+	}
+	if _, err := ParseValue('q'); err == nil {
+		t.Error("ParseValue('q') should fail")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	for v := V0; v < NumValues; v++ {
+		got, err := ParseValue(v.String()[0])
+		if err != nil || got != v {
+			t.Errorf("round trip %v -> %v, err=%v", v, got, err)
+		}
+	}
+}
+
+func TestSettleBefore(t *testing.T) {
+	if VR.Settle() != V1 || VF.Settle() != V0 {
+		t.Error("edge Settle wrong")
+	}
+	if VR.Before() != V0 || VF.Before() != V1 {
+		t.Error("edge Before wrong")
+	}
+	for _, v := range []Value{V0, V1, VX, VZ, VU} {
+		if v.Settle() != v || v.Before() != v {
+			t.Errorf("%v should be fixed by Settle/Before", v)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !V0.IsSteady() || !VZ.IsSteady() || VR.IsSteady() || VU.IsSteady() {
+		t.Error("IsSteady wrong")
+	}
+	if !VR.IsEdge() || !VF.IsEdge() || V1.IsEdge() {
+		t.Error("IsEdge wrong")
+	}
+	if VU.IsDetermined() || !VX.IsDetermined() {
+		t.Error("IsDetermined wrong")
+	}
+}
+
+func TestKleeneTables(t *testing.T) {
+	// Exhaustive truth tables over {0,1,X}.
+	type binCase struct {
+		f       func(a, b Value) Value
+		name    string
+		results [3][3]Value // indexed [a][b] over 0,1,X
+	}
+	cases := []binCase{
+		{And, "And", [3][3]Value{{V0, V0, V0}, {V0, V1, VX}, {V0, VX, VX}}},
+		{Or, "Or", [3][3]Value{{V0, V1, VX}, {V1, V1, V1}, {VX, V1, VX}}},
+		{Xor, "Xor", [3][3]Value{{V0, V1, VX}, {V1, V0, VX}, {VX, VX, VX}}},
+	}
+	vals := []Value{V0, V1, VX}
+	for _, c := range cases {
+		for i, a := range vals {
+			for j, b := range vals {
+				if got := c.f(a, b); got != c.results[i][j] {
+					t.Errorf("%s(%v,%v) = %v, want %v", c.name, a, b, got, c.results[i][j])
+				}
+			}
+		}
+	}
+	if Not(V0) != V1 || Not(V1) != V0 || Not(VX) != VX || Not(VZ) != VX {
+		t.Error("Not wrong")
+	}
+}
+
+func TestZAndUReadAsX(t *testing.T) {
+	for _, v := range []Value{VZ, VU} {
+		if And(v, V1) != VX || Or(v, V0) != VX || Xor(v, V1) != VX {
+			t.Errorf("%v must behave as X in gates", v)
+		}
+	}
+	// But dominant inputs still win.
+	if And(VZ, V0) != V0 || Or(VU, V1) != V1 {
+		t.Error("dominance through Z/U broken")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	if Merge(V1, V1) != V1 || Merge(V0, V0) != V0 {
+		t.Error("Merge of equals must be identity")
+	}
+	if Merge(V0, V1) != VX || Merge(V1, VX) != VX {
+		t.Error("Merge of conflicts must be X")
+	}
+}
+
+// Property: And/Or/Xor are commutative and monotone with respect to
+// information: replacing an input by X never turns an X output into a
+// determined one that disagrees.
+func TestKleenePropertyCommutative(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := Value(a%NumValues), Value(b%NumValues)
+		return And(x, y) == And(y, x) && Or(x, y) == Or(y, x) && Xor(x, y) == Xor(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKleenePropertyXAbsorbs(t *testing.T) {
+	// If f(a,b) is determined, then it must equal f(a',b) whenever a' could
+	// be a: i.e. determined results never depend on an X input alone.
+	ops := []func(a, b Value) Value{And, Or, Xor}
+	for _, f := range ops {
+		for _, b := range []Value{V0, V1, VX} {
+			r := f(VX, b)
+			if r == VX {
+				continue
+			}
+			if f(V0, b) != r || f(V1, b) != r {
+				t.Errorf("determined f(X,%v)=%v but refinements disagree", b, r)
+			}
+		}
+	}
+}
+
+func TestFormatValues(t *testing.T) {
+	if got := FormatValues([]Value{V0, V1, VX, VR}); got != "01XR" {
+		t.Errorf("FormatValues = %q", got)
+	}
+}
+
+func TestEdgeCode(t *testing.T) {
+	cases := []struct{ old, new, want Value }{
+		{V0, V1, VR},
+		{V1, V0, VF},
+		{V0, V0, V0},
+		{V1, V1, V1},
+		{VX, V1, VX}, // maybe-edge
+		{VU, V1, VX},
+		{VZ, V0, VX},
+		{V0, VX, VX},
+		{V1, VX, VX},
+		{VX, VX, VX},
+	}
+	for _, c := range cases {
+		if got := EdgeCode(c.old, c.new); got != c.want {
+			t.Errorf("EdgeCode(%v,%v) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"gatesim/internal/liberty"
+)
+
+// Gate-level netlists from synthesis are frequently hierarchical: a top
+// module instantiating user-defined submodules that eventually bottom out
+// in library cells. The simulator operates on a flattened design, so this
+// file provides multi-module parsing plus recursive flattening with
+// hierarchical instance/net names joined by '/'.
+
+// module is the parsed-but-unresolved form of one Verilog module.
+type module struct {
+	name  string
+	ports []modPort
+	insts []modInst
+	nets  map[string]bool // declared wires and ports
+}
+
+type modPort struct {
+	name string
+	dir  string // "input", "output" or "" (unresolved non-ANSI)
+}
+
+type modInst struct {
+	typeName string
+	instName string
+	conns    map[string]string // pin -> net expression
+	line     int
+}
+
+// ParseVerilogHierarchy parses source containing one or more modules and
+// flattens the design rooted at top (or the single module when top is "").
+// Submodule instances expand recursively; their internal nets and instances
+// get hierarchical names ("u_core/u_alu/n42"). Library cells always win a
+// name clash with modules.
+func ParseVerilogHierarchy(src string, lib *liberty.Library, top string) (*Netlist, error) {
+	mods, err := parseModules(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("verilog: no modules in source")
+	}
+	byName := make(map[string]*module, len(mods))
+	for _, m := range mods {
+		if _, dup := byName[m.name]; dup {
+			return nil, fmt.Errorf("verilog: duplicate module %q", m.name)
+		}
+		if lib.Cells[m.name] != nil {
+			return nil, fmt.Errorf("verilog: module %q collides with a library cell", m.name)
+		}
+		byName[m.name] = m
+	}
+	if top == "" {
+		if len(mods) == 1 {
+			top = mods[0].name
+		} else {
+			// The top is the module nobody instantiates.
+			instantiated := map[string]bool{}
+			for _, m := range mods {
+				for _, in := range m.insts {
+					instantiated[in.typeName] = true
+				}
+			}
+			for _, m := range mods {
+				if !instantiated[m.name] {
+					if top != "" {
+						return nil, fmt.Errorf("verilog: ambiguous top (%s and %s); pass one explicitly", top, m.name)
+					}
+					top = m.name
+				}
+			}
+			if top == "" {
+				return nil, fmt.Errorf("verilog: no top module (instantiation cycle?)")
+			}
+		}
+	}
+	root := byName[top]
+	if root == nil {
+		return nil, fmt.Errorf("verilog: top module %q not found", top)
+	}
+
+	nl := New(top, lib)
+	// Top-level ports become primary inputs/outputs.
+	for _, p := range root.ports {
+		id := nl.AddNet(p.name)
+		switch p.dir {
+		case "input":
+			if err := nl.MarkInput(id); err != nil {
+				return nil, err
+			}
+		case "output":
+			nl.MarkOutput(id)
+		default:
+			return nil, fmt.Errorf("verilog: top port %s has no direction", p.name)
+		}
+	}
+	if err := flatten(nl, byName, root, "", map[string]bool{top: true}, func(local string) string { return local }); err != nil {
+		return nil, err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// flatten expands one module instance. mapNet resolves a net name local to
+// this module onto a flattened net name.
+func flatten(nl *Netlist, mods map[string]*module, m *module, prefix string, onPath map[string]bool, mapNet func(string) string) error {
+	for _, in := range m.insts {
+		if cell := nl.Lib.Cells[in.typeName]; cell != nil {
+			conns := make(map[string]string, len(in.conns))
+			for pin, netName := range in.conns {
+				if netName == "" {
+					conns[pin] = ""
+					continue
+				}
+				conns[pin] = mapNet(netName)
+			}
+			if _, err := nl.AddInstance(prefix+in.instName, in.typeName, conns); err != nil {
+				return err
+			}
+			continue
+		}
+		sub := mods[in.typeName]
+		if sub == nil {
+			return fmt.Errorf("verilog: instance %s%s: unknown cell or module %q", prefix, in.instName, in.typeName)
+		}
+		if onPath[sub.name] {
+			return fmt.Errorf("verilog: recursive instantiation of module %q", sub.name)
+		}
+		// Bind submodule ports to the parent's nets; internal nets get the
+		// hierarchical prefix.
+		binding := make(map[string]string, len(sub.ports))
+		for _, p := range sub.ports {
+			expr, connected := in.conns[p.name]
+			if !connected || expr == "" {
+				if p.dir == "input" {
+					return fmt.Errorf("verilog: instance %s%s: input port %s unconnected", prefix, in.instName, p.name)
+				}
+				continue // unconnected output: submodule net stays local
+			}
+			binding[p.name] = mapNet(expr)
+		}
+		subPrefix := prefix + in.instName + "/"
+		subMap := func(local string) string {
+			if bound, ok := binding[local]; ok {
+				return bound
+			}
+			return subPrefix + local
+		}
+		onPath[sub.name] = true
+		if err := flatten(nl, mods, sub, subPrefix, onPath, subMap); err != nil {
+			return err
+		}
+		delete(onPath, sub.name)
+	}
+	return nil
+}
+
+// parseModules tokenizes and splits the source into modules, reusing the
+// flat parser's tokenizer but deferring cell/module resolution.
+func parseModules(src string) ([]*module, error) {
+	toks, err := vlogTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &vlogParser{toks: toks}
+	var mods []*module
+	for p.cur().line >= 0 && p.cur().text != "" {
+		m, err := p.parseModuleGeneric()
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, m)
+	}
+	return mods, nil
+}
+
+// parseModuleGeneric parses one module into the unresolved form.
+func (p *vlogParser) parseModuleGeneric() (*module, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	m := &module{name: name, nets: make(map[string]bool)}
+	dirOf := make(map[string]string)
+	var portOrder []string
+
+	declare := func(dir string, names []string) {
+		for _, n := range names {
+			m.nets[n] = true
+			if dir != "" {
+				if _, seen := dirOf[n]; !seen {
+					portOrder = append(portOrder, n)
+				}
+				dirOf[n] = dir
+			}
+		}
+	}
+
+	if p.accept("(") {
+		for !p.accept(")") {
+			if p.accept(",") {
+				continue
+			}
+			dir := ""
+			if t := p.cur().text; t == "input" || t == "output" {
+				dir = t
+				p.pos++
+			}
+			p.accept("wire")
+			msb, lsb, vec, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			names := expandVec(pname, msb, lsb, vec)
+			if dir == "" {
+				// Non-ANSI: remember the port order; direction comes later.
+				for _, n := range names {
+					portOrder = append(portOrder, n)
+					dirOf[n] = ""
+				}
+			}
+			declare(dir, names)
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		t := p.cur()
+		switch t.text {
+		case "endmodule":
+			p.pos++
+			for _, n := range portOrder {
+				d := dirOf[n]
+				if d == "" {
+					return nil, fmt.Errorf("verilog: line %d: port %s of %s has no direction", t.line, n, m.name)
+				}
+				m.ports = append(m.ports, modPort{name: n, dir: d})
+			}
+			return m, nil
+		case "input", "output", "wire":
+			p.pos++
+			msb, lsb, vec, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				n, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				names := expandVec(n, msb, lsb, vec)
+				if t.text == "wire" {
+					declare("", names)
+					// wires are not ports
+					for _, nm := range names {
+						if _, isPort := dirOf[nm]; isPort && dirOf[nm] == "" {
+							// A `wire` redeclaration of a port keeps it a port.
+							continue
+						}
+					}
+				} else {
+					for _, nm := range names {
+						if d, seen := dirOf[nm]; !seen || d == "" {
+							if !seen {
+								portOrder = append(portOrder, nm)
+							}
+							dirOf[nm] = t.text
+						}
+					}
+					declare(t.text, names)
+				}
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "assign", "always", "initial", "reg":
+			return nil, fmt.Errorf("verilog: line %d: behavioural construct %q not supported", t.line, t.text)
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected end of file in module %s", m.name)
+		default:
+			inst := modInst{typeName: t.text, conns: map[string]string{}, line: t.line}
+			p.pos++
+			iname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			inst.instName = iname
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for !p.accept(")") {
+				if p.accept(",") {
+					continue
+				}
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				pin, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				netName := ""
+				if p.cur().text != ")" {
+					netName, err = p.netRef()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				if _, dup := inst.conns[pin]; dup {
+					return nil, fmt.Errorf("verilog: line %d: instance %s connects pin %s twice", t.line, iname, pin)
+				}
+				inst.conns[pin] = netName
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			m.insts = append(m.insts, inst)
+		}
+	}
+}
+
+// HierName joins hierarchical path components the way flattening does.
+func HierName(parts ...string) string { return strings.Join(parts, "/") }

@@ -1,0 +1,168 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"gatesim/internal/liberty"
+)
+
+const hierSrc = `
+// A two-level hierarchy: top instantiates two half adders.
+module ha (input a, input b, output s, output c);
+  XOR2 x (.A(a), .B(b), .Y(s));
+  AND2 g (.A(a), .B(b), .Y(c));
+endmodule
+
+module top (input x, input y, input cin, output sum, output cout);
+  wire s1, c1, c2;
+  ha ha0 (.a(x), .b(y), .s(s1), .c(c1));
+  ha ha1 (.a(s1), .b(cin), .s(sum), .c(c2));
+  OR2 orc (.A(c1), .B(c2), .Y(cout));
+endmodule
+`
+
+func TestHierarchyFlatten(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl, err := ParseVerilogHierarchy(hierSrc, lib, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "top" {
+		t.Errorf("top detection: %q", nl.Name)
+	}
+	// 2 HAs x 2 gates + 1 OR = 5 instances.
+	if len(nl.Instances) != 5 {
+		t.Fatalf("instances: %d", len(nl.Instances))
+	}
+	names := map[string]bool{}
+	for i := range nl.Instances {
+		names[nl.Instances[i].Name] = true
+	}
+	for _, want := range []string{"ha0/x", "ha0/g", "ha1/x", "ha1/g", "orc"} {
+		if !names[want] {
+			t.Errorf("missing flattened instance %s (have %v)", want, names)
+		}
+	}
+	// Port binding: ha0's s output drives net s1 of top, not a local net.
+	s1, ok := nl.Net("s1")
+	if !ok {
+		t.Fatal("net s1 missing")
+	}
+	if nl.Nets[s1].Driver < 0 || nl.Instances[nl.Nets[s1].Driver].Name != "ha0/x" {
+		t.Errorf("s1 driver wrong")
+	}
+	if len(nl.PortsIn) != 3 || len(nl.PortsOut) != 2 {
+		t.Errorf("ports: %d in, %d out", len(nl.PortsIn), len(nl.PortsOut))
+	}
+	// It is a full adder: the flattened netlist must levelize and validate.
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyExplicitTop(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl, err := ParseVerilogHierarchy(hierSrc, lib, "ha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "ha" || len(nl.Instances) != 2 {
+		t.Errorf("explicit top: %s with %d instances", nl.Name, len(nl.Instances))
+	}
+}
+
+func TestHierarchyDeepNesting(t *testing.T) {
+	src := `
+module leaf (input a, output y);
+  INV i0 (.A(a), .Y(y));
+endmodule
+module mid (input a, output y);
+  wire m;
+  leaf l0 (.a(a), .y(m));
+  leaf l1 (.a(m), .y(y));
+endmodule
+module top (input a, output y);
+  wire m;
+  mid m0 (.a(a), .y(m));
+  mid m1 (.a(m), .y(y));
+endmodule
+`
+	nl, err := ParseVerilogHierarchy(src, liberty.MustBuiltin(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Instances) != 4 {
+		t.Fatalf("instances: %d", len(nl.Instances))
+	}
+	found := false
+	for i := range nl.Instances {
+		if nl.Instances[i].Name == "m1/l0/i0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("deep hierarchical name m1/l0/i0 missing")
+	}
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	cases := map[string]string{
+		"recursion": `
+module a (input x, output y); a inner (.x(x), .y(y)); endmodule`,
+		"unknown type": `
+module top (input x, output y); NOPE u (.A(x), .Y(y)); endmodule`,
+		"unconnected submodule input": `
+module sub (input a, output y); INV i (.A(a), .Y(y)); endmodule
+module top (input x, output y); sub s (.y(y)); endmodule`,
+		"duplicate modules": `
+module m (input a, output y); INV i (.A(a), .Y(y)); endmodule
+module m (input a, output y); BUF i (.A(a), .Y(y)); endmodule`,
+		"module shadows cell": `
+module INV (input a, output y); BUF i (.A(a), .Y(y)); endmodule
+module top (input x, output y); INV u (.A(x), .Y(y)); endmodule`,
+		"two tops": `
+module t1 (input a, output y); INV i (.A(a), .Y(y)); endmodule
+module t2 (input a, output y); BUF i (.A(a), .Y(y)); endmodule`,
+	}
+	for name, src := range cases {
+		if _, err := ParseVerilogHierarchy(src, lib, ""); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// "two tops" is fine when one is named explicitly.
+	if _, err := ParseVerilogHierarchy(cases["two tops"], lib, "t1"); err != nil {
+		t.Errorf("explicit top should resolve ambiguity: %v", err)
+	}
+}
+
+func TestHierarchySingleModuleMatchesFlatParser(t *testing.T) {
+	src := `
+module m (input a, input b, output y);
+  wire n;
+  NAND2 g1 (.A(a), .B(b), .Y(n));
+  INV g2 (.A(n), .Y(y));
+endmodule`
+	lib := liberty.MustBuiltin()
+	h, err := ParseVerilogHierarchy(src, lib, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseVerilog(src, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats() != f.Stats() {
+		t.Errorf("hierarchy %+v vs flat %+v", h.Stats(), f.Stats())
+	}
+}
+
+func TestHierNameHelper(t *testing.T) {
+	if got := HierName("a", "b", "c"); got != "a/b/c" {
+		t.Errorf("HierName = %q", got)
+	}
+	if !strings.Contains(HierName("u0", "n1"), "/") {
+		t.Error("separator missing")
+	}
+}

@@ -1,0 +1,237 @@
+// Package netlist models a gate-level netlist: library cell instances wired
+// by nets, with primary input and output ports. It includes a parser and a
+// writer for the structural-Verilog subset that gate-level netlists use
+// (named port connections, scalar and vector declarations).
+package netlist
+
+import (
+	"fmt"
+
+	"gatesim/internal/liberty"
+)
+
+// NetID identifies a net within one Netlist.
+type NetID int32
+
+// CellID identifies an instance within one Netlist.
+type CellID int32
+
+// Load is one input pin fed by a net.
+type Load struct {
+	Cell CellID
+	// InIdx is the index into the cell type's Inputs slice.
+	InIdx int32
+}
+
+// Net is one wire. A net has at most one driver: either a primary input
+// (Driver == -1, IsInput true) or output OutIdx of instance Driver.
+type Net struct {
+	Name    string
+	Driver  CellID // -1 when undriven or primary input
+	OutIdx  int32
+	IsInput bool // primary input port
+	Fanout  []Load
+}
+
+// Instance is one placed library cell.
+type Instance struct {
+	Name string
+	Type *liberty.Cell
+	// InNets[i] is the net on Type.Inputs[i]; OutNets[i] on Type.Outputs[i].
+	// A value of -1 means unconnected.
+	InNets  []NetID
+	OutNets []NetID
+}
+
+// Netlist is a flattened gate-level design.
+type Netlist struct {
+	Name      string
+	Lib       *liberty.Library
+	Instances []Instance
+	Nets      []Net
+	PortsIn   []NetID
+	PortsOut  []NetID
+
+	netByName map[string]NetID
+}
+
+// New creates an empty netlist over the given library.
+func New(name string, lib *liberty.Library) *Netlist {
+	return &Netlist{Name: name, Lib: lib, netByName: make(map[string]NetID)}
+}
+
+// AddNet creates a net with the given name, or returns the existing one.
+func (n *Netlist) AddNet(name string) NetID {
+	if id, ok := n.netByName[name]; ok {
+		return id
+	}
+	id := NetID(len(n.Nets))
+	n.Nets = append(n.Nets, Net{Name: name, Driver: -1})
+	n.netByName[name] = id
+	return id
+}
+
+// Net returns the net with the given name and whether it exists.
+func (n *Netlist) Net(name string) (NetID, bool) {
+	id, ok := n.netByName[name]
+	return id, ok
+}
+
+// MarkInput declares a net as a primary input port.
+func (n *Netlist) MarkInput(id NetID) error {
+	net := &n.Nets[id]
+	if net.Driver >= 0 {
+		return fmt.Errorf("netlist: input port %s is also driven by an instance", net.Name)
+	}
+	if !net.IsInput {
+		net.IsInput = true
+		n.PortsIn = append(n.PortsIn, id)
+	}
+	return nil
+}
+
+// MarkOutput declares a net as a primary output port.
+func (n *Netlist) MarkOutput(id NetID) {
+	for _, o := range n.PortsOut {
+		if o == id {
+			return
+		}
+	}
+	n.PortsOut = append(n.PortsOut, id)
+}
+
+// AddInstance places a cell. conns maps pin names to net names; nets are
+// created on demand. Unconnected input pins are an error; unconnected
+// outputs are allowed (their pin entry stays -1).
+func (n *Netlist) AddInstance(instName, cellType string, conns map[string]string) (CellID, error) {
+	cell := n.Lib.Cells[cellType]
+	if cell == nil {
+		return -1, fmt.Errorf("netlist: instance %s: unknown cell type %s", instName, cellType)
+	}
+	id := CellID(len(n.Instances))
+	inst := Instance{
+		Name:    instName,
+		Type:    cell,
+		InNets:  make([]NetID, len(cell.Inputs)),
+		OutNets: make([]NetID, len(cell.Outputs)),
+	}
+	for i := range inst.InNets {
+		inst.InNets[i] = -1
+	}
+	for i := range inst.OutNets {
+		inst.OutNets[i] = -1
+	}
+	// First pass: validate every connection without mutating any net, so a
+	// failed AddInstance leaves the netlist untouched.
+	type action struct {
+		pin     *liberty.Pin
+		netName string
+		idx     int
+	}
+	var actions []action
+	newDrivers := make(map[string]bool)
+	for pin, netName := range conns {
+		if netName == "" {
+			continue // explicitly unconnected: .Y()
+		}
+		p := cell.Pin(pin)
+		if p == nil {
+			return -1, fmt.Errorf("netlist: instance %s: cell %s has no pin %s", instName, cellType, pin)
+		}
+		switch p.Dir {
+		case liberty.DirInput:
+			idx := pinIndex(cell.Inputs, pin)
+			actions = append(actions, action{p, netName, idx})
+			inst.InNets[idx] = 0 // provisional: marks "will be connected"
+		case liberty.DirOutput:
+			if existing, ok := n.netByName[netName]; ok {
+				net := &n.Nets[existing]
+				if net.Driver >= 0 || net.IsInput {
+					return -1, fmt.Errorf("netlist: net %s has multiple drivers (%s.%s)", netName, instName, pin)
+				}
+			}
+			if newDrivers[netName] {
+				return -1, fmt.Errorf("netlist: net %s has multiple drivers within instance %s", netName, instName)
+			}
+			newDrivers[netName] = true
+			actions = append(actions, action{p, netName, pinIndex(cell.Outputs, pin)})
+		default:
+			return -1, fmt.Errorf("netlist: instance %s: pin %s has unsupported direction", instName, pin)
+		}
+	}
+	for i, pin := range cell.Inputs {
+		if inst.InNets[i] == -1 {
+			return -1, fmt.Errorf("netlist: instance %s: input pin %s unconnected", instName, pin)
+		}
+	}
+	// Second pass: apply.
+	for _, a := range actions {
+		nid := n.AddNet(a.netName)
+		if a.pin.Dir == liberty.DirInput {
+			inst.InNets[a.idx] = nid
+			n.Nets[nid].Fanout = append(n.Nets[nid].Fanout, Load{Cell: id, InIdx: int32(a.idx)})
+		} else {
+			inst.OutNets[a.idx] = nid
+			n.Nets[nid].Driver = id
+			n.Nets[nid].OutIdx = int32(a.idx)
+		}
+	}
+	n.Instances = append(n.Instances, inst)
+	return id, nil
+}
+
+func pinIndex(pins []string, name string) int {
+	for i, p := range pins {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural sanity: every net must be driven by a primary
+// input or an instance output (floating nets with fanout are an error), and
+// port lists must be consistent.
+func (n *Netlist) Validate() error {
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.Driver < 0 && !net.IsInput && len(net.Fanout) > 0 {
+			return fmt.Errorf("netlist: net %s is floating (no driver, %d loads)", net.Name, len(net.Fanout))
+		}
+	}
+	return nil
+}
+
+// Stats are the Table I columns.
+type Stats struct {
+	Cells int
+	Nets  int
+	Pins  int
+}
+
+// Stats counts cells, nets and pins (connected instance pins plus ports).
+func (n *Netlist) Stats() Stats {
+	s := Stats{Cells: len(n.Instances), Nets: len(n.Nets)}
+	for i := range n.Instances {
+		inst := &n.Instances[i]
+		s.Pins += len(inst.InNets)
+		for _, o := range inst.OutNets {
+			if o >= 0 {
+				s.Pins++
+			}
+		}
+	}
+	s.Pins += len(n.PortsIn) + len(n.PortsOut)
+	return s
+}
+
+// SequentialCount returns the number of sequential instances.
+func (n *Netlist) SequentialCount() int {
+	c := 0
+	for i := range n.Instances {
+		if n.Instances[i].Type.IsSequential() {
+			c++
+		}
+	}
+	return c
+}

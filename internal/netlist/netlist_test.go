@@ -1,0 +1,205 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"gatesim/internal/liberty"
+)
+
+func TestAddInstanceBasic(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl := New("top", lib)
+	a := nl.AddNet("a")
+	b := nl.AddNet("b")
+	if err := nl.MarkInput(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.MarkInput(b); err != nil {
+		t.Fatal(err)
+	}
+	id, err := nl.AddInstance("u1", "NAND2", map[string]string{"A": "a", "B": "b", "Y": "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yid, ok := nl.Net("y")
+	if !ok {
+		t.Fatal("net y not created")
+	}
+	nl.MarkOutput(yid)
+	if nl.Nets[yid].Driver != id || nl.Nets[yid].OutIdx != 0 {
+		t.Errorf("driver wrong: %+v", nl.Nets[yid])
+	}
+	if len(nl.Nets[a].Fanout) != 1 || nl.Nets[a].Fanout[0].Cell != id {
+		t.Errorf("fanout wrong: %+v", nl.Nets[a].Fanout)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := nl.Stats()
+	if st.Cells != 1 || st.Nets != 3 || st.Pins != 3+3 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestAddInstanceErrors(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl := New("top", lib)
+	nl.MarkInput(nl.AddNet("a"))
+
+	if _, err := nl.AddInstance("u1", "NOPE", map[string]string{}); err == nil {
+		t.Error("unknown cell type should fail")
+	}
+	if _, err := nl.AddInstance("u1", "INV", map[string]string{"Q": "a"}); err == nil {
+		t.Error("unknown pin should fail")
+	}
+	if _, err := nl.AddInstance("u1", "INV", map[string]string{"Y": "y"}); err == nil {
+		t.Error("unconnected input should fail")
+	}
+	if _, err := nl.AddInstance("u1", "INV", map[string]string{"A": "a", "Y": "a"}); err == nil {
+		t.Error("driving a primary input should fail")
+	}
+	if _, err := nl.AddInstance("u2", "INV", map[string]string{"A": "a", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("u3", "INV", map[string]string{"A": "a", "Y": "y"}); err == nil {
+		t.Error("multiple drivers should fail")
+	}
+}
+
+func TestValidateFloating(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl := New("top", lib)
+	nl.MarkInput(nl.AddNet("a"))
+	if _, err := nl.AddInstance("u1", "NAND2", map[string]string{"A": "a", "B": "float", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err == nil {
+		t.Error("floating net with fanout should fail validation")
+	}
+}
+
+func TestSequentialCount(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl := New("top", lib)
+	nl.MarkInput(nl.AddNet("clk"))
+	nl.MarkInput(nl.AddNet("d"))
+	if _, err := nl.AddInstance("ff", "DFF_P", map[string]string{"CLK": "clk", "D": "d", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g", "INV", map[string]string{"A": "q", "Y": "qi"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nl.SequentialCount(); got != 1 {
+		t.Errorf("SequentialCount = %d", got)
+	}
+}
+
+const sampleVerilog = `
+// a tiny design
+module top (input clk, input [1:0] d, output q);
+  wire n1;
+  wire \odd.name ;
+  NAND2 u1 (.A(d[0]), .B(d[1]), .Y(n1));
+  INV u2 (.A(n1), .Y(\odd.name ));
+  DFF_P ff0 (.CLK(clk), .D(\odd.name ), .Q(q), .QN());
+endmodule
+`
+
+func TestParseVerilogANSI(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl, err := ParseVerilog(sampleVerilog, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "top" {
+		t.Errorf("module name %q", nl.Name)
+	}
+	if len(nl.PortsIn) != 3 { // clk, d[0], d[1]
+		t.Errorf("inputs: %d", len(nl.PortsIn))
+	}
+	if len(nl.PortsOut) != 1 {
+		t.Errorf("outputs: %d", len(nl.PortsOut))
+	}
+	if len(nl.Instances) != 3 {
+		t.Errorf("instances: %d", len(nl.Instances))
+	}
+	if _, ok := nl.Net("d[1]"); !ok {
+		t.Error("vector bit d[1] missing")
+	}
+	if _, ok := nl.Net("odd.name"); !ok {
+		t.Error("escaped identifier missing")
+	}
+	// The unconnected QN output must be tolerated.
+	ff := nl.Instances[2]
+	if ff.OutNets[1] != -1 {
+		t.Errorf("QN should be unconnected, got %d", ff.OutNets[1])
+	}
+}
+
+func TestParseVerilogNonANSI(t *testing.T) {
+	src := `
+module m (a, b, y);
+  input a, b;
+  output y;
+  OR2 g (.A(a), .B(b), .Y(y));
+endmodule`
+	nl, err := ParseVerilog(src, liberty.MustBuiltin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.PortsIn) != 2 || len(nl.PortsOut) != 1 {
+		t.Errorf("ports: %d in %d out", len(nl.PortsIn), len(nl.PortsOut))
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	bad := []string{
+		`module m (input a); assign y = a; endmodule`,
+		`module m (input a); NOPE u (.A(a)); endmodule`,
+		`module m (input a); INV u (.A(a), .A(a), .Y(y)); endmodule`,
+		`module m (input a); INV u (.A(a), .Y(y));`, // missing endmodule
+		`module m (input a); INV u (.Q(a), .Y(y)); endmodule`,
+		`module m (input a,); wire [x:0] w; endmodule`,
+	}
+	for _, src := range bad {
+		if _, err := ParseVerilog(src, lib); err == nil {
+			t.Errorf("should fail: %q", src)
+		}
+	}
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	nl, err := ParseVerilog(sampleVerilog, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := WriteVerilog(nl)
+	nl2, err := ParseVerilog(out, lib)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	s1, s2 := nl.Stats(), nl2.Stats()
+	if s1 != s2 {
+		t.Errorf("round trip stats: %+v vs %+v", s1, s2)
+	}
+	if len(nl2.PortsIn) != len(nl.PortsIn) || len(nl2.PortsOut) != len(nl.PortsOut) {
+		t.Error("round trip ports differ")
+	}
+	// Same instance structure.
+	for i := range nl.Instances {
+		if nl.Instances[i].Type.Name != nl2.Instances[i].Type.Name {
+			t.Errorf("instance %d type differs", i)
+		}
+		for pi, net := range nl.Instances[i].InNets {
+			if nl.Nets[net].Name != nl2.Nets[nl2.Instances[i].InNets[pi]].Name {
+				t.Errorf("instance %d input %d net differs", i, pi)
+			}
+		}
+	}
+	if !strings.Contains(out, "endmodule") {
+		t.Error("writer output malformed")
+	}
+}

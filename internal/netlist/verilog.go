@@ -1,0 +1,408 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gatesim/internal/liberty"
+)
+
+// ParseVerilog parses a flattened structural-Verilog module against the
+// given cell library. Supported constructs:
+//
+//   - one module with an ANSI (`module m(input a, output [3:0] y);`) or
+//     non-ANSI (`module m(a, y); input a; output [3:0] y;`) header;
+//   - `wire`, `input`, `output` declarations, scalar or vector ([msb:lsb]);
+//   - instantiations with named port connections:
+//     `NAND2 u1 (.A(n1), .B(bus[2]), .Y(n3));`
+//
+// Vector declarations expand into scalar nets named name[i]. Behavioural
+// constructs (assign, always, expressions in port connections) are rejected:
+// this is a gate-level netlist parser, not a Verilog front end.
+func ParseVerilog(src string, lib *liberty.Library) (*Netlist, error) {
+	toks, err := vlogTokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &vlogParser{toks: toks, lib: lib}
+	return p.parseModule()
+}
+
+type vlogToken struct {
+	text string
+	line int
+}
+
+func vlogTokens(src string) ([]vlogToken, error) {
+	var toks []vlogToken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				return nil, fmt.Errorf("verilog: line %d: unterminated comment", line)
+			}
+			line += strings.Count(src[i:i+2+j+2], "\n")
+			i += 2 + j + 2
+		case c == '(' || c == ')' || c == ';' || c == ',' || c == '.' || c == '[' || c == ']' || c == ':':
+			toks = append(toks, vlogToken{string(c), line})
+			i++
+		case c == '\\': // escaped identifier: up to whitespace
+			j := i + 1
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' {
+				j++
+			}
+			toks = append(toks, vlogToken{src[i+1 : j], line})
+			i = j
+		case isVlogIdent(c) || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(src) && (isVlogIdent(src[j]) || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, vlogToken{src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("verilog: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isVlogIdent(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+type vlogParser struct {
+	toks []vlogToken
+	pos  int
+	lib  *liberty.Library
+}
+
+func (p *vlogParser) cur() vlogToken {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return vlogToken{"", -1}
+}
+
+func (p *vlogParser) errf(format string, args ...any) error {
+	return fmt.Errorf("verilog: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *vlogParser) accept(text string) bool {
+	if p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *vlogParser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, got %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *vlogParser) ident() (string, error) {
+	t := p.cur()
+	if t.line < 0 || !isVlogIdent(t.text[0]) {
+		return "", p.errf("expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// parseRange parses an optional [msb:lsb] and returns (msb, lsb, present).
+func (p *vlogParser) parseRange() (int, int, bool, error) {
+	if !p.accept("[") {
+		return 0, 0, false, nil
+	}
+	msb, err := strconv.Atoi(p.cur().text)
+	if err != nil {
+		return 0, 0, false, p.errf("bad vector bound %q", p.cur().text)
+	}
+	p.pos++
+	if err := p.expect(":"); err != nil {
+		return 0, 0, false, err
+	}
+	lsb, err := strconv.Atoi(p.cur().text)
+	if err != nil {
+		return 0, 0, false, p.errf("bad vector bound %q", p.cur().text)
+	}
+	p.pos++
+	if err := p.expect("]"); err != nil {
+		return 0, 0, false, err
+	}
+	return msb, lsb, true, nil
+}
+
+// netRef parses a net reference: name or name[idx].
+func (p *vlogParser) netRef() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.accept("[") {
+		idx := p.cur().text
+		if _, err := strconv.Atoi(idx); err != nil {
+			return "", p.errf("bad bit select %q", idx)
+		}
+		p.pos++
+		if err := p.expect("]"); err != nil {
+			return "", err
+		}
+		return name + "[" + idx + "]", nil
+	}
+	return name, nil
+}
+
+func expandVec(name string, msb, lsb int, vec bool) []string {
+	if !vec {
+		return []string{name}
+	}
+	lo, hi := lsb, msb
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	out := make([]string, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, fmt.Sprintf("%s[%d]", name, i))
+	}
+	return out
+}
+
+func (p *vlogParser) parseModule() (*Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	modName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	nl := New(modName, p.lib)
+
+	declare := func(dir string, nets []string) error {
+		for _, name := range nets {
+			id := nl.AddNet(name)
+			switch dir {
+			case "input":
+				if err := nl.MarkInput(id); err != nil {
+					return err
+				}
+			case "output":
+				nl.MarkOutput(id)
+			}
+		}
+		return nil
+	}
+
+	// Header port list.
+	if p.accept("(") {
+		for !p.accept(")") {
+			if p.accept(",") {
+				continue
+			}
+			dir := ""
+			if t := p.cur().text; t == "input" || t == "output" {
+				dir = t
+				p.pos++
+			}
+			p.accept("wire") // `input wire [..] x` style
+			msb, lsb, vec, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if dir != "" {
+				if err := declare(dir, expandVec(name, msb, lsb, vec)); err != nil {
+					return nil, err
+				}
+			}
+			// Non-ANSI headers list bare names; directions come later.
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		t := p.cur()
+		switch t.text {
+		case "endmodule":
+			p.pos++
+			if err := nl.Validate(); err != nil {
+				return nil, err
+			}
+			return nl, nil
+		case "input", "output", "wire":
+			p.pos++
+			msb, lsb, vec, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := declare(t.text, expandVec(name, msb, lsb, vec)); err != nil {
+					return nil, err
+				}
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		case "assign", "always", "initial", "reg":
+			return nil, p.errf("behavioural construct %q not supported in gate-level netlists", t.text)
+		case "":
+			return nil, p.errf("unexpected end of file, missing endmodule")
+		default:
+			// Cell instantiation: TYPE name ( .PIN(net), ... ) ;
+			cellType := t.text
+			p.pos++
+			instName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			conns := make(map[string]string)
+			for !p.accept(")") {
+				if p.accept(",") {
+					continue
+				}
+				if err := p.expect("."); err != nil {
+					return nil, err
+				}
+				pin, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("("); err != nil {
+					return nil, err
+				}
+				netName := ""
+				if p.cur().text != ")" {
+					netName, err = p.netRef()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				if _, dup := conns[pin]; dup {
+					return nil, p.errf("instance %s connects pin %s twice", instName, pin)
+				}
+				conns[pin] = netName
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if _, err := nl.AddInstance(instName, cellType, conns); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// WriteVerilog renders the netlist back as structural Verilog with an ANSI
+// header. Nets named like vector bits (n[3]) are emitted as escaped scalar
+// identifiers to keep the writer simple and the output round-trippable.
+func WriteVerilog(n *Netlist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (", n.Name)
+	first := true
+	for _, id := range n.PortsIn {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "input %s", escapeVlog(n.Nets[id].Name))
+	}
+	for _, id := range n.PortsOut {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "output %s", escapeVlog(n.Nets[id].Name))
+	}
+	b.WriteString(");\n")
+
+	ports := make(map[NetID]bool)
+	for _, id := range n.PortsIn {
+		ports[id] = true
+	}
+	for _, id := range n.PortsOut {
+		ports[id] = true
+	}
+	var wires []string
+	for i := range n.Nets {
+		if !ports[NetID(i)] {
+			wires = append(wires, escapeVlog(n.Nets[i].Name))
+		}
+	}
+	sort.Strings(wires)
+	for _, w := range wires {
+		fmt.Fprintf(&b, "  wire %s;\n", w)
+	}
+
+	for i := range n.Instances {
+		inst := &n.Instances[i]
+		fmt.Fprintf(&b, "  %s %s (", inst.Type.Name, escapeVlog(inst.Name))
+		firstPin := true
+		emit := func(pin string, net NetID) {
+			if net < 0 {
+				return
+			}
+			if !firstPin {
+				b.WriteString(", ")
+			}
+			firstPin = false
+			fmt.Fprintf(&b, ".%s(%s)", pin, escapeVlog(n.Nets[net].Name))
+		}
+		for pi, pin := range inst.Type.Inputs {
+			emit(pin, inst.InNets[pi])
+		}
+		for pi, pin := range inst.Type.Outputs {
+			emit(pin, inst.OutNets[pi])
+		}
+		b.WriteString(");\n")
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+// escapeVlog emits an escaped identifier when the name contains characters
+// that are not valid in a simple Verilog identifier.
+func escapeVlog(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !isVlogIdent(c) && !(c >= '0' && c <= '9') {
+			return "\\" + name + " "
+		}
+	}
+	return name
+}

@@ -1,0 +1,621 @@
+// Package partsim is a conservative partition-based parallel gate-level
+// simulator in the Chandy–Misra–Bryant tradition — the stand-in for the
+// partition-and-synchronize "fine-grained parallelism" mode of commercial
+// simulators that the paper's Figure 8 compares against.
+//
+// The circuit is split into P partitions. Simulation proceeds in globally
+// synchronized rounds: each round processes the time window
+// [T, T+lookahead), where T is the global minimum next-event time and the
+// lookahead is the smallest arc delay in the design — the safe bound on how
+// far any partition may run ahead without risking a causality violation
+// from a neighbour. Events crossing partitions are exchanged at round
+// boundaries, once they are final (immune to inertial cancellation).
+//
+// This structure is exactly why such simulators degrade under SDF
+// annotation: heterogeneous per-arc delays shrink the lookahead to a few
+// picoseconds, so each round carries almost no work and the barrier
+// overhead dominates — while with uniform ("unit") delays the lookahead
+// spans a whole delay quantum and scaling is good. The stable-time engine
+// has no such coupling, which is the paper's Figure 8 story.
+package partsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sched"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// Stim is one primary-input change (same shape as refsim.Stim).
+type Stim struct {
+	Net  netlist.NetID
+	Time int64
+	Val  logic.Value
+}
+
+// Strategy selects how gates map onto partitions.
+type Strategy int
+
+const (
+	// StrategyContiguous assigns contiguous instance-ID ranges — decent
+	// locality for netlists emitted in topological order (the "reasonable
+	// partition" case).
+	StrategyContiguous Strategy = iota
+	// StrategyRoundRobin scatters adjacent gates across partitions — the
+	// deliberately bad partition that the paper warns partition-based
+	// simulators degrade under (every net becomes a boundary net).
+	StrategyRoundRobin
+)
+
+// Options configure the partitioned simulator.
+type Options struct {
+	Partitions int // number of logic processors (default: Threads)
+	Threads    int // worker goroutines (default: Partitions)
+	Strategy   Strategy
+}
+
+// Simulator is a partition-based conservative parallel simulator.
+type Simulator struct {
+	nl        *netlist.Netlist
+	delays    *sdf.Delays
+	lookahead int64
+	parts     []*partition
+	partOf    []int32 // per gate
+	// netReaders[nid] = partitions having loads on the net.
+	netReaders [][]int32
+	owner      []int32 // partition owning the net's driver (-1 for PI)
+
+	// Rounds executed (the scalability metric: more rounds = more barriers).
+	Rounds int64
+	Events int64
+	// CrossMessages counts events sent between partitions — the partition-
+	// quality metric.
+	CrossMessages int64
+}
+
+type partition struct {
+	id    int32
+	gates []netlist.CellID
+
+	// Per-gate state (indexed by dense local index).
+	localIdx map[netlist.CellID]int32
+	tabs     []*truthtab.Table
+	inVals   [][]logic.Value
+	states   [][]logic.Value
+	semOut   [][]logic.Value
+	outs     [][]sched.Output
+	sentUpTo [][]int64 // per gate per output: cross events finalized below this
+	isBorder []bool    // has loads outside the partition
+	touched  []int64
+
+	netVal map[netlist.NetID]logic.Value // local view of nets it reads/writes
+
+	wakes   wakeHeap // local commit wakeups (time, local gate)
+	inbox   changeHeap
+	outMsgs [][]msg // staged per-target-partition messages of this round
+
+	emitted []emit // events committed this round (for the sink)
+}
+
+type msg struct {
+	t   int64
+	net netlist.NetID
+	v   logic.Value
+}
+
+type emit struct {
+	t   int64
+	net netlist.NetID
+	v   logic.Value
+}
+
+// New builds the partitioned simulator. Partitioning is by contiguous
+// instance-ID ranges, which preserves the generator's structural locality —
+// a realistic "decent but untuned" partition, matching how FGP behaves
+// without manual tuning (§IV-C).
+func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays, opts Options) (*Simulator, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Partitions <= 0 {
+		opts.Partitions = 4
+	}
+	if opts.Partitions > len(nl.Instances) {
+		opts.Partitions = len(nl.Instances)
+	}
+	if opts.Partitions < 1 {
+		opts.Partitions = 1
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = opts.Partitions
+	}
+	s := &Simulator{nl: nl, delays: delays}
+	ic, err := truthtab.ComputeInitialConditions(nl, lib)
+	if err != nil {
+		return nil, err
+	}
+	s.lookahead = delays.MinPositive
+	if s.lookahead < 1 {
+		return nil, fmt.Errorf("partsim: all delays must be >= 1 ps")
+	}
+
+	n := len(nl.Instances)
+	s.partOf = make([]int32, n)
+	switch opts.Strategy {
+	case StrategyRoundRobin:
+		for i := 0; i < n; i++ {
+			s.partOf[i] = int32(i % opts.Partitions)
+		}
+	default:
+		per := (n + opts.Partitions - 1) / opts.Partitions
+		for i := 0; i < n; i++ {
+			s.partOf[i] = int32(i / per)
+		}
+	}
+	for p := 0; p < opts.Partitions; p++ {
+		part := &partition{id: int32(len(s.parts)), localIdx: make(map[netlist.CellID]int32)}
+		s.parts = append(s.parts, part)
+	}
+	for i := 0; i < n; i++ {
+		part := s.parts[s.partOf[i]]
+		part.localIdx[netlist.CellID(i)] = int32(len(part.gates))
+		part.gates = append(part.gates, netlist.CellID(i))
+	}
+	// Drop empty partitions (more partitions than gates).
+	kept := s.parts[:0]
+	for _, part := range s.parts {
+		if len(part.gates) > 0 {
+			part.id = int32(len(kept))
+			kept = append(kept, part)
+		}
+	}
+	s.parts = kept
+	for _, part := range s.parts {
+		for _, gid := range part.gates {
+			s.partOf[gid] = part.id
+		}
+	}
+
+	// Net topology per partition.
+	s.netReaders = make([][]int32, len(nl.Nets))
+	s.owner = make([]int32, len(nl.Nets))
+	for nid := range nl.Nets {
+		net := &nl.Nets[nid]
+		if net.Driver >= 0 {
+			s.owner[nid] = s.partOf[net.Driver]
+		} else {
+			s.owner[nid] = -1
+		}
+		seen := map[int32]bool{}
+		for _, load := range net.Fanout {
+			p := s.partOf[load.Cell]
+			if !seen[p] {
+				seen[p] = true
+				s.netReaders[nid] = append(s.netReaders[nid], p)
+			}
+		}
+	}
+
+	// Per-partition gate state.
+	for _, part := range s.parts {
+		m := len(part.gates)
+		part.tabs = make([]*truthtab.Table, m)
+		part.inVals = make([][]logic.Value, m)
+		part.states = make([][]logic.Value, m)
+		part.semOut = make([][]logic.Value, m)
+		part.outs = make([][]sched.Output, m)
+		part.sentUpTo = make([][]int64, m)
+		part.isBorder = make([]bool, m)
+		part.touched = make([]int64, m)
+		part.netVal = make(map[netlist.NetID]logic.Value)
+		part.outMsgs = make([][]msg, len(s.parts))
+		for li, gid := range part.gates {
+			inst := &nl.Instances[gid]
+			tab := lib.Tables[inst.Type.Name]
+			if tab == nil {
+				return nil, fmt.Errorf("partsim: cell type %s not compiled", inst.Type.Name)
+			}
+			if tab.NumInputs > 16 || tab.NumOutputs > 8 || tab.NumStates > 8 {
+				return nil, fmt.Errorf("partsim: cell %s exceeds supported pin/state counts", inst.Type.Name)
+			}
+			part.tabs[li] = tab
+			part.inVals[li] = make([]logic.Value, tab.NumInputs)
+			for pi, nid := range inst.InNets {
+				part.inVals[li][pi] = ic.NetVals[nid]
+			}
+			part.states[li] = append([]logic.Value(nil), ic.States[gid]...)
+			part.semOut[li] = append([]logic.Value(nil), ic.Outs[gid]...)
+			part.outs[li] = make([]sched.Output, tab.NumOutputs)
+			part.sentUpTo[li] = make([]int64, tab.NumOutputs)
+			for o := range part.outs[li] {
+				part.outs[li][o].Reset(part.semOut[li][o])
+			}
+			part.touched[li] = -1
+			for o, onid := range inst.OutNets {
+				_ = o
+				if onid < 0 {
+					continue
+				}
+				for _, rp := range s.netReaders[onid] {
+					if rp != part.id {
+						part.isBorder[li] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Initialize per-partition net views from the shared fixpoint.
+	for nid, v := range ic.NetVals {
+		for _, rp := range s.netReaders[nid] {
+			s.parts[rp].netVal[netlist.NetID(nid)] = v
+		}
+		if s.owner[nid] >= 0 {
+			s.parts[s.owner[nid]].netVal[netlist.NetID(nid)] = v
+		}
+	}
+	return s, nil
+}
+
+// Sink receives committed events; events for one net arrive in time order.
+type Sink func(nid netlist.NetID, ev event.Event)
+
+// Run simulates the stimulus to completion.
+func (s *Simulator) Run(stim []Stim, sink Sink) error {
+	for _, st := range stim {
+		if int(st.Net) >= len(s.nl.Nets) || !s.nl.Nets[st.Net].IsInput {
+			return fmt.Errorf("partsim: stimulus on non-input net %d", st.Net)
+		}
+	}
+	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
+	// Distribute stimuli into the inboxes of reading partitions up front,
+	// dropping no-op changes (PI nets only ever change via stimulus, so the
+	// coordinator can dedup without consulting partitions).
+	piVal := make(map[netlist.NetID]logic.Value)
+	for _, st := range stim {
+		v := st.Val.Settle()
+		prev, seen := piVal[st.Net]
+		if !seen {
+			prev = logic.VX
+		}
+		if prev == v {
+			continue
+		}
+		piVal[st.Net] = v
+		for _, rp := range s.netReaders[st.Net] {
+			s.parts[rp].inbox.push(msg{t: st.Time, net: st.Net, v: v})
+		}
+		s.Events++
+		if sink != nil {
+			sink(st.Net, event.Event{Time: st.Time, Val: v})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for {
+		// Global minimum next time across partitions.
+		T := int64(1) << 62
+		for _, p := range s.parts {
+			if t := p.nextTime(); t < T {
+				T = t
+			}
+		}
+		if T >= 1<<62 {
+			return nil
+		}
+		windowEnd := T + s.lookahead
+		s.Rounds++
+
+		// Phase 1 (parallel): finalize and stage cross-partition events with
+		// te < T + lookahead (they are immune to cancellation because no
+		// evaluation can happen before T anywhere). This is the CMB
+		// null-message exchange.
+		wg.Add(len(s.parts))
+		for _, p := range s.parts {
+			go func(p *partition) {
+				defer wg.Done()
+				p.stageCross(s, windowEnd)
+			}(p)
+		}
+		wg.Wait()
+		// Barrier: deliver staged messages before anyone processes the
+		// window — an event can be both finalized and due within the same
+		// round (uniform delays put everything on one lattice).
+		for _, from := range s.parts {
+			for tgt, msgs := range from.outMsgs {
+				s.CrossMessages += int64(len(msgs))
+				for _, m := range msgs {
+					s.parts[tgt].inbox.push(m)
+				}
+				from.outMsgs[tgt] = from.outMsgs[tgt][:0]
+			}
+		}
+
+		// Phase 2 (parallel): process the window [T, windowEnd).
+		wg.Add(len(s.parts))
+		for _, p := range s.parts {
+			go func(p *partition) {
+				defer wg.Done()
+				p.process(s, T, windowEnd)
+			}(p)
+		}
+		wg.Wait()
+		// Emit committed events.
+		if sink != nil {
+			for _, p := range s.parts {
+				for _, em := range p.emitted {
+					sink(em.net, event.Event{Time: em.t, Val: em.v})
+				}
+				p.emitted = p.emitted[:0]
+			}
+		} else {
+			for _, p := range s.parts {
+				p.emitted = p.emitted[:0]
+			}
+		}
+	}
+}
+
+// nextTime returns the earliest thing this partition knows about.
+func (p *partition) nextTime() int64 {
+	t := int64(1) << 62
+	if p.inbox.len() > 0 && p.inbox.top().t < t {
+		t = p.inbox.top().t
+	}
+	if p.wakes.len() > 0 && p.wakes.top().time < t {
+		t = p.wakes.top().time
+	}
+	return t
+}
+
+// stageCross finalizes pending transitions of border gates below
+// windowEnd + lookahead... precisely: transitions with te < windowStart +
+// lookahead are final at round start; we conservatively stage only those,
+// which is exactly the CMB null-message bound.
+func (p *partition) stageCross(s *Simulator, windowEnd int64) {
+	final := windowEnd // = T + lookahead
+	for li, gid := range p.gates {
+		if !p.isBorder[li] {
+			continue
+		}
+		inst := &s.nl.Instances[gid]
+		for o := range p.outs[li] {
+			nid := inst.OutNets[o]
+			if nid < 0 {
+				continue
+			}
+			// Peek pendings below `final` that were not yet sent. We cannot
+			// pop them (local commit still needs them), so we track a
+			// per-output sent watermark and scan the pending list.
+			out := &p.outs[li][o]
+			for k := 0; k < out.PendingCount(); k++ {
+				te, v := out.PendingAt(k)
+				if te >= final {
+					break
+				}
+				if te < p.sentUpTo[li][o] {
+					continue
+				}
+				for _, rp := range s.netReaders[nid] {
+					if rp != p.id {
+						p.outMsgs[rp] = append(p.outMsgs[rp], msg{t: te, net: nid, v: v})
+					}
+				}
+			}
+			if final > p.sentUpTo[li][o] {
+				p.sentUpTo[li][o] = final
+			}
+		}
+	}
+}
+
+// process runs the partition's event loop for times in [T, windowEnd).
+func (p *partition) process(s *Simulator, T, windowEnd int64) {
+	var changed []netlist.NetID
+	var evalSet []int32
+	for {
+		t := p.nextTime()
+		if t >= windowEnd {
+			return
+		}
+		changed = changed[:0]
+		// Inbox changes (stimulus + cross events) due now.
+		for p.inbox.len() > 0 && p.inbox.top().t == t {
+			m := p.inbox.pop()
+			if p.netVal[m.net] == m.v {
+				continue
+			}
+			p.netVal[m.net] = m.v
+			changed = append(changed, m.net)
+		}
+		// Local commits due now.
+		for p.wakes.len() > 0 && p.wakes.top().time == t {
+			w := p.wakes.pop()
+			inst := &s.nl.Instances[p.gates[w.gate]]
+			for o := range p.outs[w.gate] {
+				out := &p.outs[w.gate][o]
+				for {
+					te, ok := out.NextPending()
+					if !ok || te > t {
+						break
+					}
+					ev := out.PopFront()
+					nid := inst.OutNets[o]
+					if nid < 0 {
+						continue
+					}
+					p.netVal[nid] = ev.Val
+					changed = append(changed, nid)
+					p.emitted = append(p.emitted, emit{t: ev.Time, net: nid, v: ev.Val})
+				}
+			}
+		}
+		if len(changed) == 0 {
+			continue
+		}
+		evalSet = evalSet[:0]
+		for _, nid := range changed {
+			for _, load := range s.nl.Nets[nid].Fanout {
+				li, ok := p.localIdx[load.Cell]
+				if !ok {
+					continue
+				}
+				if p.touched[li] != t {
+					p.touched[li] = t
+					evalSet = append(evalSet, li)
+				}
+			}
+		}
+		for _, li := range evalSet {
+			p.evaluate(s, li, t)
+		}
+	}
+}
+
+func (p *partition) evaluate(s *Simulator, li int32, t int64) {
+	gid := p.gates[li]
+	inst := &s.nl.Instances[gid]
+	tab := p.tabs[li]
+	inVals := p.inVals[li]
+
+	var qIns [16]logic.Value
+	var evIn [16]int
+	nEv := 0
+	for i, nid := range inst.InNets {
+		cur := p.netVal[nid]
+		if cur != inVals[i] {
+			evIn[nEv] = i
+			nEv++
+			if tab.EdgeSensitive[i] {
+				qIns[i] = logic.EdgeCode(inVals[i], cur)
+			} else {
+				qIns[i] = cur
+			}
+		} else {
+			qIns[i] = cur
+		}
+	}
+	var qOuts, qNext [8]logic.Value
+	tab.LookupInto(qIns[:len(inst.InNets)], p.states[li], qOuts[:tab.NumOutputs], qNext[:tab.NumStates])
+
+	for o := 0; o < tab.NumOutputs; o++ {
+		nv := qOuts[o]
+		if nv == p.semOut[li][o] {
+			continue
+		}
+		d := int64(1) << 62
+		for k := 0; k < nEv; k++ {
+			if ad := sched.DelayFor(s.delays.Arc(gid, o, evIn[k]), nv); ad < d {
+				d = ad
+			}
+		}
+		p.outs[li][o].Schedule(t+d, nv)
+		p.semOut[li][o] = nv
+		p.wakes.push(wake{time: t + d, gate: li})
+	}
+	for k := 0; k < nEv; k++ {
+		inVals[evIn[k]] = p.netVal[inst.InNets[evIn[k]]]
+	}
+	copy(p.states[li], qNext[:tab.NumStates])
+}
+
+// --- small heaps ---
+
+type wake struct {
+	time int64
+	gate int32
+}
+
+type wakeHeap struct{ a []wake }
+
+func (h *wakeHeap) len() int  { return len(h.a) }
+func (h *wakeHeap) top() wake { return h.a[0] }
+func (h *wakeHeap) push(w wake) {
+	h.a = append(h.a, w)
+	i := len(h.a) - 1
+	for i > 0 {
+		pi := (i - 1) / 2
+		if h.a[pi].time <= h.a[i].time {
+			break
+		}
+		h.a[i], h.a[pi] = h.a[pi], h.a[i]
+		i = pi
+	}
+}
+func (h *wakeHeap) pop() wake {
+	w := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < last && h.a[l].time < h.a[m].time {
+			m = l
+		}
+		if r < last && h.a[r].time < h.a[m].time {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return w
+}
+
+type changeHeap struct{ a []msg }
+
+func (h *changeHeap) len() int { return len(h.a) }
+func (h *changeHeap) top() msg { return h.a[0] }
+func (h *changeHeap) push(m msg) {
+	h.a = append(h.a, m)
+	i := len(h.a) - 1
+	for i > 0 {
+		pi := (i - 1) / 2
+		if !msgLess(h.a[i], h.a[pi]) {
+			break
+		}
+		h.a[i], h.a[pi] = h.a[pi], h.a[i]
+		i = pi
+	}
+}
+func (h *changeHeap) pop() msg {
+	m := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r, mi := 2*i+1, 2*i+2, i
+		if l < last && msgLess(h.a[l], h.a[mi]) {
+			mi = l
+		}
+		if r < last && msgLess(h.a[r], h.a[mi]) {
+			mi = r
+		}
+		if mi == i {
+			break
+		}
+		h.a[i], h.a[mi] = h.a[mi], h.a[i]
+		i = mi
+	}
+	return m
+}
+
+// msgLess orders inbox messages by time, then net, so that same-net
+// messages pop in injection order per time (values are strictly changing
+// per net per time by construction).
+func msgLess(a, b msg) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.net < b.net
+}

@@ -1,0 +1,211 @@
+package partsim
+
+import (
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+var testLib = mustCompile()
+
+func mustCompile() *truthtab.CompiledLibrary {
+	cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+func spec(seed int64) gen.Spec {
+	return gen.Spec{
+		Name: "p", Seed: seed,
+		CombGates: 150, FFs: 30, Latches: 5, ScanFFs: 6, ClockGates: 2,
+		Depth: 5, DataInputs: 10, Outputs: 5, ClockPeriodPS: 2000,
+	}
+}
+
+// runBoth compares partsim against refsim event-for-event on every net.
+func runBoth(t *testing.T, seed int64, partitions int, delays func(d *gen.Design) *sdf.Delays) {
+	t.Helper()
+	d, err := gen.Build(spec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := delays(d)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 25, ActivityFactor: 0.6, Seed: seed, ScanBurst: 6})
+
+	ref, err := refsim.New(d.Netlist, testLib, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refsim.Collect{}
+	rstim := make([]refsim.Stim, len(stim))
+	for i, s := range stim {
+		rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	if err := ref.Run(rstim, want.Add); err != nil {
+		t.Fatal(err)
+	}
+
+	ps, err := New(d.Netlist, testLib, dl, Options{Partitions: partitions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[netlist.NetID][]event.Event{}
+	pstim := make([]Stim, len(stim))
+	for i, s := range stim {
+		pstim[i] = Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	if err := ps.Run(pstim, func(nid netlist.NetID, ev event.Event) {
+		got[nid] = append(got[nid], ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for nid := range d.Netlist.Nets {
+		w, g := want[netlist.NetID(nid)], got[netlist.NetID(nid)]
+		if len(w) != len(g) {
+			t.Fatalf("seed %d P=%d net %s: %d vs %d events\nwant %v\ngot  %v",
+				seed, partitions, d.Netlist.Nets[nid].Name, len(w), len(g), w, g)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("seed %d P=%d net %s event %d: %+v vs %+v",
+					seed, partitions, d.Netlist.Nets[nid].Name, i, w[i], g[i])
+			}
+		}
+	}
+	if ps.Rounds == 0 {
+		t.Error("no rounds executed")
+	}
+}
+
+func sdfDelays(d *gen.Design) *sdf.Delays  { return gen.Delays(d, 7) }
+func unitDelays(d *gen.Design) *sdf.Delays { return sdf.Uniform(d.Netlist, 100) }
+
+func TestMatchesRefsimSDF(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		runBoth(t, int64(p), p, sdfDelays)
+	}
+}
+
+func TestMatchesRefsimUnitDelay(t *testing.T) {
+	for _, p := range []int{2, 5} {
+		runBoth(t, 11, p, unitDelays)
+	}
+}
+
+// TestLookaheadDrivesRounds demonstrates the Figure 8 mechanism: with SDF
+// annotation the conservative lookahead collapses and the round count
+// explodes relative to uniform delays on the same design and stimulus.
+func TestLookaheadDrivesRounds(t *testing.T) {
+	d, err := gen.Build(spec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.7, Seed: 3, ScanBurst: 5})
+	run := func(dl *sdf.Delays) int64 {
+		ps, err := New(d.Netlist, testLib, dl, Options{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pstim := make([]Stim, len(stim))
+		for i, s := range stim {
+			pstim[i] = Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+		}
+		if err := ps.Run(pstim, nil); err != nil {
+			t.Fatal(err)
+		}
+		return ps.Rounds
+	}
+	sdfRounds := run(gen.Delays(d, 7))
+	unitRounds := run(sdf.Uniform(d.Netlist, 100))
+	if sdfRounds <= unitRounds {
+		t.Errorf("SDF rounds (%d) should exceed unit-delay rounds (%d)", sdfRounds, unitRounds)
+	}
+	t.Logf("rounds: SDF=%d unit=%d (ratio %.1fx)", sdfRounds, unitRounds, float64(sdfRounds)/float64(unitRounds))
+}
+
+func TestRejectsZeroDelay(t *testing.T) {
+	d, err := gen.Build(spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d.Netlist, testLib, sdf.Uniform(d.Netlist, 0), Options{Partitions: 2}); err == nil {
+		t.Error("zero delays must be rejected")
+	}
+}
+
+func TestRejectsBadStim(t *testing.T) {
+	d, err := gen.Build(spec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ffq0 is an internal driven net.
+	nid, ok := d.Netlist.Net("ffq0")
+	if !ok {
+		t.Fatal("no ffq0")
+	}
+	if err := ps.Run([]Stim{{Net: nid, Time: 0, Val: 1}}, nil); err == nil {
+		t.Error("stimulus on internal net must fail")
+	}
+}
+
+// TestPartitionQualityMatters reproduces the paper's §II claim that
+// partition-based simulators are "highly reliant on the quality of the
+// circuit partition": a round-robin (bad) partition must exchange far more
+// cross-partition events than a contiguous (locality-preserving) one, while
+// producing identical results.
+func TestPartitionQualityMatters(t *testing.T) {
+	d, err := gen.Build(spec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := gen.Delays(d, 7)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.6, Seed: 13, ScanBurst: 6})
+	run := func(strategy Strategy) (int64, map[netlist.NetID][]event.Event) {
+		ps, err := New(d.Netlist, testLib, dl, Options{Partitions: 4, Strategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[netlist.NetID][]event.Event{}
+		pstim := make([]Stim, len(stim))
+		for i, s := range stim {
+			pstim[i] = Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+		}
+		if err := ps.Run(pstim, func(nid netlist.NetID, ev event.Event) {
+			got[nid] = append(got[nid], ev)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return ps.CrossMessages, got
+	}
+	goodMsgs, goodEvents := run(StrategyContiguous)
+	badMsgs, badEvents := run(StrategyRoundRobin)
+	if badMsgs <= goodMsgs {
+		t.Errorf("round-robin cross messages (%d) should exceed contiguous (%d)", badMsgs, goodMsgs)
+	}
+	t.Logf("cross messages: contiguous=%d round-robin=%d (%.1fx)", goodMsgs, badMsgs, float64(badMsgs)/float64(goodMsgs))
+	// Partition quality must never change results.
+	for nid := range d.Netlist.Nets {
+		g, b := goodEvents[netlist.NetID(nid)], badEvents[netlist.NetID(nid)]
+		if len(g) != len(b) {
+			t.Fatalf("net %s: %d vs %d events across strategies", d.Netlist.Nets[nid].Name, len(g), len(b))
+		}
+		for i := range g {
+			if g[i] != b[i] {
+				t.Fatalf("net %s event %d differs across strategies", d.Netlist.Nets[nid].Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package refsim is a classical sequential event-driven gate-level
+// simulator: one global time-ordered queue, gates evaluated when their
+// inputs commit events, inertial output scheduling.
+//
+// It plays two roles in this repository:
+//
+//   - the stand-in for the single-threaded commercial simulator (Synopsys
+//     VCS) in the paper's Table II / Figure 8 comparisons, and
+//   - the golden oracle: it shares the truth tables, edge-coding and
+//     scheduling rules with the stable-time engine, so the two must produce
+//     byte-identical committed event streams. Any divergence is a bug, and
+//     the test suite checks this on randomized circuits and stimuli.
+//
+// All arc delays must be >= 1 ps; zero-delay arcs would require delta-cycle
+// iteration within one timestamp, which this simulator (deliberately) does
+// not implement.
+package refsim
+
+import (
+	"fmt"
+	"sort"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sched"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// Stim is one primary-input change.
+type Stim struct {
+	Net  netlist.NetID
+	Time int64
+	Val  logic.Value
+}
+
+// Sink receives each committed event, in global time order per net.
+type Sink func(nid netlist.NetID, ev event.Event)
+
+// Simulator is a single-run sequential simulator for one netlist.
+type Simulator struct {
+	nl     *netlist.Netlist
+	delays *sdf.Delays
+
+	tabs    []*truthtab.Table
+	netVal  []logic.Value
+	inVals  [][]logic.Value
+	states  [][]logic.Value
+	semOut  [][]logic.Value
+	outs    [][]sched.Output
+	touched []int64 // per-gate timestamp of last queueing into eval set
+
+	heap wakeHeap
+
+	// Stats
+	Evaluations int64
+	Events      int64
+}
+
+// New prepares a simulator. The compiled library must cover every cell type.
+func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays) (*Simulator, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{nl: nl, delays: delays}
+	ic, err := truthtab.ComputeInitialConditions(nl, lib)
+	if err != nil {
+		return nil, err
+	}
+	n := len(nl.Instances)
+	s.tabs = make([]*truthtab.Table, n)
+	s.inVals = make([][]logic.Value, n)
+	s.states = make([][]logic.Value, n)
+	s.semOut = make([][]logic.Value, n)
+	s.outs = make([][]sched.Output, n)
+	s.touched = make([]int64, n)
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		tab := lib.Tables[inst.Type.Name]
+		if tab == nil {
+			return nil, fmt.Errorf("refsim: cell type %s not in compiled library", inst.Type.Name)
+		}
+		if tab.NumInputs > 16 || tab.NumOutputs > 8 || tab.NumStates > 8 {
+			return nil, fmt.Errorf("refsim: cell %s exceeds supported pin/state counts", inst.Type.Name)
+		}
+		s.tabs[i] = tab
+		s.inVals[i] = make([]logic.Value, tab.NumInputs)
+		for pi, nid := range inst.InNets {
+			s.inVals[i][pi] = ic.NetVals[nid]
+		}
+		s.states[i] = append([]logic.Value(nil), ic.States[i]...)
+		s.semOut[i] = append([]logic.Value(nil), ic.Outs[i]...)
+		s.outs[i] = make([]sched.Output, tab.NumOutputs)
+		for o := range s.outs[i] {
+			s.outs[i][o].Reset(s.semOut[i][o])
+		}
+		s.touched[i] = -1
+		// Validate the >=1ps delay requirement.
+		for o := 0; o < tab.NumOutputs; o++ {
+			for in := 0; in < tab.NumInputs; in++ {
+				if d := delays.Arc(netlist.CellID(i), o, in); d.Min() < 1 {
+					return nil, fmt.Errorf("refsim: instance %s arc %d->%d has delay < 1 ps", inst.Name, in, o)
+				}
+			}
+		}
+	}
+	s.netVal = append([]logic.Value(nil), ic.NetVals...)
+	return s, nil
+}
+
+// Run simulates the stimulus to completion (until no scheduled event
+// remains) and streams committed events to sink. Stimuli must target
+// primary inputs and may be unsorted; they are sorted stably by time.
+func (s *Simulator) Run(stim []Stim, sink Sink) error {
+	for _, st := range stim {
+		if int(st.Net) >= len(s.nl.Nets) || !s.nl.Nets[st.Net].IsInput {
+			return fmt.Errorf("refsim: stimulus on non-input net %d", st.Net)
+		}
+	}
+	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
+
+	var (
+		changedNets []netlist.NetID
+		evalSet     []netlist.CellID
+		stimPos     int
+	)
+	for stimPos < len(stim) || s.heap.len() > 0 {
+		// Next timestamp.
+		t := int64(1) << 62
+		if stimPos < len(stim) {
+			t = stim[stimPos].Time
+		}
+		if s.heap.len() > 0 && s.heap.top().time < t {
+			t = s.heap.top().time
+		}
+
+		// Commit phase: apply stimulus and due output transitions.
+		changedNets = changedNets[:0]
+		for stimPos < len(stim) && stim[stimPos].Time == t {
+			st := stim[stimPos]
+			stimPos++
+			v := st.Val.Settle()
+			if s.netVal[st.Net] == v {
+				continue
+			}
+			s.netVal[st.Net] = v
+			changedNets = append(changedNets, st.Net)
+			s.Events++
+			if sink != nil {
+				sink(st.Net, event.Event{Time: t, Val: v})
+			}
+		}
+		for s.heap.len() > 0 && s.heap.top().time == t {
+			w := s.heap.pop()
+			inst := &s.nl.Instances[w.gate]
+			for o := range s.outs[w.gate] {
+				out := &s.outs[w.gate][o]
+				for {
+					te, ok := out.NextPending()
+					if !ok || te > t {
+						break
+					}
+					ev := out.PopFront()
+					nid := inst.OutNets[o]
+					if nid < 0 {
+						continue
+					}
+					s.netVal[nid] = ev.Val
+					changedNets = append(changedNets, nid)
+					s.Events++
+					if sink != nil {
+						sink(nid, ev)
+					}
+				}
+			}
+		}
+		if len(changedNets) == 0 {
+			continue // stale wakeup
+		}
+
+		// Evaluate phase: each gate fed by a changed net, once.
+		evalSet = evalSet[:0]
+		for _, nid := range changedNets {
+			for _, load := range s.nl.Nets[nid].Fanout {
+				if s.touched[load.Cell] != t {
+					s.touched[load.Cell] = t
+					evalSet = append(evalSet, load.Cell)
+				}
+			}
+		}
+		for _, gid := range evalSet {
+			s.evaluate(gid, t)
+		}
+	}
+	return nil
+}
+
+// evaluate performs one truth-table query for the gate at time t, using the
+// exact same edge coding, delay selection, and scheduling rules as the
+// stable-time engine.
+func (s *Simulator) evaluate(gid netlist.CellID, t int64) {
+	inst := &s.nl.Instances[gid]
+	tab := s.tabs[gid]
+	inVals := s.inVals[gid]
+	s.Evaluations++
+
+	// Query vector and changed-input set.
+	var qIns [16]logic.Value
+	var evIn [16]int
+	nEv := 0
+	for i, nid := range inst.InNets {
+		cur := s.netVal[nid]
+		if cur != inVals[i] {
+			evIn[nEv] = i
+			nEv++
+			if tab.EdgeSensitive[i] {
+				qIns[i] = logic.EdgeCode(inVals[i], cur)
+			} else {
+				qIns[i] = cur
+			}
+		} else {
+			qIns[i] = cur
+		}
+	}
+	var qOuts, qNext [8]logic.Value
+	tab.LookupInto(qIns[:len(inst.InNets)], s.states[gid], qOuts[:tab.NumOutputs], qNext[:tab.NumStates])
+
+	for o := 0; o < tab.NumOutputs; o++ {
+		nv := qOuts[o]
+		if nv == s.semOut[gid][o] {
+			continue
+		}
+		d := int64(1) << 62
+		for k := 0; k < nEv; k++ {
+			if ad := sched.DelayFor(s.delays.Arc(gid, o, evIn[k]), nv); ad < d {
+				d = ad
+			}
+		}
+		s.outs[gid][o].Schedule(t+d, nv)
+		s.semOut[gid][o] = nv
+		s.heap.push(wake{time: t + d, gate: gid})
+	}
+	for k := 0; k < nEv; k++ {
+		inVals[evIn[k]] = s.netVal[inst.InNets[evIn[k]]]
+	}
+	copy(s.states[gid], qNext[:tab.NumStates])
+}
+
+// NetValue returns the current value of a net (after Run, the final value).
+func (s *Simulator) NetValue(nid netlist.NetID) logic.Value { return s.netVal[nid] }
+
+// Collect is a convenience sink that gathers all events per net.
+type Collect map[netlist.NetID][]event.Event
+
+// Add returns a Sink that appends into c.
+func (c Collect) Add(nid netlist.NetID, ev event.Event) {
+	c[nid] = append(c[nid], ev)
+}
+
+// wake is a heap entry: re-examine a gate's pending outputs at `time`.
+type wake struct {
+	time int64
+	gate netlist.CellID
+}
+
+// wakeHeap is a plain binary min-heap by time (ties broken by gate id for
+// determinism, though order within a timestamp is not observable).
+type wakeHeap struct {
+	a []wake
+}
+
+func (h *wakeHeap) len() int  { return len(h.a) }
+func (h *wakeHeap) top() wake { return h.a[0] }
+func (h *wakeHeap) push(w wake) {
+	h.a = append(h.a, w)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !wakeLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *wakeHeap) pop() wake {
+	w := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && wakeLess(h.a[l], h.a[m]) {
+			m = l
+		}
+		if r < last && wakeLess(h.a[r], h.a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return w
+}
+
+func wakeLess(a, b wake) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.gate < b.gate
+}

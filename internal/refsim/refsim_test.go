@@ -1,0 +1,183 @@
+package refsim
+
+import (
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+var testLib = func() *truthtab.CompiledLibrary {
+	cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}()
+
+func TestInverterDelay(t *testing.T) {
+	nl := netlist.New("t", liberty.MustBuiltin())
+	if err := nl.MarkInput(nl.AddNet("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g", "INV", map[string]string{"A": "a", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nl, testLib, sdf.Uniform(nl, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := nl.Net("y")
+	got := Collect{}
+	err = s.Run([]Stim{
+		{Net: 0, Time: 100, Val: logic.V0},
+		{Net: 0, Time: 200, Val: logic.V1},
+	}, got.Add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []event.Event{{Time: 125, Val: logic.V1}, {Time: 225, Val: logic.V0}}
+	if len(got[y]) != 2 || got[y][0] != want[0] || got[y][1] != want[1] {
+		t.Fatalf("y events: %v", got[y])
+	}
+	if s.NetValue(y) != logic.V0 {
+		t.Errorf("final value %v", s.NetValue(y))
+	}
+}
+
+func TestInertialGlitchSuppression(t *testing.T) {
+	// NAND2 with rise 60 / fall 10: a short low pulse computed from two
+	// input changes collapses when the later (falling-delay) transition
+	// lands before the earlier (rising-delay) one.
+	nl := netlist.New("t", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("a"))
+	nl.MarkInput(nl.AddNet("b"))
+	if _, err := nl.AddInstance("g", "NAND2", map[string]string{"A": "a", "B": "b", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	f := &sdf.File{Timescale: 1, Cells: []sdf.Cell{{
+		CellType: "NAND2", Instance: "g",
+		Paths: []sdf.IOPath{
+			{From: "A", To: "Y", Delay: sdf.Delay{Rise: 60, Fall: 10}},
+			{From: "B", To: "Y", Delay: sdf.Delay{Rise: 60, Fall: 10}},
+		},
+	}}}
+	delays, err := sdf.Apply(f, nl, sdf.Delay{Rise: 1, Fall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := nl.Net("y")
+	got := Collect{}
+	// a=1,b=1 at t=100 -> y falls at 110. a->0 at 200 -> y rises at 260.
+	// a->1 again at 210 -> y falls at 220, cancelling the 260 rise: the
+	// output pulse never happens.
+	err = s.Run([]Stim{
+		{Net: 0, Time: 100, Val: logic.V1},
+		{Net: 1, Time: 100, Val: logic.V1},
+		{Net: 0, Time: 200, Val: logic.V0},
+		{Net: 0, Time: 210, Val: logic.V1},
+	}, got.Add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[y]) != 1 || got[y][0].Time != 110 || got[y][0].Val != logic.V0 {
+		t.Fatalf("y events: %v (glitch not suppressed)", got[y])
+	}
+}
+
+func TestAsyncResetDominates(t *testing.T) {
+	nl := netlist.New("t", liberty.MustBuiltin())
+	for _, p := range []string{"clk", "d", "rb"} {
+		nl.MarkInput(nl.AddNet(p))
+	}
+	if _, err := nl.AddInstance("ff", "DFF_PR", map[string]string{
+		"CLK": "clk", "D": "d", "RESET_B": "rb", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nl, testLib, sdf.Uniform(nl, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, _ := nl.Net("clk")
+	d, _ := nl.Net("d")
+	rb, _ := nl.Net("rb")
+	q, _ := nl.Net("q")
+	got := Collect{}
+	err = s.Run([]Stim{
+		{Net: rb, Time: 0, Val: logic.V0},
+		{Net: d, Time: 0, Val: logic.V1},
+		{Net: clk, Time: 0, Val: logic.V0},
+		{Net: clk, Time: 500, Val: logic.V1}, // capture blocked by reset
+		{Net: clk, Time: 1000, Val: logic.V0},
+		{Net: rb, Time: 1200, Val: logic.V1},
+		{Net: clk, Time: 1500, Val: logic.V1}, // captures d=1
+	}, got.Add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := got[q]
+	if len(evs) != 2 {
+		t.Fatalf("q events: %v", evs)
+	}
+	if evs[0] != (event.Event{Time: 20, Val: logic.V0}) {
+		t.Errorf("reset event: %+v", evs[0])
+	}
+	if evs[1] != (event.Event{Time: 1520, Val: logic.V1}) {
+		t.Errorf("capture event: %+v", evs[1])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	nl := netlist.New("t", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("a"))
+	if _, err := nl.AddInstance("g", "INV", map[string]string{"A": "a", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nl, testLib, sdf.Uniform(nl, 0)); err == nil {
+		t.Error("zero delay must be rejected")
+	}
+	s, err := New(nl, testLib, sdf.Uniform(nl, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := nl.Net("y")
+	if err := s.Run([]Stim{{Net: y, Time: 0, Val: logic.V1}}, nil); err == nil {
+		t.Error("stimulus on driven net must fail")
+	}
+}
+
+func TestConstantConeInitialization(t *testing.T) {
+	// TIEHI -> INV: the INV output must already be 0 before any stimulus
+	// (the shared initial-conditions fixpoint), producing no events.
+	nl := netlist.New("t", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("unused"))
+	if _, err := nl.AddInstance("t1", "TIEHI", map[string]string{"Y": "one"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g", "INV", map[string]string{"A": "one", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nl, testLib, sdf.Uniform(nl, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect{}
+	if err := s.Run(nil, got.Add); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := nl.Net("y")
+	if len(got[y]) != 0 {
+		t.Errorf("constant cone produced events: %v", got[y])
+	}
+	if s.NetValue(y) != logic.V0 {
+		t.Errorf("y initial value %v, want 0", s.NetValue(y))
+	}
+}

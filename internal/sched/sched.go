@@ -1,0 +1,129 @@
+// Package sched defines the canonical output-event scheduling semantics
+// shared by every simulator in this repository (the stable-time engine, the
+// sequential reference simulator, and the partition-based baseline). Keeping
+// these rules in one place is what makes their committed event streams
+// comparable bit-for-bit, which in turn is how the parallel engine is
+// verified against the sequential oracle.
+//
+// The semantics are the common inertial-delay model:
+//
+//   - a newly computed output transition at time te cancels every pending
+//     (not yet committed) transition scheduled at or after te;
+//   - a transition to the value the output would already have at te is
+//     dropped;
+//   - pending transitions become committed (visible downstream, immutable)
+//     once the gate's input time frontier guarantees no future cancellation.
+package sched
+
+import (
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/sdf"
+)
+
+// DelayFor selects the arc delay for a transition to value v: rise delay
+// toward 1, fall delay toward 0, and the pessimistic maximum toward X/Z.
+func DelayFor(d sdf.Delay, v logic.Value) int64 {
+	switch v.ToKleene() {
+	case logic.V1:
+		return d.Rise
+	case logic.V0:
+		return d.Fall
+	default:
+		return d.Max()
+	}
+}
+
+// Output tracks the pending (cancellable) transitions of one output pin.
+// The zero value is not ready; use Reset to set the initial value.
+type Output struct {
+	pend []event.Event // pending transitions, strictly increasing time
+	last logic.Value   // value after all committed transitions
+}
+
+// Reset initializes the output to the given committed value with no pending
+// transitions.
+func (o *Output) Reset(v logic.Value) {
+	o.pend = o.pend[:0]
+	o.last = v
+}
+
+// Committed returns the value after all committed transitions.
+func (o *Output) Committed() logic.Value { return o.last }
+
+// Projected returns the value the output will have after all pending
+// transitions.
+func (o *Output) Projected() logic.Value {
+	if len(o.pend) > 0 {
+		return o.pend[len(o.pend)-1].Val
+	}
+	return o.last
+}
+
+// Schedule records a computed transition to v at time te, applying inertial
+// cancellation. Scheduling a value equal to the projected value at te is a
+// no-op. te must be strictly greater than the last committed time (the
+// commit rule guarantees this).
+func (o *Output) Schedule(te int64, v logic.Value) {
+	// Cancel pending transitions at or after te.
+	for len(o.pend) > 0 && o.pend[len(o.pend)-1].Time >= te {
+		o.pend = o.pend[:len(o.pend)-1]
+	}
+	if o.Projected() == v {
+		return
+	}
+	o.pend = append(o.pend, event.Event{Time: te, Val: v})
+}
+
+// CommitThrough commits every pending transition with time <= t, invoking
+// emit for each in time order. Committed transitions are final.
+func (o *Output) CommitThrough(t int64, emit func(event.Event)) {
+	n := 0
+	for n < len(o.pend) && o.pend[n].Time <= t {
+		emit(o.pend[n])
+		o.last = o.pend[n].Val
+		n++
+	}
+	if n > 0 {
+		o.pend = append(o.pend[:0], o.pend[n:]...)
+	}
+}
+
+// NextPending returns the time of the earliest pending transition.
+func (o *Output) NextPending() (int64, bool) {
+	if len(o.pend) == 0 {
+		return 0, false
+	}
+	return o.pend[0].Time, true
+}
+
+// PendingCount returns the number of pending transitions.
+func (o *Output) PendingCount() int { return len(o.pend) }
+
+// PendingAt returns the k-th pending transition (0 = earliest) without
+// removing it. Used by simulators that must peek at finalized transitions
+// before their local commit time (cross-partition sends).
+func (o *Output) PendingAt(k int) (int64, logic.Value) {
+	return o.pend[k].Time, o.pend[k].Val
+}
+
+// PopFront removes and returns the earliest pending transition, updating the
+// committed value. It panics when no transition is pending; pair it with
+// NextPending.
+func (o *Output) PopFront() event.Event {
+	e := o.pend[0]
+	o.last = e.Val
+	o.pend = o.pend[:copy(o.pend, o.pend[1:])]
+	return e
+}
+
+// Pend exposes the pending transitions, earliest first. The slice aliases
+// internal storage: copy it before mutating the Output.
+func (o *Output) Pend() []event.Event { return o.pend }
+
+// Restore sets the committed value and pending list in one step, for
+// simulators that snapshot and resume scheduling state.
+func (o *Output) Restore(last logic.Value, pend []event.Event) {
+	o.last = last
+	o.pend = append(o.pend[:0], pend...)
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/sdf"
+)
+
+func TestDelayFor(t *testing.T) {
+	d := sdf.Delay{Rise: 30, Fall: 20}
+	if DelayFor(d, logic.V1) != 30 || DelayFor(d, logic.V0) != 20 {
+		t.Error("rise/fall selection wrong")
+	}
+	if DelayFor(d, logic.VX) != 30 || DelayFor(d, logic.VZ) != 30 {
+		t.Error("X should use max")
+	}
+	if DelayFor(d, logic.VR) != 30 || DelayFor(d, logic.VF) != 20 {
+		t.Error("edges settle before delay selection")
+	}
+}
+
+func collect(o *Output, through int64) []event.Event {
+	var out []event.Event
+	o.CommitThrough(through, func(e event.Event) { out = append(out, e) })
+	return out
+}
+
+func TestScheduleBasic(t *testing.T) {
+	var o Output
+	o.Reset(logic.V0)
+	o.Schedule(10, logic.V1)
+	o.Schedule(20, logic.V0)
+	got := collect(&o, 100)
+	if len(got) != 2 || got[0] != (event.Event{Time: 10, Val: logic.V1}) || got[1] != (event.Event{Time: 20, Val: logic.V0}) {
+		t.Fatalf("got %+v", got)
+	}
+	if o.Committed() != logic.V0 {
+		t.Errorf("committed = %v", o.Committed())
+	}
+}
+
+func TestScheduleDedup(t *testing.T) {
+	var o Output
+	o.Reset(logic.V1)
+	o.Schedule(10, logic.V1) // same as committed: dropped
+	if o.PendingCount() != 0 {
+		t.Error("redundant schedule kept")
+	}
+	o.Schedule(10, logic.V0)
+	o.Schedule(15, logic.V0) // same as projected: dropped
+	if o.PendingCount() != 1 {
+		t.Error("projected dedup failed")
+	}
+}
+
+func TestInertialCancellation(t *testing.T) {
+	var o Output
+	o.Reset(logic.V0)
+	o.Schedule(10, logic.V1)
+	o.Schedule(20, logic.V0)
+	// An earlier transition cancels everything at or after it.
+	o.Schedule(15, logic.V1)
+	got := collect(&o, 100)
+	// After cancellation at 15: pend was [(10,1)], projected 1, so (15,1)
+	// is redundant: only (10,1) remains.
+	if len(got) != 1 || got[0].Time != 10 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestInertialGlitchSuppression(t *testing.T) {
+	// A pulse shorter than the delay difference collapses.
+	var o Output
+	o.Reset(logic.V0)
+	o.Schedule(50, logic.V1)
+	o.Schedule(48, logic.V0) // cancels the 50 rise; redundant vs committed 0
+	if o.PendingCount() != 0 {
+		t.Errorf("pending = %d", o.PendingCount())
+	}
+}
+
+func TestCommitThroughPartial(t *testing.T) {
+	var o Output
+	o.Reset(logic.V0)
+	o.Schedule(10, logic.V1)
+	o.Schedule(20, logic.V0)
+	o.Schedule(30, logic.V1)
+	got := collect(&o, 20)
+	if len(got) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if next, ok := o.NextPending(); !ok || next != 30 {
+		t.Errorf("NextPending = %d %v", next, ok)
+	}
+	if o.Committed() != logic.V0 || o.Projected() != logic.V1 {
+		t.Errorf("committed %v projected %v", o.Committed(), o.Projected())
+	}
+}
+
+// Property: committed streams are strictly time-ordered and never contain
+// two consecutive equal values, whatever the schedule/commit interleaving.
+func TestCommittedStreamInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		var o Output
+		o.Reset(logic.V0)
+		var stream []event.Event
+		emit := func(e event.Event) { stream = append(stream, e) }
+		frontier := int64(0)
+		for op := 0; op < 500; op++ {
+			if rng.Intn(3) > 0 {
+				te := frontier + 1 + rng.Int63n(50)
+				o.Schedule(te, logic.Value(rng.Intn(3)))
+			} else {
+				frontier += rng.Int63n(30)
+				o.CommitThrough(frontier, emit)
+			}
+		}
+		last := event.Event{Time: -1, Val: logic.V0}
+		for i, e := range stream {
+			if e.Time <= last.Time && i > 0 {
+				t.Fatalf("trial %d: non-increasing times %d then %d", trial, last.Time, e.Time)
+			}
+			if i > 0 && e.Val == last.Val {
+				t.Fatalf("trial %d: duplicate value %v at %d", trial, e.Val, e.Time)
+			}
+			last = e
+		}
+		// First committed value differs from the initial value.
+		if len(stream) > 0 && stream[0].Val == logic.V0 {
+			t.Fatalf("trial %d: first transition is not a change", trial)
+		}
+	}
+}
+
+func TestPopFront(t *testing.T) {
+	var o Output
+	o.Reset(logic.V0)
+	o.Schedule(10, logic.V1)
+	o.Schedule(20, logic.V0)
+	if te, ok := o.NextPending(); !ok || te != 10 {
+		t.Fatal("NextPending wrong")
+	}
+	e := o.PopFront()
+	if e.Time != 10 || o.Committed() != logic.V1 || o.PendingCount() != 1 {
+		t.Fatalf("PopFront: %+v committed=%v", e, o.Committed())
+	}
+}
+
+func TestPendRestore(t *testing.T) {
+	var o Output
+	o.Reset(logic.V0)
+	o.Schedule(10, logic.V1)
+	o.Schedule(20, logic.V0)
+	saved := append([]event.Event(nil), o.Pend()...)
+	var o2 Output
+	o2.Restore(logic.V0, saved)
+	if o2.PendingCount() != 2 || o2.Projected() != logic.V0 || o2.Committed() != logic.V0 {
+		t.Fatalf("restore wrong: %d pending", o2.PendingCount())
+	}
+	e := o2.PopFront()
+	if e.Time != 10 || e.Val != logic.V1 {
+		t.Fatalf("restored pop: %+v", e)
+	}
+}

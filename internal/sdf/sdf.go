@@ -1,0 +1,524 @@
+// Package sdf reads and writes the subset of the Standard Delay Format used
+// by delay-annotated gate-level simulation: absolute IOPATH delays per cell
+// instance, with rise and fall times. Delays are carried as integer
+// picoseconds throughout the simulator.
+package sdf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gatesim/internal/netlist"
+)
+
+// Delay is one timing arc's rise and fall delay in picoseconds.
+type Delay struct {
+	Rise int64
+	Fall int64
+}
+
+// Max returns the larger of rise and fall.
+func (d Delay) Max() int64 {
+	if d.Rise > d.Fall {
+		return d.Rise
+	}
+	return d.Fall
+}
+
+// Min returns the smaller of rise and fall.
+func (d Delay) Min() int64 {
+	if d.Rise < d.Fall {
+		return d.Rise
+	}
+	return d.Fall
+}
+
+// IOPath is one (input pin -> output pin) delay of a cell instance.
+type IOPath struct {
+	From, To string
+	Delay    Delay
+}
+
+// Cell is the annotation of one instance.
+type Cell struct {
+	CellType string
+	Instance string
+	Paths    []IOPath
+}
+
+// File is a parsed SDF file.
+type File struct {
+	Design    string
+	Timescale int64 // picoseconds per SDF time unit
+	Cells     []Cell
+}
+
+// Parse reads SDF text.
+func Parse(src string) (*File, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) cur() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) expect(tok string) error {
+	if p.cur() != tok {
+		return fmt.Errorf("sdf: expected %q, got %q", tok, p.cur())
+	}
+	p.pos++
+	return nil
+}
+
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sdf: unterminated string")
+			}
+			toks = append(toks, src[i:j+1]) // keep quotes to mark strings
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r()", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Timescale: 1}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expect("DELAYFILE"); err != nil {
+		return nil, err
+	}
+	for p.cur() == "(" {
+		p.pos++
+		switch key := p.cur(); key {
+		case "CELL":
+			p.pos++
+			cell, err := p.parseCell(f.Timescale)
+			if err != nil {
+				return nil, err
+			}
+			f.Cells = append(f.Cells, *cell)
+		case "DESIGN":
+			p.pos++
+			f.Design = unquote(p.cur())
+			p.pos++
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		case "TIMESCALE":
+			p.pos++
+			ts, err := parseTimescale(unquote(p.cur()))
+			if err != nil {
+				return nil, err
+			}
+			f.Timescale = ts
+			p.pos++
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		default:
+			// Skip unknown header groups (SDFVERSION, DATE, VENDOR, ...).
+			if err := p.skipGroup(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// skipGroup consumes tokens until the matching close paren (the open paren
+// and keyword were already consumed).
+func (p *parser) skipGroup() error {
+	depth := 1
+	for depth > 0 {
+		switch p.cur() {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		case "":
+			return fmt.Errorf("sdf: unexpected EOF while skipping group")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *parser) parseCell(timescale int64) (*Cell, error) {
+	c := &Cell{}
+	for p.cur() == "(" {
+		p.pos++
+		switch p.cur() {
+		case "CELLTYPE":
+			p.pos++
+			c.CellType = unquote(p.cur())
+			p.pos++
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		case "INSTANCE":
+			p.pos++
+			if p.cur() != ")" {
+				c.Instance = unquote(p.cur())
+				p.pos++
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		case "DELAY":
+			p.pos++
+			if err := p.parseDelay(c, timescale); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.skipGroup(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, p.expect(")")
+}
+
+func (p *parser) parseDelay(c *Cell, timescale int64) error {
+	for p.cur() == "(" {
+		p.pos++
+		switch p.cur() {
+		case "ABSOLUTE", "INCREMENT":
+			p.pos++
+			for p.cur() == "(" {
+				p.pos++
+				if p.cur() != "IOPATH" {
+					if err := p.skipGroup(); err != nil {
+						return err
+					}
+					continue
+				}
+				p.pos++
+				path := IOPath{From: p.cur()}
+				p.pos++
+				path.To = p.cur()
+				p.pos++
+				rise, err := p.parseTriple(timescale)
+				if err != nil {
+					return err
+				}
+				fall := rise
+				if p.cur() == "(" {
+					fall, err = p.parseTriple(timescale)
+					if err != nil {
+						return err
+					}
+				}
+				path.Delay = Delay{Rise: rise, Fall: fall}
+				c.Paths = append(c.Paths, path)
+				if err := p.expect(")"); err != nil {
+					return err
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+		default:
+			if err := p.skipGroup(); err != nil {
+				return err
+			}
+		}
+	}
+	return p.expect(")")
+}
+
+// parseTriple reads "(min:typ:max)" or "(v)" and returns the typ value in
+// picoseconds.
+func (p *parser) parseTriple(timescale int64) (int64, error) {
+	if err := p.expect("("); err != nil {
+		return 0, err
+	}
+	raw := p.cur()
+	p.pos++
+	if err := p.expect(")"); err != nil {
+		return 0, err
+	}
+	parts := strings.Split(raw, ":")
+	pick := parts[0]
+	if len(parts) == 3 {
+		pick = parts[1]
+	}
+	v, err := strconv.ParseFloat(pick, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sdf: bad delay value %q", raw)
+	}
+	return int64(v*float64(timescale) + 0.5), nil
+}
+
+func parseTimescale(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, " ", "")
+	mult := int64(1)
+	var numPart string
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		numPart = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		numPart, mult = s[:len(s)-2], 1000
+	case strings.HasSuffix(s, "us"):
+		numPart, mult = s[:len(s)-2], 1000_000
+	default:
+		return 0, fmt.Errorf("sdf: unsupported timescale %q", s)
+	}
+	n, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sdf: bad timescale %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}
+
+// Write renders the file as SDF text with a 1ps timescale.
+func Write(f *File) string {
+	var b strings.Builder
+	b.WriteString("(DELAYFILE\n  (SDFVERSION \"3.0\")\n")
+	if f.Design != "" {
+		fmt.Fprintf(&b, "  (DESIGN %q)\n", f.Design)
+	}
+	b.WriteString("  (TIMESCALE 1ps)\n")
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "  (CELL (CELLTYPE %q) (INSTANCE %s)\n    (DELAY (ABSOLUTE\n", c.CellType, c.Instance)
+		for _, p := range c.Paths {
+			fmt.Fprintf(&b, "      (IOPATH %s %s (%d) (%d))\n", p.From, p.To, p.Delay.Rise, p.Delay.Fall)
+		}
+		b.WriteString("    ))\n  )\n")
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+// Delays is the dense per-instance annotation the simulator consumes:
+// Arc(cell, out, in) in picoseconds.
+type Delays struct {
+	// perInstance[cell][out*numInputs+in]
+	perInstance [][]Delay
+	numInputs   []int
+	// MinPositive is the smallest nonzero arc delay in the design (0 when
+	// every arc is zero); used as conservative lookahead by partsim.
+	MinPositive int64
+}
+
+// Arc returns the delay of the (in -> out) arc of the given instance.
+func (d *Delays) Arc(cell netlist.CellID, out, in int) Delay {
+	return d.perInstance[cell][out*d.numInputs[cell]+in]
+}
+
+// MinArc returns the smallest delay across all arcs into the given output.
+func (d *Delays) MinArc(cell netlist.CellID, out int) int64 {
+	n := d.numInputs[cell]
+	if n == 0 {
+		return 0
+	}
+	min := int64(1<<62 - 1)
+	for in := 0; in < n; in++ {
+		if v := d.perInstance[cell][out*n+in].Min(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Uniform builds an annotation giving every arc the same rise/fall delay —
+// the "no SDF annotation" configuration of the paper's Figure 8.
+func Uniform(nl *netlist.Netlist, delay int64) *Delays {
+	d := newDelays(nl, Delay{delay, delay})
+	if delay > 0 {
+		d.MinPositive = delay
+	}
+	return d
+}
+
+func newDelays(nl *netlist.Netlist, def Delay) *Delays {
+	d := &Delays{
+		perInstance: make([][]Delay, len(nl.Instances)),
+		numInputs:   make([]int, len(nl.Instances)),
+	}
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		ni, no := len(inst.Type.Inputs), len(inst.Type.Outputs)
+		d.numInputs[i] = ni
+		arcs := make([]Delay, ni*no)
+		for k := range arcs {
+			arcs[k] = def
+		}
+		d.perInstance[i] = arcs
+	}
+	return d
+}
+
+// Apply matches the parsed file against the netlist and produces the dense
+// annotation. Arcs not mentioned in the file keep the default delay.
+// Instances named in the file but absent from the netlist are an error, as
+// are pins that do not exist on the cell.
+func Apply(f *File, nl *netlist.Netlist, def Delay) (*Delays, error) {
+	d := newDelays(nl, def)
+	byName := make(map[string]netlist.CellID, len(nl.Instances))
+	for i := range nl.Instances {
+		byName[nl.Instances[i].Name] = netlist.CellID(i)
+	}
+	for _, c := range f.Cells {
+		id, ok := byName[c.Instance]
+		if !ok {
+			return nil, fmt.Errorf("sdf: instance %q not in netlist", c.Instance)
+		}
+		inst := &nl.Instances[id]
+		if c.CellType != "" && c.CellType != inst.Type.Name {
+			return nil, fmt.Errorf("sdf: instance %q is %s in netlist but %s in SDF",
+				c.Instance, inst.Type.Name, c.CellType)
+		}
+		ni := len(inst.Type.Inputs)
+		for _, p := range c.Paths {
+			in := pinIndexOf(inst.Type.Inputs, p.From)
+			out := pinIndexOf(inst.Type.Outputs, p.To)
+			if in < 0 || out < 0 {
+				return nil, fmt.Errorf("sdf: instance %q: no arc %s -> %s on cell %s",
+					c.Instance, p.From, p.To, inst.Type.Name)
+			}
+			d.perInstance[id][out*ni+in] = p.Delay
+		}
+	}
+	d.MinPositive = 0
+	for _, arcs := range d.perInstance {
+		for _, a := range arcs {
+			if v := a.Min(); v > 0 && (d.MinPositive == 0 || v < d.MinPositive) {
+				d.MinPositive = v
+			}
+		}
+	}
+	return d, nil
+}
+
+func pinIndexOf(pins []string, name string) int {
+	for i, p := range pins {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FromNetlist builds an SDF File out of a dense annotation, for writing.
+func FromNetlist(nl *netlist.Netlist, d *Delays) *File {
+	f := &File{Design: nl.Name, Timescale: 1}
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		c := Cell{CellType: inst.Type.Name, Instance: inst.Name}
+		for out, outPin := range inst.Type.Outputs {
+			if inst.OutNets[out] < 0 {
+				continue
+			}
+			for in, inPin := range inst.Type.Inputs {
+				c.Paths = append(c.Paths, IOPath{
+					From:  inPin,
+					To:    outPin,
+					Delay: d.Arc(netlist.CellID(i), out, in),
+				})
+			}
+		}
+		if len(c.Paths) > 0 {
+			f.Cells = append(f.Cells, c)
+		}
+	}
+	sort.Slice(f.Cells, func(a, b int) bool { return f.Cells[a].Instance < f.Cells[b].Instance })
+	return f
+}
+
+// FromLibrary builds a delay annotation from the Liberty timing arcs parsed
+// into the cell library (worst-case cell_rise/cell_fall per pin pair),
+// scaled by the library time unit into picoseconds. Arcs without library
+// timing get the default; every delay is clamped to >= 1 ps. This is the
+// "no SDF available" fallback used by tools.
+func FromLibrary(nl *netlist.Netlist, def Delay) *Delays {
+	d := newDelays(nl, def)
+	unit := nl.Lib.TimeUnitPS
+	if unit <= 0 {
+		unit = 1000
+	}
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		ni := len(inst.Type.Inputs)
+		for out, outPin := range inst.Type.Outputs {
+			pin := inst.Type.Pin(outPin)
+			for _, arc := range pin.Timing {
+				in := pinIndexOf(inst.Type.Inputs, arc.RelatedPin)
+				if in < 0 {
+					continue
+				}
+				rise := int64(arc.Rise*unit + 0.5)
+				fall := int64(arc.Fall*unit + 0.5)
+				if rise < 1 {
+					rise = 1
+				}
+				if fall < 1 {
+					fall = 1
+				}
+				d.perInstance[i][out*ni+in] = Delay{Rise: rise, Fall: fall}
+			}
+		}
+	}
+	d.MinPositive = 0
+	for _, arcs := range d.perInstance {
+		for _, a := range arcs {
+			if v := a.Min(); v > 0 && (d.MinPositive == 0 || v < d.MinPositive) {
+				d.MinPositive = v
+			}
+		}
+	}
+	return d
+}

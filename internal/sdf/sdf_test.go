@@ -1,0 +1,243 @@
+package sdf
+
+import (
+	"testing"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+)
+
+const sampleSDF = `
+(DELAYFILE
+ (SDFVERSION "3.0")
+ (DESIGN "top")
+ (DATE "2026-07-06")
+ (TIMESCALE 1ns)
+ (CELL (CELLTYPE "NAND2") (INSTANCE u1)
+  (DELAY (ABSOLUTE
+    (IOPATH A Y (0.05:0.06:0.07) (0.04:0.05:0.06))
+    (IOPATH B Y (0.08) (0.09))
+  ))
+ )
+ (CELL (CELLTYPE "DFF_P") (INSTANCE ff0)
+  (DELAY (ABSOLUTE
+    (IOPATH CLK Q (0.12) (0.13))
+  ))
+ )
+)
+`
+
+func buildSmall(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("top", lib)
+	for _, p := range []string{"a", "b", "clk"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nl.AddInstance("u1", "NAND2", map[string]string{"A": "a", "B": "b", "Y": "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("ff0", "DFF_P", map[string]string{"CLK": "clk", "D": "n1", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	qid, _ := nl.Net("q")
+	nl.MarkOutput(qid)
+	return nl
+}
+
+func TestParseSDF(t *testing.T) {
+	f, err := Parse(sampleSDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Design != "top" || f.Timescale != 1000 {
+		t.Errorf("header: %+v", f)
+	}
+	if len(f.Cells) != 2 {
+		t.Fatalf("cells: %d", len(f.Cells))
+	}
+	p := f.Cells[0].Paths[0]
+	// typ value 0.06 ns = 60 ps
+	if p.From != "A" || p.To != "Y" || p.Delay.Rise != 60 || p.Delay.Fall != 50 {
+		t.Errorf("path: %+v", p)
+	}
+	// single-value triple
+	if f.Cells[0].Paths[1].Delay.Rise != 80 || f.Cells[0].Paths[1].Delay.Fall != 90 {
+		t.Errorf("path: %+v", f.Cells[0].Paths[1])
+	}
+}
+
+func TestApply(t *testing.T) {
+	nl := buildSmall(t)
+	f, err := Parse(sampleSDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Apply(f, nl, Delay{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Arc(0, 0, 0); got.Rise != 60 || got.Fall != 50 {
+		t.Errorf("u1 A->Y: %+v", got)
+	}
+	if got := d.Arc(0, 0, 1); got.Rise != 80 {
+		t.Errorf("u1 B->Y: %+v", got)
+	}
+	// ff0 CLK->Q annotated, D->Q falls back to the default.
+	if got := d.Arc(1, 0, 0); got.Rise != 120 {
+		t.Errorf("ff0 CLK->Q: %+v", got)
+	}
+	if got := d.Arc(1, 0, 1); got.Rise != 10 {
+		t.Errorf("ff0 D->Q default: %+v", got)
+	}
+	if d.MinPositive != 10 {
+		t.Errorf("MinPositive = %d", d.MinPositive)
+	}
+	if got := d.MinArc(0, 0); got != 50 {
+		t.Errorf("MinArc(u1, Y) = %d", got)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	nl := buildSmall(t)
+	bad1 := `(DELAYFILE (TIMESCALE 1ps) (CELL (CELLTYPE "NAND2") (INSTANCE nope)
+	  (DELAY (ABSOLUTE (IOPATH A Y (1) (1))))))`
+	f, err := Parse(bad1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Apply(f, nl, Delay{}); err == nil {
+		t.Error("unknown instance should fail")
+	}
+	bad2 := `(DELAYFILE (TIMESCALE 1ps) (CELL (CELLTYPE "INV") (INSTANCE u1)
+	  (DELAY (ABSOLUTE (IOPATH A Y (1) (1))))))`
+	f, _ = Parse(bad2)
+	if _, err := Apply(f, nl, Delay{}); err == nil {
+		t.Error("cell type mismatch should fail")
+	}
+	bad3 := `(DELAYFILE (TIMESCALE 1ps) (CELL (CELLTYPE "NAND2") (INSTANCE u1)
+	  (DELAY (ABSOLUTE (IOPATH A Q (1) (1))))))`
+	f, _ = Parse(bad3)
+	if _, err := Apply(f, nl, Delay{}); err == nil {
+		t.Error("bad pin should fail")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	nl := buildSmall(t)
+	d := Uniform(nl, 100)
+	if got := d.Arc(0, 0, 1); got.Rise != 100 || got.Fall != 100 {
+		t.Errorf("uniform arc: %+v", got)
+	}
+	if d.MinPositive != 100 {
+		t.Errorf("MinPositive = %d", d.MinPositive)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	nl := buildSmall(t)
+	f, err := Parse(sampleSDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Apply(f, nl, Delay{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Write(FromNetlist(nl, d))
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	d2, err := Apply(f2, nl, Delay{999, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := 0; cell < 2; cell++ {
+		inst := &nl.Instances[cell]
+		for out := range inst.Type.Outputs {
+			if inst.OutNets[out] < 0 {
+				continue // unconnected outputs are not written to SDF
+			}
+			for in := range inst.Type.Inputs {
+				a, b := d.Arc(netlist.CellID(cell), out, in), d2.Arc(netlist.CellID(cell), out, in)
+				if a != b {
+					t.Errorf("arc (%d,%d,%d): %+v vs %+v", cell, out, in, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestParseTimescaleVariants(t *testing.T) {
+	cases := map[string]int64{"1ps": 1, "10ps": 10, "1ns": 1000, "0.1ns": 100, "1us": 1000000}
+	for s, want := range cases {
+		got, err := parseTimescale(s)
+		if err != nil || got != want {
+			t.Errorf("parseTimescale(%q) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	if _, err := parseTimescale("1s"); err == nil {
+		t.Error("1s should be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`(DELAYFILE`,
+		`(DELAYFILE (TIMESCALE 1xs))`,
+		`(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A Y (x)))))`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestFromLibrary(t *testing.T) {
+	src := `library (t) {
+  time_unit : "1ns";
+  cell (G) {
+    pin (A) { direction : input; }
+    pin (B) { direction : input; }
+    pin (Y) { direction : output; function : "A & B";
+      timing () { related_pin : "A";
+        cell_rise (scalar) { values ("0.12"); }
+        cell_fall (scalar) { values ("0.10"); }
+      }
+      timing () { related_pin : "B";
+        cell_rise (tbl) { values ("0.05, 0.20, 0.30"); }
+      }
+    }
+  }
+}`
+	lib, err := liberty.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.TimeUnitPS != 1000 {
+		t.Fatalf("time unit: %v", lib.TimeUnitPS)
+	}
+	nl := netlist.New("t", lib)
+	nl.MarkInput(nl.AddNet("a"))
+	nl.MarkInput(nl.AddNet("b"))
+	if _, err := nl.AddInstance("g", "G", map[string]string{"A": "a", "B": "b", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	d := FromLibrary(nl, Delay{Rise: 7, Fall: 7})
+	// A->Y: 0.12ns/0.10ns => 120/100 ps.
+	if got := d.Arc(0, 0, 0); got.Rise != 120 || got.Fall != 100 {
+		t.Errorf("A->Y: %+v", got)
+	}
+	// B->Y: rise = max table value 0.30ns = 300 ps, fall mirrors rise.
+	if got := d.Arc(0, 0, 1); got.Rise != 300 || got.Fall != 300 {
+		t.Errorf("B->Y: %+v", got)
+	}
+	// Both arcs are annotated, so the smallest delay in the design is 100.
+	if d.MinPositive != 100 {
+		t.Errorf("MinPositive: %d", d.MinPositive)
+	}
+}

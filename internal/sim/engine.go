@@ -1,0 +1,269 @@
+// Package sim implements the paper's core contribution: a delay-annotated
+// gate-level simulation engine with partition-agnostic parallelism built on
+// the stable-time mechanism (§III).
+//
+// # How it works
+//
+// Every net carries a queue of committed events plus a watermark
+// DeterminedUntil: the net's value is known for every time strictly before
+// the watermark and undetermined (U) from it onward — the paper's "stable
+// time". Sequential-internal edges are removed, the remaining combinational
+// graph is levelized, and each sweep processes the sequential cells followed
+// by the combinational levels; gates within a level are independent and run
+// in parallel (Algorithm 2).
+//
+// A gate visit replays its input change points in time order from its last
+// checkpoint: real events (presented as R/F edge markers on edge-sensitive
+// pins) and stable-time expiries (inputs turning U). Each change point is
+// one extended-truth-table query. The visit stops at the first undetermined
+// result; everything before it is final under *all* refinements of the U
+// inputs, so output transitions up to detUntil+minArcDelay commit
+// immediately and the output watermark advances — which is what lets other
+// gates keep going without violating causality. Sweeps repeat until no
+// watermark moves; the number of sweeps tracks the number of clock cycles in
+// the streamed input window, as the paper observes.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+
+	"gatesim/internal/event"
+	"gatesim/internal/levelize"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// TimeInf is the watermark value meaning "determined forever".
+const TimeInf = int64(1) << 60
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// ModeAuto picks between the other modes from the design size, like the
+	// paper's hybrid CPU/GPU mode (§IV-B): oblivious manycore execution for
+	// large designs, dirty-set multicore for medium ones, serial for tiny.
+	ModeAuto Mode = iota
+	// ModeSerial processes dirty gates on the calling goroutine.
+	ModeSerial
+	// ModeParallel processes each level's dirty gates on a worker pool.
+	ModeParallel
+	// ModeManycore is the GPU-analogue: oblivious full-level scans without
+	// dirty-set bookkeeping, on all available cores.
+	ModeManycore
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeSerial:
+		return "serial"
+	case ModeParallel:
+		return "parallel"
+	case ModeManycore:
+		return "manycore"
+	}
+	return "mode?"
+}
+
+// Options configure an Engine.
+type Options struct {
+	Mode Mode
+	// Threads is the worker count for ModeParallel/ModeManycore
+	// (0 = GOMAXPROCS).
+	Threads int
+	// AutoPinThreshold is the pin count above which ModeAuto selects
+	// manycore execution (the paper uses 1M pins for the GPU switch).
+	AutoPinThreshold int
+	// AutoSerialThreshold is the pin count below which ModeAuto stays serial.
+	AutoSerialThreshold int
+	// MaxSweeps bounds the sweeps of one Advance call (safety valve against
+	// livelock bugs; 0 = a generous default).
+	MaxSweeps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.AutoPinThreshold <= 0 {
+		o.AutoPinThreshold = 1_000_000
+	}
+	if o.AutoSerialThreshold <= 0 {
+		o.AutoSerialThreshold = 2_000
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 1 << 30
+	}
+	return o
+}
+
+// Stats are cumulative execution counters.
+type Stats struct {
+	Sweeps          int64 // level sweeps executed
+	Visits          int64 // gate visits
+	Queries         int64 // truth-table queries
+	EventsCommitted int64 // events appended to net queues
+	Checkpoints     int64 // slice-boundary base consolidations
+}
+
+// Engine simulates one netlist.
+type Engine struct {
+	nl     *netlist.Netlist
+	lv     *levelize.Levelization
+	delays *sdf.Delays
+	opts   Options
+	mode   Mode // resolved mode (Auto replaced)
+
+	pool event.Pool
+	nets []netState
+	gate []gateState
+
+	exec      *executor
+	stats     Stats
+	readMarks map[netlist.NetID]int64
+}
+
+type netState struct {
+	q *event.Queue
+	// dirty marks that the net changed (events or watermark) since its
+	// fanout gates last ran. Set by the driver, cleared per-load via the
+	// gate's own dirty flag; this one drives PI fanout marking only.
+	isPI bool
+}
+
+// New builds an engine. The compiled library must cover every cell type in
+// the netlist; delays must come from sdf.Apply or sdf.Uniform on the same
+// netlist.
+func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays, opts Options) (*Engine, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	lv, err := levelize.Compute(nl)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{nl: nl, lv: lv, delays: delays, opts: opts.withDefaults()}
+	e.mode = e.opts.Mode
+	if e.mode == ModeAuto {
+		pins := nl.Stats().Pins
+		switch {
+		case pins >= e.opts.AutoPinThreshold:
+			e.mode = ModeManycore
+		case pins <= e.opts.AutoSerialThreshold:
+			e.mode = ModeSerial
+		default:
+			e.mode = ModeParallel
+		}
+	}
+
+	// Pre-time-zero fixpoint: constant cones, tied resets and shut clock
+	// gates settle to determined initial values shared by every simulator.
+	ic, err := truthtab.ComputeInitialConditions(nl, lib)
+	if err != nil {
+		return nil, err
+	}
+
+	e.gate = make([]gateState, len(nl.Instances))
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		tab := lib.Tables[inst.Type.Name]
+		if tab == nil {
+			return nil, fmt.Errorf("sim: cell type %s not in compiled library", inst.Type.Name)
+		}
+		if err := e.initGate(netlist.CellID(i), tab, ic); err != nil {
+			return nil, err
+		}
+	}
+
+	// Net queues start at the fixpoint values.
+	e.nets = make([]netState, len(nl.Nets))
+	for n := range nl.Nets {
+		e.nets[n] = netState{q: event.NewQueue(&e.pool, ic.NetVals[n]), isPI: nl.Nets[n].IsInput}
+	}
+
+	// Wire gate input/output queue pointers and initial cursors.
+	for i := range e.gate {
+		g := &e.gate[i]
+		inst := &nl.Instances[i]
+		for pi, nid := range inst.InNets {
+			g.inQ[pi] = e.nets[nid].q
+			g.baseCur[pi] = 0
+		}
+		for po, nid := range inst.OutNets {
+			if nid >= 0 {
+				g.outQ[po] = e.nets[nid].q
+			}
+		}
+	}
+
+	e.exec = newExecutor(e)
+	// Everything starts dirty so the first Advance initializes constant
+	// cones (tie cells, reset trees) even before any stimulus.
+	for i := range e.gate {
+		e.gate[i].dirty.Store(true)
+	}
+	return e, nil
+}
+
+// initGate allocates the per-gate simulation state from the initial-
+// conditions fixpoint.
+func (e *Engine) initGate(id netlist.CellID, tab *truthtab.Table, ic *truthtab.InitialConditions) error {
+	inst := &e.nl.Instances[id]
+	ni, no, ns := tab.NumInputs, tab.NumOutputs, tab.NumStates
+	g := &e.gate[id]
+	g.tab = tab
+	g.inQ = make([]*event.Queue, ni)
+	g.baseCur = make([]int64, ni)
+	g.baseVals = make([]logic.Value, ni)
+	g.baseStates = make([]logic.Value, ns)
+	g.semBase = make([]logic.Value, no)
+	g.outQ = make([]*event.Queue, no)
+	g.lastCommitted = make([]logic.Value, no)
+	g.committedUntil = make([]int64, no)
+	g.minArc = make([]int64, no)
+	g.baseNow = -TimeInf
+
+	for pi, nid := range inst.InNets {
+		g.baseVals[pi] = ic.NetVals[nid]
+	}
+	copy(g.baseStates, ic.States[id])
+	copy(g.semBase, ic.Outs[id])
+	copy(g.lastCommitted, g.semBase)
+	for o := range g.committedUntil {
+		g.committedUntil[o] = -TimeInf
+	}
+	g.maxArc = 0
+	for o := 0; o < no; o++ {
+		g.minArc[o] = e.delays.MinArc(id, o)
+		if ni == 0 {
+			g.minArc[o] = 0
+		}
+		for in := 0; in < ni; in++ {
+			if d := e.delays.Arc(id, o, in).Max(); d > g.maxArc {
+				g.maxArc = d
+			}
+		}
+	}
+	_ = inst
+	return nil
+}
+
+// Mode returns the resolved execution mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Stats returns a copy of the cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Netlist returns the simulated netlist.
+func (e *Engine) Netlist() *netlist.Netlist { return e.nl }
+
+// Levelization returns the execution plan (for diagnostics and tools).
+func (e *Engine) Levelization() *levelize.Levelization { return e.lv }
+
+// PoolPages reports how many event pages were ever allocated.
+func (e *Engine) PoolPages() int64 { return e.pool.AllocatedPages() }

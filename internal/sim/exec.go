@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gatesim/internal/netlist"
+)
+
+// executor runs batches of independent gates, serially or on a worker pool,
+// with one scratch area per worker. Gates within a batch never share output
+// nets or write-visible state, so the only cross-worker traffic is the
+// atomic work index and the idempotent dirty flags.
+type executor struct {
+	e         *Engine
+	threads   int
+	scratches []*scratch
+
+	work     []netlist.CellID
+	idx      atomic.Int64
+	progress atomic.Bool
+}
+
+// serialBatchThreshold is the batch size below which forking workers costs
+// more than it saves.
+const serialBatchThreshold = 192
+
+// workChunk is the number of gates a worker claims per atomic increment.
+const workChunk = 64
+
+func newExecutor(e *Engine) *executor {
+	threads := 1
+	if e.mode == ModeParallel || e.mode == ModeManycore {
+		threads = e.opts.Threads
+	}
+	x := &executor{e: e, threads: threads}
+	x.scratches = make([]*scratch, threads)
+	for i := range x.scratches {
+		x.scratches[i] = newScratch(e)
+	}
+	return x
+}
+
+// runBatch visits every gate in ids and reports whether any made progress.
+func (x *executor) runBatch(ids []netlist.CellID) bool {
+	if len(ids) == 0 {
+		return false
+	}
+	if x.threads == 1 || len(ids) < serialBatchThreshold {
+		sc := x.scratches[0]
+		progress := false
+		for _, id := range ids {
+			if x.e.visit(id, sc) {
+				progress = true
+			}
+		}
+		x.mergeStats()
+		return progress
+	}
+	x.work = ids
+	x.idx.Store(0)
+	x.progress.Store(false)
+	var wg sync.WaitGroup
+	for w := 1; w < x.threads; w++ {
+		wg.Add(1)
+		go func(sc *scratch) {
+			defer wg.Done()
+			x.drain(sc)
+		}(x.scratches[w])
+	}
+	x.drain(x.scratches[0])
+	wg.Wait()
+	x.mergeStats()
+	return x.progress.Load()
+}
+
+func (x *executor) drain(sc *scratch) {
+	progress := false
+	for {
+		lo := x.idx.Add(workChunk) - workChunk
+		if lo >= int64(len(x.work)) {
+			break
+		}
+		hi := lo + workChunk
+		if hi > int64(len(x.work)) {
+			hi = int64(len(x.work))
+		}
+		for _, id := range x.work[lo:hi] {
+			if x.e.visit(id, sc) {
+				progress = true
+			}
+		}
+	}
+	if progress {
+		x.progress.Store(true)
+	}
+}
+
+// runCheckpoint folds bases for all gates in parallel.
+func (x *executor) runCheckpoint() {
+	n := len(x.e.gate)
+	if x.threads == 1 || n < serialBatchThreshold {
+		for i := 0; i < n; i++ {
+			x.e.checkpoint(netlist.CellID(i), x.scratches[0])
+		}
+		return
+	}
+	x.idx.Store(0)
+	drain := func(sc *scratch) {
+		for {
+			lo := x.idx.Add(workChunk) - workChunk
+			if lo >= int64(n) {
+				return
+			}
+			hi := lo + workChunk
+			if hi > int64(n) {
+				hi = int64(n)
+			}
+			for id := lo; id < hi; id++ {
+				x.e.checkpoint(netlist.CellID(id), sc)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < x.threads; w++ {
+		wg.Add(1)
+		go func(sc *scratch) {
+			defer wg.Done()
+			drain(sc)
+		}(x.scratches[w])
+	}
+	drain(x.scratches[0])
+	wg.Wait()
+}
+
+// mergeStats folds the per-worker counters into the engine totals. Called
+// from the coordinating goroutine only.
+func (x *executor) mergeStats() {
+	for _, sc := range x.scratches {
+		x.e.stats.Visits += sc.visits
+		x.e.stats.Queries += sc.queries
+		x.e.stats.EventsCommitted += sc.events
+		sc.visits, sc.queries, sc.events = 0, 0, 0
+	}
+}

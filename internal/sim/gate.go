@@ -1,0 +1,548 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sched"
+	"gatesim/internal/truthtab"
+)
+
+// gateState is the persistent per-instance simulation state. Everything a
+// visit derives beyond the base checkpoint lives in per-worker scratch, so a
+// visit is a pure function of (base state, current net queues) — late
+// events below a previously probed time are handled simply by re-deriving.
+type gateState struct {
+	tab *truthtab.Table
+
+	inQ  []*event.Queue
+	outQ []*event.Queue // nil entries for unconnected outputs
+
+	// Base checkpoint: events with queue index < baseCur[i] are folded into
+	// baseVals/baseStates/semBase; baseNow is the last folded change point.
+	baseCur    []int64
+	baseVals   []logic.Value
+	baseStates []logic.Value
+	semBase    []logic.Value // semantic (pre-delay) output values at baseNow
+	baseNow    int64
+
+	// Committed output waveform tracking: events with time <=
+	// committedUntil[o] have been appended to the output queue (or dropped,
+	// for unconnected outputs); lastCommitted[o] is the value after them.
+	lastCommitted  []logic.Value
+	committedUntil []int64
+
+	minArc []int64 // per output: min arc delay (publish lookahead)
+	maxArc int64   // max arc delay of the whole gate (checkpoint safety)
+
+	detUntil atomic.Int64 // determination frontier of the last visit
+
+	// Soft-resume snapshot: the scratch end-state of the last visit. A new
+	// visit resumes from here unless an event arrived below softNow (late
+	// events under a previously-probed region), in which case it re-derives
+	// from the hard base. This turns steady-state visits from O(window)
+	// into O(new work).
+	softValid  bool
+	softNow    int64
+	softCur    []int64
+	softVals   []logic.Value
+	softStates []logic.Value
+	softSem    []logic.Value
+	softPend   [][]event.Event
+
+	// hasFutureWork records whether the last visit left unconsumed input
+	// events or uncommitted pending output transitions — i.e. whether this
+	// gate can still cause events. Used for quiescence detection: when the
+	// inputs are frozen forever and no gate has future work, no event can
+	// ever be created again and every watermark may jump to TimeInf (the
+	// engine's analogue of the reference simulator's empty event queue).
+	hasFutureWork bool
+
+	dirty atomic.Bool
+}
+
+// scratch is per-worker reusable visit state, sized for the largest gate.
+type scratch struct {
+	cur    []event.Cursor
+	vals   []logic.Value
+	states []logic.Value
+	sem    []logic.Value
+	qIns   []logic.Value
+	qOuts  []logic.Value
+	qNext  []logic.Value
+	outs   []sched.Output
+	evIn   []int
+	// visit counters, merged into Engine.stats at sweep end to avoid
+	// atomic traffic in the hot loop.
+	visits  int64
+	queries int64
+	events  int64
+}
+
+func newScratch(e *Engine) *scratch {
+	maxIn, maxOut, maxState := 0, 0, 0
+	for i := range e.gate {
+		t := e.gate[i].tab
+		maxIn = maxi(maxIn, t.NumInputs)
+		maxOut = maxi(maxOut, t.NumOutputs)
+		maxState = maxi(maxState, t.NumStates)
+	}
+	return &scratch{
+		cur:    make([]event.Cursor, maxIn),
+		vals:   make([]logic.Value, maxIn),
+		states: make([]logic.Value, maxState),
+		sem:    make([]logic.Value, maxOut),
+		qIns:   make([]logic.Value, maxIn),
+		qOuts:  make([]logic.Value, maxOut),
+		qNext:  make([]logic.Value, maxState),
+		outs:   make([]sched.Output, maxOut),
+		evIn:   make([]int, 0, maxIn),
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// visit replays the gate's change points from its base checkpoint, commits
+// newly determined output events, and advances output watermarks. It
+// returns true when anything downstream-visible changed.
+func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
+	g := &e.gate[id]
+	ni := len(g.inQ)
+	no := len(g.outQ)
+	ns := len(g.baseStates)
+	sc.visits++
+
+	// Resume from the soft snapshot when sound: no unconsumed event may lie
+	// below the snapshot point. If additionally there are no unconsumed
+	// events at all, take the idle fast path: only watermark expiries can
+	// matter, and a determined expiry query provably changes nothing.
+	resume := g.softValid
+	idle := resume
+	if resume {
+		for i := 0; i < ni; i++ {
+			q := g.inQ[i]
+			if g.softCur[i] < q.Len() {
+				idle = false
+				if q.At(g.softCur[i]).Time < g.softNow {
+					resume = false
+					break
+				}
+			}
+		}
+	}
+	if resume && idle {
+		return e.idleVisit(id, sc)
+	}
+	var now int64
+	if resume {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = g.inQ[i].NewCursor(g.softCur[i])
+			sc.vals[i] = g.softVals[i]
+		}
+		copy(sc.states, g.softStates)
+		copy(sc.sem, g.softSem)
+		for o := 0; o < no; o++ {
+			sc.outs[o].Restore(g.lastCommitted[o], g.softPend[o])
+		}
+		now = g.softNow
+	} else {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = g.inQ[i].NewCursor(g.baseCur[i])
+			sc.vals[i] = g.baseVals[i]
+		}
+		copy(sc.states, g.baseStates)
+		copy(sc.sem, g.semBase)
+		for o := 0; o < no; o++ {
+			sc.outs[o].Reset(g.lastCommitted[o])
+		}
+		now = g.baseNow
+	}
+	detUntil := TimeInf
+	for {
+		// Next change point: earliest unconsumed event or stable-time
+		// expiry strictly after `now`.
+		t := TimeInf
+		for i := 0; i < ni; i++ {
+			q := g.inQ[i]
+			if sc.cur[i].Idx < q.Len() {
+				if et := sc.cur[i].Peek(q).Time; et < t {
+					t = et
+				}
+			}
+			if w := q.DeterminedUntil; w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+
+		// Build the query vector.
+		sc.evIn = sc.evIn[:0]
+		for i := 0; i < ni; i++ {
+			q := g.inQ[i]
+			if sc.cur[i].Idx < q.Len() {
+				if ev := sc.cur[i].Peek(q); ev.Time == t {
+					if g.tab.EdgeSensitive[i] {
+						sc.qIns[i] = logic.EdgeCode(sc.vals[i], ev.Val)
+					} else {
+						sc.qIns[i] = ev.Val.Settle()
+					}
+					sc.evIn = append(sc.evIn, i)
+					continue
+				}
+			}
+			if t >= q.DeterminedUntil {
+				sc.qIns[i] = logic.VU
+			} else {
+				sc.qIns[i] = sc.vals[i]
+			}
+		}
+		g.tab.LookupInto(sc.qIns[:ni], sc.states[:ns], sc.qOuts[:no], sc.qNext[:ns])
+		sc.queries++
+
+		undet := false
+		for _, v := range sc.qOuts[:no] {
+			if v == logic.VU {
+				undet = true
+				break
+			}
+		}
+		if !undet {
+			for _, v := range sc.qNext[:ns] {
+				if v == logic.VU {
+					undet = true
+					break
+				}
+			}
+		}
+		if undet {
+			detUntil = t
+			break
+		}
+
+		// Consume the change point into scratch.
+		if len(sc.evIn) > 0 {
+			for o := 0; o < no; o++ {
+				nv := sc.qOuts[o]
+				if nv == sc.sem[o] {
+					continue
+				}
+				d := int64(1) << 62
+				for _, i := range sc.evIn {
+					if ad := sched.DelayFor(e.delays.Arc(id, o, i), nv); ad < d {
+						d = ad
+					}
+				}
+				sc.outs[o].Schedule(t+d, nv)
+				sc.sem[o] = nv
+			}
+			for _, i := range sc.evIn {
+				sc.vals[i] = sc.cur[i].Peek(g.inQ[i]).Val.Settle()
+				sc.cur[i].Advance()
+			}
+		}
+		copy(sc.states[:ns], sc.qNext[:ns])
+		now = t
+	}
+	g.detUntil.Store(detUntil)
+
+	// Commit determined output transitions and advance watermarks.
+	progress := false
+	for o := 0; o < no; o++ {
+		limit := detUntil
+		if limit < TimeInf {
+			limit += g.minArc[o]
+			if limit > TimeInf {
+				limit = TimeInf
+			}
+		}
+		commitThrough := limit - 1
+		q := g.outQ[o]
+		newEvents := false
+		for {
+			te, ok := sc.outs[o].NextPending()
+			if !ok || te > commitThrough {
+				break
+			}
+			ev := sc.outs[o].PopFront()
+			if ev.Time > g.committedUntil[o] {
+				if q != nil {
+					q.Append(ev.Time, ev.Val)
+					newEvents = true
+					sc.events++
+				}
+				g.lastCommitted[o] = ev.Val
+			}
+		}
+		if commitThrough > g.committedUntil[o] {
+			g.committedUntil[o] = commitThrough
+		}
+		wOld := int64(-1)
+		if q != nil && q.DeterminedUntil < limit {
+			wOld = q.DeterminedUntil
+			q.DeterminedUntil = limit
+		}
+		if newEvents || wOld >= 0 {
+			progress = true
+			e.markLoads(e.nl.Instances[id].OutNets[o], wOld, newEvents)
+		}
+	}
+
+	futureWork := false
+	for o := 0; o < no; o++ {
+		if sc.outs[o].PendingCount() > 0 {
+			futureWork = true
+			break
+		}
+	}
+	if !futureWork {
+		for i := 0; i < ni; i++ {
+			if sc.cur[i].Idx < g.inQ[i].Len() {
+				futureWork = true
+				break
+			}
+		}
+	}
+	g.hasFutureWork = futureWork
+
+	// Save the soft snapshot for the next visit.
+	if g.softCur == nil {
+		g.softCur = make([]int64, ni)
+		g.softVals = make([]logic.Value, ni)
+		g.softStates = make([]logic.Value, ns)
+		g.softSem = make([]logic.Value, no)
+		g.softPend = make([][]event.Event, no)
+	}
+	g.softNow = now
+	for i := 0; i < ni; i++ {
+		g.softCur[i] = sc.cur[i].Idx
+		g.softVals[i] = sc.vals[i]
+	}
+	copy(g.softStates, sc.states[:ns])
+	copy(g.softSem, sc.sem[:no])
+	for o := 0; o < no; o++ {
+		g.softPend[o] = append(g.softPend[o][:0], sc.outs[o].Pend()...)
+	}
+	g.softValid = true
+	return progress
+}
+
+// idleVisit advances a gate that has no unconsumed input events: it walks
+// the stable-time expiries to find the new determination frontier (values
+// and states cannot change without events — any determined expiry outcome
+// must agree with the "nothing happened" refinement), commits pending
+// transitions that the advancing frontier finalizes, and bumps watermarks.
+func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
+	g := &e.gate[id]
+	ni := len(g.inQ)
+	no := len(g.outQ)
+	ns := len(g.baseStates)
+
+	now := g.softNow
+	detUntil := TimeInf
+	for {
+		t := int64(TimeInf)
+		for i := 0; i < ni; i++ {
+			if w := g.inQ[i].DeterminedUntil; w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+		for i := 0; i < ni; i++ {
+			if t >= g.inQ[i].DeterminedUntil {
+				sc.qIns[i] = logic.VU
+			} else {
+				sc.qIns[i] = g.softVals[i]
+			}
+		}
+		g.tab.LookupInto(sc.qIns[:ni], g.softStates[:ns], sc.qOuts[:no], sc.qNext[:ns])
+		sc.queries++
+		undet := false
+		for _, v := range sc.qOuts[:no] {
+			if v == logic.VU {
+				undet = true
+				break
+			}
+		}
+		if !undet {
+			for _, v := range sc.qNext[:ns] {
+				if v == logic.VU {
+					undet = true
+					break
+				}
+			}
+		}
+		if undet {
+			detUntil = t
+			break
+		}
+		now = t
+	}
+	g.softNow = now
+	g.detUntil.Store(detUntil)
+
+	progress := false
+	for o := 0; o < no; o++ {
+		limit := detUntil
+		if limit < TimeInf {
+			limit += g.minArc[o]
+			if limit > TimeInf {
+				limit = TimeInf
+			}
+		}
+		commitThrough := limit - 1
+		q := g.outQ[o]
+		newEvents := false
+		pend := g.softPend[o]
+		k := 0
+		for k < len(pend) && pend[k].Time <= commitThrough {
+			ev := pend[k]
+			k++
+			if ev.Time > g.committedUntil[o] {
+				if q != nil {
+					q.Append(ev.Time, ev.Val)
+					newEvents = true
+					sc.events++
+				}
+				g.lastCommitted[o] = ev.Val
+			}
+		}
+		if k > 0 {
+			g.softPend[o] = append(pend[:0], pend[k:]...)
+		}
+		if commitThrough > g.committedUntil[o] {
+			g.committedUntil[o] = commitThrough
+		}
+		wOld := int64(-1)
+		if q != nil && q.DeterminedUntil < limit {
+			wOld = q.DeterminedUntil
+			q.DeterminedUntil = limit
+		}
+		if newEvents || wOld >= 0 {
+			progress = true
+			e.markLoads(e.nl.Instances[id].OutNets[o], wOld, newEvents)
+		}
+	}
+
+	futureWork := false
+	for o := 0; o < no; o++ {
+		if len(g.softPend[o]) > 0 {
+			futureWork = true
+			break
+		}
+	}
+	g.hasFutureWork = futureWork
+	return progress
+}
+
+// markLoads flags gates fed by the net as needing a visit. New events
+// always require one; a watermark-only advance matters only to loads whose
+// determination frontier was waiting at or beyond the old watermark (wOld;
+// pass -1 when the watermark did not move).
+func (e *Engine) markLoads(nid netlist.NetID, wOld int64, newEvents bool) {
+	for _, load := range e.nl.Nets[nid].Fanout {
+		g := &e.gate[load.Cell]
+		if newEvents || (wOld >= 0 && g.detUntil.Load() >= wOld) {
+			if !g.dirty.Load() {
+				g.dirty.Store(true)
+			}
+		}
+	}
+}
+
+// checkpoint folds the fully determined, fully committed prefix of the
+// gate's change points into its base state so that the event storage below
+// it can be trimmed. Called between stream slices, single-threaded per gate
+// (but safe to run gates in parallel).
+func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
+	g := &e.gate[id]
+	ni := len(g.inQ)
+	no := len(g.outQ)
+	ns := len(g.baseStates)
+
+	// Safety cutoffs: all inputs still determined, and any output event the
+	// folded change points could generate must already be committed.
+	cutoff := int64(TimeInf)
+	for i := 0; i < ni; i++ {
+		if w := g.inQ[i].DeterminedUntil; w < cutoff {
+			cutoff = w
+		}
+	}
+	for o := 0; o < no; o++ {
+		if c := g.committedUntil[o] - g.maxArc; c+1 < cutoff {
+			cutoff = c + 1
+		}
+	}
+	if cutoff <= g.baseNow {
+		return
+	}
+
+	for i := 0; i < ni; i++ {
+		sc.cur[i] = g.inQ[i].NewCursor(g.baseCur[i])
+	}
+	for {
+		t := int64(TimeInf)
+		for i := 0; i < ni; i++ {
+			q := g.inQ[i]
+			if sc.cur[i].Idx < q.Len() {
+				if et := sc.cur[i].Peek(q).Time; et < t {
+					t = et
+				}
+			}
+		}
+		if t >= cutoff {
+			break
+		}
+		sc.evIn = sc.evIn[:0]
+		for i := 0; i < ni; i++ {
+			q := g.inQ[i]
+			if sc.cur[i].Idx < q.Len() {
+				if ev := sc.cur[i].Peek(q); ev.Time == t {
+					if g.tab.EdgeSensitive[i] {
+						sc.qIns[i] = logic.EdgeCode(g.baseVals[i], ev.Val)
+					} else {
+						sc.qIns[i] = ev.Val.Settle()
+					}
+					sc.evIn = append(sc.evIn, i)
+					continue
+				}
+			}
+			sc.qIns[i] = g.baseVals[i]
+		}
+		g.tab.LookupInto(sc.qIns[:ni], g.baseStates, sc.qOuts[:no], sc.qNext[:ns])
+		for o := 0; o < no; o++ {
+			g.semBase[o] = sc.qOuts[o]
+		}
+		copy(g.baseStates, sc.qNext[:ns])
+		for _, i := range sc.evIn {
+			g.baseVals[i] = sc.cur[i].Peek(g.inQ[i]).Val.Settle()
+			sc.cur[i].Advance()
+			g.baseCur[i] = sc.cur[i].Idx
+		}
+		g.baseNow = t
+	}
+	// The base may have consumed past the soft snapshot; drop it rather
+	// than reason about partial overlap.
+	if g.softValid {
+		if g.baseNow > g.softNow {
+			g.softValid = false
+		} else {
+			for i := 0; i < ni; i++ {
+				if g.softCur[i] < g.baseCur[i] {
+					g.softValid = false
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+// Inject appends a stimulus event to a primary-input net. Times must be
+// nondecreasing per net and must not fall below the net's current watermark
+// (the determined past is immutable). Redundant values are dropped.
+func (e *Engine) Inject(nid netlist.NetID, t int64, v logic.Value) error {
+	if int(nid) >= len(e.nets) || !e.nets[nid].isPI {
+		return fmt.Errorf("sim: net %d is not a primary input", nid)
+	}
+	q := e.nets[nid].q
+	if t < q.DeterminedUntil {
+		return fmt.Errorf("sim: inject at %d below watermark %d on %s", t, q.DeterminedUntil, e.nl.Nets[nid].Name)
+	}
+	if lt := q.LastTime(); t <= lt {
+		return fmt.Errorf("sim: inject at %d not after last event %d on %s", t, lt, e.nl.Nets[nid].Name)
+	}
+	v = v.Settle()
+	if q.LastVal() == v {
+		return nil
+	}
+	q.Append(t, v)
+	e.markLoads(nid, -1, true)
+	return nil
+}
+
+// Advance declares every primary input determined up to the horizon
+// (exclusive) — input values hold between injected events — and then runs
+// propagation sweeps until the simulation converges for this input range.
+func (e *Engine) Advance(horizon int64) error {
+	if horizon > TimeInf {
+		horizon = TimeInf
+	}
+	for nid := range e.nets {
+		if !e.nets[nid].isPI {
+			continue
+		}
+		q := e.nets[nid].q
+		w := horizon
+		// Injection is append-only, so everything up to the last injected
+		// event is already immutable: events beyond the horizon simply
+		// extend the determined range past it.
+		if lt := q.LastTime(); lt+1 > w {
+			w = lt + 1
+		}
+		if q.DeterminedUntil < w {
+			wOld := q.DeterminedUntil
+			q.DeterminedUntil = w
+			e.markLoads(netlist.NetID(nid), wOld, true)
+		}
+	}
+	return e.converge()
+}
+
+// Finish declares the inputs frozen at their final values forever and runs
+// the simulation to completion.
+func (e *Engine) Finish() error { return e.Advance(TimeInf) }
+
+// converge repeats sweeps (sequential phase, then each combinational level)
+// until no gate makes progress.
+//
+// Termination needs one extra rule beyond "no progress": in designs with
+// level-sensitive loops (latches transparent after the last clock edge),
+// watermarks creep forward by one arc delay per sweep forever. When the
+// primary inputs are frozen to TimeInf and no gate can ever create another
+// event (no unconsumed events, no uncommitted pendings), the system is
+// provably quiescent and every watermark jumps to TimeInf at once.
+func (e *Engine) converge() error {
+	oblivious := e.mode == ModeManycore
+	final := true
+	for nid := range e.nets {
+		if e.nets[nid].isPI && e.nets[nid].q.DeterminedUntil < TimeInf {
+			final = false
+			break
+		}
+	}
+	jumped := false
+	var batch []netlist.CellID
+	for sweep := 0; sweep < e.opts.MaxSweeps; sweep++ {
+		processed := 0
+		progress := false
+		eventsBefore := e.stats.EventsCommitted
+
+		run := func(ids []netlist.CellID) {
+			if oblivious {
+				if x := e.exec.runBatch(ids); x {
+					progress = true
+				}
+				processed += len(ids)
+				return
+			}
+			batch = batch[:0]
+			for _, id := range ids {
+				if e.gate[id].dirty.CompareAndSwap(true, false) {
+					batch = append(batch, id)
+				}
+			}
+			if x := e.exec.runBatch(batch); x {
+				progress = true
+			}
+			processed += len(batch)
+		}
+
+		run(e.lv.Sequential)
+		for _, level := range e.lv.Levels {
+			run(level)
+		}
+		e.stats.Sweeps++
+
+		if oblivious {
+			if !progress {
+				return nil
+			}
+		} else if processed == 0 {
+			return nil
+		}
+
+		// A sweep that commits no events while no gate holds unconsumed
+		// events or pending transitions can only be creeping watermarks
+		// around stable loops. That creep carries no information anyone is
+		// waiting for: stop. On the final advance the quiescent state
+		// additionally proves no event can ever occur again, so every
+		// watermark jumps to TimeInf at once.
+		if !jumped && e.stats.EventsCommitted == eventsBefore && e.quiescent() {
+			if !final {
+				return nil
+			}
+			jumped = true
+			for nid := range e.nets {
+				if e.nets[nid].q.DeterminedUntil < TimeInf {
+					e.nets[nid].q.DeterminedUntil = TimeInf
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: no convergence after %d sweeps (livelock?)", e.opts.MaxSweeps)
+}
+
+// quiescent reports whether no gate can ever produce another event. Gates
+// not visited since their inputs last changed cannot be stale: a clean gate
+// keeps the flag of its last visit, and its inputs have not changed since.
+func (e *Engine) quiescent() bool {
+	for i := range e.gate {
+		if e.gate[i].hasFutureWork {
+			return false
+		}
+	}
+	return true
+}
+
+// Events exposes the committed event queue of a net. Callers must treat it
+// as read-only and must not hold references across Checkpoint calls if they
+// also lower read marks.
+func (e *Engine) Events(nid netlist.NetID) *event.Queue { return e.nets[nid].q }
+
+// Value returns the committed value of the net at the given time, or U when
+// the time is at or beyond the net's watermark.
+func (e *Engine) Value(nid netlist.NetID, t int64) logic.Value {
+	q := e.nets[nid].q
+	if t >= q.DeterminedUntil {
+		return logic.VU
+	}
+	// Binary search over retained events would be possible; nets are
+	// queried rarely (debug, tests), so scan.
+	v := q.BaseVal()
+	for i := q.Start(); i < q.Len(); i++ {
+		ev := q.At(i)
+		if ev.Time > t {
+			break
+		}
+		v = ev.Val
+	}
+	return v
+}
+
+// readMarks records, per net, the event index below which an external
+// consumer (VCD writer, activity counter) has finished reading. Nets
+// without a mark are assumed unwatched.
+//
+// SetReadMark is how streaming drivers allow storage reclamation.
+func (e *Engine) SetReadMark(nid netlist.NetID, idx int64) {
+	if e.readMarks == nil {
+		e.readMarks = make(map[netlist.NetID]int64)
+	}
+	e.readMarks[nid] = idx
+}
+
+// Checkpoint folds the determined-and-committed history into per-gate base
+// state and releases event pages that no gate cursor or read mark still
+// needs. Call between stream slices.
+func (e *Engine) Checkpoint() {
+	e.exec.runCheckpoint()
+	e.stats.Checkpoints++
+
+	// keep[nid] = lowest event index still needed.
+	keep := make([]int64, len(e.nets))
+	for i := range keep {
+		keep[i] = int64(1) << 62
+	}
+	for gi := range e.gate {
+		g := &e.gate[gi]
+		inst := &e.nl.Instances[gi]
+		for pi, nid := range inst.InNets {
+			if g.baseCur[pi] < keep[nid] {
+				keep[nid] = g.baseCur[pi]
+			}
+		}
+	}
+	for nid, idx := range e.readMarks {
+		if idx < keep[nid] {
+			keep[nid] = idx
+		}
+	}
+	for nid := range e.nets {
+		e.nets[nid].q.TrimTo(keep[nid])
+	}
+}
+
+// DebugBlocked returns diagnostic lines for up to n gates whose
+// determination frontier lags behind `before`, including each input net's
+// watermark — the tool for investigating convergence issues.
+func (e *Engine) DebugBlocked(before int64, n int) []string {
+	var out []string
+	for gi := range e.gate {
+		g := &e.gate[gi]
+		if g.detUntil.Load() >= before || len(out) >= n {
+			continue
+		}
+		inst := &e.nl.Instances[gi]
+		line := fmt.Sprintf("%s(%s) det=%d base=%d fw=%v ins:", inst.Name, inst.Type.Name, g.detUntil.Load(), g.baseNow, g.hasFutureWork)
+		for pi, nid := range inst.InNets {
+			q := e.nets[nid].q
+			line += fmt.Sprintf(" %s[W=%d len=%d cur=%d]", e.nl.Nets[nid].Name, q.DeterminedUntil, q.Len(), g.baseCur[pi])
+		}
+		out = append(out, line)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+// Long signoff simulations benefit from on-disk checkpoints: a run can be
+// interrupted and resumed, or forked to explore different stimulus tails.
+// A snapshot captures the engine's persistent state — per-gate base
+// checkpoints and commitment bookkeeping plus per-net retained events and
+// watermarks. Scratch state (soft-resume snapshots, dirty flags) is
+// recomputed, so snapshots are only valid at quiescent points: after an
+// Advance returned and before new stimulus is injected.
+
+// snapshotVersion guards against loading snapshots written by an
+// incompatible build.
+const snapshotVersion = 1
+
+type snapshotGate struct {
+	BaseCur        []int64
+	BaseVals       []logic.Value
+	BaseStates     []logic.Value
+	SemBase        []logic.Value
+	BaseNow        int64
+	LastCommitted  []logic.Value
+	CommittedUntil []int64
+}
+
+type snapshotNet struct {
+	BaseVal         logic.Value
+	Start           int64
+	Times           []int64
+	Vals            []logic.Value
+	DeterminedUntil int64
+}
+
+type snapshot struct {
+	Version   int
+	Design    string
+	NumGates  int
+	NumNets   int
+	Gates     []snapshotGate
+	Nets      []snapshotNet
+	ReadMarks map[netlist.NetID]int64
+}
+
+// SaveSnapshot serializes the engine state. Call only between Advance calls
+// (never mid-convergence).
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	s := snapshot{
+		Version:   snapshotVersion,
+		Design:    e.nl.Name,
+		NumGates:  len(e.gate),
+		NumNets:   len(e.nets),
+		Gates:     make([]snapshotGate, len(e.gate)),
+		Nets:      make([]snapshotNet, len(e.nets)),
+		ReadMarks: e.readMarks,
+	}
+	for i := range e.gate {
+		g := &e.gate[i]
+		s.Gates[i] = snapshotGate{
+			BaseCur:        g.baseCur,
+			BaseVals:       g.baseVals,
+			BaseStates:     g.baseStates,
+			SemBase:        g.semBase,
+			BaseNow:        g.baseNow,
+			LastCommitted:  g.lastCommitted,
+			CommittedUntil: g.committedUntil,
+		}
+	}
+	for i := range e.nets {
+		q := e.nets[i].q
+		sn := snapshotNet{
+			BaseVal:         q.BaseVal(),
+			Start:           q.Start(),
+			DeterminedUntil: q.DeterminedUntil,
+		}
+		for k := q.Start(); k < q.Len(); k++ {
+			ev := q.At(k)
+			sn.Times = append(sn.Times, ev.Time)
+			sn.Vals = append(sn.Vals, ev.Val)
+		}
+		s.Nets[i] = sn
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// LoadSnapshot restores state saved by SaveSnapshot into an engine built
+// for the *same* netlist and library. All prior engine state is replaced.
+func (e *Engine) LoadSnapshot(r io.Reader) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("sim: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return fmt.Errorf("sim: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	if s.Design != e.nl.Name || s.NumGates != len(e.gate) || s.NumNets != len(e.nets) {
+		return fmt.Errorf("sim: snapshot is for design %q (%d gates, %d nets), engine has %q (%d, %d)",
+			s.Design, s.NumGates, s.NumNets, e.nl.Name, len(e.gate), len(e.nets))
+	}
+	for i := range e.gate {
+		g := &e.gate[i]
+		sg := &s.Gates[i]
+		if len(sg.BaseCur) != len(g.baseCur) || len(sg.BaseStates) != len(g.baseStates) ||
+			len(sg.SemBase) != len(g.semBase) {
+			return fmt.Errorf("sim: snapshot gate %d shape mismatch", i)
+		}
+		copy(g.baseCur, sg.BaseCur)
+		copy(g.baseVals, sg.BaseVals)
+		copy(g.baseStates, sg.BaseStates)
+		copy(g.semBase, sg.SemBase)
+		g.baseNow = sg.BaseNow
+		copy(g.lastCommitted, sg.LastCommitted)
+		copy(g.committedUntil, sg.CommittedUntil)
+		g.softValid = false
+		g.hasFutureWork = true // conservative until the first visit
+		g.detUntil.Store(0)
+		g.dirty.Store(true)
+	}
+	for i := range e.nets {
+		sn := &s.Nets[i]
+		// Rebuild the queue: base value, absolute start index, events.
+		q := event.NewQueueAt(&e.pool, sn.BaseVal, sn.Start)
+		for k := range sn.Times {
+			q.Append(sn.Times[k], sn.Vals[k])
+		}
+		q.DeterminedUntil = sn.DeterminedUntil
+		e.nets[i].q = q
+	}
+	// Re-wire gate queue pointers onto the rebuilt queues.
+	for i := range e.gate {
+		g := &e.gate[i]
+		inst := &e.nl.Instances[i]
+		for pi, nid := range inst.InNets {
+			g.inQ[pi] = e.nets[nid].q
+		}
+		for po, nid := range inst.OutNets {
+			if nid >= 0 {
+				g.outQ[po] = e.nets[nid].q
+			}
+		}
+	}
+	e.readMarks = s.ReadMarks
+	return nil
+}

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+// Change is one stimulus event for the streaming driver.
+type Change struct {
+	Net  netlist.NetID
+	Time int64
+	Val  logic.Value
+}
+
+// StimulusSource yields primary-input changes in nondecreasing time order.
+// Implementations return io.EOF when exhausted.
+type StimulusSource interface {
+	Next() (Change, error)
+}
+
+// SliceSource adapts an in-memory stimulus slice (sorted by time here).
+type SliceSource struct {
+	changes []Change
+	pos     int
+}
+
+// NewSliceSource sorts the changes by time (stable, preserving per-net
+// order) and returns a source over them.
+func NewSliceSource(changes []Change) *SliceSource {
+	s := &SliceSource{changes: append([]Change(nil), changes...)}
+	sort.SliceStable(s.changes, func(a, b int) bool { return s.changes[a].Time < s.changes[b].Time })
+	return s
+}
+
+// Next implements StimulusSource.
+func (s *SliceSource) Next() (Change, error) {
+	if s.pos >= len(s.changes) {
+		return Change{}, io.EOF
+	}
+	c := s.changes[s.pos]
+	s.pos++
+	return c, nil
+}
+
+// StreamConfig configures RunStream.
+type StreamConfig struct {
+	// SlicePS is the streaming window length; input is consumed and the
+	// simulation converged one window at a time, with event storage
+	// reclaimed between windows. Default 65536 ps.
+	SlicePS int64
+	// Watch lists the nets whose committed events are reported. Default:
+	// the primary outputs.
+	Watch []netlist.NetID
+	// OnEvent receives watched events in global time order (ties broken by
+	// net id). May be nil (useful for pure performance runs).
+	OnEvent func(nid netlist.NetID, ev event.Event)
+}
+
+// RunStream drives the engine from a stimulus source in streaming slices:
+// the paper's streamed signal I/O (§III-D.2). Memory stays bounded by the
+// slice contents regardless of total trace length.
+func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
+	if cfg.SlicePS <= 0 {
+		cfg.SlicePS = 65536
+	}
+	watch := cfg.Watch
+	if watch == nil {
+		watch = e.nl.PortsOut
+	}
+	read := make(map[netlist.NetID]int64, len(watch))
+	var batch []Change // reused: one pending change between slices
+	pending, pendErr := src.Next()
+	havePending := pendErr == nil
+	if pendErr != nil && pendErr != io.EOF {
+		return pendErr
+	}
+
+	var emitBuf []timedEvent
+	flush := func(limit int64) error {
+		emitBuf = emitBuf[:0]
+		for _, nid := range watch {
+			q := e.Events(nid)
+			i := read[nid]
+			if i < q.Start() {
+				return fmt.Errorf("sim: stream read mark trimmed on %s", e.nl.Nets[nid].Name)
+			}
+			for ; i < q.Len(); i++ {
+				ev := q.At(i)
+				if ev.Time >= limit {
+					break
+				}
+				emitBuf = append(emitBuf, timedEvent{nid, ev})
+			}
+			read[nid] = i
+			e.SetReadMark(nid, i)
+		}
+		if cfg.OnEvent != nil {
+			sort.Slice(emitBuf, func(a, b int) bool {
+				if emitBuf[a].ev.Time != emitBuf[b].ev.Time {
+					return emitBuf[a].ev.Time < emitBuf[b].ev.Time
+				}
+				return emitBuf[a].nid < emitBuf[b].nid
+			})
+			for _, te := range emitBuf {
+				cfg.OnEvent(te.nid, te.ev)
+			}
+		}
+		return nil
+	}
+
+	start := int64(0)
+	if havePending {
+		start = (pending.Time / cfg.SlicePS) * cfg.SlicePS
+	}
+	for havePending {
+		end := start + cfg.SlicePS
+		batch = batch[:0]
+		for havePending && pending.Time < end {
+			batch = append(batch, pending)
+			var err error
+			pending, err = src.Next()
+			if err == io.EOF {
+				havePending = false
+			} else if err != nil {
+				return err
+			}
+		}
+		for _, c := range batch {
+			if err := e.Inject(c.Net, c.Time, c.Val); err != nil {
+				return err
+			}
+		}
+		if err := e.Advance(end); err != nil {
+			return err
+		}
+		// Events are only safe to emit in global order up to the slowest
+		// watched watermark.
+		limit := end
+		for _, nid := range watch {
+			if w := e.Events(nid).DeterminedUntil; w < limit {
+				limit = w
+			}
+		}
+		if err := flush(limit); err != nil {
+			return err
+		}
+		e.Checkpoint()
+		start = end
+	}
+	if err := e.Finish(); err != nil {
+		return err
+	}
+	return flush(TimeInf + 1)
+}
+
+type timedEvent struct {
+	nid netlist.NetID
+	ev  event.Event
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+// SAIF (Switching Activity Interchange Format) is how gate-level simulators
+// hand switching activity to power-analysis tools — one of the signoff
+// integrations the paper motivates. DurationTracker accumulates per-net
+// state-duration and toggle counts from a committed event stream, and
+// WriteSAIF renders the standard backward-annotation file.
+
+// DurationTracker accumulates T0/T1/TX durations and toggle counts.
+type DurationTracker struct {
+	nl    *netlist.Netlist
+	last  []logic.Value
+	since []int64
+	t0    []int64
+	t1    []int64
+	tx    []int64
+	tc    []int64
+	final bool
+}
+
+// NewDurationTracker starts tracking from time 0 with the given initial net
+// values (pass the engine's initial conditions, or nil for all-X).
+func NewDurationTracker(nl *netlist.Netlist, initial []logic.Value) *DurationTracker {
+	n := len(nl.Nets)
+	d := &DurationTracker{
+		nl:    nl,
+		last:  make([]logic.Value, n),
+		since: make([]int64, n),
+		t0:    make([]int64, n),
+		t1:    make([]int64, n),
+		tx:    make([]int64, n),
+		tc:    make([]int64, n),
+	}
+	for i := range d.last {
+		if initial != nil {
+			d.last[i] = initial[i]
+		} else {
+			d.last[i] = logic.VX
+		}
+	}
+	return d
+}
+
+// Record consumes one committed event; events per net must be in time order.
+func (d *DurationTracker) Record(nid netlist.NetID, ev event.Event) {
+	d.credit(nid, ev.Time)
+	d.last[nid] = ev.Val.Settle()
+	d.since[nid] = ev.Time
+	d.tc[nid]++
+}
+
+func (d *DurationTracker) credit(nid netlist.NetID, until int64) {
+	dt := until - d.since[nid]
+	if dt <= 0 {
+		return
+	}
+	switch d.last[nid].ToKleene() {
+	case logic.V0:
+		d.t0[nid] += dt
+	case logic.V1:
+		d.t1[nid] += dt
+	default:
+		d.tx[nid] += dt
+	}
+}
+
+// Finalize credits the tail interval up to the simulation end time.
+func (d *DurationTracker) Finalize(endTime int64) {
+	if d.final {
+		return
+	}
+	d.final = true
+	for nid := range d.last {
+		d.credit(netlist.NetID(nid), endTime)
+		d.since[nid] = endTime
+	}
+}
+
+// Toggles returns the toggle count of a net.
+func (d *DurationTracker) Toggles(nid netlist.NetID) int64 { return d.tc[nid] }
+
+// WriteSAIF renders the tracked activity as a SAIF 2.0 file covering
+// [0, duration]. Finalize(duration) is called implicitly.
+func (d *DurationTracker) WriteSAIF(duration int64) string {
+	d.Finalize(duration)
+	var b strings.Builder
+	b.WriteString("(SAIFILE\n")
+	b.WriteString("  (SAIFVERSION \"2.0\")\n")
+	b.WriteString("  (DIRECTION \"backward\")\n")
+	fmt.Fprintf(&b, "  (DESIGN \"%s\")\n", d.nl.Name)
+	b.WriteString("  (TIMESCALE 1 ps)\n")
+	fmt.Fprintf(&b, "  (DURATION %d)\n", duration)
+	fmt.Fprintf(&b, "  (INSTANCE %s\n    (NET\n", saifName(d.nl.Name))
+	for nid := range d.nl.Nets {
+		// Only report nets with any recorded state (skip fully idle X nets
+		// with no toggles to keep files small, matching common practice).
+		if d.tc[nid] == 0 && d.t0[nid] == 0 && d.t1[nid] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "      (%s (T0 %d) (T1 %d) (TX %d) (TC %d))\n",
+			saifName(d.nl.Nets[nid].Name), d.t0[nid], d.t1[nid], d.tx[nid], d.tc[nid])
+	}
+	b.WriteString("    )\n  )\n)\n")
+	return b.String()
+}
+
+// saifName escapes identifiers that SAIF tools would reject.
+func saifName(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c == '/' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	return "\\" + strings.ReplaceAll(s, " ", "_") + " "
+}

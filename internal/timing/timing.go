@@ -1,0 +1,240 @@
+// Package timing implements dynamic timing verification on simulation event
+// streams: setup and hold checks at every flip-flop capture edge. This is
+// the first of the signoff tasks the paper's conclusion proposes to
+// integrate with the simulator ("such as power analysis and timing analysis
+// engines"); package stats provides the other.
+//
+// The checker subscribes to the nets feeding sequential elements and is fed
+// the globally time-ordered committed event stream (for example from
+// sim.Engine.RunStream). It detects each cell's active clock edges through
+// the same Liberty clocked_on semantics the simulator compiles, so gated
+// and inverted clocks are handled for free.
+package timing
+
+import (
+	"fmt"
+	"sort"
+
+	"gatesim/internal/event"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/truthtab"
+)
+
+// Kind distinguishes the two checks.
+type Kind uint8
+
+const (
+	Setup Kind = iota
+	Hold
+)
+
+func (k Kind) String() string {
+	if k == Setup {
+		return "setup"
+	}
+	return "hold"
+}
+
+// Violation is one failed check.
+type Violation struct {
+	Kind     Kind
+	Instance string
+	DataPin  string
+	// ClockEdge and DataEdge are the event times involved.
+	ClockEdge int64
+	DataEdge  int64
+	// Slack is negative: the margin by which the requirement failed.
+	Slack int64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation at %s.%s: data %d vs clock edge %d (slack %d ps)",
+		v.Kind, v.Instance, v.DataPin, v.DataEdge, v.ClockEdge, v.Slack)
+}
+
+// Margins are the required windows in picoseconds.
+type Margins struct {
+	Setup int64 // data must be stable this long before the capture edge
+	Hold  int64 // ... and this long after it
+}
+
+// Checker performs streaming setup/hold verification.
+type Checker struct {
+	margins Margins
+
+	// Per watched sequential instance:
+	cells []checkCell
+	// net -> subscriptions
+	subs map[netlist.NetID][]sub
+
+	violations []Violation
+}
+
+type checkCell struct {
+	name      string
+	clockedOn *logic.Expr
+	// clock expression variable values (by clockedOn.Vars() order).
+	clkVals []logic.Value
+	// data pins: net plus pin name plus last change time.
+	lastEdge int64 // last active capture edge (min64 when none)
+	data     []dataPin
+}
+
+type dataPin struct {
+	pin        string
+	lastChange int64
+}
+
+type sub struct {
+	cell int32
+	// role: -1..: index into clkVals when >= 0 encodes clock var index;
+	// otherwise ^dataIndex.
+	clkVar  int32 // -1 if not part of the clock expression
+	dataIdx int32 // -1 if not a data pin
+}
+
+const minTime = -(int64(1) << 62)
+
+// NewChecker builds a checker for every flip-flop in the netlist. Latches
+// and statetable cells are skipped (their timing constraints are
+// level-sensitive and out of scope).
+func NewChecker(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, margins Margins) (*Checker, error) {
+	c := &Checker{margins: margins, subs: make(map[netlist.NetID][]sub)}
+	for gi := range nl.Instances {
+		inst := &nl.Instances[gi]
+		ff := inst.Type.FF
+		if ff == nil {
+			continue
+		}
+		tab := lib.Tables[inst.Type.Name]
+		if tab == nil {
+			return nil, fmt.Errorf("timing: cell %s not compiled", inst.Type.Name)
+		}
+		cellIdx := int32(len(c.cells))
+		cc := checkCell{
+			name:      inst.Name,
+			clockedOn: ff.ClockedOn,
+			clkVals:   make([]logic.Value, len(ff.ClockedOn.Vars())),
+			lastEdge:  minTime,
+		}
+		for i := range cc.clkVals {
+			cc.clkVals[i] = logic.VX
+		}
+		// Map pins: clock-expression variables and next_state data inputs.
+		clkVars := ff.ClockedOn.Vars()
+		dataVars := map[string]bool{}
+		for _, v := range ff.NextState.Vars() {
+			dataVars[v] = true
+		}
+		for pi, pin := range inst.Type.Inputs {
+			nid := inst.InNets[pi]
+			s := sub{cell: cellIdx, clkVar: -1, dataIdx: -1}
+			for vi, v := range clkVars {
+				if v == pin {
+					s.clkVar = int32(vi)
+				}
+			}
+			if dataVars[pin] && s.clkVar < 0 {
+				s.dataIdx = int32(len(cc.data))
+				cc.data = append(cc.data, dataPin{pin: pin, lastChange: minTime})
+			}
+			if s.clkVar >= 0 || s.dataIdx >= 0 {
+				c.subs[nid] = append(c.subs[nid], s)
+			}
+		}
+		c.cells = append(c.cells, cc)
+	}
+	return c, nil
+}
+
+// WatchedNets returns the nets the checker needs events for, sorted.
+func (c *Checker) WatchedNets() []netlist.NetID {
+	out := make([]netlist.NetID, 0, len(c.subs))
+	for nid := range c.subs {
+		out = append(out, nid)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Observe consumes one committed event. Events must arrive in nondecreasing
+// global time order.
+func (c *Checker) Observe(nid netlist.NetID, ev event.Event) {
+	for _, s := range c.subs[nid] {
+		cc := &c.cells[s.cell]
+		if s.clkVar >= 0 {
+			c.observeClock(cc, int(s.clkVar), ev)
+		}
+		if s.dataIdx >= 0 {
+			c.observeData(cc, int(s.dataIdx), ev)
+		}
+	}
+}
+
+func (c *Checker) observeClock(cc *checkCell, varIdx int, ev event.Event) {
+	before := cc.clkVals[varIdx]
+	after := ev.Val.Settle()
+	// Active edge: clocked_on evaluates 0 -> 1 across this change.
+	eb := evalClk(cc, varIdx, before)
+	ea := evalClk(cc, varIdx, after)
+	cc.clkVals[varIdx] = after
+	if !(eb == logic.V0 && ea == logic.V1) {
+		return
+	}
+	t := ev.Time
+	cc.lastEdge = t
+	for di := range cc.data {
+		d := &cc.data[di]
+		if d.lastChange == minTime {
+			continue
+		}
+		if gap := t - d.lastChange; gap < c.margins.Setup {
+			c.violations = append(c.violations, Violation{
+				Kind: Setup, Instance: cc.name, DataPin: d.pin,
+				ClockEdge: t, DataEdge: d.lastChange, Slack: gap - c.margins.Setup,
+			})
+		}
+	}
+}
+
+func evalClk(cc *checkCell, varIdx int, v logic.Value) logic.Value {
+	old := cc.clkVals[varIdx]
+	cc.clkVals[varIdx] = v
+	r := cc.clockedOn.EvalVec(cc.clkVals)
+	cc.clkVals[varIdx] = old
+	return r
+}
+
+func (c *Checker) observeData(cc *checkCell, dataIdx int, ev event.Event) {
+	d := &cc.data[dataIdx]
+	d.lastChange = ev.Time
+	if cc.lastEdge == minTime {
+		return
+	}
+	if gap := ev.Time - cc.lastEdge; gap < c.margins.Hold {
+		c.violations = append(c.violations, Violation{
+			Kind: Hold, Instance: cc.name, DataPin: d.pin,
+			ClockEdge: cc.lastEdge, DataEdge: ev.Time, Slack: gap - c.margins.Hold,
+		})
+	}
+}
+
+// Violations returns the recorded violations in detection order.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Summary renders a short report.
+func (c *Checker) Summary(max int) string {
+	if len(c.violations) == 0 {
+		return "timing: no setup/hold violations\n"
+	}
+	out := fmt.Sprintf("timing: %d violations\n", len(c.violations))
+	for i, v := range c.violations {
+		if i >= max {
+			out += fmt.Sprintf("  ... and %d more\n", len(c.violations)-max)
+			break
+		}
+		out += "  " + v.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/truthtab"
+)
+
+func build(t *testing.T) (*netlist.Netlist, *truthtab.CompiledLibrary) {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	cl, err := truthtab.CompileLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("t", lib)
+	for _, p := range []string{"clk", "d", "clkn", "dn"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nl.AddInstance("ffp", "DFF_P", map[string]string{"CLK": "clk", "D": "d", "Q": "q1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("ffn", "DFF_N", map[string]string{"CLK_N": "clkn", "D": "dn", "Q": "q2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("lat", "DLATCH_H", map[string]string{"GATE": "clk", "D": "d", "Q": "q3"}); err != nil {
+		t.Fatal(err)
+	}
+	return nl, cl
+}
+
+func TestCheckerSetupHold(t *testing.T) {
+	nl, cl := build(t)
+	ck, err := NewChecker(nl, cl, Margins{Setup: 100, Hold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latches are skipped: only the two FFs' nets are watched.
+	watched := ck.WatchedNets()
+	if len(watched) != 4 {
+		t.Fatalf("watched: %v", watched)
+	}
+
+	clk, _ := nl.Net("clk")
+	d, _ := nl.Net("d")
+	ob := func(nid netlist.NetID, tm int64, v logic.Value) {
+		ck.Observe(nid, event.Event{Time: tm, Val: v})
+	}
+	// Clean cycle: d changes 500 before edge, next change 200 after.
+	ob(clk, 0, logic.V0)
+	ob(d, 500, logic.V1)
+	ob(clk, 1000, logic.V1) // rising edge, setup gap 500 >= 100: ok
+	ob(d, 1200, logic.V0)   // hold gap 200 >= 50: ok
+	ob(clk, 1500, logic.V0)
+	if len(ck.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", ck.Violations())
+	}
+	// Setup violation: d changes 30 before the edge.
+	ob(d, 1970, logic.V1)
+	ob(clk, 2000, logic.V1)
+	// Hold violation: d changes 20 after the edge.
+	ob(d, 2020, logic.V0)
+	ob(clk, 2500, logic.V0)
+	vs := ck.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if vs[0].Kind != Setup || vs[0].Slack != 30-100 || vs[0].Instance != "ffp" {
+		t.Errorf("setup violation wrong: %+v", vs[0])
+	}
+	if vs[1].Kind != Hold || vs[1].Slack != 20-50 || vs[1].DataPin != "D" {
+		t.Errorf("hold violation wrong: %+v", vs[1])
+	}
+	if !strings.Contains(ck.Summary(10), "2 violations") {
+		t.Error("summary wrong")
+	}
+}
+
+func TestCheckerNegativeEdgeCell(t *testing.T) {
+	nl, cl := build(t)
+	ck, err := NewChecker(nl, cl, Margins{Setup: 100, Hold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clkn, _ := nl.Net("clkn")
+	dn, _ := nl.Net("dn")
+	ob := func(nid netlist.NetID, tm int64, v logic.Value) {
+		ck.Observe(nid, event.Event{Time: tm, Val: v})
+	}
+	ob(clkn, 0, logic.V1)
+	ob(dn, 980, logic.V1)
+	ob(clkn, 1000, logic.V0) // falling edge = active for DFF_N: setup gap 20
+	vs := ck.Violations()
+	if len(vs) != 1 || vs[0].Kind != Setup || vs[0].Instance != "ffn" {
+		t.Fatalf("negative-edge violation missing: %v", vs)
+	}
+	// A rising edge on CLK_N must NOT be an active edge.
+	ob(dn, 1490, logic.V0)
+	ob(clkn, 1500, logic.V1)
+	if len(ck.Violations()) != 1 {
+		t.Fatalf("rising edge of negedge clock must not check: %v", ck.Violations())
+	}
+}
+
+func TestCheckerCleanRun(t *testing.T) {
+	nl, cl := build(t)
+	ck, err := NewChecker(nl, cl, Margins{Setup: 10, Hold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.Summary(5); !strings.Contains(got, "no setup/hold violations") {
+		t.Errorf("summary: %q", got)
+	}
+}
+
+// TestCheckerGatedClock verifies the checker follows a gated clock net:
+// edges on GCLK (not the root clock) are the capture events.
+func TestCheckerGatedClock(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	cl, err := truthtab.CompileLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("t", lib)
+	for _, p := range []string{"clk", "en", "d"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nl.AddInstance("icg", "CLKGATE", map[string]string{"CLK": "clk", "GATE": "en", "GCLK": "gclk"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("ff", "DFF_P", map[string]string{"CLK": "gclk", "D": "d", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := NewChecker(nl, cl, Margins{Setup: 100, Hold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gclk, _ := nl.Net("gclk")
+	d, _ := nl.Net("d")
+	ob := func(nid netlist.NetID, tm int64, v logic.Value) {
+		ck.Observe(nid, event.Event{Time: tm, Val: v})
+	}
+	ob(gclk, 0, logic.V0)
+	ob(d, 970, logic.V1)
+	ob(gclk, 1000, logic.V1) // gated capture edge: setup gap 30 < 100
+	vs := ck.Violations()
+	if len(vs) != 1 || vs[0].Instance != "ff" || vs[0].Kind != Setup {
+		t.Fatalf("gated clock violation: %v", vs)
+	}
+}

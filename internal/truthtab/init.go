@@ -1,0 +1,125 @@
+package truthtab
+
+import (
+	"fmt"
+
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+// InitialConditions computes the pre-time-zero fixpoint of a netlist: the
+// value every net, every internal state and every output holds before any
+// stimulus. Primary inputs and state variables start at X; constant cells
+// (tie-highs/lows) and anything they imply — decode logic, FFs held by a
+// tied-active asynchronous reset, shut clock gates — settle to determined
+// values. All simulators share this so their event streams stay comparable:
+// the first committed event on a net is a change *from this value*.
+//
+// Iteration is monotone in the information order (inputs only ever gain
+// definiteness), except through determined transparent loops (a ring
+// oscillator wired out of constants), which cannot settle; such nets are
+// forced to X after an iteration cap.
+type InitialConditions struct {
+	// NetVals is the per-net initial value.
+	NetVals []logic.Value
+	// Per gate (instance index): internal state and output pin values at
+	// the fixpoint.
+	States [][]logic.Value
+	Outs   [][]logic.Value
+}
+
+// ComputeInitialConditions runs the fixpoint for the netlist over the
+// compiled library.
+func ComputeInitialConditions(nl *netlist.Netlist, cl *CompiledLibrary) (*InitialConditions, error) {
+	n := len(nl.Instances)
+	ic := &InitialConditions{
+		NetVals: make([]logic.Value, len(nl.Nets)),
+		States:  make([][]logic.Value, n),
+		Outs:    make([][]logic.Value, n),
+	}
+	nets := ic.NetVals
+	for i := range nets {
+		nets[i] = logic.VX
+	}
+	tabs := make([]*Table, n)
+	for gi := range nl.Instances {
+		inst := &nl.Instances[gi]
+		tab := cl.Tables[inst.Type.Name]
+		if tab == nil {
+			return nil, fmt.Errorf("truthtab: cell type %s not compiled", inst.Type.Name)
+		}
+		tabs[gi] = tab
+		ic.States[gi] = make([]logic.Value, tab.NumStates)
+		ic.Outs[gi] = make([]logic.Value, tab.NumOutputs)
+		for k := range ic.States[gi] {
+			ic.States[gi][k] = logic.VX
+		}
+	}
+
+	ins := make([]logic.Value, 16)
+	outs := make([]logic.Value, 8)
+	next := make([]logic.Value, 8)
+	locked := make([]bool, len(nl.Nets))
+
+	sweep := func() bool {
+		changed := false
+		for gi := range nl.Instances {
+			inst := &nl.Instances[gi]
+			tab := tabs[gi]
+			for pi, nid := range inst.InNets {
+				ins[pi] = nets[nid]
+			}
+			tab.LookupInto(ins[:tab.NumInputs], ic.States[gi], outs[:tab.NumOutputs], next[:tab.NumStates])
+			for k := 0; k < tab.NumStates; k++ {
+				if ic.States[gi][k] != next[k] {
+					ic.States[gi][k] = next[k]
+					changed = true
+				}
+			}
+			for o := 0; o < tab.NumOutputs; o++ {
+				if ic.Outs[gi][o] != outs[o] {
+					ic.Outs[gi][o] = outs[o]
+					changed = true
+				}
+				nid := inst.OutNets[o]
+				if nid >= 0 && !locked[nid] && nets[nid] != outs[o] {
+					nets[nid] = outs[o]
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+
+	// The longest constant-propagation chain is bounded by the gate count,
+	// but settles far faster in practice; cap generously, then lock
+	// oscillating nets to X and settle once more.
+	const cap = 200
+	converged := false
+	for i := 0; i < cap; i++ {
+		if !sweep() {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		prev := append([]logic.Value(nil), nets...)
+		sweep()
+		for nid := range nets {
+			if nets[nid] != prev[nid] {
+				nets[nid] = logic.VX
+				locked[nid] = true
+			}
+		}
+		for i := 0; i < cap; i++ {
+			if !sweep() {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("truthtab: initial conditions did not settle")
+		}
+	}
+	return ic, nil
+}

@@ -1,0 +1,112 @@
+package truthtab
+
+import (
+	"testing"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+)
+
+func computeIC(t *testing.T, nl *netlist.Netlist) *InitialConditions {
+	t.Helper()
+	cl, err := CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := ComputeInitialConditions(nl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestInitialConditionsConstantCone(t *testing.T) {
+	nl := netlist.New("t", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("a"))
+	must := func(name, cell string, conns map[string]string) {
+		t.Helper()
+		if _, err := nl.AddInstance(name, cell, conns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must("t1", "TIEHI", map[string]string{"Y": "one"})
+	must("t0", "TIELO", map[string]string{"Y": "zero"})
+	must("g1", "INV", map[string]string{"A": "one", "Y": "n1"})             // 0
+	must("g2", "NAND2", map[string]string{"A": "one", "B": "a", "Y": "n2"}) // !a = X
+	must("g3", "OR2", map[string]string{"A": "one", "B": "a", "Y": "n3"})   // 1 despite X
+	must("g4", "AND2", map[string]string{"A": "zero", "B": "a", "Y": "n4"}) // 0 despite X
+
+	ic := computeIC(t, nl)
+	check := func(name string, want logic.Value) {
+		t.Helper()
+		nid, ok := nl.Net(name)
+		if !ok {
+			t.Fatalf("no net %s", name)
+		}
+		if got := ic.NetVals[nid]; got != want {
+			t.Errorf("init(%s) = %v, want %v", name, got, want)
+		}
+	}
+	check("one", logic.V1)
+	check("zero", logic.V0)
+	check("n1", logic.V0)
+	check("n2", logic.VX)
+	check("n3", logic.V1)
+	check("n4", logic.V0)
+	check("a", logic.VX) // primary inputs stay X
+}
+
+func TestInitialConditionsTiedReset(t *testing.T) {
+	// An FF whose async reset is tied active initializes to 0 even though
+	// clock and data are unknown.
+	nl := netlist.New("t", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("clk"))
+	nl.MarkInput(nl.AddNet("d"))
+	if _, err := nl.AddInstance("t0", "TIELO", map[string]string{"Y": "rb"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("ff", "DFF_PR", map[string]string{
+		"CLK": "clk", "D": "d", "RESET_B": "rb", "Q": "q", "QN": "qn"}); err != nil {
+		t.Fatal(err)
+	}
+	ic := computeIC(t, nl)
+	q, _ := nl.Net("q")
+	qn, _ := nl.Net("qn")
+	if ic.NetVals[q] != logic.V0 || ic.NetVals[qn] != logic.V1 {
+		t.Errorf("tied-reset FF init: q=%v qn=%v", ic.NetVals[q], ic.NetVals[qn])
+	}
+	// The FF's internal state also settles.
+	if ic.States[1][0] != logic.V0 {
+		t.Errorf("state: %v", ic.States[1])
+	}
+}
+
+func TestInitialConditionsOscillatorLocksToX(t *testing.T) {
+	// A determined ring oscillator out of constants: INV loop through a
+	// transparent latch held open by TIEHI. The fixpoint cannot settle; the
+	// oscillating nets must lock to X instead of failing.
+	nl := netlist.New("t", liberty.MustBuiltin())
+	nl.MarkInput(nl.AddNet("unused"))
+	if _, err := nl.AddInstance("th", "TIEHI", map[string]string{"Y": "en"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("lat", "DLATCH_H", map[string]string{
+		"GATE": "en", "D": "fb", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("inv", "INV", map[string]string{"A": "q", "Y": "fb"}); err != nil {
+		t.Fatal(err)
+	}
+	ic := computeIC(t, nl)
+	q, _ := nl.Net("q")
+	fb, _ := nl.Net("fb")
+	// Both loop nets end X (either they stayed X naturally or were locked).
+	if ic.NetVals[q] != logic.VX || ic.NetVals[fb] != logic.VX {
+		t.Errorf("oscillator nets: q=%v fb=%v", ic.NetVals[q], ic.NetVals[fb])
+	}
+	en, _ := nl.Net("en")
+	if ic.NetVals[en] != logic.V1 {
+		t.Errorf("en = %v", ic.NetVals[en])
+	}
+}

@@ -1,0 +1,387 @@
+// Package truthtab implements the stability-aware library compilation of the
+// paper (§III-B): it turns a Liberty cell description into an extended truth
+// table over the alphabet {0,1,X,Z} ∪ {R,F} (edge-sensitive inputs) ∪ {U}
+// (undetermined), using the bitmask dynamic program of Algorithm 1 to fill
+// the rows containing U symbols.
+//
+// The table answers, in O(1), the only question the simulator ever asks:
+// given the current (possibly partially undetermined) input values, edge
+// markers, and internal state, what are the output values and the next
+// internal state — and are they determined?
+package truthtab
+
+import (
+	"fmt"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+)
+
+// semantics is the exact behavioural model of one cell, used to generate the
+// preliminary (fully determined) truth table rows. It is the ground truth
+// the bitmask DP extends.
+type semantics struct {
+	cell   *liberty.Cell
+	inputs []string // cell input pins, in order
+	states []string // internal state variables, in order
+	vars   []string // inputs ++ states: the shared variable ordering
+
+	outputs []*logic.Expr // per cell output, over vars
+	// Sequential control expressions over vars (nil when absent).
+	nextState *logic.Expr
+	clockedOn *logic.Expr
+	dataIn    *logic.Expr
+	enable    *logic.Expr
+	clear     *logic.Expr
+	preset    *logic.Expr
+	cpVar1    logic.Value
+	cpVar2    logic.Value
+	isFF      bool
+	isLatch   bool
+	table     *liberty.StateTable
+
+	// edgeSensitive[i] is true when input i participates in edge detection
+	// (appears in clocked_on, or under an R/F token in a statetable).
+	edgeSensitive []bool
+}
+
+func newSemantics(cell *liberty.Cell) (*semantics, error) {
+	s := &semantics{
+		cell:   cell,
+		inputs: cell.Inputs,
+		states: cell.StateVars(),
+	}
+	s.vars = append(append([]string{}, s.inputs...), s.states...)
+	s.edgeSensitive = make([]bool, len(s.inputs))
+
+	align := func(e *logic.Expr, what string) (*logic.Expr, error) {
+		if e == nil {
+			return nil, nil
+		}
+		r, err := e.RenameVars(s.vars)
+		if err != nil {
+			return nil, fmt.Errorf("truthtab: cell %s %s: %v", cell.Name, what, err)
+		}
+		return r, nil
+	}
+
+	var err error
+	for _, out := range cell.Outputs {
+		var oe *logic.Expr
+		if oe, err = align(cell.Pin(out).Function, "output "+out); err != nil {
+			return nil, err
+		}
+		s.outputs = append(s.outputs, oe)
+	}
+	switch {
+	case cell.FF != nil:
+		s.isFF = true
+		ff := cell.FF
+		if s.nextState, err = align(ff.NextState, "next_state"); err != nil {
+			return nil, err
+		}
+		if s.clockedOn, err = align(ff.ClockedOn, "clocked_on"); err != nil {
+			return nil, err
+		}
+		if s.clear, err = align(ff.Clear, "clear"); err != nil {
+			return nil, err
+		}
+		if s.preset, err = align(ff.Preset, "preset"); err != nil {
+			return nil, err
+		}
+		s.cpVar1, s.cpVar2 = ff.ClearPresetVar1, ff.ClearPresetVar2
+		// Inputs feeding the clock expression are edge-sensitive.
+		s.markEdgeSensitive(ff.ClockedOn.Vars())
+	case cell.Latch != nil:
+		s.isLatch = true
+		l := cell.Latch
+		if s.dataIn, err = align(l.DataIn, "data_in"); err != nil {
+			return nil, err
+		}
+		if s.enable, err = align(l.Enable, "enable"); err != nil {
+			return nil, err
+		}
+		if s.clear, err = align(l.Clear, "clear"); err != nil {
+			return nil, err
+		}
+		if s.preset, err = align(l.Preset, "preset"); err != nil {
+			return nil, err
+		}
+		s.cpVar1, s.cpVar2 = l.ClearPresetVar1, l.ClearPresetVar2
+	case cell.Table != nil:
+		s.table = cell.Table
+		if len(s.table.Inputs) != len(s.inputs) {
+			// The statetable may list inputs in a different order or subset;
+			// map each statetable input onto the cell input index.
+			// (Handled below in any case; here we only validate names.)
+		}
+		for _, name := range s.table.Inputs {
+			if indexOf(s.inputs, name) < 0 {
+				return nil, fmt.Errorf("truthtab: cell %s: statetable input %q is not a cell input", cell.Name, name)
+			}
+		}
+		for ri, row := range s.table.Rows {
+			for ti, tok := range row.Inputs {
+				if tok == liberty.STRise || tok == liberty.STFall {
+					idx := indexOf(s.inputs, s.table.Inputs[ti])
+					s.edgeSensitive[idx] = true
+					_ = ri
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *semantics) markEdgeSensitive(names []string) {
+	for _, n := range names {
+		if i := indexOf(s.inputs, n); i >= 0 {
+			s.edgeSensitive[i] = true
+		}
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// eval computes the cell reaction for fully determined stimuli: ins may
+// contain steady values and R/F edge markers (on edge-sensitive inputs),
+// cur holds the steady current state. It returns the output values and the
+// next state values. All results are steady (0/1/X/Z), never U.
+func (s *semantics) eval(ins, cur []logic.Value) (outs, next []logic.Value) {
+	n := len(s.inputs)
+	// before/after vectors over vars = inputs ++ states.
+	before := make([]logic.Value, len(s.vars))
+	after := make([]logic.Value, len(s.vars))
+	for i, v := range ins {
+		before[i] = v.Before()
+		after[i] = v.Settle()
+	}
+	for i, v := range cur {
+		before[n+i] = v
+		after[n+i] = v
+	}
+
+	next = append([]logic.Value(nil), cur...)
+	switch {
+	case s.isFF:
+		eb := s.clockedOn.EvalVec(before)
+		ea := s.clockedOn.EvalVec(after)
+		captured := s.nextState.EvalVec(after)
+		clkKnown := (eb == logic.V0 || eb == logic.V1) && (ea == logic.V0 || ea == logic.V1)
+		var v1 logic.Value
+		switch {
+		case eb == logic.V0 && ea == logic.V1:
+			v1 = captured
+		case clkKnown: // steady, falling, or no edge: hold
+			v1 = cur[0]
+		default: // clock involves X: the edge may or may not have happened
+			v1 = logic.Merge(cur[0], captured)
+		}
+		next[0] = v1
+		if len(next) > 1 {
+			next[1] = logic.Not(v1)
+		}
+		s.applyAsync(after, cur, next)
+	case s.isLatch:
+		if s.enable != nil {
+			en := s.enable.EvalVec(after)
+			d := s.dataIn.EvalVec(after)
+			var v1 logic.Value
+			switch en {
+			case logic.V1:
+				v1 = d
+			case logic.V0:
+				v1 = cur[0]
+			default:
+				v1 = logic.Merge(cur[0], d)
+			}
+			next[0] = v1
+			if len(next) > 1 {
+				next[1] = logic.Not(v1)
+			}
+		}
+		s.applyAsync(after, cur, next)
+	case s.table != nil:
+		next = s.evalStateTable(ins, cur)
+		for i := n; i < len(after); i++ {
+			// after-vector states for output evaluation updated below
+			_ = i
+		}
+	}
+
+	// Outputs observe the post-update state.
+	for i, nv := range next {
+		after[n+i] = nv
+	}
+	outs = make([]logic.Value, len(s.outputs))
+	for i, oe := range s.outputs {
+		outs[i] = oe.EvalVec(after)
+	}
+	return outs, next
+}
+
+// applyAsync overrides next with asynchronous clear/preset behaviour.
+func (s *semantics) applyAsync(after, cur, next []logic.Value) {
+	if s.clear == nil && s.preset == nil {
+		return
+	}
+	cl, pr := logic.V0, logic.V0
+	if s.clear != nil {
+		cl = s.clear.EvalVec(after)
+	}
+	if s.preset != nil {
+		pr = s.preset.EvalVec(after)
+	}
+	force := func(v1, v2 logic.Value, certain bool) {
+		if certain {
+			next[0] = v1
+			if len(next) > 1 {
+				next[1] = v2
+			}
+			return
+		}
+		next[0] = logic.Merge(next[0], v1)
+		if len(next) > 1 {
+			next[1] = logic.Merge(next[1], v2)
+		}
+	}
+	switch {
+	case cl == logic.V1 && pr == logic.V1:
+		force(s.cpVar1, s.cpVar2, true)
+	case cl == logic.V1 && pr == logic.V0:
+		force(logic.V0, logic.V1, true)
+	case pr == logic.V1 && cl == logic.V0:
+		force(logic.V1, logic.V0, true)
+	case cl == logic.V1: // pr is X
+		force(logic.Merge(s.cpVar1, logic.V0), logic.Merge(s.cpVar2, logic.V1), true)
+	case pr == logic.V1: // cl is X
+		force(logic.Merge(s.cpVar1, logic.V1), logic.Merge(s.cpVar2, logic.V0), true)
+	case cl == logic.V0 && pr == logic.V0:
+		// neither active
+	case cl != logic.V0 && pr != logic.V0: // both X
+		force(logic.VX, logic.VX, false)
+	case cl != logic.V0: // cl X, pr 0
+		force(logic.V0, logic.V1, false)
+	default: // pr X, cl 0
+		force(logic.V1, logic.V0, false)
+	}
+}
+
+// evalStateTable evaluates the statetable. X/Z symbols on inputs or current
+// states are handled by enumerating their {0,1} refinements and merging the
+// resulting next states, which is far less pessimistic than treating X as
+// "matches nothing". Edge markers pass through unchanged.
+func (s *semantics) evalStateTable(ins, cur []logic.Value) []logic.Value {
+	// Collect the X/Z positions to refine: inputs first, then states.
+	var xin, xcur []int
+	for i, v := range ins {
+		if v == logic.VX || v == logic.VZ {
+			xin = append(xin, i)
+		}
+	}
+	for i, v := range cur {
+		if v == logic.VX || v == logic.VZ {
+			xcur = append(xcur, i)
+		}
+	}
+	k := len(xin) + len(xcur)
+	if k == 0 {
+		return s.evalStateTableExact(ins, cur)
+	}
+	if k > 10 { // give up: everything unknown
+		next := make([]logic.Value, len(s.states))
+		for i := range next {
+			next[i] = logic.VX
+		}
+		return next
+	}
+	rIns := append([]logic.Value(nil), ins...)
+	rCur := append([]logic.Value(nil), cur...)
+	var merged []logic.Value
+	for m := 0; m < 1<<k; m++ {
+		for bi, i := range xin {
+			rIns[i] = logic.Value(m >> bi & 1)
+		}
+		for bi, i := range xcur {
+			rCur[i] = logic.Value(m >> (len(xin) + bi) & 1)
+		}
+		next := s.evalStateTableExact(rIns, rCur)
+		if merged == nil {
+			merged = next
+			continue
+		}
+		for i := range merged {
+			merged[i] = logic.Merge(merged[i], next[i])
+		}
+	}
+	return merged
+}
+
+// evalStateTableExact matches rows in order; the first matching row wins.
+// With no matching row the next state is conservatively X.
+func (s *semantics) evalStateTableExact(ins, cur []logic.Value) []logic.Value {
+	next := make([]logic.Value, len(s.states))
+	for i := range next {
+		next[i] = logic.VX
+	}
+	// Map statetable input order onto cell input order.
+	for _, row := range s.table.Rows {
+		if !s.rowMatches(row, ins, cur) {
+			continue
+		}
+		for i, tok := range row.Next {
+			switch tok {
+			case liberty.STLow:
+				next[i] = logic.V0
+			case liberty.STHigh:
+				next[i] = logic.V1
+			case liberty.STNoChange:
+				next[i] = cur[i]
+			default:
+				next[i] = logic.VX
+			}
+		}
+		return next
+	}
+	return next
+}
+
+func (s *semantics) rowMatches(row liberty.StateTableRow, ins, cur []logic.Value) bool {
+	for ti, tok := range row.Inputs {
+		idx := indexOf(s.inputs, s.table.Inputs[ti])
+		if !stTokenMatches(tok, ins[idx]) {
+			return false
+		}
+	}
+	for i, tok := range row.Cur {
+		if !stTokenMatches(tok, cur[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func stTokenMatches(tok liberty.StateTableToken, v logic.Value) bool {
+	switch tok {
+	case liberty.STDontCare:
+		return true
+	case liberty.STLow:
+		return v == logic.V0
+	case liberty.STHigh:
+		return v == logic.V1
+	case liberty.STRise:
+		return v == logic.VR
+	case liberty.STFall:
+		return v == logic.VF
+	case liberty.STUnknown:
+		return v == logic.VX || v == logic.VZ
+	}
+	return false
+}

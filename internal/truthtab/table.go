@@ -1,0 +1,353 @@
+package truthtab
+
+import (
+	"fmt"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+)
+
+// Table is the compiled extended truth table of one cell.
+//
+// The table is indexed by a mixed-radix code over the cell's input pins
+// followed by its internal state variables. Each dimension has a number of
+// *determined* choices — 6 (0,1,X,Z,R,F) for edge-sensitive inputs, 4
+// (0,1,X,Z) otherwise — plus one extra code for U, which always takes the
+// highest code in the dimension. Each entry stores the output pin values
+// followed by the next internal state values; any of them may be U when the
+// outcome genuinely depends on an undetermined dimension.
+type Table struct {
+	Cell *liberty.Cell
+
+	NumInputs  int
+	NumStates  int
+	NumOutputs int
+
+	// EdgeSensitive[i] reports whether input i must be presented as R/F at
+	// the instant of a 0->1 / 1->0 transition (it participates in edge
+	// detection inside the cell).
+	EdgeSensitive []bool
+
+	radix  []int // per dimension, including the U code
+	stride []int
+	data   []logic.Value // len = Size() * entryWidth
+}
+
+// MaxTableEntries bounds the size of one cell's extended table; cells larger
+// than this (too many inputs/states) are rejected at compile time.
+const MaxTableEntries = 1 << 24
+
+// valueCode maps a logic value to its code in a dimension with the given
+// radix (radix 7 = edge-sensitive input, 5 = plain input or state).
+// It returns -1 for values invalid in that dimension.
+func valueCode(v logic.Value, radix int) int {
+	switch v {
+	case logic.V0, logic.V1, logic.VX, logic.VZ:
+		return int(v)
+	case logic.VR:
+		if radix == 7 {
+			return 4
+		}
+	case logic.VF:
+		if radix == 7 {
+			return 5
+		}
+	case logic.VU:
+		return radix - 1
+	}
+	return -1
+}
+
+// codeValue is the inverse of valueCode.
+func codeValue(code, radix int) logic.Value {
+	if code == radix-1 {
+		return logic.VU
+	}
+	switch code {
+	case 0, 1, 2, 3:
+		return logic.Value(code)
+	case 4:
+		return logic.VR
+	case 5:
+		return logic.VF
+	}
+	return logic.VU
+}
+
+// Compile builds the extended truth table for a cell: it generates the
+// preliminary table from the cell semantics and then runs the bitmask DP of
+// Algorithm 1 (generalized to treat internal states as DP dimensions too, so
+// rows with a U current state are also filled).
+func Compile(cell *liberty.Cell) (*Table, error) {
+	sem, err := newSemantics(cell)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Cell:          cell,
+		NumInputs:     len(sem.inputs),
+		NumStates:     len(sem.states),
+		NumOutputs:    len(sem.outputs),
+		EdgeSensitive: sem.edgeSensitive,
+	}
+	dims := t.NumInputs + t.NumStates
+	if dims > 20 {
+		return nil, fmt.Errorf("truthtab: cell %s has %d dimensions, too many", cell.Name, dims)
+	}
+	t.radix = make([]int, dims)
+	for i := 0; i < t.NumInputs; i++ {
+		if sem.edgeSensitive[i] {
+			t.radix[i] = 7
+		} else {
+			t.radix[i] = 5
+		}
+	}
+	for i := 0; i < t.NumStates; i++ {
+		t.radix[t.NumInputs+i] = 5
+	}
+	t.stride = make([]int, dims)
+	size := 1
+	for i := dims - 1; i >= 0; i-- {
+		t.stride[i] = size
+		size *= t.radix[i]
+		if size > MaxTableEntries {
+			return nil, fmt.Errorf("truthtab: cell %s table exceeds %d entries", cell.Name, MaxTableEntries)
+		}
+	}
+	w := t.entryWidth()
+	t.data = make([]logic.Value, size*w)
+	for i := range t.data {
+		t.data[i] = logic.VU
+	}
+
+	t.fillPreliminary(sem)
+	t.runBitmaskDP()
+	return t, nil
+}
+
+func (t *Table) entryWidth() int { return t.NumOutputs + t.NumStates }
+
+// Size returns the number of table entries (rows).
+func (t *Table) Size() int {
+	if len(t.radix) == 0 {
+		return 1
+	}
+	return t.stride[0] * t.radix[0]
+}
+
+// Bytes returns the memory footprint of the table payload.
+func (t *Table) Bytes() int { return len(t.data) }
+
+// fillPreliminary enumerates every fully determined row (no U anywhere) and
+// fills it from the exact cell semantics. This is step (b) of Fig. 5.
+func (t *Table) fillPreliminary(sem *semantics) {
+	dims := len(t.radix)
+	codes := make([]int, dims)
+	ins := make([]logic.Value, t.NumInputs)
+	cur := make([]logic.Value, t.NumStates)
+	w := t.entryWidth()
+	for {
+		// Decode codes into values; determined codes only (code < radix-1).
+		idx := 0
+		for i, c := range codes {
+			idx += c * t.stride[i]
+		}
+		for i := 0; i < t.NumInputs; i++ {
+			ins[i] = codeValue(codes[i], t.radix[i])
+		}
+		for i := 0; i < t.NumStates; i++ {
+			cur[i] = codeValue(codes[t.NumInputs+i], 5)
+		}
+		outs, next := sem.eval(ins, cur)
+		e := t.data[idx*w : idx*w+w]
+		copy(e, outs)
+		copy(e[t.NumOutputs:], next)
+
+		// Advance the mixed-radix counter over determined codes.
+		i := dims - 1
+		for ; i >= 0; i-- {
+			codes[i]++
+			if codes[i] < t.radix[i]-1 { // exclude the U code
+				break
+			}
+			codes[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// runBitmaskDP is Algorithm 1: for every subset s of dimensions marked U
+// (enumerated from small to large), and every assignment of the remaining
+// dimensions, the row is determined iff all choices of the lowest U
+// dimension lead to identical content.
+func (t *Table) runBitmaskDP() {
+	dims := len(t.radix)
+	w := t.entryWidth()
+	content := make([]logic.Value, w)
+	detCodes := make([]int, dims)
+
+	for s := 1; s < (1 << dims); s++ {
+		first := lowestBit(s)
+		// Base index contribution of the U dimensions.
+		baseU := 0
+		for i := 0; i < dims; i++ {
+			if s&(1<<i) != 0 {
+				baseU += (t.radix[i] - 1) * t.stride[i]
+			}
+		}
+		// Enumerate determined assignments of dimensions outside s.
+		free := make([]int, 0, dims)
+		for i := 0; i < dims; i++ {
+			if s&(1<<i) == 0 {
+				free = append(free, i)
+			}
+		}
+		for i := range detCodes {
+			detCodes[i] = 0
+		}
+		for {
+			idx := baseU
+			for _, d := range free {
+				idx += detCodes[d] * t.stride[d]
+			}
+			// Compare contents across all determined choices of `first`,
+			// with `first`'s U contribution removed. The comparison is per
+			// component: one undetermined output must not poison a sibling
+			// output or state that all refinements agree on.
+			probe := idx - (t.radix[first]-1)*t.stride[first]
+			for v := 0; v < t.radix[first]-1; v++ {
+				e := t.data[(probe+v*t.stride[first])*w : (probe+v*t.stride[first])*w+w]
+				if v == 0 {
+					copy(content, e)
+					continue
+				}
+				for k := 0; k < w; k++ {
+					if content[k] != e[k] {
+						content[k] = logic.VU
+					}
+				}
+			}
+			copy(t.data[idx*w:idx*w+w], content)
+
+			// Advance counter over free dims.
+			j := len(free) - 1
+			for ; j >= 0; j-- {
+				d := free[j]
+				detCodes[d]++
+				if detCodes[d] < t.radix[d]-1 {
+					break
+				}
+				detCodes[d] = 0
+			}
+			if j < 0 {
+				break
+			}
+		}
+	}
+}
+
+func lowestBit(s int) int {
+	for i := 0; ; i++ {
+		if s&(1<<i) != 0 {
+			return i
+		}
+	}
+}
+
+// Index computes the flat row index for the given input and state values.
+// Inputs may carry R/F (edge-sensitive dims only) and U; states may carry U.
+// It returns an error for values invalid in their dimension.
+func (t *Table) Index(ins, states []logic.Value) (int, error) {
+	if len(ins) != t.NumInputs || len(states) != t.NumStates {
+		return 0, fmt.Errorf("truthtab: %s: want %d inputs and %d states, got %d and %d",
+			t.Cell.Name, t.NumInputs, t.NumStates, len(ins), len(states))
+	}
+	idx := 0
+	for i, v := range ins {
+		c := valueCode(v, t.radix[i])
+		if c < 0 {
+			return 0, fmt.Errorf("truthtab: %s input %d: invalid value %v", t.Cell.Name, i, v)
+		}
+		idx += c * t.stride[i]
+	}
+	for i, v := range states {
+		c := valueCode(v, 5)
+		if c < 0 {
+			return 0, fmt.Errorf("truthtab: %s state %d: invalid value %v", t.Cell.Name, i, v)
+		}
+		idx += c * t.stride[t.NumInputs+i]
+	}
+	return idx, nil
+}
+
+// LookupInto is the hot-path query: it writes the output values into outs
+// and the next state values into next (both must have the right length),
+// reading the row selected by ins/states. It panics on invalid values, which
+// cannot occur for values produced by the simulator.
+func (t *Table) LookupInto(ins, states, outs, next []logic.Value) {
+	idx := 0
+	for i, v := range ins {
+		idx += valueCode(v, t.radix[i]) * t.stride[i]
+	}
+	base := t.NumInputs
+	for i, v := range states {
+		idx += valueCode(v, 5) * t.stride[base+i]
+	}
+	w := t.entryWidth()
+	e := t.data[idx*w : idx*w+w]
+	copy(outs, e[:t.NumOutputs])
+	copy(next, e[t.NumOutputs:])
+}
+
+// Lookup is the allocating convenience form of LookupInto.
+func (t *Table) Lookup(ins, states []logic.Value) (outs, next []logic.Value, err error) {
+	idx, err := t.Index(ins, states)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := t.entryWidth()
+	e := t.data[idx*w : idx*w+w]
+	outs = append([]logic.Value(nil), e[:t.NumOutputs]...)
+	next = append([]logic.Value(nil), e[t.NumOutputs:]...)
+	return outs, next, nil
+}
+
+// CompiledLibrary holds the compiled tables for every cell of a library.
+type CompiledLibrary struct {
+	Library *liberty.Library
+	Tables  map[string]*Table
+}
+
+// CompileLibrary compiles every cell of the library (paper: "compilation of
+// a large cell library with 1000 cells takes only 1 second").
+func CompileLibrary(lib *liberty.Library) (*CompiledLibrary, error) {
+	cl := &CompiledLibrary{Library: lib, Tables: make(map[string]*Table, len(lib.Cells))}
+	for _, name := range lib.CellNames() {
+		t, err := Compile(lib.Cells[name])
+		if err != nil {
+			return nil, err
+		}
+		cl.Tables[name] = t
+	}
+	return cl, nil
+}
+
+// Stats summarises a compiled library.
+type Stats struct {
+	Cells   int
+	Entries int
+	Bytes   int
+}
+
+// Stats returns aggregate table sizes.
+func (cl *CompiledLibrary) Stats() Stats {
+	var s Stats
+	s.Cells = len(cl.Tables)
+	for _, t := range cl.Tables {
+		s.Entries += t.Size()
+		s.Bytes += t.Bytes()
+	}
+	return s
+}

@@ -1,0 +1,590 @@
+package truthtab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+)
+
+func compileCell(t *testing.T, name string) *Table {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	cell := lib.Cells[name]
+	if cell == nil {
+		t.Fatalf("no cell %s", name)
+	}
+	tab, err := Compile(cell)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", name, err)
+	}
+	return tab
+}
+
+func lookup(t *testing.T, tab *Table, ins, states []logic.Value) (outs, next []logic.Value) {
+	t.Helper()
+	outs, next, err := tab.Lookup(ins, states)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	return outs, next
+}
+
+func vs(s string) []logic.Value {
+	out := make([]logic.Value, len(s))
+	for i := 0; i < len(s); i++ {
+		v, err := logic.ParseValue(s[i])
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestCombinationalTables(t *testing.T) {
+	cases := []struct {
+		cell string
+		ins  string
+		want string // outputs
+	}{
+		{"INV", "0", "1"},
+		{"INV", "1", "0"},
+		{"INV", "X", "X"},
+		{"INV", "U", "U"},
+		{"NAND2", "11", "0"},
+		{"NAND2", "0U", "1"}, // 0 dominates: stable despite U input
+		{"NAND2", "1U", "U"},
+		{"NOR2", "1U", "0"},
+		{"OR2", "1U", "1"}, // the paper's gated-clock stability case
+		{"AND2", "0U", "0"},
+		{"XOR2", "1U", "U"}, // XOR is never stable under U
+		{"MUX2", "11U", "U"},
+		{"MUX2", "110", "1"}, // S=0 selects A... pins are A,B,S
+		{"MUX2", "UU0", "U"},
+		{"MUX2", "1U0", "1"}, // S=0: B is don't-care
+		{"FA", "110", "01"},  // SUM, COUT
+		{"FA", "UU1", "UU"},
+		{"FA", "U00", "U0"}, // COUT determined, SUM not
+		{"TIEHI", "", "1"},
+		{"TIELO", "", "0"},
+	}
+	for _, c := range cases {
+		tab := compileCell(t, c.cell)
+		outs, next := lookup(t, tab, vs(c.ins), nil)
+		if got := logic.FormatValues(outs); got != c.want {
+			t.Errorf("%s(%s) = %s, want %s", c.cell, c.ins, got, c.want)
+		}
+		if len(next) != 0 {
+			t.Errorf("%s should have no state", c.cell)
+		}
+	}
+}
+
+// TestFig6AOI21Rows checks the truth-table facts the paper's Fig. 6 event
+// trace relies on: AOI21 with A1=1, A2=U, B=1 is a stable 0, while
+// A1=1, A2=U, B=0 is undetermined.
+func TestFig6AOI21Rows(t *testing.T) {
+	tab := compileCell(t, "AOI21") // inputs A1, A2, B
+	outs, _ := lookup(t, tab, vs("1U1"), nil)
+	if outs[0] != logic.V0 {
+		t.Errorf("AOI21(1,U,1) = %v, want 0", outs[0])
+	}
+	outs, _ = lookup(t, tab, vs("1U0"), nil)
+	if outs[0] != logic.VU {
+		t.Errorf("AOI21(1,U,0) = %v, want U", outs[0])
+	}
+	outs, _ = lookup(t, tab, vs("0U0"), nil)
+	if outs[0] != logic.V1 {
+		t.Errorf("AOI21(0,U,0) = %v, want 1", outs[0])
+	}
+}
+
+// TestFig5DFFCompilation checks the extended-table rows called out in the
+// paper's Fig. 5 for the negative-edge DFF with low-enable set/reset.
+// Cell DFF_NSR inputs (declaration order): CLK_N, D, SET_B, RESET_B;
+// states IQ, IQN.
+func TestFig5DFFCompilation(t *testing.T) {
+	tab := compileCell(t, "DFF_NSR")
+	if tab.NumInputs != 4 || tab.NumStates != 2 || tab.NumOutputs != 2 {
+		t.Fatalf("dims: %d inputs %d states %d outputs", tab.NumInputs, tab.NumStates, tab.NumOutputs)
+	}
+	if !tab.EdgeSensitive[0] || tab.EdgeSensitive[1] || tab.EdgeSensitive[2] || tab.EdgeSensitive[3] {
+		t.Fatalf("edge sensitivity: %v", tab.EdgeSensitive)
+	}
+
+	// Fig 5(c) row 1: CLK_N stays 0, D undetermined, no set/reset: hold.
+	outs, next := lookup(t, tab, vs("0U11"), vs("10"))
+	if logic.FormatValues(outs) != "10" || logic.FormatValues(next) != "10" {
+		t.Errorf("hold row: outs=%s next=%s", logic.FormatValues(outs), logic.FormatValues(next))
+	}
+	// Falling edge with determined D captures D.
+	outs, next = lookup(t, tab, vs("F111"), vs("01"))
+	if logic.FormatValues(outs) != "10" || logic.FormatValues(next) != "10" {
+		t.Errorf("capture row: outs=%s next=%s", logic.FormatValues(outs), logic.FormatValues(next))
+	}
+	// Fig 5(c) row 5: falling edge with undetermined D: all undetermined.
+	outs, next = lookup(t, tab, vs("FU11"), vs("01"))
+	if logic.FormatValues(outs) != "UU" || logic.FormatValues(next) != "UU" {
+		t.Errorf("U-capture row: outs=%s next=%s", logic.FormatValues(outs), logic.FormatValues(next))
+	}
+	// Rising edge of CLK_N (negedge cell): no capture even with U data.
+	outs, next = lookup(t, tab, vs("RU11"), vs("01"))
+	if logic.FormatValues(outs) != "01" || logic.FormatValues(next) != "01" {
+		t.Errorf("rising row: outs=%s next=%s", logic.FormatValues(outs), logic.FormatValues(next))
+	}
+	// Asynchronous reset dominates everything, even an undetermined clock.
+	outs, next = lookup(t, tab, vs("UU10"), vs("UU"))
+	if logic.FormatValues(outs) != "01" || logic.FormatValues(next) != "01" {
+		t.Errorf("async reset row: outs=%s next=%s", logic.FormatValues(outs), logic.FormatValues(next))
+	}
+	// Set and reset both low: clear_preset_var1/var2 say both go low.
+	outs, next = lookup(t, tab, vs("UU00"), vs("UU"))
+	if logic.FormatValues(next) != "00" {
+		t.Errorf("set+reset row: next=%s", logic.FormatValues(next))
+	}
+	// Undetermined clock with determined D that equals the held state:
+	// output remains determined (capture would not change anything).
+	outs, next = lookup(t, tab, vs("U111"), vs("10"))
+	if logic.FormatValues(outs) != "10" {
+		t.Errorf("benign-U-clock row: outs=%s", logic.FormatValues(outs))
+	}
+	// Undetermined clock with D opposite the state: undetermined.
+	outs, _ = lookup(t, tab, vs("U011"), vs("10"))
+	if logic.FormatValues(outs) != "UU" {
+		t.Errorf("harmful-U-clock row: outs=%s", logic.FormatValues(outs))
+	}
+}
+
+func TestDFFPosedgeBasics(t *testing.T) {
+	tab := compileCell(t, "DFF_P") // inputs CLK, D
+	// Rising edge captures.
+	_, next := lookup(t, tab, vs("R1"), vs("00"))
+	if logic.FormatValues(next) != "10" {
+		t.Errorf("posedge capture: %s", logic.FormatValues(next))
+	}
+	// High clock holds; D may be undetermined.
+	outs, next := lookup(t, tab, vs("1U"), vs("10"))
+	if logic.FormatValues(outs) != "10" || logic.FormatValues(next) != "10" {
+		t.Errorf("hold: outs=%s next=%s", logic.FormatValues(outs), logic.FormatValues(next))
+	}
+	// Falling edge holds.
+	_, next = lookup(t, tab, vs("FU"), vs("01"))
+	if logic.FormatValues(next) != "01" {
+		t.Errorf("falling hold: %s", logic.FormatValues(next))
+	}
+	// X clock with conflicting D poisons the state.
+	_, next = lookup(t, tab, vs("X1"), vs("00"))
+	if next[0] != logic.VX {
+		t.Errorf("X clock should poison state: %s", logic.FormatValues(next))
+	}
+}
+
+func TestScanFFStability(t *testing.T) {
+	tab := compileCell(t, "SDFF_P") // inputs CLK, D, SI, SE
+	// Scan mode (SE=1): functional D is don't-care even at a capture edge.
+	_, next := lookup(t, tab, vs("RU11"), vs("00"))
+	if logic.FormatValues(next) != "10" {
+		t.Errorf("scan capture with U D: %s", logic.FormatValues(next))
+	}
+	// Functional mode (SE=0): SI is don't-care.
+	_, next = lookup(t, tab, vs("R0U0"), vs("11"))
+	if logic.FormatValues(next) != "01" {
+		t.Errorf("functional capture with U SI: %s", logic.FormatValues(next))
+	}
+	// Undetermined SE at an edge with agreeing D and SI: Kleene evaluation
+	// of (SE&SI)|(!SE&D) cannot see that both branches agree, so the X
+	// refinement of SE yields X and the row is undetermined. This pessimism
+	// matches enumeration-based compilation (the paper's Algorithm 1).
+	_, next = lookup(t, tab, vs("R11U"), vs("00"))
+	if logic.FormatValues(next) != "UU" {
+		t.Errorf("U SE at capture edge: %s", logic.FormatValues(next))
+	}
+}
+
+func TestEnableFFHoldStability(t *testing.T) {
+	tab := compileCell(t, "DFFE_P") // inputs CLK, D, EN
+	// EN=0 at a clock edge: D is don't-care, state recirculates.
+	_, next := lookup(t, tab, vs("RU0"), vs("10"))
+	if logic.FormatValues(next) != "10" {
+		t.Errorf("disabled capture: %s", logic.FormatValues(next))
+	}
+	// EN=1 at edge captures D.
+	_, next = lookup(t, tab, vs("R01"), vs("10"))
+	if logic.FormatValues(next) != "01" {
+		t.Errorf("enabled capture: %s", logic.FormatValues(next))
+	}
+}
+
+func TestLatchTransparency(t *testing.T) {
+	tab := compileCell(t, "DLATCH_H") // inputs GATE, D
+	// Transparent: follows D.
+	outs, next := lookup(t, tab, vs("11"), vs("00"))
+	if outs[0] != logic.V1 || next[0] != logic.V1 {
+		t.Errorf("transparent: outs=%v next=%v", outs, next)
+	}
+	// Opaque: holds regardless of D (the paper's latch stable-time case).
+	outs, next = lookup(t, tab, vs("0U"), vs("10"))
+	if outs[0] != logic.V1 || next[0] != logic.V1 {
+		t.Errorf("opaque hold: outs=%v next=%v", outs, next)
+	}
+	// Undetermined gate with D equal to state: still determined.
+	outs, _ = lookup(t, tab, vs("U1"), vs("10"))
+	if outs[0] != logic.V1 {
+		t.Errorf("benign U gate: %v", outs[0])
+	}
+	// Undetermined gate with conflicting D: undetermined.
+	outs, _ = lookup(t, tab, vs("U0"), vs("10"))
+	if outs[0] != logic.VU {
+		t.Errorf("harmful U gate: %v", outs[0])
+	}
+}
+
+// TestClockGateStability reproduces the Fig. 4 scenario at table level: the
+// CLKGATE cell's output is a stable 0 while the latched enable is 0, no
+// matter what the clock does.
+func TestClockGateStability(t *testing.T) {
+	tab := compileCell(t, "CLKGATE") // inputs CLK, GATE
+	// Latched enable IQ=0, clock undetermined: GCLK = CLK & 0 = 0 stable.
+	outs, next := lookup(t, tab, vs("U0"), vs("00"))
+	if outs[0] != logic.V0 {
+		t.Errorf("gated-off clock should be stable 0, got %v", outs[0])
+	}
+	_ = next
+	// CLK low (latch transparent): GCLK = 0, and enable updates from GATE.
+	outs, next = lookup(t, tab, vs("01"), vs("00"))
+	if outs[0] != logic.V0 || next[0] != logic.V1 {
+		t.Errorf("transparent phase: outs=%v next=%v", outs, next)
+	}
+	// CLK high with latched enable 1: GCLK = 1.
+	outs, _ = lookup(t, tab, vs("1U"), vs("10"))
+	if outs[0] != logic.V1 {
+		t.Errorf("enabled high phase: %v", outs[0])
+	}
+}
+
+func TestSRLatchStatetable(t *testing.T) {
+	tab := compileCell(t, "SRLATCH") // inputs S, R
+	_, next := lookup(t, tab, vs("10"), vs("0"))
+	if next[0] != logic.V1 {
+		t.Errorf("set: %v", next[0])
+	}
+	_, next = lookup(t, tab, vs("01"), vs("1"))
+	if next[0] != logic.V0 {
+		t.Errorf("reset: %v", next[0])
+	}
+	_, next = lookup(t, tab, vs("00"), vs("1"))
+	if next[0] != logic.V1 {
+		t.Errorf("hold: %v", next[0])
+	}
+	_, next = lookup(t, tab, vs("11"), vs("0"))
+	if next[0] != logic.VX {
+		t.Errorf("forbidden: %v", next[0])
+	}
+	// Hold is stable under U on the *other* input only when holding:
+	// S=0, R=U: could be hold or reset; if state is 0 both agree.
+	_, next = lookup(t, tab, vs("0U"), vs("0"))
+	if next[0] != logic.V0 {
+		t.Errorf("benign U: %v", next[0])
+	}
+	// If state is 1, reset would change it: undetermined.
+	_, next = lookup(t, tab, vs("0U"), vs("1"))
+	if next[0] != logic.VU {
+		t.Errorf("harmful U: %v", next[0])
+	}
+}
+
+// Property: every determined entry of the extended table is consistent with
+// the exact semantics under every full determinization of its U dimensions.
+func TestDPSoundnessProperty(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	rng := rand.New(rand.NewSource(42))
+	for _, name := range []string{"NAND2", "AOI21", "MUX2", "DFF_P", "DFF_NSR", "SDFF_P", "DLATCH_H", "CLKGATE", "SRLATCH", "FA"} {
+		cell := lib.Cells[name]
+		tab, err := Compile(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sem, err := newSemantics(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			ins := make([]logic.Value, tab.NumInputs)
+			states := make([]logic.Value, tab.NumStates)
+			anyU := false
+			for i := range ins {
+				ins[i] = randomDimValue(rng, tab.EdgeSensitive[i], true)
+				anyU = anyU || ins[i] == logic.VU
+			}
+			for i := range states {
+				states[i] = randomDimValue(rng, false, true)
+				anyU = anyU || states[i] == logic.VU
+			}
+			outs, next, err := tab.Lookup(ins, states)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !anyU {
+				// Fully determined: must equal semantics exactly.
+				wantOuts, wantNext := sem.eval(ins, states)
+				if logic.FormatValues(outs) != logic.FormatValues(wantOuts) ||
+					logic.FormatValues(next) != logic.FormatValues(wantNext) {
+					t.Fatalf("%s(%s|%s): table %s|%s, semantics %s|%s", name,
+						logic.FormatValues(ins), logic.FormatValues(states),
+						logic.FormatValues(outs), logic.FormatValues(next),
+						logic.FormatValues(wantOuts), logic.FormatValues(wantNext))
+				}
+				continue
+			}
+			// Determinize the U dims a few random ways; every determined
+			// table output must match the semantics of each refinement.
+			for d := 0; d < 5; d++ {
+				rIns := make([]logic.Value, len(ins))
+				rStates := make([]logic.Value, len(states))
+				for i, v := range ins {
+					if v == logic.VU {
+						rIns[i] = randomDimValue(rng, tab.EdgeSensitive[i], false)
+					} else {
+						rIns[i] = v
+					}
+				}
+				for i, v := range states {
+					if v == logic.VU {
+						rStates[i] = randomDimValue(rng, false, false)
+					} else {
+						rStates[i] = v
+					}
+				}
+				wantOuts, wantNext := sem.eval(rIns, rStates)
+				for k, v := range outs {
+					if v != logic.VU && v != wantOuts[k] {
+						t.Fatalf("%s: row (%s|%s) claims out[%d]=%v but refinement (%s|%s) gives %v",
+							name, logic.FormatValues(ins), logic.FormatValues(states), k, v,
+							logic.FormatValues(rIns), logic.FormatValues(rStates), wantOuts[k])
+					}
+				}
+				for k, v := range next {
+					if v != logic.VU && v != wantNext[k] {
+						t.Fatalf("%s: row (%s|%s) claims next[%d]=%v but refinement gives %v",
+							name, logic.FormatValues(ins), logic.FormatValues(states), k, v, wantNext[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the DP is also complete at the first level — a row with exactly
+// one U dim is U only if two determinizations genuinely disagree.
+func TestDPCompletenessSingleU(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	for _, name := range []string{"NAND2", "MUX2", "DFF_P", "DLATCH_H"} {
+		cell := lib.Cells[name]
+		tab, _ := Compile(cell)
+		sem, _ := newSemantics(cell)
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			ins := make([]logic.Value, tab.NumInputs)
+			states := make([]logic.Value, tab.NumStates)
+			for i := range ins {
+				ins[i] = randomDimValue(rng, tab.EdgeSensitive[i], false)
+			}
+			for i := range states {
+				states[i] = randomDimValue(rng, false, false)
+			}
+			dim := rng.Intn(tab.NumInputs)
+			saved := ins[dim]
+			ins[dim] = logic.VU
+			outs, _, _ := tab.Lookup(ins, states)
+			ins[dim] = saved
+
+			// Compute the set of outcomes across all choices of dim.
+			choices := []logic.Value{logic.V0, logic.V1, logic.VX, logic.VZ}
+			if tab.EdgeSensitive[dim] {
+				choices = append(choices, logic.VR, logic.VF)
+			}
+			for k := range outs {
+				allSame := true
+				var first logic.Value
+				for ci, c := range choices {
+					ins2 := append([]logic.Value(nil), ins...)
+					ins2[dim] = c
+					o, _ := sem.eval(ins2, states)
+					if ci == 0 {
+						first = o[k]
+					} else if o[k] != first {
+						allSame = false
+					}
+				}
+				if allSame && outs[k] == logic.VU {
+					t.Fatalf("%s: out[%d] is U but all refinements agree on %v", name, k, first)
+				}
+				if !allSame && outs[k] != logic.VU {
+					t.Fatalf("%s: out[%d]=%v but refinements disagree", name, k, outs[k])
+				}
+			}
+		}
+	}
+}
+
+func randomDimValue(rng *rand.Rand, edge, allowU bool) logic.Value {
+	choices := []logic.Value{logic.V0, logic.V1, logic.VX, logic.VZ}
+	if edge {
+		choices = append(choices, logic.VR, logic.VF)
+	}
+	if allowU {
+		choices = append(choices, logic.VU, logic.VU) // bias toward U
+	}
+	return choices[rng.Intn(len(choices))]
+}
+
+func TestCompileLibraryBuiltin(t *testing.T) {
+	lib := liberty.MustBuiltin()
+	cl, err := CompileLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Tables) != len(lib.Cells) {
+		t.Fatalf("compiled %d of %d cells", len(cl.Tables), len(lib.Cells))
+	}
+	st := cl.Stats()
+	if st.Cells != len(lib.Cells) || st.Entries == 0 || st.Bytes == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	tab := compileCell(t, "NAND2")
+	if _, err := tab.Index(vs("1"), nil); err == nil {
+		t.Error("short input vector should error")
+	}
+	if _, err := tab.Index(vs("1R"), nil); err == nil {
+		t.Error("edge on non-edge-sensitive input should error")
+	}
+	if _, _, err := tab.Lookup(vs("11"), vs("0")); err == nil {
+		t.Error("states on combinational cell should error")
+	}
+}
+
+func TestTableSizeAccounting(t *testing.T) {
+	tab := compileCell(t, "DFF_NSR")
+	// dims: CLK_N edge (7) + 3 plain inputs (5^3) + 2 states (5^2)
+	want := 7 * 5 * 5 * 5 * 5 * 5
+	if tab.Size() != want {
+		t.Errorf("Size = %d, want %d", tab.Size(), want)
+	}
+	if tab.Bytes() != want*(2+2) {
+		t.Errorf("Bytes = %d", tab.Bytes())
+	}
+}
+
+// TestStatetableEdgeTokens exercises the statetable path with R/F edge
+// tokens: a DFF expressed purely as a state table.
+func TestStatetableEdgeTokens(t *testing.T) {
+	src := `library (t) {
+  cell (STDFF) {
+    statetable ("CK D", "IQ") {
+      table : "R L : - : L , \
+               R H : - : H , \
+               F - : - : N , \
+               L - : - : N , \
+               H - : - : N ";
+    }
+    pin (CK) { direction : input; }
+    pin (D)  { direction : input; }
+    pin (Q)  { direction : output; function : "IQ"; }
+  }
+}`
+	lib, err := liberty.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Compile(lib.Cells["STDFF"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.EdgeSensitive[0] || tab.EdgeSensitive[1] {
+		t.Fatalf("edge sensitivity: %v", tab.EdgeSensitive)
+	}
+	// Rising edge captures D.
+	_, next, err := tab.Lookup(vs("R1"), vs("0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0] != logic.V1 {
+		t.Errorf("capture: %v", next[0])
+	}
+	// Steady low clock holds even with undetermined D.
+	_, next, _ = tab.Lookup(vs("0U"), vs("1"))
+	if next[0] != logic.V1 {
+		t.Errorf("hold with U data: %v", next[0])
+	}
+	// Falling edge holds too (explicit F row).
+	_, next, _ = tab.Lookup(vs("FU"), vs("0"))
+	if next[0] != logic.V0 {
+		t.Errorf("falling edge: %v", next[0])
+	}
+	// Rising edge with undetermined D is undetermined.
+	_, next, _ = tab.Lookup(vs("RU"), vs("0"))
+	if next[0] != logic.VU {
+		t.Errorf("U capture: %v", next[0])
+	}
+}
+
+// Property (testing/quick): valueCode/codeValue are inverse bijections on
+// every dimension radix.
+func TestValueCodeRoundTripQuick(t *testing.T) {
+	f := func(code uint8, edge bool) bool {
+		radix := 5
+		if edge {
+			radix = 7
+		}
+		c := int(code) % radix
+		v := codeValue(c, radix)
+		return valueCode(v, radix) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): refining U inputs never flips a determined
+// table output (information monotonicity of the compiled tables).
+func TestTableMonotonicityQuick(t *testing.T) {
+	tab := compileCell(t, "AOI22")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := make([]logic.Value, tab.NumInputs)
+		for i := range ins {
+			ins[i] = randomDimValue(rng, false, true)
+		}
+		outs, _, err := tab.Lookup(ins, nil)
+		if err != nil {
+			return false
+		}
+		// Refine one U input (if any) and compare.
+		for i, v := range ins {
+			if v != logic.VU {
+				continue
+			}
+			refined := append([]logic.Value(nil), ins...)
+			refined[i] = randomDimValue(rng, false, false)
+			outs2, _, err := tab.Lookup(refined, nil)
+			if err != nil {
+				return false
+			}
+			for k := range outs {
+				if outs[k] != logic.VU && outs2[k] != outs[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

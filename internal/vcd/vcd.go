@@ -1,0 +1,306 @@
+// Package vcd reads and writes Value Change Dump waveforms for scalar
+// signals. The reader streams changes one at a time so that arbitrarily long
+// stimulus files can drive the simulator's streamed signal I/O (paper
+// §III-D.2); the writer emits simulation results.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gatesim/internal/logic"
+)
+
+// Change is one signal transition.
+type Change struct {
+	Time int64 // picoseconds
+	Sig  int   // index into the signal table
+	Val  logic.Value
+}
+
+// Reader streams a VCD file.
+type Reader struct {
+	s         *bufio.Scanner
+	signals   []string
+	idToSig   map[string]int
+	timescale int64
+	now       int64
+	pending   []string // unconsumed tokens of the current line
+}
+
+// NewReader parses the VCD header; changes are then streamed via Next.
+func NewReader(src io.Reader) (*Reader, error) {
+	r := &Reader{
+		s:         bufio.NewScanner(src),
+		idToSig:   make(map[string]int),
+		timescale: 1,
+	}
+	r.s.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if err := r.parseHeader(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Signals returns the declared signal names, in declaration order; scoped
+// names are joined with dots ("top.clk" becomes "clk" only when the scope is
+// the sole root module).
+func (r *Reader) Signals() []string { return r.signals }
+
+// Timescale returns picoseconds per VCD time unit.
+func (r *Reader) Timescale() int64 { return r.timescale }
+
+func (r *Reader) parseHeader() error {
+	var scope []string
+	for {
+		tok, err := r.nextToken()
+		if err != nil {
+			return fmt.Errorf("vcd: unexpected EOF in header")
+		}
+		switch tok {
+		case "$timescale":
+			body, err := r.collectUntilEnd()
+			if err != nil {
+				return err
+			}
+			ts, err := parseTimescale(strings.Join(body, ""))
+			if err != nil {
+				return err
+			}
+			r.timescale = ts
+		case "$scope":
+			body, err := r.collectUntilEnd()
+			if err != nil {
+				return err
+			}
+			if len(body) >= 2 {
+				scope = append(scope, body[1])
+			}
+		case "$upscope":
+			if _, err := r.collectUntilEnd(); err != nil {
+				return err
+			}
+			if len(scope) > 0 {
+				scope = scope[:len(scope)-1]
+			}
+		case "$var":
+			body, err := r.collectUntilEnd()
+			if err != nil {
+				return err
+			}
+			// $var wire 1 <id> <name> [range] $end
+			if len(body) < 4 {
+				return fmt.Errorf("vcd: malformed $var: %v", body)
+			}
+			if body[1] != "1" {
+				return fmt.Errorf("vcd: only 1-bit signals supported, got width %s for %s", body[1], body[3])
+			}
+			id := body[2]
+			name := strings.Join(body[3:], "")
+			if _, dup := r.idToSig[id]; dup {
+				return fmt.Errorf("vcd: duplicate id code %q", id)
+			}
+			r.idToSig[id] = len(r.signals)
+			r.signals = append(r.signals, name)
+		case "$enddefinitions":
+			_, err := r.collectUntilEnd()
+			return err
+		case "$comment", "$date", "$version":
+			if _, err := r.collectUntilEnd(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("vcd: unexpected token %q in header", tok)
+		}
+	}
+}
+
+func (r *Reader) nextToken() (string, error) {
+	for len(r.pending) == 0 {
+		if !r.s.Scan() {
+			if err := r.s.Err(); err != nil {
+				return "", err
+			}
+			return "", io.EOF
+		}
+		r.pending = strings.Fields(r.s.Text())
+	}
+	tok := r.pending[0]
+	r.pending = r.pending[1:]
+	return tok, nil
+}
+
+func (r *Reader) collectUntilEnd() ([]string, error) {
+	var body []string
+	for {
+		tok, err := r.nextToken()
+		if err != nil {
+			return nil, fmt.Errorf("vcd: unexpected EOF before $end")
+		}
+		if tok == "$end" {
+			return body, nil
+		}
+		body = append(body, tok)
+	}
+}
+
+// Next returns the next value change, or io.EOF at the end of the dump.
+// Times are already scaled to picoseconds.
+func (r *Reader) Next() (Change, error) {
+	for {
+		tok, err := r.nextToken()
+		if err != nil {
+			return Change{}, err
+		}
+		switch tok[0] {
+		case '#':
+			var t int64
+			if _, err := fmt.Sscanf(tok, "#%d", &t); err != nil {
+				return Change{}, fmt.Errorf("vcd: bad timestamp %q", tok)
+			}
+			t *= r.timescale
+			if t < r.now {
+				return Change{}, fmt.Errorf("vcd: time goes backwards at %q", tok)
+			}
+			r.now = t
+		case '$': // $dumpvars, $end, ...
+			continue
+		case '0', '1', 'x', 'X', 'z', 'Z':
+			v, _ := logic.ParseValue(tok[0])
+			sig, ok := r.idToSig[tok[1:]]
+			if !ok {
+				return Change{}, fmt.Errorf("vcd: unknown id code %q", tok[1:])
+			}
+			return Change{Time: r.now, Sig: sig, Val: v}, nil
+		case 'b', 'B':
+			// 1-bit vector form: "b0 <id>".
+			bits := tok[1:]
+			idTok, err := r.nextToken()
+			if err != nil {
+				return Change{}, fmt.Errorf("vcd: vector change missing id")
+			}
+			if len(bits) != 1 {
+				return Change{}, fmt.Errorf("vcd: only 1-bit vectors supported, got %q", tok)
+			}
+			v, perr := logic.ParseValue(bits[0])
+			if perr != nil {
+				return Change{}, perr
+			}
+			sig, ok := r.idToSig[idTok]
+			if !ok {
+				return Change{}, fmt.Errorf("vcd: unknown id code %q", idTok)
+			}
+			return Change{Time: r.now, Sig: sig, Val: v}, nil
+		default:
+			return Change{}, fmt.Errorf("vcd: unexpected token %q", tok)
+		}
+	}
+}
+
+// ReadAll drains the reader; convenient for tests and small files.
+func (r *Reader) ReadAll() ([]Change, error) {
+	var out []Change
+	for {
+		c, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+}
+
+func parseTimescale(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	var num string
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		num, mult = s[:len(s)-2], 1000
+	case strings.HasSuffix(s, "us"):
+		num, mult = s[:len(s)-2], 1000_000
+	default:
+		return 0, fmt.Errorf("vcd: unsupported timescale %q", s)
+	}
+	var n int64
+	if _, err := fmt.Sscanf(num, "%d", &n); err != nil {
+		return 0, fmt.Errorf("vcd: bad timescale %q", s)
+	}
+	return n * mult, nil
+}
+
+// Writer emits a VCD file with 1ps resolution.
+type Writer struct {
+	w       *bufio.Writer
+	ids     []string
+	now     int64
+	started bool
+	err     error
+}
+
+// NewWriter writes the header for the given scalar signal names and returns
+// a Writer whose Change method appends transitions (times must not
+// decrease).
+func NewWriter(dst io.Writer, module string, signals []string) *Writer {
+	w := &Writer{w: bufio.NewWriter(dst), now: -1}
+	fmt.Fprintf(w.w, "$timescale 1ps $end\n$scope module %s $end\n", module)
+	w.ids = make([]string, len(signals))
+	for i, name := range signals {
+		w.ids[i] = idCode(i)
+		fmt.Fprintf(w.w, "$var wire 1 %s %s $end\n", w.ids[i], name)
+	}
+	fmt.Fprintf(w.w, "$upscope $end\n$enddefinitions $end\n")
+	return w
+}
+
+// idCode generates the compact printable identifier VCD uses (base-94).
+func idCode(i int) string {
+	var b []byte
+	for {
+		b = append(b, byte(33+i%94))
+		i /= 94
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+// Change appends one transition.
+func (w *Writer) Change(t int64, sig int, v logic.Value) error {
+	if w.err != nil {
+		return w.err
+	}
+	if t < w.now {
+		w.err = fmt.Errorf("vcd: time goes backwards (%d after %d)", t, w.now)
+		return w.err
+	}
+	if t != w.now || !w.started {
+		fmt.Fprintf(w.w, "#%d\n", t)
+		w.now = t
+		w.started = true
+	}
+	c := v.Settle()
+	if !c.IsSteady() {
+		c = logic.VX
+	}
+	if _, err := fmt.Fprintf(w.w, "%s%s\n", strings.ToLower(c.String()), w.ids[sig]); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Flush completes the file.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}

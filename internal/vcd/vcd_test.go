@@ -1,0 +1,163 @@
+package vcd
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gatesim/internal/logic"
+)
+
+const sample = `$date today $end
+$version gatesim $end
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! clk $end
+$var wire 1 " d $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+0"
+$end
+#5
+1!
+b1 "
+#10
+0!
+x"
+`
+
+func TestReaderBasic(t *testing.T) {
+	r, err := NewReader(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Signals(); len(got) != 2 || got[0] != "clk" || got[1] != "d" {
+		t.Fatalf("signals: %v", got)
+	}
+	if r.Timescale() != 1000 {
+		t.Errorf("timescale: %d", r.Timescale())
+	}
+	chs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Change{
+		{0, 0, logic.V0}, {0, 1, logic.V0},
+		{5000, 0, logic.V1}, {5000, 1, logic.V1},
+		{10000, 0, logic.V0}, {10000, 1, logic.VX},
+	}
+	if len(chs) != len(want) {
+		t.Fatalf("changes: %v", chs)
+	}
+	for i, c := range chs {
+		if c != want[i] {
+			t.Errorf("change %d: %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	bad := []string{
+		"$var wire 1 ! x $end",                      // no enddefinitions
+		"$timescale 1s $end $enddefinitions $end",   // bad timescale
+		"$scope module m $end $var wire 8 ! b $end", // wide vector
+		"$enddefinitions $end\n#5\n#2\n",            // handled below (time back)
+	}
+	for _, src := range bad[:3] {
+		if _, err := NewReader(strings.NewReader(src)); err == nil {
+			t.Errorf("NewReader(%q) should fail", src)
+		}
+	}
+	r, err := NewReader(strings.NewReader("$enddefinitions $end\n#5\n#2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(); err == nil {
+		t.Error("backwards time should fail")
+	}
+	r, _ = NewReader(strings.NewReader("$enddefinitions $end\n#5\n1?\n"))
+	if _, err := r.ReadAll(); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	sigs := []string{"a", "b", "c"}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top", sigs)
+	rng := rand.New(rand.NewSource(3))
+	var want []Change
+	now := int64(0)
+	for i := 0; i < 500; i++ {
+		now += int64(rng.Intn(3)) * 7
+		c := Change{Time: now, Sig: rng.Intn(3), Val: logic.Value(rng.Intn(3))}
+		want = append(want, c)
+		if err := w.Change(c.Time, c.Sig, c.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("change %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriterMonotonicity(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top", []string{"a"})
+	if err := w.Change(10, 0, logic.V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Change(5, 0, logic.V0); err == nil {
+		t.Error("backwards time should fail")
+	}
+}
+
+func TestWriterNormalizesValues(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top", []string{"a"})
+	w.Change(0, 0, logic.VR) // settles to 1
+	w.Change(1, 0, logic.VU) // becomes x
+	w.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "1!") || !strings.Contains(out, "x!") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestIDCode(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for j := 0; j < len(id); j++ {
+			if id[j] < 33 || id[j] > 126 {
+				t.Fatalf("unprintable id byte %d", id[j])
+			}
+		}
+	}
+	if idCode(0) != "!" || len(idCode(93)) != 1 || len(idCode(94)) != 2 {
+		t.Errorf("base-94 encoding wrong: %q %q %q", idCode(0), idCode(93), idCode(94))
+	}
+}

@@ -1,0 +1,16 @@
+.PHONY: check build test bench fmt
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -w .

@@ -14,6 +14,7 @@ import (
 	"gatesim/internal/liberty"
 	"gatesim/internal/logic"
 	"gatesim/internal/partsim"
+	"gatesim/internal/plan"
 	"gatesim/internal/refsim"
 	"gatesim/internal/sdf"
 	"gatesim/internal/sim"
@@ -40,10 +41,10 @@ func BenchmarkTable1Stats(b *testing.B) {
 }
 
 type benchDesign struct {
-	d      *gen.Design
-	delays *sdf.Delays
-	unit   *sdf.Delays
-	stim   []gen.Change
+	d        *gen.Design
+	planSDF  *plan.Plan // lowered against toy-STA delays
+	planUnit *plan.Plan // same structure, unit delays
+	stim     []gen.Change
 }
 
 func buildBench(b *testing.B, preset string, cycles int, af float64) *benchDesign {
@@ -56,15 +57,19 @@ func buildBench(b *testing.B, preset string, cycles int, af float64) *benchDesig
 	if err != nil {
 		b.Fatal(err)
 	}
+	planSDF, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), gen.Delays(d, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	return &benchDesign{
-		d:      d,
-		delays: gen.Delays(d, 1),
-		unit:   sdf.Uniform(d.Netlist, 120),
-		stim:   gen.Stimuli(d, gen.StimSpec{Cycles: cycles, ActivityFactor: af, Seed: 1, ScanBurst: 16}),
+		d:        d,
+		planSDF:  planSDF,
+		planUnit: planSDF.WithDelays(sdf.Uniform(d.Netlist, 120)),
+		stim:     gen.Stimuli(d, gen.StimSpec{Cycles: cycles, ActivityFactor: af, Seed: 1, ScanBurst: 16}),
 	}
 }
 
-func (bd *benchDesign) runEngine(b *testing.B, delays *sdf.Delays, opts sim.Options) {
+func (bd *benchDesign) runEngine(b *testing.B, p *plan.Plan, opts sim.Options) {
 	b.Helper()
 	changes := make([]sim.Change, len(bd.stim))
 	for i, s := range bd.stim {
@@ -72,7 +77,7 @@ func (bd *benchDesign) runEngine(b *testing.B, delays *sdf.Delays, opts sim.Opti
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e, err := sim.New(bd.d.Netlist, harness.CompiledBuiltin(), delays, opts)
+		e, err := sim.NewFromPlan(p, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +88,7 @@ func (bd *benchDesign) runEngine(b *testing.B, delays *sdf.Delays, opts sim.Opti
 	}
 }
 
-func (bd *benchDesign) runRefsim(b *testing.B, delays *sdf.Delays) {
+func (bd *benchDesign) runRefsim(b *testing.B, p *plan.Plan) {
 	b.Helper()
 	rstim := make([]refsim.Stim, len(bd.stim))
 	for i, s := range bd.stim {
@@ -91,7 +96,7 @@ func (bd *benchDesign) runRefsim(b *testing.B, delays *sdf.Delays) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := refsim.New(bd.d.Netlist, harness.CompiledBuiltin(), delays)
+		r, err := refsim.NewFromPlan(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +106,7 @@ func (bd *benchDesign) runRefsim(b *testing.B, delays *sdf.Delays) {
 	}
 }
 
-func (bd *benchDesign) runPartsim(b *testing.B, delays *sdf.Delays, partitions int) {
+func (bd *benchDesign) runPartsim(b *testing.B, p *plan.Plan, partitions int) {
 	b.Helper()
 	pstim := make([]partsim.Stim, len(bd.stim))
 	for i, s := range bd.stim {
@@ -109,7 +114,7 @@ func (bd *benchDesign) runPartsim(b *testing.B, delays *sdf.Delays, partitions i
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ps, err := partsim.New(bd.d.Netlist, harness.CompiledBuiltin(), delays, partsim.Options{Partitions: partitions})
+		ps, err := partsim.NewFromPlan(p, partsim.Options{Partitions: partitions})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,16 +139,16 @@ func BenchmarkTable2(b *testing.B) {
 		} {
 			bd := buildBench(b, preset, trace.cycles, trace.af)
 			b.Run(fmt.Sprintf("%s/%s/ref", preset, trace.name), func(b *testing.B) {
-				bd.runRefsim(b, bd.delays)
+				bd.runRefsim(b, bd.planSDF)
 			})
 			b.Run(fmt.Sprintf("%s/%s/ours-1cpu", preset, trace.name), func(b *testing.B) {
-				bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeSerial})
+				bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeSerial})
 			})
 			b.Run(fmt.Sprintf("%s/%s/ours-ncpu", preset, trace.name), func(b *testing.B) {
-				bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeParallel})
+				bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeParallel})
 			})
 			b.Run(fmt.Sprintf("%s/%s/ours-manycore", preset, trace.name), func(b *testing.B) {
-				bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeManycore})
+				bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeManycore})
 			})
 		}
 	}
@@ -160,16 +165,16 @@ func BenchmarkFig8(b *testing.B) {
 			mode = sim.ModeSerial
 		}
 		b.Run(fmt.Sprintf("partition/no-sdf/t%d", threads), func(b *testing.B) {
-			bd.runPartsim(b, bd.unit, threads)
+			bd.runPartsim(b, bd.planUnit, threads)
 		})
 		b.Run(fmt.Sprintf("partition/sdf/t%d", threads), func(b *testing.B) {
-			bd.runPartsim(b, bd.delays, threads)
+			bd.runPartsim(b, bd.planSDF, threads)
 		})
 		b.Run(fmt.Sprintf("ours/no-sdf/t%d", threads), func(b *testing.B) {
-			bd.runEngine(b, bd.unit, sim.Options{Mode: mode, Threads: threads})
+			bd.runEngine(b, bd.planUnit, sim.Options{Mode: mode, Threads: threads})
 		})
 		b.Run(fmt.Sprintf("ours/sdf/t%d", threads), func(b *testing.B) {
-			bd.runEngine(b, bd.delays, sim.Options{Mode: mode, Threads: threads})
+			bd.runEngine(b, bd.planSDF, sim.Options{Mode: mode, Threads: threads})
 		})
 	}
 }
@@ -204,16 +209,67 @@ func BenchmarkLibraryCompileBuiltin(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanBuild measures the one-shot lowering pass: netlist +
+// compiled library + delays down to the flat SimPlan all three simulators
+// construct from. This is the only O(design) setup cost left.
+func BenchmarkPlanBuild(b *testing.B) {
+	for _, preset := range []string{"picorv32a", "aes256"} {
+		p, err := gen.PresetByName(preset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := gen.Build(p.Spec(benchScale, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		delays := gen.Delays(d, 1)
+		b.Run(preset, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), delays); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(preset+"/redelay", func(b *testing.B) {
+			b.ReportAllocs()
+			pl, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), delays)
+			if err != nil {
+				b.Fatal(err)
+			}
+			unit := sdf.Uniform(d.Netlist, 120)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.WithDelays(unit)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineFromPlan measures engine construction over a prebuilt
+// plan: a fixed number of flat arrays, independent of gate count (the
+// TestNewFromPlanAllocs invariant, timed).
+func BenchmarkEngineFromPlan(b *testing.B) {
+	bd := buildBench(b, "aes256", benchCycles, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NewFromPlan(bd.planSDF, sim.Options{Mode: sim.ModeSerial}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationDirtyVsOblivious isolates the dirty-set work filtering
 // (CPU mode) against oblivious full-level scans (the GPU-style execution)
 // on the same thread count: the cost of obliviousness on sparse activity.
 func BenchmarkAblationDirtyVsOblivious(b *testing.B) {
 	bd := buildBench(b, "picorv32a", benchCycles, 0.3) // sparse activity
 	b.Run("dirty-set", func(b *testing.B) {
-		bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeParallel, Threads: 4})
+		bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeParallel, Threads: 4})
 	})
 	b.Run("oblivious", func(b *testing.B) {
-		bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeManycore, Threads: 4})
+		bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeManycore, Threads: 4})
 	})
 }
 
@@ -288,16 +344,20 @@ func BenchmarkAblationHybridThreshold(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		pl, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), gen.Delays(d, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
 		bd := &benchDesign{
-			d:      d,
-			delays: gen.Delays(d, 1),
-			stim:   gen.Stimuli(d, gen.StimSpec{Cycles: benchCycles, ActivityFactor: 0.6, Seed: 1}),
+			d:       d,
+			planSDF: pl,
+			stim:    gen.Stimuli(d, gen.StimSpec{Cycles: benchCycles, ActivityFactor: 0.6, Seed: 1}),
 		}
 		b.Run(sc.name+"/serial", func(b *testing.B) {
-			bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeSerial})
+			bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeSerial})
 		})
 		b.Run(sc.name+"/parallel", func(b *testing.B) {
-			bd.runEngine(b, bd.delays, sim.Options{Mode: sim.ModeParallel})
+			bd.runEngine(b, bd.planSDF, sim.Options{Mode: sim.ModeParallel})
 		})
 	}
 }
@@ -314,7 +374,7 @@ func BenchmarkAblationPartitionQuality(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			ps, err := partsim.New(bd.d.Netlist, harness.CompiledBuiltin(), bd.delays,
+			ps, err := partsim.NewFromPlan(bd.planSDF,
 				partsim.Options{Partitions: 4, Strategy: strategy})
 			if err != nil {
 				b.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"gatesim/internal/harness"
 	"gatesim/internal/liberty"
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
 	"gatesim/internal/sdf"
 	"gatesim/internal/sim"
 	"gatesim/internal/stats"
@@ -119,11 +120,17 @@ func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag st
 	default:
 		return fmt.Errorf("unknown mode %q", modeFlag)
 	}
-	engine, err := sim.New(nl, clib, delays, sim.Options{Mode: mode, Threads: threads})
+	lowerStart := time.Now()
+	pl, err := plan.Build(nl, clib, delays)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "glsim: execution mode %v\n", engine.Mode())
+	engine, err := sim.NewFromPlan(pl, sim.Options{Mode: mode, Threads: threads})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "glsim: lowered design in %v; execution mode %v\n",
+		time.Since(lowerStart).Round(time.Millisecond), engine.Mode())
 
 	stimF, err := os.Open(vcdFile)
 	if err != nil {
@@ -197,11 +204,8 @@ func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag st
 	activity := stats.NewActivity(nl)
 	var tracker *stats.DurationTracker
 	if saifOut != "" {
-		ic, err := truthtab.ComputeInitialConditions(nl, clib)
-		if err != nil {
-			return err
-		}
-		tracker = stats.NewDurationTracker(nl, ic.NetVals)
+		// The plan already carries the settled initial conditions.
+		tracker = stats.NewDurationTracker(nl, pl.NetInit)
 	}
 
 	simStart := time.Now()

@@ -103,6 +103,19 @@ func NewQueue(pool *Pool, initial logic.Value) *Queue {
 	return &Queue{pool: pool, baseVal: initial}
 }
 
+// Init makes q an empty queue with the given initial value backed by the
+// pool, replacing any previous state. It exists so callers can keep queues
+// by value in one flat slice instead of allocating each with NewQueue.
+func (q *Queue) Init(pool *Pool, initial logic.Value) {
+	*q = Queue{pool: pool, baseVal: initial}
+}
+
+// InitAt is Init with the first appended event receiving absolute index
+// start (see NewQueueAt).
+func (q *Queue) InitAt(pool *Pool, initial logic.Value, start int64) {
+	*q = Queue{pool: pool, baseVal: initial, start: start, end: start}
+}
+
 // Len returns the absolute index one past the last event.
 func (q *Queue) Len() int64 { return q.end }
 

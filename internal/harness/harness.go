@@ -18,6 +18,7 @@ import (
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
 	"gatesim/internal/partsim"
+	"gatesim/internal/plan"
 	"gatesim/internal/refsim"
 	"gatesim/internal/sdf"
 	"gatesim/internal/sim"
@@ -157,6 +158,12 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			return nil, err
 		}
 		delays := gen.Delays(d, cfg.Seed)
+		// One lowering per preset, shared by every simulator and trace below:
+		// the comparison times simulation, not repeated construction.
+		pl, err := plan.Build(d.Netlist, CompiledBuiltin(), delays)
+		if err != nil {
+			return nil, err
+		}
 		traces := []struct {
 			label  string
 			cycles int
@@ -172,20 +179,20 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			row := Table2Row{Benchmark: name, Trace: tr.label, Cycles: tr.cycles, Activity: tr.af}
 
 			var events int64
-			row.Ref, events = timeRefsim(d, delays, stim)
+			row.Ref, events = timeRefsim(pl, stim)
 			row.Events = events
-			row.Ours1T = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeSerial})
-			row.OursNT = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads})
-			row.Manycore = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads})
-			row.Hybrid = timeEngine(d, delays, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads})
+			row.Ours1T = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeSerial})
+			row.OursNT = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads})
+			row.Manycore = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads})
+			row.Hybrid = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads})
 			rows = append(rows, row)
 		}
 	}
 	return rows, nil
 }
 
-func timeRefsim(d *gen.Design, delays *sdf.Delays, stim []gen.Change) (time.Duration, int64) {
-	ref, err := refsim.New(d.Netlist, CompiledBuiltin(), delays)
+func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64) {
+	ref, err := refsim.NewFromPlan(pl)
 	if err != nil {
 		panic(err)
 	}
@@ -200,8 +207,8 @@ func timeRefsim(d *gen.Design, delays *sdf.Delays, stim []gen.Change) (time.Dura
 	return time.Since(start), ref.Events
 }
 
-func timeEngine(d *gen.Design, delays *sdf.Delays, stim []gen.Change, opts sim.Options) time.Duration {
-	e, err := sim.New(d.Netlist, CompiledBuiltin(), delays, opts)
+func timeEngine(d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Options) time.Duration {
+	e, err := sim.NewFromPlan(pl, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -280,6 +287,13 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	}
 	sdfDelays := gen.Delays(d, cfg.Seed)
 	unitDelays := sdf.Uniform(d.Netlist, 120)
+	// One structural lowering, re-annotated for the unit-delay series; both
+	// plans are shared across every thread count and simulator below.
+	planSDF, err := plan.Build(d.Netlist, CompiledBuiltin(), sdfDelays)
+	if err != nil {
+		return nil, err
+	}
+	planUnit := planSDF.WithDelays(unitDelays)
 	stim := gen.Stimuli(d, gen.StimSpec{
 		Cycles: cfg.Cycles, ActivityFactor: 0.6, Seed: cfg.Seed, ScanBurst: 16,
 	})
@@ -287,21 +301,21 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	var points []Fig8Point
 	for _, th := range cfg.Threads {
 		pt := Fig8Point{Threads: th}
-		pt.PartUnit, _ = timePartsim(d, unitDelays, stim, th)
-		pt.PartSDF, pt.PartRoundsSDF = timePartsim(d, sdfDelays, stim, th)
+		pt.PartUnit, _ = timePartsim(planUnit, stim, th)
+		pt.PartSDF, pt.PartRoundsSDF = timePartsim(planSDF, stim, th)
 		mode := sim.ModeParallel
 		if th == 1 {
 			mode = sim.ModeSerial
 		}
-		pt.OursUnit = timeEngine(d, unitDelays, stim, sim.Options{Mode: mode, Threads: th})
-		pt.OursSDF = timeEngine(d, sdfDelays, stim, sim.Options{Mode: mode, Threads: th})
+		pt.OursUnit = timeEngine(d, planUnit, stim, sim.Options{Mode: mode, Threads: th})
+		pt.OursSDF = timeEngine(d, planSDF, stim, sim.Options{Mode: mode, Threads: th})
 		points = append(points, pt)
 	}
 	return points, nil
 }
 
-func timePartsim(d *gen.Design, delays *sdf.Delays, stim []gen.Change, threads int) (time.Duration, int64) {
-	ps, err := partsim.New(d.Netlist, CompiledBuiltin(), delays, partsim.Options{Partitions: threads})
+func timePartsim(pl *plan.Plan, stim []gen.Change, threads int) (time.Duration, int64) {
+	ps, err := partsim.NewFromPlan(pl, partsim.Options{Partitions: threads})
 	if err != nil {
 		panic(err)
 	}
@@ -500,7 +514,12 @@ func Parallelism(preset string, scale float64, cycles int, seed int64) (Parallel
 	row.LookaheadUnitPS = unitDelays.MinPositive
 	stim := gen.Stimuli(d, gen.StimSpec{Cycles: cycles, ActivityFactor: 0.6, Seed: seed, ScanBurst: 16})
 
-	e, err := sim.New(d.Netlist, CompiledBuiltin(), sdfDelays, sim.Options{Mode: sim.ModeSerial})
+	planSDF, err := plan.Build(d.Netlist, CompiledBuiltin(), sdfDelays)
+	if err != nil {
+		return ParallelismRow{}, err
+	}
+	planUnit := planSDF.WithDelays(unitDelays)
+	e, err := sim.NewFromPlan(planSDF, sim.Options{Mode: sim.ModeSerial})
 	if err != nil {
 		return ParallelismRow{}, err
 	}
@@ -524,10 +543,10 @@ func Parallelism(preset string, scale float64, cycles int, seed int64) (Parallel
 	row.EngineSweepsSDF = e.Stats().Sweeps
 
 	for _, dl := range []struct {
-		delays *sdf.Delays
-		out    *int64
-	}{{sdfDelays, &row.PartRoundsSDF}, {unitDelays, &row.PartRoundsUnit}} {
-		ps, err := partsim.New(d.Netlist, CompiledBuiltin(), dl.delays, partsim.Options{Partitions: 4})
+		pl  *plan.Plan
+		out *int64
+	}{{planSDF, &row.PartRoundsSDF}, {planUnit, &row.PartRoundsUnit}} {
+		ps, err := partsim.NewFromPlan(dl.pl, partsim.Options{Partitions: 4})
 		if err != nil {
 			return ParallelismRow{}, err
 		}

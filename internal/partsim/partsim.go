@@ -27,6 +27,7 @@ import (
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
 	"gatesim/internal/sched"
 	"gatesim/internal/sdf"
 	"gatesim/internal/truthtab"
@@ -62,8 +63,8 @@ type Options struct {
 
 // Simulator is a partition-based conservative parallel simulator.
 type Simulator struct {
+	p         *plan.Plan
 	nl        *netlist.Netlist
-	delays    *sdf.Delays
 	lookahead int64
 	parts     []*partition
 	partOf    []int32 // per gate
@@ -92,6 +93,7 @@ type partition struct {
 	outs     [][]sched.Output
 	sentUpTo [][]int64 // per gate per output: cross events finalized below this
 	isBorder []bool    // has loads outside the partition
+	border   []int32   // local indices of border gates (stageCross scan list)
 	touched  []int64
 
 	netVal map[netlist.NetID]logic.Value // local view of nets it reads/writes
@@ -120,9 +122,17 @@ type emit struct {
 // a realistic "decent but untuned" partition, matching how FGP behaves
 // without manual tuning (§IV-C).
 func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays, opts Options) (*Simulator, error) {
-	if err := nl.Validate(); err != nil {
+	p, err := plan.Build(nl, lib, delays)
+	if err != nil {
 		return nil, err
 	}
+	return NewFromPlan(p, opts)
+}
+
+// NewFromPlan builds the partitioned simulator over a prebuilt plan, which
+// stays read-only and shareable with the other simulators.
+func NewFromPlan(p *plan.Plan, opts Options) (*Simulator, error) {
+	nl := p.Netlist
 	if opts.Partitions <= 0 {
 		opts.Partitions = 4
 	}
@@ -135,12 +145,13 @@ func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays,
 	if opts.Threads <= 0 {
 		opts.Threads = opts.Partitions
 	}
-	s := &Simulator{nl: nl, delays: delays}
-	ic, err := truthtab.ComputeInitialConditions(nl, lib)
-	if err != nil {
-		return nil, err
+	for _, tab := range p.Tables {
+		if tab.NumInputs > 16 || tab.NumOutputs > 8 || tab.NumStates > 8 {
+			return nil, fmt.Errorf("partsim: cell %s exceeds supported pin/state counts", tab.Cell.Name)
+		}
 	}
-	s.lookahead = delays.MinPositive
+	s := &Simulator{p: p, nl: nl}
+	s.lookahead = p.Delays.MinPositive
 	if s.lookahead < 1 {
 		return nil, fmt.Errorf("partsim: all delays must be >= 1 ps")
 	}
@@ -182,22 +193,21 @@ func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays,
 		}
 	}
 
-	// Net topology per partition.
+	// Net topology per partition, from the plan's fanout CSR.
 	s.netReaders = make([][]int32, len(nl.Nets))
 	s.owner = make([]int32, len(nl.Nets))
 	for nid := range nl.Nets {
-		net := &nl.Nets[nid]
-		if net.Driver >= 0 {
-			s.owner[nid] = s.partOf[net.Driver]
+		if drv := nl.Nets[nid].Driver; drv >= 0 {
+			s.owner[nid] = s.partOf[drv]
 		} else {
 			s.owner[nid] = -1
 		}
 		seen := map[int32]bool{}
-		for _, load := range net.Fanout {
-			p := s.partOf[load.Cell]
-			if !seen[p] {
-				seen[p] = true
-				s.netReaders[nid] = append(s.netReaders[nid], p)
+		for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
+			rp := s.partOf[p.FanCell[k]]
+			if !seen[rp] {
+				seen[rp] = true
+				s.netReaders[nid] = append(s.netReaders[nid], rp)
 			}
 		}
 	}
@@ -216,29 +226,19 @@ func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays,
 		part.netVal = make(map[netlist.NetID]logic.Value)
 		part.outMsgs = make([][]msg, len(s.parts))
 		for li, gid := range part.gates {
-			inst := &nl.Instances[gid]
-			tab := lib.Tables[inst.Type.Name]
-			if tab == nil {
-				return nil, fmt.Errorf("partsim: cell type %s not compiled", inst.Type.Name)
-			}
-			if tab.NumInputs > 16 || tab.NumOutputs > 8 || tab.NumStates > 8 {
-				return nil, fmt.Errorf("partsim: cell %s exceeds supported pin/state counts", inst.Type.Name)
-			}
+			tab := p.Table(gid)
 			part.tabs[li] = tab
 			part.inVals[li] = make([]logic.Value, tab.NumInputs)
-			for pi, nid := range inst.InNets {
-				part.inVals[li][pi] = ic.NetVals[nid]
-			}
-			part.states[li] = append([]logic.Value(nil), ic.States[gid]...)
-			part.semOut[li] = append([]logic.Value(nil), ic.Outs[gid]...)
+			copy(part.inVals[li], p.InInit[p.InOff[gid]:p.InOff[gid+1]])
+			part.states[li] = append([]logic.Value(nil), p.StateInit[p.StateOff[gid]:p.StateOff[gid+1]]...)
+			part.semOut[li] = append([]logic.Value(nil), p.OutInit[p.OutOff[gid]:p.OutOff[gid+1]]...)
 			part.outs[li] = make([]sched.Output, tab.NumOutputs)
 			part.sentUpTo[li] = make([]int64, tab.NumOutputs)
 			for o := range part.outs[li] {
 				part.outs[li][o].Reset(part.semOut[li][o])
 			}
 			part.touched[li] = -1
-			for o, onid := range inst.OutNets {
-				_ = o
+			for _, onid := range p.GateOutputs(gid) {
 				if onid < 0 {
 					continue
 				}
@@ -248,11 +248,14 @@ func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays,
 					}
 				}
 			}
+			if part.isBorder[li] {
+				part.border = append(part.border, int32(li))
+			}
 		}
 	}
 
 	// Initialize per-partition net views from the shared fixpoint.
-	for nid, v := range ic.NetVals {
+	for nid, v := range p.NetInit {
 		for _, rp := range s.netReaders[nid] {
 			s.parts[rp].netVal[netlist.NetID(nid)] = v
 		}
@@ -269,7 +272,7 @@ type Sink func(nid netlist.NetID, ev event.Event)
 // Run simulates the stimulus to completion.
 func (s *Simulator) Run(stim []Stim, sink Sink) error {
 	for _, st := range stim {
-		if int(st.Net) >= len(s.nl.Nets) || !s.nl.Nets[st.Net].IsInput {
+		if int(st.Net) >= len(s.p.IsPI) || !s.p.IsPI[st.Net] {
 			return fmt.Errorf("partsim: stimulus on non-input net %d", st.Net)
 		}
 	}
@@ -380,13 +383,12 @@ func (p *partition) nextTime() int64 {
 // which is exactly the CMB null-message bound.
 func (p *partition) stageCross(s *Simulator, windowEnd int64) {
 	final := windowEnd // = T + lookahead
-	for li, gid := range p.gates {
-		if !p.isBorder[li] {
-			continue
-		}
-		inst := &s.nl.Instances[gid]
+	outNet, outOff := s.p.OutNet, s.p.OutOff
+	for _, li := range p.border {
+		gid := p.gates[li]
+		outB := outOff[gid]
 		for o := range p.outs[li] {
-			nid := inst.OutNets[o]
+			nid := outNet[outB+int32(o)]
 			if nid < 0 {
 				continue
 			}
@@ -437,7 +439,7 @@ func (p *partition) process(s *Simulator, T, windowEnd int64) {
 		// Local commits due now.
 		for p.wakes.len() > 0 && p.wakes.top().time == t {
 			w := p.wakes.pop()
-			inst := &s.nl.Instances[p.gates[w.gate]]
+			outB := s.p.OutOff[p.gates[w.gate]]
 			for o := range p.outs[w.gate] {
 				out := &p.outs[w.gate][o]
 				for {
@@ -446,7 +448,7 @@ func (p *partition) process(s *Simulator, T, windowEnd int64) {
 						break
 					}
 					ev := out.PopFront()
-					nid := inst.OutNets[o]
+					nid := s.p.OutNet[outB+int32(o)]
 					if nid < 0 {
 						continue
 					}
@@ -461,8 +463,8 @@ func (p *partition) process(s *Simulator, T, windowEnd int64) {
 		}
 		evalSet = evalSet[:0]
 		for _, nid := range changed {
-			for _, load := range s.nl.Nets[nid].Fanout {
-				li, ok := p.localIdx[load.Cell]
+			for k := s.p.FanOff[nid]; k < s.p.FanOff[nid+1]; k++ {
+				li, ok := p.localIdx[s.p.FanCell[k]]
 				if !ok {
 					continue
 				}
@@ -480,14 +482,16 @@ func (p *partition) process(s *Simulator, T, windowEnd int64) {
 
 func (p *partition) evaluate(s *Simulator, li int32, t int64) {
 	gid := p.gates[li]
-	inst := &s.nl.Instances[gid]
+	inNets := s.p.GateInputs(gid)
 	tab := p.tabs[li]
 	inVals := p.inVals[li]
+	ni := len(inNets)
+	arcB := int(s.p.ArcOff[gid])
 
 	var qIns [16]logic.Value
 	var evIn [16]int
 	nEv := 0
-	for i, nid := range inst.InNets {
+	for i, nid := range inNets {
 		cur := p.netVal[nid]
 		if cur != inVals[i] {
 			evIn[nEv] = i
@@ -502,7 +506,7 @@ func (p *partition) evaluate(s *Simulator, li int32, t int64) {
 		}
 	}
 	var qOuts, qNext [8]logic.Value
-	tab.LookupInto(qIns[:len(inst.InNets)], p.states[li], qOuts[:tab.NumOutputs], qNext[:tab.NumStates])
+	tab.LookupInto(qIns[:ni], p.states[li], qOuts[:tab.NumOutputs], qNext[:tab.NumStates])
 
 	for o := 0; o < tab.NumOutputs; o++ {
 		nv := qOuts[o]
@@ -511,7 +515,7 @@ func (p *partition) evaluate(s *Simulator, li int32, t int64) {
 		}
 		d := int64(1) << 62
 		for k := 0; k < nEv; k++ {
-			if ad := sched.DelayFor(s.delays.Arc(gid, o, evIn[k]), nv); ad < d {
+			if ad := sched.DelayFor(s.p.Arcs[arcB+o*ni+evIn[k]], nv); ad < d {
 				d = ad
 			}
 		}
@@ -520,7 +524,7 @@ func (p *partition) evaluate(s *Simulator, li int32, t int64) {
 		p.wakes.push(wake{time: t + d, gate: li})
 	}
 	for k := 0; k < nEv; k++ {
-		inVals[evIn[k]] = p.netVal[inst.InNets[evIn[k]]]
+		inVals[evIn[k]] = p.netVal[inNets[evIn[k]]]
 	}
 	copy(p.states[li], qNext[:tab.NumStates])
 }

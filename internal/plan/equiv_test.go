@@ -1,0 +1,113 @@
+package plan_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/netlist"
+	"gatesim/internal/partsim"
+	"gatesim/internal/plan"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sim"
+)
+
+// TestSharedPlanEquivalence is the cross-simulator property test: ONE plan
+// is built per randomized circuit, and every consumer — the stable-time
+// engine in all executor modes, the sequential oracle, and the partitioned
+// simulator — must commit the identical per-net event stream from it.
+func TestSharedPlanEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d, err := gen.Build(spec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays := gen.Delays(d, seed)
+		p, err := plan.Build(d.Netlist, testLib, delays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stim := gen.Stimuli(d, gen.StimSpec{Cycles: 25, ActivityFactor: 0.6, Seed: seed, ScanBurst: 6})
+
+		// Sequential oracle.
+		ref, err := refsim.NewFromPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refsim.Collect{}
+		rstim := make([]refsim.Stim, len(stim))
+		for i, s := range stim {
+			rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+		}
+		if err := ref.Run(rstim, want.Add); err != nil {
+			t.Fatal(err)
+		}
+
+		// Stable-time engine, every executor mode, same plan.
+		for _, run := range []struct {
+			label string
+			opts  sim.Options
+		}{
+			{"serial", sim.Options{Mode: sim.ModeSerial}},
+			{"parallel", sim.Options{Mode: sim.ModeParallel, Threads: 4}},
+			{"manycore", sim.Options{Mode: sim.ModeManycore, Threads: 4}},
+		} {
+			e, err := sim.NewFromPlan(p, run.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range stim {
+				if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			got := map[netlist.NetID][]event.Event{}
+			for n := 0; n < p.NumNets(); n++ {
+				q := e.Events(netlist.NetID(n))
+				for i := q.Start(); i < q.Len(); i++ {
+					got[netlist.NetID(n)] = append(got[netlist.NetID(n)], q.At(i))
+				}
+			}
+			diffStreams(t, p, want, got, fmt.Sprintf("seed %d sim/%s", seed, run.label))
+		}
+
+		// Partitioned simulator, same plan.
+		ps, err := partsim.NewFromPlan(p, partsim.Options{Partitions: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pstim := make([]partsim.Stim, len(stim))
+		for i, s := range stim {
+			pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+		}
+		got := map[netlist.NetID][]event.Event{}
+		if err := ps.Run(pstim, func(nid netlist.NetID, ev event.Event) {
+			got[nid] = append(got[nid], ev)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		diffStreams(t, p, want, got, fmt.Sprintf("seed %d partsim", seed))
+	}
+}
+
+func diffStreams(t *testing.T, p *plan.Plan, want, got map[netlist.NetID][]event.Event, label string) {
+	t.Helper()
+	for n := 0; n < p.NumNets(); n++ {
+		nid := netlist.NetID(n)
+		w, g := want[nid], got[nid]
+		if len(w) != len(g) {
+			t.Fatalf("%s: net %s: %d events vs %d\nwant %v\ngot  %v",
+				label, p.Netlist.Nets[nid].Name, len(w), len(g), w, g)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: net %s event %d: want %+v got %+v",
+					label, p.Netlist.Nets[nid].Name, i, w[i], g[i])
+			}
+		}
+	}
+}

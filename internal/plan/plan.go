@@ -1,0 +1,270 @@
+// Package plan lowers a netlist plus its compiled library, delay
+// annotation, levelization and initial-condition fixpoint into a flat,
+// structure-of-arrays SimPlan that all three simulators construct from.
+//
+// The lowering runs once per (design, delays) pair and produces:
+//
+//   - interned truth-table pointers: each distinct cell type used by the
+//     design gets a dense table ID, so the hot path never consults the
+//     library's string-keyed map;
+//   - CSR pin adjacency: per-gate input/output/state slots live in flat
+//     arrays addressed by offset slices (InOff/OutOff/StateOff), replacing
+//     the per-gate [][] slices each simulator used to allocate;
+//   - CSR net fanout: the (cell, pin) loads of every net in two flat arrays
+//     addressed by FanOff, replacing pointer-chasing through netlist.Load
+//     slices;
+//   - flattened arc delays plus the derived per-output MinArc (commit
+//     lookahead) and per-gate MaxArc (checkpoint safety) vectors;
+//   - the settled pre-time-zero initial conditions as flat per-slot vectors
+//     shared verbatim by every simulator, which is what keeps their event
+//     streams byte-identical.
+//
+// Building a Plan is the only O(design) construction cost; engines built
+// from an existing Plan allocate a fixed number of arrays, not O(gates)
+// slices. WithDelays re-lowers only the delay-derived vectors so harness
+// experiments can share one structural lowering across annotations.
+package plan
+
+import (
+	"fmt"
+
+	"gatesim/internal/levelize"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// Plan is the flat lowered form of one design under one delay annotation.
+// All slices are read-only after Build; simulators may share one Plan
+// concurrently.
+type Plan struct {
+	Netlist *netlist.Netlist
+	Lib     *truthtab.CompiledLibrary
+	Delays  *sdf.Delays
+	Lev     *levelize.Levelization
+
+	// Interned truth tables: Tables[TableOf[g]] is gate g's table.
+	Tables  []*truthtab.Table
+	TableOf []int32
+
+	// CSR pin layout. Gate g's input slots are [InOff[g], InOff[g+1]),
+	// likewise OutOff for outputs and StateOff for internal state.
+	InOff    []int32
+	OutOff   []int32
+	StateOff []int32
+	// InNet[s] / OutNet[s] is the net on slot s (-1 = unconnected output).
+	InNet  []netlist.NetID
+	OutNet []netlist.NetID
+
+	// CSR net fanout: net n's loads are FanCell/FanPin[FanOff[n]:FanOff[n+1]].
+	FanOff  []int32
+	FanCell []netlist.CellID
+	FanPin  []int32
+
+	// Flattened arc delays: Arc(g, o, i) = Arcs[ArcOff[g] + o*numIn(g) + i].
+	ArcOff []int32
+	Arcs   []sdf.Delay
+	// MinArc[s] is the minimum arc delay into output slot s (OutOff layout;
+	// 0 for gates with no inputs). MaxArc[g] is the gate's largest arc max.
+	MinArc []int64
+	MaxArc []int64
+
+	// Initial-condition fixpoint, flattened to the slot layouts above.
+	NetInit   []logic.Value // per net
+	InInit    []logic.Value // per input slot
+	StateInit []logic.Value // per state slot
+	OutInit   []logic.Value // per output slot (semantic pre-delay values)
+
+	// IsPI[n] marks primary-input nets.
+	IsPI []bool
+
+	// Aggregate shape, precomputed so consumers avoid re-walking the design.
+	Pins       int
+	MaxInputs  int
+	MaxOutputs int
+	MaxStates  int
+}
+
+// Build validates and lowers the design. The compiled library must cover
+// every cell type; delays must come from sdf.Apply/sdf.Uniform on the same
+// netlist.
+func Build(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays) (*Plan, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	lv, err := levelize.Compute(nl)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := truthtab.ComputeInitialConditions(nl, lib)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{Netlist: nl, Lib: lib, Delays: delays, Lev: lv}
+	n := len(nl.Instances)
+
+	// Intern tables and size the slot arrays.
+	tableID := make(map[*truthtab.Table]int32, 16)
+	p.TableOf = make([]int32, n)
+	p.InOff = make([]int32, n+1)
+	p.OutOff = make([]int32, n+1)
+	p.StateOff = make([]int32, n+1)
+	p.ArcOff = make([]int32, n+1)
+	totalIn, totalOut, totalState, totalArc := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		inst := &nl.Instances[i]
+		tab := lib.Tables[inst.Type.Name]
+		if tab == nil {
+			return nil, fmt.Errorf("plan: cell type %s not in compiled library", inst.Type.Name)
+		}
+		id, ok := tableID[tab]
+		if !ok {
+			id = int32(len(p.Tables))
+			tableID[tab] = id
+			p.Tables = append(p.Tables, tab)
+			if tab.NumInputs > p.MaxInputs {
+				p.MaxInputs = tab.NumInputs
+			}
+			if tab.NumOutputs > p.MaxOutputs {
+				p.MaxOutputs = tab.NumOutputs
+			}
+			if tab.NumStates > p.MaxStates {
+				p.MaxStates = tab.NumStates
+			}
+		}
+		p.TableOf[i] = id
+		p.InOff[i] = int32(totalIn)
+		p.OutOff[i] = int32(totalOut)
+		p.StateOff[i] = int32(totalState)
+		p.ArcOff[i] = int32(totalArc)
+		totalIn += tab.NumInputs
+		totalOut += tab.NumOutputs
+		totalState += tab.NumStates
+		totalArc += tab.NumInputs * tab.NumOutputs
+	}
+	p.InOff[n] = int32(totalIn)
+	p.OutOff[n] = int32(totalOut)
+	p.StateOff[n] = int32(totalState)
+	p.ArcOff[n] = int32(totalArc)
+	p.Pins = nl.Stats().Pins
+
+	// Pin slots and flattened initial conditions.
+	p.InNet = make([]netlist.NetID, totalIn)
+	p.OutNet = make([]netlist.NetID, totalOut)
+	p.InInit = make([]logic.Value, totalIn)
+	p.StateInit = make([]logic.Value, totalState)
+	p.OutInit = make([]logic.Value, totalOut)
+	for i := 0; i < n; i++ {
+		inst := &nl.Instances[i]
+		inB, outB, stB := p.InOff[i], p.OutOff[i], p.StateOff[i]
+		for pi, nid := range inst.InNets {
+			p.InNet[inB+int32(pi)] = nid
+			p.InInit[inB+int32(pi)] = ic.NetVals[nid]
+		}
+		copy(p.OutNet[outB:p.OutOff[i+1]], inst.OutNets)
+		copy(p.StateInit[stB:p.StateOff[i+1]], ic.States[i])
+		copy(p.OutInit[outB:p.OutOff[i+1]], ic.Outs[i])
+	}
+	p.NetInit = make([]logic.Value, len(ic.NetVals))
+	copy(p.NetInit, ic.NetVals)
+
+	// Net fanout CSR and PI marks.
+	nn := len(nl.Nets)
+	p.FanOff = make([]int32, nn+1)
+	p.IsPI = make([]bool, nn)
+	totalFan := 0
+	for nid := range nl.Nets {
+		p.FanOff[nid] = int32(totalFan)
+		totalFan += len(nl.Nets[nid].Fanout)
+		p.IsPI[nid] = nl.Nets[nid].IsInput
+	}
+	p.FanOff[nn] = int32(totalFan)
+	p.FanCell = make([]netlist.CellID, totalFan)
+	p.FanPin = make([]int32, totalFan)
+	for nid := range nl.Nets {
+		base := p.FanOff[nid]
+		for k, load := range nl.Nets[nid].Fanout {
+			p.FanCell[base+int32(k)] = load.Cell
+			p.FanPin[base+int32(k)] = load.InIdx
+		}
+	}
+
+	p.lowerDelays(delays)
+	return p, nil
+}
+
+// lowerDelays fills the delay-derived vectors from the annotation.
+func (p *Plan) lowerDelays(delays *sdf.Delays) {
+	n := p.NumGates()
+	p.Delays = delays
+	p.Arcs = make([]sdf.Delay, p.ArcOff[n])
+	p.MinArc = make([]int64, len(p.OutNet))
+	p.MaxArc = make([]int64, n)
+	for g := 0; g < n; g++ {
+		id := netlist.CellID(g)
+		ni := int(p.InOff[g+1] - p.InOff[g])
+		no := int(p.OutOff[g+1] - p.OutOff[g])
+		arcB := int(p.ArcOff[g])
+		outB := int(p.OutOff[g])
+		maxArc := int64(0)
+		for o := 0; o < no; o++ {
+			minArc := int64(0)
+			if ni > 0 {
+				minArc = delays.MinArc(id, o)
+			}
+			p.MinArc[outB+o] = minArc
+			for i := 0; i < ni; i++ {
+				d := delays.Arc(id, o, i)
+				p.Arcs[arcB+o*ni+i] = d
+				if m := d.Max(); m > maxArc {
+					maxArc = m
+				}
+			}
+		}
+		p.MaxArc[g] = maxArc
+	}
+}
+
+// WithDelays returns a plan sharing every structural array with p but
+// lowered against a different delay annotation (which must target the same
+// netlist). Harness experiments use this to compare SDF vs unit delays
+// without re-running levelization, interning or the IC fixpoint.
+func (p *Plan) WithDelays(delays *sdf.Delays) *Plan {
+	q := *p
+	q.lowerDelays(delays)
+	return &q
+}
+
+// NumGates returns the instance count.
+func (p *Plan) NumGates() int { return len(p.TableOf) }
+
+// NumNets returns the net count.
+func (p *Plan) NumNets() int { return len(p.NetInit) }
+
+// Table returns gate g's interned truth table.
+func (p *Plan) Table(g netlist.CellID) *truthtab.Table { return p.Tables[p.TableOf[g]] }
+
+// NumIn returns gate g's input count.
+func (p *Plan) NumIn(g netlist.CellID) int { return int(p.InOff[g+1] - p.InOff[g]) }
+
+// NumOut returns gate g's output count.
+func (p *Plan) NumOut(g netlist.CellID) int { return int(p.OutOff[g+1] - p.OutOff[g]) }
+
+// GateInputs returns gate g's input nets (shared storage; read-only).
+func (p *Plan) GateInputs(g netlist.CellID) []netlist.NetID {
+	return p.InNet[p.InOff[g]:p.InOff[g+1]]
+}
+
+// GateOutputs returns gate g's output nets (shared storage; read-only;
+// -1 entries are unconnected).
+func (p *Plan) GateOutputs(g netlist.CellID) []netlist.NetID {
+	return p.OutNet[p.OutOff[g]:p.OutOff[g+1]]
+}
+
+// Arc returns the (in -> out) delay of gate g from the flattened arcs.
+func (p *Plan) Arc(g netlist.CellID, out, in int) sdf.Delay {
+	ni := int(p.InOff[g+1] - p.InOff[g])
+	return p.Arcs[int(p.ArcOff[g])+out*ni+in]
+}

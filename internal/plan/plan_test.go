@@ -1,0 +1,210 @@
+package plan_test
+
+import (
+	"testing"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+var testLib = mustCompile()
+
+func mustCompile() *truthtab.CompiledLibrary {
+	cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+func spec(seed int64) gen.Spec {
+	return gen.Spec{
+		Name: "pl", Seed: seed,
+		CombGates: 160, FFs: 32, Latches: 6, ScanFFs: 6, ClockGates: 2,
+		Depth: 6, DataInputs: 10, Outputs: 6, ClockPeriodPS: 2000,
+	}
+}
+
+// TestGolden checks that every lowered array round-trips against the
+// netlist, library, delays and initial-condition fixpoint it was built from.
+func TestGolden(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		d, err := gen.Build(spec(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := d.Netlist
+		delays := gen.Delays(d, seed)
+		p, err := plan.Build(nl, testLib, delays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumGates() != len(nl.Instances) || p.NumNets() != len(nl.Nets) {
+			t.Fatalf("seed %d: plan shape %d/%d vs netlist %d/%d",
+				seed, p.NumGates(), p.NumNets(), len(nl.Instances), len(nl.Nets))
+		}
+
+		ic, err := truthtab.ComputeInitialConditions(nl, testLib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := range nl.Nets {
+			if p.IsPI[n] != nl.Nets[n].IsInput {
+				t.Fatalf("seed %d net %d: IsPI mismatch", seed, n)
+			}
+			if p.NetInit[n] != ic.NetVals[n] {
+				t.Fatalf("seed %d net %d: NetInit %v want %v", seed, n, p.NetInit[n], ic.NetVals[n])
+			}
+		}
+
+		for i := range nl.Instances {
+			id := netlist.CellID(i)
+			inst := &nl.Instances[i]
+			tab := testLib.Tables[inst.Type.Name]
+			if p.Table(id) != tab {
+				t.Fatalf("seed %d gate %d: interned table differs from library lookup", seed, i)
+			}
+			ins, outs := p.GateInputs(id), p.GateOutputs(id)
+			if len(ins) != len(inst.InNets) || len(outs) != len(inst.OutNets) {
+				t.Fatalf("seed %d gate %d: pin slot counts %d/%d want %d/%d",
+					seed, i, len(ins), len(outs), len(inst.InNets), len(inst.OutNets))
+			}
+			for pi, nid := range inst.InNets {
+				if ins[pi] != nid {
+					t.Fatalf("seed %d gate %d in %d: net %d want %d", seed, i, pi, ins[pi], nid)
+				}
+				if p.InInit[int(p.InOff[i])+pi] != ic.NetVals[nid] {
+					t.Fatalf("seed %d gate %d in %d: InInit mismatch", seed, i, pi)
+				}
+			}
+			for po, nid := range inst.OutNets {
+				if outs[po] != nid {
+					t.Fatalf("seed %d gate %d out %d: net %d want %d", seed, i, po, outs[po], nid)
+				}
+			}
+			stB := int(p.StateOff[i])
+			for si, v := range ic.States[i] {
+				if p.StateInit[stB+si] != v {
+					t.Fatalf("seed %d gate %d state %d: init mismatch", seed, i, si)
+				}
+			}
+			outB := int(p.OutOff[i])
+			for o, v := range ic.Outs[i] {
+				if p.OutInit[outB+o] != v {
+					t.Fatalf("seed %d gate %d out %d: OutInit mismatch", seed, i, o)
+				}
+			}
+
+			// Arc delays, minArc, maxArc against the sdf accessors.
+			maxArc := int64(0)
+			for o := 0; o < len(outs); o++ {
+				want := delays.MinArc(id, o)
+				if len(ins) == 0 {
+					want = 0
+				}
+				if got := p.MinArc[outB+o]; got != want {
+					t.Fatalf("seed %d gate %d out %d: MinArc %d want %d", seed, i, o, got, want)
+				}
+				for in := 0; in < len(ins); in++ {
+					if got, want := p.Arc(id, o, in), delays.Arc(id, o, in); got != want {
+						t.Fatalf("seed %d gate %d arc %d->%d: %+v want %+v", seed, i, in, o, got, want)
+					}
+					if m := delays.Arc(id, o, in).Max(); m > maxArc {
+						maxArc = m
+					}
+				}
+			}
+			if p.MaxArc[i] != maxArc {
+				t.Fatalf("seed %d gate %d: MaxArc %d want %d", seed, i, p.MaxArc[i], maxArc)
+			}
+		}
+
+		// Fanout CSR round-trips against the netlist.
+		for n := range nl.Nets {
+			fan := nl.Nets[n].Fanout
+			lo, hi := p.FanOff[n], p.FanOff[n+1]
+			if int(hi-lo) != len(fan) {
+				t.Fatalf("seed %d net %d: fanout CSR len %d want %d", seed, n, hi-lo, len(fan))
+			}
+			for k, load := range fan {
+				if p.FanCell[lo+int32(k)] != load.Cell || p.FanPin[lo+int32(k)] != load.InIdx {
+					t.Fatalf("seed %d net %d load %d: CSR (%d,%d) want (%d,%d)",
+						seed, n, k, p.FanCell[lo+int32(k)], p.FanPin[lo+int32(k)], load.Cell, load.InIdx)
+				}
+			}
+		}
+
+		if p.Lev.NumCells() != len(nl.Instances) {
+			t.Fatalf("seed %d: levelization covers %d cells, want %d", seed, p.Lev.NumCells(), len(nl.Instances))
+		}
+	}
+}
+
+// TestWithDelays checks that re-annotation shares structure and re-derives
+// exactly the delay-dependent vectors.
+func TestWithDelays(t *testing.T) {
+	d, err := gen.Build(spec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdfDelays := gen.Delays(d, 5)
+	unitDelays := sdf.Uniform(d.Netlist, 120)
+	p, err := plan.Build(d.Netlist, testLib, sdfDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.WithDelays(unitDelays)
+
+	// Structural arrays are shared (same backing storage).
+	if &q.InNet[0] != &p.InNet[0] || &q.FanCell[0] != &p.FanCell[0] || q.Lev != p.Lev {
+		t.Error("WithDelays must share structural arrays")
+	}
+	if q.Delays != unitDelays {
+		t.Error("WithDelays must adopt the new annotation")
+	}
+	for g := 0; g < q.NumGates(); g++ {
+		id := netlist.CellID(g)
+		ni, no := q.NumIn(id), q.NumOut(id)
+		for o := 0; o < no; o++ {
+			want := unitDelays.MinArc(id, o)
+			if ni == 0 {
+				want = 0
+			}
+			if got := q.MinArc[int(q.OutOff[g])+o]; got != want {
+				t.Fatalf("gate %d out %d: MinArc %d want %d", g, o, got, want)
+			}
+			for in := 0; in < ni; in++ {
+				if q.Arc(id, o, in) != unitDelays.Arc(id, o, in) {
+					t.Fatalf("gate %d arc %d->%d not re-lowered", g, in, o)
+				}
+			}
+		}
+	}
+	// The original plan is untouched.
+	for g := 0; g < p.NumGates(); g++ {
+		id := netlist.CellID(g)
+		for o := 0; o < p.NumOut(id); o++ {
+			for in := 0; in < p.NumIn(id); in++ {
+				if p.Arc(id, o, in) != sdfDelays.Arc(id, o, in) {
+					t.Fatalf("gate %d: WithDelays mutated the source plan", g)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildRejectsUnknownCell checks the library-coverage error path.
+func TestBuildRejectsUnknownCell(t *testing.T) {
+	d, err := gen.Build(spec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &truthtab.CompiledLibrary{Tables: map[string]*truthtab.Table{}}
+	if _, err := plan.Build(d.Netlist, empty, gen.Delays(d, 2)); err == nil {
+		t.Error("plan.Build must reject cell types missing from the library")
+	}
+}

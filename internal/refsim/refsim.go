@@ -23,6 +23,7 @@ import (
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
 	"gatesim/internal/sched"
 	"gatesim/internal/sdf"
 	"gatesim/internal/truthtab"
@@ -38,18 +39,18 @@ type Stim struct {
 // Sink receives each committed event, in global time order per net.
 type Sink func(nid netlist.NetID, ev event.Event)
 
-// Simulator is a single-run sequential simulator for one netlist.
+// Simulator is a single-run sequential simulator for one netlist. All
+// per-gate state lives in flat arrays addressed by the plan's slot offsets.
 type Simulator struct {
-	nl     *netlist.Netlist
-	delays *sdf.Delays
+	p  *plan.Plan
+	nl *netlist.Netlist
 
-	tabs    []*truthtab.Table
 	netVal  []logic.Value
-	inVals  [][]logic.Value
-	states  [][]logic.Value
-	semOut  [][]logic.Value
-	outs    [][]sched.Output
-	touched []int64 // per-gate timestamp of last queueing into eval set
+	inVals  []logic.Value  // per input slot
+	states  []logic.Value  // per state slot
+	semOut  []logic.Value  // per output slot
+	outs    []sched.Output // per output slot
+	touched []int64        // per-gate timestamp of last queueing into eval set
 
 	heap wakeHeap
 
@@ -58,54 +59,51 @@ type Simulator struct {
 	Events      int64
 }
 
-// New prepares a simulator. The compiled library must cover every cell type.
+// New lowers the design and prepares a simulator. The compiled library must
+// cover every cell type. To share the lowering with other simulators, use
+// plan.Build + NewFromPlan.
 func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays) (*Simulator, error) {
-	if err := nl.Validate(); err != nil {
-		return nil, err
-	}
-	s := &Simulator{nl: nl, delays: delays}
-	ic, err := truthtab.ComputeInitialConditions(nl, lib)
+	p, err := plan.Build(nl, lib, delays)
 	if err != nil {
 		return nil, err
 	}
-	n := len(nl.Instances)
-	s.tabs = make([]*truthtab.Table, n)
-	s.inVals = make([][]logic.Value, n)
-	s.states = make([][]logic.Value, n)
-	s.semOut = make([][]logic.Value, n)
-	s.outs = make([][]sched.Output, n)
-	s.touched = make([]int64, n)
-	for i := range nl.Instances {
-		inst := &nl.Instances[i]
-		tab := lib.Tables[inst.Type.Name]
-		if tab == nil {
-			return nil, fmt.Errorf("refsim: cell type %s not in compiled library", inst.Type.Name)
-		}
+	return NewFromPlan(p)
+}
+
+// NewFromPlan prepares a simulator over a prebuilt plan, which stays
+// read-only and shareable.
+func NewFromPlan(p *plan.Plan) (*Simulator, error) {
+	for _, tab := range p.Tables {
 		if tab.NumInputs > 16 || tab.NumOutputs > 8 || tab.NumStates > 8 {
-			return nil, fmt.Errorf("refsim: cell %s exceeds supported pin/state counts", inst.Type.Name)
+			return nil, fmt.Errorf("refsim: cell %s exceeds supported pin/state counts", tab.Cell.Name)
 		}
-		s.tabs[i] = tab
-		s.inVals[i] = make([]logic.Value, tab.NumInputs)
-		for pi, nid := range inst.InNets {
-			s.inVals[i][pi] = ic.NetVals[nid]
-		}
-		s.states[i] = append([]logic.Value(nil), ic.States[i]...)
-		s.semOut[i] = append([]logic.Value(nil), ic.Outs[i]...)
-		s.outs[i] = make([]sched.Output, tab.NumOutputs)
-		for o := range s.outs[i] {
-			s.outs[i][o].Reset(s.semOut[i][o])
-		}
-		s.touched[i] = -1
-		// Validate the >=1ps delay requirement.
-		for o := 0; o < tab.NumOutputs; o++ {
-			for in := 0; in < tab.NumInputs; in++ {
-				if d := delays.Arc(netlist.CellID(i), o, in); d.Min() < 1 {
-					return nil, fmt.Errorf("refsim: instance %s arc %d->%d has delay < 1 ps", inst.Name, in, o)
+	}
+	// Validate the >=1ps delay requirement.
+	for g := 0; g < p.NumGates(); g++ {
+		id := netlist.CellID(g)
+		ni, no := p.NumIn(id), p.NumOut(id)
+		for o := 0; o < no; o++ {
+			for in := 0; in < ni; in++ {
+				if d := p.Arc(id, o, in); d.Min() < 1 {
+					return nil, fmt.Errorf("refsim: instance %s arc %d->%d has delay < 1 ps",
+						p.Netlist.Instances[g].Name, in, o)
 				}
 			}
 		}
 	}
-	s.netVal = append([]logic.Value(nil), ic.NetVals...)
+	s := &Simulator{p: p, nl: p.Netlist}
+	s.netVal = append([]logic.Value(nil), p.NetInit...)
+	s.inVals = append([]logic.Value(nil), p.InInit...)
+	s.states = append([]logic.Value(nil), p.StateInit...)
+	s.semOut = append([]logic.Value(nil), p.OutInit...)
+	s.outs = make([]sched.Output, len(p.OutNet))
+	for o := range s.outs {
+		s.outs[o].Reset(s.semOut[o])
+	}
+	s.touched = make([]int64, p.NumGates())
+	for i := range s.touched {
+		s.touched[i] = -1
+	}
 	return s, nil
 }
 
@@ -153,16 +151,17 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		}
 		for s.heap.len() > 0 && s.heap.top().time == t {
 			w := s.heap.pop()
-			inst := &s.nl.Instances[w.gate]
-			for o := range s.outs[w.gate] {
-				out := &s.outs[w.gate][o]
+			outB := int(s.p.OutOff[w.gate])
+			no := int(s.p.OutOff[w.gate+1]) - outB
+			for o := 0; o < no; o++ {
+				out := &s.outs[outB+o]
 				for {
 					te, ok := out.NextPending()
 					if !ok || te > t {
 						break
 					}
 					ev := out.PopFront()
-					nid := inst.OutNets[o]
+					nid := s.p.OutNet[outB+o]
 					if nid < 0 {
 						continue
 					}
@@ -182,10 +181,11 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		// Evaluate phase: each gate fed by a changed net, once.
 		evalSet = evalSet[:0]
 		for _, nid := range changedNets {
-			for _, load := range s.nl.Nets[nid].Fanout {
-				if s.touched[load.Cell] != t {
-					s.touched[load.Cell] = t
-					evalSet = append(evalSet, load.Cell)
+			for k := s.p.FanOff[nid]; k < s.p.FanOff[nid+1]; k++ {
+				cell := s.p.FanCell[k]
+				if s.touched[cell] != t {
+					s.touched[cell] = t
+					evalSet = append(evalSet, cell)
 				}
 			}
 		}
@@ -200,16 +200,24 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 // exact same edge coding, delay selection, and scheduling rules as the
 // stable-time engine.
 func (s *Simulator) evaluate(gid netlist.CellID, t int64) {
-	inst := &s.nl.Instances[gid]
-	tab := s.tabs[gid]
-	inVals := s.inVals[gid]
+	p := s.p
+	inB := int(p.InOff[gid])
+	ni := int(p.InOff[gid+1]) - inB
+	outB := int(p.OutOff[gid])
+	no := int(p.OutOff[gid+1]) - outB
+	stB := int(p.StateOff[gid])
+	ns := int(p.StateOff[gid+1]) - stB
+	tab := p.Tables[p.TableOf[gid]]
+	arcB := int(p.ArcOff[gid])
+	inNets := p.InNet[inB : inB+ni]
+	inVals := s.inVals[inB : inB+ni]
 	s.Evaluations++
 
 	// Query vector and changed-input set.
 	var qIns [16]logic.Value
 	var evIn [16]int
 	nEv := 0
-	for i, nid := range inst.InNets {
+	for i, nid := range inNets {
 		cur := s.netVal[nid]
 		if cur != inVals[i] {
 			evIn[nEv] = i
@@ -224,27 +232,27 @@ func (s *Simulator) evaluate(gid netlist.CellID, t int64) {
 		}
 	}
 	var qOuts, qNext [8]logic.Value
-	tab.LookupInto(qIns[:len(inst.InNets)], s.states[gid], qOuts[:tab.NumOutputs], qNext[:tab.NumStates])
+	tab.LookupInto(qIns[:ni], s.states[stB:stB+ns], qOuts[:no], qNext[:ns])
 
-	for o := 0; o < tab.NumOutputs; o++ {
+	for o := 0; o < no; o++ {
 		nv := qOuts[o]
-		if nv == s.semOut[gid][o] {
+		if nv == s.semOut[outB+o] {
 			continue
 		}
 		d := int64(1) << 62
 		for k := 0; k < nEv; k++ {
-			if ad := sched.DelayFor(s.delays.Arc(gid, o, evIn[k]), nv); ad < d {
+			if ad := sched.DelayFor(p.Arcs[arcB+o*ni+evIn[k]], nv); ad < d {
 				d = ad
 			}
 		}
-		s.outs[gid][o].Schedule(t+d, nv)
-		s.semOut[gid][o] = nv
+		s.outs[outB+o].Schedule(t+d, nv)
+		s.semOut[outB+o] = nv
 		s.heap.push(wake{time: t + d, gate: gid})
 	}
 	for k := 0; k < nEv; k++ {
-		inVals[evIn[k]] = s.netVal[inst.InNets[evIn[k]]]
+		inVals[evIn[k]] = s.netVal[inNets[evIn[k]]]
 	}
-	copy(s.states[gid], qNext[:tab.NumStates])
+	copy(s.states[stB:stB+ns], qNext[:ns])
 }
 
 // NetValue returns the current value of a net (after Run, the final value).

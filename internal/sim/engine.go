@@ -22,22 +22,34 @@
 // gates keep going without violating causality. Sweeps repeat until no
 // watermark moves; the number of sweeps tracks the number of clock cycles in
 // the streamed input window, as the paper observes.
+//
+// # State layout
+//
+// All per-gate simulation state lives in flat engine-owned arrays indexed
+// by the plan's slot offsets (plan.Plan lowers the design once into CSR
+// form); gateState itself holds only scalars. Engine construction from a
+// prebuilt plan therefore allocates a fixed number of arrays, not O(gates)
+// slices.
 package sim
 
 import (
-	"fmt"
 	"runtime"
 
 	"gatesim/internal/event"
 	"gatesim/internal/levelize"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
 	"gatesim/internal/sdf"
 	"gatesim/internal/truthtab"
 )
 
 // TimeInf is the watermark value meaning "determined forever".
 const TimeInf = int64(1) << 60
+
+// unreadMark is the readMarks value of an unwatched net: high enough never
+// to constrain trimming, so Checkpoint needs no per-net branch.
+const unreadMark = int64(1) << 62
 
 // Mode selects the execution strategy.
 type Mode int
@@ -74,7 +86,7 @@ func (m Mode) String() string {
 type Options struct {
 	Mode Mode
 	// Threads is the worker count for ModeParallel/ModeManycore
-	// (0 = GOMAXPROCS).
+	// (0 = GOMAXPROCS; clamped to GOMAXPROCS from above).
 	Threads int
 	// AutoPinThreshold is the pin count above which ModeAuto selects
 	// manycore execution (the paper uses 1M pins for the GPU switch).
@@ -87,8 +99,8 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Threads <= 0 {
-		o.Threads = runtime.GOMAXPROCS(0)
+	if maxProcs := runtime.GOMAXPROCS(0); o.Threads <= 0 || o.Threads > maxProcs {
+		o.Threads = maxProcs
 	}
 	if o.AutoPinThreshold <= 0 {
 		o.AutoPinThreshold = 1_000_000
@@ -113,144 +125,123 @@ type Stats struct {
 
 // Engine simulates one netlist.
 type Engine struct {
-	nl     *netlist.Netlist
-	lv     *levelize.Levelization
-	delays *sdf.Delays
-	opts   Options
-	mode   Mode // resolved mode (Auto replaced)
+	p    *plan.Plan
+	nl   *netlist.Netlist
+	opts Options
+	mode Mode // resolved mode (Auto replaced)
 
-	pool event.Pool
-	nets []netState
+	pool   event.Pool
+	queues []event.Queue // one per net, indexed by NetID
+
 	gate []gateState
 
-	exec      *executor
-	stats     Stats
-	readMarks map[netlist.NetID]int64
+	// Slot arrays in the plan's pin layouts (see plan.Plan). inQ/outQ cache
+	// the queue of the slot's net (nil for unconnected outputs).
+	inQ  []*event.Queue
+	outQ []*event.Queue
+
+	// Base checkpoint per slot: events with queue index < baseCur[s] are
+	// folded into baseVals/baseStates/semBase.
+	baseCur    []int64
+	baseVals   []logic.Value
+	baseStates []logic.Value
+	semBase    []logic.Value // semantic (pre-delay) output values at baseNow
+
+	// Committed output waveform tracking per output slot.
+	lastCommitted  []logic.Value
+	committedUntil []int64
+
+	// Soft-resume snapshots per slot (see gateState).
+	softCur    []int64
+	softVals   []logic.Value
+	softStates []logic.Value
+	softSem    []logic.Value
+	softPend   [][]event.Event
+
+	// readMarks[nid] is the event index below which an external consumer has
+	// finished reading; unwatched nets hold unreadMark.
+	readMarks []int64
+
+	exec  *executor
+	stats Stats
 }
 
-type netState struct {
-	q *event.Queue
-	// dirty marks that the net changed (events or watermark) since its
-	// fanout gates last ran. Set by the driver, cleared per-load via the
-	// gate's own dirty flag; this one drives PI fanout marking only.
-	isPI bool
-}
-
-// New builds an engine. The compiled library must cover every cell type in
-// the netlist; delays must come from sdf.Apply or sdf.Uniform on the same
-// netlist.
+// New lowers the design and builds an engine. The compiled library must
+// cover every cell type in the netlist; delays must come from sdf.Apply or
+// sdf.Uniform on the same netlist. To share the lowering across simulators
+// or runs, use plan.Build + NewFromPlan.
 func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays, opts Options) (*Engine, error) {
-	if err := nl.Validate(); err != nil {
-		return nil, err
-	}
-	lv, err := levelize.Compute(nl)
+	p, err := plan.Build(nl, lib, delays)
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{nl: nl, lv: lv, delays: delays, opts: opts.withDefaults()}
+	return NewFromPlan(p, opts)
+}
+
+// NewFromPlan builds an engine over a prebuilt plan. The plan is read-only
+// and may be shared with other simulators concurrently.
+func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
+	e := &Engine{p: p, nl: p.Netlist, opts: opts.withDefaults()}
 	e.mode = e.opts.Mode
 	if e.mode == ModeAuto {
-		pins := nl.Stats().Pins
 		switch {
-		case pins >= e.opts.AutoPinThreshold:
+		case p.Pins >= e.opts.AutoPinThreshold:
 			e.mode = ModeManycore
-		case pins <= e.opts.AutoSerialThreshold:
+		case p.Pins <= e.opts.AutoSerialThreshold:
 			e.mode = ModeSerial
 		default:
 			e.mode = ModeParallel
 		}
 	}
 
-	// Pre-time-zero fixpoint: constant cones, tied resets and shut clock
-	// gates settle to determined initial values shared by every simulator.
-	ic, err := truthtab.ComputeInitialConditions(nl, lib)
-	if err != nil {
-		return nil, err
-	}
-
-	e.gate = make([]gateState, len(nl.Instances))
-	for i := range nl.Instances {
-		inst := &nl.Instances[i]
-		tab := lib.Tables[inst.Type.Name]
-		if tab == nil {
-			return nil, fmt.Errorf("sim: cell type %s not in compiled library", inst.Type.Name)
-		}
-		if err := e.initGate(netlist.CellID(i), tab, ic); err != nil {
-			return nil, err
-		}
-	}
-
 	// Net queues start at the fixpoint values.
-	e.nets = make([]netState, len(nl.Nets))
-	for n := range nl.Nets {
-		e.nets[n] = netState{q: event.NewQueue(&e.pool, ic.NetVals[n]), isPI: nl.Nets[n].IsInput}
+	e.queues = make([]event.Queue, p.NumNets())
+	for n := range e.queues {
+		e.queues[n].Init(&e.pool, p.NetInit[n])
 	}
 
-	// Wire gate input/output queue pointers and initial cursors.
+	nIn, nOut := len(p.InNet), len(p.OutNet)
+	e.inQ = make([]*event.Queue, nIn)
+	for s, nid := range p.InNet {
+		e.inQ[s] = &e.queues[nid]
+	}
+	e.outQ = make([]*event.Queue, nOut)
+	for s, nid := range p.OutNet {
+		if nid >= 0 {
+			e.outQ[s] = &e.queues[nid]
+		}
+	}
+
+	e.baseCur = make([]int64, nIn)
+	e.baseVals = append([]logic.Value(nil), p.InInit...)
+	e.baseStates = append([]logic.Value(nil), p.StateInit...)
+	e.semBase = append([]logic.Value(nil), p.OutInit...)
+	e.lastCommitted = append([]logic.Value(nil), p.OutInit...)
+	e.committedUntil = make([]int64, nOut)
+	for s := range e.committedUntil {
+		e.committedUntil[s] = -TimeInf
+	}
+	e.softCur = make([]int64, nIn)
+	e.softVals = make([]logic.Value, nIn)
+	e.softStates = make([]logic.Value, len(p.StateInit))
+	e.softSem = make([]logic.Value, nOut)
+	e.softPend = make([][]event.Event, nOut)
+	e.readMarks = make([]int64, p.NumNets())
+	for n := range e.readMarks {
+		e.readMarks[n] = unreadMark
+	}
+
+	// Everything starts dirty so the first Advance initializes constant
+	// cones (tie cells, reset trees) even before any stimulus.
+	e.gate = make([]gateState, p.NumGates())
 	for i := range e.gate {
 		g := &e.gate[i]
-		inst := &nl.Instances[i]
-		for pi, nid := range inst.InNets {
-			g.inQ[pi] = e.nets[nid].q
-			g.baseCur[pi] = 0
-		}
-		for po, nid := range inst.OutNets {
-			if nid >= 0 {
-				g.outQ[po] = e.nets[nid].q
-			}
-		}
+		g.baseNow = -TimeInf
+		g.dirty.Store(true)
 	}
 
 	e.exec = newExecutor(e)
-	// Everything starts dirty so the first Advance initializes constant
-	// cones (tie cells, reset trees) even before any stimulus.
-	for i := range e.gate {
-		e.gate[i].dirty.Store(true)
-	}
 	return e, nil
-}
-
-// initGate allocates the per-gate simulation state from the initial-
-// conditions fixpoint.
-func (e *Engine) initGate(id netlist.CellID, tab *truthtab.Table, ic *truthtab.InitialConditions) error {
-	inst := &e.nl.Instances[id]
-	ni, no, ns := tab.NumInputs, tab.NumOutputs, tab.NumStates
-	g := &e.gate[id]
-	g.tab = tab
-	g.inQ = make([]*event.Queue, ni)
-	g.baseCur = make([]int64, ni)
-	g.baseVals = make([]logic.Value, ni)
-	g.baseStates = make([]logic.Value, ns)
-	g.semBase = make([]logic.Value, no)
-	g.outQ = make([]*event.Queue, no)
-	g.lastCommitted = make([]logic.Value, no)
-	g.committedUntil = make([]int64, no)
-	g.minArc = make([]int64, no)
-	g.baseNow = -TimeInf
-
-	for pi, nid := range inst.InNets {
-		g.baseVals[pi] = ic.NetVals[nid]
-	}
-	copy(g.baseStates, ic.States[id])
-	copy(g.semBase, ic.Outs[id])
-	copy(g.lastCommitted, g.semBase)
-	for o := range g.committedUntil {
-		g.committedUntil[o] = -TimeInf
-	}
-	g.maxArc = 0
-	for o := 0; o < no; o++ {
-		g.minArc[o] = e.delays.MinArc(id, o)
-		if ni == 0 {
-			g.minArc[o] = 0
-		}
-		for in := 0; in < ni; in++ {
-			if d := e.delays.Arc(id, o, in).Max(); d > g.maxArc {
-				g.maxArc = d
-			}
-		}
-	}
-	_ = inst
-	return nil
 }
 
 // Mode returns the resolved execution mode.
@@ -262,8 +253,11 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Netlist returns the simulated netlist.
 func (e *Engine) Netlist() *netlist.Netlist { return e.nl }
 
+// Plan returns the shared lowered design.
+func (e *Engine) Plan() *plan.Plan { return e.p }
+
 // Levelization returns the execution plan (for diagnostics and tools).
-func (e *Engine) Levelization() *levelize.Levelization { return e.lv }
+func (e *Engine) Levelization() *levelize.Levelization { return e.p.Lev }
 
 // PoolPages reports how many event pages were ever allocated.
 func (e *Engine) PoolPages() int64 { return e.pool.AllocatedPages() }

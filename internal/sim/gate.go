@@ -7,50 +7,29 @@ import (
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
 	"gatesim/internal/sched"
-	"gatesim/internal/truthtab"
 )
 
-// gateState is the persistent per-instance simulation state. Everything a
-// visit derives beyond the base checkpoint lives in per-worker scratch, so a
-// visit is a pure function of (base state, current net queues) — late
-// events below a previously probed time are handled simply by re-deriving.
+// gateState is the persistent per-instance simulation state. It holds only
+// scalars: everything sized by pin count lives in the engine's flat slot
+// arrays (indexed through the plan's InOff/OutOff/StateOff layouts), and
+// everything a visit derives beyond the base checkpoint lives in per-worker
+// scratch — so a visit is a pure function of (base state, current net
+// queues), and late events below a previously probed time are handled
+// simply by re-deriving.
 type gateState struct {
-	tab *truthtab.Table
-
-	inQ  []*event.Queue
-	outQ []*event.Queue // nil entries for unconnected outputs
-
-	// Base checkpoint: events with queue index < baseCur[i] are folded into
-	// baseVals/baseStates/semBase; baseNow is the last folded change point.
-	baseCur    []int64
-	baseVals   []logic.Value
-	baseStates []logic.Value
-	semBase    []logic.Value // semantic (pre-delay) output values at baseNow
-	baseNow    int64
-
-	// Committed output waveform tracking: events with time <=
-	// committedUntil[o] have been appended to the output queue (or dropped,
-	// for unconnected outputs); lastCommitted[o] is the value after them.
-	lastCommitted  []logic.Value
-	committedUntil []int64
-
-	minArc []int64 // per output: min arc delay (publish lookahead)
-	maxArc int64   // max arc delay of the whole gate (checkpoint safety)
+	// baseNow is the last change point folded into the base checkpoint
+	// (engine slot arrays baseCur/baseVals/baseStates/semBase).
+	baseNow int64
 
 	detUntil atomic.Int64 // determination frontier of the last visit
 
-	// Soft-resume snapshot: the scratch end-state of the last visit. A new
-	// visit resumes from here unless an event arrived below softNow (late
-	// events under a previously-probed region), in which case it re-derives
-	// from the hard base. This turns steady-state visits from O(window)
-	// into O(new work).
-	softValid  bool
-	softNow    int64
-	softCur    []int64
-	softVals   []logic.Value
-	softStates []logic.Value
-	softSem    []logic.Value
-	softPend   [][]event.Event
+	// Soft-resume snapshot validity: the scratch end-state of the last
+	// visit is kept in the engine's soft* slot arrays. A new visit resumes
+	// from there unless an event arrived below softNow (late events under a
+	// previously-probed region), in which case it re-derives from the hard
+	// base. This turns steady-state visits from O(window) into O(new work).
+	softValid bool
+	softNow   int64
 
 	// hasFutureWork records whether the last visit left unconsumed input
 	// events or uncommitted pending output transitions — i.e. whether this
@@ -82,13 +61,7 @@ type scratch struct {
 }
 
 func newScratch(e *Engine) *scratch {
-	maxIn, maxOut, maxState := 0, 0, 0
-	for i := range e.gate {
-		t := e.gate[i].tab
-		maxIn = maxi(maxIn, t.NumInputs)
-		maxOut = maxi(maxOut, t.NumOutputs)
-		maxState = maxi(maxState, t.NumStates)
-	}
+	maxIn, maxOut, maxState := e.p.MaxInputs, e.p.MaxOutputs, e.p.MaxStates
 	return &scratch{
 		cur:    make([]event.Cursor, maxIn),
 		vals:   make([]logic.Value, maxIn),
@@ -102,21 +75,27 @@ func newScratch(e *Engine) *scratch {
 	}
 }
 
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // visit replays the gate's change points from its base checkpoint, commits
 // newly determined output events, and advances output watermarks. It
 // returns true when anything downstream-visible changed.
 func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
+	p := e.p
 	g := &e.gate[id]
-	ni := len(g.inQ)
-	no := len(g.outQ)
-	ns := len(g.baseStates)
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	no := int(p.OutOff[id+1]) - outB
+	stB := int(p.StateOff[id])
+	ns := int(p.StateOff[id+1]) - stB
+	tab := p.Tables[p.TableOf[id]]
+	arcB := int(p.ArcOff[id])
+	inQ := e.inQ[inB : inB+ni]
+	outQ := e.outQ[outB : outB+no]
+	softCur := e.softCur[inB : inB+ni]
+	lastCommitted := e.lastCommitted[outB : outB+no]
+	committedUntil := e.committedUntil[outB : outB+no]
+	softPend := e.softPend[outB : outB+no]
+	minArc := p.MinArc[outB : outB+no]
 	sc.visits++
 
 	// Resume from the soft snapshot when sound: no unconsumed event may lie
@@ -127,10 +106,10 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 	idle := resume
 	if resume {
 		for i := 0; i < ni; i++ {
-			q := g.inQ[i]
-			if g.softCur[i] < q.Len() {
+			q := inQ[i]
+			if softCur[i] < q.Len() {
 				idle = false
-				if q.At(g.softCur[i]).Time < g.softNow {
+				if q.At(softCur[i]).Time < g.softNow {
 					resume = false
 					break
 				}
@@ -143,24 +122,24 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 	var now int64
 	if resume {
 		for i := 0; i < ni; i++ {
-			sc.cur[i] = g.inQ[i].NewCursor(g.softCur[i])
-			sc.vals[i] = g.softVals[i]
+			sc.cur[i] = inQ[i].NewCursor(softCur[i])
+			sc.vals[i] = e.softVals[inB+i]
 		}
-		copy(sc.states, g.softStates)
-		copy(sc.sem, g.softSem)
+		copy(sc.states, e.softStates[stB:stB+ns])
+		copy(sc.sem, e.softSem[outB:outB+no])
 		for o := 0; o < no; o++ {
-			sc.outs[o].Restore(g.lastCommitted[o], g.softPend[o])
+			sc.outs[o].Restore(lastCommitted[o], softPend[o])
 		}
 		now = g.softNow
 	} else {
 		for i := 0; i < ni; i++ {
-			sc.cur[i] = g.inQ[i].NewCursor(g.baseCur[i])
-			sc.vals[i] = g.baseVals[i]
+			sc.cur[i] = inQ[i].NewCursor(e.baseCur[inB+i])
+			sc.vals[i] = e.baseVals[inB+i]
 		}
-		copy(sc.states, g.baseStates)
-		copy(sc.sem, g.semBase)
+		copy(sc.states, e.baseStates[stB:stB+ns])
+		copy(sc.sem, e.semBase[outB:outB+no])
 		for o := 0; o < no; o++ {
-			sc.outs[o].Reset(g.lastCommitted[o])
+			sc.outs[o].Reset(lastCommitted[o])
 		}
 		now = g.baseNow
 	}
@@ -170,7 +149,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 		// expiry strictly after `now`.
 		t := TimeInf
 		for i := 0; i < ni; i++ {
-			q := g.inQ[i]
+			q := inQ[i]
 			if sc.cur[i].Idx < q.Len() {
 				if et := sc.cur[i].Peek(q).Time; et < t {
 					t = et
@@ -187,10 +166,10 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 		// Build the query vector.
 		sc.evIn = sc.evIn[:0]
 		for i := 0; i < ni; i++ {
-			q := g.inQ[i]
+			q := inQ[i]
 			if sc.cur[i].Idx < q.Len() {
 				if ev := sc.cur[i].Peek(q); ev.Time == t {
-					if g.tab.EdgeSensitive[i] {
+					if tab.EdgeSensitive[i] {
 						sc.qIns[i] = logic.EdgeCode(sc.vals[i], ev.Val)
 					} else {
 						sc.qIns[i] = ev.Val.Settle()
@@ -205,7 +184,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 				sc.qIns[i] = sc.vals[i]
 			}
 		}
-		g.tab.LookupInto(sc.qIns[:ni], sc.states[:ns], sc.qOuts[:no], sc.qNext[:ns])
+		tab.LookupInto(sc.qIns[:ni], sc.states[:ns], sc.qOuts[:no], sc.qNext[:ns])
 		sc.queries++
 
 		undet := false
@@ -237,7 +216,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 				}
 				d := int64(1) << 62
 				for _, i := range sc.evIn {
-					if ad := sched.DelayFor(e.delays.Arc(id, o, i), nv); ad < d {
+					if ad := sched.DelayFor(p.Arcs[arcB+o*ni+i], nv); ad < d {
 						d = ad
 					}
 				}
@@ -245,7 +224,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 				sc.sem[o] = nv
 			}
 			for _, i := range sc.evIn {
-				sc.vals[i] = sc.cur[i].Peek(g.inQ[i]).Val.Settle()
+				sc.vals[i] = sc.cur[i].Peek(inQ[i]).Val.Settle()
 				sc.cur[i].Advance()
 			}
 		}
@@ -259,13 +238,13 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 	for o := 0; o < no; o++ {
 		limit := detUntil
 		if limit < TimeInf {
-			limit += g.minArc[o]
+			limit += minArc[o]
 			if limit > TimeInf {
 				limit = TimeInf
 			}
 		}
 		commitThrough := limit - 1
-		q := g.outQ[o]
+		q := outQ[o]
 		newEvents := false
 		for {
 			te, ok := sc.outs[o].NextPending()
@@ -273,17 +252,17 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 				break
 			}
 			ev := sc.outs[o].PopFront()
-			if ev.Time > g.committedUntil[o] {
+			if ev.Time > committedUntil[o] {
 				if q != nil {
 					q.Append(ev.Time, ev.Val)
 					newEvents = true
 					sc.events++
 				}
-				g.lastCommitted[o] = ev.Val
+				lastCommitted[o] = ev.Val
 			}
 		}
-		if commitThrough > g.committedUntil[o] {
-			g.committedUntil[o] = commitThrough
+		if commitThrough > committedUntil[o] {
+			committedUntil[o] = commitThrough
 		}
 		wOld := int64(-1)
 		if q != nil && q.DeterminedUntil < limit {
@@ -292,7 +271,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 		}
 		if newEvents || wOld >= 0 {
 			progress = true
-			e.markLoads(e.nl.Instances[id].OutNets[o], wOld, newEvents)
+			e.markLoads(p.OutNet[outB+o], wOld, newEvents)
 		}
 	}
 
@@ -305,7 +284,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 	}
 	if !futureWork {
 		for i := 0; i < ni; i++ {
-			if sc.cur[i].Idx < g.inQ[i].Len() {
+			if sc.cur[i].Idx < inQ[i].Len() {
 				futureWork = true
 				break
 			}
@@ -314,22 +293,15 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 	g.hasFutureWork = futureWork
 
 	// Save the soft snapshot for the next visit.
-	if g.softCur == nil {
-		g.softCur = make([]int64, ni)
-		g.softVals = make([]logic.Value, ni)
-		g.softStates = make([]logic.Value, ns)
-		g.softSem = make([]logic.Value, no)
-		g.softPend = make([][]event.Event, no)
-	}
 	g.softNow = now
 	for i := 0; i < ni; i++ {
-		g.softCur[i] = sc.cur[i].Idx
-		g.softVals[i] = sc.vals[i]
+		softCur[i] = sc.cur[i].Idx
+		e.softVals[inB+i] = sc.vals[i]
 	}
-	copy(g.softStates, sc.states[:ns])
-	copy(g.softSem, sc.sem[:no])
+	copy(e.softStates[stB:stB+ns], sc.states[:ns])
+	copy(e.softSem[outB:outB+no], sc.sem[:no])
 	for o := 0; o < no; o++ {
-		g.softPend[o] = append(g.softPend[o][:0], sc.outs[o].Pend()...)
+		softPend[o] = append(softPend[o][:0], sc.outs[o].Pend()...)
 	}
 	g.softValid = true
 	return progress
@@ -341,17 +313,28 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 // must agree with the "nothing happened" refinement), commits pending
 // transitions that the advancing frontier finalizes, and bumps watermarks.
 func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
+	p := e.p
 	g := &e.gate[id]
-	ni := len(g.inQ)
-	no := len(g.outQ)
-	ns := len(g.baseStates)
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	no := int(p.OutOff[id+1]) - outB
+	stB := int(p.StateOff[id])
+	ns := int(p.StateOff[id+1]) - stB
+	tab := p.Tables[p.TableOf[id]]
+	inQ := e.inQ[inB : inB+ni]
+	outQ := e.outQ[outB : outB+no]
+	lastCommitted := e.lastCommitted[outB : outB+no]
+	committedUntil := e.committedUntil[outB : outB+no]
+	softPend := e.softPend[outB : outB+no]
+	minArc := p.MinArc[outB : outB+no]
 
 	now := g.softNow
 	detUntil := TimeInf
 	for {
 		t := int64(TimeInf)
 		for i := 0; i < ni; i++ {
-			if w := g.inQ[i].DeterminedUntil; w > now && w < t {
+			if w := inQ[i].DeterminedUntil; w > now && w < t {
 				t = w
 			}
 		}
@@ -359,13 +342,13 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 			break
 		}
 		for i := 0; i < ni; i++ {
-			if t >= g.inQ[i].DeterminedUntil {
+			if t >= inQ[i].DeterminedUntil {
 				sc.qIns[i] = logic.VU
 			} else {
-				sc.qIns[i] = g.softVals[i]
+				sc.qIns[i] = e.softVals[inB+i]
 			}
 		}
-		g.tab.LookupInto(sc.qIns[:ni], g.softStates[:ns], sc.qOuts[:no], sc.qNext[:ns])
+		tab.LookupInto(sc.qIns[:ni], e.softStates[stB:stB+ns], sc.qOuts[:no], sc.qNext[:ns])
 		sc.queries++
 		undet := false
 		for _, v := range sc.qOuts[:no] {
@@ -395,33 +378,33 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 	for o := 0; o < no; o++ {
 		limit := detUntil
 		if limit < TimeInf {
-			limit += g.minArc[o]
+			limit += minArc[o]
 			if limit > TimeInf {
 				limit = TimeInf
 			}
 		}
 		commitThrough := limit - 1
-		q := g.outQ[o]
+		q := outQ[o]
 		newEvents := false
-		pend := g.softPend[o]
+		pend := softPend[o]
 		k := 0
 		for k < len(pend) && pend[k].Time <= commitThrough {
 			ev := pend[k]
 			k++
-			if ev.Time > g.committedUntil[o] {
+			if ev.Time > committedUntil[o] {
 				if q != nil {
 					q.Append(ev.Time, ev.Val)
 					newEvents = true
 					sc.events++
 				}
-				g.lastCommitted[o] = ev.Val
+				lastCommitted[o] = ev.Val
 			}
 		}
 		if k > 0 {
-			g.softPend[o] = append(pend[:0], pend[k:]...)
+			softPend[o] = append(pend[:0], pend[k:]...)
 		}
-		if commitThrough > g.committedUntil[o] {
-			g.committedUntil[o] = commitThrough
+		if commitThrough > committedUntil[o] {
+			committedUntil[o] = commitThrough
 		}
 		wOld := int64(-1)
 		if q != nil && q.DeterminedUntil < limit {
@@ -430,13 +413,13 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 		}
 		if newEvents || wOld >= 0 {
 			progress = true
-			e.markLoads(e.nl.Instances[id].OutNets[o], wOld, newEvents)
+			e.markLoads(p.OutNet[outB+o], wOld, newEvents)
 		}
 	}
 
 	futureWork := false
 	for o := 0; o < no; o++ {
-		if len(g.softPend[o]) > 0 {
+		if len(softPend[o]) > 0 {
 			futureWork = true
 			break
 		}
@@ -450,8 +433,9 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 // determination frontier was waiting at or beyond the old watermark (wOld;
 // pass -1 when the watermark did not move).
 func (e *Engine) markLoads(nid netlist.NetID, wOld int64, newEvents bool) {
-	for _, load := range e.nl.Nets[nid].Fanout {
-		g := &e.gate[load.Cell]
+	p := e.p
+	for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
+		g := &e.gate[p.FanCell[k]]
 		if newEvents || (wOld >= 0 && g.detUntil.Load() >= wOld) {
 			if !g.dirty.Load() {
 				g.dirty.Store(true)
@@ -465,21 +449,32 @@ func (e *Engine) markLoads(nid netlist.NetID, wOld int64, newEvents bool) {
 // it can be trimmed. Called between stream slices, single-threaded per gate
 // (but safe to run gates in parallel).
 func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
+	p := e.p
 	g := &e.gate[id]
-	ni := len(g.inQ)
-	no := len(g.outQ)
-	ns := len(g.baseStates)
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	no := int(p.OutOff[id+1]) - outB
+	stB := int(p.StateOff[id])
+	ns := int(p.StateOff[id+1]) - stB
+	tab := p.Tables[p.TableOf[id]]
+	inQ := e.inQ[inB : inB+ni]
+	baseCur := e.baseCur[inB : inB+ni]
+	baseVals := e.baseVals[inB : inB+ni]
+	baseStates := e.baseStates[stB : stB+ns]
+	semBase := e.semBase[outB : outB+no]
+	maxArc := p.MaxArc[id]
 
 	// Safety cutoffs: all inputs still determined, and any output event the
 	// folded change points could generate must already be committed.
 	cutoff := int64(TimeInf)
 	for i := 0; i < ni; i++ {
-		if w := g.inQ[i].DeterminedUntil; w < cutoff {
+		if w := inQ[i].DeterminedUntil; w < cutoff {
 			cutoff = w
 		}
 	}
 	for o := 0; o < no; o++ {
-		if c := g.committedUntil[o] - g.maxArc; c+1 < cutoff {
+		if c := e.committedUntil[outB+o] - maxArc; c+1 < cutoff {
 			cutoff = c + 1
 		}
 	}
@@ -488,12 +483,12 @@ func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
 	}
 
 	for i := 0; i < ni; i++ {
-		sc.cur[i] = g.inQ[i].NewCursor(g.baseCur[i])
+		sc.cur[i] = inQ[i].NewCursor(baseCur[i])
 	}
 	for {
 		t := int64(TimeInf)
 		for i := 0; i < ni; i++ {
-			q := g.inQ[i]
+			q := inQ[i]
 			if sc.cur[i].Idx < q.Len() {
 				if et := sc.cur[i].Peek(q).Time; et < t {
 					t = et
@@ -505,11 +500,11 @@ func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
 		}
 		sc.evIn = sc.evIn[:0]
 		for i := 0; i < ni; i++ {
-			q := g.inQ[i]
+			q := inQ[i]
 			if sc.cur[i].Idx < q.Len() {
 				if ev := sc.cur[i].Peek(q); ev.Time == t {
-					if g.tab.EdgeSensitive[i] {
-						sc.qIns[i] = logic.EdgeCode(g.baseVals[i], ev.Val)
+					if tab.EdgeSensitive[i] {
+						sc.qIns[i] = logic.EdgeCode(baseVals[i], ev.Val)
 					} else {
 						sc.qIns[i] = ev.Val.Settle()
 					}
@@ -517,17 +512,17 @@ func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
 					continue
 				}
 			}
-			sc.qIns[i] = g.baseVals[i]
+			sc.qIns[i] = baseVals[i]
 		}
-		g.tab.LookupInto(sc.qIns[:ni], g.baseStates, sc.qOuts[:no], sc.qNext[:ns])
+		tab.LookupInto(sc.qIns[:ni], baseStates, sc.qOuts[:no], sc.qNext[:ns])
 		for o := 0; o < no; o++ {
-			g.semBase[o] = sc.qOuts[o]
+			semBase[o] = sc.qOuts[o]
 		}
-		copy(g.baseStates, sc.qNext[:ns])
+		copy(baseStates, sc.qNext[:ns])
 		for _, i := range sc.evIn {
-			g.baseVals[i] = sc.cur[i].Peek(g.inQ[i]).Val.Settle()
+			baseVals[i] = sc.cur[i].Peek(inQ[i]).Val.Settle()
 			sc.cur[i].Advance()
-			g.baseCur[i] = sc.cur[i].Idx
+			baseCur[i] = sc.cur[i].Idx
 		}
 		g.baseNow = t
 	}
@@ -538,7 +533,7 @@ func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
 			g.softValid = false
 		} else {
 			for i := 0; i < ni; i++ {
-				if g.softCur[i] < g.baseCur[i] {
+				if e.softCur[inB+i] < baseCur[i] {
 					g.softValid = false
 					break
 				}

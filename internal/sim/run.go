@@ -12,10 +12,10 @@ import (
 // nondecreasing per net and must not fall below the net's current watermark
 // (the determined past is immutable). Redundant values are dropped.
 func (e *Engine) Inject(nid netlist.NetID, t int64, v logic.Value) error {
-	if int(nid) >= len(e.nets) || !e.nets[nid].isPI {
+	if int(nid) >= len(e.queues) || !e.p.IsPI[nid] {
 		return fmt.Errorf("sim: net %d is not a primary input", nid)
 	}
-	q := e.nets[nid].q
+	q := &e.queues[nid]
 	if t < q.DeterminedUntil {
 		return fmt.Errorf("sim: inject at %d below watermark %d on %s", t, q.DeterminedUntil, e.nl.Nets[nid].Name)
 	}
@@ -38,11 +38,11 @@ func (e *Engine) Advance(horizon int64) error {
 	if horizon > TimeInf {
 		horizon = TimeInf
 	}
-	for nid := range e.nets {
-		if !e.nets[nid].isPI {
+	for nid := range e.queues {
+		if !e.p.IsPI[nid] {
 			continue
 		}
-		q := e.nets[nid].q
+		q := &e.queues[nid]
 		w := horizon
 		// Injection is append-only, so everything up to the last injected
 		// event is already immutable: events beyond the horizon simply
@@ -75,14 +75,15 @@ func (e *Engine) Finish() error { return e.Advance(TimeInf) }
 func (e *Engine) converge() error {
 	oblivious := e.mode == ModeManycore
 	final := true
-	for nid := range e.nets {
-		if e.nets[nid].isPI && e.nets[nid].q.DeterminedUntil < TimeInf {
+	for nid := range e.queues {
+		if e.p.IsPI[nid] && e.queues[nid].DeterminedUntil < TimeInf {
 			final = false
 			break
 		}
 	}
 	jumped := false
 	var batch []netlist.CellID
+	lv := e.p.Lev
 	for sweep := 0; sweep < e.opts.MaxSweeps; sweep++ {
 		processed := 0
 		progress := false
@@ -108,8 +109,8 @@ func (e *Engine) converge() error {
 			processed += len(batch)
 		}
 
-		run(e.lv.Sequential)
-		for _, level := range e.lv.Levels {
+		run(lv.Sequential)
+		for _, level := range lv.Levels {
 			run(level)
 		}
 		e.stats.Sweeps++
@@ -133,9 +134,9 @@ func (e *Engine) converge() error {
 				return nil
 			}
 			jumped = true
-			for nid := range e.nets {
-				if e.nets[nid].q.DeterminedUntil < TimeInf {
-					e.nets[nid].q.DeterminedUntil = TimeInf
+			for nid := range e.queues {
+				if e.queues[nid].DeterminedUntil < TimeInf {
+					e.queues[nid].DeterminedUntil = TimeInf
 				}
 			}
 			return nil
@@ -159,12 +160,12 @@ func (e *Engine) quiescent() bool {
 // Events exposes the committed event queue of a net. Callers must treat it
 // as read-only and must not hold references across Checkpoint calls if they
 // also lower read marks.
-func (e *Engine) Events(nid netlist.NetID) *event.Queue { return e.nets[nid].q }
+func (e *Engine) Events(nid netlist.NetID) *event.Queue { return &e.queues[nid] }
 
 // Value returns the committed value of the net at the given time, or U when
 // the time is at or beyond the net's watermark.
 func (e *Engine) Value(nid netlist.NetID, t int64) logic.Value {
-	q := e.nets[nid].q
+	q := &e.queues[nid]
 	if t >= q.DeterminedUntil {
 		return logic.VU
 	}
@@ -181,15 +182,11 @@ func (e *Engine) Value(nid netlist.NetID, t int64) logic.Value {
 	return v
 }
 
-// readMarks records, per net, the event index below which an external
+// SetReadMark records, per net, the event index below which an external
 // consumer (VCD writer, activity counter) has finished reading. Nets
-// without a mark are assumed unwatched.
-//
-// SetReadMark is how streaming drivers allow storage reclamation.
+// without a mark are assumed unwatched. This is how streaming drivers
+// allow storage reclamation.
 func (e *Engine) SetReadMark(nid netlist.NetID, idx int64) {
-	if e.readMarks == nil {
-		e.readMarks = make(map[netlist.NetID]int64)
-	}
 	e.readMarks[nid] = idx
 }
 
@@ -201,17 +198,13 @@ func (e *Engine) Checkpoint() {
 	e.stats.Checkpoints++
 
 	// keep[nid] = lowest event index still needed.
-	keep := make([]int64, len(e.nets))
+	keep := make([]int64, len(e.queues))
 	for i := range keep {
-		keep[i] = int64(1) << 62
+		keep[i] = unreadMark
 	}
-	for gi := range e.gate {
-		g := &e.gate[gi]
-		inst := &e.nl.Instances[gi]
-		for pi, nid := range inst.InNets {
-			if g.baseCur[pi] < keep[nid] {
-				keep[nid] = g.baseCur[pi]
-			}
+	for s, nid := range e.p.InNet {
+		if e.baseCur[s] < keep[nid] {
+			keep[nid] = e.baseCur[s]
 		}
 	}
 	for nid, idx := range e.readMarks {
@@ -219,8 +212,8 @@ func (e *Engine) Checkpoint() {
 			keep[nid] = idx
 		}
 	}
-	for nid := range e.nets {
-		e.nets[nid].q.TrimTo(keep[nid])
+	for nid := range e.queues {
+		e.queues[nid].TrimTo(keep[nid])
 	}
 }
 
@@ -236,9 +229,10 @@ func (e *Engine) DebugBlocked(before int64, n int) []string {
 		}
 		inst := &e.nl.Instances[gi]
 		line := fmt.Sprintf("%s(%s) det=%d base=%d fw=%v ins:", inst.Name, inst.Type.Name, g.detUntil.Load(), g.baseNow, g.hasFutureWork)
-		for pi, nid := range inst.InNets {
-			q := e.nets[nid].q
-			line += fmt.Sprintf(" %s[W=%d len=%d cur=%d]", e.nl.Nets[nid].Name, q.DeterminedUntil, q.Len(), g.baseCur[pi])
+		inB := int(e.p.InOff[gi])
+		for pi, nid := range e.p.GateInputs(netlist.CellID(gi)) {
+			q := &e.queues[nid]
+			line += fmt.Sprintf(" %s[W=%d len=%d cur=%d]", e.nl.Nets[nid].Name, q.DeterminedUntil, q.Len(), e.baseCur[inB+pi])
 		}
 		out = append(out, line)
 	}

@@ -12,6 +12,7 @@ import (
 	"gatesim/internal/liberty"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
 	"gatesim/internal/refsim"
 	"gatesim/internal/sdf"
 	"gatesim/internal/truthtab"
@@ -843,6 +844,39 @@ func TestRunStreamEmptyStimulus(t *testing.T) {
 			t.Fatalf("net %s not finalized (wm %d)", d.Netlist.Nets[nid].Name, wm)
 		}
 	}
+}
+
+// TestNewFromPlanAllocs pins the flat-array construction guarantee: building
+// an engine from a prebuilt plan allocates a fixed number of arrays, not
+// O(gates) per-gate slices. The bound is far below the design's gate count,
+// so any reintroduction of per-gate allocation trips it immediately.
+func TestNewFromPlanAllocs(t *testing.T) {
+	d, err := gen.Build(smallSpec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(d.Netlist, testLib, gen.Delays(d, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates := p.NumGates()
+	if gates < 100 {
+		t.Fatalf("design too small (%d gates) to distinguish O(arrays) from O(gates)", gates)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		e, err := NewFromPlan(p, Options{Mode: ModeSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = e
+	})
+	// ~30 allocations today (engine struct, the flat per-slot arrays, the
+	// executor and one scratch). 64 leaves headroom while staying far below
+	// the gate count.
+	if allocs > 64 {
+		t.Errorf("NewFromPlan allocates %.0f objects for %d gates; want O(arrays), <= 64", allocs, gates)
+	}
+	t.Logf("NewFromPlan: %.0f allocs for %d gates, %d nets", allocs, gates, p.NumNets())
 }
 
 func TestValueBeyondWatermark(t *testing.T) {

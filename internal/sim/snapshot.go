@@ -5,32 +5,21 @@ import (
 	"fmt"
 	"io"
 
-	"gatesim/internal/event"
 	"gatesim/internal/logic"
-	"gatesim/internal/netlist"
 )
 
 // Long signoff simulations benefit from on-disk checkpoints: a run can be
 // interrupted and resumed, or forked to explore different stimulus tails.
-// A snapshot captures the engine's persistent state — per-gate base
-// checkpoints and commitment bookkeeping plus per-net retained events and
+// A snapshot captures the engine's persistent state — the flat base
+// checkpoint and commitment arrays plus per-net retained events and
 // watermarks. Scratch state (soft-resume snapshots, dirty flags) is
 // recomputed, so snapshots are only valid at quiescent points: after an
 // Advance returned and before new stimulus is injected.
 
 // snapshotVersion guards against loading snapshots written by an
-// incompatible build.
-const snapshotVersion = 1
-
-type snapshotGate struct {
-	BaseCur        []int64
-	BaseVals       []logic.Value
-	BaseStates     []logic.Value
-	SemBase        []logic.Value
-	BaseNow        int64
-	LastCommitted  []logic.Value
-	CommittedUntil []int64
-}
+// incompatible build. Version 2 stores the flat slot arrays introduced with
+// the plan-based engine instead of per-gate records.
+const snapshotVersion = 2
 
 type snapshotNet struct {
 	BaseVal         logic.Value
@@ -41,41 +30,47 @@ type snapshotNet struct {
 }
 
 type snapshot struct {
-	Version   int
-	Design    string
-	NumGates  int
-	NumNets   int
-	Gates     []snapshotGate
+	Version  int
+	Design   string
+	NumGates int
+	NumNets  int
+
+	// Flat slot arrays in the plan's pin layouts.
+	BaseCur        []int64
+	BaseVals       []logic.Value
+	BaseStates     []logic.Value
+	SemBase        []logic.Value
+	BaseNow        []int64 // per gate
+	LastCommitted  []logic.Value
+	CommittedUntil []int64
+
 	Nets      []snapshotNet
-	ReadMarks map[netlist.NetID]int64
+	ReadMarks []int64
 }
 
 // SaveSnapshot serializes the engine state. Call only between Advance calls
 // (never mid-convergence).
 func (e *Engine) SaveSnapshot(w io.Writer) error {
 	s := snapshot{
-		Version:   snapshotVersion,
-		Design:    e.nl.Name,
-		NumGates:  len(e.gate),
-		NumNets:   len(e.nets),
-		Gates:     make([]snapshotGate, len(e.gate)),
-		Nets:      make([]snapshotNet, len(e.nets)),
-		ReadMarks: e.readMarks,
+		Version:        snapshotVersion,
+		Design:         e.nl.Name,
+		NumGates:       len(e.gate),
+		NumNets:        len(e.queues),
+		BaseCur:        e.baseCur,
+		BaseVals:       e.baseVals,
+		BaseStates:     e.baseStates,
+		SemBase:        e.semBase,
+		BaseNow:        make([]int64, len(e.gate)),
+		LastCommitted:  e.lastCommitted,
+		CommittedUntil: e.committedUntil,
+		Nets:           make([]snapshotNet, len(e.queues)),
+		ReadMarks:      e.readMarks,
 	}
 	for i := range e.gate {
-		g := &e.gate[i]
-		s.Gates[i] = snapshotGate{
-			BaseCur:        g.baseCur,
-			BaseVals:       g.baseVals,
-			BaseStates:     g.baseStates,
-			SemBase:        g.semBase,
-			BaseNow:        g.baseNow,
-			LastCommitted:  g.lastCommitted,
-			CommittedUntil: g.committedUntil,
-		}
+		s.BaseNow[i] = e.gate[i].baseNow
 	}
-	for i := range e.nets {
-		q := e.nets[i].q
+	for i := range e.queues {
+		q := &e.queues[i]
 		sn := snapshotNet{
 			BaseVal:         q.BaseVal(),
 			Start:           q.Start(),
@@ -101,52 +96,40 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	if s.Version != snapshotVersion {
 		return fmt.Errorf("sim: snapshot version %d, want %d", s.Version, snapshotVersion)
 	}
-	if s.Design != e.nl.Name || s.NumGates != len(e.gate) || s.NumNets != len(e.nets) {
+	if s.Design != e.nl.Name || s.NumGates != len(e.gate) || s.NumNets != len(e.queues) {
 		return fmt.Errorf("sim: snapshot is for design %q (%d gates, %d nets), engine has %q (%d, %d)",
-			s.Design, s.NumGates, s.NumNets, e.nl.Name, len(e.gate), len(e.nets))
+			s.Design, s.NumGates, s.NumNets, e.nl.Name, len(e.gate), len(e.queues))
 	}
+	if len(s.BaseCur) != len(e.baseCur) || len(s.BaseStates) != len(e.baseStates) ||
+		len(s.SemBase) != len(e.semBase) || len(s.ReadMarks) != len(e.readMarks) {
+		return fmt.Errorf("sim: snapshot slot-array shape mismatch")
+	}
+	copy(e.baseCur, s.BaseCur)
+	copy(e.baseVals, s.BaseVals)
+	copy(e.baseStates, s.BaseStates)
+	copy(e.semBase, s.SemBase)
+	copy(e.lastCommitted, s.LastCommitted)
+	copy(e.committedUntil, s.CommittedUntil)
+	copy(e.readMarks, s.ReadMarks)
 	for i := range e.gate {
 		g := &e.gate[i]
-		sg := &s.Gates[i]
-		if len(sg.BaseCur) != len(g.baseCur) || len(sg.BaseStates) != len(g.baseStates) ||
-			len(sg.SemBase) != len(g.semBase) {
-			return fmt.Errorf("sim: snapshot gate %d shape mismatch", i)
-		}
-		copy(g.baseCur, sg.BaseCur)
-		copy(g.baseVals, sg.BaseVals)
-		copy(g.baseStates, sg.BaseStates)
-		copy(g.semBase, sg.SemBase)
-		g.baseNow = sg.BaseNow
-		copy(g.lastCommitted, sg.LastCommitted)
-		copy(g.committedUntil, sg.CommittedUntil)
+		g.baseNow = s.BaseNow[i]
 		g.softValid = false
 		g.hasFutureWork = true // conservative until the first visit
 		g.detUntil.Store(0)
 		g.dirty.Store(true)
 	}
-	for i := range e.nets {
+	for i := range e.queues {
 		sn := &s.Nets[i]
-		// Rebuild the queue: base value, absolute start index, events.
-		q := event.NewQueueAt(&e.pool, sn.BaseVal, sn.Start)
+		// Rebuild the queue in place: base value, absolute start index,
+		// events. Slot pointers in inQ/outQ stay valid because the queue
+		// slice itself is reused.
+		q := &e.queues[i]
+		q.InitAt(&e.pool, sn.BaseVal, sn.Start)
 		for k := range sn.Times {
 			q.Append(sn.Times[k], sn.Vals[k])
 		}
 		q.DeterminedUntil = sn.DeterminedUntil
-		e.nets[i].q = q
 	}
-	// Re-wire gate queue pointers onto the rebuilt queues.
-	for i := range e.gate {
-		g := &e.gate[i]
-		inst := &e.nl.Instances[i]
-		for pi, nid := range inst.InNets {
-			g.inQ[pi] = e.nets[nid].q
-		}
-		for po, nid := range inst.OutNets {
-			if nid >= 0 {
-				g.outQ[po] = e.nets[nid].q
-			}
-		}
-	}
-	e.readMarks = s.ReadMarks
 	return nil
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repository check gate: build, vet, formatting, full tests, and a
+# short-mode race pass over the two concurrent simulators.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (short, concurrent simulators)"
+go test -race -short ./internal/sim/ ./internal/partsim/
+
+echo "check: all passed"

@@ -1,4 +1,4 @@
-.PHONY: check build test bench fmt
+.PHONY: check build test bench bench-smoke fmt
 
 check:
 	./scripts/check.sh
@@ -11,6 +11,15 @@ test:
 
 bench:
 	go test -bench . -benchtime 1x ./...
+
+# One cheap pass over the Figure 8 scalability rows (the parallel ones that
+# exercise the persistent worker pool), then the machine-readable report:
+# BENCH_smoke.json records runtimes plus the engine's scheduling counters
+# (pool_spawned staying at the worker count across rows is the no-churn
+# invariant).
+bench-smoke:
+	go test -run '^$$' -bench BenchmarkFig8 -benchtime 1x .
+	go run ./cmd/experiments -fig8 -scale 0.005 -cycles 60 -threadlist 1,2,4 -json BENCH_smoke.json
 
 fmt:
 	gofmt -w .

@@ -85,6 +85,7 @@ func (bd *benchDesign) runEngine(b *testing.B, p *plan.Plan, opts sim.Options) {
 		if err := e.RunStream(src, sim.StreamConfig{SlicePS: 16 * bd.d.Spec.ClockPeriodPS}); err != nil {
 			b.Fatal(err)
 		}
+		e.Close()
 	}
 }
 
@@ -254,9 +255,11 @@ func BenchmarkEngineFromPlan(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.NewFromPlan(bd.planSDF, sim.Options{Mode: sim.ModeSerial}); err != nil {
+		e, err := sim.NewFromPlan(bd.planSDF, sim.Options{Mode: sim.ModeSerial})
+		if err != nil {
 			b.Fatal(err)
 		}
+		e.Close()
 	}
 }
 

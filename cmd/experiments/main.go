@@ -6,9 +6,13 @@
 //
 //	experiments -table1 [-scale S]
 //	experiments -table2 [-scale S] [-presets a,b] [-short N] [-threads T]
-//	experiments -fig8   [-preset aes256] [-scale S] [-cycles N] [-threadlist 1,2,4,8]
+//	experiments -fig8   [-preset aes256] [-scale S] [-cycles N] [-threadlist 1,2,4,8] [-json FILE]
 //	experiments -libcomp [-cells 1000]
 //	experiments -all
+//
+// With -json FILE, -fig8 additionally writes the machine-readable
+// bench-smoke report (runtimes plus engine scheduling counters) to FILE;
+// `make bench-smoke` uses this to produce BENCH_smoke.json.
 package main
 
 import (
@@ -39,6 +43,7 @@ func main() {
 		fig8Preset = flag.String("preset", "aes256", "design for -fig8 (paper: aes256 and leon2)")
 		fig8Cycles = flag.Int("cycles", 200, "cycles for -fig8")
 		threadList = flag.String("threadlist", "1,2,4,8", "thread counts for -fig8")
+		jsonOut    = flag.String("json", "", "also write the -fig8 bench-smoke report to this file")
 		cells      = flag.Int("cells", 1000, "library size for -libcomp")
 	)
 	flag.Parse()
@@ -76,13 +81,29 @@ func main() {
 			fail(err)
 			ths = append(ths, n)
 		}
-		pts, err := harness.Fig8(harness.Fig8Config{
+		cfg := harness.Fig8Config{
 			Preset: *fig8Preset, Scale: *scale, Cycles: *fig8Cycles,
 			Threads: ths, Seed: *seed,
-		})
-		fail(err)
-		fmt.Print(harness.FormatFig8(*fig8Preset, pts))
-		fmt.Println()
+		}
+		if *jsonOut != "" {
+			rep, err := harness.BenchSmoke(cfg)
+			fail(err)
+			f, err := os.Create(*jsonOut)
+			fail(err)
+			fail(harness.WriteBenchSmoke(f, rep))
+			fail(f.Close())
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *jsonOut)
+			for _, s := range rep.Samples {
+				fmt.Printf("fig8 t=%d ours-sdf=%.3fs part-sdf=%.3fs spawns=%d rounds=%d wakes=%d parks=%d fused=%d\n",
+					s.Threads, float64(s.OursSDFNS)/1e9, float64(s.PartSDFNS)/1e9,
+					s.PoolSpawned, s.PoolRounds, s.PoolWakes, s.PoolParks, s.LevelsFused)
+			}
+		} else {
+			pts, err := harness.Fig8(cfg)
+			fail(err)
+			fmt.Print(harness.FormatFig8(*fig8Preset, pts))
+			fmt.Println()
+		}
 	}
 	if *par {
 		var rows []harness.ParallelismRow

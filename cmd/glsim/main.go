@@ -129,6 +129,7 @@ func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag st
 	if err != nil {
 		return err
 	}
+	defer engine.Close()
 	fmt.Fprintf(os.Stderr, "glsim: lowered design in %v; execution mode %v\n",
 		time.Since(lowerStart).Round(time.Millisecond), engine.Mode())
 
@@ -244,6 +245,11 @@ func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag st
 	es := engine.Stats()
 	fmt.Fprintf(os.Stderr, "glsim: simulated in %v (%d sweeps, %d gate visits, %d queries, %d events)\n",
 		time.Since(simStart).Round(time.Millisecond), es.Sweeps, es.Visits, es.Queries, es.EventsCommitted)
+	if es.PoolRounds > 0 {
+		fmt.Fprintf(os.Stderr, "glsim: scheduling: %d pool rounds (%d goroutines spawned, %d wakes, %d parks, %d levels fused), %v in sweeps\n",
+			es.PoolRounds, es.PoolSpawned, es.PoolWakes, es.PoolParks, es.LevelsFused,
+			time.Duration(es.SweepNS).Round(time.Millisecond))
+	}
 	if power {
 		rep := activity.Power(lastTime, 1.0)
 		fmt.Fprint(os.Stderr, rep.Format(15))

@@ -97,8 +97,8 @@ func main() {
 	q2, _ := nl.Net("q2")
 	fmt.Printf("after Advance(%d):\n", 4*period)
 	fmt.Printf("  gclk determined until %s (stable %v: the shut ICG filters every clock edge)\n",
-		fmtT(engine.Events(gclk).DeterminedUntil), engine.Value(gclk, 3*period))
-	fmt.Printf("  q2   determined until %s\n", fmtT(engine.Events(q2).DeterminedUntil))
+		fmtT(engine.Events(gclk).DeterminedUntil()), engine.Value(gclk, 3*period))
+	fmt.Printf("  q2   determined until %s\n", fmtT(engine.Events(q2).DeterminedUntil()))
 
 	if err := engine.Finish(); err != nil {
 		log.Fatal(err)

@@ -30,7 +30,7 @@ type Event struct {
 type page struct {
 	times [PageSize]int64
 	vals  [PageSize]logic.Value
-	next  *page
+	next  atomic.Pointer[page]
 }
 
 // Pool hands out pages in blocks; it is safe for concurrent use. The zero
@@ -38,7 +38,7 @@ type page struct {
 type Pool struct {
 	mu    sync.Mutex
 	block []page
-	next  int64 // atomic index into block
+	next  int64 // index into block, guarded by mu
 
 	allocated atomic.Int64 // total pages ever handed out (for stats)
 }
@@ -69,9 +69,13 @@ func (p *Pool) AllocatedPages() int64 { return p.allocated.Load() }
 //
 // Events are addressed by a monotonically increasing absolute index:
 // Append assigns indices 0, 1, 2, ...; TrimTo releases storage for a prefix
-// but indices never shift. Exactly one goroutine may Append/TrimTo at a
-// time (each net has one driver); any number may read concurrently with
-// neither.
+// but indices never shift. Exactly one goroutine may append at a time (each
+// net has one driver gate), but readers — Len, At, cursors, the watermark
+// accessors — may run concurrently with that driver: Append publishes each
+// event with a release store of the end index, so a reader that observes
+// index i < Len() sees the fully written event and page links behind it.
+// TrimTo and Init/InitAt are excluded from this guarantee and must not
+// overlap any other access (the engine trims only between sweeps).
 //
 // Beyond the event list the queue carries the net's stable-time state:
 // DeterminedUntil is the time up to which the net's value is known (the
@@ -80,44 +84,63 @@ func (p *Pool) AllocatedPages() int64 { return p.allocated.Load() }
 type Queue struct {
 	pool *Pool
 
-	head *page // page containing index start
-	tail *page // page containing index end-1 (nil when empty)
-	free *page // per-pin free list (paper: freed pages stay with the pin)
+	head atomic.Pointer[page] // page containing index start
+	tail *page                // page containing index end-1 (nil when empty)
+	free *page                // per-pin free list (paper: freed pages stay with the pin)
 
-	start    int64 // absolute index of first retained event
-	end      int64 // absolute index one past the last event
-	headSkip int   // offset of index `start` within head page
-	tailBase int64 // absolute index of tail.times[0] (valid when tail != nil)
+	start    int64        // absolute index of first retained event
+	end      atomic.Int64 // absolute index one past the last event
+	headSkip int          // offset of index `start` within head page
+	tailBase int64        // absolute index of tail.times[0] (valid when tail != nil)
 
 	baseVal logic.Value // value of the net before event index `start`
 
-	// DeterminedUntil is the exclusive time up to which the value of this
-	// net is determined; at and beyond it the net reads as U. Maintained by
-	// the simulator.
-	DeterminedUntil int64
+	// det is the exclusive time up to which the value of this net is
+	// determined; at and beyond it the net reads as U. Maintained by the
+	// simulator through DeterminedUntil/SetDeterminedUntil.
+	det atomic.Int64
 }
 
 // NewQueue creates a queue with the given initial value (the net's value at
 // the beginning of time) backed by the pool.
 func NewQueue(pool *Pool, initial logic.Value) *Queue {
-	return &Queue{pool: pool, baseVal: initial}
+	q := new(Queue)
+	q.Init(pool, initial)
+	return q
 }
 
 // Init makes q an empty queue with the given initial value backed by the
 // pool, replacing any previous state. It exists so callers can keep queues
 // by value in one flat slice instead of allocating each with NewQueue.
 func (q *Queue) Init(pool *Pool, initial logic.Value) {
-	*q = Queue{pool: pool, baseVal: initial}
+	q.InitAt(pool, initial, 0)
 }
 
 // InitAt is Init with the first appended event receiving absolute index
 // start (see NewQueueAt).
 func (q *Queue) InitAt(pool *Pool, initial logic.Value, start int64) {
-	*q = Queue{pool: pool, baseVal: initial, start: start, end: start}
+	q.pool = pool
+	q.head.Store(nil)
+	q.tail = nil
+	q.free = nil
+	q.start = start
+	q.end.Store(start)
+	q.headSkip = 0
+	q.tailBase = 0
+	q.baseVal = initial
+	q.det.Store(0)
 }
 
+// DeterminedUntil returns the exclusive time up to which the net's value is
+// determined (the stable-time watermark).
+func (q *Queue) DeterminedUntil() int64 { return q.det.Load() }
+
+// SetDeterminedUntil advances (or rewinds, during snapshot restore) the
+// stable-time watermark. Only the net's driver may call it.
+func (q *Queue) SetDeterminedUntil(t int64) { q.det.Store(t) }
+
 // Len returns the absolute index one past the last event.
-func (q *Queue) Len() int64 { return q.end }
+func (q *Queue) Len() int64 { return q.end.Load() }
 
 // Start returns the absolute index of the first retained event.
 func (q *Queue) Start() int64 { return q.start }
@@ -127,29 +150,32 @@ func (q *Queue) BaseVal() logic.Value { return q.baseVal }
 
 // Append adds an event. Time must not decrease versus the previous event.
 func (q *Queue) Append(t int64, v logic.Value) {
-	if q.tail == nil || q.end-q.tailBase == PageSize {
+	end := q.end.Load()
+	if q.tail == nil || end-q.tailBase == PageSize {
 		pg := q.takePage()
 		if q.tail == nil {
-			q.head, q.tail = pg, pg
-			q.headSkip = 0
-			q.start = q.end // no retained events existed
+			// tail == nil implies start == end and headSkip == 0 (a fresh
+			// queue, or TrimTo consumed everything), so only the head pointer
+			// needs setting.
+			q.head.Store(pg)
+			q.tail = pg
 		} else {
-			q.tail.next = pg
+			q.tail.next.Store(pg)
 			q.tail = pg
 		}
-		q.tailBase = q.end
+		q.tailBase = end
 	}
-	off := q.end - q.tailBase
+	off := end - q.tailBase
 	q.tail.times[off] = t
 	q.tail.vals[off] = v
-	q.end++
+	q.end.Store(end + 1) // publication point for concurrent readers
 }
 
 func (q *Queue) takePage() *page {
 	if q.free != nil {
 		pg := q.free
-		q.free = pg.next
-		pg.next = nil
+		q.free = pg.next.Load()
+		pg.next.Store(nil)
 		return pg
 	}
 	return q.pool.get()
@@ -157,45 +183,48 @@ func (q *Queue) takePage() *page {
 
 // At returns the event at absolute index i; i must be in [Start(), Len()).
 func (q *Queue) At(i int64) Event {
-	if i < q.start || i >= q.end {
+	if i < q.start || i >= q.end.Load() {
 		panic("event: index out of range")
 	}
 	// Walk from head. Consumers overwhelmingly read near their cursor and
 	// the prefix is trimmed regularly, so the walk is short; the engine
 	// additionally caches (page, index) cursors via Cursor.
-	pg := q.head
+	pg := q.head.Load()
 	idx := q.start - int64(q.headSkip) // absolute index of pg.times[0]
 	for i-idx >= PageSize {
-		pg = pg.next
+		pg = pg.next.Load()
 		idx += PageSize
 	}
 	return Event{Time: pg.times[i-idx], Val: pg.vals[i-idx]}
 }
 
 // LastTime returns the time of the last event, or min64 when no event was
-// ever appended.
+// ever appended. Driver-only: it touches the tail page directly.
 func (q *Queue) LastTime() int64 {
-	if q.end == q.start {
+	end := q.end.Load()
+	if end == q.start {
 		return -1 << 62
 	}
-	return q.tail.times[q.end-1-q.tailBase]
+	return q.tail.times[end-1-q.tailBase]
 }
 
 // LastVal returns the value after the last event (or the base value when
-// empty).
+// empty). Driver-only: it touches the tail page directly.
 func (q *Queue) LastVal() logic.Value {
-	if q.end == q.start {
+	end := q.end.Load()
+	if end == q.start {
 		return q.baseVal
 	}
-	return q.tail.vals[q.end-1-q.tailBase]
+	return q.tail.vals[end-1-q.tailBase]
 }
 
 // TrimTo releases events with absolute index < keep. The value before the
 // new start is preserved as the base value. Fully consumed pages return to
-// the queue's free list.
+// the queue's free list. Must not run concurrently with any other access.
 func (q *Queue) TrimTo(keep int64) {
-	if keep > q.end {
-		keep = q.end
+	end := q.end.Load()
+	if keep > end {
+		keep = end
 	}
 	if keep <= q.start {
 		return
@@ -204,21 +233,24 @@ func (q *Queue) TrimTo(keep int64) {
 	q.baseVal = q.At(keep - 1).Val
 	// Release whole pages that fall entirely before keep.
 	pgStart := q.start - int64(q.headSkip)
-	for q.head != nil && pgStart+PageSize <= keep {
-		pg := q.head
-		q.head = pg.next
-		if q.head == nil {
+	for {
+		pg := q.head.Load()
+		if pg == nil || pgStart+PageSize > keep {
+			break
+		}
+		q.head.Store(pg.next.Load())
+		if q.head.Load() == nil {
 			q.tail = nil
 		}
-		pg.next = q.free
+		pg.next.Store(q.free)
 		q.free = pg
 		pgStart += PageSize
 	}
 	q.start = keep
-	if q.head == nil {
+	if q.head.Load() == nil {
 		// Everything gone; reset offsets so the next Append starts cleanly.
 		q.headSkip = 0
-		if keep == q.end {
+		if keep == end {
 			q.tail = nil
 		}
 	} else {
@@ -242,10 +274,10 @@ func (q *Queue) NewCursor(idx int64) Cursor {
 }
 
 func (c *Cursor) seek(q *Queue) {
-	c.pg = q.head
+	c.pg = q.head.Load()
 	c.pgBase = q.start - int64(q.headSkip)
 	for c.pg != nil && c.Idx-c.pgBase >= PageSize {
-		c.pg = c.pg.next
+		c.pg = c.pg.next.Load()
 		c.pgBase += PageSize
 	}
 }
@@ -264,7 +296,7 @@ func (c *Cursor) Peek(q *Queue) Event {
 func (c *Cursor) Advance() {
 	c.Idx++
 	if c.pg != nil && c.Idx-c.pgBase >= PageSize {
-		c.pg = c.pg.next
+		c.pg = c.pg.next.Load()
 		c.pgBase += PageSize
 	}
 }
@@ -273,5 +305,7 @@ func (c *Cursor) Advance() {
 // index start — used when reconstructing queues from snapshots so that
 // consumer cursors (which store absolute indices) stay valid.
 func NewQueueAt(pool *Pool, initial logic.Value, start int64) *Queue {
-	return &Queue{pool: pool, baseVal: initial, start: start, end: start}
+	q := new(Queue)
+	q.InitAt(pool, initial, start)
+	return q
 }

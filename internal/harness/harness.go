@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -181,10 +182,10 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			var events int64
 			row.Ref, events = timeRefsim(pl, stim)
 			row.Events = events
-			row.Ours1T = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeSerial})
-			row.OursNT = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads})
-			row.Manycore = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads})
-			row.Hybrid = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads})
+			row.Ours1T, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeSerial})
+			row.OursNT, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads})
+			row.Manycore, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads})
+			row.Hybrid, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads})
 			rows = append(rows, row)
 		}
 	}
@@ -207,11 +208,17 @@ func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64) {
 	return time.Since(start), ref.Events
 }
 
-func timeEngine(d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Options) time.Duration {
+// timeEngine runs one full streamed simulation and reports wall time plus
+// the engine counters (sweep/level wall time, pool wake/park/spawn), so
+// callers can separate scheduling overhead from useful work. The engine's
+// worker pool is released before returning: a harness run creates many
+// engines back to back and must not accumulate parked goroutines.
+func timeEngine(d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Options) (time.Duration, sim.Stats) {
 	e, err := sim.NewFromPlan(pl, opts)
 	if err != nil {
 		panic(err)
 	}
+	defer e.Close()
 	changes := make([]sim.Change, len(stim))
 	for i, s := range stim {
 		changes[i] = sim.Change{Net: s.Net, Time: s.Time, Val: s.Val}
@@ -221,7 +228,7 @@ func timeEngine(d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Option
 	if err := e.RunStream(sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: slice}); err != nil {
 		panic(err)
 	}
-	return time.Since(start)
+	return time.Since(start), e.Stats()
 }
 
 // FormatTable2 renders rows like the paper's Table II.
@@ -271,6 +278,11 @@ type Fig8Point struct {
 	OursSDF  time.Duration
 
 	PartRoundsSDF int64 // lockstep rounds: the mechanism behind the curve
+
+	// OursSDFStats are the engine counters of the SDF run: sweep/level wall
+	// time and the worker-pool wake/park/spawn counts, separating scheduling
+	// overhead from useful work at each thread count.
+	OursSDFStats sim.Stats
 }
 
 // Fig8 measures runtime versus thread count for the partition-based
@@ -307,8 +319,8 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 		if th == 1 {
 			mode = sim.ModeSerial
 		}
-		pt.OursUnit = timeEngine(d, planUnit, stim, sim.Options{Mode: mode, Threads: th})
-		pt.OursSDF = timeEngine(d, planSDF, stim, sim.Options{Mode: mode, Threads: th})
+		pt.OursUnit, _ = timeEngine(d, planUnit, stim, sim.Options{Mode: mode, Threads: th})
+		pt.OursSDF, pt.OursSDFStats = timeEngine(d, planSDF, stim, sim.Options{Mode: mode, Threads: th})
 		points = append(points, pt)
 	}
 	return points, nil
@@ -330,18 +342,101 @@ func timePartsim(pl *plan.Plan, stim []gen.Change, threads int) (time.Duration, 
 	return time.Since(start), ps.Rounds
 }
 
-// FormatFig8 renders the two series of Figure 8 as text.
+// FormatFig8 renders the two series of Figure 8 as text, with the engine's
+// scheduling counters (pool goroutines spawned, wakes, parks) alongside each
+// SDF sample: zero spawns beyond the first warm row is the signature of the
+// persistent pool.
 func FormatFig8(preset string, points []Fig8Point) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "FIGURE 8: Runtime scalability on %s (seconds; lower is better)\n", preset)
-	fmt.Fprintf(&b, "%8s | %14s %14s | %14s %14s | %12s\n",
-		"threads", "part. no-SDF", "ours no-SDF", "part. SDF", "ours SDF", "part rounds")
+	fmt.Fprintf(&b, "%8s | %14s %14s | %14s %14s | %12s | %7s %8s %8s\n",
+		"threads", "part. no-SDF", "ours no-SDF", "part. SDF", "ours SDF", "part rounds",
+		"spawns", "wakes", "parks")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%8d | %14.3f %14.3f | %14.3f %14.3f | %12d\n",
+		fmt.Fprintf(&b, "%8d | %14.3f %14.3f | %14.3f %14.3f | %12d | %7d %8d %8d\n",
 			p.Threads, p.PartUnit.Seconds(), p.OursUnit.Seconds(),
-			p.PartSDF.Seconds(), p.OursSDF.Seconds(), p.PartRoundsSDF)
+			p.PartSDF.Seconds(), p.OursSDF.Seconds(), p.PartRoundsSDF,
+			p.OursSDFStats.PoolSpawned, p.OursSDFStats.PoolWakes, p.OursSDFStats.PoolParks)
 	}
 	return b.String()
+}
+
+// ---------------------------------------------------------- bench-smoke
+
+// BenchSmokeReport is the machine-readable record `make bench-smoke`
+// writes to BENCH_smoke.json: one Fig 8 run at a small scale, with the
+// engine's scheduling counters per thread count. CI keeps it cheap and
+// diffable; the invariant to watch is PoolSpawned staying at the worker
+// count (no per-sweep goroutine churn) while PoolRounds tracks sweeps.
+type BenchSmokeReport struct {
+	Preset  string            `json:"preset"`
+	Scale   float64           `json:"scale"`
+	Cycles  int               `json:"cycles"`
+	Seed    int64             `json:"seed"`
+	GoMaxP  int               `json:"gomaxprocs"`
+	Samples []BenchSmokePoint `json:"samples"`
+}
+
+// BenchSmokePoint flattens one Fig8Point for JSON consumers.
+type BenchSmokePoint struct {
+	Threads int `json:"threads"`
+
+	PartUnitNS int64 `json:"part_unit_ns"`
+	PartSDFNS  int64 `json:"part_sdf_ns"`
+	OursUnitNS int64 `json:"ours_unit_ns"`
+	OursSDFNS  int64 `json:"ours_sdf_ns"`
+
+	PartRoundsSDF int64 `json:"part_rounds_sdf"`
+
+	// Engine counters of the SDF run.
+	Sweeps      int64 `json:"sweeps"`
+	PoolSpawned int64 `json:"pool_spawned"`
+	PoolRounds  int64 `json:"pool_rounds"`
+	PoolWakes   int64 `json:"pool_wakes"`
+	PoolParks   int64 `json:"pool_parks"`
+	LevelsFused int64 `json:"levels_fused"`
+	SweepNS     int64 `json:"sweep_ns"`
+	LevelNS     int64 `json:"level_ns"`
+}
+
+// BenchSmoke runs Fig8 with the given config and folds the points into the
+// report shape.
+func BenchSmoke(cfg Fig8Config) (BenchSmokeReport, error) {
+	pts, err := Fig8(cfg)
+	if err != nil {
+		return BenchSmokeReport{}, err
+	}
+	rep := BenchSmokeReport{
+		Preset: cfg.Preset, Scale: cfg.Scale, Cycles: cfg.Cycles, Seed: cfg.Seed,
+		GoMaxP: runtime.GOMAXPROCS(0),
+	}
+	for _, p := range pts {
+		st := p.OursSDFStats
+		rep.Samples = append(rep.Samples, BenchSmokePoint{
+			Threads:       p.Threads,
+			PartUnitNS:    p.PartUnit.Nanoseconds(),
+			PartSDFNS:     p.PartSDF.Nanoseconds(),
+			OursUnitNS:    p.OursUnit.Nanoseconds(),
+			OursSDFNS:     p.OursSDF.Nanoseconds(),
+			PartRoundsSDF: p.PartRoundsSDF,
+			Sweeps:        st.Sweeps,
+			PoolSpawned:   st.PoolSpawned,
+			PoolRounds:    st.PoolRounds,
+			PoolWakes:     st.PoolWakes,
+			PoolParks:     st.PoolParks,
+			LevelsFused:   st.LevelsFused,
+			SweepNS:       st.SweepNS,
+			LevelNS:       st.LevelNS,
+		})
+	}
+	return rep, nil
+}
+
+// WriteBenchSmoke serializes the report as indented JSON.
+func WriteBenchSmoke(w io.Writer, rep BenchSmokeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // ------------------------------------------------------- Library compile
@@ -523,6 +618,7 @@ func Parallelism(preset string, scale float64, cycles int, seed int64) (Parallel
 	if err != nil {
 		return ParallelismRow{}, err
 	}
+	defer e.Close()
 	lv := e.Levelization()
 	row.Levels = len(lv.Levels)
 	row.MaxWidth = lv.MaxWidth()

@@ -22,7 +22,6 @@ package partsim
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
@@ -31,6 +30,7 @@ import (
 	"gatesim/internal/sched"
 	"gatesim/internal/sdf"
 	"gatesim/internal/truthtab"
+	"gatesim/internal/workpool"
 )
 
 // Stim is one primary-input change (same shape as refsim.Stim).
@@ -66,6 +66,7 @@ type Simulator struct {
 	p         *plan.Plan
 	nl        *netlist.Netlist
 	lookahead int64
+	threads   int // worker parallelism for the per-Run pool
 	parts     []*partition
 	partOf    []int32 // per gate
 	// netReaders[nid] = partitions having loads on the net.
@@ -150,7 +151,7 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Simulator, error) {
 			return nil, fmt.Errorf("partsim: cell %s exceeds supported pin/state counts", tab.Cell.Name)
 		}
 	}
-	s := &Simulator{p: p, nl: nl}
+	s := &Simulator{p: p, nl: nl, threads: opts.Threads}
 	s.lookahead = p.Delays.MinPositive
 	if s.lookahead < 1 {
 		return nil, fmt.Errorf("partsim: all delays must be >= 1 ps")
@@ -300,10 +301,20 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		}
 	}
 
-	var wg sync.WaitGroup
+	// One persistent spin-then-park pool serves every round of this Run:
+	// both parallel phases dispatch onto it instead of forking 2×P
+	// goroutines per round — with SDF-shrunk lookahead windows that was
+	// millions of spawns per simulation. The phase closures are allocated
+	// once and read the current round bounds through captured variables,
+	// which the pool's round publication orders for the workers.
+	pool := workpool.New(min(s.threads, len(s.parts)))
+	defer pool.Close()
+	var T, windowEnd int64
+	stagePhase := func(i int) { s.parts[i].stageCross(s, windowEnd) }
+	processPhase := func(i int) { s.parts[i].process(s, T, windowEnd) }
 	for {
 		// Global minimum next time across partitions.
-		T := int64(1) << 62
+		T = int64(1) << 62
 		for _, p := range s.parts {
 			if t := p.nextTime(); t < T {
 				T = t
@@ -312,21 +323,14 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		if T >= 1<<62 {
 			return nil
 		}
-		windowEnd := T + s.lookahead
+		windowEnd = T + s.lookahead
 		s.Rounds++
 
 		// Phase 1 (parallel): finalize and stage cross-partition events with
 		// te < T + lookahead (they are immune to cancellation because no
 		// evaluation can happen before T anywhere). This is the CMB
 		// null-message exchange.
-		wg.Add(len(s.parts))
-		for _, p := range s.parts {
-			go func(p *partition) {
-				defer wg.Done()
-				p.stageCross(s, windowEnd)
-			}(p)
-		}
-		wg.Wait()
+		pool.Run(len(s.parts), stagePhase)
 		// Barrier: deliver staged messages before anyone processes the
 		// window — an event can be both finalized and due within the same
 		// round (uniform delays put everything on one lattice).
@@ -341,14 +345,7 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		}
 
 		// Phase 2 (parallel): process the window [T, windowEnd).
-		wg.Add(len(s.parts))
-		for _, p := range s.parts {
-			go func(p *partition) {
-				defer wg.Done()
-				p.process(s, T, windowEnd)
-			}(p)
-		}
-		wg.Wait()
+		pool.Run(len(s.parts), processPhase)
 		// Emit committed events.
 		if sink != nil {
 			for _, p := range s.parts {

@@ -23,6 +23,17 @@
 // watermark moves; the number of sweeps tracks the number of clock cycles in
 // the streamed input window, as the paper observes.
 //
+// # Execution and lifecycle
+//
+// Parallel modes run on a persistent spin-then-park worker pool owned by
+// the engine (internal/workpool): workers start lazily on the first
+// parallel sweep and are reused for every subsequent one — a whole sweep is
+// one pool round with a barrier between levels, so steady-state simulation
+// creates no goroutines. Engine.Close parks out and joins the workers; it
+// is idempotent, and a closed engine restarts its pool on the next parallel
+// sweep. Stats exposes the pool's spawn/wake/park counters plus sweep and
+// level wall-clock time so scheduling overhead is visible to reports.
+//
 // # State layout
 //
 // All per-gate simulation state lives in flat engine-owned arrays indexed
@@ -96,6 +107,10 @@ type Options struct {
 	// MaxSweeps bounds the sweeps of one Advance call (safety valve against
 	// livelock bugs; 0 = a generous default).
 	MaxSweeps int
+	// SerialBatchThreshold is the expected-work size (dirty gates for a
+	// sweep) below which execution stays on the calling goroutine instead
+	// of waking the worker pool (0 = a tuned default). Mostly a test knob.
+	SerialBatchThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -111,16 +126,29 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweeps <= 0 {
 		o.MaxSweeps = 1 << 30
 	}
+	if o.SerialBatchThreshold <= 0 {
+		o.SerialBatchThreshold = defaultSerialBatchThreshold
+	}
 	return o
 }
 
-// Stats are cumulative execution counters.
+// Stats are cumulative execution counters. The Pool* group exposes the
+// scheduling overhead of the persistent worker pool so harness reports can
+// show dispatch cost alongside simulation work.
 type Stats struct {
 	Sweeps          int64 // level sweeps executed
 	Visits          int64 // gate visits
 	Queries         int64 // truth-table queries
 	EventsCommitted int64 // events appended to net queues
 	Checkpoints     int64 // slice-boundary base consolidations
+
+	PoolSpawned int64 // worker goroutines ever created by the pool
+	PoolRounds  int64 // parallel rounds dispatched to the pool
+	PoolWakes   int64 // workers woken from a parked state
+	PoolParks   int64 // workers that gave up spinning and parked
+	LevelsFused int64 // level segments sharing a pool round with a predecessor
+	SweepNS     int64 // wall time inside convergence sweeps
+	LevelNS     int64 // wall time inside level-execution rounds
 }
 
 // Engine simulates one netlist.
@@ -162,8 +190,10 @@ type Engine struct {
 	// finished reading; unwatched nets hold unreadMark.
 	readMarks []int64
 
-	exec  *executor
-	stats Stats
+	exec      *executor
+	sweepSegs [][]netlist.CellID // sequential phase + each comb level, in order
+	lastDirty int                // dirty-gate count of the previous sweep
+	stats     Stats
 }
 
 // New lowers the design and builds an engine. The compiled library must
@@ -241,14 +271,32 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 	}
 
 	e.exec = newExecutor(e)
+	e.sweepSegs = make([][]netlist.CellID, 0, 1+len(p.Lev.Levels))
+	e.sweepSegs = append(e.sweepSegs, p.Lev.Sequential)
+	e.sweepSegs = append(e.sweepSegs, p.Lev.Levels...)
+	e.lastDirty = p.NumGates() // everything starts dirty
 	return e, nil
 }
+
+// Close parks out and joins the engine's worker-pool goroutines. It is
+// idempotent and must not overlap Advance/Finish/Checkpoint. The engine
+// stays usable afterwards: the next parallel sweep simply restarts the
+// pool. Long-lived processes that build many engines should Close each one
+// when done with it.
+func (e *Engine) Close() { e.exec.pool.Close() }
 
 // Mode returns the resolved execution mode.
 func (e *Engine) Mode() Mode { return e.mode }
 
-// Stats returns a copy of the cumulative counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a copy of the cumulative counters, including the worker
+// pool's scheduling counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	ps := e.exec.pool.Stats()
+	s.PoolSpawned, s.PoolRounds = ps.Spawned, ps.Rounds
+	s.PoolWakes, s.PoolParks = ps.Wakes, ps.Parks
+	return s
+}
 
 // Netlist returns the simulated netlist.
 func (e *Engine) Netlist() *netlist.Netlist { return e.nl }

@@ -1,29 +1,60 @@
 package sim
 
 import (
-	"sync"
+	"runtime"
 	"sync/atomic"
 
 	"gatesim/internal/netlist"
+	"gatesim/internal/workpool"
 )
 
-// executor runs batches of independent gates, serially or on a worker pool,
-// with one scratch area per worker. Gates within a batch never share output
-// nets or write-visible state, so the only cross-worker traffic is the
-// atomic work index and the idempotent dirty flags.
+// executor runs the per-sweep level segments, serially or on a persistent
+// spin-then-park worker pool (internal/workpool). One whole sweep — the
+// sequential phase plus every combinational level — is dispatched as a
+// single pool round whose workers claim chunks off per-segment atomic
+// indices; consecutive segments are separated by a completion barrier
+// (segDone[s-1] must reach the segment length before anyone claims in s),
+// so level ordering is preserved while the pool is woken once per sweep
+// instead of once per level. The dirty-set filter runs inside the round,
+// after the barrier, which keeps the in-sweep cascade: a gate dirtied by
+// level L is picked up by level L+1's scan in the same sweep.
+//
+// Gates within a segment never share output nets or write-visible state, so
+// cross-worker traffic is the claim indices, the idempotent dirty flags,
+// and the release/acquire-published event queues.
 type executor struct {
 	e         *Engine
 	threads   int
+	threshold int
 	scratches []*scratch
+	pool      *workpool.Pool
+	roundFn   func(int) // persistent closure handed to the pool each round
 
-	work     []netlist.CellID
-	idx      atomic.Int64
+	segs     [][]netlist.CellID
+	segIdx   []int64 // atomic: next unclaimed offset within segs[s]
+	segDone  []int64 // atomic: processed item count within segs[s]
+	kind     roundKind
+	claimed  atomic.Int64 // dirty gates claimed this round
 	progress atomic.Bool
+
+	allGates []netlist.CellID // identity work list for checkpoint rounds
 }
 
-// serialBatchThreshold is the batch size below which forking workers costs
-// more than it saves.
-const serialBatchThreshold = 192
+// roundKind selects what a sweep round does with each gate it scans.
+type roundKind int
+
+const (
+	// roundDirty visits only gates whose dirty flag it wins via CAS.
+	roundDirty roundKind = iota
+	// roundOblivious visits every gate (the manycore full-level scan).
+	roundOblivious
+	// roundCheckpoint folds every gate's base state (no visits).
+	roundCheckpoint
+)
+
+// defaultSerialBatchThreshold is the expected work size below which waking
+// the pool costs more than it saves.
+const defaultSerialBatchThreshold = 192
 
 // workChunk is the number of gates a worker claims per atomic increment.
 const workChunk = 64
@@ -33,104 +64,137 @@ func newExecutor(e *Engine) *executor {
 	if e.mode == ModeParallel || e.mode == ModeManycore {
 		threads = e.opts.Threads
 	}
-	x := &executor{e: e, threads: threads}
+	x := &executor{e: e, threads: threads, threshold: e.opts.SerialBatchThreshold}
 	x.scratches = make([]*scratch, threads)
 	for i := range x.scratches {
 		x.scratches[i] = newScratch(e)
 	}
+	x.pool = workpool.New(threads)
+	x.roundFn = x.drainRound
+	x.allGates = make([]netlist.CellID, e.p.NumGates())
+	for i := range x.allGates {
+		x.allGates[i] = netlist.CellID(i)
+	}
 	return x
 }
 
-// runBatch visits every gate in ids and reports whether any made progress.
-func (x *executor) runBatch(ids []netlist.CellID) bool {
-	if len(ids) == 0 {
-		return false
-	}
-	if x.threads == 1 || len(ids) < serialBatchThreshold {
+// runSweep executes the segments in order with a barrier between
+// consecutive ones. expected is the caller's estimate of the work (dirty
+// gates for roundDirty, total gates otherwise); sweeps expected to be small
+// run on the calling goroutine. Returns the number of dirty gates claimed
+// and whether any visit made progress.
+func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected int) (int64, bool) {
+	if x.threads == 1 || expected < x.threshold {
 		sc := x.scratches[0]
+		var claimed int64
 		progress := false
-		for _, id := range ids {
-			if x.e.visit(id, sc) {
-				progress = true
+		for _, seg := range segs {
+			for _, id := range seg {
+				switch kind {
+				case roundDirty:
+					if !x.e.gate[id].dirty.CompareAndSwap(true, false) {
+						continue
+					}
+					claimed++
+					if x.e.visit(id, sc) {
+						progress = true
+					}
+				case roundOblivious:
+					if x.e.visit(id, sc) {
+						progress = true
+					}
+				case roundCheckpoint:
+					x.e.checkpoint(id, sc)
+				}
 			}
 		}
 		x.mergeStats()
-		return progress
+		return claimed, progress
 	}
-	x.work = ids
-	x.idx.Store(0)
+
+	x.segs = segs
+	if cap(x.segIdx) < len(segs) {
+		x.segIdx = make([]int64, len(segs))
+		x.segDone = make([]int64, len(segs))
+	}
+	x.segIdx = x.segIdx[:len(segs)]
+	x.segDone = x.segDone[:len(segs)]
+	for i := range x.segIdx {
+		x.segIdx[i] = 0
+		x.segDone[i] = 0
+	}
+	x.kind = kind
+	x.claimed.Store(0)
 	x.progress.Store(false)
-	var wg sync.WaitGroup
-	for w := 1; w < x.threads; w++ {
-		wg.Add(1)
-		go func(sc *scratch) {
-			defer wg.Done()
-			x.drain(sc)
-		}(x.scratches[w])
+	x.pool.Run(x.threads, x.roundFn)
+	x.segs = nil
+	if len(segs) > 1 {
+		x.e.stats.LevelsFused += int64(len(segs) - 1)
 	}
-	x.drain(x.scratches[0])
-	wg.Wait()
 	x.mergeStats()
-	return x.progress.Load()
+	return x.claimed.Load(), x.progress.Load()
 }
 
-func (x *executor) drain(sc *scratch) {
+// drainRound is one worker's share of a pool round: for each segment, wait
+// for the previous segment to complete, then claim and process chunks. The
+// barrier waits on completed work, not on worker arrival, so a worker that
+// serves several round slots back-to-back (the pool hands slots out
+// greedily) can always make progress by finishing the pending chunks
+// itself.
+func (x *executor) drainRound(w int) {
+	sc := x.scratches[w]
+	var claimed int64
 	progress := false
-	for {
-		lo := x.idx.Add(workChunk) - workChunk
-		if lo >= int64(len(x.work)) {
-			break
-		}
-		hi := lo + workChunk
-		if hi > int64(len(x.work)) {
-			hi = int64(len(x.work))
-		}
-		for _, id := range x.work[lo:hi] {
-			if x.e.visit(id, sc) {
-				progress = true
+	for s := range x.segs {
+		if s > 0 {
+			for atomic.LoadInt64(&x.segDone[s-1]) < int64(len(x.segs[s-1])) {
+				runtime.Gosched()
 			}
 		}
+		seg := x.segs[s]
+		n := int64(len(seg))
+		for {
+			lo := atomic.AddInt64(&x.segIdx[s], workChunk) - workChunk
+			if lo >= n {
+				break
+			}
+			hi := lo + workChunk
+			if hi > n {
+				hi = n
+			}
+			for _, id := range seg[lo:hi] {
+				switch x.kind {
+				case roundDirty:
+					if !x.e.gate[id].dirty.CompareAndSwap(true, false) {
+						continue
+					}
+					claimed++
+					if x.e.visit(id, sc) {
+						progress = true
+					}
+				case roundOblivious:
+					if x.e.visit(id, sc) {
+						progress = true
+					}
+				case roundCheckpoint:
+					x.e.checkpoint(id, sc)
+				}
+			}
+			atomic.AddInt64(&x.segDone[s], hi-lo)
+		}
+	}
+	if claimed != 0 {
+		x.claimed.Add(claimed)
 	}
 	if progress {
 		x.progress.Store(true)
 	}
 }
 
-// runCheckpoint folds bases for all gates in parallel.
+// runCheckpoint folds bases for all gates, reusing the sweep machinery with
+// a single all-gates segment.
 func (x *executor) runCheckpoint() {
-	n := len(x.e.gate)
-	if x.threads == 1 || n < serialBatchThreshold {
-		for i := 0; i < n; i++ {
-			x.e.checkpoint(netlist.CellID(i), x.scratches[0])
-		}
-		return
-	}
-	x.idx.Store(0)
-	drain := func(sc *scratch) {
-		for {
-			lo := x.idx.Add(workChunk) - workChunk
-			if lo >= int64(n) {
-				return
-			}
-			hi := lo + workChunk
-			if hi > int64(n) {
-				hi = int64(n)
-			}
-			for id := lo; id < hi; id++ {
-				x.e.checkpoint(netlist.CellID(id), sc)
-			}
-		}
-	}
-	var wg sync.WaitGroup
-	for w := 1; w < x.threads; w++ {
-		wg.Add(1)
-		go func(sc *scratch) {
-			defer wg.Done()
-			drain(sc)
-		}(x.scratches[w])
-	}
-	drain(x.scratches[0])
-	wg.Wait()
+	x.runSweep([][]netlist.CellID{x.allGates}, roundCheckpoint, len(x.allGates))
 }
 
 // mergeStats folds the per-worker counters into the engine totals. Called

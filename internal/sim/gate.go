@@ -31,13 +31,18 @@ type gateState struct {
 	softValid bool
 	softNow   int64
 
-	// hasFutureWork records whether the last visit left unconsumed input
-	// events or uncommitted pending output transitions — i.e. whether this
-	// gate can still cause events. Used for quiescence detection: when the
-	// inputs are frozen forever and no gate has future work, no event can
-	// ever be created again and every watermark may jump to TimeInf (the
-	// engine's analogue of the reference simulator's empty event queue).
-	hasFutureWork bool
+	// futureMin is the earliest time at which the last visit left work
+	// behind — an unconsumed input event or an uncommitted pending output
+	// transition — or TimeInf when it left none. Consuming work at time t
+	// can only create events at or after t, so converge's creep-stop treats
+	// a gate whose future work lies at or beyond the advance horizon as
+	// quiescent for that horizon: its work is blocked on watermarks the
+	// current inputs cannot move (typically the next slice's clock edges),
+	// not on the watermark creep of stable loops. Requiring global
+	// quiescence here instead livelocks: one horizon-blocked gate keeps the
+	// stop rule off while a stable feedback ring creeps its watermarks one
+	// arc delay per sweep, forever.
+	futureMin int64
 
 	dirty atomic.Bool
 }
@@ -155,7 +160,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 					t = et
 				}
 			}
-			if w := q.DeterminedUntil; w > now && w < t {
+			if w := q.DeterminedUntil(); w > now && w < t {
 				t = w
 			}
 		}
@@ -178,7 +183,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 					continue
 				}
 			}
-			if t >= q.DeterminedUntil {
+			if t >= q.DeterminedUntil() {
 				sc.qIns[i] = logic.VU
 			} else {
 				sc.qIns[i] = sc.vals[i]
@@ -265,9 +270,9 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 			committedUntil[o] = commitThrough
 		}
 		wOld := int64(-1)
-		if q != nil && q.DeterminedUntil < limit {
-			wOld = q.DeterminedUntil
-			q.DeterminedUntil = limit
+		if q != nil && q.DeterminedUntil() < limit {
+			wOld = q.DeterminedUntil()
+			q.SetDeterminedUntil(limit)
 		}
 		if newEvents || wOld >= 0 {
 			progress = true
@@ -275,22 +280,20 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 		}
 	}
 
-	futureWork := false
+	futureMin := int64(TimeInf)
 	for o := 0; o < no; o++ {
-		if sc.outs[o].PendingCount() > 0 {
-			futureWork = true
-			break
+		if te, ok := sc.outs[o].NextPending(); ok && te < futureMin {
+			futureMin = te
 		}
 	}
-	if !futureWork {
-		for i := 0; i < ni; i++ {
-			if sc.cur[i].Idx < inQ[i].Len() {
-				futureWork = true
-				break
+	for i := 0; i < ni; i++ {
+		if sc.cur[i].Idx < inQ[i].Len() {
+			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
+				futureMin = et
 			}
 		}
 	}
-	g.hasFutureWork = futureWork
+	g.futureMin = futureMin
 
 	// Save the soft snapshot for the next visit.
 	g.softNow = now
@@ -334,7 +337,7 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 	for {
 		t := int64(TimeInf)
 		for i := 0; i < ni; i++ {
-			if w := inQ[i].DeterminedUntil; w > now && w < t {
+			if w := inQ[i].DeterminedUntil(); w > now && w < t {
 				t = w
 			}
 		}
@@ -342,7 +345,7 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 			break
 		}
 		for i := 0; i < ni; i++ {
-			if t >= inQ[i].DeterminedUntil {
+			if t >= inQ[i].DeterminedUntil() {
 				sc.qIns[i] = logic.VU
 			} else {
 				sc.qIns[i] = e.softVals[inB+i]
@@ -407,9 +410,9 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 			committedUntil[o] = commitThrough
 		}
 		wOld := int64(-1)
-		if q != nil && q.DeterminedUntil < limit {
-			wOld = q.DeterminedUntil
-			q.DeterminedUntil = limit
+		if q != nil && q.DeterminedUntil() < limit {
+			wOld = q.DeterminedUntil()
+			q.SetDeterminedUntil(limit)
 		}
 		if newEvents || wOld >= 0 {
 			progress = true
@@ -417,14 +420,15 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 		}
 	}
 
-	futureWork := false
+	futureMin := int64(TimeInf)
 	for o := 0; o < no; o++ {
-		if len(softPend[o]) > 0 {
-			futureWork = true
-			break
+		for _, ev := range softPend[o] {
+			if ev.Time < futureMin {
+				futureMin = ev.Time
+			}
 		}
 	}
-	g.hasFutureWork = futureWork
+	g.futureMin = futureMin
 	return progress
 }
 
@@ -469,7 +473,7 @@ func (e *Engine) checkpoint(id netlist.CellID, sc *scratch) {
 	// folded change points could generate must already be committed.
 	cutoff := int64(TimeInf)
 	for i := 0; i < ni; i++ {
-		if w := inQ[i].DeterminedUntil; w < cutoff {
+		if w := inQ[i].DeterminedUntil(); w < cutoff {
 			cutoff = w
 		}
 	}

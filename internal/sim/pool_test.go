@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"sort"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+)
+
+// force4Procs raises GOMAXPROCS so Options.withDefaults does not clamp
+// Threads to 1 on single-core hosts — without it every "parallel" test
+// silently runs serial.
+func force4Procs(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// pooledOpts forces every sweep through the worker pool regardless of dirty
+// count, so small test designs exercise the parallel machinery.
+func pooledOpts(mode Mode) Options {
+	return Options{Mode: mode, Threads: 4, SerialBatchThreshold: 1}
+}
+
+// TestCrossModeEquivalencePooled drives the same plan through all three
+// modes with pool dispatch forced on and checks each against the reference
+// simulator. Run under -race (scripts/check.sh) this doubles as the data-
+// race check on concurrent gate visits sharing event queues.
+func TestCrossModeEquivalencePooled(t *testing.T) {
+	force4Procs(t)
+	for seed := int64(0); seed < 3; seed++ {
+		d, err := gen.Build(smallSpec(seed + 300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.7, Seed: seed, ScanBurst: 5})
+		for _, mode := range []Mode{ModeSerial, ModeParallel, ModeManycore} {
+			runBoth(t, d, stim, pooledOpts(mode))
+		}
+	}
+}
+
+// TestCloseIdempotentAndLeakFree checks the Engine.Close lifecycle: Close
+// joins every pool goroutine synchronously, calling it again is a no-op,
+// and a closed engine restarts its pool on the next parallel sweep.
+func TestCloseIdempotentAndLeakFree(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, 7)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 10, ActivityFactor: 0.7, Seed: 2, ScanBurst: 4})
+
+	before := runtime.NumGoroutine()
+	e, err := New(d.Netlist, testLib, delays, pooledOpts(ModeParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Advance(10_000); err != nil {
+		t.Fatal(err)
+	}
+	spawned := e.Stats().PoolSpawned
+	if spawned == 0 {
+		t.Fatal("parallel engine never started its pool")
+	}
+	e.Close()
+	// Close joins workers via WaitGroup, so the count is back immediately.
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across Close: %d -> %d", before, after)
+	}
+	e.Close() // idempotent
+
+	// A closed engine stays usable: the pool restarts lazily.
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().PoolSpawned; got <= spawned {
+		t.Errorf("pool did not restart after Close: spawned %d -> %d", spawned, got)
+	}
+	e.Close()
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across second Close: %d -> %d", before, after)
+	}
+}
+
+// TestPoolNoGoroutineChurn is the acceptance regression for the persistent
+// pool: after the warm-up sweep, driving arbitrarily many more slices must
+// create zero goroutines — rounds are served entirely by the original
+// workers. This stimulus set also regresses converge's horizon-aware
+// creep-stop: seed 13 produces slices where gates blocked on next-slice
+// clock edges coexist with a stable feedback ring, which livelocked the
+// global-quiescence rule (see quiescentBelow).
+func TestPoolNoGoroutineChurn(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, 7)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 60, ActivityFactor: 0.7, Seed: 4, ScanBurst: 6})
+	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
+
+	e, err := New(d.Netlist, testLib, delays, pooledOpts(ModeParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	slice := int64(4 * d.Spec.ClockPeriodPS)
+	pos, start := 0, int64(0)
+	advanceSlice := func() {
+		t.Helper()
+		for pos < len(stim) && stim[pos].Time < start+slice {
+			if err := e.Inject(stim[pos].Net, stim[pos].Time, stim[pos].Val); err != nil {
+				t.Fatal(err)
+			}
+			pos++
+		}
+		if err := e.Advance(start + slice); err != nil {
+			t.Fatal(err)
+		}
+		start += slice
+	}
+
+	advanceSlice() // warm-up: first parallel sweep spawns the workers
+	warm := e.Stats()
+	if warm.PoolSpawned == 0 {
+		t.Fatal("pool never started")
+	}
+	for pos < len(stim) {
+		advanceSlice()
+	}
+	// One extra bounded slice past the last stimulus instead of Finish: this
+	// design leaves a transparent-latch loop oscillating once the clocks
+	// freeze at end-of-time, and the churn check needs rounds, not eternity.
+	advanceSlice()
+	st := e.Stats()
+	if st.PoolSpawned != warm.PoolSpawned {
+		t.Errorf("goroutines created after warm-up: spawned %d -> %d", warm.PoolSpawned, st.PoolSpawned)
+	}
+	if st.PoolRounds <= warm.PoolRounds {
+		t.Errorf("pool unused after warm-up: rounds %d -> %d", warm.PoolRounds, st.PoolRounds)
+	}
+	if st.Sweeps > 0 && st.SweepNS <= 0 {
+		t.Errorf("sweep wall-time not accounted: %+v", st)
+	}
+}
+
+// buildInvFixture returns an engine over a single inverter a -> y.
+func buildInvFixture(t *testing.T) (*Engine, netlist.NetID, netlist.NetID) {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("dup", lib)
+	if err := nl.MarkInput(nl.AddNet("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("g", "INV", map[string]string{"A": "a", "Y": "y"}); err != nil {
+		t.Fatal(err)
+	}
+	nl.MarkOutput(mustNet(t, nl, "y"))
+	e, err := New(nl, testLib, sdf.Uniform(nl, 5), Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mustNet(t, nl, "a"), mustNet(t, nl, "y")
+}
+
+func mustNet(t *testing.T, nl *netlist.Netlist, name string) netlist.NetID {
+	t.Helper()
+	nid, ok := nl.Net(name)
+	if !ok {
+		t.Fatalf("net %s missing", name)
+	}
+	return nid
+}
+
+// TestInjectDuplicateDumpDropped is the regression for the stimulus-path
+// ordering bug: a VCD $dumpvars-style re-assertion of the current value —
+// including at the exact time of the last event — must be dropped, not
+// rejected; only a genuine value change is held to strict monotonicity.
+func TestInjectDuplicateDumpDropped(t *testing.T) {
+	e, a, y := buildInvFixture(t)
+	if err := e.Inject(a, 10, logic.V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Inject(a, 10, logic.V1); err != nil {
+		t.Errorf("duplicate same-time same-value inject rejected: %v", err)
+	}
+	if err := e.Inject(a, 3, logic.V1); err != nil {
+		t.Errorf("same-value re-dump below last event rejected: %v", err)
+	}
+	if err := e.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Inject(a, 50, logic.V1); err != nil {
+		t.Errorf("same-value re-dump below watermark rejected: %v", err)
+	}
+	if err := e.Inject(a, 10, logic.V0); err == nil {
+		t.Error("conflicting value at an existing event time must fail")
+	}
+	if err := e.Inject(a, 200, logic.V0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := []event.Event{{Time: 15, Val: logic.V0}, {Time: 205, Val: logic.V1}}
+	q := e.Events(y)
+	if q.Len()-q.Start() != int64(len(want)) {
+		t.Fatalf("y has %d events, want %d", q.Len()-q.Start(), len(want))
+	}
+	for i, w := range want {
+		if got := q.At(q.Start() + int64(i)); got != w {
+			t.Errorf("y event %d: got %+v want %+v", i, got, w)
+		}
+	}
+}
+
+// TestRunStreamDuplicateDumpEntries feeds RunStream a stimulus slice with
+// literal duplicate entries — what naive VCD dump concatenation produces —
+// and expects the stream to complete with the deduplicated waveform.
+func TestRunStreamDuplicateDumpEntries(t *testing.T) {
+	e, a, y := buildInvFixture(t)
+	src := NewSliceSource([]Change{
+		{Net: a, Time: 10, Val: logic.V1},
+		{Net: a, Time: 10, Val: logic.V1}, // duplicate $dumpvars entry
+		{Net: a, Time: 2000, Val: logic.V0},
+		{Net: a, Time: 2000, Val: logic.V0}, // duplicate again
+		{Net: a, Time: 3000, Val: logic.V0}, // unchanged re-dump, later slice
+	})
+	var got []event.Event
+	err := e.RunStream(src, StreamConfig{
+		SlicePS: 1024,
+		Watch:   []netlist.NetID{y},
+		OnEvent: func(_ netlist.NetID, ev event.Event) { got = append(got, ev) },
+	})
+	if err != nil {
+		t.Fatalf("RunStream with duplicate dump entries: %v", err)
+	}
+	want := []event.Event{{Time: 15, Val: logic.V0}, {Time: 2005, Val: logic.V1}}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSnapshotRestoreRunStream is the regression for the read-mark bug: an
+// engine restored from a snapshot has queues whose absolute indices start
+// past zero, and RunStream must resume reading from the queue start (and
+// recorded read marks), not from index 0.
+func TestSnapshotRestoreRunStream(t *testing.T) {
+	d, err := gen.Build(smallSpec(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, 7)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 40, ActivityFactor: 0.6, Seed: 9, ScanBurst: 8})
+	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
+	watch := d.Outs
+
+	// One-shot reference waveform on the watched nets.
+	ref, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stim {
+		if err := ref.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[netlist.NetID][]event.Event)
+	for _, nid := range watch {
+		q := ref.Events(nid)
+		for i := q.Start(); i < q.Len(); i++ {
+			want[nid] = append(want[nid], q.At(i))
+		}
+	}
+
+	// Phase 1: drive the first half manually (inject/advance/flush/
+	// checkpoint, mirroring RunStream), then snapshot.
+	e1, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[netlist.NetID][]event.Event)
+	read := make(map[netlist.NetID]int64)
+	slice := int64(4 * d.Spec.ClockPeriodPS)
+	half := stim[len(stim)/2].Time
+	cut := ((half / slice) + 1) * slice
+	pos := 0
+	for start := int64(0); start < cut; start += slice {
+		for pos < len(stim) && stim[pos].Time < start+slice {
+			if err := e1.Inject(stim[pos].Net, stim[pos].Time, stim[pos].Val); err != nil {
+				t.Fatal(err)
+			}
+			pos++
+		}
+		if err := e1.Advance(start + slice); err != nil {
+			t.Fatal(err)
+		}
+		limit := start + slice
+		for _, nid := range watch {
+			if w := e1.Events(nid).DeterminedUntil(); w < limit {
+				limit = w
+			}
+		}
+		for _, nid := range watch {
+			q := e1.Events(nid)
+			i := read[nid]
+			if i < q.Start() {
+				i = q.Start()
+			}
+			for ; i < q.Len(); i++ {
+				ev := q.At(i)
+				if ev.Time >= limit {
+					break
+				}
+				got[nid] = append(got[nid], ev)
+			}
+			read[nid] = i
+			e1.SetReadMark(nid, i)
+		}
+		e1.Checkpoint()
+	}
+	var buf bytes.Buffer
+	if err := e1.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Trimming must have happened, or the restored queues start at zero and
+	// the test exercises nothing.
+	trimmed := false
+	for _, nid := range watch {
+		if e1.Events(nid).Start() > 0 {
+			trimmed = true
+		}
+	}
+	if !trimmed {
+		t.Fatal("fixture too small: no watched queue was trimmed before the snapshot")
+	}
+
+	// Phase 2: restore into a fresh engine and stream the remaining stimuli.
+	e2, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	err = e2.RunStream(NewSliceSource(toChanges(stim[pos:])), StreamConfig{
+		SlicePS: slice,
+		Watch:   watch,
+		OnEvent: func(nid netlist.NetID, ev event.Event) { got[nid] = append(got[nid], ev) },
+	})
+	if err != nil {
+		t.Fatalf("RunStream on restored engine: %v", err)
+	}
+
+	for _, nid := range watch {
+		w, g := want[nid], got[nid]
+		if len(w) != len(g) {
+			t.Fatalf("net %s: %d events vs %d\nwant %v\ngot  %v",
+				d.Netlist.Nets[nid].Name, len(w), len(g), w, g)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("net %s event %d: want %+v got %+v", d.Netlist.Nets[nid].Name, i, w[i], g[i])
+			}
+		}
+	}
+}
+
+func toChanges(stim []gen.Change) []Change {
+	out := make([]Change, len(stim))
+	for i, s := range stim {
+		out[i] = Change{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	return out
+}

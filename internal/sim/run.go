@@ -2,29 +2,33 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
 )
 
-// Inject appends a stimulus event to a primary-input net. Times must be
-// nondecreasing per net and must not fall below the net's current watermark
-// (the determined past is immutable). Redundant values are dropped.
+// Inject appends a stimulus event to a primary-input net. Re-assertions of
+// the current value are dropped first — VCD streams routinely re-dump every
+// signal at a slice boundary ($dumpvars), including at the exact time of an
+// earlier event — and only a genuine value change is held to the ordering
+// rules: it must not fall below the net's watermark (the determined past is
+// immutable) and times must strictly increase per net.
 func (e *Engine) Inject(nid netlist.NetID, t int64, v logic.Value) error {
 	if int(nid) >= len(e.queues) || !e.p.IsPI[nid] {
 		return fmt.Errorf("sim: net %d is not a primary input", nid)
 	}
 	q := &e.queues[nid]
-	if t < q.DeterminedUntil {
-		return fmt.Errorf("sim: inject at %d below watermark %d on %s", t, q.DeterminedUntil, e.nl.Nets[nid].Name)
-	}
-	if lt := q.LastTime(); t <= lt {
-		return fmt.Errorf("sim: inject at %d not after last event %d on %s", t, lt, e.nl.Nets[nid].Name)
-	}
 	v = v.Settle()
 	if q.LastVal() == v {
 		return nil
+	}
+	if t < q.DeterminedUntil() {
+		return fmt.Errorf("sim: inject at %d below watermark %d on %s", t, q.DeterminedUntil(), e.nl.Nets[nid].Name)
+	}
+	if lt := q.LastTime(); t <= lt {
+		return fmt.Errorf("sim: inject at %d not after last event %d on %s", t, lt, e.nl.Nets[nid].Name)
 	}
 	q.Append(t, v)
 	e.markLoads(nid, -1, true)
@@ -50,13 +54,13 @@ func (e *Engine) Advance(horizon int64) error {
 		if lt := q.LastTime(); lt+1 > w {
 			w = lt + 1
 		}
-		if q.DeterminedUntil < w {
-			wOld := q.DeterminedUntil
-			q.DeterminedUntil = w
+		if q.DeterminedUntil() < w {
+			wOld := q.DeterminedUntil()
+			q.SetDeterminedUntil(w)
 			e.markLoads(netlist.NetID(nid), wOld, true)
 		}
 	}
-	return e.converge()
+	return e.converge(horizon)
 }
 
 // Finish declares the inputs frozen at their final values forever and runs
@@ -64,56 +68,45 @@ func (e *Engine) Advance(horizon int64) error {
 func (e *Engine) Finish() error { return e.Advance(TimeInf) }
 
 // converge repeats sweeps (sequential phase, then each combinational level)
-// until no gate makes progress.
+// until no gate makes progress. Each sweep is one executor round over the
+// precomputed level segments: the dirty filter runs inside the round after
+// the per-level barrier, so a gate dirtied by level L is still picked up by
+// level L+1 within the same sweep, and the worker pool is woken once per
+// sweep rather than once per level.
 //
 // Termination needs one extra rule beyond "no progress": in designs with
-// level-sensitive loops (latches transparent after the last clock edge),
-// watermarks creep forward by one arc delay per sweep forever. When the
-// primary inputs are frozen to TimeInf and no gate can ever create another
-// event (no unconsumed events, no uncommitted pendings), the system is
-// provably quiescent and every watermark jumps to TimeInf at once.
-func (e *Engine) converge() error {
+// stable feedback loops (a flop whose data input equals its state stays
+// determined even through an undetermined clock), watermarks creep forward
+// by one arc delay per sweep forever. The creep-stop below ends a converge
+// once a sweep commits no events and every gate's remaining work lies at or
+// beyond the horizon: such work can only ever produce events at or beyond
+// the horizon, so nothing this Advance owes its callers is still in flight.
+// Quiescence must be judged against the horizon, not globally — a gate
+// blocked on the next slice's clock edge would otherwise keep the stop rule
+// off while a stable loop creeps forever. On the final advance (horizon
+// TimeInf) the same test degenerates to full quiescence, which additionally
+// proves no event can ever occur again, and every watermark jumps to
+// TimeInf at once (the engine's analogue of the reference simulator's empty
+// event queue).
+func (e *Engine) converge(horizon int64) error {
 	oblivious := e.mode == ModeManycore
-	final := true
-	for nid := range e.queues {
-		if e.p.IsPI[nid] && e.queues[nid].DeterminedUntil < TimeInf {
-			final = false
-			break
-		}
-	}
 	jumped := false
-	var batch []netlist.CellID
-	lv := e.p.Lev
 	for sweep := 0; sweep < e.opts.MaxSweeps; sweep++ {
-		processed := 0
-		progress := false
+		sweepStart := time.Now()
 		eventsBefore := e.stats.EventsCommitted
 
-		run := func(ids []netlist.CellID) {
-			if oblivious {
-				if x := e.exec.runBatch(ids); x {
-					progress = true
-				}
-				processed += len(ids)
-				return
-			}
-			batch = batch[:0]
-			for _, id := range ids {
-				if e.gate[id].dirty.CompareAndSwap(true, false) {
-					batch = append(batch, id)
-				}
-			}
-			if x := e.exec.runBatch(batch); x {
-				progress = true
-			}
-			processed += len(batch)
+		kind, expected := roundDirty, e.lastDirty
+		if oblivious {
+			kind, expected = roundOblivious, e.p.NumGates()
 		}
-
-		run(lv.Sequential)
-		for _, level := range lv.Levels {
-			run(level)
-		}
+		levelStart := time.Now()
+		processed, progress := e.exec.runSweep(e.sweepSegs, kind, expected)
+		e.stats.LevelNS += time.Since(levelStart).Nanoseconds()
 		e.stats.Sweeps++
+		if !oblivious {
+			e.lastDirty = int(processed)
+		}
+		e.stats.SweepNS += time.Since(sweepStart).Nanoseconds()
 
 		if oblivious {
 			if !progress {
@@ -123,20 +116,20 @@ func (e *Engine) converge() error {
 			return nil
 		}
 
-		// A sweep that commits no events while no gate holds unconsumed
-		// events or pending transitions can only be creeping watermarks
-		// around stable loops. That creep carries no information anyone is
-		// waiting for: stop. On the final advance the quiescent state
-		// additionally proves no event can ever occur again, so every
+		// A sweep that commits no events while every gate's remaining work
+		// lies at or beyond the horizon can only be creeping watermarks
+		// around stable loops. That creep carries no information this
+		// advance owes anyone: stop. On the final advance the quiescent
+		// state additionally proves no event can ever occur again, so every
 		// watermark jumps to TimeInf at once.
-		if !jumped && e.stats.EventsCommitted == eventsBefore && e.quiescent() {
-			if !final {
+		if !jumped && e.stats.EventsCommitted == eventsBefore && e.quiescentBelow(horizon) {
+			if horizon < TimeInf {
 				return nil
 			}
 			jumped = true
 			for nid := range e.queues {
-				if e.queues[nid].DeterminedUntil < TimeInf {
-					e.queues[nid].DeterminedUntil = TimeInf
+				if e.queues[nid].DeterminedUntil() < TimeInf {
+					e.queues[nid].SetDeterminedUntil(TimeInf)
 				}
 			}
 			return nil
@@ -145,12 +138,15 @@ func (e *Engine) converge() error {
 	return fmt.Errorf("sim: no convergence after %d sweeps (livelock?)", e.opts.MaxSweeps)
 }
 
-// quiescent reports whether no gate can ever produce another event. Gates
-// not visited since their inputs last changed cannot be stale: a clean gate
-// keeps the flag of its last visit, and its inputs have not changed since.
-func (e *Engine) quiescent() bool {
+// quiescentBelow reports whether no gate can ever produce an event below
+// the horizon: every unconsumed input event and uncommitted pending
+// transition lies at or beyond it, and consuming work at time t only
+// creates events at or after t. Gates not visited since their inputs last
+// changed cannot be stale: a clean gate keeps the frontier of its last
+// visit, and its inputs have not changed since.
+func (e *Engine) quiescentBelow(horizon int64) bool {
 	for i := range e.gate {
-		if e.gate[i].hasFutureWork {
+		if e.gate[i].futureMin < horizon {
 			return false
 		}
 	}
@@ -166,7 +162,7 @@ func (e *Engine) Events(nid netlist.NetID) *event.Queue { return &e.queues[nid] 
 // the time is at or beyond the net's watermark.
 func (e *Engine) Value(nid netlist.NetID, t int64) logic.Value {
 	q := &e.queues[nid]
-	if t >= q.DeterminedUntil {
+	if t >= q.DeterminedUntil() {
 		return logic.VU
 	}
 	// Binary search over retained events would be possible; nets are
@@ -228,11 +224,11 @@ func (e *Engine) DebugBlocked(before int64, n int) []string {
 			continue
 		}
 		inst := &e.nl.Instances[gi]
-		line := fmt.Sprintf("%s(%s) det=%d base=%d fw=%v ins:", inst.Name, inst.Type.Name, g.detUntil.Load(), g.baseNow, g.hasFutureWork)
+		line := fmt.Sprintf("%s(%s) det=%d base=%d futureMin=%d ins:", inst.Name, inst.Type.Name, g.detUntil.Load(), g.baseNow, g.futureMin)
 		inB := int(e.p.InOff[gi])
 		for pi, nid := range e.p.GateInputs(netlist.CellID(gi)) {
 			q := &e.queues[nid]
-			line += fmt.Sprintf(" %s[W=%d len=%d cur=%d]", e.nl.Nets[nid].Name, q.DeterminedUntil, q.Len(), e.baseCur[inB+pi])
+			line += fmt.Sprintf(" %s[W=%d len=%d cur=%d]", e.nl.Nets[nid].Name, q.DeterminedUntil(), q.Len(), e.baseCur[inB+pi])
 		}
 		out = append(out, line)
 	}

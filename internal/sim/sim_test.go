@@ -105,8 +105,8 @@ func TestInverterChainWaveform(t *testing.T) {
 			t.Fatalf("event %d: %+v, want %+v", i, got[i], want[i])
 		}
 	}
-	if q.DeterminedUntil != TimeInf {
-		t.Errorf("final watermark %d, want TimeInf", q.DeterminedUntil)
+	if q.DeterminedUntil() != TimeInf {
+		t.Errorf("final watermark %d, want TimeInf", q.DeterminedUntil())
 	}
 }
 
@@ -214,7 +214,7 @@ func TestStableTimeThroughClockGate(t *testing.T) {
 	must(e.Advance(10_500))
 
 	gclk, _ := nl.Net("gclk")
-	wm := e.Events(gclk).DeterminedUntil
+	wm := e.Events(gclk).DeterminedUntil()
 	if wm < 10_500 {
 		t.Errorf("gated clock watermark %d; the stable-off gate should keep it determined", wm)
 	}
@@ -224,7 +224,7 @@ func TestStableTimeThroughClockGate(t *testing.T) {
 	// The downstream FF's output watermark must also be far along even
 	// though D was never driven (it is X, determined).
 	qout, _ := nl.Net("qout")
-	if wm := e.Events(qout).DeterminedUntil; wm < 10_000 {
+	if wm := e.Events(qout).DeterminedUntil(); wm < 10_000 {
 		t.Errorf("gated FF output watermark %d; stable time did not propagate", wm)
 	}
 }
@@ -268,7 +268,7 @@ func runBoth(t *testing.T, d *gen.Design, stim []gen.Change, opts Options) {
 		if len(d.Netlist.Nets[nid].Fanout) == 0 && d.Netlist.Nets[nid].Driver < 0 {
 			continue
 		}
-		if wm := e.Events(netlist.NetID(nid)).DeterminedUntil; wm != TimeInf {
+		if wm := e.Events(netlist.NetID(nid)).DeterminedUntil(); wm != TimeInf {
 			t.Fatalf("net %s watermark %d after Finish", d.Netlist.Nets[nid].Name, wm)
 		}
 	}
@@ -364,7 +364,7 @@ func TestStreamedMatchesOneShot(t *testing.T) {
 			}
 			for ; i < q.Len(); i++ {
 				ev := q.At(i)
-				if ev.Time >= q.DeterminedUntil {
+				if ev.Time >= q.DeterminedUntil() {
 					break
 				}
 				got[nid] = append(got[nid], ev)
@@ -840,7 +840,7 @@ func TestRunStreamEmptyStimulus(t *testing.T) {
 		t.Errorf("events from empty stimulus: %d", count)
 	}
 	for nid := range d.Netlist.Nets {
-		if wm := e.Events(netlist.NetID(nid)).DeterminedUntil; wm != TimeInf {
+		if wm := e.Events(netlist.NetID(nid)).DeterminedUntil(); wm != TimeInf {
 			t.Fatalf("net %s not finalized (wm %d)", d.Netlist.Nets[nid].Name, wm)
 		}
 	}

@@ -74,7 +74,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 		sn := snapshotNet{
 			BaseVal:         q.BaseVal(),
 			Start:           q.Start(),
-			DeterminedUntil: q.DeterminedUntil,
+			DeterminedUntil: q.DeterminedUntil(),
 		}
 		for k := q.Start(); k < q.Len(); k++ {
 			ev := q.At(k)
@@ -115,10 +115,11 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		g := &e.gate[i]
 		g.baseNow = s.BaseNow[i]
 		g.softValid = false
-		g.hasFutureWork = true // conservative until the first visit
+		g.futureMin = 0 // conservative until the first visit
 		g.detUntil.Store(0)
 		g.dirty.Store(true)
 	}
+	e.lastDirty = len(e.gate)
 	for i := range e.queues {
 		sn := &s.Nets[i]
 		// Rebuild the queue in place: base value, absolute start index,
@@ -129,7 +130,7 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		for k := range sn.Times {
 			q.Append(sn.Times[k], sn.Vals[k])
 		}
-		q.DeterminedUntil = sn.DeterminedUntil
+		q.SetDeterminedUntil(sn.DeterminedUntil)
 	}
 	return nil
 }

@@ -72,7 +72,18 @@ func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
 	if watch == nil {
 		watch = e.nl.PortsOut
 	}
+	// Start each watched net at its queue start, not at absolute index 0: a
+	// snapshot-restored engine retains queues whose indices begin past zero.
+	// A read mark recorded before the snapshot resumes exactly where the
+	// previous stream stopped reading.
 	read := make(map[netlist.NetID]int64, len(watch))
+	for _, nid := range watch {
+		i := e.Events(nid).Start()
+		if m := e.readMarks[nid]; m != unreadMark && m > i {
+			i = m
+		}
+		read[nid] = i
+	}
 	var batch []Change // reused: one pending change between slices
 	pending, pendErr := src.Next()
 	havePending := pendErr == nil
@@ -142,7 +153,7 @@ func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
 		// watched watermark.
 		limit := end
 		for _, nid := range watch {
-			if w := e.Events(nid).DeterminedUntil; w < limit {
+			if w := e.Events(nid).DeterminedUntil(); w < limit {
 				limit = w
 			}
 		}

@@ -1,0 +1,215 @@
+// Package workpool provides the persistent spin-then-park worker pool shared
+// by the level-parallel engine executor and the partitioned simulator's stage
+// scans.
+//
+// The paper's Algorithm 2 runs each combinational level as an independent
+// parallel batch; forking fresh goroutines per batch costs levels × sweeps ×
+// slices launches per run — the overhead persistent GPU kernels avoid. This
+// pool starts its helper goroutines once (lazily, on the first round) and
+// reuses them for every subsequent round: the coordinator publishes a round,
+// helpers claim work items off an atomic index, and between rounds they spin
+// briefly before parking on a condition variable. Steady-state dispatch
+// therefore creates zero goroutines and, when rounds arrive back-to-back,
+// performs no scheduler transitions at all.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// spinRounds is how many scheduler yields a helper burns waiting for the
+// next round before parking. Rounds arriving within the spin window (the
+// common case: consecutive levels of one sweep) cost no futex traffic.
+const spinRounds = 64
+
+// round is the immutable-per-dispatch work descriptor. Each dispatch
+// allocates a fresh one so a helper that wakes late and loads a stale
+// pointer only ever sees exhausted counters — never a recycled round.
+type round struct {
+	n    int64
+	fn   func(int)
+	idx  atomic.Int64 // next work item to claim
+	left atomic.Int64 // items not yet completed
+}
+
+// Stats is a snapshot of the pool's scheduling counters.
+type Stats struct {
+	Spawned int64 // helper goroutines ever created
+	Rounds  int64 // rounds dispatched to helpers
+	Wakes   int64 // helpers woken from a parked state
+	Parks   int64 // times a helper gave up spinning and parked
+}
+
+// Pool is a persistent spin-then-park worker pool. The zero value is not
+// usable; construct with New. One goroutine (the coordinator) calls Run and
+// Close; any number of helper goroutines serve rounds. A Pool whose
+// parallelism is 1 never starts helpers and runs every round inline.
+type Pool struct {
+	helpers int // goroutines beyond the coordinator
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	started bool
+	closing bool
+	wg      sync.WaitGroup
+
+	epoch  atomic.Uint64 // bumped once per round; helpers spin on it
+	closed atomic.Bool   // mirror of closing for spinning helpers
+
+	cur  atomic.Pointer[round]
+	done chan struct{} // one signal per round, sent by the finisher
+
+	spawned atomic.Int64
+	rounds  atomic.Int64
+	wakes   atomic.Int64
+	parks   atomic.Int64
+}
+
+// New returns a pool with the given total parallelism (coordinator
+// included); parallelism-1 helper goroutines are started lazily on the
+// first Run that can use them.
+func New(parallelism int) *Pool {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	p := &Pool{helpers: parallelism - 1, done: make(chan struct{}, 1)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Parallelism reports the total worker count, coordinator included.
+func (p *Pool) Parallelism() int { return p.helpers + 1 }
+
+// Stats returns a snapshot of the scheduling counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Spawned: p.spawned.Load(),
+		Rounds:  p.rounds.Load(),
+		Wakes:   p.wakes.Load(),
+		Parks:   p.parks.Load(),
+	}
+}
+
+// Run executes fn(0) … fn(n-1) across the pool and returns when all calls
+// have completed. The coordinator participates, so Run makes progress even
+// with every helper parked. Distinct invocations fn(i) may run concurrently;
+// Run itself must only be called from the coordinating goroutine.
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p.helpers == 0 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.ensureStarted()
+	r := &round{n: int64(n), fn: fn}
+	r.left.Store(int64(n))
+	p.cur.Store(r)
+	p.rounds.Add(1)
+	// The epoch bump is the publication point: helpers that observe it (by
+	// spinning or by waking) load the round pointer afterwards. Bumping
+	// under the mutex pairs with the recheck helpers do before parking, so
+	// a round can never slip between "checked epoch" and "parked".
+	p.mu.Lock()
+	p.epoch.Add(1)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.serve(r)
+	<-p.done
+}
+
+// serve claims and runs work items until the round is exhausted, signalling
+// completion if this worker finishes the last item.
+func (p *Pool) serve(r *round) {
+	for {
+		i := r.idx.Add(1) - 1
+		if i >= r.n {
+			return
+		}
+		r.fn(int(i))
+		if r.left.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// Close parks-out and joins every helper goroutine. It is idempotent and
+// must not overlap a Run call. The pool remains usable: a later Run simply
+// starts fresh helpers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return
+	}
+	p.closing = true
+	p.closed.Store(true)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+	p.mu.Lock()
+	p.started = false
+	p.closing = false
+	p.closed.Store(false)
+	p.mu.Unlock()
+}
+
+func (p *Pool) ensureStarted() {
+	p.mu.Lock()
+	if !p.started {
+		p.started = true
+		for i := 0; i < p.helpers; i++ {
+			p.wg.Add(1)
+			p.spawned.Add(1)
+			go p.helper(p.epoch.Load())
+		}
+	}
+	p.mu.Unlock()
+}
+
+// helper is the long-lived worker loop: await a round, serve it, repeat.
+func (p *Pool) helper(seen uint64) {
+	defer p.wg.Done()
+	for {
+		e, ok := p.await(seen)
+		if !ok {
+			return
+		}
+		seen = e
+		if r := p.cur.Load(); r != nil {
+			p.serve(r)
+		}
+	}
+}
+
+// await spins briefly for an epoch change, then parks on the condition
+// variable. It returns the new epoch, or ok=false when the pool is closing.
+func (p *Pool) await(seen uint64) (uint64, bool) {
+	for spin := 0; spin < spinRounds; spin++ {
+		if e := p.epoch.Load(); e != seen {
+			return e, true
+		}
+		if p.closed.Load() {
+			return 0, false
+		}
+		runtime.Gosched()
+	}
+	p.mu.Lock()
+	p.parks.Add(1)
+	for p.epoch.Load() == seen && !p.closing {
+		p.cond.Wait()
+	}
+	e := p.epoch.Load()
+	closing := p.closing
+	p.mu.Unlock()
+	if e != seen {
+		p.wakes.Add(1)
+		return e, true
+	}
+	return 0, !closing
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Repository check gate: build, vet, formatting, full tests, and a
-# short-mode race pass over the two concurrent simulators.
+# short-mode race pass over the concurrent packages. The sim race run
+# includes the cross-mode equivalence test (serial/parallel/manycore on one
+# stimulus trace), so the pooled executor is raced against the serial oracle
+# on every check.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,7 +24,7 @@ fi
 echo "== go test"
 go test ./...
 
-echo "== go test -race (short, concurrent simulators)"
-go test -race -short ./internal/sim/ ./internal/partsim/
+echo "== go test -race (short, concurrent packages)"
+go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/
 
 echo "check: all passed"

@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-smoke fmt
+.PHONY: check build test bench bench-smoke fmt fuzz
 
 check:
 	./scripts/check.sh
@@ -23,3 +23,14 @@ bench-smoke:
 
 fmt:
 	gofmt -w .
+
+# Longer coverage-guided runs of the parser fuzz targets (check.sh runs the
+# same targets for 5s each as a smoke stage). Crashers are written to the
+# package's testdata/fuzz/ directory and replay as regular tests.
+FUZZTIME ?= 60s
+fuzz:
+	go test -run '^$$' -fuzz FuzzParseLiberty -fuzztime $(FUZZTIME) ./internal/liberty/
+	go test -run '^$$' -fuzz FuzzParseVerilog$$ -fuzztime $(FUZZTIME) ./internal/netlist/
+	go test -run '^$$' -fuzz FuzzParseVerilogHierarchy -fuzztime $(FUZZTIME) ./internal/netlist/
+	go test -run '^$$' -fuzz FuzzParseSDF -fuzztime $(FUZZTIME) ./internal/sdf/
+	go test -run '^$$' -fuzz FuzzParseVCD -fuzztime $(FUZZTIME) ./internal/vcd/

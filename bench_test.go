@@ -26,6 +26,15 @@ const (
 	benchCycles = 60
 )
 
+func benchLib(b *testing.B) *truthtab.CompiledLibrary {
+	b.Helper()
+	lib, err := harness.CompiledBuiltin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lib
+}
+
 // BenchmarkTable1Stats regenerates Table I: building all seven benchmark
 // presets and collecting their statistics.
 func BenchmarkTable1Stats(b *testing.B) {
@@ -57,7 +66,7 @@ func buildBench(b *testing.B, preset string, cycles int, af float64) *benchDesig
 	if err != nil {
 		b.Fatal(err)
 	}
-	planSDF, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), gen.Delays(d, 1))
+	planSDF, err := plan.Build(d.Netlist, benchLib(b), gen.Delays(d, 1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -227,14 +236,14 @@ func BenchmarkPlanBuild(b *testing.B) {
 		b.Run(preset, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), delays); err != nil {
+				if _, err := plan.Build(d.Netlist, benchLib(b), delays); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(preset+"/redelay", func(b *testing.B) {
 			b.ReportAllocs()
-			pl, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), delays)
+			pl, err := plan.Build(d.Netlist, benchLib(b), delays)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -316,7 +325,7 @@ func BenchmarkAblationPagedQueue(b *testing.B) {
 
 // BenchmarkAblationTableLookup measures the extended-truth-table hot path.
 func BenchmarkAblationTableLookup(b *testing.B) {
-	lib := harness.CompiledBuiltin()
+	lib := benchLib(b)
 	tab := lib.Tables["DFF_NSR"]
 	ins := []logic.Value{logic.VR, logic.V1, logic.V1, logic.V1}
 	states := []logic.Value{logic.V0, logic.V1}
@@ -347,7 +356,7 @@ func BenchmarkAblationHybridThreshold(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		pl, err := plan.Build(d.Netlist, harness.CompiledBuiltin(), gen.Delays(d, 1))
+		pl, err := plan.Build(d.Netlist, benchLib(b), gen.Delays(d, 1))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,9 +13,15 @@
 // With -json FILE, -fig8 additionally writes the machine-readable
 // bench-smoke report (runtimes plus engine scheduling counters) to FILE;
 // `make bench-smoke` uses this to produce BENCH_smoke.json.
+//
+// -timeout D bounds the whole invocation: when it expires the running
+// experiment is cancelled at the next sweep/round boundary and the process
+// exits non-zero with the structured error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"gatesim/internal/harness"
+	"gatesim/internal/sim"
 )
 
 func main() {
@@ -45,6 +52,7 @@ func main() {
 		threadList = flag.String("threadlist", "1,2,4,8", "thread counts for -fig8")
 		jsonOut    = flag.String("json", "", "also write the -fig8 bench-smoke report to this file")
 		cells      = flag.Int("cells", 1000, "library size for -libcomp")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if !(*table1 || *table2 || *fig8 || *libcomp || *par || *all) {
@@ -53,6 +61,12 @@ func main() {
 	}
 	if *all {
 		*table1, *table2, *fig8, *libcomp, *par = true, true, true, true, true
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *table1 {
@@ -66,7 +80,7 @@ func main() {
 		if *presets != "" {
 			names = strings.Split(*presets, ",")
 		}
-		rows, err := harness.Table2(harness.Table2Config{
+		rows, err := harness.Table2(ctx, harness.Table2Config{
 			Scale: *scale, Presets: names,
 			ShortCycles: *shortCyc, Threads: *threads, Seed: *seed,
 		})
@@ -86,7 +100,7 @@ func main() {
 			Threads: ths, Seed: *seed,
 		}
 		if *jsonOut != "" {
-			rep, err := harness.BenchSmoke(cfg)
+			rep, err := harness.BenchSmoke(ctx, cfg)
 			fail(err)
 			f, err := os.Create(*jsonOut)
 			fail(err)
@@ -99,7 +113,7 @@ func main() {
 					s.PoolSpawned, s.PoolRounds, s.PoolWakes, s.PoolParks, s.LevelsFused)
 			}
 		} else {
-			pts, err := harness.Fig8(cfg)
+			pts, err := harness.Fig8(ctx, cfg)
 			fail(err)
 			fmt.Print(harness.FormatFig8(*fig8Preset, pts))
 			fmt.Println()
@@ -108,7 +122,7 @@ func main() {
 	if *par {
 		var rows []harness.ParallelismRow
 		for _, name := range []string{"blabla", "picorv32a", "aes128", "aes256", "jpeg_encoder"} {
-			r, err := harness.Parallelism(name, *scale, 50, *seed)
+			r, err := harness.Parallelism(ctx, name, *scale, 50, *seed)
 			fail(err)
 			rows = append(rows, r)
 		}
@@ -123,8 +137,21 @@ func main() {
 }
 
 func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	var se *sim.SimError
+	if errors.As(err, &se) {
+		if se.Oscillation != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", se.Oscillation.Summary())
+		}
+		if se.Panic != nil && len(se.Panic.Stack) > 0 {
+			fmt.Fprintf(os.Stderr, "%s\n", se.Panic.Stack)
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "experiments: run exceeded -timeout")
+	}
+	os.Exit(1)
 }

@@ -7,10 +7,15 @@
 //
 //	glsim -v design.v -sdf design.sdf -vcd stimuli.vcd -o out.vcd \
 //	      [-lib cells.lib] [-mode auto|serial|parallel|manycore] \
-//	      [-threads N] [-slice PS] [-watch all|outputs] [-power]
+//	      [-threads N] [-slice PS] [-watch all|outputs] [-power] [-timeout D]
+//
+// -timeout D aborts the simulation after D: the engine stops at the next
+// sweep boundary and glsim exits non-zero with the structured error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,20 +51,42 @@ func main() {
 		setup    = flag.Int64("setup", 0, "setup margin in ps for dynamic timing checks (0 = off)")
 		hold     = flag.Int64("hold", 0, "hold margin in ps for dynamic timing checks")
 		saifOut  = flag.String("saif", "", "write switching activity to this SAIF file (implies -watch all)")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 	)
 	flag.Parse()
 	if *vFile == "" || *vcdFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*vFile, *topMod, *libFile, *sdfFile, *vcdFile, *outFile, *saifOut, *modeFlag, *threads, *slicePS, *watch, *power, timing.Margins{Setup: *setup, Hold: *hold}); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *vFile, *topMod, *libFile, *sdfFile, *vcdFile, *outFile, *saifOut, *modeFlag, *threads, *slicePS, *watch, *power, timing.Margins{Setup: *setup, Hold: *hold}); err != nil {
 		fmt.Fprintln(os.Stderr, "glsim:", err)
+		var se *sim.SimError
+		if errors.As(err, &se) {
+			if se.Oscillation != nil {
+				fmt.Fprintln(os.Stderr, "glsim:", se.Oscillation.Summary())
+			}
+			if se.Panic != nil && len(se.Panic.Stack) > 0 {
+				fmt.Fprintf(os.Stderr, "%s\n", se.Panic.Stack)
+			}
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "glsim: simulation exceeded -timeout")
+		}
 		os.Exit(1)
 	}
 }
 
-func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag string, threads int, slicePS int64, watch string, power bool, margins timing.Margins) error {
-	lib := liberty.MustBuiltin()
+func run(ctx context.Context, vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag string, threads int, slicePS int64, watch string, power bool, margins timing.Margins) error {
+	lib, err := liberty.Builtin()
+	if err != nil {
+		return fmt.Errorf("built-in library: %w", err)
+	}
 	if libFile != "" {
 		src, err := os.ReadFile(libFile)
 		if err != nil {
@@ -212,7 +239,7 @@ func run(vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag st
 	simStart := time.Now()
 	var lastTime int64
 	var writeErr error
-	err = engine.RunStream(source, sim.StreamConfig{
+	err = engine.RunStreamCtx(ctx, source, sim.StreamConfig{
 		SlicePS: slicePS,
 		Watch:   watched,
 		OnEvent: func(nid netlist.NetID, ev event.Event) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -70,7 +71,7 @@ func TestEndToEnd(t *testing.T) {
 	outPath := filepath.Join(dir, "out.vcd")
 
 	saifPath := filepath.Join(dir, "out.saif")
-	if err := run(vPath, "", "", sdfPath, vcdPath, outPath, saifPath, "serial", 1, 0, "outputs", false,
+	if err := run(context.Background(), vPath, "", "", sdfPath, vcdPath, outPath, saifPath, "serial", 1, 0, "outputs", false,
 		timing.Margins{Setup: 50, Hold: 20}); err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestEndToEnd(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.v", "", "", "", "/nonexistent.vcd", "", "", "serial", 1, 0, "outputs", false, timing.Margins{}); err == nil {
+	if err := run(context.Background(), "/nonexistent.v", "", "", "", "/nonexistent.vcd", "", "", "serial", 1, 0, "outputs", false, timing.Margins{}); err == nil {
 		t.Error("missing netlist must fail")
 	}
 }

@@ -109,7 +109,7 @@ func main() {
 		q := engine.Events(nid)
 		fmt.Printf("  %-7s:", name)
 		for i := q.Start(); i < q.Len(); i++ {
-			ev := q.At(i)
+			ev := q.MustAt(i)
 			fmt.Printf(" %5d->%v", ev.Time, ev.Val)
 		}
 		fmt.Println()

@@ -75,7 +75,7 @@ func main() {
 		fmt.Printf("%-3s:", nl.Nets[nid].Name)
 		evq := engine.Events(nid)
 		for i := evq.Start(); i < evq.Len(); i++ {
-			ev := evq.At(i)
+			ev := evq.MustAt(i)
 			fmt.Printf(" %d->%v", ev.Time, ev.Val)
 		}
 		fmt.Println()

@@ -181,11 +181,31 @@ func (q *Queue) takePage() *page {
 	return q.pool.get()
 }
 
-// At returns the event at absolute index i; i must be in [Start(), Len()).
-func (q *Queue) At(i int64) Event {
+// At returns the event at absolute index i, with ok=false when i lies
+// outside [Start(), Len()). This is the accessor for code whose index may
+// come from outside the queue's own invariants (external consumers of
+// sim.Engine.Events, stale read marks, snapshot tooling): an out-of-range
+// index reports failure instead of crashing the process.
+func (q *Queue) At(i int64) (Event, bool) {
 	if i < q.start || i >= q.end.Load() {
-		panic("event: index out of range")
+		return Event{}, false
 	}
+	return q.at(i), true
+}
+
+// MustAt is At for callers that have already established i ∈ [Start(),
+// Len()) — typically loops bounded by those accessors. It panics on an
+// out-of-range index; that panic marks a caller bug, never a data-dependent
+// condition.
+func (q *Queue) MustAt(i int64) Event {
+	if i < q.start || i >= q.end.Load() {
+		panic("event: MustAt index out of range (caller violated its bounds check)")
+	}
+	return q.at(i)
+}
+
+// at reads event i without bounds checking; callers must have validated i.
+func (q *Queue) at(i int64) Event {
 	// Walk from head. Consumers overwhelmingly read near their cursor and
 	// the prefix is trimmed regularly, so the walk is short; the engine
 	// additionally caches (page, index) cursors via Cursor.
@@ -229,8 +249,9 @@ func (q *Queue) TrimTo(keep int64) {
 	if keep <= q.start {
 		return
 	}
-	// Record the value right before `keep`.
-	q.baseVal = q.At(keep - 1).Val
+	// Record the value right before `keep`; keep-1 ∈ [start, end) was just
+	// established above.
+	q.baseVal = q.at(keep - 1).Val
 	// Release whole pages that fall entirely before keep.
 	pgStart := q.start - int64(q.headSkip)
 	for {

@@ -22,10 +22,10 @@ func TestQueueBasic(t *testing.T) {
 	if q.Len() != 2 {
 		t.Fatalf("Len = %d", q.Len())
 	}
-	if e := q.At(0); e.Time != 10 || e.Val != logic.V1 {
+	if e := q.MustAt(0); e.Time != 10 || e.Val != logic.V1 {
 		t.Errorf("At(0) = %+v", e)
 	}
-	if e := q.At(1); e.Time != 20 || e.Val != logic.V0 {
+	if e := q.MustAt(1); e.Time != 20 || e.Val != logic.V0 {
 		t.Errorf("At(1) = %+v", e)
 	}
 	if q.LastTime() != 20 || q.LastVal() != logic.V0 {
@@ -44,7 +44,7 @@ func TestQueueManyPages(t *testing.T) {
 		t.Fatalf("Len = %d", q.Len())
 	}
 	for i := int64(0); i < n; i++ {
-		if e := q.At(i); e.Time != i*5 || e.Val != logic.Value(i%2) {
+		if e := q.MustAt(i); e.Time != i*5 || e.Val != logic.Value(i%2) {
 			t.Fatalf("At(%d) = %+v", i, e)
 		}
 	}
@@ -64,7 +64,7 @@ func TestQueueTrim(t *testing.T) {
 		t.Errorf("BaseVal = %v", q.BaseVal())
 	}
 	for i := int64(50); i < 100; i++ {
-		if e := q.At(i); e.Time != i {
+		if e := q.MustAt(i); e.Time != i {
 			t.Fatalf("At(%d) = %+v", i, e)
 		}
 	}
@@ -85,7 +85,7 @@ func TestQueueTrim(t *testing.T) {
 	q.TrimTo(300)
 	// Appending after a full trim keeps indices monotone.
 	q.Append(1000, logic.V1)
-	if q.Len() != 101 || q.At(100).Time != 1000 {
+	if q.Len() != 101 || q.MustAt(100).Time != 1000 {
 		t.Fatalf("append after trim: len=%d", q.Len())
 	}
 }
@@ -117,7 +117,7 @@ func TestQueueTrimMidPage(t *testing.T) {
 		t.Fatalf("start = %d", q.Start())
 	}
 	for i := q.Start(); i < q.Len(); i++ {
-		if e := q.At(i); e.Time != i {
+		if e := q.MustAt(i); e.Time != i {
 			t.Fatalf("At(%d).Time = %d", i, e.Time)
 		}
 	}
@@ -126,7 +126,7 @@ func TestQueueTrimMidPage(t *testing.T) {
 		q.Append(i, logic.V0)
 	}
 	for i := q.Start(); i < q.Len(); i++ {
-		if e := q.At(i); e.Time != i {
+		if e := q.MustAt(i); e.Time != i {
 			t.Fatalf("after more appends At(%d).Time = %d", i, e.Time)
 		}
 	}
@@ -165,16 +165,31 @@ func TestCursorReadWhileAppending(t *testing.T) {
 	}
 }
 
-func TestAtPanicsOutOfRange(t *testing.T) {
+func TestAtOutOfRangeReportsNotOK(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	q.Append(1, logic.V1)
+	if _, ok := q.At(5); ok {
+		t.Error("At(5) on a 1-event queue reported ok")
+	}
+	if _, ok := q.At(-1); ok {
+		t.Error("At(-1) reported ok")
+	}
+	if ev, ok := q.At(0); !ok || ev.Time != 1 || ev.Val != logic.V1 {
+		t.Errorf("At(0) = %+v, %v", ev, ok)
+	}
+}
+
+func TestMustAtPanicsOutOfRange(t *testing.T) {
 	var pool Pool
 	q := NewQueue(&pool, logic.V0)
 	q.Append(1, logic.V1)
 	defer func() {
 		if recover() == nil {
-			t.Error("At out of range should panic")
+			t.Error("MustAt out of range should panic")
 		}
 	}()
-	q.At(5)
+	q.MustAt(5)
 }
 
 // Property test: a queue behaves exactly like a plain slice under a random
@@ -206,7 +221,7 @@ func TestQueueMatchesSliceModel(t *testing.T) {
 			// Verify a few random reads.
 			if int64(len(model)) > modelStart {
 				i := modelStart + rng.Int63n(int64(len(model))-modelStart)
-				if got := q.At(i); got != model[i] {
+				if got := q.MustAt(i); got != model[i] {
 					t.Fatalf("trial %d op %d: At(%d) = %+v, model %+v", trial, op, i, got, model[i])
 				}
 			}
@@ -238,14 +253,14 @@ func TestQueueFIFOQuick(t *testing.T) {
 		}
 		prev := int64(-1)
 		for i := int64(0); i < q.Len(); i++ {
-			e := q.At(i)
+			e := q.MustAt(i)
 			if e.Time < prev {
 				return false
 			}
 			prev = e.Time
 		}
 		if n > 0 {
-			last := q.At(int64(n - 1))
+			last := q.MustAt(int64(n - 1))
 			if q.LastTime() != last.Time || q.LastVal() != last.Val {
 				return false
 			}
@@ -267,7 +282,7 @@ func TestNewQueueAt(t *testing.T) {
 	if q.Len() != 41 {
 		t.Fatalf("len after append: %d", q.Len())
 	}
-	if e := q.At(40); e.Time != 100 || e.Val != logic.V0 {
+	if e := q.MustAt(40); e.Time != 100 || e.Val != logic.V0 {
 		t.Fatalf("At(40) = %+v", e)
 	}
 	c := q.NewCursor(40)

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,21 +28,30 @@ import (
 	"gatesim/internal/vcd"
 )
 
-// CompiledBuiltin returns the compiled builtin library (cached).
-func CompiledBuiltin() *truthtab.CompiledLibrary {
+// CompiledBuiltin returns the compiled builtin library (cached). Both the
+// library parse and the truth-table compile can fail; the error is cached
+// alongside the result, so every caller sees the same outcome.
+func CompiledBuiltin() (*truthtab.CompiledLibrary, error) {
 	compiledOnce.Do(func() {
-		cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+		lib, err := liberty.Builtin()
 		if err != nil {
-			panic(err)
+			compiledErr = fmt.Errorf("harness: builtin library: %w", err)
+			return
+		}
+		cl, err := truthtab.CompileLibrary(lib)
+		if err != nil {
+			compiledErr = fmt.Errorf("harness: compiling builtin library: %w", err)
+			return
 		}
 		compiled = cl
 	})
-	return compiled
+	return compiled, compiledErr
 }
 
 var (
 	compiledOnce sync.Once
 	compiled     *truthtab.CompiledLibrary
+	compiledErr  error
 )
 
 // ---------------------------------------------------------------- Table I
@@ -131,8 +141,10 @@ func ratio(a, b time.Duration) float64 {
 }
 
 // Table2 runs the full comparison. This is the expensive experiment; tune
-// Scale and cycle counts to the time budget.
-func Table2(cfg Table2Config) ([]Table2Row, error) {
+// Scale and cycle counts to the time budget. The context is threaded into
+// every timed simulation, so cancellation aborts mid-experiment with the
+// rows completed so far discarded.
+func Table2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 	if cfg.Threads <= 0 {
 		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
@@ -161,7 +173,11 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 		delays := gen.Delays(d, cfg.Seed)
 		// One lowering per preset, shared by every simulator and trace below:
 		// the comparison times simulation, not repeated construction.
-		pl, err := plan.Build(d.Netlist, CompiledBuiltin(), delays)
+		lib, err := CompiledBuiltin()
+		if err != nil {
+			return nil, err
+		}
+		pl, err := plan.Build(d.Netlist, lib, delays)
 		if err != nil {
 			return nil, err
 		}
@@ -180,22 +196,32 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 			row := Table2Row{Benchmark: name, Trace: tr.label, Cycles: tr.cycles, Activity: tr.af}
 
 			var events int64
-			row.Ref, events = timeRefsim(pl, stim)
+			if row.Ref, events, err = timeRefsim(pl, stim); err != nil {
+				return nil, err
+			}
 			row.Events = events
-			row.Ours1T, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeSerial})
-			row.OursNT, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads})
-			row.Manycore, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads})
-			row.Hybrid, _ = timeEngine(d, pl, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads})
+			if row.Ours1T, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeSerial}); err != nil {
+				return nil, err
+			}
+			if row.OursNT, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads}); err != nil {
+				return nil, err
+			}
+			if row.Manycore, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads}); err != nil {
+				return nil, err
+			}
+			if row.Hybrid, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads}); err != nil {
+				return nil, err
+			}
 			rows = append(rows, row)
 		}
 	}
 	return rows, nil
 }
 
-func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64) {
+func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64, error) {
 	ref, err := refsim.NewFromPlan(pl)
 	if err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("harness: building refsim: %w", err)
 	}
 	rstim := make([]refsim.Stim, len(stim))
 	for i, s := range stim {
@@ -203,9 +229,9 @@ func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64) {
 	}
 	start := time.Now()
 	if err := ref.Run(rstim, nil); err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("harness: refsim run: %w", err)
 	}
-	return time.Since(start), ref.Events
+	return time.Since(start), ref.Events, nil
 }
 
 // timeEngine runs one full streamed simulation and reports wall time plus
@@ -213,10 +239,10 @@ func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64) {
 // callers can separate scheduling overhead from useful work. The engine's
 // worker pool is released before returning: a harness run creates many
 // engines back to back and must not accumulate parked goroutines.
-func timeEngine(d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Options) (time.Duration, sim.Stats) {
+func timeEngine(ctx context.Context, d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Options) (time.Duration, sim.Stats, error) {
 	e, err := sim.NewFromPlan(pl, opts)
 	if err != nil {
-		panic(err)
+		return 0, sim.Stats{}, fmt.Errorf("harness: building engine: %w", err)
 	}
 	defer e.Close()
 	changes := make([]sim.Change, len(stim))
@@ -225,10 +251,10 @@ func timeEngine(d *gen.Design, pl *plan.Plan, stim []gen.Change, opts sim.Option
 	}
 	slice := 16 * d.Spec.ClockPeriodPS
 	start := time.Now()
-	if err := e.RunStream(sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: slice}); err != nil {
-		panic(err)
+	if err := e.RunStreamCtx(ctx, sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: slice}); err != nil {
+		return 0, sim.Stats{}, fmt.Errorf("harness: engine run (%v, %d threads): %w", opts.Mode, opts.Threads, err)
 	}
-	return time.Since(start), e.Stats()
+	return time.Since(start), e.Stats(), nil
 }
 
 // FormatTable2 renders rows like the paper's Table II.
@@ -287,8 +313,9 @@ type Fig8Point struct {
 
 // Fig8 measures runtime versus thread count for the partition-based
 // baseline (VCS-FGP stand-in) and the stable-time engine, with and without
-// SDF annotation — the paper's Figure 8.
-func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
+// SDF annotation — the paper's Figure 8. Cancellation via ctx aborts
+// between (and, at sweep/round granularity, within) timed runs.
+func Fig8(ctx context.Context, cfg Fig8Config) ([]Fig8Point, error) {
 	p, err := gen.PresetByName(cfg.Preset)
 	if err != nil {
 		return nil, err
@@ -301,7 +328,11 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	unitDelays := sdf.Uniform(d.Netlist, 120)
 	// One structural lowering, re-annotated for the unit-delay series; both
 	// plans are shared across every thread count and simulator below.
-	planSDF, err := plan.Build(d.Netlist, CompiledBuiltin(), sdfDelays)
+	lib, err := CompiledBuiltin()
+	if err != nil {
+		return nil, err
+	}
+	planSDF, err := plan.Build(d.Netlist, lib, sdfDelays)
 	if err != nil {
 		return nil, err
 	}
@@ -313,33 +344,41 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	var points []Fig8Point
 	for _, th := range cfg.Threads {
 		pt := Fig8Point{Threads: th}
-		pt.PartUnit, _ = timePartsim(planUnit, stim, th)
-		pt.PartSDF, pt.PartRoundsSDF = timePartsim(planSDF, stim, th)
+		if pt.PartUnit, _, err = timePartsim(ctx, planUnit, stim, th); err != nil {
+			return nil, err
+		}
+		if pt.PartSDF, pt.PartRoundsSDF, err = timePartsim(ctx, planSDF, stim, th); err != nil {
+			return nil, err
+		}
 		mode := sim.ModeParallel
 		if th == 1 {
 			mode = sim.ModeSerial
 		}
-		pt.OursUnit, _ = timeEngine(d, planUnit, stim, sim.Options{Mode: mode, Threads: th})
-		pt.OursSDF, pt.OursSDFStats = timeEngine(d, planSDF, stim, sim.Options{Mode: mode, Threads: th})
+		if pt.OursUnit, _, err = timeEngine(ctx, d, planUnit, stim, sim.Options{Mode: mode, Threads: th}); err != nil {
+			return nil, err
+		}
+		if pt.OursSDF, pt.OursSDFStats, err = timeEngine(ctx, d, planSDF, stim, sim.Options{Mode: mode, Threads: th}); err != nil {
+			return nil, err
+		}
 		points = append(points, pt)
 	}
 	return points, nil
 }
 
-func timePartsim(pl *plan.Plan, stim []gen.Change, threads int) (time.Duration, int64) {
+func timePartsim(ctx context.Context, pl *plan.Plan, stim []gen.Change, threads int) (time.Duration, int64, error) {
 	ps, err := partsim.NewFromPlan(pl, partsim.Options{Partitions: threads})
 	if err != nil {
-		panic(err)
+		return 0, 0, fmt.Errorf("harness: building partsim: %w", err)
 	}
 	pstim := make([]partsim.Stim, len(stim))
 	for i, s := range stim {
 		pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
 	}
 	start := time.Now()
-	if err := ps.Run(pstim, nil); err != nil {
-		panic(err)
+	if err := ps.RunCtx(ctx, pstim, nil); err != nil {
+		return 0, 0, fmt.Errorf("harness: partsim run (%d partitions): %w", threads, err)
 	}
-	return time.Since(start), ps.Rounds
+	return time.Since(start), ps.Rounds, nil
 }
 
 // FormatFig8 renders the two series of Figure 8 as text, with the engine's
@@ -401,8 +440,8 @@ type BenchSmokePoint struct {
 
 // BenchSmoke runs Fig8 with the given config and folds the points into the
 // report shape.
-func BenchSmoke(cfg Fig8Config) (BenchSmokeReport, error) {
-	pts, err := Fig8(cfg)
+func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
+	pts, err := Fig8(ctx, cfg)
 	if err != nil {
 		return BenchSmokeReport{}, err
 	}
@@ -590,7 +629,7 @@ type ParallelismRow struct {
 }
 
 // Parallelism measures the structural parallelism metrics for one preset.
-func Parallelism(preset string, scale float64, cycles int, seed int64) (ParallelismRow, error) {
+func Parallelism(ctx context.Context, preset string, scale float64, cycles int, seed int64) (ParallelismRow, error) {
 	p, err := gen.PresetByName(preset)
 	if err != nil {
 		return ParallelismRow{}, err
@@ -609,7 +648,11 @@ func Parallelism(preset string, scale float64, cycles int, seed int64) (Parallel
 	row.LookaheadUnitPS = unitDelays.MinPositive
 	stim := gen.Stimuli(d, gen.StimSpec{Cycles: cycles, ActivityFactor: 0.6, Seed: seed, ScanBurst: 16})
 
-	planSDF, err := plan.Build(d.Netlist, CompiledBuiltin(), sdfDelays)
+	lib, err := CompiledBuiltin()
+	if err != nil {
+		return ParallelismRow{}, err
+	}
+	planSDF, err := plan.Build(d.Netlist, lib, sdfDelays)
 	if err != nil {
 		return ParallelismRow{}, err
 	}
@@ -633,7 +676,7 @@ func Parallelism(preset string, scale float64, cycles int, seed int64) (Parallel
 	for i, s := range stim {
 		changes[i] = sim.Change{Net: s.Net, Time: s.Time, Val: s.Val}
 	}
-	if err := e.RunStream(sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: 16 * d.Spec.ClockPeriodPS}); err != nil {
+	if err := e.RunStreamCtx(ctx, sim.NewSliceSource(changes), sim.StreamConfig{SlicePS: 16 * d.Spec.ClockPeriodPS}); err != nil {
 		return ParallelismRow{}, err
 	}
 	row.EngineSweepsSDF = e.Stats().Sweeps
@@ -650,7 +693,7 @@ func Parallelism(preset string, scale float64, cycles int, seed int64) (Parallel
 		for i, s := range stim {
 			pstim[i] = partsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
 		}
-		if err := ps.Run(pstim, nil); err != nil {
+		if err := ps.RunCtx(ctx, pstim, nil); err != nil {
 			return ParallelismRow{}, err
 		}
 		*dl.out = ps.Rounds

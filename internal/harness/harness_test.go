@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -27,7 +28,7 @@ func TestTable1Smoke(t *testing.T) {
 }
 
 func TestTable2Smoke(t *testing.T) {
-	rows, err := Table2(Table2Config{
+	rows, err := Table2(context.Background(), Table2Config{
 		Scale: 0.004, Presets: []string{"blabla"},
 		ShortCycles: 20, LongCycles: 40, Threads: 2, Seed: 1,
 	})
@@ -52,7 +53,7 @@ func TestTable2Smoke(t *testing.T) {
 }
 
 func TestFig8Smoke(t *testing.T) {
-	pts, err := Fig8(Fig8Config{
+	pts, err := Fig8(context.Background(), Fig8Config{
 		Preset: "blabla", Scale: 0.004, Cycles: 15, Threads: []int{1, 2}, Seed: 1,
 	})
 	if err != nil {
@@ -89,7 +90,7 @@ func TestLibcompSmoke(t *testing.T) {
 }
 
 func TestParallelismSmoke(t *testing.T) {
-	r, err := Parallelism("blabla", 0.004, 10, 1)
+	r, err := Parallelism(context.Background(), "blabla", 0.004, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package liberty
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // BuiltinSource is a self-contained Liberty library in the spirit of the
 // sky130 standard cells. It covers the gate types the paper's benchmarks
@@ -384,10 +387,11 @@ func Builtin() (*Library, error) {
 }
 
 // MustBuiltin is Builtin for tests and examples; it panics on parse failure.
+// Production paths (glsim, the harness) use Builtin and surface the error.
 func MustBuiltin() *Library {
 	lib, err := Builtin()
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("liberty: built-in library is corrupt: %v", err))
 	}
 	return lib
 }

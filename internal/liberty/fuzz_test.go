@@ -1,0 +1,71 @@
+package liberty
+
+// Fuzz targets for the Liberty parser: arbitrary input must produce either a
+// parsed library or an error — never a panic. scripts/check.sh runs these as
+// a short smoke stage; `make fuzz` runs them longer.
+
+import "testing"
+
+// fuzzLibertySeed is a compact library covering every construct the parser
+// handles: simple attributes, function strings, ff/latch groups, and an
+// edge-sensitive statetable with line continuations. The full BuiltinSource
+// is deliberately NOT a seed — at ~13 KB it starves the fuzz mutator (single-
+// digit execs/sec); unit tests already parse it via Builtin().
+const fuzzLibertySeed = `library (seed) {
+  time_unit : "1ns";
+  cell (MUX2) {
+    area : 2.25;
+    pin (A) { direction : input; capacitance : 1.0; }
+    pin (B) { direction : input; capacitance : 1.0; }
+    pin (S) { direction : input; capacitance : 1.1; }
+    pin (Y) { direction : output; function : "(S & B) | (!S & A)"; }
+  }
+  cell (DFF_PR) {
+    ff (IQ, IQN) {
+      next_state : "D";
+      clocked_on : "CLK";
+      clear : "!RESET_B";
+    }
+    pin (CLK)     { direction : input; clock : true; }
+    pin (D)       { direction : input; }
+    pin (RESET_B) { direction : input; }
+    pin (Q)       { direction : output; function : "IQ"; }
+  }
+  cell (DLATCH) {
+    latch (IQ, IQN) {
+      data_in : "D";
+      enable : "GATE";
+    }
+    pin (GATE) { direction : input; }
+    pin (D)    { direction : input; }
+    pin (Q)    { direction : output; function : "IQ"; }
+  }
+  cell (SRLATCH) {
+    statetable ("S R", "IQ") {
+      table : "H L : - : H , \
+               L H : - : L , \
+               L L : - : N , \
+               H H : - : X ";
+    }
+    pin (S) { direction : input; }
+    pin (R) { direction : input; }
+    pin (Q) { direction : output; function : "IQ"; }
+  }
+}`
+
+func FuzzParseLiberty(f *testing.F) {
+	f.Add(fuzzLibertySeed)
+	f.Add(`library (l) { cell (INV) { pin (A) { direction : input; } pin (Y) { direction : output; function : "!A"; } } }`)
+	f.Add(`library (l) { cell (FF) { ff (IQ, IQN) { next_state : "D"; clocked_on : "CK"; } pin (D) { direction : input; } } }`)
+	f.Add(`library (broken) { cell (X) { pin (A) { direction : `)
+	f.Add(`/* comment only */`)
+	f.Add("library(l){cell(C){pin(Y){function:\"(A&B)|!C\";}}}")
+	f.Fuzz(func(t *testing.T, src string) {
+		if g, err := ParseAST(src); err == nil && g == nil {
+			t.Error("ParseAST: nil group without error")
+		}
+		if lib, err := Parse(src); err == nil && lib == nil {
+			t.Error("Parse: nil library without error")
+		}
+	})
+}

@@ -139,6 +139,21 @@ func TestBuiltinParses(t *testing.T) {
 	}
 }
 
+// TestCorruptLibraryErrorsCleanly checks that a damaged library source is a
+// returned error, never a panic — the guarantee MustBuiltin's panic message
+// relies on and the property the fuzz targets defend.
+func TestCorruptLibraryErrorsCleanly(t *testing.T) {
+	for i, corrupt := range []string{
+		BuiltinSource[:len(BuiltinSource)/2], // truncated mid-group
+		strings.Replace(BuiltinSource, "function", "(", 1),
+		strings.Replace(BuiltinSource, "library", "notalibrary", 1),
+	} {
+		if _, err := Parse(corrupt); err == nil {
+			t.Errorf("case %d: corrupt source parsed without error", i)
+		}
+	}
+}
+
 func TestBuiltinDFFNSR(t *testing.T) {
 	lib := MustBuiltin()
 	c := lib.Cells["DFF_NSR"]

@@ -1,0 +1,60 @@
+package netlist
+
+// Fuzz targets for the structural-Verilog parsers: arbitrary input must
+// produce either a netlist or an error — never a panic, and never an
+// unbounded allocation (vector ranges are width-capped). scripts/check.sh
+// runs these as a short smoke stage; `make fuzz` runs them longer.
+
+import (
+	"testing"
+
+	"gatesim/internal/liberty"
+)
+
+const fuzzHierSrc = `
+module ha (input a, input b, output s, output c);
+  XOR2 x (.A(a), .B(b), .Y(s));
+  AND2 g (.A(a), .B(b), .Y(c));
+endmodule
+module top (input x, input y, output sum, output cout);
+  ha h0 (.a(x), .b(y), .s(sum), .c(cout));
+endmodule
+`
+
+func FuzzParseVerilog(f *testing.F) {
+	f.Add(sampleVerilog)
+	f.Add("module m (a, b, y);\n input a, b;\n output y;\n OR2 g (.A(a), .B(b), .Y(y));\nendmodule")
+	f.Add(`module m (input [3:0] d, output q); INV u (.A(d[2]), .Y(q)); endmodule`)
+	f.Add(`module m (input a); wire \esc.aped ; BUF u (.A(a), .Y(\esc.aped )); endmodule`)
+	f.Add(`module m (input [1:0);`)
+	f.Add(`module`)
+	lib := liberty.MustBuiltin()
+	f.Fuzz(func(t *testing.T, src string) {
+		if nl, err := ParseVerilog(src, lib); err == nil {
+			if nl == nil {
+				t.Fatal("nil netlist without error")
+			}
+			if err := nl.Validate(); err != nil {
+				t.Errorf("accepted netlist fails validation: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzParseVerilogHierarchy(f *testing.F) {
+	f.Add(fuzzHierSrc)
+	f.Add("module leaf (input a, output y);\n INV i (.A(a), .Y(y));\nendmodule\nmodule top (input a, output y);\n leaf l (.a(a), .y(y));\nendmodule")
+	f.Add(`module a (input x, output y); a inner (.x(x), .y(y)); endmodule`)
+	f.Add(`module m (input a, output y); INV i (.A(a), .Y(y)); endmodule junk`)
+	lib := liberty.MustBuiltin()
+	f.Fuzz(func(t *testing.T, src string) {
+		if nl, err := ParseVerilogHierarchy(src, lib, ""); err == nil {
+			if nl == nil {
+				t.Fatal("nil netlist without error")
+			}
+			if err := nl.Validate(); err != nil {
+				t.Errorf("accepted netlist fails validation: %v", err)
+			}
+		}
+	})
+}

@@ -66,6 +66,9 @@ func vlogTokens(src string) ([]vlogToken, error) {
 			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' {
 				j++
 			}
+			if j == i+1 {
+				return nil, fmt.Errorf("verilog: line %d: empty escaped identifier", line)
+			}
 			toks = append(toks, vlogToken{src[i+1 : j], line})
 			i = j
 		case isVlogIdent(c) || (c >= '0' && c <= '9'):
@@ -120,12 +123,16 @@ func (p *vlogParser) expect(text string) error {
 
 func (p *vlogParser) ident() (string, error) {
 	t := p.cur()
-	if t.line < 0 || !isVlogIdent(t.text[0]) {
+	if t.line < 0 || t.text == "" || !isVlogIdent(t.text[0]) {
 		return "", p.errf("expected identifier, got %q", t.text)
 	}
 	p.pos++
 	return t.text, nil
 }
+
+// maxVectorWidth bounds [msb:lsb] ranges so a malformed or hostile netlist
+// cannot make expandVec allocate one net name per bit of an absurd bus.
+const maxVectorWidth = 1 << 20
 
 // parseRange parses an optional [msb:lsb] and returns (msb, lsb, present).
 func (p *vlogParser) parseRange() (int, int, bool, error) {
@@ -147,6 +154,13 @@ func (p *vlogParser) parseRange() (int, int, bool, error) {
 	p.pos++
 	if err := p.expect("]"); err != nil {
 		return 0, 0, false, err
+	}
+	width := msb - lsb
+	if width < 0 {
+		width = -width
+	}
+	if width >= maxVectorWidth {
+		return 0, 0, false, p.errf("vector [%d:%d] exceeds %d bits", msb, lsb, maxVectorWidth)
 	}
 	return msb, lsb, true, nil
 }

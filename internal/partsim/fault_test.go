@@ -1,0 +1,208 @@
+package partsim
+
+// Run-control tests for the partitioned simulator: cancellation at round
+// boundaries, pool-death degradation, and sticky failure on contained
+// partition panics. Runs under -race via scripts/check.sh.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/netlist"
+	"gatesim/internal/refsim"
+	"gatesim/internal/workpool"
+)
+
+func buildCase(t *testing.T, seed int64) (*gen.Design, []Stim) {
+	t.Helper()
+	d, err := gen.Build(spec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.6, Seed: seed, ScanBurst: 5})
+	pstim := make([]Stim, len(stim))
+	for i, s := range stim {
+		pstim[i] = Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	return d, pstim
+}
+
+// TestRunCtxPreCancelled checks an expired context aborts before any round.
+func TestRunCtxPreCancelled(t *testing.T) {
+	d, pstim := buildCase(t, 31)
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = ps.RunCtx(ctx, pstim, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in the chain, got %v", err)
+	}
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Op != "run" {
+		t.Fatalf("not a *partsim.Error{Op: run}: %v", err)
+	}
+	if ps.Rounds != 0 {
+		t.Errorf("%d rounds ran under an expired context", ps.Rounds)
+	}
+}
+
+// TestRunCtxCancelMidRun cancels from inside the sink (so the cancel lands
+// while rounds are executing) and checks the run stops at the next round
+// boundary instead of completing.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	d, pstim := buildCase(t, 32)
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The sink first sees the up-front stimulus distribution; cancel on the
+	// first event emitted by an actual round.
+	err = ps.RunCtx(ctx, pstim, func(netlist.NetID, event.Event) {
+		if ps.Rounds > 0 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	roundsAtCancel := ps.Rounds
+	if roundsAtCancel == 0 {
+		t.Fatal("cancel landed before any round?")
+	}
+	// The simulator is not failed — the abort was clean.
+	if err := ps.RunCtx(context.Background(), nil, nil); err != nil {
+		t.Fatalf("cancelled simulator refused to continue: %v", err)
+	}
+	if ps.Rounds <= roundsAtCancel {
+		t.Error("continuation made no progress")
+	}
+}
+
+// TestPoolDeathDegradesToSerial kills one pool round slot before its phase
+// item runs and checks the run completes with results identical to refsim,
+// recording the downgrade.
+func TestPoolDeathDegradesToSerial(t *testing.T) {
+	d, pstim := buildCase(t, 33)
+	dl := gen.Delays(d, 7)
+
+	ref, err := refsim.New(d.Netlist, testLib, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refsim.Collect{}
+	rstim := make([]refsim.Stim, len(pstim))
+	for i, s := range pstim {
+		rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	if err := ref.Run(rstim, want.Add); err != nil {
+		t.Fatal(err)
+	}
+
+	var fired atomic.Bool
+	opts := Options{Partitions: 4, Threads: 4}
+	opts.FaultHook = func(item int) {
+		if fired.CompareAndSwap(false, true) {
+			panic("simulated worker death")
+		}
+	}
+	ps, err := New(d.Netlist, testLib, dl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[netlist.NetID][]event.Event{}
+	if err := ps.Run(pstim, func(nid netlist.NetID, ev event.Event) {
+		got[nid] = append(got[nid], ev)
+	}); err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if !fired.Load() {
+		t.Fatal("fault hook never fired")
+	}
+	if ps.Downgrades != 1 {
+		t.Errorf("Downgrades = %d, want 1", ps.Downgrades)
+	}
+	for nid := range d.Netlist.Nets {
+		w, g := want[netlist.NetID(nid)], got[netlist.NetID(nid)]
+		if len(w) != len(g) {
+			t.Fatalf("net %s: %d vs %d events", d.Netlist.Nets[nid].Name, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("net %s event %d: %+v vs %+v", d.Netlist.Nets[nid].Name, i, w[i], g[i])
+			}
+		}
+	}
+}
+
+// TestPartitionPanicIsSticky drives runPhase's serial containment path
+// directly and checks the simulator reports a structured error and refuses
+// all further runs: mid-phase heap state cannot be trusted.
+func TestPartitionPanicIsSticky(t *testing.T) {
+	d, pstim := buildCase(t, 34)
+	var fired atomic.Bool
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.degraded = true // force the serial path; the pool is never touched
+	err = ps.runPhase(nil, func(i int) {
+		if i == 1 && fired.CompareAndSwap(false, true) {
+			panic("partition boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("contained partition panic returned nil")
+	}
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("cause is not ErrFailed: %v", err)
+	}
+	var wpe *workpool.PanicError
+	if !errors.As(err, &wpe) || wpe.Value != "partition boom" || wpe.Item != 1 {
+		t.Fatalf("panic payload missing: %v", err)
+	}
+	// Sticky: later runs refuse immediately.
+	if err := ps.Run(pstim, nil); !errors.Is(err, ErrFailed) {
+		t.Fatalf("failed simulator accepted a run: %v", err)
+	}
+}
+
+// TestPartitionPanicPooled drives the same sticky-failure path through the
+// real pool: a phase closure that panics on one partition mid-run.
+func TestPartitionPanicPooled(t *testing.T) {
+	d, pstim := buildCase(t, 35)
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Partitions: 4, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the truth table pointers so evaluate panics with a nil
+	// dereference on the first gate evaluation — a realistic "corrupt
+	// engine state" fault inside partition code.
+	for _, part := range ps.parts {
+		for li := range part.tabs {
+			part.tabs[li] = nil
+		}
+	}
+	err = ps.Run(pstim, nil)
+	if err == nil {
+		t.Fatal("run over sabotaged partition state returned nil")
+	}
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("cause is not ErrFailed: %v", err)
+	}
+	var wpe *workpool.PanicError
+	if !errors.As(err, &wpe) || !wpe.Started {
+		t.Fatalf("no started PanicError in chain: %v", err)
+	}
+	if err := ps.Run(pstim, nil); !errors.Is(err, ErrFailed) {
+		t.Fatalf("failed simulator accepted a second run: %v", err)
+	}
+}

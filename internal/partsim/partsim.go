@@ -20,6 +20,8 @@
 package partsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -59,7 +61,28 @@ type Options struct {
 	Partitions int // number of logic processors (default: Threads)
 	Threads    int // worker goroutines (default: Partitions)
 	Strategy   Strategy
+	// FaultHook, when non-nil, is installed as the per-Run worker pool's
+	// chaos hook (workpool.Pool.FaultHook). Test-only; see the
+	// fault-containment tests.
+	FaultHook func(item int)
 }
+
+// ErrFailed is the sentinel wrapped by every error returned from a
+// simulator that contained a panic inside partition code: the partition
+// heaps and net views are suspect, so the simulator refuses further runs.
+// Match with errors.Is(err, ErrFailed).
+var ErrFailed = errors.New("partsim: simulator failed by an earlier contained panic")
+
+// Error is the structured error returned by the run-control paths. It wraps
+// the cause (context.Canceled/DeadlineExceeded, ErrFailed, or a
+// *workpool.PanicError) so errors.Is/As see through it.
+type Error struct {
+	Op    string // "run" or "phase"
+	Cause error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("partsim: %s: %v", e.Op, e.Cause) }
+func (e *Error) Unwrap() error { return e.Cause }
 
 // Simulator is a partition-based conservative parallel simulator.
 type Simulator struct {
@@ -79,6 +102,19 @@ type Simulator struct {
 	// CrossMessages counts events sent between partitions — the partition-
 	// quality metric.
 	CrossMessages int64
+	// Downgrades counts pool→serial degradations: a worker died outside
+	// partition code, so the remaining phases of this simulator run on the
+	// calling goroutine. At most 1 per simulator.
+	Downgrades int64
+
+	opts Options // retained for the per-Run pool (FaultHook, Threads)
+	// degraded is set after a pool infrastructure failure; every later
+	// phase runs serially.
+	degraded bool
+	// failed is the sticky error of a contained partition-code panic:
+	// mid-phase partition state (heaps, net views) cannot be trusted, so
+	// the simulator refuses further work.
+	failed *Error
 }
 
 type partition struct {
@@ -151,7 +187,7 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Simulator, error) {
 			return nil, fmt.Errorf("partsim: cell %s exceeds supported pin/state counts", tab.Cell.Name)
 		}
 	}
-	s := &Simulator{p: p, nl: nl, threads: opts.Threads}
+	s := &Simulator{p: p, nl: nl, threads: opts.Threads, opts: opts}
 	s.lookahead = p.Delays.MinPositive
 	if s.lookahead < 1 {
 		return nil, fmt.Errorf("partsim: all delays must be >= 1 ps")
@@ -270,8 +306,20 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Simulator, error) {
 // Sink receives committed events; events for one net arrive in time order.
 type Sink func(nid netlist.NetID, ev event.Event)
 
-// Run simulates the stimulus to completion.
+// Run simulates the stimulus to completion. It is RunCtx without
+// cancellation.
 func (s *Simulator) Run(stim []Stim, sink Sink) error {
+	return s.RunCtx(context.Background(), stim, sink)
+}
+
+// RunCtx is Run under a context: cancellation and deadline are checked at
+// every round boundary (between barrier-synchronized windows), so an
+// expired context aborts within one round. Committed events already handed
+// to the sink stay valid; the run itself is abandoned.
+func (s *Simulator) RunCtx(ctx context.Context, stim []Stim, sink Sink) error {
+	if s.failed != nil {
+		return s.failed
+	}
 	for _, st := range stim {
 		if int(st.Net) >= len(s.p.IsPI) || !s.p.IsPI[st.Net] {
 			return fmt.Errorf("partsim: stimulus on non-input net %d", st.Net)
@@ -308,11 +356,19 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 	// once and read the current round bounds through captured variables,
 	// which the pool's round publication orders for the workers.
 	pool := workpool.New(min(s.threads, len(s.parts)))
+	pool.FaultHook = s.opts.FaultHook
 	defer pool.Close()
 	var T, windowEnd int64
 	stagePhase := func(i int) { s.parts[i].stageCross(s, windowEnd) }
 	processPhase := func(i int) { s.parts[i].process(s, T, windowEnd) }
 	for {
+		// Cancellation is honored at round boundaries: between rounds every
+		// staged message has been delivered and every committed event
+		// emitted, so aborting here leaves no half-exchanged state.
+		if err := ctx.Err(); err != nil {
+			return &Error{Op: "run", Cause: err}
+		}
+
 		// Global minimum next time across partitions.
 		T = int64(1) << 62
 		for _, p := range s.parts {
@@ -330,7 +386,9 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		// te < T + lookahead (they are immune to cancellation because no
 		// evaluation can happen before T anywhere). This is the CMB
 		// null-message exchange.
-		pool.Run(len(s.parts), stagePhase)
+		if err := s.runPhase(pool, stagePhase); err != nil {
+			return err
+		}
 		// Barrier: deliver staged messages before anyone processes the
 		// window — an event can be both finalized and due within the same
 		// round (uniform delays put everything on one lattice).
@@ -345,7 +403,9 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		}
 
 		// Phase 2 (parallel): process the window [T, windowEnd).
-		pool.Run(len(s.parts), processPhase)
+		if err := s.runPhase(pool, processPhase); err != nil {
+			return err
+		}
 		// Emit committed events.
 		if sink != nil {
 			for _, p := range s.parts {
@@ -360,6 +420,55 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 			}
 		}
 	}
+}
+
+// runPhase dispatches one barrier phase (stage or process) over all
+// partitions, containing failures:
+//
+//   - A panic inside partition code (Started=true, or any serial-path
+//     panic) is fatal to the simulator: phases mutate heaps and net views
+//     in place, so a half-executed phase item cannot be redone. The error
+//     is sticky — later RunCtx calls return it immediately.
+//   - A worker that dies before its phase item ran (Started=false: the
+//     chaos FaultHook or a spawn-path failure) loses no partition work, and
+//     both phases are idempotent for partitions that already completed the
+//     window (stageCross skips below the sentUpTo watermark; process
+//     returns once nextTime reaches windowEnd). The simulator downgrades to
+//     serial execution for the remainder of its life and re-runs the phase
+//     on the calling goroutine.
+func (s *Simulator) runPhase(pool *workpool.Pool, fn func(int)) error {
+	if !s.degraded {
+		err := pool.Run(len(s.parts), fn)
+		if err == nil {
+			return nil
+		}
+		pe := err.(*workpool.PanicError)
+		if pe.Started {
+			s.failed = &Error{Op: "phase", Cause: fmt.Errorf("%w: %w", ErrFailed, pe)}
+			return s.failed
+		}
+		s.degraded = true
+		s.Downgrades++
+	}
+	for i := range s.parts {
+		if pe := contain(fn, i); pe != nil {
+			s.failed = &Error{Op: "phase", Cause: fmt.Errorf("%w: %w", ErrFailed, pe)}
+			return s.failed
+		}
+	}
+	return nil
+}
+
+// contain runs one phase item under recover, mirroring the pool's
+// containment on the serial path.
+func contain(fn func(int), i int) (pe *workpool.PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &workpool.PanicError{Value: v, Item: i, Started: true}
+		}
+	}()
+	fn(i)
+	return nil
 }
 
 // nextTime returns the earliest thing this partition knows about.

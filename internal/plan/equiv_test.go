@@ -69,7 +69,7 @@ func TestSharedPlanEquivalence(t *testing.T) {
 			for n := 0; n < p.NumNets(); n++ {
 				q := e.Events(netlist.NetID(n))
 				for i := q.Start(); i < q.Len(); i++ {
-					got[netlist.NetID(n)] = append(got[netlist.NetID(n)], q.At(i))
+					got[netlist.NetID(n)] = append(got[netlist.NetID(n)], q.MustAt(i))
 				}
 			}
 			diffStreams(t, p, want, got, fmt.Sprintf("seed %d sim/%s", seed, run.label))

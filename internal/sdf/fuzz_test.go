@@ -1,0 +1,21 @@
+package sdf
+
+// Fuzz target for the SDF parser: arbitrary input must produce either a
+// parsed file or an error — never a panic. scripts/check.sh runs this as a
+// short smoke stage; `make fuzz` runs it longer.
+
+import "testing"
+
+func FuzzParseSDF(f *testing.F) {
+	f.Add(sampleSDF)
+	f.Add(`(DELAYFILE (SDFVERSION "3.0") (TIMESCALE 10ps))`)
+	f.Add(`(DELAYFILE (CELL (CELLTYPE "INV") (INSTANCE a.b.c) (DELAY (ABSOLUTE (IOPATH A Y (1:2:3))))))`)
+	f.Add(`(DELAYFILE (TIMESCALE 1 ns) (CELL`)
+	f.Add(`(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH A Y () ())))))`)
+	f.Add(`)))((`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if file, err := Parse(src); err == nil && file == nil {
+			t.Error("Parse: nil file without error")
+		}
+	})
+}

@@ -104,13 +104,28 @@ type Options struct {
 	AutoPinThreshold int
 	// AutoSerialThreshold is the pin count below which ModeAuto stays serial.
 	AutoSerialThreshold int
-	// MaxSweeps bounds the sweeps of one Advance call (safety valve against
-	// livelock bugs; 0 = a generous default).
+	// MaxSweeps is the convergence watchdog: it bounds the sweeps of one
+	// Advance call (0 = a generous default). A netlist that genuinely
+	// oscillates — e.g. an inverter ring routed through a transparent
+	// latch — would otherwise sweep forever; on trip the engine returns a
+	// *SimError wrapping ErrNoConvergence whose OscillationReport names the
+	// gates and nets still moving. The engine stays resumable: raise the
+	// budget and advance again to continue.
 	MaxSweeps int
 	// SerialBatchThreshold is the expected-work size (dirty gates for a
 	// sweep) below which execution stays on the calling goroutine instead
 	// of waking the worker pool (0 = a tuned default). Mostly a test knob.
 	SerialBatchThreshold int
+	// FaultHook, when non-nil, is installed as the worker pool's chaos hook
+	// (workpool.Pool.FaultHook): it runs before every pool round slot and
+	// may panic (simulated worker death) or sleep (stall). Test-only; see
+	// the fault-containment tests.
+	FaultHook func(item int)
+	// GateHook, when non-nil, runs before every gate visit, on the worker
+	// executing the visit. A panic here is indistinguishable from a panic
+	// in gate-evaluation code and exercises the containment/poisoning path
+	// with exact gate/level coordinates. Test-only.
+	GateHook func(gate netlist.CellID)
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +164,12 @@ type Stats struct {
 	LevelsFused int64 // level segments sharing a pool round with a predecessor
 	SweepNS     int64 // wall time inside convergence sweeps
 	LevelNS     int64 // wall time inside level-execution rounds
+
+	// Downgrades counts pool→serial degradations: after a worker died
+	// outside gate code, the executor abandoned the pool and finished the
+	// run serially (graceful degradation instead of a crash or a wrong
+	// answer). At most 1 per engine.
+	Downgrades int64
 }
 
 // Engine simulates one netlist.
@@ -194,6 +215,12 @@ type Engine struct {
 	sweepSegs [][]netlist.CellID // sequential phase + each comb level, in order
 	lastDirty int                // dirty-gate count of the previous sweep
 	stats     Stats
+
+	// poison is set when a sweep contained a panic: the committed state may
+	// be inconsistent, so every later run-control call returns a SimError
+	// wrapping ErrPoisoned and the original cause. Close still releases the
+	// pool; LoadSnapshot (a full state replacement) clears it.
+	poison *SimError
 }
 
 // New lowers the design and builds an engine. The compiled library must
@@ -287,6 +314,17 @@ func (e *Engine) Close() { e.exec.pool.Close() }
 
 // Mode returns the resolved execution mode.
 func (e *Engine) Mode() Mode { return e.mode }
+
+// Err reports the engine's poison state: nil while the engine is healthy,
+// or the *SimError describing the contained panic that poisoned it. A
+// poisoned engine rejects every run-control call with an error wrapping
+// ErrPoisoned; Close remains safe, and LoadSnapshot clears the poison.
+func (e *Engine) Err() error {
+	if e.poison == nil {
+		return nil
+	}
+	return e.poison
+}
 
 // Stats returns a copy of the cumulative counters, including the worker
 // pool's scheduling counters.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 
 	"gatesim/internal/netlist"
@@ -22,6 +23,15 @@ import (
 // Gates within a segment never share output nets or write-visible state, so
 // cross-worker traffic is the claim indices, the idempotent dirty flags,
 // and the release/acquire-published event queues.
+//
+// Fault tolerance: every chunk executes under recover, and the deferred
+// completion accounting runs whether or not the chunk panicked, so the
+// inter-segment barrier can never deadlock on a dying worker. A panic
+// inside gate code is recorded (with gate and level coordinates) in
+// `failed` — the engine poisons itself on it. A panic outside gate code
+// (pool machinery, chaos FaultHook) surfaces as a workpool.PanicError with
+// Started=false; since no gate work was lost, the executor downgrades to
+// serial execution for the remainder of the run and re-runs the sweep.
 type executor struct {
 	e         *Engine
 	threads   int
@@ -37,7 +47,25 @@ type executor struct {
 	claimed  atomic.Int64 // dirty gates claimed this round
 	progress atomic.Bool
 
+	// failed holds the first contained gate-code panic; once set, workers
+	// stop executing gates (they only drain claim counters) and the engine
+	// poisons itself when the sweep returns.
+	failed atomic.Pointer[panicRecord]
+	// degraded is set after a pool infrastructure failure: the executor
+	// abandons the pool and runs every remaining sweep on the calling
+	// goroutine. Read/written by the coordinator only.
+	degraded bool
+
 	allGates []netlist.CellID // identity work list for checkpoint rounds
+}
+
+// panicRecord is the containment record for a panic inside per-gate
+// simulation code, with the coordinates the recovery point knew.
+type panicRecord struct {
+	value any
+	stack []byte
+	gate  netlist.CellID // gate being visited, -1 when outside gate code
+	seg   int            // sweep segment (0 = sequential phase), -1 unknown
 }
 
 // roundKind selects what a sweep round does with each gate it scans.
@@ -70,6 +98,7 @@ func newExecutor(e *Engine) *executor {
 		x.scratches[i] = newScratch(e)
 	}
 	x.pool = workpool.New(threads)
+	x.pool.FaultHook = e.opts.FaultHook
 	x.roundFn = x.drainRound
 	x.allGates = make([]netlist.CellID, e.p.NumGates())
 	for i := range x.allGates {
@@ -82,34 +111,11 @@ func newExecutor(e *Engine) *executor {
 // consecutive ones. expected is the caller's estimate of the work (dirty
 // gates for roundDirty, total gates otherwise); sweeps expected to be small
 // run on the calling goroutine. Returns the number of dirty gates claimed
-// and whether any visit made progress.
+// and whether any visit made progress; a contained gate panic is left in
+// x.failed for the engine to collect.
 func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected int) (int64, bool) {
-	if x.threads == 1 || expected < x.threshold {
-		sc := x.scratches[0]
-		var claimed int64
-		progress := false
-		for _, seg := range segs {
-			for _, id := range seg {
-				switch kind {
-				case roundDirty:
-					if !x.e.gate[id].dirty.CompareAndSwap(true, false) {
-						continue
-					}
-					claimed++
-					if x.e.visit(id, sc) {
-						progress = true
-					}
-				case roundOblivious:
-					if x.e.visit(id, sc) {
-						progress = true
-					}
-				case roundCheckpoint:
-					x.e.checkpoint(id, sc)
-				}
-			}
-		}
-		x.mergeStats()
-		return claimed, progress
+	if x.threads == 1 || x.degraded || expected < x.threshold {
+		return x.runSweepSerial(segs, kind)
 	}
 
 	x.segs = segs
@@ -126,13 +132,52 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 	x.kind = kind
 	x.claimed.Store(0)
 	x.progress.Store(false)
-	x.pool.Run(x.threads, x.roundFn)
+	err := x.pool.Run(x.threads, x.roundFn)
 	x.segs = nil
 	if len(segs) > 1 {
 		x.e.stats.LevelsFused += int64(len(segs) - 1)
 	}
 	x.mergeStats()
+	if err != nil && x.failed.Load() == nil {
+		pe := err.(*workpool.PanicError)
+		if pe.Started {
+			// The panic unwound drainRound outside the per-chunk recover —
+			// not per-gate code, but the round's completion accounting may
+			// be suspect. Treat it like a gate panic: poison.
+			x.failed.CompareAndSwap(nil, &panicRecord{value: pe.Value, stack: pe.Stack, gate: -1, seg: -1})
+		} else {
+			// The worker died before its round slot ran any gate code (chaos
+			// hook or spawn-path failure). No gate work is lost — surviving
+			// slots claim every chunk — but the pool is no longer trusted:
+			// downgrade to serial for the rest of this engine's life and
+			// redo the sweep on the calling goroutine. Visits are idempotent
+			// and the dirty flags still mark exactly the unprocessed gates,
+			// so the serial pass completes whatever the round left behind.
+			x.degraded = true
+			x.e.stats.Downgrades++
+			x.pool.Close()
+			sc, sp := x.runSweepSerial(segs, kind)
+			return x.claimed.Load() + sc, x.progress.Load() || sp
+		}
+	}
 	return x.claimed.Load(), x.progress.Load()
+}
+
+// runSweepSerial is the single-goroutine sweep path, also used as the
+// degradation target after a pool failure. Each segment runs under the same
+// panic containment as the pooled chunks; on a contained panic the rest of
+// the sweep is abandoned (the engine poisons itself anyway).
+func (x *executor) runSweepSerial(segs [][]netlist.CellID, kind roundKind) (int64, bool) {
+	sc := x.scratches[0]
+	var claimed int64
+	progress := false
+	for s, seg := range segs {
+		if !x.runChunk(kind, s, seg, sc, &claimed, &progress) {
+			break
+		}
+	}
+	x.mergeStats()
+	return claimed, progress
 }
 
 // drainRound is one worker's share of a pool round: for each segment, wait
@@ -140,7 +185,8 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 // barrier waits on completed work, not on worker arrival, so a worker that
 // serves several round slots back-to-back (the pool hands slots out
 // greedily) can always make progress by finishing the pending chunks
-// itself.
+// itself. Chunk completion accounting is deferred inside runChunk, so even
+// a panicking chunk advances segDone and the barrier never deadlocks.
 func (x *executor) drainRound(w int) {
 	sc := x.scratches[w]
 	var claimed int64
@@ -162,25 +208,7 @@ func (x *executor) drainRound(w int) {
 			if hi > n {
 				hi = n
 			}
-			for _, id := range seg[lo:hi] {
-				switch x.kind {
-				case roundDirty:
-					if !x.e.gate[id].dirty.CompareAndSwap(true, false) {
-						continue
-					}
-					claimed++
-					if x.e.visit(id, sc) {
-						progress = true
-					}
-				case roundOblivious:
-					if x.e.visit(id, sc) {
-						progress = true
-					}
-				case roundCheckpoint:
-					x.e.checkpoint(id, sc)
-				}
-			}
-			atomic.AddInt64(&x.segDone[s], hi-lo)
+			x.runChunkCounted(s, seg[lo:hi], sc, &claimed, &progress)
 		}
 	}
 	if claimed != 0 {
@@ -189,6 +217,72 @@ func (x *executor) drainRound(w int) {
 	if progress {
 		x.progress.Store(true)
 	}
+}
+
+// runChunkCounted runs one claimed chunk and — panicking or not — credits
+// its full length to the segment's completion counter so the inter-segment
+// barrier always closes.
+func (x *executor) runChunkCounted(s int, chunk []netlist.CellID, sc *scratch, claimed *int64, progress *bool) {
+	defer atomic.AddInt64(&x.segDone[s], int64(len(chunk)))
+	// Once a panic is recorded the sweep is doomed; surviving workers stop
+	// executing gate code and only drain the claim counters so the round
+	// finishes quickly.
+	if x.failed.Load() != nil {
+		return
+	}
+	x.runChunk(x.kind, s, chunk, sc, claimed, progress)
+}
+
+// runChunk processes one slice of a segment under panic containment. It
+// returns false when a panic was contained (recorded in x.failed with the
+// panicking gate's coordinates); the remainder of the chunk is skipped.
+func (x *executor) runChunk(kind roundKind, s int, chunk []netlist.CellID, sc *scratch, claimed *int64, progress *bool) (ok bool) {
+	cur := netlist.CellID(-1)
+	defer func() {
+		if v := recover(); v != nil {
+			x.failed.CompareAndSwap(nil, &panicRecord{
+				value: v, stack: debug.Stack(), gate: cur, seg: s,
+			})
+			ok = false
+		}
+	}()
+	hook := x.e.opts.GateHook
+	for _, id := range chunk {
+		cur = id
+		switch kind {
+		case roundDirty:
+			if !x.e.gate[id].dirty.CompareAndSwap(true, false) {
+				continue
+			}
+			*claimed++
+			if hook != nil {
+				hook(id)
+			}
+			if x.e.visit(id, sc) {
+				*progress = true
+			}
+		case roundOblivious:
+			if hook != nil {
+				hook(id)
+			}
+			if x.e.visit(id, sc) {
+				*progress = true
+			}
+		case roundCheckpoint:
+			x.e.checkpoint(id, sc)
+		}
+	}
+	return true
+}
+
+// takeFailure returns and clears the contained-panic record of the last
+// sweep, if any. Coordinator-only.
+func (x *executor) takeFailure() *panicRecord {
+	rec := x.failed.Load()
+	if rec != nil {
+		x.failed.Store(nil)
+	}
+	return rec
 }
 
 // runCheckpoint folds bases for all gates, reusing the sweep machinery with

@@ -1,0 +1,483 @@
+package sim
+
+// Fault-containment, watchdog, and cancellation tests — the run-control
+// acceptance suite. Everything here also runs under -race via
+// scripts/check.sh.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+)
+
+// faultChain builds the 4-gate inverter chain used by the poisoning tests.
+func faultChain(t *testing.T) (*netlist.Netlist, *sdf.Delays) {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("faultchain", lib)
+	if err := nl.MarkInput(nl.AddNet("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("buf", "BUF", map[string]string{"A": "a", "Y": "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := nl.AddInstance(fmt.Sprintf("inv%d", i), "INV",
+			map[string]string{"A": fmt.Sprintf("n%d", i), "Y": fmt.Sprintf("n%d", i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nl, sdf.Uniform(nl, 10)
+}
+
+// ringLatch builds the oscillating fixture: a resettable transparent latch
+// whose D input is the inversion of its own Q. Once the reset releases with
+// the latch enabled, the loop toggles forever — the classic netlist the
+// convergence watchdog exists for. (A purely combinational ring would be
+// rejected by levelization; routing it through a latch is how such loops
+// reach the engine in practice.)
+func ringLatch(t *testing.T) (*netlist.Netlist, *sdf.Delays) {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("ringlatch", lib)
+	for _, p := range []string{"en", "rst_n"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nl.AddInstance("lat", "DLATCH_HR",
+		map[string]string{"GATE": "en", "D": "nd", "RESET_B": "rst_n", "Q": "q"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AddInstance("inv", "INV", map[string]string{"A": "q", "Y": "nd"}); err != nil {
+		t.Fatal(err)
+	}
+	return nl, sdf.Uniform(nl, 10)
+}
+
+func startRing(t *testing.T, e *Engine, nl *netlist.Netlist) {
+	t.Helper()
+	en, _ := nl.Net("en")
+	rst, _ := nl.Net("rst_n")
+	if err := e.Inject(en, 5, logic.V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Inject(rst, 10, logic.V0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Inject(rst, 100, logic.V1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func instanceByName(t *testing.T, nl *netlist.Netlist, name string) netlist.CellID {
+	t.Helper()
+	for i := range nl.Instances {
+		if nl.Instances[i].Name == name {
+			return netlist.CellID(i)
+		}
+	}
+	t.Fatalf("no instance %q", name)
+	return -1
+}
+
+// TestGatePanicPoisonsSerial injects a panic into one gate's visit on the
+// serial path and checks the full poisoning contract: structured first
+// report with coordinates and stack, ErrPoisoned on every later call,
+// Checkpoint a no-op, Close clean.
+func TestGatePanicPoisonsSerial(t *testing.T) {
+	nl, delays := faultChain(t)
+	victim := netlist.CellID(-1)
+	opts := Options{Mode: ModeSerial}
+	opts.GateHook = func(g netlist.CellID) {
+		if g == victim {
+			panic("injected gate fault")
+		}
+	}
+	e, err := New(nl, testLib, delays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	victim = instanceByName(t, nl, "inv1")
+
+	a, _ := nl.Net("a")
+	if err := e.Inject(a, 100, logic.V0); err != nil {
+		t.Fatal(err)
+	}
+	err = e.Advance(1000)
+	if err == nil {
+		t.Fatal("Advance with a panicking gate returned nil")
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T, want *SimError: %v", err, err)
+	}
+	if !errors.Is(err, ErrPoisoned) {
+		t.Errorf("first report does not match ErrPoisoned: %v", err)
+	}
+	if se.Panic == nil {
+		t.Fatal("SimError.Panic is nil")
+	}
+	if se.Panic.Value != "injected gate fault" {
+		t.Errorf("Panic.Value = %v", se.Panic.Value)
+	}
+	if len(se.Panic.Stack) == 0 {
+		t.Error("Panic.Stack is empty")
+	}
+	if se.Panic.Gate != victim || se.Panic.GateName != "inv1" || se.Panic.CellType != "INV" {
+		t.Errorf("coordinates: gate=%d name=%q cell=%q", se.Panic.Gate, se.Panic.GateName, se.Panic.CellType)
+	}
+
+	// Every later run-control call answers ErrPoisoned.
+	if err := e.Advance(2000); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("Advance after poison: %v", err)
+	}
+	if err := e.Inject(a, 5000, logic.V1); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("Inject after poison: %v", err)
+	}
+	if err := e.RunStream(NewSliceSource(nil), StreamConfig{}); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("RunStream after poison: %v", err)
+	}
+	if err := e.SaveSnapshot(&bytes.Buffer{}); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("SaveSnapshot after poison: %v", err)
+	}
+	if e.Err() == nil || !errors.Is(e.Err(), ErrPoisoned) {
+		t.Errorf("Err() = %v", e.Err())
+	}
+	cp := e.Stats().Checkpoints
+	e.Checkpoint() // must be a no-op, not a crash
+	if e.Stats().Checkpoints != cp {
+		t.Error("Checkpoint ran on a poisoned engine")
+	}
+}
+
+// TestGatePanicPooledNoLeak poisons a pooled engine mid-round and checks
+// the round still completes (the segment barrier survives the dying chunk),
+// the error carries coordinates, and Close joins every worker.
+func TestGatePanicPooledNoLeak(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, 7)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 10, ActivityFactor: 0.7, Seed: 3, ScanBurst: 4})
+
+	before := runtime.NumGoroutine()
+	var tripped atomic.Int64
+	tripped.Store(-1)
+	opts := pooledOpts(ModeParallel)
+	opts.GateHook = func(g netlist.CellID) {
+		// Panic on the first visit that happens to run; remember which.
+		if tripped.CompareAndSwap(-1, int64(g)) {
+			panic("pooled gate fault")
+		}
+	}
+	e, err := New(d.Netlist, testLib, delays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = e.Finish()
+	var se *SimError
+	if !errors.As(err, &se) || se.Panic == nil {
+		t.Fatalf("pooled panic not reported as *SimError with PanicInfo: %v", err)
+	}
+	if se.Panic.Gate != netlist.CellID(tripped.Load()) {
+		t.Errorf("reported gate %d, panicked gate %d", se.Panic.Gate, tripped.Load())
+	}
+	if want := d.Netlist.Instances[se.Panic.Gate].Name; se.Panic.GateName != want {
+		t.Errorf("GateName %q, want %q", se.Panic.GateName, want)
+	}
+	if len(se.Panic.Stack) == 0 {
+		t.Error("stack missing from pooled panic report")
+	}
+	if err := e.Finish(); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("Finish after poison: %v", err)
+	}
+	e.Close()
+	checkNoLeak(t, before, "poisoned Close")
+}
+
+// TestPoolFaultDegradesToSerial kills one worker slot before it runs any
+// gate code (the chaos FaultHook) and checks graceful degradation: the run
+// completes with results identical to a clean serial run, and the downgrade
+// is recorded in Stats.
+func TestPoolFaultDegradesToSerial(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, 7)
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 15, ActivityFactor: 0.7, Seed: 5, ScanBurst: 4})
+
+	// Reference: a clean serial run.
+	ref, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, s := range stim {
+		if err := ref.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fired atomic.Bool
+	opts := pooledOpts(ModeParallel)
+	opts.FaultHook = func(item int) {
+		if fired.CompareAndSwap(false, true) {
+			panic("simulated worker death")
+		}
+	}
+	e, err := New(d.Netlist, testLib, delays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatalf("degraded run failed: %v", err)
+	}
+	if !fired.Load() {
+		t.Fatal("fault hook never fired (pool path not taken)")
+	}
+	if got := e.Stats().Downgrades; got != 1 {
+		t.Errorf("Downgrades = %d, want 1", got)
+	}
+	diffStreams(t, d.Netlist, collectEngine(ref), collectEngine(e), "degraded-vs-serial")
+}
+
+// TestWatchdogOscillation trips MaxSweeps on the latch ring in both serial
+// and pooled modes and checks the report names the moving gates/nets and
+// that the engine stays resumable (not poisoned, keeps making progress).
+func TestWatchdogOscillation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"serial", Options{Mode: ModeSerial, MaxSweeps: 60}},
+		{"pooled", func() Options { o := pooledOpts(ModeParallel); o.MaxSweeps = 60; return o }()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "pooled" {
+				force4Procs(t)
+			}
+			nl, delays := ringLatch(t)
+			e, err := New(nl, testLib, delays, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			startRing(t, e, nl)
+
+			err = e.Advance(1_000_000)
+			if err == nil {
+				t.Fatal("oscillating ring converged?")
+			}
+			if !errors.Is(err, ErrNoConvergence) {
+				t.Fatalf("cause is not ErrNoConvergence: %v", err)
+			}
+			var se *SimError
+			if !errors.As(err, &se) || se.Oscillation == nil {
+				t.Fatalf("no OscillationReport: %v", err)
+			}
+			rep := se.Oscillation
+			if rep.Sweeps != 60 || len(rep.Gates) == 0 {
+				t.Fatalf("report: sweeps=%d gates=%d", rep.Sweeps, len(rep.Gates))
+			}
+			names := map[string]bool{}
+			nets := 0
+			for _, g := range rep.Gates {
+				names[g.Name] = true
+				nets += len(g.Nets)
+			}
+			if !names["lat"] && !names["inv"] {
+				t.Errorf("report names %v, want the ring members", names)
+			}
+			if nets == 0 {
+				t.Error("report names no moving nets")
+			}
+
+			// Watchdog trips do not poison: the engine keeps working and a
+			// second advance continues the oscillation from where the first
+			// budget ran out.
+			if e.Err() != nil {
+				t.Fatalf("watchdog poisoned the engine: %v", e.Err())
+			}
+			q, _ := nl.Net("q")
+			wmBefore := e.Events(q).DeterminedUntil()
+			err = e.Advance(1_000_000)
+			if !errors.Is(err, ErrNoConvergence) {
+				t.Fatalf("second advance: %v", err)
+			}
+			if wmAfter := e.Events(q).DeterminedUntil(); wmAfter <= wmBefore {
+				t.Errorf("no progress across watchdog trips: watermark %d -> %d", wmBefore, wmAfter)
+			}
+		})
+	}
+}
+
+// TestAdvanceCtxPreCancelled checks that an already-expired context aborts
+// before any sweep runs and leaves the engine fully resumable.
+func TestAdvanceCtxPreCancelled(t *testing.T) {
+	nl, delays := faultChain(t)
+	e, err := New(nl, testLib, delays, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := nl.Net("a")
+	if err := e.Inject(a, 100, logic.V0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = e.AdvanceCtx(ctx, 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in the chain, got %v", err)
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Op != "advance" {
+		t.Fatalf("not a *SimError{Op: advance}: %v", err)
+	}
+	if got := e.Stats().Sweeps; got != 0 {
+		t.Errorf("%d sweeps ran under an expired context", got)
+	}
+	if e.Err() != nil {
+		t.Fatalf("cancellation poisoned the engine: %v", e.Err())
+	}
+
+	// Resume without the context: the run completes and the waveform is the
+	// usual chain response (n3 = 1 at 140 for a=0 at 100).
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	n3, _ := nl.Net("n3")
+	q := e.Events(n3)
+	if q.Len() == 0 || q.MustAt(0).Time != 140 || q.MustAt(0).Val != logic.V1 {
+		t.Errorf("post-cancel resume produced wrong waveform")
+	}
+}
+
+// TestCancellationStopsOscillation cancels mid-run (from inside a gate
+// visit, so the cancel lands while a sweep is executing) and checks the
+// engine notices at the next sweep boundary instead of spinning forever on
+// the unbounded default sweep budget.
+func TestCancellationStopsOscillation(t *testing.T) {
+	nl, delays := ringLatch(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visits atomic.Int64
+	opts := Options{Mode: ModeSerial} // default MaxSweeps: effectively unbounded
+	opts.GateHook = func(netlist.CellID) {
+		if visits.Add(1) == 25 {
+			cancel()
+		}
+	}
+	e, err := New(nl, testLib, delays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	startRing(t, e, nl)
+
+	err = e.AdvanceCtx(ctx, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if e.Err() != nil {
+		t.Fatalf("cancellation poisoned the engine: %v", e.Err())
+	}
+	// The abort is at a sweep boundary: the visit counter must be close to
+	// the trigger point, not thousands of sweeps later.
+	if v := visits.Load(); v > 30 {
+		t.Errorf("run kept sweeping after cancel: %d visits", v)
+	}
+}
+
+// TestLoadSnapshotClearsPoison checks the sanctioned recovery path: a
+// poisoned engine refuses snapshots, but restoring a known-good snapshot
+// replaces all state and clears the poison.
+func TestLoadSnapshotClearsPoison(t *testing.T) {
+	nl, delays := faultChain(t)
+	var armed atomic.Bool
+	opts := Options{Mode: ModeSerial}
+	opts.GateHook = func(netlist.CellID) {
+		if armed.Load() {
+			panic("armed fault")
+		}
+	}
+	e, err := New(nl, testLib, delays, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	a, _ := nl.Net("a")
+	if err := e.Inject(a, 100, logic.V0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := e.SaveSnapshot(&good); err != nil {
+		t.Fatal(err)
+	}
+
+	armed.Store(true)
+	if err := e.Inject(a, 600, logic.V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(1000); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("armed advance: %v", err)
+	}
+	if err := e.SaveSnapshot(&bytes.Buffer{}); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("poisoned engine saved a snapshot: %v", err)
+	}
+
+	armed.Store(false)
+	if err := e.LoadSnapshot(&good); err != nil {
+		t.Fatal(err)
+	}
+	if e.Err() != nil {
+		t.Fatalf("LoadSnapshot left poison in place: %v", e.Err())
+	}
+	if err := e.Inject(a, 600, logic.V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatalf("restored engine cannot run: %v", err)
+	}
+	n3, _ := nl.Net("n3")
+	q := e.Events(n3)
+	last := q.MustAt(q.Len() - 1)
+	if last.Time != 640 || last.Val != logic.V0 {
+		t.Errorf("restored run waveform: last event %+v, want {640 0}", last)
+	}
+}

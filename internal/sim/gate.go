@@ -114,7 +114,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 			q := inQ[i]
 			if softCur[i] < q.Len() {
 				idle = false
-				if q.At(softCur[i]).Time < g.softNow {
+				if q.MustAt(softCur[i]).Time < g.softNow {
 					resume = false
 					break
 				}

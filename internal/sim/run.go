@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,9 @@ import (
 // rules: it must not fall below the net's watermark (the determined past is
 // immutable) and times must strictly increase per net.
 func (e *Engine) Inject(nid netlist.NetID, t int64, v logic.Value) error {
+	if e.poison != nil {
+		return e.poisonError("inject")
+	}
 	if int(nid) >= len(e.queues) || !e.p.IsPI[nid] {
 		return fmt.Errorf("sim: net %d is not a primary input", nid)
 	}
@@ -38,7 +42,21 @@ func (e *Engine) Inject(nid netlist.NetID, t int64, v logic.Value) error {
 // Advance declares every primary input determined up to the horizon
 // (exclusive) — input values hold between injected events — and then runs
 // propagation sweeps until the simulation converges for this input range.
+// It is AdvanceCtx without cancellation.
 func (e *Engine) Advance(horizon int64) error {
+	return e.AdvanceCtx(context.Background(), horizon)
+}
+
+// AdvanceCtx is Advance under a context: cancellation and deadline are
+// checked at every sweep boundary, so an expired context aborts the run
+// within one sweep. The abort is clean — all committed state is kept, the
+// engine is NOT poisoned, and a later AdvanceCtx resumes the convergence
+// where this one stopped. The returned error is a *SimError wrapping
+// ctx.Err().
+func (e *Engine) AdvanceCtx(ctx context.Context, horizon int64) error {
+	if e.poison != nil {
+		return e.poisonError("advance")
+	}
 	if horizon > TimeInf {
 		horizon = TimeInf
 	}
@@ -60,12 +78,15 @@ func (e *Engine) Advance(horizon int64) error {
 			e.markLoads(netlist.NetID(nid), wOld, true)
 		}
 	}
-	return e.converge(horizon)
+	return e.converge(ctx, horizon)
 }
 
 // Finish declares the inputs frozen at their final values forever and runs
 // the simulation to completion.
 func (e *Engine) Finish() error { return e.Advance(TimeInf) }
+
+// FinishCtx is Finish under a context (see AdvanceCtx).
+func (e *Engine) FinishCtx(ctx context.Context) error { return e.AdvanceCtx(ctx, TimeInf) }
 
 // converge repeats sweeps (sequential phase, then each combinational level)
 // until no gate makes progress. Each sweep is one executor round over the
@@ -88,10 +109,18 @@ func (e *Engine) Finish() error { return e.Advance(TimeInf) }
 // proves no event can ever occur again, and every watermark jumps to
 // TimeInf at once (the engine's analogue of the reference simulator's empty
 // event queue).
-func (e *Engine) converge(horizon int64) error {
+func (e *Engine) converge(ctx context.Context, horizon int64) error {
 	oblivious := e.mode == ModeManycore
 	jumped := false
 	for sweep := 0; sweep < e.opts.MaxSweeps; sweep++ {
+		// Cancellation is honored at sweep boundaries only: a sweep is the
+		// unit of consistency (events commit, dirty flags settle), so
+		// stopping here leaves the engine resumable — a later AdvanceCtx
+		// picks the convergence back up from the committed state.
+		if err := ctx.Err(); err != nil {
+			return &SimError{Op: "advance", Cause: err}
+		}
+
 		sweepStart := time.Now()
 		eventsBefore := e.stats.EventsCommitted
 
@@ -107,6 +136,10 @@ func (e *Engine) converge(horizon int64) error {
 			e.lastDirty = int(processed)
 		}
 		e.stats.SweepNS += time.Since(sweepStart).Nanoseconds()
+
+		if rec := e.exec.takeFailure(); rec != nil {
+			return e.poisonFromPanic("advance", rec)
+		}
 
 		if oblivious {
 			if !progress {
@@ -135,7 +168,15 @@ func (e *Engine) converge(horizon int64) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("sim: no convergence after %d sweeps (livelock?)", e.opts.MaxSweeps)
+	// Watchdog trip: the netlist is still moving after the full sweep
+	// budget — almost always an oscillating loop (e.g. a ring through a
+	// transparent latch). Diagnose, but do NOT poison: the committed state
+	// is consistent, and the caller may raise MaxSweeps and resume.
+	return &SimError{
+		Op:          "advance",
+		Cause:       fmt.Errorf("%w (%d sweeps)", ErrNoConvergence, e.opts.MaxSweeps),
+		Oscillation: e.oscillationReport(horizon, e.opts.MaxSweeps),
+	}
 }
 
 // quiescentBelow reports whether no gate can ever produce an event below
@@ -169,7 +210,7 @@ func (e *Engine) Value(nid netlist.NetID, t int64) logic.Value {
 	// queried rarely (debug, tests), so scan.
 	v := q.BaseVal()
 	for i := q.Start(); i < q.Len(); i++ {
-		ev := q.At(i)
+		ev := q.MustAt(i)
 		if ev.Time > t {
 			break
 		}
@@ -188,9 +229,18 @@ func (e *Engine) SetReadMark(nid netlist.NetID, idx int64) {
 
 // Checkpoint folds the determined-and-committed history into per-gate base
 // state and releases event pages that no gate cursor or read mark still
-// needs. Call between stream slices.
+// needs. Call between stream slices. On a poisoned engine it is a no-op
+// (the state it would fold is suspect); a panic contained during the fold
+// itself poisons the engine like a sweep panic would.
 func (e *Engine) Checkpoint() {
+	if e.poison != nil {
+		return
+	}
 	e.exec.runCheckpoint()
+	if rec := e.exec.takeFailure(); rec != nil {
+		e.poisonFromPanic("checkpoint", rec)
+		return
+	}
 	e.stats.Checkpoints++
 
 	// keep[nid] = lowest event index still needed.

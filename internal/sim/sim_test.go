@@ -34,7 +34,7 @@ func collectEngine(e *Engine) map[netlist.NetID][]event.Event {
 	for nid := range e.nl.Nets {
 		q := e.Events(netlist.NetID(nid))
 		for i := q.Start(); i < q.Len(); i++ {
-			out[netlist.NetID(nid)] = append(out[netlist.NetID(nid)], q.At(i))
+			out[netlist.NetID(nid)] = append(out[netlist.NetID(nid)], q.MustAt(i))
 		}
 	}
 	return out
@@ -94,7 +94,7 @@ func TestInverterChainWaveform(t *testing.T) {
 	q := e.Events(n3)
 	var got []event.Event
 	for i := q.Start(); i < q.Len(); i++ {
-		got = append(got, q.At(i))
+		got = append(got, q.MustAt(i))
 	}
 	want := []event.Event{{Time: 140, Val: logic.V1}, {Time: 240, Val: logic.V0}}
 	if len(got) != len(want) {
@@ -151,7 +151,7 @@ func TestToggleFlipFlop(t *testing.T) {
 	qq := e.Events(q)
 	var got []event.Event
 	for i := qq.Start(); i < qq.Len(); i++ {
-		got = append(got, qq.At(i))
+		got = append(got, qq.MustAt(i))
 	}
 	// Reset pulls Q to 0 at 0+50. Edges at 500,1500,2500,3500 toggle Q
 	// (capturing QN) with 50ps CLK->Q delay.
@@ -342,7 +342,7 @@ func TestStreamedMatchesOneShot(t *testing.T) {
 	for _, nid := range d.Outs {
 		q := e1.Events(nid)
 		for i := q.Start(); i < q.Len(); i++ {
-			want[nid] = append(want[nid], q.At(i))
+			want[nid] = append(want[nid], q.MustAt(i))
 		}
 	}
 
@@ -363,7 +363,7 @@ func TestStreamedMatchesOneShot(t *testing.T) {
 				t.Fatalf("trimmed below read mark on %s", d.Netlist.Nets[nid].Name)
 			}
 			for ; i < q.Len(); i++ {
-				ev := q.At(i)
+				ev := q.MustAt(i)
 				if ev.Time >= q.DeterminedUntil() {
 					break
 				}

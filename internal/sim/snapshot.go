@@ -49,8 +49,12 @@ type snapshot struct {
 }
 
 // SaveSnapshot serializes the engine state. Call only between Advance calls
-// (never mid-convergence).
+// (never mid-convergence). A poisoned engine refuses to snapshot: the state
+// it would capture is suspect.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
+	if e.poison != nil {
+		return e.poisonError("snapshot")
+	}
 	s := snapshot{
 		Version:        snapshotVersion,
 		Design:         e.nl.Name,
@@ -77,7 +81,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 			DeterminedUntil: q.DeterminedUntil(),
 		}
 		for k := q.Start(); k < q.Len(); k++ {
-			ev := q.At(k)
+			ev := q.MustAt(k)
 			sn.Times = append(sn.Times, ev.Time)
 			sn.Vals = append(sn.Vals, ev.Val)
 		}
@@ -87,7 +91,9 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 }
 
 // LoadSnapshot restores state saved by SaveSnapshot into an engine built
-// for the *same* netlist and library. All prior engine state is replaced.
+// for the *same* netlist and library. All prior engine state is replaced —
+// including poison: restoring a known-good snapshot is the sanctioned way
+// to bring a poisoned engine back into service.
 func (e *Engine) LoadSnapshot(r io.Reader) error {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
@@ -132,5 +138,6 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		}
 		q.SetDeterminedUntil(sn.DeterminedUntil)
 	}
+	e.poison = nil
 	return nil
 }

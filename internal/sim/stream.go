@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -63,8 +64,20 @@ type StreamConfig struct {
 
 // RunStream drives the engine from a stimulus source in streaming slices:
 // the paper's streamed signal I/O (§III-D.2). Memory stays bounded by the
-// slice contents regardless of total trace length.
+// slice contents regardless of total trace length. It is RunStreamCtx
+// without cancellation.
 func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
+	return e.RunStreamCtx(context.Background(), src, cfg)
+}
+
+// RunStreamCtx is RunStream under a context: the context is threaded into
+// every slice's AdvanceCtx, so cancellation aborts within one sweep
+// boundary. Events already flushed stay flushed; the engine remains
+// resumable (see AdvanceCtx).
+func (e *Engine) RunStreamCtx(ctx context.Context, src StimulusSource, cfg StreamConfig) error {
+	if e.poison != nil {
+		return e.poisonError("stream")
+	}
 	if cfg.SlicePS <= 0 {
 		cfg.SlicePS = 65536
 	}
@@ -101,7 +114,7 @@ func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
 				return fmt.Errorf("sim: stream read mark trimmed on %s", e.nl.Nets[nid].Name)
 			}
 			for ; i < q.Len(); i++ {
-				ev := q.At(i)
+				ev := q.MustAt(i)
 				if ev.Time >= limit {
 					break
 				}
@@ -146,7 +159,7 @@ func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
 				return err
 			}
 		}
-		if err := e.Advance(end); err != nil {
+		if err := e.AdvanceCtx(ctx, end); err != nil {
 			return err
 		}
 		// Events are only safe to emit in global order up to the slowest
@@ -163,7 +176,7 @@ func (e *Engine) RunStream(src StimulusSource, cfg StreamConfig) error {
 		e.Checkpoint()
 		start = end
 	}
-	if err := e.Finish(); err != nil {
+	if err := e.FinishCtx(ctx); err != nil {
 		return err
 	}
 	return flush(TimeInf + 1)

@@ -1,0 +1,28 @@
+package vcd
+
+// Fuzz target for the VCD reader: arbitrary input must produce either parsed
+// changes or an error — never a panic. scripts/check.sh runs this as a short
+// smoke stage; `make fuzz` runs it longer.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseVCD(f *testing.F) {
+	f.Add(sample)
+	f.Add("$enddefinitions $end\n#0\n")
+	f.Add("$timescale 100ps $end\n$var wire 1 ! a $end\n$enddefinitions $end\n#1\n1!\nb0 !\n")
+	f.Add("$scope module m $end\n$var wire 1 % q $end\n$upscope $end\n$enddefinitions $end\n$dumpvars\nx%\n$end\n#3\nz%\n")
+	f.Add("#5\n1!")
+	f.Add("$var wire")
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := NewReader(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if _, err := r.ReadAll(); err != nil {
+			return
+		}
+	})
+}

@@ -14,7 +14,9 @@
 package workpool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -24,6 +26,31 @@ import (
 // common case: consecutive levels of one sweep) cost no futex traffic.
 const spinRounds = 64
 
+// PanicError is the containment record for a panic that escaped a work
+// item. Workers run items under recover(), so a panicking fn (or FaultHook)
+// kills neither the worker goroutine nor the process: the first panic of a
+// round is captured here and returned from Run, and the round still runs to
+// completion so coordinator-side barriers stay safe.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack at the panic point
+	Item  int    // work item whose execution panicked
+	// Started reports whether fn(Item) began executing. False means the
+	// panic came from the FaultHook before the item ran: the item's work was
+	// never attempted (and, for idempotent work lists, can be redone
+	// serially). True means fn died mid-item and its partial effects are
+	// suspect.
+	Started bool
+}
+
+func (e *PanicError) Error() string {
+	phase := "during"
+	if !e.Started {
+		phase = "before"
+	}
+	return fmt.Sprintf("workpool: panic %s item %d: %v", phase, e.Item, e.Value)
+}
+
 // round is the immutable-per-dispatch work descriptor. Each dispatch
 // allocates a fresh one so a helper that wakes late and loads a stale
 // pointer only ever sees exhausted counters — never a recycled round.
@@ -32,6 +59,8 @@ type round struct {
 	fn   func(int)
 	idx  atomic.Int64 // next work item to claim
 	left atomic.Int64 // items not yet completed
+
+	fail atomic.Pointer[PanicError] // first contained panic of the round
 }
 
 // Stats is a snapshot of the pool's scheduling counters.
@@ -48,6 +77,14 @@ type Stats struct {
 // parallelism is 1 never starts helpers and runs every round inline.
 type Pool struct {
 	helpers int // goroutines beyond the coordinator
+
+	// FaultHook, when non-nil, runs before every work item on the worker
+	// about to execute it. It exists for chaos testing only: a hook that
+	// panics simulates a dying worker (contained like any other panic, with
+	// Started=false), a hook that sleeps simulates a stalled or late-woken
+	// worker. Set it before the first Run and never change it concurrently
+	// with one.
+	FaultHook func(item int)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -96,15 +133,24 @@ func (p *Pool) Stats() Stats {
 // have completed. The coordinator participates, so Run makes progress even
 // with every helper parked. Distinct invocations fn(i) may run concurrently;
 // Run itself must only be called from the coordinating goroutine.
-func (p *Pool) Run(n int, fn func(int)) {
+//
+// Panics inside fn (or the FaultHook) are contained: the worker recovers,
+// the round still completes every remaining item, and Run returns the first
+// captured panic as a *PanicError. A nil return means every item executed
+// without panicking.
+func (p *Pool) Run(n int, fn func(int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if p.helpers == 0 || n == 1 {
+		r := &round{n: int64(n), fn: fn}
 		for i := 0; i < n; i++ {
-			fn(i)
+			p.runItem(r, int64(i))
 		}
-		return
+		if pe := r.fail.Load(); pe != nil {
+			return pe
+		}
+		return nil
 	}
 	p.ensureStarted()
 	r := &round{n: int64(n), fn: fn}
@@ -121,6 +167,10 @@ func (p *Pool) Run(n int, fn func(int)) {
 	p.cond.Broadcast()
 	p.serve(r)
 	<-p.done
+	if pe := r.fail.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }
 
 // serve claims and runs work items until the round is exhausted, signalling
@@ -131,11 +181,31 @@ func (p *Pool) serve(r *round) {
 		if i >= r.n {
 			return
 		}
-		r.fn(int(i))
+		p.runItem(r, i)
 		if r.left.Add(-1) == 0 {
 			p.done <- struct{}{}
 		}
 	}
+}
+
+// runItem executes one work item under recover. A panic — whether from the
+// chaos FaultHook or from fn itself — is recorded on the round (first one
+// wins) instead of unwinding the worker, so the completion accounting the
+// caller's barrier depends on is never lost.
+func (p *Pool) runItem(r *round, i int64) {
+	started := false
+	defer func() {
+		if v := recover(); v != nil {
+			r.fail.CompareAndSwap(nil, &PanicError{
+				Value: v, Stack: debug.Stack(), Item: int(i), Started: started,
+			})
+		}
+	}()
+	if h := p.FaultHook; h != nil {
+		h(int(i))
+	}
+	started = true
+	r.fn(int(i))
 }
 
 // Close parks-out and joins every helper goroutine. It is idempotent and

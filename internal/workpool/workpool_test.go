@@ -85,6 +85,140 @@ func TestCloseJoinsAndRestarts(t *testing.T) {
 	p.Close()
 }
 
+func TestRunContainsFnPanic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := New(4)
+	defer p.Close()
+	var hits atomic.Int64
+	err := p.Run(256, func(i int) {
+		if i == 97 {
+			panic("boom")
+		}
+		hits.Add(1)
+	})
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("Run returned %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || pe.Item != 97 || !pe.Started {
+		t.Errorf("PanicError = %+v, want value boom, item 97, started", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	if got := hits.Load(); got != 255 {
+		t.Errorf("round completed %d/255 surviving items", got)
+	}
+	// The pool survives a contained panic: the next round is clean.
+	hits.Store(0)
+	if err := p.Run(64, func(int) { hits.Add(1) }); err != nil {
+		t.Fatalf("round after contained panic: %v", err)
+	}
+	if hits.Load() != 64 {
+		t.Fatalf("post-panic round ran %d/64 items", hits.Load())
+	}
+}
+
+func TestFaultHookPanicIsNotStarted(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := New(4)
+	defer p.Close()
+	var ran [8]atomic.Bool
+	p.FaultHook = func(item int) {
+		if item == 3 {
+			panic("worker died")
+		}
+	}
+	err := p.Run(8, func(i int) { ran[i].Store(true) })
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("Run returned %v, want *PanicError", err)
+	}
+	if pe.Started {
+		t.Error("hook panic reported Started=true; item never ran")
+	}
+	if pe.Item != 3 {
+		t.Errorf("PanicError.Item = %d, want 3", pe.Item)
+	}
+	if ran[3].Load() {
+		t.Error("item 3 ran despite the pre-item hook panic")
+	}
+	for i := 0; i < 8; i++ {
+		if i != 3 && !ran[i].Load() {
+			t.Errorf("item %d skipped", i)
+		}
+	}
+	p.FaultHook = nil
+}
+
+func TestContainedPanicLeaksNoWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	before := runtime.NumGoroutine()
+	p := New(4)
+	for round := 0; round < 20; round++ {
+		p.Run(64, func(i int) {
+			if i%17 == 0 {
+				panic(i)
+			}
+		})
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across panicking rounds: %d -> %d", before, after)
+	}
+}
+
+func TestFaultHookStallDelaysButCompletes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p := New(4)
+	defer p.Close()
+	var stalled atomic.Int64
+	p.FaultHook = func(item int) {
+		if item == 0 {
+			stalled.Add(1)
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	var hits atomic.Int64
+	if err := p.Run(64, func(int) { hits.Add(1) }); err != nil {
+		t.Fatalf("stalled round errored: %v", err)
+	}
+	if hits.Load() != 64 {
+		t.Fatalf("stalled round ran %d/64 items", hits.Load())
+	}
+	if stalled.Load() == 0 {
+		t.Error("stall hook never fired")
+	}
+	p.FaultHook = nil
+}
+
+func TestInlinePoolContainsPanic(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	ran := 0
+	err := p.Run(4, func(i int) {
+		if i == 1 {
+			panic("inline boom")
+		}
+		ran++
+	})
+	pe, ok := err.(*PanicError)
+	if !ok || pe.Value != "inline boom" || pe.Item != 1 {
+		t.Fatalf("inline Run returned %v, want contained item-1 panic", err)
+	}
+	if ran != 3 {
+		t.Fatalf("inline round completed %d/3 surviving items", ran)
+	}
+}
+
 func TestParkedHelpersWake(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)

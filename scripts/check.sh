@@ -1,9 +1,12 @@
 #!/bin/sh
-# Repository check gate: build, vet, formatting, full tests, and a
-# short-mode race pass over the concurrent packages. The sim race run
-# includes the cross-mode equivalence test (serial/parallel/manycore on one
-# stimulus trace), so the pooled executor is raced against the serial oracle
-# on every check.
+# Repository check gate: build, vet, formatting, full tests, a short-mode
+# race pass over the concurrent packages, and a parser fuzz smoke stage.
+# The sim race run includes the cross-mode equivalence test (serial/
+# parallel/manycore on one stimulus trace), so the pooled executor is raced
+# against the serial oracle on every check. It also covers the fault tests
+# (contained panics, degradation, cancellation), so the failure ladder is
+# raced on every check too. The fuzz stage gives each parser a few seconds
+# of coverage-guided input; `make fuzz` runs the same targets longer.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,5 +29,12 @@ go test ./...
 
 echo "== go test -race (short, concurrent packages)"
 go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/
+
+echo "== parser fuzz smoke (5s per parser)"
+go test -run '^$' -fuzz FuzzParseLiberty -fuzztime 5s ./internal/liberty/
+go test -run '^$' -fuzz FuzzParseVerilog'$' -fuzztime 5s ./internal/netlist/
+go test -run '^$' -fuzz FuzzParseVerilogHierarchy -fuzztime 5s ./internal/netlist/
+go test -run '^$' -fuzz FuzzParseSDF -fuzztime 5s ./internal/sdf/
+go test -run '^$' -fuzz FuzzParseVCD -fuzztime 5s ./internal/vcd/
 
 echo "check: all passed"

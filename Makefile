@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-smoke fmt fuzz
+.PHONY: check build test bench bench-smoke bench-compare fmt fuzz
 
 check:
 	./scripts/check.sh
@@ -20,6 +20,12 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench BenchmarkFig8 -benchtime 1x .
 	go run ./cmd/experiments -fig8 -scale 0.005 -cycles 60 -threadlist 1,2,4 -json BENCH_smoke.json
+
+# Re-run the smoke benchmark and diff it against the committed
+# BENCH_smoke.json, failing on >10% runtime regressions (see
+# scripts/bench_compare.sh and cmd/benchcmp).
+bench-compare:
+	./scripts/bench_compare.sh
 
 fmt:
 	gofmt -w .

@@ -394,7 +394,7 @@ func BenchmarkAblationPartitionQuality(b *testing.B) {
 			if err := ps.Run(append([]partsim.Stim(nil), pstim...), nil); err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(float64(ps.CrossMessages), "crossmsgs")
+			b.ReportMetric(float64(ps.Stats().CrossMessages), "crossmsgs")
 		}
 	}
 	b.Run("contiguous", func(b *testing.B) { runStrategy(b, partsim.StrategyContiguous) })

@@ -1,0 +1,113 @@
+// benchcmp compares two bench-smoke reports (see `make bench-smoke` and
+// harness.BenchSmokeReport) and fails when the candidate regresses a
+// runtime metric beyond a relative threshold.
+//
+// Usage:
+//
+//	benchcmp [-threshold 0.10] baseline.json candidate.json
+//
+// Samples are matched by thread count; every *_ns runtime field is
+// compared, and so are the per-phase wall-time sums under phase_ns when
+// both reports carry them. A candidate more than threshold slower on any
+// metric exits 1 (the bench-compare CI gate); missing counterparts are
+// reported but not fatal, so reports from different thread lists still
+// compare on their overlap.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"gatesim/internal/harness"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold F] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := readReport(flag.Arg(0))
+	fail(err)
+	cand, err := readReport(flag.Arg(1))
+	fail(err)
+
+	lines, regressions := compare(base, cand, *threshold)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d metric(s) regressed more than %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: no regression beyond %.0f%%\n", *threshold*100)
+}
+
+func readReport(path string) (harness.BenchSmokeReport, error) {
+	var rep harness.BenchSmokeReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare renders a per-metric delta table and counts regressions: metrics
+// where the candidate is more than threshold slower than the baseline.
+// Metrics at 0 in the baseline (not measured) are skipped.
+func compare(base, cand harness.BenchSmokeReport, threshold float64) (lines []string, regressions int) {
+	byThreads := make(map[int]harness.BenchSmokePoint, len(base.Samples))
+	for _, s := range base.Samples {
+		byThreads[s.Threads] = s
+	}
+	check := func(name string, baseNS, candNS int64) {
+		if baseNS <= 0 {
+			return
+		}
+		ratio := float64(candNS)/float64(baseNS) - 1
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		lines = append(lines, fmt.Sprintf("%-28s %12d -> %12d  %+6.1f%%%s", name, baseNS, candNS, ratio*100, mark))
+	}
+	for _, c := range cand.Samples {
+		b, ok := byThreads[c.Threads]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("t=%d: no baseline sample; skipped", c.Threads))
+			continue
+		}
+		check(fmt.Sprintf("t=%d ours_sdf_ns", c.Threads), b.OursSDFNS, c.OursSDFNS)
+		check(fmt.Sprintf("t=%d ours_unit_ns", c.Threads), b.OursUnitNS, c.OursUnitNS)
+		check(fmt.Sprintf("t=%d part_sdf_ns", c.Threads), b.PartSDFNS, c.PartSDFNS)
+		check(fmt.Sprintf("t=%d part_unit_ns", c.Threads), b.PartUnitNS, c.PartUnitNS)
+	}
+	if len(base.PhaseNS) > 0 && len(cand.PhaseNS) > 0 {
+		phases := make([]string, 0, len(cand.PhaseNS))
+		for name := range cand.PhaseNS {
+			phases = append(phases, name)
+		}
+		sort.Strings(phases)
+		for _, name := range phases {
+			if baseNS, ok := base.PhaseNS[name]; ok {
+				check("phase "+name, baseNS, cand.PhaseNS[name])
+			}
+		}
+	}
+	return lines, regressions
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}

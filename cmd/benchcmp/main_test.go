@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gatesim/internal/harness"
+)
+
+func report(oursSDF, partSDF int64, phaseSweep int64) harness.BenchSmokeReport {
+	return harness.BenchSmokeReport{
+		Samples: []harness.BenchSmokePoint{
+			{Threads: 2, OursSDFNS: oursSDF, PartSDFNS: partSDF},
+		},
+		PhaseNS: map[string]int64{"sim.sweep": phaseSweep},
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := report(1_000_000, 2_000_000, 500_000)
+	// ours_sdf 25% slower: regression. part_sdf 5% slower: within threshold.
+	cand := report(1_250_000, 2_100_000, 500_000)
+	lines, regs := compare(base, cand, 0.10)
+	if regs != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regs, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "ours_sdf_ns") || !strings.Contains(joined, "REGRESSION") {
+		t.Errorf("missing regression line:\n%s", joined)
+	}
+}
+
+func TestCompareCleanAndSkips(t *testing.T) {
+	base := report(1_000_000, 2_000_000, 500_000)
+	cand := report(1_050_000, 1_900_000, 540_000)
+	// An extra candidate thread count without a baseline is skipped, not fatal.
+	cand.Samples = append(cand.Samples, harness.BenchSmokePoint{Threads: 8, OursSDFNS: 1})
+	lines, regs := compare(base, cand, 0.10)
+	if regs != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", regs, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "t=8: no baseline sample") {
+		t.Errorf("missing skip notice:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestComparePhaseRegression(t *testing.T) {
+	base := report(1_000_000, 2_000_000, 500_000)
+	cand := report(1_000_000, 2_000_000, 800_000)
+	if _, regs := compare(base, cand, 0.10); regs != 1 {
+		t.Fatalf("phase regression not flagged (regs = %d)", regs)
+	}
+}
+
+func TestCompareZeroBaselineSkipped(t *testing.T) {
+	base := report(0, 0, 0)
+	cand := report(9_999_999, 9_999_999, 9_999_999)
+	if _, regs := compare(base, cand, 0.10); regs != 0 {
+		t.Fatalf("unmeasured baseline metrics must not regress (regs = %d)", regs)
+	}
+}

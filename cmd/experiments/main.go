@@ -14,6 +14,12 @@
 // bench-smoke report (runtimes plus engine scheduling counters) to FILE;
 // `make bench-smoke` uses this to produce BENCH_smoke.json.
 //
+// Observability flags apply to the simulator runs inside -table2/-fig8:
+// -trace FILE records a Chrome/Perfetto trace-event JSON, -metrics FILE
+// dumps the full metric snapshot, and -debug-addr ADDR serves live
+// metric/expvar/pprof introspection (binds localhost unless a host is
+// given).
+//
 // -timeout D bounds the whole invocation: when it expires the running
 // experiment is cancelled at the next sweep/round boundary and the process
 // exits non-zero with the structured error.
@@ -30,6 +36,7 @@ import (
 	"strings"
 
 	"gatesim/internal/harness"
+	"gatesim/internal/obs"
 	"gatesim/internal/sim"
 )
 
@@ -53,6 +60,10 @@ func main() {
 		jsonOut    = flag.String("json", "", "also write the -fig8 bench-smoke report to this file")
 		cells      = flag.Int("cells", 1000, "library size for -libcomp")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+
+		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of -table2/-fig8 runs to this file")
+		metrics   = flag.String("metrics", "", "write the full metric snapshot as JSON to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address (host-less addr binds localhost)")
 	)
 	flag.Parse()
 	if !(*table1 || *table2 || *fig8 || *libcomp || *par || *all) {
@@ -69,6 +80,23 @@ func main() {
 		defer cancel()
 	}
 
+	var (
+		reg *obs.Registry
+		tr  *obs.Trace
+	)
+	if *metrics != "" || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		tr = obs.NewTrace()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebug(*debugAddr, reg)
+		fail(err)
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "experiments: debug endpoint at http://%s/debug/metrics\n", ds.Addr())
+	}
+
 	if *table1 {
 		rows, err := harness.Table1(*scale, *seed)
 		fail(err)
@@ -83,6 +111,7 @@ func main() {
 		rows, err := harness.Table2(ctx, harness.Table2Config{
 			Scale: *scale, Presets: names,
 			ShortCycles: *shortCyc, Threads: *threads, Seed: *seed,
+			Metrics: reg, Trace: tr,
 		})
 		fail(err)
 		fmt.Print(harness.FormatTable2(rows, *threads))
@@ -98,6 +127,7 @@ func main() {
 		cfg := harness.Fig8Config{
 			Preset: *fig8Preset, Scale: *scale, Cycles: *fig8Cycles,
 			Threads: ths, Seed: *seed,
+			Metrics: reg, Trace: tr,
 		}
 		if *jsonOut != "" {
 			rep, err := harness.BenchSmoke(ctx, cfg)
@@ -133,6 +163,21 @@ func main() {
 		r, err := harness.Libcomp(*cells, *seed)
 		fail(err)
 		fmt.Print(harness.FormatLibcomp(r))
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		fail(err)
+		fail(tr.WriteJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "experiments: wrote trace (%d events) to %s — open in ui.perfetto.dev\n", tr.Len(), *tracePath)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		fail(err)
+		fail(reg.WriteReport(f))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "experiments: wrote metric report to %s\n", *metrics)
 	}
 }
 

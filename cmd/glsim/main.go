@@ -7,10 +7,16 @@
 //
 //	glsim -v design.v -sdf design.sdf -vcd stimuli.vcd -o out.vcd \
 //	      [-lib cells.lib] [-mode auto|serial|parallel|manycore] \
-//	      [-threads N] [-slice PS] [-watch all|outputs] [-power] [-timeout D]
+//	      [-threads N] [-slice PS] [-watch all|outputs] [-power] [-timeout D] \
+//	      [-trace out.json] [-metrics out.json] [-debug-addr :6060]
 //
 // -timeout D aborts the simulation after D: the engine stops at the next
 // sweep boundary and glsim exits non-zero with the structured error.
+//
+// -trace writes a Chrome/Perfetto trace-event JSON (load it in
+// ui.perfetto.dev or chrome://tracing), -metrics writes the full metric
+// snapshot, and -debug-addr serves live metric/expvar/pprof introspection
+// while the run is in flight (binds localhost unless a host is given).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"gatesim/internal/harness"
 	"gatesim/internal/liberty"
 	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
 	"gatesim/internal/plan"
 	"gatesim/internal/sdf"
 	"gatesim/internal/sim"
@@ -52,6 +59,10 @@ func main() {
 		hold     = flag.Int64("hold", 0, "hold margin in ps for dynamic timing checks")
 		saifOut  = flag.String("saif", "", "write switching activity to this SAIF file (implies -watch all)")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+
+		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of the run to this file")
+		metrics   = flag.String("metrics", "", "write the full metric snapshot as JSON to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address (host-less addr binds localhost)")
 	)
 	flag.Parse()
 	if *vFile == "" || *vcdFile == "" {
@@ -64,7 +75,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *vFile, *topMod, *libFile, *sdfFile, *vcdFile, *outFile, *saifOut, *modeFlag, *threads, *slicePS, *watch, *power, timing.Margins{Setup: *setup, Hold: *hold}); err != nil {
+	ocfg := obsConfig{TracePath: *tracePath, MetricsPath: *metrics, DebugAddr: *debugAddr}
+	if err := run(ctx, *vFile, *topMod, *libFile, *sdfFile, *vcdFile, *outFile, *saifOut, *modeFlag, *threads, *slicePS, *watch, *power, timing.Margins{Setup: *setup, Hold: *hold}, ocfg); err != nil {
 		fmt.Fprintln(os.Stderr, "glsim:", err)
 		var se *sim.SimError
 		if errors.As(err, &se) {
@@ -82,7 +94,34 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag string, threads int, slicePS int64, watch string, power bool, margins timing.Margins) error {
+// obsConfig carries the observability flag values: output paths for the
+// trace and metric artifacts and the live-introspection bind address.
+type obsConfig struct {
+	TracePath   string
+	MetricsPath string
+	DebugAddr   string
+}
+
+func run(ctx context.Context, vFile, topMod, libFile, sdfFile, vcdFile, outFile, saifOut, modeFlag string, threads int, slicePS int64, watch string, power bool, margins timing.Margins, ocfg obsConfig) error {
+	var (
+		reg *obs.Registry
+		tr  *obs.Trace
+	)
+	if ocfg.MetricsPath != "" || ocfg.DebugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if ocfg.TracePath != "" {
+		tr = obs.NewTrace()
+	}
+	if ocfg.DebugAddr != "" {
+		ds, err := obs.StartDebug(ocfg.DebugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "glsim: debug endpoint at http://%s/debug/metrics\n", ds.Addr())
+	}
+
 	lib, err := liberty.Builtin()
 	if err != nil {
 		return fmt.Errorf("built-in library: %w", err)
@@ -152,7 +191,7 @@ func run(ctx context.Context, vFile, topMod, libFile, sdfFile, vcdFile, outFile,
 	if err != nil {
 		return err
 	}
-	engine, err := sim.NewFromPlan(pl, sim.Options{Mode: mode, Threads: threads})
+	engine, err := sim.NewFromPlan(pl, sim.Options{Mode: mode, Threads: threads, Metrics: reg, Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -289,6 +328,37 @@ func run(ctx context.Context, vFile, topMod, libFile, sdfFile, vcdFile, outFile,
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "glsim: wrote SAIF activity to %s"+"\n", saifOut)
+	}
+	if ocfg.TracePath != "" {
+		f, err := os.Create(ocfg.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if n := tr.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "glsim: trace buffer full; dropped %d events\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "glsim: wrote trace (%d events) to %s — open in ui.perfetto.dev or chrome://tracing\n", tr.Len(), ocfg.TracePath)
+	}
+	if ocfg.MetricsPath != "" {
+		f, err := os.Create(ocfg.MetricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteReport(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "glsim: wrote metric report to %s\n", ocfg.MetricsPath)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"gatesim/internal/gen"
 	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
 	"gatesim/internal/timing"
 	"gatesim/internal/vcd"
 )
@@ -71,8 +73,11 @@ func TestEndToEnd(t *testing.T) {
 	outPath := filepath.Join(dir, "out.vcd")
 
 	saifPath := filepath.Join(dir, "out.saif")
+	tracePath := filepath.Join(dir, "out.trace.json")
+	metricsPath := filepath.Join(dir, "out.metrics.json")
 	if err := run(context.Background(), vPath, "", "", sdfPath, vcdPath, outPath, saifPath, "serial", 1, 0, "outputs", false,
-		timing.Margins{Setup: 50, Hold: 20}); err != nil {
+		timing.Margins{Setup: 50, Hold: 20},
+		obsConfig{TracePath: tracePath, MetricsPath: metricsPath}); err != nil {
 		t.Fatal(err)
 	}
 	outF, err := os.Open(outPath)
@@ -102,10 +107,36 @@ func TestEndToEnd(t *testing.T) {
 	if !strings.Contains(string(saifData), "(SAIFILE") || !strings.Contains(string(saifData), "(TC ") {
 		t.Error("SAIF output malformed")
 	}
+
+	// -trace must produce a valid Chrome trace-event file with the engine's
+	// span vocabulary, -metrics a decodable run report with sim counters.
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(traceData); err != nil {
+		t.Errorf("-trace output fails validation: %v", err)
+	}
+	for _, want := range []string{`"sweep"`, `"slice"`, `"sim.events_committed"`} {
+		if !strings.Contains(string(traceData), want) {
+			t.Errorf("-trace output missing %s", want)
+		}
+	}
+	metricsData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(metricsData, &rep); err != nil {
+		t.Fatalf("-metrics output not a run report: %v", err)
+	}
+	if rep.Counters["sim.sweeps"] == 0 || rep.Counters["sim.events_committed"] == 0 {
+		t.Errorf("-metrics report missing sim counters: %v", rep.Counters)
+	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "/nonexistent.v", "", "", "", "/nonexistent.vcd", "", "", "serial", 1, 0, "outputs", false, timing.Margins{}); err == nil {
+	if err := run(context.Background(), "/nonexistent.v", "", "", "", "/nonexistent.vcd", "", "", "serial", 1, 0, "outputs", false, timing.Margins{}, obsConfig{}); err == nil {
 		t.Error("missing netlist must fail")
 	}
 }

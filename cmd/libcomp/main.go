@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -27,13 +28,13 @@ func main() {
 		perCell = flag.Bool("per-cell", false, "print one line per cell")
 	)
 	flag.Parse()
-	if err := run(*libFile, *synth, *perCell); err != nil {
+	if err := run(os.Stdout, *libFile, *synth, *perCell); err != nil {
 		fmt.Fprintln(os.Stderr, "libcomp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(libFile string, synth int, perCell bool) error {
+func run(w io.Writer, libFile string, synth int, perCell bool) error {
 	var (
 		lib *liberty.Library
 		err error
@@ -66,8 +67,8 @@ func run(libFile string, synth int, perCell bool) error {
 	runtime.ReadMemStats(&after)
 
 	st := cl.Stats()
-	fmt.Printf("library %q: %d cells compiled in %v\n", lib.Name, st.Cells, dur.Round(time.Microsecond))
-	fmt.Printf("extended truth tables: %d entries, %.2f MB payload (heap grew %.2f MB)\n",
+	fmt.Fprintf(w, "library %q: %d cells compiled in %v\n", lib.Name, st.Cells, dur.Round(time.Microsecond))
+	fmt.Fprintf(w, "extended truth tables: %d entries, %.2f MB payload (heap grew %.2f MB)\n",
 		st.Entries, float64(st.Bytes)/1e6, float64(after.HeapAlloc-before.HeapAlloc)/1e6)
 
 	if perCell {
@@ -76,10 +77,10 @@ func run(libFile string, synth int, perCell bool) error {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		fmt.Printf("%-16s %8s %8s %6s %6s %6s\n", "cell", "entries", "bytes", "in", "out", "state")
+		fmt.Fprintf(w, "%-16s %8s %8s %6s %6s %6s\n", "cell", "entries", "bytes", "in", "out", "state")
 		for _, n := range names {
 			t := cl.Tables[n]
-			fmt.Printf("%-16s %8d %8d %6d %6d %6d\n", n, t.Size(), t.Bytes(), t.NumInputs, t.NumOutputs, t.NumStates)
+			fmt.Fprintf(w, "%-16s %8d %8d %6d %6d %6d\n", n, t.Size(), t.Bytes(), t.NumInputs, t.NumOutputs, t.NumStates)
 		}
 	}
 	return nil

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gatesim/internal/liberty"
+)
+
+// TestBuiltinLibraryOutput runs the default compilation path and checks the
+// report's structure against the built-in library: the library name, the
+// exact cell count, and — with -per-cell — one table row per cell. Timing
+// and memory numbers vary run to run, so the golden check is structural.
+func TestBuiltinLibraryOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	lib := liberty.MustBuiltin()
+	wantHeader := fmt.Sprintf("library %q: %d cells compiled in", lib.Name, len(lib.Cells))
+	if !strings.Contains(out, wantHeader) {
+		t.Errorf("missing header %q in output:\n%s", wantHeader, out)
+	}
+	if !strings.Contains(out, "extended truth tables:") {
+		t.Errorf("missing truth-table summary:\n%s", out)
+	}
+	for _, cell := range []string{"INV", "NAND2", "XOR2"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("per-cell table missing %s:\n%s", cell, out)
+		}
+	}
+	// 2 summary lines + 1 table header + one row per cell.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if want := 3 + len(lib.Cells); len(lines) != want {
+		t.Errorf("output has %d lines, want %d", len(lines), want)
+	}
+}
+
+func TestSyntheticLibrary(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", 25, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "25 cells compiled") {
+		t.Errorf("synthetic run did not report 25 cells:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "/nonexistent.lib", 0, false); err == nil {
+		t.Error("missing library file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.lib")
+	if err := os.WriteFile(bad, []byte("library (broken) { cell (X) {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, bad, 0, false); err == nil {
+		t.Error("malformed library must fail to parse")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"gatesim/internal/liberty"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
 	"gatesim/internal/partsim"
 	"gatesim/internal/plan"
 	"gatesim/internal/refsim"
@@ -109,6 +110,11 @@ type Table2Config struct {
 	LongCycles  int      // paper: 10000 (activity 0.5)
 	Threads     int      // "24 CPUs" column; 0 = GOMAXPROCS
 	Seed        int64
+	// Metrics/Trace, when non-nil, are handed to every timed simulator so
+	// one registry/trace accumulates the whole experiment. Leave nil for
+	// clean timing runs (the disabled path costs ~1 ns per record site).
+	Metrics *obs.Registry
+	Trace   *obs.Trace
 }
 
 // Table2Row is one line of the runtime comparison.
@@ -196,20 +202,23 @@ func Table2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 			row := Table2Row{Benchmark: name, Trace: tr.label, Cycles: tr.cycles, Activity: tr.af}
 
 			var events int64
-			if row.Ref, events, err = timeRefsim(pl, stim); err != nil {
+			if row.Ref, events, err = timeRefsim(pl, stim, cfg.Metrics, cfg.Trace); err != nil {
 				return nil, err
 			}
 			row.Events = events
-			if row.Ours1T, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeSerial}); err != nil {
+			ob := func(mode sim.Mode, threads int) sim.Options {
+				return sim.Options{Mode: mode, Threads: threads, Metrics: cfg.Metrics, Trace: cfg.Trace}
+			}
+			if row.Ours1T, _, err = timeEngine(ctx, d, pl, stim, ob(sim.ModeSerial, 0)); err != nil {
 				return nil, err
 			}
-			if row.OursNT, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeParallel, Threads: cfg.Threads}); err != nil {
+			if row.OursNT, _, err = timeEngine(ctx, d, pl, stim, ob(sim.ModeParallel, cfg.Threads)); err != nil {
 				return nil, err
 			}
-			if row.Manycore, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeManycore, Threads: cfg.Threads}); err != nil {
+			if row.Manycore, _, err = timeEngine(ctx, d, pl, stim, ob(sim.ModeManycore, cfg.Threads)); err != nil {
 				return nil, err
 			}
-			if row.Hybrid, _, err = timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeAuto, Threads: cfg.Threads}); err != nil {
+			if row.Hybrid, _, err = timeEngine(ctx, d, pl, stim, ob(sim.ModeAuto, cfg.Threads)); err != nil {
 				return nil, err
 			}
 			rows = append(rows, row)
@@ -218,10 +227,13 @@ func Table2(ctx context.Context, cfg Table2Config) ([]Table2Row, error) {
 	return rows, nil
 }
 
-func timeRefsim(pl *plan.Plan, stim []gen.Change) (time.Duration, int64, error) {
+func timeRefsim(pl *plan.Plan, stim []gen.Change, m *obs.Registry, tr *obs.Trace) (time.Duration, int64, error) {
 	ref, err := refsim.NewFromPlan(pl)
 	if err != nil {
 		return 0, 0, fmt.Errorf("harness: building refsim: %w", err)
+	}
+	if m != nil || tr != nil {
+		ref.Observe(m, tr)
 	}
 	rstim := make([]refsim.Stim, len(stim))
 	for i, s := range stim {
@@ -292,6 +304,10 @@ type Fig8Config struct {
 	Cycles  int
 	Threads []int // e.g. 1,2,4,8,16
 	Seed    int64
+	// Metrics/Trace, when non-nil, are handed to every timed simulator (see
+	// Table2Config).
+	Metrics *obs.Registry
+	Trace   *obs.Trace
 }
 
 // Fig8Point is one (threads, runtime) sample for each simulator/annotation.
@@ -344,20 +360,21 @@ func Fig8(ctx context.Context, cfg Fig8Config) ([]Fig8Point, error) {
 	var points []Fig8Point
 	for _, th := range cfg.Threads {
 		pt := Fig8Point{Threads: th}
-		if pt.PartUnit, _, err = timePartsim(ctx, planUnit, stim, th); err != nil {
+		if pt.PartUnit, _, err = timePartsim(ctx, planUnit, stim, th, cfg.Metrics, cfg.Trace); err != nil {
 			return nil, err
 		}
-		if pt.PartSDF, pt.PartRoundsSDF, err = timePartsim(ctx, planSDF, stim, th); err != nil {
+		if pt.PartSDF, pt.PartRoundsSDF, err = timePartsim(ctx, planSDF, stim, th, cfg.Metrics, cfg.Trace); err != nil {
 			return nil, err
 		}
 		mode := sim.ModeParallel
 		if th == 1 {
 			mode = sim.ModeSerial
 		}
-		if pt.OursUnit, _, err = timeEngine(ctx, d, planUnit, stim, sim.Options{Mode: mode, Threads: th}); err != nil {
+		opts := sim.Options{Mode: mode, Threads: th, Metrics: cfg.Metrics, Trace: cfg.Trace}
+		if pt.OursUnit, _, err = timeEngine(ctx, d, planUnit, stim, opts); err != nil {
 			return nil, err
 		}
-		if pt.OursSDF, pt.OursSDFStats, err = timeEngine(ctx, d, planSDF, stim, sim.Options{Mode: mode, Threads: th}); err != nil {
+		if pt.OursSDF, pt.OursSDFStats, err = timeEngine(ctx, d, planSDF, stim, opts); err != nil {
 			return nil, err
 		}
 		points = append(points, pt)
@@ -365,8 +382,8 @@ func Fig8(ctx context.Context, cfg Fig8Config) ([]Fig8Point, error) {
 	return points, nil
 }
 
-func timePartsim(ctx context.Context, pl *plan.Plan, stim []gen.Change, threads int) (time.Duration, int64, error) {
-	ps, err := partsim.NewFromPlan(pl, partsim.Options{Partitions: threads})
+func timePartsim(ctx context.Context, pl *plan.Plan, stim []gen.Change, threads int, m *obs.Registry, tr *obs.Trace) (time.Duration, int64, error) {
+	ps, err := partsim.NewFromPlan(pl, partsim.Options{Partitions: threads, Metrics: m, Trace: tr})
 	if err != nil {
 		return 0, 0, fmt.Errorf("harness: building partsim: %w", err)
 	}
@@ -378,7 +395,7 @@ func timePartsim(ctx context.Context, pl *plan.Plan, stim []gen.Change, threads 
 	if err := ps.RunCtx(ctx, pstim, nil); err != nil {
 		return 0, 0, fmt.Errorf("harness: partsim run (%d partitions): %w", threads, err)
 	}
-	return time.Since(start), ps.Rounds, nil
+	return time.Since(start), ps.Stats().Rounds, nil
 }
 
 // FormatFig8 renders the two series of Figure 8 as text, with the engine's
@@ -414,6 +431,14 @@ type BenchSmokeReport struct {
 	Seed    int64             `json:"seed"`
 	GoMaxP  int               `json:"gomaxprocs"`
 	Samples []BenchSmokePoint `json:"samples"`
+
+	// PhaseNS breaks the run's wall time down by instrumented phase (sweep,
+	// level, checkpoint, slice, partsim round, …) — the sum of each *_ns
+	// histogram in the obs registry the run recorded into.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	// Metrics is the full obs snapshot of the run, making this report a
+	// strict superset of the pre-obs schema.
+	Metrics *obs.Report `json:"metrics,omitempty"`
 }
 
 // BenchSmokePoint flattens one Fig8Point for JSON consumers.
@@ -439,8 +464,12 @@ type BenchSmokePoint struct {
 }
 
 // BenchSmoke runs Fig8 with the given config and folds the points into the
-// report shape.
+// report shape. A nil cfg.Metrics is replaced with a fresh registry so the
+// report always carries the phase breakdown and metric snapshot.
 func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	pts, err := Fig8(ctx, cfg)
 	if err != nil {
 		return BenchSmokeReport{}, err
@@ -468,6 +497,9 @@ func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
 			LevelNS:       st.LevelNS,
 		})
 	}
+	snap := cfg.Metrics.Snapshot()
+	rep.PhaseNS = snap.PhaseNS()
+	rep.Metrics = &snap
 	return rep, nil
 }
 
@@ -696,7 +728,7 @@ func Parallelism(ctx context.Context, preset string, scale float64, cycles int, 
 		if err := ps.RunCtx(ctx, pstim, nil); err != nil {
 			return ParallelismRow{}, err
 		}
-		*dl.out = ps.Rounds
+		*dl.out = ps.Stats().Rounds
 	}
 	return row, nil
 }

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// debugRegistry is the registry the process-wide expvar export reads.
+// expvar.Publish is permanent, so the published Func indirects through this
+// pointer instead of capturing one registry; the latest StartDebug wins.
+var (
+	debugRegistry atomic.Pointer[Registry]
+	publishOnce   sync.Once
+)
+
+// DebugServer is the live introspection endpoint: metric snapshots, expvar
+// and pprof over HTTP, for watching a long simulation from outside the
+// process. It binds 127.0.0.1 unless the caller names an explicit host —
+// the handlers expose process internals (heap/goroutine profiles, command
+// line), so exposure beyond the local machine must be a deliberate choice.
+//
+// Routes:
+//
+//	/debug/metrics  registry snapshot as JSON (the run-report schema)
+//	/debug/vars     expvar (includes the registry under "gatesim")
+//	/debug/pprof/   the standard pprof index, profile, trace, symbol
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebug listens on addr and serves the introspection routes in a
+// background goroutine. An addr without a host (":6060") binds localhost.
+// reg may be nil; /debug/metrics then serves an empty report.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	debugRegistry.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("gatesim", expvar.Func(func() any {
+			return debugRegistry.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		debugRegistry.Load().WriteReport(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (d *DebugServer) Close() error { return d.srv.Close() }

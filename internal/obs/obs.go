@@ -1,0 +1,225 @@
+// Package obs is the repository's always-on observability subsystem: a
+// low-overhead metrics layer (atomic counters, gauges and fixed-bucket
+// latency histograms behind a named registry), a structured trace recorder
+// emitting Chrome/Perfetto trace-event JSON, a JSON run-report writer, and
+// an optional live introspection HTTP endpoint (expvar + pprof).
+//
+// # The disabled path is the default path
+//
+// Every instrument is a pointer whose methods are nil-receiver-safe: a nil
+// *Counter, *Gauge, *Histogram or *Trace turns each record site into a
+// single predictable-branch pointer test (~1 ns, zero allocations — the
+// obs tests assert this). A nil *Registry hands out nil instruments, so
+// instrumented code asks for its metrics unconditionally at construction
+// and never branches on "is observability on" anywhere else:
+//
+//	sweeps := opts.Metrics.Counter("sim.sweeps") // nil registry -> nil counter
+//	...
+//	sweeps.Inc() // no-op when disabled
+//
+// Simulator hot loops (per-gate visits, truth-table queries) stay on their
+// existing scratch counters; obs instruments sit at sweep, round, slice and
+// phase granularity, where one atomic add is noise.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. No-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc adds 1. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value; 0 on a nil receiver.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value instrument.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the current value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger. No-op on a nil receiver.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value; 0 on a nil receiver.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bucket i holds observations v with
+// bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). 44 buckets cover 1 ns up to
+// ~2.4 hours when observing nanoseconds.
+const histBuckets = 44
+
+// Histogram is a fixed-bucket power-of-two latency histogram. Observe is one
+// atomic add per bucket plus count and sum; there is no locking and no
+// allocation after construction.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample (conventionally nanoseconds). Negative samples
+// clamp to 0. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count returns the number of samples; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sample total; 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// snapshot copies the histogram, trimming trailing empty buckets.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	top := 0
+	var b [histBuckets]int64
+	for i := range b {
+		b[i] = h.buckets[i].Load()
+		if b[i] != 0 {
+			top = i + 1
+		}
+	}
+	s.Buckets = append([]int64(nil), b[:top]...)
+	return s
+}
+
+// Registry hands out named instruments and snapshots them all at once.
+// Asking twice for the same name returns the same instrument; distinct
+// kinds share one namespace per kind. A nil *Registry returns nil
+// instruments, which is the whole disabled path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil on a nil
+// receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a nil
+// receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil on a
+// nil receiver.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

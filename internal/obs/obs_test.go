@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatalf("registry handed out a second counter for the same name")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.SetMax(3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("SetMax lowered the gauge: %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("SetMax did not raise the gauge: %d", got)
+	}
+
+	h := r.Histogram("h")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(-5) // clamps to 0
+	if got := h.Count(); got != 4 {
+		t.Fatalf("histogram count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 1001 {
+		t.Fatalf("histogram sum = %d, want 1001", got)
+	}
+	s := h.snapshot()
+	if s.Buckets[0] != 2 { // the two zeros
+		t.Fatalf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 { // the 1
+		t.Fatalf("bucket 1 = %d, want 1", s.Buckets[1])
+	}
+	if s.Buckets[10] != 1 { // 1000 is in [512, 1024)
+		t.Fatalf("bucket 10 = %d, want 1", s.Buckets[10])
+	}
+	if len(s.Buckets) != 11 {
+		t.Fatalf("trailing buckets not trimmed: len %d", len(s.Buckets))
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(3)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	rep := r.Snapshot()
+	if len(rep.Counters) != 0 || len(rep.Gauges) != 0 || len(rep.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty")
+	}
+
+	var tr *Trace
+	if tid := tr.Thread("w"); tid != 0 {
+		t.Fatalf("nil trace Thread = %d, want 0", tid)
+	}
+	tr.Begin(0, "span")
+	tr.End(0)
+	tr.Count("k", 1)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatalf("nil trace must record nothing")
+	}
+	if err := tr.WriteJSON(io.Discard); err == nil {
+		t.Fatalf("nil trace WriteJSON should error")
+	}
+}
+
+// TestDisabledPathZeroAlloc is the benchmark guard from the issue in test
+// form: the nil-sink path must not allocate at any record site.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.SetMax(2)
+		h.Observe(17)
+		tr.Begin(1, "s")
+		tr.End(1)
+		tr.Count("k", 5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-sink record sites allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestSnapshotAndReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.sweeps").Add(12)
+	r.Gauge("sim.levels").Set(5)
+	r.Histogram("sim.sweep_ns").Observe(1500)
+	r.Histogram("sim.sweep_ns").Observe(2500)
+	r.Counter("plain") // registered but zero: still reported
+
+	rep := r.Snapshot()
+	if rep.Counters["sim.sweeps"] != 12 {
+		t.Fatalf("snapshot counter = %d, want 12", rep.Counters["sim.sweeps"])
+	}
+	if _, ok := rep.Counters["plain"]; !ok {
+		t.Fatalf("zero-valued registered counter missing from snapshot")
+	}
+	if rep.Gauges["sim.levels"] != 5 {
+		t.Fatalf("snapshot gauge = %d, want 5", rep.Gauges["sim.levels"])
+	}
+	hs := rep.Histograms["sim.sweep_ns"]
+	if hs.Count != 2 || hs.Sum != 4000 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+	if rep.GoVersion == "" || rep.GoMaxProcs == 0 {
+		t.Fatalf("snapshot missing runtime info: %+v", rep)
+	}
+
+	phases := rep.PhaseNS()
+	if phases["sim.sweep"] != 4000 {
+		t.Fatalf("PhaseNS = %v, want sim.sweep: 4000", phases)
+	}
+	if _, ok := phases["plain"]; ok {
+		t.Fatalf("PhaseNS must only include *_ns histograms: %v", phases)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteReport(&buf); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Counters["sim.sweeps"] != 12 {
+		t.Fatalf("round-tripped report lost data: %+v", back)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("own.%d", i)).Inc()
+				r.Histogram("h").Observe(int64(j))
+				r.Gauge("g").SetMax(int64(j))
+				_ = r.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8*200 {
+		t.Fatalf("shared counter = %d, want %d", got, 8*200)
+	}
+	if got := r.Histogram("h").Count(); got != 8*200 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*200)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim.sweeps").Add(3)
+	d, err := StartDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("StartDebug: %v", err)
+	}
+	defer d.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return body
+	}
+
+	var rep Report
+	if err := json.Unmarshal(get("/debug/metrics"), &rep); err != nil {
+		t.Fatalf("/debug/metrics is not a report: %v", err)
+	}
+	if rep.Counters["sim.sweeps"] != 3 {
+		t.Fatalf("/debug/metrics counter = %d, want 3", rep.Counters["sim.sweeps"])
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["gatesim"]; !ok {
+		t.Fatalf("/debug/vars missing the gatesim registry export")
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("/debug/pprof/ index does not list profiles")
+	}
+}
+
+func TestStartDebugDefaultsToLocalhost(t *testing.T) {
+	d, err := StartDebug(":0", nil)
+	if err != nil {
+		t.Fatalf("StartDebug: %v", err)
+	}
+	defer d.Close()
+	if !strings.HasPrefix(d.Addr(), "127.0.0.1:") {
+		t.Fatalf("host-less addr bound %q, want a 127.0.0.1 address", d.Addr())
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkDisabledTraceSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin(1, "s")
+		tr.End(1)
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"strings"
+)
+
+// HistogramSnapshot is the serialized form of one Histogram. Bucket i counts
+// samples v with v == 0 (i = 0) or 2^(i-1) <= v < 2^i; trailing empty
+// buckets are trimmed.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Report is the full metric snapshot of one run: the machine-readable
+// record the -metrics CLI flag writes and the debug endpoint serves. It is
+// also embedded in the harness's BENCH_*.json reports, making them a
+// superset of the pre-obs schema.
+type Report struct {
+	GoVersion  string `json:"go_version,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument in the registry. Counters and
+// histograms keep accumulating afterwards; the snapshot is a consistent
+// point-in-time copy per instrument (not across instruments, which polling
+// a live run cannot have anyway). Returns a zero Report on a nil receiver.
+func (r *Registry) Snapshot() Report {
+	rep := Report{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		rep.Counters = make(map[string]int64, len(r.counters))
+		for _, k := range sortedKeys(r.counters) {
+			rep.Counters[k] = r.counters[k].Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		rep.Gauges = make(map[string]int64, len(r.gauges))
+		for _, k := range sortedKeys(r.gauges) {
+			rep.Gauges[k] = r.gauges[k].Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		rep.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for _, k := range sortedKeys(r.hists) {
+			rep.Histograms[k] = r.hists[k].snapshot()
+		}
+	}
+	return rep
+}
+
+// PhaseNS extracts total wall time per instrumented phase from the report:
+// every histogram whose name ends in "_ns" contributes its sum under the
+// name with the suffix stripped. This is the "where does the time go"
+// breakdown the bench reports carry.
+func (rep Report) PhaseNS() map[string]int64 {
+	if len(rep.Histograms) == 0 {
+		return nil
+	}
+	out := make(map[string]int64)
+	for name, h := range rep.Histograms {
+		if phase, ok := strings.CutSuffix(name, "_ns"); ok {
+			out[phase] = h.Sum
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// WriteReport serializes the registry snapshot as indented JSON.
+func (r *Registry) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestTraceGolden is the golden validity test from the issue: record a
+// realistic span/counter mix and check the emitted bytes are valid Chrome
+// trace-event JSON with monotonic timestamps and balanced begin/end pairs.
+func TestTraceGolden(t *testing.T) {
+	tr := NewTrace()
+	coord := tr.Thread("coordinator")
+	worker := tr.Thread("worker-0")
+	if coord != 1 || worker != 2 {
+		t.Fatalf("thread ids = %d, %d, want 1, 2", coord, worker)
+	}
+
+	tr.Begin(coord, "slice")
+	for i := 0; i < 3; i++ {
+		tr.Begin(coord, "sweep")
+		tr.Begin(worker, "round")
+		tr.End(worker)
+		tr.End(coord)
+		tr.Count("events_committed", int64(10*(i+1)))
+	}
+	tr.Count("watermark_ps", 5000)
+	tr.End(coord)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace failed validation: %v\n%s", err, buf.String())
+	}
+
+	// Spot-check structure beyond the shared validator.
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if file.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ns", file.DisplayTimeUnit)
+	}
+	var sweeps, counters, meta int
+	for _, ev := range file.TraceEvents {
+		switch {
+		case ev.Ph == "B" && ev.Name == "sweep":
+			sweeps++
+		case ev.Ph == "C":
+			counters++
+		case ev.Ph == "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Fatalf("metadata event name = %q, want thread_name", ev.Name)
+			}
+			if _, ok := ev.Args["name"]; !ok {
+				t.Fatalf("thread_name metadata missing args.name")
+			}
+		}
+	}
+	if sweeps != 3 {
+		t.Fatalf("sweep begin events = %d, want 3", sweeps)
+	}
+	if counters != 4 {
+		t.Fatalf("counter events = %d, want 4", counters)
+	}
+	if meta != 2 {
+		t.Fatalf("metadata events = %d, want 2", meta)
+	}
+}
+
+// TestTraceClosesOpenSpans: a trace written mid-run (e.g. after ctrl-C) must
+// still be balanced — WriteJSON closes whatever is open.
+func TestTraceClosesOpenSpans(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.Thread("coordinator")
+	tr.Begin(tid, "outer")
+	tr.Begin(tid, "inner") // never ended
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace with auto-closed spans failed validation: %v", err)
+	}
+}
+
+func TestTraceUnmatchedEndDropped(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.Thread("w")
+	tr.End(tid) // no matching Begin: must be ignored
+	tr.Begin(tid, "s")
+	tr.End(tid)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+}
+
+func TestTraceNameEscaping(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.Thread(`odd "name"\with escapes`)
+	tr.Begin(tid, "span\nwith newline")
+	tr.End(tid)
+	tr.Count(`counter "q"`, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("escaped names broke the trace: %v\n%s", err, buf.String())
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tid := tr.Thread("w")
+			for j := 0; j < 100; j++ {
+				tr.Begin(tid, "work")
+				tr.Count("n", int64(j))
+				tr.End(tid)
+			}
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("concurrent trace failed validation: %v", err)
+	}
+}
+
+func TestValidateTraceJSONRejectsBad(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no traceEvents":  `{"foo": 1}`,
+		"missing pid":     `{"traceEvents":[{"tid":1,"ph":"B","ts":1,"name":"x"}]}`,
+		"unknown phase":   `{"traceEvents":[{"pid":1,"tid":1,"ph":"Z","ts":1}]}`,
+		"missing ts":      `{"traceEvents":[{"pid":1,"tid":1,"ph":"B","name":"x"}]}`,
+		"backwards ts":    `{"traceEvents":[{"pid":1,"tid":1,"ph":"B","ts":5,"name":"x"},{"pid":1,"tid":1,"ph":"E","ts":2}]}`,
+		"nameless begin":  `{"traceEvents":[{"pid":1,"tid":1,"ph":"B","ts":1}]}`,
+		"unmatched end":   `{"traceEvents":[{"pid":1,"tid":1,"ph":"E","ts":1}]}`,
+		"unbalanced":      `{"traceEvents":[{"pid":1,"tid":1,"ph":"B","ts":1,"name":"x"}]}`,
+		"valueless count": `{"traceEvents":[{"pid":1,"tid":1,"ph":"C","ts":1,"name":"x","args":{}}]}`,
+	}
+	for label, data := range cases {
+		if err := ValidateTraceJSON([]byte(data)); err == nil {
+			t.Errorf("%s: validation accepted bad trace %s", label, data)
+		}
+	}
+	good := `{"traceEvents":[{"pid":1,"tid":1,"ph":"B","ts":1,"name":"x"},{"pid":1,"tid":1,"ph":"E","ts":2}]}`
+	if err := ValidateTraceJSON([]byte(good)); err != nil {
+		t.Errorf("validation rejected good trace: %v", err)
+	}
+}
+
+func TestTraceCap(t *testing.T) {
+	tr := NewTrace()
+	tr.events = make([]traceEvent, maxTraceEvents) // simulate a full buffer
+	tid := tr.Thread("w")
+	tr.Begin(tid, "s")
+	tr.Count("k", 1)
+	if tr.Len() != maxTraceEvents {
+		t.Fatalf("capped trace grew to %d events", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestWriteMicros(t *testing.T) {
+	var buf bytes.Buffer
+	cases := map[int64]string{
+		0:          "0.000",
+		999:        "0.999",
+		1000:       "1.000",
+		1234567:    "1234.567",
+		5000000000: "5000000.000",
+	}
+	for ns, want := range cases {
+		buf.Reset()
+		bw := bufio.NewWriter(&buf)
+		writeMicros(bw, ns)
+		bw.Flush()
+		if got := buf.String(); got != want {
+			t.Errorf("writeMicros(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

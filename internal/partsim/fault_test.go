@@ -48,8 +48,8 @@ func TestRunCtxPreCancelled(t *testing.T) {
 	if !errors.As(err, &pe) || pe.Op != "run" {
 		t.Fatalf("not a *partsim.Error{Op: run}: %v", err)
 	}
-	if ps.Rounds != 0 {
-		t.Errorf("%d rounds ran under an expired context", ps.Rounds)
+	if ps.Stats().Rounds != 0 {
+		t.Errorf("%d rounds ran under an expired context", ps.Stats().Rounds)
 	}
 }
 
@@ -67,14 +67,14 @@ func TestRunCtxCancelMidRun(t *testing.T) {
 	// The sink first sees the up-front stimulus distribution; cancel on the
 	// first event emitted by an actual round.
 	err = ps.RunCtx(ctx, pstim, func(netlist.NetID, event.Event) {
-		if ps.Rounds > 0 {
+		if ps.Stats().Rounds > 0 {
 			cancel()
 		}
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	roundsAtCancel := ps.Rounds
+	roundsAtCancel := ps.Stats().Rounds
 	if roundsAtCancel == 0 {
 		t.Fatal("cancel landed before any round?")
 	}
@@ -82,7 +82,7 @@ func TestRunCtxCancelMidRun(t *testing.T) {
 	if err := ps.RunCtx(context.Background(), nil, nil); err != nil {
 		t.Fatalf("cancelled simulator refused to continue: %v", err)
 	}
-	if ps.Rounds <= roundsAtCancel {
+	if ps.Stats().Rounds <= roundsAtCancel {
 		t.Error("continuation made no progress")
 	}
 }
@@ -127,8 +127,8 @@ func TestPoolDeathDegradesToSerial(t *testing.T) {
 	if !fired.Load() {
 		t.Fatal("fault hook never fired")
 	}
-	if ps.Downgrades != 1 {
-		t.Errorf("Downgrades = %d, want 1", ps.Downgrades)
+	if ps.Stats().Downgrades != 1 {
+		t.Errorf("Downgrades = %d, want 1", ps.Stats().Downgrades)
 	}
 	for nid := range d.Netlist.Nets {
 		w, g := want[netlist.NetID(nid)], got[netlist.NetID(nid)]

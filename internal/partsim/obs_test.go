@@ -1,0 +1,134 @@
+package partsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/obs"
+)
+
+func buildStim(t *testing.T, seed int64) (*gen.Design, []Stim) {
+	t.Helper()
+	d, err := gen.Build(spec(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.6, Seed: seed, ScanBurst: 6})
+	pstim := make([]Stim, len(stim))
+	for i, s := range stim {
+		pstim[i] = Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	return d, pstim
+}
+
+// TestStatsPollDuringRunCtx is the concurrent-access proof for the
+// partitioned simulator's counters: a goroutine hammers Stats() while RunCtx
+// runs rounds across the worker pool. Under -race (scripts/check.sh) any
+// non-atomic counter access is reported.
+func TestStatsPollDuringRunCtx(t *testing.T) {
+	d, pstim := buildStim(t, 21)
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := ps.Stats()
+			if s.Rounds < last.Rounds || s.Events < last.Events {
+				t.Errorf("stats went backwards: %+v then %+v", last, s)
+				return
+			}
+			last = s
+		}
+	}()
+
+	err = ps.RunCtx(context.Background(), pstim, nil)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if s := ps.Stats(); s.Rounds == 0 || s.Events == 0 {
+		t.Errorf("expected nonzero rounds/events, got %+v", s)
+	}
+}
+
+// TestTraceAndMetrics runs an instrumented partitioned simulation and
+// checks the recorded trace validates as Chrome trace-event JSON with
+// per-round and per-phase spans, and that the registry counters agree with
+// the simulator's Stats.
+func TestTraceAndMetrics(t *testing.T) {
+	d, pstim := buildStim(t, 17)
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	ps, err := New(d.Netlist, testLib, gen.Delays(d, 7),
+		Options{Partitions: 4, Metrics: reg, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Run(pstim, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	spans := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "B" {
+			spans[ev.Name]++
+		}
+	}
+	st := ps.Stats()
+	if spans["round"] != int(st.Rounds) {
+		t.Errorf("round spans = %d, Stats().Rounds = %d", spans["round"], st.Rounds)
+	}
+	if spans["stage"] == 0 || spans["process"] == 0 {
+		t.Errorf("missing stage/process phase spans: %v", spans)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["partsim.rounds"]; got != st.Rounds {
+		t.Errorf("partsim.rounds counter = %d, Stats().Rounds = %d", got, st.Rounds)
+	}
+	if got := snap.Counters["partsim.events"]; got != st.Events {
+		t.Errorf("partsim.events counter = %d, Stats().Events = %d", got, st.Events)
+	}
+	if got := snap.Counters["partsim.cross_msgs"]; got != st.CrossMessages {
+		t.Errorf("partsim.cross_msgs counter = %d, Stats().CrossMessages = %d", got, st.CrossMessages)
+	}
+	if hs, ok := snap.Histograms["partsim.round_ns"]; !ok || hs.Count != st.Rounds {
+		t.Errorf("partsim.round_ns count = %+v, want %d observations", hs, st.Rounds)
+	}
+	if snap.Counters["partsim.pool.rounds"] == 0 {
+		t.Error("partsim.pool.rounds counter never incremented")
+	}
+}

@@ -24,10 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
 	"gatesim/internal/plan"
 	"gatesim/internal/sched"
 	"gatesim/internal/sdf"
@@ -65,6 +68,13 @@ type Options struct {
 	// chaos hook (workpool.Pool.FaultHook). Test-only; see the
 	// fault-containment tests.
 	FaultHook func(item int)
+	// Metrics, when non-nil, receives the simulator's obs counters and
+	// round histogram (partsim.* names). Nil keeps every record site on the
+	// ~1 ns nil-instrument path (see internal/obs).
+	Metrics *obs.Registry
+	// Trace, when non-nil, records a span per round and per stage/process
+	// phase in Chrome/Perfetto trace-event form.
+	Trace *obs.Trace
 }
 
 // ErrFailed is the sentinel wrapped by every error returned from a
@@ -96,6 +106,29 @@ type Simulator struct {
 	netReaders [][]int32
 	owner      []int32 // partition owning the net's driver (-1 for PI)
 
+	// Cumulative counters in atomic form: the coordinator writes them, but
+	// Stats() may be polled from any goroutine mid-run (the obs debug
+	// endpoint does).
+	rounds        atomic.Int64
+	events        atomic.Int64
+	crossMessages atomic.Int64
+	downgrades    atomic.Int64
+
+	obs simObs
+
+	opts Options // retained for the per-Run pool (FaultHook, Threads)
+	// degraded is set after a pool infrastructure failure; every later
+	// phase runs serially.
+	degraded bool
+	// failed is the sticky error of a contained partition-code panic:
+	// mid-phase partition state (heaps, net views) cannot be trusted, so
+	// the simulator refuses further work.
+	failed *Error
+}
+
+// Stats is a snapshot of the simulator's cumulative counters. Safe to take
+// from any goroutine while a run is in flight.
+type Stats struct {
 	// Rounds executed (the scalability metric: more rounds = more barriers).
 	Rounds int64
 	Events int64
@@ -106,15 +139,44 @@ type Simulator struct {
 	// partition code, so the remaining phases of this simulator run on the
 	// calling goroutine. At most 1 per simulator.
 	Downgrades int64
+}
 
-	opts Options // retained for the per-Run pool (FaultHook, Threads)
-	// degraded is set after a pool infrastructure failure; every later
-	// phase runs serially.
-	degraded bool
-	// failed is the sticky error of a contained partition-code panic:
-	// mid-phase partition state (heaps, net views) cannot be trusted, so
-	// the simulator refuses further work.
-	failed *Error
+// Stats returns a snapshot of the cumulative counters.
+func (s *Simulator) Stats() Stats {
+	return Stats{
+		Rounds:        s.rounds.Load(),
+		Events:        s.events.Load(),
+		CrossMessages: s.crossMessages.Load(),
+		Downgrades:    s.downgrades.Load(),
+	}
+}
+
+// simObs bundles the simulator's observability instruments; nil
+// Options.Metrics/Trace yield nil instruments (see internal/obs).
+type simObs struct {
+	trace *obs.Trace
+	tid   int
+
+	rounds      *obs.Counter
+	events      *obs.Counter
+	crossMsgs   *obs.Counter
+	downgrades  *obs.Counter
+	stallRounds *obs.Counter
+	roundNS     *obs.Histogram
+}
+
+func newSimObs(o Options) simObs {
+	m := o.Metrics
+	return simObs{
+		trace:       o.Trace,
+		tid:         o.Trace.Thread("partsim"),
+		rounds:      m.Counter("partsim.rounds"),
+		events:      m.Counter("partsim.events"),
+		crossMsgs:   m.Counter("partsim.cross_msgs"),
+		downgrades:  m.Counter("partsim.downgrades"),
+		stallRounds: m.Counter("partsim.stall_rounds"),
+		roundNS:     m.Histogram("partsim.round_ns"),
+	}
 }
 
 type partition struct {
@@ -188,6 +250,7 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Simulator, error) {
 		}
 	}
 	s := &Simulator{p: p, nl: nl, threads: opts.Threads, opts: opts}
+	s.obs = newSimObs(opts)
 	s.lookahead = p.Delays.MinPositive
 	if s.lookahead < 1 {
 		return nil, fmt.Errorf("partsim: all delays must be >= 1 ps")
@@ -343,7 +406,8 @@ func (s *Simulator) RunCtx(ctx context.Context, stim []Stim, sink Sink) error {
 		for _, rp := range s.netReaders[st.Net] {
 			s.parts[rp].inbox.push(msg{t: st.Time, net: st.Net, v: v})
 		}
-		s.Events++
+		s.events.Add(1)
+		s.obs.events.Inc()
 		if sink != nil {
 			sink(st.Net, event.Event{Time: st.Time, Val: v})
 		}
@@ -357,7 +421,14 @@ func (s *Simulator) RunCtx(ctx context.Context, stim []Stim, sink Sink) error {
 	// which the pool's round publication orders for the workers.
 	pool := workpool.New(min(s.threads, len(s.parts)))
 	pool.FaultHook = s.opts.FaultHook
+	m := s.opts.Metrics
+	pool.Observe(m.Counter("partsim.pool.spawned"), m.Counter("partsim.pool.rounds"),
+		m.Counter("partsim.pool.wakes"), m.Counter("partsim.pool.parks"))
 	defer pool.Close()
+	// Per-round timing only runs with observability on: rounds can number in
+	// the millions under SDF-shrunk lookahead, where even a clock read per
+	// round would register.
+	obsOn := s.opts.Metrics != nil || s.obs.trace != nil
 	var T, windowEnd int64
 	stagePhase := func(i int) { s.parts[i].stageCross(s, windowEnd) }
 	processPhase := func(i int) { s.parts[i].process(s, T, windowEnd) }
@@ -380,44 +451,70 @@ func (s *Simulator) RunCtx(ctx context.Context, stim []Stim, sink Sink) error {
 			return nil
 		}
 		windowEnd = T + s.lookahead
-		s.Rounds++
+		s.rounds.Add(1)
+		s.obs.rounds.Inc()
+		var roundStart time.Time
+		if obsOn {
+			roundStart = time.Now()
+			s.obs.trace.Begin(s.obs.tid, "round")
+		}
 
 		// Phase 1 (parallel): finalize and stage cross-partition events with
 		// te < T + lookahead (they are immune to cancellation because no
 		// evaluation can happen before T anywhere). This is the CMB
 		// null-message exchange.
-		if err := s.runPhase(pool, stagePhase); err != nil {
+		s.obs.trace.Begin(s.obs.tid, "stage")
+		err := s.runPhase(pool, stagePhase)
+		s.obs.trace.End(s.obs.tid)
+		if err != nil {
+			s.obs.trace.End(s.obs.tid) // round
 			return err
 		}
 		// Barrier: deliver staged messages before anyone processes the
 		// window — an event can be both finalized and due within the same
 		// round (uniform delays put everything on one lattice).
+		var crossed int64
 		for _, from := range s.parts {
 			for tgt, msgs := range from.outMsgs {
-				s.CrossMessages += int64(len(msgs))
+				crossed += int64(len(msgs))
 				for _, m := range msgs {
 					s.parts[tgt].inbox.push(m)
 				}
 				from.outMsgs[tgt] = from.outMsgs[tgt][:0]
 			}
 		}
+		s.crossMessages.Add(crossed)
+		s.obs.crossMsgs.Add(crossed)
 
 		// Phase 2 (parallel): process the window [T, windowEnd).
-		if err := s.runPhase(pool, processPhase); err != nil {
+		s.obs.trace.Begin(s.obs.tid, "process")
+		err = s.runPhase(pool, processPhase)
+		s.obs.trace.End(s.obs.tid)
+		if err != nil {
+			s.obs.trace.End(s.obs.tid) // round
 			return err
 		}
 		// Emit committed events.
-		if sink != nil {
-			for _, p := range s.parts {
+		var emitted int64
+		for _, p := range s.parts {
+			emitted += int64(len(p.emitted))
+			if sink != nil {
 				for _, em := range p.emitted {
 					sink(em.net, event.Event{Time: em.t, Val: em.v})
 				}
-				p.emitted = p.emitted[:0]
 			}
-		} else {
-			for _, p := range s.parts {
-				p.emitted = p.emitted[:0]
+			p.emitted = p.emitted[:0]
+		}
+		s.events.Add(emitted)
+		s.obs.events.Add(emitted)
+		if obsOn {
+			// A round that committed nothing is a lookahead stall: the window
+			// was too narrow to carry any work past the barrier.
+			if emitted == 0 {
+				s.obs.stallRounds.Inc()
 			}
+			s.obs.roundNS.Observe(time.Since(roundStart).Nanoseconds())
+			s.obs.trace.End(s.obs.tid) // round
 		}
 	}
 }
@@ -448,7 +545,8 @@ func (s *Simulator) runPhase(pool *workpool.Pool, fn func(int)) error {
 			return s.failed
 		}
 		s.degraded = true
-		s.Downgrades++
+		s.downgrades.Add(1)
+		s.obs.downgrades.Inc()
 	}
 	for i := range s.parts {
 		if pe := contain(fn, i); pe != nil {

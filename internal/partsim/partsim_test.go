@@ -81,7 +81,7 @@ func runBoth(t *testing.T, seed int64, partitions int, delays func(d *gen.Design
 			}
 		}
 	}
-	if ps.Rounds == 0 {
+	if ps.Stats().Rounds == 0 {
 		t.Error("no rounds executed")
 	}
 }
@@ -122,7 +122,7 @@ func TestLookaheadDrivesRounds(t *testing.T) {
 		if err := ps.Run(pstim, nil); err != nil {
 			t.Fatal(err)
 		}
-		return ps.Rounds
+		return ps.Stats().Rounds
 	}
 	sdfRounds := run(gen.Delays(d, 7))
 	unitRounds := run(sdf.Uniform(d.Netlist, 100))
@@ -188,7 +188,7 @@ func TestPartitionQualityMatters(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		return ps.CrossMessages, got
+		return ps.Stats().CrossMessages, got
 	}
 	goodMsgs, goodEvents := run(StrategyContiguous)
 	badMsgs, badEvents := run(StrategyRoundRobin)

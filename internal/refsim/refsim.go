@@ -19,10 +19,12 @@ package refsim
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
 	"gatesim/internal/plan"
 	"gatesim/internal/sched"
 	"gatesim/internal/sdf"
@@ -54,9 +56,26 @@ type Simulator struct {
 
 	heap wakeHeap
 
-	// Stats
+	// Stats. Plain fields are fine here: the simulator is single-threaded
+	// and the fields are read after Run returns.
 	Evaluations int64
 	Events      int64
+
+	// Observability sinks (nil-safe; see Observe). The hot loop keeps its
+	// plain counters above — obs sees per-run deltas, not per-event adds.
+	obsMetrics *obs.Registry
+	obsTrace   *obs.Trace
+	obsTid     int
+}
+
+// Observe attaches observability sinks: each Run records a span on the
+// trace, folds its evaluation/event counts into the refsim.* counters, and
+// observes its wall time in refsim.run_ns. Either argument may be nil.
+// Call before Run.
+func (s *Simulator) Observe(m *obs.Registry, tr *obs.Trace) {
+	s.obsMetrics = m
+	s.obsTrace = tr
+	s.obsTid = tr.Thread("refsim")
 }
 
 // New lowers the design and prepares a simulator. The compiled library must
@@ -115,6 +134,18 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 		if int(st.Net) >= len(s.nl.Nets) || !s.nl.Nets[st.Net].IsInput {
 			return fmt.Errorf("refsim: stimulus on non-input net %d", st.Net)
 		}
+	}
+	if s.obsMetrics != nil || s.obsTrace != nil {
+		start := time.Now()
+		evals, events := s.Evaluations, s.Events
+		s.obsTrace.Begin(s.obsTid, "refsim.run")
+		defer func() {
+			s.obsTrace.End(s.obsTid)
+			m := s.obsMetrics
+			m.Counter("refsim.evaluations").Add(s.Evaluations - evals)
+			m.Counter("refsim.events").Add(s.Events - events)
+			m.Histogram("refsim.run_ns").Observe(time.Since(start).Nanoseconds())
+		}()
 	}
 	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
 

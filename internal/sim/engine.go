@@ -45,11 +45,13 @@ package sim
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"gatesim/internal/event"
 	"gatesim/internal/levelize"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
 	"gatesim/internal/plan"
 	"gatesim/internal/sdf"
 	"gatesim/internal/truthtab"
@@ -126,6 +128,14 @@ type Options struct {
 	// in gate-evaluation code and exercises the containment/poisoning path
 	// with exact gate/level coordinates. Test-only.
 	GateHook func(gate netlist.CellID)
+	// Metrics, when non-nil, receives the engine's obs counters and phase
+	// histograms (sim.* and pool.* names). Nil keeps every record site on
+	// the ~1 ns nil-instrument path (see internal/obs).
+	Metrics *obs.Registry
+	// Trace, when non-nil, records a span per sweep, level segment, pool
+	// round, checkpoint and streamed slice, plus counter tracks, in
+	// Chrome/Perfetto trace-event form.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -172,6 +182,59 @@ type Stats struct {
 	Downgrades int64
 }
 
+// engineCounters are the cumulative counters in atomic form. Writers are
+// coordinator-side only, but Stats() may be polled from any goroutine (the
+// obs debug endpoint does so mid-run), so every field is an atomic rather
+// than a plain int64 guarded by nothing.
+type engineCounters struct {
+	sweeps      atomic.Int64
+	visits      atomic.Int64
+	queries     atomic.Int64
+	events      atomic.Int64
+	checkpoints atomic.Int64
+	levelsFused atomic.Int64
+	sweepNS     atomic.Int64
+	levelNS     atomic.Int64
+	downgrades  atomic.Int64
+}
+
+// engineObs bundles the engine's observability instruments. It is built
+// unconditionally: nil Options.Metrics/Trace yield nil instruments, so the
+// record sites below never branch on "is observability on".
+type engineObs struct {
+	trace *obs.Trace
+	tid   int // the engine's coordinator track
+
+	sweeps       *obs.Counter
+	events       *obs.Counter
+	checkpoints  *obs.Counter
+	downgrades   *obs.Counter
+	sweepNS      *obs.Histogram
+	levelNS      *obs.Histogram
+	checkpointNS *obs.Histogram
+	sliceNS      *obs.Histogram
+	quiesceNS    *obs.Histogram
+	watermark    *obs.Gauge
+}
+
+func newEngineObs(o Options) engineObs {
+	m := o.Metrics
+	return engineObs{
+		trace:        o.Trace,
+		tid:          o.Trace.Thread("sim.engine"),
+		sweeps:       m.Counter("sim.sweeps"),
+		events:       m.Counter("sim.events_committed"),
+		checkpoints:  m.Counter("sim.checkpoints"),
+		downgrades:   m.Counter("sim.downgrades"),
+		sweepNS:      m.Histogram("sim.sweep_ns"),
+		levelNS:      m.Histogram("sim.level_ns"),
+		checkpointNS: m.Histogram("sim.checkpoint_ns"),
+		sliceNS:      m.Histogram("sim.slice_ns"),
+		quiesceNS:    m.Histogram("sim.quiesce_ns"),
+		watermark:    m.Gauge("sim.watermark_ps"),
+	}
+}
+
 // Engine simulates one netlist.
 type Engine struct {
 	p    *plan.Plan
@@ -214,7 +277,8 @@ type Engine struct {
 	exec      *executor
 	sweepSegs [][]netlist.CellID // sequential phase + each comb level, in order
 	lastDirty int                // dirty-gate count of the previous sweep
-	stats     Stats
+	stats     engineCounters
+	obs       engineObs
 
 	// poison is set when a sweep contained a panic: the committed state may
 	// be inconsistent, so every later run-control call returns a SimError
@@ -239,6 +303,7 @@ func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays,
 // and may be shared with other simulators concurrently.
 func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 	e := &Engine{p: p, nl: p.Netlist, opts: opts.withDefaults()}
+	e.obs = newEngineObs(e.opts)
 	e.mode = e.opts.Mode
 	if e.mode == ModeAuto {
 		switch {
@@ -326,14 +391,26 @@ func (e *Engine) Err() error {
 	return e.poison
 }
 
-// Stats returns a copy of the cumulative counters, including the worker
-// pool's scheduling counters.
+// Stats returns a snapshot of the cumulative counters, including the worker
+// pool's scheduling counters. It is safe to call from any goroutine while a
+// run is in flight — the obs debug endpoint polls it live.
 func (e *Engine) Stats() Stats {
-	s := e.stats
 	ps := e.exec.pool.Stats()
-	s.PoolSpawned, s.PoolRounds = ps.Spawned, ps.Rounds
-	s.PoolWakes, s.PoolParks = ps.Wakes, ps.Parks
-	return s
+	return Stats{
+		Sweeps:          e.stats.sweeps.Load(),
+		Visits:          e.stats.visits.Load(),
+		Queries:         e.stats.queries.Load(),
+		EventsCommitted: e.stats.events.Load(),
+		Checkpoints:     e.stats.checkpoints.Load(),
+		PoolSpawned:     ps.Spawned,
+		PoolRounds:      ps.Rounds,
+		PoolWakes:       ps.Wakes,
+		PoolParks:       ps.Parks,
+		LevelsFused:     e.stats.levelsFused.Load(),
+		SweepNS:         e.stats.sweepNS.Load(),
+		LevelNS:         e.stats.levelNS.Load(),
+		Downgrades:      e.stats.downgrades.Load(),
+	}
 }
 
 // Netlist returns the simulated netlist.

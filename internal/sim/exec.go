@@ -99,6 +99,9 @@ func newExecutor(e *Engine) *executor {
 	}
 	x.pool = workpool.New(threads)
 	x.pool.FaultHook = e.opts.FaultHook
+	m := e.opts.Metrics
+	x.pool.Observe(m.Counter("pool.spawned"), m.Counter("pool.rounds"),
+		m.Counter("pool.wakes"), m.Counter("pool.parks"))
 	x.roundFn = x.drainRound
 	x.allGates = make([]netlist.CellID, e.p.NumGates())
 	for i := range x.allGates {
@@ -132,10 +135,12 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 	x.kind = kind
 	x.claimed.Store(0)
 	x.progress.Store(false)
+	x.e.obs.trace.Begin(x.e.obs.tid, "pool-round")
 	err := x.pool.Run(x.threads, x.roundFn)
+	x.e.obs.trace.End(x.e.obs.tid)
 	x.segs = nil
 	if len(segs) > 1 {
-		x.e.stats.LevelsFused += int64(len(segs) - 1)
+		x.e.stats.levelsFused.Add(int64(len(segs) - 1))
 	}
 	x.mergeStats()
 	if err != nil && x.failed.Load() == nil {
@@ -154,7 +159,8 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 			// and the dirty flags still mark exactly the unprocessed gates,
 			// so the serial pass completes whatever the round left behind.
 			x.degraded = true
-			x.e.stats.Downgrades++
+			x.e.stats.downgrades.Add(1)
+			x.e.obs.downgrades.Inc()
 			x.pool.Close()
 			sc, sp := x.runSweepSerial(segs, kind)
 			return x.claimed.Load() + sc, x.progress.Load() || sp
@@ -172,7 +178,16 @@ func (x *executor) runSweepSerial(segs [][]netlist.CellID, kind roundKind) (int6
 	var claimed int64
 	progress := false
 	for s, seg := range segs {
-		if !x.runChunk(kind, s, seg, sc, &claimed, &progress) {
+		// Per-level spans exist only on this path; the pooled path fuses all
+		// levels into one round (see drainRound) and gets a pool-round span.
+		name := "level"
+		if s == 0 && kind != roundCheckpoint {
+			name = "seq-phase"
+		}
+		x.e.obs.trace.Begin(x.e.obs.tid, name)
+		ok := x.runChunk(kind, s, seg, sc, &claimed, &progress)
+		x.e.obs.trace.End(x.e.obs.tid)
+		if !ok {
 			break
 		}
 	}
@@ -294,10 +309,15 @@ func (x *executor) runCheckpoint() {
 // mergeStats folds the per-worker counters into the engine totals. Called
 // from the coordinating goroutine only.
 func (x *executor) mergeStats() {
+	var visits, queries, events int64
 	for _, sc := range x.scratches {
-		x.e.stats.Visits += sc.visits
-		x.e.stats.Queries += sc.queries
-		x.e.stats.EventsCommitted += sc.events
+		visits += sc.visits
+		queries += sc.queries
+		events += sc.events
 		sc.visits, sc.queries, sc.events = 0, 0, 0
 	}
+	x.e.stats.visits.Add(visits)
+	x.e.stats.queries.Add(queries)
+	x.e.stats.events.Add(events)
+	x.e.obs.events.Add(events)
 }

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/obs"
+)
+
+// TestStatsPollDuringRunStream is the concurrent-access proof for the
+// engine's counters: a goroutine hammers Stats() while RunStreamCtx runs on
+// the pooled executor. Under -race (scripts/check.sh) any non-atomic
+// counter access between the coordinator, pool workers, and the poller is
+// reported.
+func TestStatsPollDuringRunStream(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d.Netlist, testLib, gen.Delays(d, 7), pooledOpts(ModeParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := e.Stats()
+			if s.Sweeps < last.Sweeps || s.EventsCommitted < last.EventsCommitted {
+				t.Errorf("stats went backwards: %+v then %+v", last, s)
+				return
+			}
+			last = s
+		}
+	}()
+
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 30, ActivityFactor: 0.7, Seed: 42, ScanBurst: 5})
+	src := NewSliceSource(toChanges(stim))
+	err = e.RunStreamCtx(context.Background(), src, StreamConfig{SlicePS: 4000})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("RunStreamCtx: %v", err)
+	}
+	if s := e.Stats(); s.Sweeps == 0 || s.EventsCommitted == 0 {
+		t.Errorf("expected nonzero sweeps/events, got %+v", s)
+	}
+}
+
+// traceNames decodes a written trace and returns the set of B-span names
+// and C-counter names it contains.
+func traceNames(t *testing.T, data []byte) (spans, counters map[string]int) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	spans, counters = map[string]int{}, map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			spans[ev.Name]++
+		case "C":
+			counters[ev.Name]++
+		}
+	}
+	return spans, counters
+}
+
+// TestStreamTraceAndMetrics runs an instrumented engine through a streamed
+// stimulus and checks the recorded artifacts end to end: the trace is valid
+// Chrome trace-event JSON carrying per-slice, per-sweep and pool-round
+// spans plus counter tracks, and the registry's counters agree with the
+// engine's own Stats.
+func TestStreamTraceAndMetrics(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	opts := pooledOpts(ModeParallel)
+	opts.Metrics = reg
+	opts.Trace = tr
+	e, err := New(d.Netlist, testLib, gen.Delays(d, 7), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.7, Seed: 7, ScanBurst: 5})
+	if err := e.RunStream(NewSliceSource(toChanges(stim)), StreamConfig{SlicePS: 4000}); err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace fails validation: %v\n%s", err, buf.Bytes())
+	}
+
+	spans, counters := traceNames(t, buf.Bytes())
+	st := e.Stats()
+	if spans["sweep"] != int(st.Sweeps) {
+		t.Errorf("sweep spans = %d, Stats().Sweeps = %d", spans["sweep"], st.Sweeps)
+	}
+	if spans["slice"] < 2 {
+		t.Errorf("expected multiple slice spans with SlicePS=4000, got %d", spans["slice"])
+	}
+	for _, want := range []string{"checkpoint", "pool-round"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q spans in trace; spans: %v", want, spans)
+		}
+	}
+	for _, want := range []string{"sim.events_committed", "sim.watermark_ps", "pool.parks", "pool.wakes"} {
+		if counters[want] == 0 {
+			t.Errorf("no %q counter samples in trace; counters: %v", want, counters)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.sweeps"]; got != st.Sweeps {
+		t.Errorf("sim.sweeps counter = %d, Stats().Sweeps = %d", got, st.Sweeps)
+	}
+	if got := snap.Counters["sim.events_committed"]; got != st.EventsCommitted {
+		t.Errorf("sim.events_committed counter = %d, Stats().EventsCommitted = %d", got, st.EventsCommitted)
+	}
+	if got := snap.Counters["sim.checkpoints"]; got != st.Checkpoints {
+		t.Errorf("sim.checkpoints counter = %d, Stats().Checkpoints = %d", got, st.Checkpoints)
+	}
+	if snap.Counters["pool.rounds"] == 0 {
+		t.Error("pool.rounds counter never incremented on the pooled path")
+	}
+	for _, h := range []string{"sim.sweep_ns", "sim.slice_ns", "sim.checkpoint_ns"} {
+		hs, ok := snap.Histograms[h]
+		if !ok || hs.Count == 0 {
+			t.Errorf("histogram %s missing or empty", h)
+		}
+	}
+	phases := snap.PhaseNS()
+	if phases["sim.sweep"] <= 0 {
+		t.Errorf("PhaseNS missing sim.sweep: %v", phases)
+	}
+}
+
+// TestSerialTraceHasLevelSpans checks the serial executor's finer span
+// granularity: one seq-phase plus per-level spans inside each sweep.
+func TestSerialTraceHasLevelSpans(t *testing.T) {
+	d, err := gen.Build(smallSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	e, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Mode: ModeSerial, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 10, ActivityFactor: 0.7, Seed: 9, ScanBurst: 5})
+	for _, c := range toChanges(stim) {
+		if err := e.Inject(c.Net, c.Time, c.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	}
+	spans, _ := traceNames(t, buf.Bytes())
+	if spans["sweep"] == 0 || spans["seq-phase"] == 0 || spans["level"] == 0 {
+		t.Errorf("serial trace missing sweep/seq-phase/level spans: %v", spans)
+	}
+	if spans["pool-round"] != 0 {
+		t.Errorf("serial trace should have no pool-round spans: %v", spans)
+	}
+}
+
+// TestDisabledObsZeroAllocAdvance is the overhead guard for the disabled
+// path at the sweep level: with no Metrics and no Trace attached, a
+// converged engine's Advance — which still runs one full dirty-scan sweep
+// through all the instrumented record sites — must not allocate.
+func TestDisabledObsZeroAllocAdvance(t *testing.T) {
+	d, err := gen.Build(smallSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 10, ActivityFactor: 0.7, Seed: 5, ScanBurst: 5})
+	for _, c := range toChanges(stim) {
+		if err := e.Inject(c.Net, c.Time, c.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := e.Advance(TimeInf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-obs Advance allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -122,20 +122,28 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 		}
 
 		sweepStart := time.Now()
-		eventsBefore := e.stats.EventsCommitted
+		eventsBefore := e.stats.events.Load()
 
 		kind, expected := roundDirty, e.lastDirty
 		if oblivious {
 			kind, expected = roundOblivious, e.p.NumGates()
 		}
+		e.obs.trace.Begin(e.obs.tid, "sweep")
 		levelStart := time.Now()
 		processed, progress := e.exec.runSweep(e.sweepSegs, kind, expected)
-		e.stats.LevelNS += time.Since(levelStart).Nanoseconds()
-		e.stats.Sweeps++
+		levelNS := time.Since(levelStart).Nanoseconds()
+		e.stats.levelNS.Add(levelNS)
+		e.obs.levelNS.Observe(levelNS)
+		e.stats.sweeps.Add(1)
+		e.obs.sweeps.Inc()
 		if !oblivious {
 			e.lastDirty = int(processed)
 		}
-		e.stats.SweepNS += time.Since(sweepStart).Nanoseconds()
+		sweepNS := time.Since(sweepStart).Nanoseconds()
+		e.stats.sweepNS.Add(sweepNS)
+		e.obs.sweepNS.Observe(sweepNS)
+		e.obs.trace.End(e.obs.tid)
+		e.obs.trace.Count("sim.events_committed", e.stats.events.Load())
 
 		if rec := e.exec.takeFailure(); rec != nil {
 			return e.poisonFromPanic("advance", rec)
@@ -155,7 +163,7 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 		// advance owes anyone: stop. On the final advance the quiescent
 		// state additionally proves no event can ever occur again, so every
 		// watermark jumps to TimeInf at once.
-		if !jumped && e.stats.EventsCommitted == eventsBefore && e.quiescentBelow(horizon) {
+		if !jumped && e.stats.events.Load() == eventsBefore && e.quiescentBelow(horizon) {
 			if horizon < TimeInf {
 				return nil
 			}
@@ -186,12 +194,16 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 // changed cannot be stale: a clean gate keeps the frontier of its last
 // visit, and its inputs have not changed since.
 func (e *Engine) quiescentBelow(horizon int64) bool {
+	start := time.Now()
+	quiet := true
 	for i := range e.gate {
 		if e.gate[i].futureMin < horizon {
-			return false
+			quiet = false
+			break
 		}
 	}
-	return true
+	e.obs.quiesceNS.Observe(time.Since(start).Nanoseconds())
+	return quiet
 }
 
 // Events exposes the committed event queue of a net. Callers must treat it
@@ -236,12 +248,19 @@ func (e *Engine) Checkpoint() {
 	if e.poison != nil {
 		return
 	}
+	start := time.Now()
+	e.obs.trace.Begin(e.obs.tid, "checkpoint")
+	defer func() {
+		e.obs.trace.End(e.obs.tid)
+		e.obs.checkpointNS.Observe(time.Since(start).Nanoseconds())
+	}()
 	e.exec.runCheckpoint()
 	if rec := e.exec.takeFailure(); rec != nil {
 		e.poisonFromPanic("checkpoint", rec)
 		return
 	}
-	e.stats.Checkpoints++
+	e.stats.checkpoints.Add(1)
+	e.obs.checkpoints.Inc()
 
 	// keep[nid] = lowest event index still needed.
 	keep := make([]int64, len(e.queues))

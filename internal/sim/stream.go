@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
@@ -143,6 +144,8 @@ func (e *Engine) RunStreamCtx(ctx context.Context, src StimulusSource, cfg Strea
 	}
 	for havePending {
 		end := start + cfg.SlicePS
+		sliceStart := time.Now()
+		e.obs.trace.Begin(e.obs.tid, "slice")
 		batch = batch[:0]
 		for havePending && pending.Time < end {
 			batch = append(batch, pending)
@@ -156,10 +159,12 @@ func (e *Engine) RunStreamCtx(ctx context.Context, src StimulusSource, cfg Strea
 		}
 		for _, c := range batch {
 			if err := e.Inject(c.Net, c.Time, c.Val); err != nil {
+				e.obs.trace.End(e.obs.tid)
 				return err
 			}
 		}
 		if err := e.AdvanceCtx(ctx, end); err != nil {
+			e.obs.trace.End(e.obs.tid)
 			return err
 		}
 		// Events are only safe to emit in global order up to the slowest
@@ -171,15 +176,39 @@ func (e *Engine) RunStreamCtx(ctx context.Context, src StimulusSource, cfg Strea
 			}
 		}
 		if err := flush(limit); err != nil {
+			e.obs.trace.End(e.obs.tid)
 			return err
 		}
 		e.Checkpoint()
+		e.obs.trace.End(e.obs.tid)
+		e.obs.sliceNS.Observe(time.Since(sliceStart).Nanoseconds())
+		e.emitSliceCounters(limit)
 		start = end
 	}
 	if err := e.FinishCtx(ctx); err != nil {
 		return err
 	}
-	return flush(TimeInf + 1)
+	if err := flush(TimeInf + 1); err != nil {
+		return err
+	}
+	e.emitSliceCounters(TimeInf)
+	return nil
+}
+
+// emitSliceCounters samples the slice-boundary counter tracks: the trace's
+// "where did the run get to" lanes (events committed, watermark advance,
+// downgrades, pool parks/wakes) and the live watermark gauge. All sinks are
+// nil-safe, so a disabled run pays a few pointer tests per slice.
+func (e *Engine) emitSliceCounters(watermark int64) {
+	e.obs.watermark.Set(watermark)
+	if e.obs.trace == nil {
+		return
+	}
+	ps := e.exec.pool.Stats()
+	e.obs.trace.Count("sim.watermark_ps", watermark)
+	e.obs.trace.Count("sim.downgrades", e.stats.downgrades.Load())
+	e.obs.trace.Count("pool.parks", ps.Parks)
+	e.obs.trace.Count("pool.wakes", ps.Wakes)
 }
 
 type timedEvent struct {

@@ -19,6 +19,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"gatesim/internal/obs"
 )
 
 // spinRounds is how many scheduler yields a helper burns waiting for the
@@ -102,6 +104,13 @@ type Pool struct {
 	rounds  atomic.Int64
 	wakes   atomic.Int64
 	parks   atomic.Int64
+
+	// obs mirrors of the counters above; nil (the default) is the disabled
+	// path. Set once via Observe before the first Run.
+	obsSpawned *obs.Counter
+	obsRounds  *obs.Counter
+	obsWakes   *obs.Counter
+	obsParks   *obs.Counter
 }
 
 // New returns a pool with the given total parallelism (coordinator
@@ -118,6 +127,15 @@ func New(parallelism int) *Pool {
 
 // Parallelism reports the total worker count, coordinator included.
 func (p *Pool) Parallelism() int { return p.helpers + 1 }
+
+// Observe mirrors the pool's scheduling counters into obs instruments so
+// claim/park/wake activity shows up in metric reports and trace counter
+// tracks. Any (or all) counters may be nil — a nil instrument's record site
+// is a single pointer test. Call before the first Run, like FaultHook.
+func (p *Pool) Observe(spawned, rounds, wakes, parks *obs.Counter) {
+	p.obsSpawned, p.obsRounds = spawned, rounds
+	p.obsWakes, p.obsParks = wakes, parks
+}
 
 // Stats returns a snapshot of the scheduling counters.
 func (p *Pool) Stats() Stats {
@@ -157,6 +175,7 @@ func (p *Pool) Run(n int, fn func(int)) error {
 	r.left.Store(int64(n))
 	p.cur.Store(r)
 	p.rounds.Add(1)
+	p.obsRounds.Inc()
 	// The epoch bump is the publication point: helpers that observe it (by
 	// spinning or by waking) load the round pointer afterwards. Bumping
 	// under the mutex pairs with the recheck helpers do before parking, so
@@ -236,6 +255,7 @@ func (p *Pool) ensureStarted() {
 		for i := 0; i < p.helpers; i++ {
 			p.wg.Add(1)
 			p.spawned.Add(1)
+			p.obsSpawned.Inc()
 			go p.helper(p.epoch.Load())
 		}
 	}
@@ -271,6 +291,7 @@ func (p *Pool) await(seen uint64) (uint64, bool) {
 	}
 	p.mu.Lock()
 	p.parks.Add(1)
+	p.obsParks.Inc()
 	for p.epoch.Load() == seen && !p.closing {
 		p.cond.Wait()
 	}
@@ -279,6 +300,7 @@ func (p *Pool) await(seen uint64) (uint64, bool) {
 	p.mu.Unlock()
 	if e != seen {
 		p.wakes.Add(1)
+		p.obsWakes.Inc()
 		return e, true
 	}
 	return 0, !closing

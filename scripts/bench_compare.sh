@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regression gate over the bench-smoke report: re-run the Figure 8 smoke
+# benchmark with the same recipe `make bench-smoke` uses and compare it
+# against the committed baseline, failing on >10% runtime regressions
+# (per-sample *_ns fields and the per-phase wall-time breakdown).
+#
+# Usage: scripts/bench_compare.sh [baseline.json [candidate.json]]
+# With no candidate given, a fresh one is produced into a temp file.
+set -eu
+cd "$(dirname "$0")/.."
+
+base=${1:-BENCH_smoke.json}
+cand=${2:-}
+
+if [ ! -f "$base" ]; then
+    echo "bench_compare: baseline $base not found (run 'make bench-smoke' first)" >&2
+    exit 2
+fi
+
+if [ -z "$cand" ]; then
+    cand=$(mktemp "${TMPDIR:-/tmp}/bench_smoke.XXXXXX.json")
+    trap 'rm -f "$cand"' EXIT
+    echo "== bench-smoke candidate run"
+    go run ./cmd/experiments -fig8 -scale 0.005 -cycles 60 -threadlist 1,2,4 -json "$cand"
+fi
+
+echo "== benchcmp $base -> $cand"
+go run ./cmd/benchcmp "$base" "$cand"

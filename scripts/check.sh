@@ -28,7 +28,7 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (short, concurrent packages)"
-go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/
+go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/ ./internal/obs/
 
 echo "== parser fuzz smoke (5s per parser)"
 go test -run '^$' -fuzz FuzzParseLiberty -fuzztime 5s ./internal/liberty/

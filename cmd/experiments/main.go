@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -40,35 +41,69 @@ import (
 	"gatesim/internal/sim"
 )
 
+// errUsage signals a command-line error (exit code 2, usage already printed).
+var errUsage = errors.New("usage")
+
 func main() {
-	var (
-		table1  = flag.Bool("table1", false, "regenerate Table I (benchmark statistics)")
-		table2  = flag.Bool("table2", false, "regenerate Table II (runtime comparison)")
-		fig8    = flag.Bool("fig8", false, "regenerate Figure 8 (thread scalability)")
-		libcomp = flag.Bool("libcomp", false, "measure the library-compilation claim")
-		par     = flag.Bool("parallelism", false, "report hardware-independent parallelism metrics")
-		all     = flag.Bool("all", false, "run everything")
-
-		scale      = flag.Float64("scale", 0.01, "design scale relative to the paper")
-		seed       = flag.Int64("seed", 1, "generation seed")
-		presets    = flag.String("presets", "", "comma-separated preset subset for -table2")
-		shortCyc   = flag.Int("short", 200, "short-trace cycles (paper: 1000)")
-		threads    = flag.Int("threads", runtime.GOMAXPROCS(0), "thread count for the multicore column")
-		fig8Preset = flag.String("preset", "aes256", "design for -fig8 (paper: aes256 and leon2)")
-		fig8Cycles = flag.Int("cycles", 200, "cycles for -fig8")
-		threadList = flag.String("threadlist", "1,2,4,8", "thread counts for -fig8")
-		jsonOut    = flag.String("json", "", "also write the -fig8 bench-smoke report to this file")
-		cells      = flag.Int("cells", 1000, "library size for -libcomp")
-		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-
-		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON of -table2/-fig8 runs to this file")
-		metrics   = flag.String("metrics", "", "write the full metric snapshot as JSON to this file")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address (host-less addr binds localhost)")
-	)
-	flag.Parse()
-	if !(*table1 || *table2 || *fig8 || *libcomp || *par || *all) {
-		flag.Usage()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
 		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	var se *sim.SimError
+	if errors.As(err, &se) {
+		if se.Oscillation != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", se.Oscillation.Summary())
+		}
+		if se.Panic != nil && len(se.Panic.Stack) > 0 {
+			fmt.Fprintf(os.Stderr, "%s\n", se.Panic.Stack)
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "experiments: run exceeded -timeout")
+	}
+	os.Exit(1)
+}
+
+// run is the whole tool behind a testable seam: flag parsing against args,
+// all output on the given writers, every failure returned instead of
+// exiting.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table1  = fs.Bool("table1", false, "regenerate Table I (benchmark statistics)")
+		table2  = fs.Bool("table2", false, "regenerate Table II (runtime comparison)")
+		fig8    = fs.Bool("fig8", false, "regenerate Figure 8 (thread scalability)")
+		libcomp = fs.Bool("libcomp", false, "measure the library-compilation claim")
+		par     = fs.Bool("parallelism", false, "report hardware-independent parallelism metrics")
+		all     = fs.Bool("all", false, "run everything")
+
+		scale      = fs.Float64("scale", 0.01, "design scale relative to the paper")
+		seed       = fs.Int64("seed", 1, "generation seed")
+		presets    = fs.String("presets", "", "comma-separated preset subset for -table2")
+		shortCyc   = fs.Int("short", 200, "short-trace cycles (paper: 1000)")
+		threads    = fs.Int("threads", runtime.GOMAXPROCS(0), "thread count for the multicore column")
+		fig8Preset = fs.String("preset", "aes256", "design for -fig8 (paper: aes256 and leon2)")
+		fig8Cycles = fs.Int("cycles", 200, "cycles for -fig8")
+		threadList = fs.String("threadlist", "1,2,4,8", "thread counts for -fig8")
+		jsonOut    = fs.String("json", "", "also write the -fig8 bench-smoke report to this file")
+		cells      = fs.Int("cells", 1000, "library size for -libcomp")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+
+		tracePath = fs.String("trace", "", "write a Chrome/Perfetto trace-event JSON of -table2/-fig8 runs to this file")
+		metrics   = fs.String("metrics", "", "write the full metric snapshot as JSON to this file")
+		debugAddr = fs.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address (host-less addr binds localhost)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !(*table1 || *table2 || *fig8 || *libcomp || *par || *all) {
+		fs.Usage()
+		return errUsage
 	}
 	if *all {
 		*table1, *table2, *fig8, *libcomp, *par = true, true, true, true, true
@@ -92,16 +127,20 @@ func main() {
 	}
 	if *debugAddr != "" {
 		ds, err := obs.StartDebug(*debugAddr, reg)
-		fail(err)
+		if err != nil {
+			return err
+		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "experiments: debug endpoint at http://%s/debug/metrics\n", ds.Addr())
+		fmt.Fprintf(stderr, "experiments: debug endpoint at http://%s/debug/metrics\n", ds.Addr())
 	}
 
 	if *table1 {
 		rows, err := harness.Table1(*scale, *seed)
-		fail(err)
-		fmt.Print(harness.FormatTable1(rows, *scale))
-		fmt.Println()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatTable1(rows, *scale))
+		fmt.Fprintln(stdout)
 	}
 	if *table2 {
 		var names []string
@@ -113,15 +152,19 @@ func main() {
 			ShortCycles: *shortCyc, Threads: *threads, Seed: *seed,
 			Metrics: reg, Trace: tr,
 		})
-		fail(err)
-		fmt.Print(harness.FormatTable2(rows, *threads))
-		fmt.Println()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatTable2(rows, *threads))
+		fmt.Fprintln(stdout)
 	}
 	if *fig8 {
 		var ths []int
 		for _, s := range strings.Split(*threadList, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
-			fail(err)
+			if err != nil {
+				return err
+			}
 			ths = append(ths, n)
 		}
 		cfg := harness.Fig8Config{
@@ -131,72 +174,83 @@ func main() {
 		}
 		if *jsonOut != "" {
 			rep, err := harness.BenchSmoke(ctx, cfg)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			f, err := os.Create(*jsonOut)
-			fail(err)
-			fail(harness.WriteBenchSmoke(f, rep))
-			fail(f.Close())
-			fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := harness.WriteBenchSmoke(f, rep); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "experiments: wrote %s\n", *jsonOut)
 			for _, s := range rep.Samples {
-				fmt.Printf("fig8 t=%d ours-sdf=%.3fs part-sdf=%.3fs spawns=%d rounds=%d wakes=%d parks=%d fused=%d\n",
+				fmt.Fprintf(stdout, "fig8 t=%d ours-sdf=%.3fs part-sdf=%.3fs spawns=%d rounds=%d wakes=%d parks=%d fused=%d comb1=%d seq=%d\n",
 					s.Threads, float64(s.OursSDFNS)/1e9, float64(s.PartSDFNS)/1e9,
-					s.PoolSpawned, s.PoolRounds, s.PoolWakes, s.PoolParks, s.LevelsFused)
+					s.PoolSpawned, s.PoolRounds, s.PoolWakes, s.PoolParks, s.LevelsFused,
+					s.VisitsComb1, s.VisitsSeq)
 			}
 		} else {
 			pts, err := harness.Fig8(ctx, cfg)
-			fail(err)
-			fmt.Print(harness.FormatFig8(*fig8Preset, pts))
-			fmt.Println()
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(stdout, harness.FormatFig8(*fig8Preset, pts))
+			fmt.Fprintln(stdout)
 		}
 	}
 	if *par {
 		var rows []harness.ParallelismRow
 		for _, name := range []string{"blabla", "picorv32a", "aes128", "aes256", "jpeg_encoder"} {
 			r, err := harness.Parallelism(ctx, name, *scale, 50, *seed)
-			fail(err)
+			if err != nil {
+				return err
+			}
 			rows = append(rows, r)
 		}
-		fmt.Print(harness.FormatParallelism(rows))
-		fmt.Println()
+		fmt.Fprint(stdout, harness.FormatParallelism(rows))
+		fmt.Fprintln(stdout)
 	}
 	if *libcomp {
 		r, err := harness.Libcomp(*cells, *seed)
-		fail(err)
-		fmt.Print(harness.FormatLibcomp(r))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, harness.FormatLibcomp(r))
 	}
 
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
-		fail(err)
-		fail(tr.WriteJSON(f))
-		fail(f.Close())
-		fmt.Fprintf(os.Stderr, "experiments: wrote trace (%d events) to %s — open in ui.perfetto.dev\n", tr.Len(), *tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "experiments: wrote trace (%d events) to %s — open in ui.perfetto.dev\n", tr.Len(), *tracePath)
 	}
 	if *metrics != "" {
 		f, err := os.Create(*metrics)
-		fail(err)
-		fail(reg.WriteReport(f))
-		fail(f.Close())
-		fmt.Fprintf(os.Stderr, "experiments: wrote metric report to %s\n", *metrics)
-	}
-}
-
-func fail(err error) {
-	if err == nil {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	var se *sim.SimError
-	if errors.As(err, &se) {
-		if se.Oscillation != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", se.Oscillation.Summary())
+		if err != nil {
+			return err
 		}
-		if se.Panic != nil && len(se.Panic.Stack) > 0 {
-			fmt.Fprintf(os.Stderr, "%s\n", se.Panic.Stack)
+		if err := reg.WriteReport(f); err != nil {
+			f.Close()
+			return err
 		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "experiments: wrote metric report to %s\n", *metrics)
 	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "experiments: run exceeded -timeout")
-	}
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gatesim/internal/harness"
+)
+
+// TestRunFig8JSONSmoke drives the whole tool end to end on a tiny preset
+// and checks the machine-readable report parses with the fields CI's
+// bench-compare step relies on.
+func TestRunFig8JSONSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-fig8", "-preset", "blabla", "-scale", "0.005",
+		"-cycles", "8", "-threadlist", "1", "-json", out,
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr:\n%s", args, err, stderr.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep harness.BenchSmokeReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Preset != "blabla" || rep.Cycles != 8 {
+		t.Errorf("report header %q/%d, want blabla/8", rep.Preset, rep.Cycles)
+	}
+	if len(rep.Samples) != 1 {
+		t.Fatalf("%d samples, want 1", len(rep.Samples))
+	}
+	s := rep.Samples[0]
+	if s.Threads != 1 {
+		t.Errorf("sample threads = %d, want 1", s.Threads)
+	}
+	if s.OursSDFNS <= 0 || s.PartSDFNS <= 0 {
+		t.Errorf("non-positive runtimes: ours=%d part=%d", s.OursSDFNS, s.PartSDFNS)
+	}
+	if s.Sweeps <= 0 {
+		t.Errorf("sweeps = %d, want > 0", s.Sweeps)
+	}
+	if s.VisitsComb1 <= 0 {
+		t.Errorf("visits_comb1 = %d; the kernel split is missing from the report", s.VisitsComb1)
+	}
+	if rep.Metrics == nil || len(rep.PhaseNS) == 0 {
+		t.Error("report is missing the metric snapshot / phase breakdown")
+	}
+	if !strings.Contains(stdout.String(), "fig8 t=1") {
+		t.Errorf("stdout missing fig8 summary line:\n%s", stdout.String())
+	}
+}
+
+// TestRunUsageError checks the CLI error seam: no mode flag is a usage
+// error, not a crash or a silent success.
+func TestRunUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(nil, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("run with no mode must fail")
+	}
+	if !strings.Contains(stderr.String(), "-fig8") {
+		t.Errorf("usage text not printed:\n%s", stderr.String())
+	}
+}

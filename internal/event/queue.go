@@ -43,23 +43,34 @@ type Pool struct {
 	allocated atomic.Int64 // total pages ever handed out (for stats)
 }
 
-const poolBlockPages = 1024
+// Block sizing: the first block holds poolBlockPages pages, and each
+// refill doubles the previous block so a long run amortizes to O(log n)
+// block allocations, capped at poolBlockPagesMax (64K pages = 2M events)
+// to bound the step size.
+const (
+	poolBlockPages    = 1024
+	poolBlockPagesMax = 64 * 1024
+)
 
 // get returns a fresh page.
 func (p *Pool) get() *page {
-	for {
-		p.mu.Lock()
-		if int(p.next) < len(p.block) {
-			pg := &p.block[p.next]
-			p.next++
-			p.mu.Unlock()
-			p.allocated.Add(1)
-			return pg
+	p.mu.Lock()
+	if int(p.next) >= len(p.block) {
+		grow := len(p.block) * 2
+		if grow < poolBlockPages {
+			grow = poolBlockPages
 		}
-		p.block = make([]page, poolBlockPages)
+		if grow > poolBlockPagesMax {
+			grow = poolBlockPagesMax
+		}
+		p.block = make([]page, grow)
 		p.next = 0
-		p.mu.Unlock()
 	}
+	pg := &p.block[p.next]
+	p.next++
+	p.mu.Unlock()
+	p.allocated.Add(1)
+	return pg
 }
 
 // AllocatedPages reports how many pages were ever handed out.

@@ -106,6 +106,33 @@ func TestQueuePageRecycling(t *testing.T) {
 	}
 }
 
+func TestPoolBlockGeometricGrowth(t *testing.T) {
+	var pool Pool
+	// Drain pages without recycling and watch the backing blocks: each
+	// refill must double the previous block, capped at poolBlockPagesMax.
+	wantBlocks := []int{poolBlockPages, 2 * poolBlockPages, 4 * poolBlockPages}
+	total := 0
+	for _, want := range wantBlocks {
+		pool.get()
+		if len(pool.block) != want {
+			t.Fatalf("after refill: block holds %d pages, want %d", len(pool.block), want)
+		}
+		for i := 1; i < want; i++ {
+			pool.get()
+		}
+		total += want
+		if got := pool.AllocatedPages(); got != int64(total) {
+			t.Fatalf("AllocatedPages = %d, want %d", got, total)
+		}
+	}
+	// The cap: growth stops doubling at poolBlockPagesMax.
+	big := &Pool{block: make([]page, poolBlockPagesMax), next: poolBlockPagesMax}
+	big.get()
+	if len(big.block) != poolBlockPagesMax {
+		t.Fatalf("capped refill: block holds %d pages, want %d", len(big.block), poolBlockPagesMax)
+	}
+}
+
 func TestQueueTrimMidPage(t *testing.T) {
 	var pool Pool
 	q := NewQueue(&pool, logic.V0)

@@ -461,6 +461,14 @@ type BenchSmokePoint struct {
 	LevelsFused int64 `json:"levels_fused"`
 	SweepNS     int64 `json:"sweep_ns"`
 	LevelNS     int64 `json:"level_ns"`
+
+	// Visit/query split by kernel class (see sim.Stats.VisitsByKernel):
+	// how much of the run the packed-LUT comb kernel served vs the generic
+	// sequential interpreter.
+	VisitsComb1  int64 `json:"visits_comb1"`
+	VisitsSeq    int64 `json:"visits_seq"`
+	QueriesComb1 int64 `json:"queries_comb1"`
+	QueriesSeq   int64 `json:"queries_seq"`
 }
 
 // BenchSmoke runs Fig8 with the given config and folds the points into the
@@ -495,6 +503,10 @@ func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
 			LevelsFused:   st.LevelsFused,
 			SweepNS:       st.SweepNS,
 			LevelNS:       st.LevelNS,
+			VisitsComb1:   st.VisitsByKernel[truthtab.ClassComb1],
+			VisitsSeq:     st.VisitsByKernel[truthtab.ClassSeq],
+			QueriesComb1:  st.QueriesByKernel[truthtab.ClassComb1],
+			QueriesSeq:    st.QueriesByKernel[truthtab.ClassSeq],
 		})
 	}
 	snap := cfg.Metrics.Snapshot()

@@ -686,6 +686,10 @@ func (p *partition) process(s *Simulator, T, windowEnd int64) {
 
 func (p *partition) evaluate(s *Simulator, li int32, t int64) {
 	gid := p.gates[li]
+	if s.p.KernelOf[s.p.TableOf[gid]] == truthtab.ClassComb1 {
+		p.evalComb1(s, li, t)
+		return
+	}
 	inNets := s.p.GateInputs(gid)
 	tab := p.tabs[li]
 	inVals := p.inVals[li]
@@ -731,6 +735,48 @@ func (p *partition) evaluate(s *Simulator, li int32, t int64) {
 		inVals[evIn[k]] = p.netVal[inNets[evIn[k]]]
 	}
 	copy(p.states[li], qNext[:tab.NumStates])
+}
+
+// evalComb1 is the ClassComb1 kernel (see refsim.evalComb1): one packed-LUT
+// probe over the raw partition-local net values, single output, no edge
+// coding or state, with the same delay-selection rules as the generic path.
+func (p *partition) evalComb1(s *Simulator, li int32, t int64) {
+	gid := p.gates[li]
+	inNets := s.p.GateInputs(gid)
+	lut := s.p.LUTs[s.p.TableOf[gid]]
+	inVals := p.inVals[li]
+	arcB := int(s.p.ArcOff[gid])
+
+	idx := 0
+	var evIn [truthtab.MaxPackedInputs]int
+	nEv := 0
+	for i, nid := range inNets {
+		cur := p.netVal[nid]
+		if cur != inVals[i] {
+			evIn[nEv] = i
+			nEv++
+			inVals[i] = cur
+		}
+		idx |= int(cur) << (3 * i)
+	}
+	nv := lut.Data[idx]
+	if nv == p.semOut[li][0] {
+		return
+	}
+	var d int64
+	if s.p.ArcUniform[gid] && nEv > 0 {
+		d = sched.DelayFor(s.p.Arcs[arcB], nv)
+	} else {
+		d = int64(1) << 62
+		for k := 0; k < nEv; k++ {
+			if ad := sched.DelayFor(s.p.Arcs[arcB+evIn[k]], nv); ad < d {
+				d = ad
+			}
+		}
+	}
+	p.outs[li][0].Schedule(t+d, nv)
+	p.semOut[li][0] = nv
+	p.wakes.push(wake{time: t + d, gate: li})
 }
 
 // --- small heaps ---

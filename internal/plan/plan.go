@@ -70,6 +70,18 @@ type Plan struct {
 	MinArc []int64
 	MaxArc []int64
 
+	// Kernel classification. KernelOf[tid] is the kernel class of interned
+	// table tid — ClassComb1 only when a packed LUT was built, so consumers
+	// may index LUTs unconditionally on that class. ArcUniform[g] reports
+	// that every arc delay of gate g is identical, letting kernels replace
+	// the per-changed-input minimum scan with Arcs[ArcOff[g]] (delay-derived:
+	// recomputed by WithDelays). Segs is the kernel-bucketed sweep schedule
+	// shared by the engines.
+	KernelOf   []truthtab.Class
+	LUTs       []*truthtab.PackedLUT
+	ArcUniform []bool
+	Segs       []Segment
+
 	// Initial-condition fixpoint, flattened to the slot layouts above.
 	NetInit   []logic.Value // per net
 	InInit    []logic.Value // per input slot
@@ -84,6 +96,22 @@ type Plan struct {
 	MaxInputs  int
 	MaxOutputs int
 	MaxStates  int
+}
+
+// Segment is one kernel-homogeneous slice of the sweep schedule. Segments
+// run in order: the sequential phase (Level -1) first, then each
+// combinational level, each split into per-class buckets in Class order.
+// Barrier marks the segments that must wait for every earlier segment to
+// complete — the first bucket of each phase/level. Buckets of one level
+// never share output nets or state, so they need no barrier between them;
+// the stable instance order inside each bucket keeps committed event
+// streams byte-identical with the unbucketed schedule (fixpoint sweeps are
+// confluent under any within-level visit order).
+type Segment struct {
+	Gates   []netlist.CellID
+	Kernel  truthtab.Class
+	Level   int // -1 for the sequential phase
+	Barrier bool
 }
 
 // Build validates and lowers the design. The compiled library must cover
@@ -191,8 +219,59 @@ func Build(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delay
 		}
 	}
 
+	// Kernel classification is per interned table; a ClassComb1 verdict is
+	// only kept when the packed LUT actually materialized.
+	p.KernelOf = make([]truthtab.Class, len(p.Tables))
+	p.LUTs = make([]*truthtab.PackedLUT, len(p.Tables))
+	for i, tab := range p.Tables {
+		if lut := tab.PackLUT(); lut != nil {
+			p.KernelOf[i] = truthtab.ClassComb1
+			p.LUTs[i] = lut
+		}
+	}
+	p.lowerSegments()
+
 	p.lowerDelays(delays)
 	return p, nil
+}
+
+// lowerSegments buckets the levelization's sweep segments by kernel class:
+// one backing array in schedule order, sub-sliced per (level, class) run.
+// Within a bucket the original instance order is kept, so each bucket —
+// and the concatenation of a level's buckets — is a stable reordering of
+// the level.
+func (p *Plan) lowerSegments() {
+	total := len(p.Lev.Sequential)
+	for _, lv := range p.Lev.Levels {
+		total += len(lv)
+	}
+	backing := make([]netlist.CellID, 0, total)
+	p.Segs = make([]Segment, 0, 1+len(p.Lev.Levels))
+	addLevel := func(level int, gates []netlist.CellID) {
+		first := true
+		for cls := truthtab.Class(0); cls < truthtab.NumClasses; cls++ {
+			start := len(backing)
+			for _, id := range gates {
+				if p.KernelOf[p.TableOf[id]] == cls {
+					backing = append(backing, id)
+				}
+			}
+			if len(backing) == start {
+				continue
+			}
+			p.Segs = append(p.Segs, Segment{
+				Gates:   backing[start:len(backing):len(backing)],
+				Kernel:  cls,
+				Level:   level,
+				Barrier: first,
+			})
+			first = false
+		}
+	}
+	addLevel(-1, p.Lev.Sequential)
+	for lv, gates := range p.Lev.Levels {
+		addLevel(lv, gates)
+	}
 }
 
 // lowerDelays fills the delay-derived vectors from the annotation.
@@ -202,6 +281,7 @@ func (p *Plan) lowerDelays(delays *sdf.Delays) {
 	p.Arcs = make([]sdf.Delay, p.ArcOff[n])
 	p.MinArc = make([]int64, len(p.OutNet))
 	p.MaxArc = make([]int64, n)
+	p.ArcUniform = make([]bool, n)
 	for g := 0; g < n; g++ {
 		id := netlist.CellID(g)
 		ni := int(p.InOff[g+1] - p.InOff[g])
@@ -224,6 +304,15 @@ func (p *Plan) lowerDelays(delays *sdf.Delays) {
 			}
 		}
 		p.MaxArc[g] = maxArc
+		arcs := p.Arcs[arcB : arcB+ni*no]
+		uniform := true
+		for i := 1; i < len(arcs); i++ {
+			if arcs[i] != arcs[0] {
+				uniform = false
+				break
+			}
+		}
+		p.ArcUniform[g] = uniform
 	}
 }
 
@@ -245,6 +334,9 @@ func (p *Plan) NumNets() int { return len(p.NetInit) }
 
 // Table returns gate g's interned truth table.
 func (p *Plan) Table(g netlist.CellID) *truthtab.Table { return p.Tables[p.TableOf[g]] }
+
+// Kernel returns gate g's kernel class.
+func (p *Plan) Kernel(g netlist.CellID) truthtab.Class { return p.KernelOf[p.TableOf[g]] }
 
 // NumIn returns gate g's input count.
 func (p *Plan) NumIn(g netlist.CellID) int { return int(p.InOff[g+1] - p.InOff[g]) }

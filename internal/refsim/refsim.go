@@ -229,8 +229,12 @@ func (s *Simulator) Run(stim []Stim, sink Sink) error {
 
 // evaluate performs one truth-table query for the gate at time t, using the
 // exact same edge coding, delay selection, and scheduling rules as the
-// stable-time engine.
+// stable-time engine. ClassComb1 gates take the packed-LUT fast path.
 func (s *Simulator) evaluate(gid netlist.CellID, t int64) {
+	if s.p.KernelOf[s.p.TableOf[gid]] == truthtab.ClassComb1 {
+		s.evalComb1(gid, t)
+		return
+	}
 	p := s.p
 	inB := int(p.InOff[gid])
 	ni := int(p.InOff[gid+1]) - inB
@@ -284,6 +288,54 @@ func (s *Simulator) evaluate(gid netlist.CellID, t int64) {
 		inVals[evIn[k]] = s.netVal[inNets[evIn[k]]]
 	}
 	copy(s.states[stB:stB+ns], qNext[:ns])
+}
+
+// evalComb1 is the ClassComb1 kernel: single output, no state, no edge
+// coding, so the query collapses to one packed-LUT probe over the raw net
+// values (settled values index 3-bit fields directly). Delay selection and
+// scheduling match the generic path exactly; when the plan proved every arc
+// delay equal, the per-changed-input minimum scan collapses to the first arc.
+func (s *Simulator) evalComb1(gid netlist.CellID, t int64) {
+	p := s.p
+	inB := int(p.InOff[gid])
+	ni := int(p.InOff[gid+1]) - inB
+	outB := int(p.OutOff[gid])
+	lut := p.LUTs[p.TableOf[gid]]
+	arcB := int(p.ArcOff[gid])
+	inNets := p.InNet[inB : inB+ni]
+	inVals := s.inVals[inB : inB+ni]
+	s.Evaluations++
+
+	idx := 0
+	var evIn [truthtab.MaxPackedInputs]int
+	nEv := 0
+	for i, nid := range inNets {
+		cur := s.netVal[nid]
+		if cur != inVals[i] {
+			evIn[nEv] = i
+			nEv++
+			inVals[i] = cur
+		}
+		idx |= int(cur) << (3 * i)
+	}
+	nv := lut.Data[idx]
+	if nv == s.semOut[outB] {
+		return
+	}
+	var d int64
+	if p.ArcUniform[gid] && nEv > 0 {
+		d = sched.DelayFor(p.Arcs[arcB], nv)
+	} else {
+		d = int64(1) << 62
+		for k := 0; k < nEv; k++ {
+			if ad := sched.DelayFor(p.Arcs[arcB+evIn[k]], nv); ad < d {
+				d = ad
+			}
+		}
+	}
+	s.outs[outB].Schedule(t+d, nv)
+	s.semOut[outB] = nv
+	s.heap.push(wake{time: t + d, gate: gid})
 }
 
 // NetValue returns the current value of a net (after Run, the final value).

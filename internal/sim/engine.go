@@ -128,6 +128,11 @@ type Options struct {
 	// in gate-evaluation code and exercises the containment/poisoning path
 	// with exact gate/level coordinates. Test-only.
 	GateHook func(gate netlist.CellID)
+	// DisableKernels forces every gate through the generic sequential
+	// interpreter and the unbucketed level schedule, ignoring the plan's
+	// kernel classification. Test/bench knob: it lets the same design run
+	// the pre-kernel execution shape for equivalence and speedup checks.
+	DisableKernels bool
 	// Metrics, when non-nil, receives the engine's obs counters and phase
 	// histograms (sim.* and pool.* names). Nil keeps every record site on
 	// the ~1 ns nil-instrument path (see internal/obs).
@@ -167,6 +172,12 @@ type Stats struct {
 	EventsCommitted int64 // events appended to net queues
 	Checkpoints     int64 // slice-boundary base consolidations
 
+	// VisitsByKernel/QueriesByKernel split Visits/Queries by the kernel
+	// class that served them (index by truthtab.Class). With kernels
+	// disabled everything lands on truthtab.ClassSeq.
+	VisitsByKernel  [truthtab.NumClasses]int64
+	QueriesByKernel [truthtab.NumClasses]int64
+
 	PoolSpawned int64 // worker goroutines ever created by the pool
 	PoolRounds  int64 // parallel rounds dispatched to the pool
 	PoolWakes   int64 // workers woken from a parked state
@@ -190,6 +201,8 @@ type engineCounters struct {
 	sweeps      atomic.Int64
 	visits      atomic.Int64
 	queries     atomic.Int64
+	visitsBy    [truthtab.NumClasses]atomic.Int64
+	queriesBy   [truthtab.NumClasses]atomic.Int64
 	events      atomic.Int64
 	checkpoints atomic.Int64
 	levelsFused atomic.Int64
@@ -209,6 +222,8 @@ type engineObs struct {
 	events       *obs.Counter
 	checkpoints  *obs.Counter
 	downgrades   *obs.Counter
+	visitsBy     [truthtab.NumClasses]*obs.Counter
+	queriesBy    [truthtab.NumClasses]*obs.Counter
 	sweepNS      *obs.Histogram
 	levelNS      *obs.Histogram
 	checkpointNS *obs.Histogram
@@ -219,7 +234,7 @@ type engineObs struct {
 
 func newEngineObs(o Options) engineObs {
 	m := o.Metrics
-	return engineObs{
+	eo := engineObs{
 		trace:        o.Trace,
 		tid:          o.Trace.Thread("sim.engine"),
 		sweeps:       m.Counter("sim.sweeps"),
@@ -233,6 +248,11 @@ func newEngineObs(o Options) engineObs {
 		quiesceNS:    m.Histogram("sim.quiesce_ns"),
 		watermark:    m.Gauge("sim.watermark_ps"),
 	}
+	for c := truthtab.Class(0); c < truthtab.NumClasses; c++ {
+		eo.visitsBy[c] = m.Counter("sim.visits_by_kernel." + c.String())
+		eo.queriesBy[c] = m.Counter("sim.queries_by_kernel." + c.String())
+	}
+	return eo
 }
 
 // Engine simulates one netlist.
@@ -274,9 +294,14 @@ type Engine struct {
 	// finished reading; unwatched nets hold unreadMark.
 	readMarks []int64
 
+	// kern caches the kernel class per gate (the plan classifies per
+	// interned table; the executor dispatches per gate). All ClassSeq under
+	// Options.DisableKernels.
+	kern []truthtab.Class
+
 	exec      *executor
-	sweepSegs [][]netlist.CellID // sequential phase + each comb level, in order
-	lastDirty int                // dirty-gate count of the previous sweep
+	sweepSegs []plan.Segment // sequential phase + each comb level's kernel buckets
+	lastDirty int            // dirty-gate count of the previous sweep
 	stats     engineCounters
 	obs       engineObs
 
@@ -362,10 +387,24 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 		g.dirty.Store(true)
 	}
 
+	e.kern = make([]truthtab.Class, p.NumGates())
+	if !e.opts.DisableKernels {
+		for i := range e.kern {
+			e.kern[i] = p.KernelOf[p.TableOf[i]]
+		}
+		// The plan's bucketed schedule: each level split into per-kernel
+		// runs, first bucket of a level carrying the barrier.
+		e.sweepSegs = p.Segs
+	} else {
+		// Unbucketed fallback: the pre-kernel execution shape, one segment
+		// per level in original gate order.
+		e.sweepSegs = make([]plan.Segment, 0, 1+len(p.Lev.Levels))
+		e.sweepSegs = append(e.sweepSegs, plan.Segment{Gates: p.Lev.Sequential, Level: -1, Barrier: true})
+		for lv, gates := range p.Lev.Levels {
+			e.sweepSegs = append(e.sweepSegs, plan.Segment{Gates: gates, Level: lv, Barrier: true})
+		}
+	}
 	e.exec = newExecutor(e)
-	e.sweepSegs = make([][]netlist.CellID, 0, 1+len(p.Lev.Levels))
-	e.sweepSegs = append(e.sweepSegs, p.Lev.Sequential)
-	e.sweepSegs = append(e.sweepSegs, p.Lev.Levels...)
 	e.lastDirty = p.NumGates() // everything starts dirty
 	return e, nil
 }
@@ -396,7 +435,7 @@ func (e *Engine) Err() error {
 // run is in flight — the obs debug endpoint polls it live.
 func (e *Engine) Stats() Stats {
 	ps := e.exec.pool.Stats()
-	return Stats{
+	st := Stats{
 		Sweeps:          e.stats.sweeps.Load(),
 		Visits:          e.stats.visits.Load(),
 		Queries:         e.stats.queries.Load(),
@@ -411,6 +450,11 @@ func (e *Engine) Stats() Stats {
 		LevelNS:         e.stats.levelNS.Load(),
 		Downgrades:      e.stats.downgrades.Load(),
 	}
+	for c := range st.VisitsByKernel {
+		st.VisitsByKernel[c] = e.stats.visitsBy[c].Load()
+		st.QueriesByKernel[c] = e.stats.queriesBy[c].Load()
+	}
+	return st
 }
 
 // Netlist returns the simulated netlist.

@@ -4,8 +4,11 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
+	"gatesim/internal/truthtab"
 	"gatesim/internal/workpool"
 )
 
@@ -40,9 +43,10 @@ type executor struct {
 	pool      *workpool.Pool
 	roundFn   func(int) // persistent closure handed to the pool each round
 
-	segs     [][]netlist.CellID
-	segIdx   []int64 // atomic: next unclaimed offset within segs[s]
-	segDone  []int64 // atomic: processed item count within segs[s]
+	segs     []plan.Segment
+	segIdx   []int64 // atomic: next unclaimed offset within segs[s].Gates
+	segDone  []int64 // atomic: processed item count within segs[s].Gates
+	waitFrom []int   // coordinator-written: first segment of the barrier's wait range, -1 = no wait
 	kind     roundKind
 	claimed  atomic.Int64 // dirty gates claimed this round
 	progress atomic.Bool
@@ -57,15 +61,18 @@ type executor struct {
 	degraded bool
 
 	allGates []netlist.CellID // identity work list for checkpoint rounds
+	ckptSegs []plan.Segment   // single-segment schedule over allGates
 }
 
 // panicRecord is the containment record for a panic inside per-gate
-// simulation code, with the coordinates the recovery point knew.
+// simulation code, with the coordinates the recovery point knew. seg keeps
+// PanicInfo.Level's convention — 0 = sequential phase, k>0 = combinational
+// level k-1 — independent of how many kernel buckets a level was split into.
 type panicRecord struct {
 	value any
 	stack []byte
 	gate  netlist.CellID // gate being visited, -1 when outside gate code
-	seg   int            // sweep segment (0 = sequential phase), -1 unknown
+	seg   int            // segment level coordinate (0 = sequential phase), -1 unknown
 }
 
 // roundKind selects what a sweep round does with each gate it scans.
@@ -87,6 +94,16 @@ const defaultSerialBatchThreshold = 192
 // workChunk is the number of gates a worker claims per atomic increment.
 const workChunk = 64
 
+// Barrier wait tuning: a worker blocked on a predecessor segment yields the
+// processor for a bounded number of iterations (the common case — the
+// barrier closes within a few scheduling quanta), then falls back to
+// sleeping with exponential backoff so a long wait burns no CPU.
+const (
+	barrierSpinIters  = 128
+	barrierBackoffMin = time.Microsecond
+	barrierBackoffMax = 128 * time.Microsecond
+)
+
 func newExecutor(e *Engine) *executor {
 	threads := 1
 	if e.mode == ModeParallel || e.mode == ModeManycore {
@@ -107,6 +124,7 @@ func newExecutor(e *Engine) *executor {
 	for i := range x.allGates {
 		x.allGates[i] = netlist.CellID(i)
 	}
+	x.ckptSegs = []plan.Segment{{Gates: x.allGates, Level: -1, Barrier: true}}
 	return x
 }
 
@@ -116,7 +134,7 @@ func newExecutor(e *Engine) *executor {
 // run on the calling goroutine. Returns the number of dirty gates claimed
 // and whether any visit made progress; a contained gate panic is left in
 // x.failed for the engine to collect.
-func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected int) (int64, bool) {
+func (x *executor) runSweep(segs []plan.Segment, kind roundKind, expected int) (int64, bool) {
 	if x.threads == 1 || x.degraded || expected < x.threshold {
 		return x.runSweepSerial(segs, kind)
 	}
@@ -125,12 +143,28 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 	if cap(x.segIdx) < len(segs) {
 		x.segIdx = make([]int64, len(segs))
 		x.segDone = make([]int64, len(segs))
+		x.waitFrom = make([]int, len(segs))
 	}
 	x.segIdx = x.segIdx[:len(segs)]
 	x.segDone = x.segDone[:len(segs)]
+	x.waitFrom = x.waitFrom[:len(segs)]
+	groupStart := 0
 	for i := range x.segIdx {
 		x.segIdx[i] = 0
 		x.segDone[i] = 0
+		// A barrier segment opens a new group and waits for the whole
+		// previous group [groupStart, i); same-group successors (a level's
+		// later kernel buckets) are independent of it and don't wait. The
+		// wait range never needs to reach further back: work in the
+		// previous group only started after its own barrier saw everything
+		// before groupStart complete.
+		x.waitFrom[i] = -1
+		if i > 0 && segs[i].Barrier {
+			x.waitFrom[i] = groupStart
+		}
+		if segs[i].Barrier {
+			groupStart = i
+		}
 	}
 	x.kind = kind
 	x.claimed.Store(0)
@@ -139,8 +173,15 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 	err := x.pool.Run(x.threads, x.roundFn)
 	x.e.obs.trace.End(x.e.obs.tid)
 	x.segs = nil
-	if len(segs) > 1 {
-		x.e.stats.levelsFused.Add(int64(len(segs) - 1))
+	// Count fused *levels* (barrier groups), not kernel buckets.
+	groups := 0
+	for _, s := range segs {
+		if s.Barrier {
+			groups++
+		}
+	}
+	if groups > 1 {
+		x.e.stats.levelsFused.Add(int64(groups - 1))
 	}
 	x.mergeStats()
 	if err != nil && x.failed.Load() == nil {
@@ -173,19 +214,23 @@ func (x *executor) runSweep(segs [][]netlist.CellID, kind roundKind, expected in
 // degradation target after a pool failure. Each segment runs under the same
 // panic containment as the pooled chunks; on a contained panic the rest of
 // the sweep is abandoned (the engine poisons itself anyway).
-func (x *executor) runSweepSerial(segs [][]netlist.CellID, kind roundKind) (int64, bool) {
+func (x *executor) runSweepSerial(segs []plan.Segment, kind roundKind) (int64, bool) {
 	sc := x.scratches[0]
 	var claimed int64
 	progress := false
-	for s, seg := range segs {
-		// Per-level spans exist only on this path; the pooled path fuses all
-		// levels into one round (see drainRound) and gets a pool-round span.
+	for _, seg := range segs {
+		// Per-segment spans exist only on this path; the pooled path fuses
+		// all levels into one round (see drainRound) and gets a pool-round
+		// span. Names are constant strings — the disabled-obs zero-alloc
+		// guard covers this loop.
 		name := "level"
-		if s == 0 && kind != roundCheckpoint {
+		if seg.Level < 0 && kind != roundCheckpoint {
 			name = "seq-phase"
+		} else if seg.Kernel == truthtab.ClassComb1 {
+			name = "level.comb1"
 		}
 		x.e.obs.trace.Begin(x.e.obs.tid, name)
-		ok := x.runChunk(kind, s, seg, sc, &claimed, &progress)
+		ok := x.runChunk(kind, seg.Level+1, seg.Gates, sc, &claimed, &progress)
 		x.e.obs.trace.End(x.e.obs.tid)
 		if !ok {
 			break
@@ -207,12 +252,10 @@ func (x *executor) drainRound(w int) {
 	var claimed int64
 	progress := false
 	for s := range x.segs {
-		if s > 0 {
-			for atomic.LoadInt64(&x.segDone[s-1]) < int64(len(x.segs[s-1])) {
-				runtime.Gosched()
-			}
+		if from := x.waitFrom[s]; from >= 0 {
+			x.waitSegs(from, s)
 		}
-		seg := x.segs[s]
+		seg := x.segs[s].Gates
 		n := int64(len(seg))
 		for {
 			lo := atomic.AddInt64(&x.segIdx[s], workChunk) - workChunk
@@ -234,6 +277,31 @@ func (x *executor) drainRound(w int) {
 	}
 }
 
+// waitSegs blocks until every segment in [from, s) has completed all its
+// work. The spin is bounded: after barrierSpinIters yields the worker
+// sleeps with exponential backoff, so a barrier held open for long (one
+// huge predecessor chunk, an oversubscribed machine) costs no CPU instead
+// of an unbounded Gosched loop.
+func (x *executor) waitSegs(from, s int) {
+	spins := 0
+	backoff := barrierBackoffMin
+	for i := from; i < s; {
+		if atomic.LoadInt64(&x.segDone[i]) >= int64(len(x.segs[i].Gates)) {
+			i++
+			continue
+		}
+		if spins < barrierSpinIters {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		time.Sleep(backoff)
+		if backoff < barrierBackoffMax {
+			backoff *= 2
+		}
+	}
+}
+
 // runChunkCounted runs one claimed chunk and — panicking or not — credits
 // its full length to the segment's completion counter so the inter-segment
 // barrier always closes.
@@ -245,18 +313,20 @@ func (x *executor) runChunkCounted(s int, chunk []netlist.CellID, sc *scratch, c
 	if x.failed.Load() != nil {
 		return
 	}
-	x.runChunk(x.kind, s, chunk, sc, claimed, progress)
+	x.runChunk(x.kind, x.segs[s].Level+1, chunk, sc, claimed, progress)
 }
 
-// runChunk processes one slice of a segment under panic containment. It
-// returns false when a panic was contained (recorded in x.failed with the
-// panicking gate's coordinates); the remainder of the chunk is skipped.
-func (x *executor) runChunk(kind roundKind, s int, chunk []netlist.CellID, sc *scratch, claimed *int64, progress *bool) (ok bool) {
+// runChunk processes one slice of a segment under panic containment. lvl is
+// the PanicInfo.Level coordinate of the segment (segment level + 1, so 0 is
+// the sequential phase). It returns false when a panic was contained
+// (recorded in x.failed with the panicking gate's coordinates); the
+// remainder of the chunk is skipped.
+func (x *executor) runChunk(kind roundKind, lvl int, chunk []netlist.CellID, sc *scratch, claimed *int64, progress *bool) (ok bool) {
 	cur := netlist.CellID(-1)
 	defer func() {
 		if v := recover(); v != nil {
 			x.failed.CompareAndSwap(nil, &panicRecord{
-				value: v, stack: debug.Stack(), gate: cur, seg: s,
+				value: v, stack: debug.Stack(), gate: cur, seg: lvl,
 			})
 			ok = false
 		}
@@ -273,14 +343,14 @@ func (x *executor) runChunk(kind roundKind, s int, chunk []netlist.CellID, sc *s
 			if hook != nil {
 				hook(id)
 			}
-			if x.e.visit(id, sc) {
+			if x.e.visitGate(id, sc) {
 				*progress = true
 			}
 		case roundOblivious:
 			if hook != nil {
 				hook(id)
 			}
-			if x.e.visit(id, sc) {
+			if x.e.visitGate(id, sc) {
 				*progress = true
 			}
 		case roundCheckpoint:
@@ -303,21 +373,38 @@ func (x *executor) takeFailure() *panicRecord {
 // runCheckpoint folds bases for all gates, reusing the sweep machinery with
 // a single all-gates segment.
 func (x *executor) runCheckpoint() {
-	x.runSweep([][]netlist.CellID{x.allGates}, roundCheckpoint, len(x.allGates))
+	x.runSweep(x.ckptSegs, roundCheckpoint, len(x.allGates))
 }
 
 // mergeStats folds the per-worker counters into the engine totals. Called
 // from the coordinating goroutine only.
 func (x *executor) mergeStats() {
-	var visits, queries, events int64
+	var visits, queries [truthtab.NumClasses]int64
+	var events int64
 	for _, sc := range x.scratches {
-		visits += sc.visits
-		queries += sc.queries
+		for c := range sc.visits {
+			visits[c] += sc.visits[c]
+			queries[c] += sc.queries[c]
+			sc.visits[c], sc.queries[c] = 0, 0
+		}
 		events += sc.events
-		sc.visits, sc.queries, sc.events = 0, 0, 0
+		sc.events = 0
 	}
-	x.e.stats.visits.Add(visits)
-	x.e.stats.queries.Add(queries)
+	var vTotal, qTotal int64
+	for c := range visits {
+		if visits[c] != 0 {
+			x.e.stats.visitsBy[c].Add(visits[c])
+			x.e.obs.visitsBy[c].Add(visits[c])
+			vTotal += visits[c]
+		}
+		if queries[c] != 0 {
+			x.e.stats.queriesBy[c].Add(queries[c])
+			x.e.obs.queriesBy[c].Add(queries[c])
+			qTotal += queries[c]
+		}
+	}
+	x.e.stats.visits.Add(vTotal)
+	x.e.stats.queries.Add(qTotal)
 	x.e.stats.events.Add(events)
 	x.e.obs.events.Add(events)
 }

@@ -7,6 +7,7 @@ import (
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
 	"gatesim/internal/sched"
+	"gatesim/internal/truthtab"
 )
 
 // gateState is the persistent per-instance simulation state. It holds only
@@ -58,10 +59,10 @@ type scratch struct {
 	qNext  []logic.Value
 	outs   []sched.Output
 	evIn   []int
-	// visit counters, merged into Engine.stats at sweep end to avoid
-	// atomic traffic in the hot loop.
-	visits  int64
-	queries int64
+	// visit counters, split per kernel class and merged into Engine.stats at
+	// sweep end to avoid atomic traffic in the hot loop.
+	visits  [truthtab.NumClasses]int64
+	queries [truthtab.NumClasses]int64
 	events  int64
 }
 
@@ -101,7 +102,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 	committedUntil := e.committedUntil[outB : outB+no]
 	softPend := e.softPend[outB : outB+no]
 	minArc := p.MinArc[outB : outB+no]
-	sc.visits++
+	sc.visits[truthtab.ClassSeq]++
 
 	// Resume from the soft snapshot when sound: no unconsumed event may lie
 	// below the snapshot point. If additionally there are no unconsumed
@@ -190,7 +191,7 @@ func (e *Engine) visit(id netlist.CellID, sc *scratch) bool {
 			}
 		}
 		tab.LookupInto(sc.qIns[:ni], sc.states[:ns], sc.qOuts[:no], sc.qNext[:ns])
-		sc.queries++
+		sc.queries[truthtab.ClassSeq]++
 
 		undet := false
 		for _, v := range sc.qOuts[:no] {
@@ -352,7 +353,7 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 			}
 		}
 		tab.LookupInto(sc.qIns[:ni], e.softStates[stB:stB+ns], sc.qOuts[:no], sc.qNext[:ns])
-		sc.queries++
+		sc.queries[truthtab.ClassSeq]++
 		undet := false
 		for _, v := range sc.qOuts[:no] {
 			if v == logic.VU {

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sched"
+	"gatesim/internal/truthtab"
+)
+
+// kernelVisit is the per-class dispatch table for gate visits. The plan
+// classifies each interned table once (plan.KernelOf); the engine caches the
+// per-gate class in e.kern so dispatch is one byte load and an indexed call.
+// Options.DisableKernels forces every gate to ClassSeq, which routes the
+// whole design through the generic interpreter — the test/bench knob that
+// lets the same gates run both paths.
+var kernelVisit = [truthtab.NumClasses]func(*Engine, netlist.CellID, *scratch) bool{
+	truthtab.ClassSeq:   (*Engine).visit,
+	truthtab.ClassComb1: (*Engine).visitComb1,
+}
+
+// visitGate dispatches one gate visit to its class kernel.
+func (e *Engine) visitGate(id netlist.CellID, sc *scratch) bool {
+	return kernelVisit[e.kern[id]](e, id, sc)
+}
+
+// visitComb1 is the ClassComb1 kernel: the straight-line replay loop for a
+// single-output, zero-state gate with no edge-sensitive inputs. It follows
+// visit (gate.go) exactly, minus everything such a gate cannot need: no
+// state vector or semantic-output copies, no edge coding (the query value
+// of an event is just its settled value), one pending output instead of a
+// loop over outputs, and a packed-LUT probe — the raw input values shifted
+// into 3-bit fields — instead of the generic mixed-radix table walk. When
+// the plan proved every arc delay of the gate equal (ArcUniform), the
+// per-changed-input minimum scan collapses to the gate's first arc.
+// Confluence of the sweep fixpoint makes its committed stream byte-equal to
+// the generic path's, which the kernel equivalence tests check.
+func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
+	p := e.p
+	g := &e.gate[id]
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	lut := p.LUTs[p.TableOf[id]]
+	arcB := int(p.ArcOff[id])
+	inQ := e.inQ[inB : inB+ni]
+	q := e.outQ[outB]
+	softCur := e.softCur[inB : inB+ni]
+	uniform := p.ArcUniform[id]
+	sc.visits[truthtab.ClassComb1]++
+
+	// Soft-resume / idle checks, exactly as in visit.
+	resume := g.softValid
+	idle := resume
+	if resume {
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if softCur[i] < iq.Len() {
+				idle = false
+				if iq.MustAt(softCur[i]).Time < g.softNow {
+					resume = false
+					break
+				}
+			}
+		}
+	}
+	if resume && idle {
+		return e.idleComb1(id, sc)
+	}
+	out := &sc.outs[0]
+	var now int64
+	var sem logic.Value
+	if resume {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(softCur[i])
+			sc.vals[i] = e.softVals[inB+i]
+		}
+		sem = e.softSem[outB]
+		out.Restore(e.lastCommitted[outB], e.softPend[outB])
+		now = g.softNow
+	} else {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(e.baseCur[inB+i])
+			sc.vals[i] = e.baseVals[inB+i]
+		}
+		sem = e.semBase[outB]
+		out.Reset(e.lastCommitted[outB])
+		now = g.baseNow
+	}
+	detUntil := TimeInf
+	for {
+		// Next change point: earliest unconsumed event or stable-time
+		// expiry strictly after `now`.
+		t := TimeInf
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if et := sc.cur[i].Peek(iq).Time; et < t {
+					t = et
+				}
+			}
+			if w := iq.DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+
+		// Build the packed query index directly: settled values and U are
+		// their own 3-bit fields.
+		idx := 0
+		sc.evIn = sc.evIn[:0]
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			v := sc.vals[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if ev := sc.cur[i].Peek(iq); ev.Time == t {
+					v = ev.Val.Settle()
+					sc.evIn = append(sc.evIn, i)
+					idx |= int(v) << (3 * i)
+					continue
+				}
+			}
+			if t >= iq.DeterminedUntil() {
+				v = logic.VU
+			}
+			idx |= int(v) << (3 * i)
+		}
+		nv := lut.Data[idx]
+		sc.queries[truthtab.ClassComb1]++
+		if nv == logic.VU {
+			detUntil = t
+			break
+		}
+
+		// Consume the change point.
+		if len(sc.evIn) > 0 {
+			if nv != sem {
+				var d int64
+				if uniform {
+					d = sched.DelayFor(p.Arcs[arcB], nv)
+				} else {
+					d = int64(1) << 62
+					for _, i := range sc.evIn {
+						if ad := sched.DelayFor(p.Arcs[arcB+i], nv); ad < d {
+							d = ad
+						}
+					}
+				}
+				out.Schedule(t+d, nv)
+				sem = nv
+			}
+			for _, i := range sc.evIn {
+				sc.vals[i] = sc.cur[i].Peek(inQ[i]).Val.Settle()
+				sc.cur[i].Advance()
+			}
+		}
+		now = t
+	}
+	g.detUntil.Store(detUntil)
+
+	// Commit the single output and advance its watermark.
+	limit := detUntil
+	if limit < TimeInf {
+		limit += p.MinArc[outB]
+		if limit > TimeInf {
+			limit = TimeInf
+		}
+	}
+	commitThrough := limit - 1
+	progress := false
+	newEvents := false
+	for {
+		te, ok := out.NextPending()
+		if !ok || te > commitThrough {
+			break
+		}
+		ev := out.PopFront()
+		if ev.Time > e.committedUntil[outB] {
+			if q != nil {
+				q.Append(ev.Time, ev.Val)
+				newEvents = true
+				sc.events++
+			}
+			e.lastCommitted[outB] = ev.Val
+		}
+	}
+	if commitThrough > e.committedUntil[outB] {
+		e.committedUntil[outB] = commitThrough
+	}
+	wOld := int64(-1)
+	if q != nil && q.DeterminedUntil() < limit {
+		wOld = q.DeterminedUntil()
+		q.SetDeterminedUntil(limit)
+	}
+	if newEvents || wOld >= 0 {
+		progress = true
+		e.markLoads(p.OutNet[outB], wOld, newEvents)
+	}
+
+	futureMin := int64(TimeInf)
+	if te, ok := out.NextPending(); ok {
+		futureMin = te
+	}
+	for i := 0; i < ni; i++ {
+		if sc.cur[i].Idx < inQ[i].Len() {
+			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
+				futureMin = et
+			}
+		}
+	}
+	g.futureMin = futureMin
+
+	// Save the soft snapshot for the next visit.
+	g.softNow = now
+	for i := 0; i < ni; i++ {
+		softCur[i] = sc.cur[i].Idx
+		e.softVals[inB+i] = sc.vals[i]
+	}
+	e.softSem[outB] = sem
+	e.softPend[outB] = append(e.softPend[outB][:0], out.Pend()...)
+	g.softValid = true
+	return progress
+}
+
+// idleComb1 is idleVisit specialized the same way: a watermark-expiry-only
+// walk with a packed-LUT probe per expiry and a single output to commit
+// from the soft pending list.
+func (e *Engine) idleComb1(id netlist.CellID, sc *scratch) bool {
+	p := e.p
+	g := &e.gate[id]
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	lut := p.LUTs[p.TableOf[id]]
+	inQ := e.inQ[inB : inB+ni]
+	q := e.outQ[outB]
+
+	now := g.softNow
+	detUntil := TimeInf
+	for {
+		t := int64(TimeInf)
+		for i := 0; i < ni; i++ {
+			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+		idx := 0
+		for i := 0; i < ni; i++ {
+			v := e.softVals[inB+i]
+			if t >= inQ[i].DeterminedUntil() {
+				v = logic.VU
+			}
+			idx |= int(v) << (3 * i)
+		}
+		sc.queries[truthtab.ClassComb1]++
+		if lut.Data[idx] == logic.VU {
+			detUntil = t
+			break
+		}
+		now = t
+	}
+	g.softNow = now
+	g.detUntil.Store(detUntil)
+
+	limit := detUntil
+	if limit < TimeInf {
+		limit += p.MinArc[outB]
+		if limit > TimeInf {
+			limit = TimeInf
+		}
+	}
+	commitThrough := limit - 1
+	progress := false
+	newEvents := false
+	pend := e.softPend[outB]
+	k := 0
+	for k < len(pend) && pend[k].Time <= commitThrough {
+		ev := pend[k]
+		k++
+		if ev.Time > e.committedUntil[outB] {
+			if q != nil {
+				q.Append(ev.Time, ev.Val)
+				newEvents = true
+				sc.events++
+			}
+			e.lastCommitted[outB] = ev.Val
+		}
+	}
+	if k > 0 {
+		e.softPend[outB] = append(pend[:0], pend[k:]...)
+	}
+	if commitThrough > e.committedUntil[outB] {
+		e.committedUntil[outB] = commitThrough
+	}
+	wOld := int64(-1)
+	if q != nil && q.DeterminedUntil() < limit {
+		wOld = q.DeterminedUntil()
+		q.SetDeterminedUntil(limit)
+	}
+	if newEvents || wOld >= 0 {
+		progress = true
+		e.markLoads(p.OutNet[outB], wOld, newEvents)
+	}
+
+	futureMin := int64(TimeInf)
+	for _, ev := range e.softPend[outB] {
+		if ev.Time < futureMin {
+			futureMin = ev.Time
+		}
+	}
+	g.futureMin = futureMin
+	return progress
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/plan"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// mixedKernelDesign builds a small netlist that exercises both kernel
+// classes inside the combinational levels — FA/HA are stateless two-output
+// cells (ClassSeq) wired between packable single-output gates (ClassComb1) —
+// plus a real sequential phase (DFF).
+func mixedKernelDesign(t *testing.T) (*netlist.Netlist, *sdf.Delays) {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("mixed", lib)
+	for _, p := range []string{"a", "b", "cin", "clk"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add := func(name, cell string, pins map[string]string) {
+		t.Helper()
+		if _, err := nl.AddInstance(name, cell, pins); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("fa0", "FA", map[string]string{"A": "a", "B": "b", "CIN": "cin", "SUM": "s0", "COUT": "c0"})
+	add("inv0", "INV", map[string]string{"A": "s0", "Y": "n0"})
+	add("ha0", "HA", map[string]string{"A": "n0", "B": "c0", "SUM": "s1", "COUT": "c1"})
+	add("nand0", "NAND2", map[string]string{"A": "s1", "B": "c1", "Y": "n1"})
+	add("xor0", "XOR2", map[string]string{"A": "n1", "B": "c0", "Y": "n2"})
+	add("ff0", "DFF_P", map[string]string{"CLK": "clk", "D": "n2", "Q": "q0", "QN": "qn0"})
+	add("nand1", "NAND2", map[string]string{"A": "q0", "B": "n1", "Y": "out"})
+	return nl, sdf.Uniform(nl, 10)
+}
+
+func mixedKernelStim(nl *netlist.Netlist, t *testing.T) []gen.Change {
+	t.Helper()
+	net := func(name string) netlist.NetID {
+		nid, ok := nl.Net(name)
+		if !ok {
+			t.Fatalf("net %s missing", name)
+		}
+		return nid
+	}
+	var stim []gen.Change
+	for cyc := int64(0); cyc < 12; cyc++ {
+		base := 1000 + cyc*2000
+		stim = append(stim,
+			gen.Change{Net: net("clk"), Time: base, Val: logic.V1},
+			gen.Change{Net: net("clk"), Time: base + 1000, Val: logic.V0},
+			gen.Change{Net: net("a"), Time: base + 300, Val: logic.Value(cyc % 2)},
+			gen.Change{Net: net("b"), Time: base + 500, Val: logic.Value((cyc / 2) % 2)},
+			gen.Change{Net: net("cin"), Time: base + 700, Val: logic.Value((cyc / 3) % 2)},
+		)
+	}
+	return stim
+}
+
+// runCollect runs one engine over the plan and returns its event streams.
+func runCollect(t *testing.T, p *plan.Plan, stim []gen.Change, opts Options) map[netlist.NetID][]event.Event {
+	t.Helper()
+	e, err := NewFromPlan(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return collectEngine(e)
+}
+
+// TestKernelMixedEquivalence checks, on a fixture whose levels mix both
+// kernel classes, that the kernelized engine, the generic-path engine
+// (DisableKernels) and the reference simulator produce byte-identical
+// committed event streams across all execution modes.
+func TestKernelMixedEquivalence(t *testing.T) {
+	force4Procs(t)
+	nl, delays := mixedKernelDesign(t)
+	p, err := plan.Build(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := mixedKernelStim(nl, t)
+
+	// Reference stream from the (kernelized) event-driven oracle.
+	ref, err := refsim.NewFromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refsim.Collect{}
+	rstim := make([]refsim.Stim, len(stim))
+	for i, s := range stim {
+		rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	if err := ref.Run(rstim, want.Add); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []Mode{ModeSerial, ModeParallel, ModeManycore} {
+		opts := pooledOpts(mode)
+		kern := runCollect(t, p, stim, opts)
+		diffStreams(t, nl, want, kern, fmt.Sprintf("kernels mode=%v vs refsim", mode))
+
+		opts.DisableKernels = true
+		generic := runCollect(t, p, stim, opts)
+		diffStreams(t, nl, kern, generic, fmt.Sprintf("mode=%v kernels vs generic", mode))
+	}
+}
+
+// TestKernelGeneratedEquivalence repeats the kernels-vs-generic stream
+// comparison on larger generated designs (FFs, latches, scan chains, clock
+// gates and a deep comb cloud) across seeds.
+func TestKernelGeneratedEquivalence(t *testing.T) {
+	force4Procs(t)
+	for seed := int64(0); seed < 3; seed++ {
+		d, err := gen.Build(smallSpec(seed + 700))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays := gen.Delays(d, 7)
+		p, err := plan.Build(d.Netlist, testLib, delays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.7, Seed: seed, ScanBurst: 5})
+		for _, mode := range []Mode{ModeSerial, ModeParallel} {
+			opts := pooledOpts(mode)
+			kern := runCollect(t, p, stim, opts)
+			opts.DisableKernels = true
+			generic := runCollect(t, p, stim, opts)
+			diffStreams(t, d.Netlist, kern, generic, fmt.Sprintf("seed=%d mode=%v kernels vs generic", seed, mode))
+		}
+	}
+}
+
+// TestKernelCounters checks the per-kernel visit/query split: with kernels
+// on both classes are exercised and the splits sum to the totals; with
+// kernels off everything lands on ClassSeq. The obs counters must mirror
+// the Stats fields.
+func TestKernelCounters(t *testing.T) {
+	nl, delays := mixedKernelDesign(t)
+	p, err := plan.Build(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := mixedKernelStim(nl, t)
+
+	reg := obs.NewRegistry()
+	opts := Options{Mode: ModeSerial, Metrics: reg}
+	e, err := NewFromPlan(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.VisitsByKernel[truthtab.ClassComb1] == 0 || st.VisitsByKernel[truthtab.ClassSeq] == 0 {
+		t.Fatalf("expected visits in both kernel classes, got %v", st.VisitsByKernel)
+	}
+	if sum := st.VisitsByKernel[truthtab.ClassSeq] + st.VisitsByKernel[truthtab.ClassComb1]; sum != st.Visits {
+		t.Errorf("VisitsByKernel sums to %d, Visits = %d", sum, st.Visits)
+	}
+	if sum := st.QueriesByKernel[truthtab.ClassSeq] + st.QueriesByKernel[truthtab.ClassComb1]; sum != st.Queries {
+		t.Errorf("QueriesByKernel sums to %d, Queries = %d", sum, st.Queries)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.visits_by_kernel.comb1"]; got != st.VisitsByKernel[truthtab.ClassComb1] {
+		t.Errorf("sim.visits_by_kernel.comb1 counter = %d, Stats = %d", got, st.VisitsByKernel[truthtab.ClassComb1])
+	}
+	if got := snap.Counters["sim.queries_by_kernel.seq"]; got != st.QueriesByKernel[truthtab.ClassSeq] {
+		t.Errorf("sim.queries_by_kernel.seq counter = %d, Stats = %d", got, st.QueriesByKernel[truthtab.ClassSeq])
+	}
+
+	// Generic path: the same design, all visits on the seq interpreter.
+	opts = Options{Mode: ModeSerial, DisableKernels: true}
+	g, err := NewFromPlan(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for _, s := range stim {
+		if err := g.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	gst := g.Stats()
+	if gst.VisitsByKernel[truthtab.ClassComb1] != 0 {
+		t.Errorf("DisableKernels still ran %d comb1 visits", gst.VisitsByKernel[truthtab.ClassComb1])
+	}
+	if gst.VisitsByKernel[truthtab.ClassSeq] != gst.Visits {
+		t.Errorf("DisableKernels: seq visits %d != total %d", gst.VisitsByKernel[truthtab.ClassSeq], gst.Visits)
+	}
+}
+
+// TestKernelSegments sanity-checks the bucketed schedule the engine adopts
+// from the plan: stable kernel order within a level, barrier exactly on each
+// level's first bucket, and every gate appearing exactly once.
+func TestKernelSegments(t *testing.T) {
+	nl, delays := mixedKernelDesign(t)
+	p, err := plan.Build(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewFromPlan(p, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	seen := make(map[netlist.CellID]bool)
+	lastLevel := -2
+	for i, seg := range e.sweepSegs {
+		if len(seg.Gates) == 0 {
+			t.Fatalf("segment %d is empty", i)
+		}
+		if seg.Level != lastLevel {
+			if !seg.Barrier {
+				t.Errorf("segment %d opens level %d without a barrier", i, seg.Level)
+			}
+			if seg.Level < lastLevel {
+				t.Errorf("segment %d level %d after level %d", i, seg.Level, lastLevel)
+			}
+			lastLevel = seg.Level
+		} else if seg.Barrier {
+			t.Errorf("segment %d repeats a barrier inside level %d", i, seg.Level)
+		}
+		for _, g := range seg.Gates {
+			if seen[g] {
+				t.Fatalf("gate %d appears in two segments", g)
+			}
+			seen[g] = true
+			if got := p.Kernel(g); got != seg.Kernel {
+				t.Errorf("gate %d class %v in a %v segment", g, got, seg.Kernel)
+			}
+		}
+	}
+	if len(seen) != p.NumGates() {
+		t.Fatalf("segments cover %d gates, want %d", len(seen), p.NumGates())
+	}
+	// The fixture must actually produce a seq bucket inside a comb level
+	// (the HA/FA cells) — otherwise the mixed-level case is untested.
+	mixed := false
+	for _, seg := range e.sweepSegs {
+		if seg.Level >= 0 && seg.Kernel == truthtab.ClassSeq {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Error("fixture has no ClassSeq bucket inside a combinational level")
+	}
+}

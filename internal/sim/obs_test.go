@@ -197,8 +197,13 @@ func TestSerialTraceHasLevelSpans(t *testing.T) {
 		t.Fatalf("trace fails validation: %v", err)
 	}
 	spans, _ := traceNames(t, buf.Bytes())
-	if spans["sweep"] == 0 || spans["seq-phase"] == 0 || spans["level"] == 0 {
+	if spans["sweep"] == 0 || spans["seq-phase"] == 0 || spans["level"]+spans["level.comb1"] == 0 {
 		t.Errorf("serial trace missing sweep/seq-phase/level spans: %v", spans)
+	}
+	// The generator's designs are dominated by packable combinational
+	// cells, so the comb1 kernel buckets must show up under their own name.
+	if spans["level.comb1"] == 0 {
+		t.Errorf("serial trace missing level.comb1 spans: %v", spans)
 	}
 	if spans["pool-round"] != 0 {
 		t.Errorf("serial trace should have no pool-round spans: %v", spans)

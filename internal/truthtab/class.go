@@ -1,0 +1,116 @@
+package truthtab
+
+import "gatesim/internal/logic"
+
+// Class partitions compiled tables into kernel classes. The simulators
+// lower the classification once per plan (plan.KernelOf) and dispatch each
+// gate visit to a class-specialized evaluation path, instead of sending
+// every gate through the generic sequential interpreter.
+type Class uint8
+
+const (
+	// ClassSeq is the generic fallback: any table with internal state,
+	// edge-sensitive inputs, multiple outputs, or too many inputs to pack
+	// into a dense LUT. Evaluated by the full truth-table interpreter.
+	ClassSeq Class = iota
+	// ClassComb1 is a single-output, zero-state table with no edge-sensitive
+	// inputs and at most MaxPackedInputs inputs — the vast majority of gates
+	// in synthesized netlists. Evaluated through a PackedLUT: one dense
+	// array probe, no edge coding, no state or multi-output machinery.
+	ClassComb1
+	// NumClasses sizes per-class dispatch tables and counters.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSeq:
+		return "seq"
+	case ClassComb1:
+		return "comb1"
+	}
+	return "class?"
+}
+
+// MaxPackedInputs caps the packed LUT's footprint: 3 bits per input gives
+// 2^(3*6) = 256 KiB per distinct 6-input table, interned per plan. Larger
+// combinational cells fall back to ClassSeq.
+const MaxPackedInputs = 6
+
+// Class reports the kernel class of the table.
+func (t *Table) Class() Class {
+	if t.NumStates != 0 || t.NumOutputs != 1 || t.NumInputs > MaxPackedInputs {
+		return ClassSeq
+	}
+	for _, es := range t.EdgeSensitive {
+		if es {
+			return ClassSeq
+		}
+	}
+	return ClassComb1
+}
+
+// PackedLUT is the dense single-output form of a ClassComb1 table.
+//
+// The index uses the raw logic.Value bytes of the non-edge query alphabet —
+// {V0,V1,VX,VZ,VU} = {0,1,2,3,6} — which all fit in 3 bits, so a row index
+// is just the input values shifted into consecutive 3-bit fields with no
+// per-value code translation on the hot path. Slots whose fields decode to
+// values outside the alphabet (4, 5, 7) are unreachable and hold VU.
+type PackedLUT struct {
+	NumInputs int
+	Data      []logic.Value // 1 << (3*NumInputs) entries
+}
+
+// Index computes the packed row index for steady/U input values.
+func (l *PackedLUT) Index(ins []logic.Value) int {
+	idx := 0
+	for i, v := range ins {
+		idx |= int(v) << (3 * i)
+	}
+	return idx
+}
+
+// Lookup returns the output value for the given steady/U input values.
+func (l *PackedLUT) Lookup(ins []logic.Value) logic.Value {
+	return l.Data[l.Index(ins)]
+}
+
+// Bytes returns the memory footprint of the LUT payload.
+func (l *PackedLUT) Bytes() int { return len(l.Data) }
+
+// packAlphabet is the full query alphabet of a non-edge-sensitive input:
+// the four settled values plus undetermined.
+var packAlphabet = [5]logic.Value{logic.V0, logic.V1, logic.VX, logic.VZ, logic.VU}
+
+// PackLUT builds the packed dense LUT by enumerating the query alphabet
+// through the generic lookup path. It returns nil when the table is not
+// ClassComb1.
+func (t *Table) PackLUT() *PackedLUT {
+	if t.Class() != ClassComb1 {
+		return nil
+	}
+	l := &PackedLUT{
+		NumInputs: t.NumInputs,
+		Data:      make([]logic.Value, 1<<(3*t.NumInputs)),
+	}
+	for i := range l.Data {
+		l.Data[i] = logic.VU
+	}
+	ins := make([]logic.Value, t.NumInputs)
+	outs := make([]logic.Value, 1)
+	var fill func(dim, idx int)
+	fill = func(dim, idx int) {
+		if dim == t.NumInputs {
+			t.LookupInto(ins, nil, outs, nil)
+			l.Data[idx] = outs[0]
+			return
+		}
+		for _, v := range packAlphabet {
+			ins[dim] = v
+			fill(dim+1, idx|int(v)<<(3*dim))
+		}
+	}
+	fill(0, 0)
+	return l
+}

@@ -1,0 +1,146 @@
+package truthtab
+
+import (
+	"testing"
+
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+)
+
+func compileBuiltin(t testing.TB) *CompiledLibrary {
+	t.Helper()
+	cl, err := CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestClassBuiltinCells pins the classification of representative builtin
+// cells and checks the class invariants for every cell: ClassComb1 exactly
+// for small single-output stateless non-edge-sensitive tables, and a packed
+// LUT exists exactly for ClassComb1.
+func TestClassBuiltinCells(t *testing.T) {
+	cl := compileBuiltin(t)
+	want := map[string]Class{
+		"NAND2":  ClassComb1,
+		"INV":    ClassComb1,
+		"MUX4":   ClassComb1, // 6 inputs: at the packing cap
+		"AOI211": ClassComb1,
+		"TIEHI":  ClassComb1, // 0 inputs
+		"HA":     ClassSeq,   // stateless but two outputs
+		"FA":     ClassSeq,
+		"DFF_P":  ClassSeq,
+		"DLATCH": ClassSeq,
+		"JKFF":   ClassSeq,
+	}
+	for name, w := range want {
+		tab := cl.Tables[name]
+		if tab == nil {
+			if name == "DLATCH" { // builtin names DLATCH_H/DLATCH_L
+				continue
+			}
+			t.Fatalf("builtin cell %s missing", name)
+		}
+		if got := tab.Class(); got != w {
+			t.Errorf("%s: class %v, want %v", name, got, w)
+		}
+	}
+	for name, tab := range cl.Tables {
+		expect := tab.NumStates == 0 && tab.NumOutputs == 1 && tab.NumInputs <= MaxPackedInputs
+		for _, es := range tab.EdgeSensitive {
+			if es {
+				expect = false
+			}
+		}
+		if got := tab.Class() == ClassComb1; got != expect {
+			t.Errorf("%s: ClassComb1=%v, want %v", name, got, expect)
+		}
+		lut := tab.PackLUT()
+		if (lut != nil) != (tab.Class() == ClassComb1) {
+			t.Errorf("%s: PackLUT nil-ness disagrees with class %v", name, tab.Class())
+		}
+		if lut != nil && len(lut.Data) != 1<<(3*tab.NumInputs) {
+			t.Errorf("%s: LUT size %d, want %d", name, len(lut.Data), 1<<(3*tab.NumInputs))
+		}
+	}
+}
+
+// TestPackedLUTMatchesLookupExhaustive is the differential property test of
+// the LUT packing: for every packable builtin cell, every input vector over
+// the full query alphabet {0,1,X,Z,U}^n must produce exactly the value the
+// generic LookupInto path produces (at most 5^6 = 15625 rows per cell).
+func TestPackedLUTMatchesLookupExhaustive(t *testing.T) {
+	cl := compileBuiltin(t)
+	packable := 0
+	for _, name := range cl.Library.CellNames() {
+		tab := cl.Tables[name]
+		lut := tab.PackLUT()
+		if lut == nil {
+			continue
+		}
+		packable++
+		ins := make([]logic.Value, tab.NumInputs)
+		outs := make([]logic.Value, 1)
+		var walk func(dim int)
+		walk = func(dim int) {
+			if dim == tab.NumInputs {
+				tab.LookupInto(ins, nil, outs, nil)
+				if got := lut.Lookup(ins); got != outs[0] {
+					t.Fatalf("%s%v: packed %v, generic %v", name, ins, got, outs[0])
+				}
+				return
+			}
+			for _, v := range packAlphabet {
+				ins[dim] = v
+				walk(dim + 1)
+			}
+		}
+		walk(0)
+	}
+	if packable == 0 {
+		t.Fatal("no packable builtin cells — classification broken")
+	}
+}
+
+// FuzzPackedLUT drives random (cell, input vector) pairs through both
+// evaluation paths. Redundant with the exhaustive test above for the
+// builtin library, but keeps a coverage-guided harness around for future
+// cells and for the index arithmetic itself.
+func FuzzPackedLUT(f *testing.F) {
+	cl, err := CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		f.Fatal(err)
+	}
+	names := cl.Library.CellNames()
+	var tabs []*Table
+	var luts []*PackedLUT
+	for _, name := range names {
+		if lut := cl.Tables[name].PackLUT(); lut != nil {
+			tabs = append(tabs, cl.Tables[name])
+			luts = append(luts, lut)
+		}
+	}
+	f.Add([]byte{0, 1, 2, 3, 4, 0})
+	f.Add([]byte{7, 4, 4, 4, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		k := int(data[0]) % len(tabs)
+		tab, lut := tabs[k], luts[k]
+		ins := make([]logic.Value, tab.NumInputs)
+		for i := range ins {
+			b := byte(0)
+			if i+1 < len(data) {
+				b = data[i+1]
+			}
+			ins[i] = packAlphabet[int(b)%len(packAlphabet)]
+		}
+		outs := make([]logic.Value, 1)
+		tab.LookupInto(ins, nil, outs, nil)
+		if got := lut.Lookup(ins); got != outs[0] {
+			t.Fatalf("%s%v: packed %v, generic %v", tab.Cell.Name, ins, got, outs[0])
+		}
+	})
+}

@@ -12,6 +12,12 @@
 // metric exits 1 (the bench-compare CI gate); missing counterparts are
 // reported but not fatal, so reports from different thread lists still
 // compare on their overlap.
+//
+// Schema drift is tolerated in both directions: fields absent from one
+// report (older baselines predate the script counters; future reports may
+// add more) decode to zero and are annotated as a schema gap instead of
+// compared, so bench-compare keeps working across the boundary where a
+// counter was introduced.
 package main
 
 import (
@@ -79,6 +85,19 @@ func compare(base, cand harness.BenchSmokeReport, threshold float64) (lines []st
 		}
 		lines = append(lines, fmt.Sprintf("%-28s %12d -> %12d  %+6.1f%%%s", name, baseNS, candNS, ratio*100, mark))
 	}
+	// info renders a non-runtime counter (script segments, skip counts):
+	// informational only, never a regression, and tolerant of either side
+	// missing the field — a sample written before the counter existed
+	// decodes it as zero and is shown as a schema gap instead of compared.
+	info := func(name string, baseV, candV int64) {
+		switch {
+		case baseV == 0 && candV == 0:
+		case baseV == 0 || candV == 0:
+			lines = append(lines, fmt.Sprintf("%-28s %12d -> %12d  (schema gap; not compared)", name, baseV, candV))
+		default:
+			lines = append(lines, fmt.Sprintf("%-28s %12d -> %12d", name, baseV, candV))
+		}
+	}
 	for _, c := range cand.Samples {
 		b, ok := byThreads[c.Threads]
 		if !ok {
@@ -89,6 +108,8 @@ func compare(base, cand harness.BenchSmokeReport, threshold float64) (lines []st
 		check(fmt.Sprintf("t=%d ours_unit_ns", c.Threads), b.OursUnitNS, c.OursUnitNS)
 		check(fmt.Sprintf("t=%d part_sdf_ns", c.Threads), b.PartSDFNS, c.PartSDFNS)
 		check(fmt.Sprintf("t=%d part_unit_ns", c.Threads), b.PartUnitNS, c.PartUnitNS)
+		info(fmt.Sprintf("t=%d script_segments", c.Threads), b.ScriptSegments, c.ScriptSegments)
+		info(fmt.Sprintf("t=%d segments_skipped", c.Threads), b.SegmentsSkipped, c.SegmentsSkipped)
 	}
 	if len(base.PhaseNS) > 0 && len(cand.PhaseNS) > 0 {
 		phases := make([]string, 0, len(cand.PhaseNS))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -57,5 +58,47 @@ func TestCompareZeroBaselineSkipped(t *testing.T) {
 	cand := report(9_999_999, 9_999_999, 9_999_999)
 	if _, regs := compare(base, cand, 0.10); regs != 0 {
 		t.Fatalf("unmeasured baseline metrics must not regress (regs = %d)", regs)
+	}
+}
+
+// TestCompareAcrossSchemaBoundary diffs an old-schema baseline (no script
+// counters — they decode to zero) against a candidate that carries them:
+// the gap must be annotated, never compared, and never a regression.
+func TestCompareAcrossSchemaBoundary(t *testing.T) {
+	old := `{"samples":[{"threads":2,"ours_sdf_ns":1000000,"part_sdf_ns":2000000,
+		"an_unknown_future_field":42}]}`
+	var base harness.BenchSmokeReport
+	if err := json.Unmarshal([]byte(old), &base); err != nil {
+		t.Fatalf("old-schema baseline must decode cleanly: %v", err)
+	}
+	cand := report(1_010_000, 2_000_000, 0)
+	cand.Samples[0].ScriptSegments = 12
+	cand.Samples[0].SegmentsSkipped = 3400
+	lines, regs := compare(base, cand, 0.10)
+	if regs != 0 {
+		t.Fatalf("schema gap flagged as regression (regs = %d)\n%s", regs, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "script_segments") || !strings.Contains(joined, "schema gap") {
+		t.Errorf("missing schema-gap annotation:\n%s", joined)
+	}
+}
+
+// TestCompareScriptCountersBothSides: when both reports carry the counters
+// they are shown without the gap annotation and still never regress.
+func TestCompareScriptCountersBothSides(t *testing.T) {
+	base := report(1_000_000, 2_000_000, 0)
+	base.Samples[0].ScriptSegments = 12
+	base.Samples[0].SegmentsSkipped = 9_000
+	cand := report(1_000_000, 2_000_000, 0)
+	cand.Samples[0].ScriptSegments = 12
+	cand.Samples[0].SegmentsSkipped = 100 // far fewer skips: still not a regression
+	lines, regs := compare(base, cand, 0.10)
+	if regs != 0 {
+		t.Fatalf("counters must be informational (regs = %d)", regs)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "segments_skipped") || strings.Contains(joined, "schema gap") {
+		t.Errorf("counter lines wrong:\n%s", joined)
 	}
 }

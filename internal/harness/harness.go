@@ -462,6 +462,13 @@ type BenchSmokePoint struct {
 	SweepNS     int64 `json:"sweep_ns"`
 	LevelNS     int64 `json:"level_ns"`
 
+	// Compiled-segment counters of the SDF run: scripts in the schedule and
+	// clean-segment scans skipped via the dirty bitset. Absent (zero) in
+	// reports written before the script engine; benchcmp tolerates the
+	// schema gap.
+	ScriptSegments  int64 `json:"script_segments,omitempty"`
+	SegmentsSkipped int64 `json:"segments_skipped,omitempty"`
+
 	// Visit/query split by kernel class (see sim.Stats.VisitsByKernel):
 	// how much of the run the packed-LUT comb kernel served vs the generic
 	// sequential interpreter.
@@ -489,24 +496,26 @@ func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
 	for _, p := range pts {
 		st := p.OursSDFStats
 		rep.Samples = append(rep.Samples, BenchSmokePoint{
-			Threads:       p.Threads,
-			PartUnitNS:    p.PartUnit.Nanoseconds(),
-			PartSDFNS:     p.PartSDF.Nanoseconds(),
-			OursUnitNS:    p.OursUnit.Nanoseconds(),
-			OursSDFNS:     p.OursSDF.Nanoseconds(),
-			PartRoundsSDF: p.PartRoundsSDF,
-			Sweeps:        st.Sweeps,
-			PoolSpawned:   st.PoolSpawned,
-			PoolRounds:    st.PoolRounds,
-			PoolWakes:     st.PoolWakes,
-			PoolParks:     st.PoolParks,
-			LevelsFused:   st.LevelsFused,
-			SweepNS:       st.SweepNS,
-			LevelNS:       st.LevelNS,
-			VisitsComb1:   st.VisitsByKernel[truthtab.ClassComb1],
-			VisitsSeq:     st.VisitsByKernel[truthtab.ClassSeq],
-			QueriesComb1:  st.QueriesByKernel[truthtab.ClassComb1],
-			QueriesSeq:    st.QueriesByKernel[truthtab.ClassSeq],
+			Threads:         p.Threads,
+			PartUnitNS:      p.PartUnit.Nanoseconds(),
+			PartSDFNS:       p.PartSDF.Nanoseconds(),
+			OursUnitNS:      p.OursUnit.Nanoseconds(),
+			OursSDFNS:       p.OursSDF.Nanoseconds(),
+			PartRoundsSDF:   p.PartRoundsSDF,
+			Sweeps:          st.Sweeps,
+			PoolSpawned:     st.PoolSpawned,
+			PoolRounds:      st.PoolRounds,
+			PoolWakes:       st.PoolWakes,
+			PoolParks:       st.PoolParks,
+			LevelsFused:     st.LevelsFused,
+			SweepNS:         st.SweepNS,
+			LevelNS:         st.LevelNS,
+			ScriptSegments:  st.ScriptSegments,
+			SegmentsSkipped: st.SegmentsSkipped,
+			VisitsComb1:     st.VisitsByKernel[truthtab.ClassComb1],
+			VisitsSeq:       st.VisitsByKernel[truthtab.ClassSeq],
+			QueriesComb1:    st.QueriesByKernel[truthtab.ClassComb1],
+			QueriesSeq:      st.QueriesByKernel[truthtab.ClassSeq],
 		})
 	}
 	snap := cfg.Metrics.Snapshot()

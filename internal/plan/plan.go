@@ -82,6 +82,20 @@ type Plan struct {
 	ArcUniform []bool
 	Segs       []Segment
 
+	// Compiled segment scripts: Scripts[i] is Segs[i] lowered into a flat
+	// instruction array, BitOf/SegOf map each gate to its dirty bit and
+	// owning script, and ScriptWords sizes the engine's dirty bitset.
+	// Delay-derived (instructions bake arc delays in): rebuilt by WithDelays.
+	Scripts     []Script
+	BitOf       []int32
+	SegOf       []int32
+	ScriptWords int
+
+	// FusedLevels counts combinational levels whose segments were folded
+	// into the preceding barrier group at plan time (low-population levels
+	// need no barrier of their own; see lowerSegments).
+	FusedLevels int
+
 	// Initial-condition fixpoint, flattened to the slot layouts above.
 	NetInit   []logic.Value // per net
 	InInit    []logic.Value // per input slot
@@ -102,7 +116,9 @@ type Plan struct {
 // run in order: the sequential phase (Level -1) first, then each
 // combinational level, each split into per-class buckets in Class order.
 // Barrier marks the segments that must wait for every earlier segment to
-// complete — the first bucket of each phase/level. Buckets of one level
+// complete — the first bucket of each phase/level, except for
+// low-population levels fused into the preceding group (see lowerSegments
+// and Plan.FusedLevels). Buckets of one level
 // never share output nets or state, so they need no barrier between them;
 // the stable instance order inside each bucket keeps committed event
 // streams byte-identical with the unbucketed schedule (fixpoint sweeps are
@@ -235,11 +251,28 @@ func Build(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delay
 	return p, nil
 }
 
+// fuseMaxGates caps the population of a fused barrier group: a level is
+// folded into the preceding group only while the whole group stays within
+// one worker claim chunk, so dropping the barrier can't cost parallelism —
+// the group was never going to be split across workers productively anyway.
+const fuseMaxGates = 64
+
 // lowerSegments buckets the levelization's sweep segments by kernel class:
 // one backing array in schedule order, sub-sliced per (level, class) run.
 // Within a bucket the original instance order is kept, so each bucket —
 // and the concatenation of a level's buckets — is a stable reordering of
 // the level.
+//
+// A second pass fuses adjacent low-population combinational levels into one
+// barrier group by clearing the Barrier flag on a level whose gates fit,
+// together with the running group, under fuseMaxGates. Dropping the barrier
+// only relaxes ordering between levels: a gate that scans before its
+// predecessor finishes either sees the published events (queues support one
+// writer with concurrent readers) or is re-marked dirty by the write and
+// revisited next sweep — the fixpoint is confluent, so committed streams
+// are unchanged while shallow levels stop paying a barrier each. The
+// sequential phase always keeps its barrier, and level 0 is never fused
+// into it.
 func (p *Plan) lowerSegments() {
 	total := len(p.Lev.Sequential)
 	for _, lv := range p.Lev.Levels {
@@ -271,6 +304,21 @@ func (p *Plan) lowerSegments() {
 	addLevel(-1, p.Lev.Sequential)
 	for lv, gates := range p.Lev.Levels {
 		addLevel(lv, gates)
+	}
+
+	// Fusion pass: pop tracks the running barrier-group population.
+	pop := 0
+	for i := range p.Segs {
+		s := &p.Segs[i]
+		if s.Barrier {
+			if s.Level >= 1 && pop+len(p.Lev.Levels[s.Level]) <= fuseMaxGates {
+				s.Barrier = false
+				p.FusedLevels++
+			} else {
+				pop = 0
+			}
+		}
+		pop += len(s.Gates)
 	}
 }
 
@@ -314,6 +362,7 @@ func (p *Plan) lowerDelays(delays *sdf.Delays) {
 		}
 		p.ArcUniform[g] = uniform
 	}
+	p.lowerScripts()
 }
 
 // WithDelays returns a plan sharing every structural array with p but

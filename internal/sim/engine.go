@@ -132,7 +132,14 @@ type Options struct {
 	// interpreter and the unbucketed level schedule, ignoring the plan's
 	// kernel classification. Test/bench knob: it lets the same design run
 	// the pre-kernel execution shape for equivalence and speedup checks.
+	// It implies DisableScripts (scripts are compiled from the kernel
+	// schedule).
 	DisableKernels bool
+	// DisableScripts keeps the per-gate interpreted sweep: segments scan
+	// their gate lists and per-gate dirty flags instead of replaying the
+	// plan's compiled scripts over the dirty bitset. The interpreted path
+	// is the bit-exact baseline the script equivalence tests diff against.
+	DisableScripts bool
 	// Metrics, when non-nil, receives the engine's obs counters and phase
 	// histograms (sim.* and pool.* names). Nil keeps every record site on
 	// the ~1 ns nil-instrument path (see internal/obs).
@@ -182,9 +189,17 @@ type Stats struct {
 	PoolRounds  int64 // parallel rounds dispatched to the pool
 	PoolWakes   int64 // workers woken from a parked state
 	PoolParks   int64 // workers that gave up spinning and parked
-	LevelsFused int64 // level segments sharing a pool round with a predecessor
+	LevelsFused int64 // plan-time fused levels crossed without a barrier, summed per sweep
 	SweepNS     int64 // wall time inside convergence sweeps
 	LevelNS     int64 // wall time inside level-execution rounds
+
+	// ScriptSegments is the number of compiled segment scripts in the
+	// active sweep schedule (0 when scripts are disabled).
+	// SegmentsSkipped counts segment scans a sweep skipped outright because
+	// the segment's dirty-bitset population was zero — the clean-segment
+	// fast path that makes quiescent levels cost one load.
+	ScriptSegments  int64
+	SegmentsSkipped int64
 
 	// Downgrades counts pool→serial degradations: after a worker died
 	// outside gate code, the executor abandoned the pool and finished the
@@ -206,6 +221,7 @@ type engineCounters struct {
 	events      atomic.Int64
 	checkpoints atomic.Int64
 	levelsFused atomic.Int64
+	segsSkipped atomic.Int64
 	sweepNS     atomic.Int64
 	levelNS     atomic.Int64
 	downgrades  atomic.Int64
@@ -222,6 +238,7 @@ type engineObs struct {
 	events       *obs.Counter
 	checkpoints  *obs.Counter
 	downgrades   *obs.Counter
+	segsSkipped  *obs.Counter
 	visitsBy     [truthtab.NumClasses]*obs.Counter
 	queriesBy    [truthtab.NumClasses]*obs.Counter
 	sweepNS      *obs.Histogram
@@ -241,6 +258,7 @@ func newEngineObs(o Options) engineObs {
 		events:       m.Counter("sim.events_committed"),
 		checkpoints:  m.Counter("sim.checkpoints"),
 		downgrades:   m.Counter("sim.downgrades"),
+		segsSkipped:  m.Counter("sim.segments_skipped"),
 		sweepNS:      m.Histogram("sim.sweep_ns"),
 		levelNS:      m.Histogram("sim.level_ns"),
 		checkpointNS: m.Histogram("sim.checkpoint_ns"),
@@ -299,11 +317,22 @@ type Engine struct {
 	// Options.DisableKernels.
 	kern []truthtab.Class
 
-	exec      *executor
-	sweepSegs []plan.Segment // sequential phase + each comb level's kernel buckets
-	lastDirty int            // dirty-gate count of the previous sweep
-	stats     engineCounters
-	obs       engineObs
+	// Compiled-script execution state (nil/empty when scripts are off).
+	// dirtyBits is the plan-wide dirty bitset (plan.BitOf layout, segments
+	// word-aligned); segDirty[s] is script s's set-bit population, kept by
+	// markDirty (increment on a 0→1 bit transition) and the replay loops
+	// (decrement by the popcount of each word they swap out), so a clean
+	// segment is skipped on one counter load without touching its words.
+	dirtyBits []uint64
+	segDirty  []int64
+
+	exec       *executor
+	sweepSegs  []execSeg // sequential phase + each comb level's kernel buckets
+	scriptSegs int       // compiled scripts in the schedule (Stats.ScriptSegments)
+	fusedLevs  int       // plan-time fused levels per sweep (Stats.LevelsFused)
+	lastDirty  int       // dirty-gate count of the previous sweep
+	stats      engineCounters
+	obs        engineObs
 
 	// poison is set when a sweep contained a panic: the committed state may
 	// be inconsistent, so every later run-control call returns a SimError
@@ -378,35 +407,97 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 		e.readMarks[n] = unreadMark
 	}
 
-	// Everything starts dirty so the first Advance initializes constant
-	// cones (tie cells, reset trees) even before any stimulus.
 	e.gate = make([]gateState, p.NumGates())
 	for i := range e.gate {
-		g := &e.gate[i]
-		g.baseNow = -TimeInf
-		g.dirty.Store(true)
+		e.gate[i].baseNow = -TimeInf
 	}
 
 	e.kern = make([]truthtab.Class, p.NumGates())
-	if !e.opts.DisableKernels {
+	switch {
+	case !e.opts.DisableKernels && !e.opts.DisableScripts:
+		// Compiled schedule: each segment replayed from its script over the
+		// dirty bitset.
 		for i := range e.kern {
 			e.kern[i] = p.KernelOf[p.TableOf[i]]
 		}
-		// The plan's bucketed schedule: each level split into per-kernel
-		// runs, first bucket of a level carrying the barrier.
-		e.sweepSegs = p.Segs
-	} else {
+		e.dirtyBits = make([]uint64, p.ScriptWords)
+		e.segDirty = make([]int64, len(p.Scripts))
+		e.sweepSegs = make([]execSeg, len(p.Scripts))
+		for i := range p.Scripts {
+			s := &p.Scripts[i]
+			e.sweepSegs[i] = execSeg{
+				script: s, dirty: &e.segDirty[i],
+				kernel: s.Kernel, level: s.Level, barrier: s.Barrier,
+				items: int64(s.Words()),
+			}
+		}
+		e.scriptSegs = len(p.Scripts)
+		e.fusedLevs = p.FusedLevels
+	case !e.opts.DisableKernels:
+		// The plan's bucketed schedule, interpreted: each level split into
+		// per-kernel runs, first bucket of a group carrying the barrier.
+		e.sweepSegs = make([]execSeg, len(p.Segs))
+		for i := range p.Segs {
+			s := &p.Segs[i]
+			e.sweepSegs[i] = execSeg{
+				gates:  s.Gates,
+				kernel: s.Kernel, level: s.Level, barrier: s.Barrier,
+				items: int64(len(s.Gates)),
+			}
+		}
+		for i := range e.kern {
+			e.kern[i] = p.KernelOf[p.TableOf[i]]
+		}
+		e.fusedLevs = p.FusedLevels
+	default:
 		// Unbucketed fallback: the pre-kernel execution shape, one segment
-		// per level in original gate order.
-		e.sweepSegs = make([]plan.Segment, 0, 1+len(p.Lev.Levels))
-		e.sweepSegs = append(e.sweepSegs, plan.Segment{Gates: p.Lev.Sequential, Level: -1, Barrier: true})
+		// per level in original gate order, every level a barrier.
+		e.sweepSegs = make([]execSeg, 0, 1+len(p.Lev.Levels))
+		e.sweepSegs = append(e.sweepSegs, execSeg{
+			gates: p.Lev.Sequential, level: -1, barrier: true,
+			items: int64(len(p.Lev.Sequential)),
+		})
 		for lv, gates := range p.Lev.Levels {
-			e.sweepSegs = append(e.sweepSegs, plan.Segment{Gates: gates, Level: lv, Barrier: true})
+			e.sweepSegs = append(e.sweepSegs, execSeg{
+				gates: gates, level: lv, barrier: true, items: int64(len(gates)),
+			})
 		}
 	}
+	// Everything starts dirty so the first Advance initializes constant
+	// cones (tie cells, reset trees) even before any stimulus.
+	e.markAllDirty()
 	e.exec = newExecutor(e)
 	e.lastDirty = p.NumGates() // everything starts dirty
 	return e, nil
+}
+
+// markAllDirty marks every gate for the next sweep: all per-gate dirty
+// flags, and — when scripts are on — every valid dirty bit with the
+// per-segment populations to match. Stray bits above a script's op count
+// stay zero so a word swap never yields an out-of-range op index.
+func (e *Engine) markAllDirty() {
+	for i := range e.gate {
+		e.gate[i].dirty.Store(true)
+	}
+	if e.dirtyBits == nil {
+		return
+	}
+	p := e.p
+	for i := range p.Scripts {
+		s := &p.Scripts[i]
+		base := int(s.BitOff) >> 6
+		n := len(s.Ops)
+		for w := 0; n > 0; w++ {
+			if n >= 64 {
+				atomic.StoreUint64(&e.dirtyBits[base+w], ^uint64(0))
+				n -= 64
+			} else {
+				atomic.StoreUint64(&e.dirtyBits[base+w], uint64(1)<<uint(n)-1)
+				n = 0
+			}
+		}
+		atomic.StoreInt64(&e.segDirty[i], int64(len(s.Ops)))
+	}
 }
 
 // Close parks out and joins the engine's worker-pool goroutines. It is
@@ -448,6 +539,8 @@ func (e *Engine) Stats() Stats {
 		LevelsFused:     e.stats.levelsFused.Load(),
 		SweepNS:         e.stats.sweepNS.Load(),
 		LevelNS:         e.stats.levelNS.Load(),
+		ScriptSegments:  int64(e.scriptSegs),
+		SegmentsSkipped: e.stats.segsSkipped.Load(),
 		Downgrades:      e.stats.downgrades.Load(),
 	}
 	for c := range st.VisitsByKernel {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	mathbits "math/bits"
 	"runtime"
 	"runtime/debug"
 	"sync/atomic"
@@ -16,15 +17,22 @@ import (
 // spin-then-park worker pool (internal/workpool). One whole sweep — the
 // sequential phase plus every combinational level — is dispatched as a
 // single pool round whose workers claim chunks off per-segment atomic
-// indices; consecutive segments are separated by a completion barrier
-// (segDone[s-1] must reach the segment length before anyone claims in s),
-// so level ordering is preserved while the pool is woken once per sweep
-// instead of once per level. The dirty-set filter runs inside the round,
-// after the barrier, which keeps the in-sweep cascade: a gate dirtied by
-// level L is picked up by level L+1's scan in the same sweep.
+// indices; consecutive barrier groups are separated by a completion barrier
+// (segDone of every segment in the previous group must reach its item count
+// before anyone claims in the new group), so level ordering is preserved
+// while the pool is woken once per sweep instead of once per level. The
+// dirty-set filter runs inside the round, after the barrier, which keeps
+// the in-sweep cascade: a gate dirtied by level L is picked up by level
+// L+1's scan in the same sweep.
+//
+// Segments come in two shapes (execSeg): interpreted segments claim gate
+// chunks and filter on per-gate dirty flags; compiled segments claim dirty
+// bitset words and replay the plan's flat script for each set bit — one
+// atomic swap test-and-clears 64 gates, and a segment whose dirty
+// population reads zero is skipped without touching its words at all.
 //
 // Gates within a segment never share output nets or write-visible state, so
-// cross-worker traffic is the claim indices, the idempotent dirty flags,
+// cross-worker traffic is the claim indices, the idempotent dirty marks,
 // and the release/acquire-published event queues.
 //
 // Fault tolerance: every chunk executes under recover, and the deferred
@@ -43,9 +51,9 @@ type executor struct {
 	pool      *workpool.Pool
 	roundFn   func(int) // persistent closure handed to the pool each round
 
-	segs     []plan.Segment
-	segIdx   []int64 // atomic: next unclaimed offset within segs[s].Gates
-	segDone  []int64 // atomic: processed item count within segs[s].Gates
+	segs     []execSeg
+	segIdx   []int64 // atomic: next unclaimed item offset within segs[s]
+	segDone  []int64 // atomic: completed item count within segs[s]
 	waitFrom []int   // coordinator-written: first segment of the barrier's wait range, -1 = no wait
 	kind     roundKind
 	claimed  atomic.Int64 // dirty gates claimed this round
@@ -61,7 +69,22 @@ type executor struct {
 	degraded bool
 
 	allGates []netlist.CellID // identity work list for checkpoint rounds
-	ckptSegs []plan.Segment   // single-segment schedule over allGates
+	ckptSegs []execSeg        // single-segment schedule over allGates
+}
+
+// execSeg is one schedulable segment of a sweep. Exactly one of gates and
+// script is set: gate-list segments are claimed in gate chunks and filtered
+// by per-gate dirty flags; script segments are claimed in dirty-bitset
+// words and replayed from the compiled instruction array. items is the
+// claim-unit count — gates or words — that segIdx/segDone run over.
+type execSeg struct {
+	gates   []netlist.CellID
+	script  *plan.Script
+	dirty   *int64 // the segment's dirty population (script path)
+	kernel  truthtab.Class
+	level   int // -1 for the sequential phase
+	barrier bool
+	items   int64
 }
 
 // panicRecord is the containment record for a panic inside per-gate
@@ -79,7 +102,8 @@ type panicRecord struct {
 type roundKind int
 
 const (
-	// roundDirty visits only gates whose dirty flag it wins via CAS.
+	// roundDirty visits only gates whose dirty mark it wins (flag CAS or
+	// bitset word swap).
 	roundDirty roundKind = iota
 	// roundOblivious visits every gate (the manycore full-level scan).
 	roundOblivious
@@ -91,8 +115,15 @@ const (
 // the pool costs more than it saves.
 const defaultSerialBatchThreshold = 192
 
-// workChunk is the number of gates a worker claims per atomic increment.
+// workChunk is the number of gates a worker claims per atomic increment on
+// a gate-list segment.
 const workChunk = 64
+
+// scriptWordChunk is the number of dirty-bitset words a worker claims per
+// atomic increment on a script segment. Each word covers 64 gates, so the
+// claim granularity is coarser than workChunk while sparse words cost only
+// a swap apiece.
+const scriptWordChunk = 4
 
 // Barrier wait tuning: a worker blocked on a predecessor segment yields the
 // processor for a bounded number of iterations (the common case — the
@@ -124,17 +155,17 @@ func newExecutor(e *Engine) *executor {
 	for i := range x.allGates {
 		x.allGates[i] = netlist.CellID(i)
 	}
-	x.ckptSegs = []plan.Segment{{Gates: x.allGates, Level: -1, Barrier: true}}
+	x.ckptSegs = []execSeg{{gates: x.allGates, level: -1, barrier: true, items: int64(len(x.allGates))}}
 	return x
 }
 
 // runSweep executes the segments in order with a barrier between
-// consecutive ones. expected is the caller's estimate of the work (dirty
-// gates for roundDirty, total gates otherwise); sweeps expected to be small
-// run on the calling goroutine. Returns the number of dirty gates claimed
-// and whether any visit made progress; a contained gate panic is left in
-// x.failed for the engine to collect.
-func (x *executor) runSweep(segs []plan.Segment, kind roundKind, expected int) (int64, bool) {
+// consecutive barrier groups. expected is the caller's estimate of the work
+// (dirty gates for roundDirty, total gates otherwise); sweeps expected to
+// be small run on the calling goroutine. Returns the number of dirty gates
+// claimed and whether any visit made progress; a contained gate panic is
+// left in x.failed for the engine to collect.
+func (x *executor) runSweep(segs []execSeg, kind roundKind, expected int) (int64, bool) {
 	if x.threads == 1 || x.degraded || expected < x.threshold {
 		return x.runSweepSerial(segs, kind)
 	}
@@ -154,15 +185,15 @@ func (x *executor) runSweep(segs []plan.Segment, kind roundKind, expected int) (
 		x.segDone[i] = 0
 		// A barrier segment opens a new group and waits for the whole
 		// previous group [groupStart, i); same-group successors (a level's
-		// later kernel buckets) are independent of it and don't wait. The
-		// wait range never needs to reach further back: work in the
-		// previous group only started after its own barrier saw everything
-		// before groupStart complete.
+		// later kernel buckets, or a whole level fused at plan time) are
+		// independent of it and don't wait. The wait range never needs to
+		// reach further back: work in the previous group only started after
+		// its own barrier saw everything before groupStart complete.
 		x.waitFrom[i] = -1
-		if i > 0 && segs[i].Barrier {
+		if i > 0 && segs[i].barrier {
 			x.waitFrom[i] = groupStart
 		}
-		if segs[i].Barrier {
+		if segs[i].barrier {
 			groupStart = i
 		}
 	}
@@ -173,16 +204,6 @@ func (x *executor) runSweep(segs []plan.Segment, kind roundKind, expected int) (
 	err := x.pool.Run(x.threads, x.roundFn)
 	x.e.obs.trace.End(x.e.obs.tid)
 	x.segs = nil
-	// Count fused *levels* (barrier groups), not kernel buckets.
-	groups := 0
-	for _, s := range segs {
-		if s.Barrier {
-			groups++
-		}
-	}
-	if groups > 1 {
-		x.e.stats.levelsFused.Add(int64(groups - 1))
-	}
 	x.mergeStats()
 	if err != nil && x.failed.Load() == nil {
 		pe := err.(*workpool.PanicError)
@@ -197,7 +218,7 @@ func (x *executor) runSweep(segs []plan.Segment, kind roundKind, expected int) (
 			// slots claim every chunk — but the pool is no longer trusted:
 			// downgrade to serial for the rest of this engine's life and
 			// redo the sweep on the calling goroutine. Visits are idempotent
-			// and the dirty flags still mark exactly the unprocessed gates,
+			// and the dirty marks still flag exactly the unprocessed gates,
 			// so the serial pass completes whatever the round left behind.
 			x.degraded = true
 			x.e.stats.downgrades.Add(1)
@@ -213,24 +234,36 @@ func (x *executor) runSweep(segs []plan.Segment, kind roundKind, expected int) (
 // runSweepSerial is the single-goroutine sweep path, also used as the
 // degradation target after a pool failure. Each segment runs under the same
 // panic containment as the pooled chunks; on a contained panic the rest of
-// the sweep is abandoned (the engine poisons itself anyway).
-func (x *executor) runSweepSerial(segs []plan.Segment, kind roundKind) (int64, bool) {
+// the sweep is abandoned (the engine poisons itself anyway). Script
+// segments whose dirty population is zero are skipped on that single load.
+func (x *executor) runSweepSerial(segs []execSeg, kind roundKind) (int64, bool) {
 	sc := x.scratches[0]
 	var claimed int64
 	progress := false
-	for _, seg := range segs {
+	for si := range segs {
+		seg := &segs[si]
+		if seg.script != nil && kind == roundDirty && atomic.LoadInt64(seg.dirty) == 0 {
+			x.e.stats.segsSkipped.Add(1)
+			x.e.obs.segsSkipped.Inc()
+			continue
+		}
 		// Per-segment spans exist only on this path; the pooled path fuses
 		// all levels into one round (see drainRound) and gets a pool-round
 		// span. Names are constant strings — the disabled-obs zero-alloc
 		// guard covers this loop.
 		name := "level"
-		if seg.Level < 0 && kind != roundCheckpoint {
+		if seg.level < 0 && kind != roundCheckpoint {
 			name = "seq-phase"
-		} else if seg.Kernel == truthtab.ClassComb1 {
+		} else if seg.kernel == truthtab.ClassComb1 {
 			name = "level.comb1"
 		}
 		x.e.obs.trace.Begin(x.e.obs.tid, name)
-		ok := x.runChunk(kind, seg.Level+1, seg.Gates, sc, &claimed, &progress)
+		var ok bool
+		if seg.script != nil {
+			ok = x.runScriptChunk(kind, seg.level+1, seg, 0, seg.items, sc, &claimed, &progress)
+		} else {
+			ok = x.runChunk(kind, seg.level+1, seg.gates, sc, &claimed, &progress)
+		}
 		x.e.obs.trace.End(x.e.obs.tid)
 		if !ok {
 			break
@@ -241,12 +274,19 @@ func (x *executor) runSweepSerial(segs []plan.Segment, kind roundKind) (int64, b
 }
 
 // drainRound is one worker's share of a pool round: for each segment, wait
-// for the previous segment to complete, then claim and process chunks. The
-// barrier waits on completed work, not on worker arrival, so a worker that
-// serves several round slots back-to-back (the pool hands slots out
-// greedily) can always make progress by finishing the pending chunks
-// itself. Chunk completion accounting is deferred inside runChunk, so even
-// a panicking chunk advances segDone and the barrier never deadlocks.
+// for the previous barrier group to complete, then claim and process
+// chunks. The barrier waits on completed work, not on worker arrival, so a
+// worker that serves several round slots back-to-back (the pool hands slots
+// out greedily) can always make progress by finishing the pending chunks
+// itself. Chunk completion accounting is deferred inside
+// runSegChunkCounted, so even a panicking chunk advances segDone and the
+// barrier never deadlocks.
+//
+// A clean script segment (dirty population zero) is retired by claiming all
+// of its remaining words in one grab and crediting them unprocessed. The
+// credit is sound — "no more work will happen here this round" — and a
+// concurrent mark that slips past the zero check keeps its bit (word swaps
+// only happen on the processing path), so the segment scans next sweep.
 func (x *executor) drainRound(w int) {
 	sc := x.scratches[w]
 	var claimed int64
@@ -255,18 +295,34 @@ func (x *executor) drainRound(w int) {
 		if from := x.waitFrom[s]; from >= 0 {
 			x.waitSegs(from, s)
 		}
-		seg := x.segs[s].Gates
-		n := int64(len(seg))
+		seg := &x.segs[s]
+		n := seg.items
+		chunk := int64(workChunk)
+		if seg.script != nil {
+			chunk = scriptWordChunk
+			if x.kind == roundDirty && atomic.LoadInt64(seg.dirty) == 0 {
+				lo := atomic.AddInt64(&x.segIdx[s], n) - n
+				if lo < n {
+					atomic.AddInt64(&x.segDone[s], n-lo)
+					if lo == 0 {
+						// Sole claimer: count the skip once per segment.
+						x.e.stats.segsSkipped.Add(1)
+						x.e.obs.segsSkipped.Inc()
+					}
+				}
+				continue
+			}
+		}
 		for {
-			lo := atomic.AddInt64(&x.segIdx[s], workChunk) - workChunk
+			lo := atomic.AddInt64(&x.segIdx[s], chunk) - chunk
 			if lo >= n {
 				break
 			}
-			hi := lo + workChunk
+			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
-			x.runChunkCounted(s, seg[lo:hi], sc, &claimed, &progress)
+			x.runSegChunkCounted(s, seg, lo, hi, sc, &claimed, &progress)
 		}
 	}
 	if claimed != 0 {
@@ -278,7 +334,7 @@ func (x *executor) drainRound(w int) {
 }
 
 // waitSegs blocks until every segment in [from, s) has completed all its
-// work. The spin is bounded: after barrierSpinIters yields the worker
+// items. The spin is bounded: after barrierSpinIters yields the worker
 // sleeps with exponential backoff, so a barrier held open for long (one
 // huge predecessor chunk, an oversubscribed machine) costs no CPU instead
 // of an unbounded Gosched loop.
@@ -286,7 +342,7 @@ func (x *executor) waitSegs(from, s int) {
 	spins := 0
 	backoff := barrierBackoffMin
 	for i := from; i < s; {
-		if atomic.LoadInt64(&x.segDone[i]) >= int64(len(x.segs[i].Gates)) {
+		if atomic.LoadInt64(&x.segDone[i]) >= x.segs[i].items {
 			i++
 			continue
 		}
@@ -302,25 +358,29 @@ func (x *executor) waitSegs(from, s int) {
 	}
 }
 
-// runChunkCounted runs one claimed chunk and — panicking or not — credits
-// its full length to the segment's completion counter so the inter-segment
-// barrier always closes.
-func (x *executor) runChunkCounted(s int, chunk []netlist.CellID, sc *scratch, claimed *int64, progress *bool) {
-	defer atomic.AddInt64(&x.segDone[s], int64(len(chunk)))
+// runSegChunkCounted runs one claimed chunk (gates or bitset words) and —
+// panicking or not — credits its full item count to the segment's
+// completion counter so the inter-segment barrier always closes.
+func (x *executor) runSegChunkCounted(s int, seg *execSeg, lo, hi int64, sc *scratch, claimed *int64, progress *bool) {
+	defer atomic.AddInt64(&x.segDone[s], hi-lo)
 	// Once a panic is recorded the sweep is doomed; surviving workers stop
 	// executing gate code and only drain the claim counters so the round
 	// finishes quickly.
 	if x.failed.Load() != nil {
 		return
 	}
-	x.runChunk(x.kind, x.segs[s].Level+1, chunk, sc, claimed, progress)
+	if seg.script != nil {
+		x.runScriptChunk(x.kind, seg.level+1, seg, lo, hi, sc, claimed, progress)
+	} else {
+		x.runChunk(x.kind, seg.level+1, seg.gates[lo:hi], sc, claimed, progress)
+	}
 }
 
-// runChunk processes one slice of a segment under panic containment. lvl is
-// the PanicInfo.Level coordinate of the segment (segment level + 1, so 0 is
-// the sequential phase). It returns false when a panic was contained
-// (recorded in x.failed with the panicking gate's coordinates); the
-// remainder of the chunk is skipped.
+// runChunk processes one slice of a gate-list segment under panic
+// containment. lvl is the PanicInfo.Level coordinate of the segment
+// (segment level + 1, so 0 is the sequential phase). It returns false when
+// a panic was contained (recorded in x.failed with the panicking gate's
+// coordinates); the remainder of the chunk is skipped.
 func (x *executor) runChunk(kind roundKind, lvl int, chunk []netlist.CellID, sc *scratch, claimed *int64, progress *bool) (ok bool) {
 	cur := netlist.CellID(-1)
 	defer func() {
@@ -355,6 +415,85 @@ func (x *executor) runChunk(kind roundKind, lvl int, chunk []netlist.CellID, sc 
 			}
 		case roundCheckpoint:
 			x.e.checkpoint(id, sc)
+		}
+	}
+	return true
+}
+
+// runScriptChunk replays words [lo, hi) of a script segment under the same
+// panic containment as runChunk. Each word is swapped out of the dirty
+// bitset (crediting its popcount back to the segment's population) and the
+// surviving bits index straight into the flat instruction array; comb1
+// segments run the compiled kernel, anything else dispatches the gate to
+// its interpreted kernel. Oblivious rounds visit every instruction in the
+// word range and use the swap only to drain stale marks.
+func (x *executor) runScriptChunk(kind roundKind, lvl int, seg *execSeg, lo, hi int64, sc *scratch, claimed *int64, progress *bool) (ok bool) {
+	cur := netlist.CellID(-1)
+	defer func() {
+		if v := recover(); v != nil {
+			x.failed.CompareAndSwap(nil, &panicRecord{
+				value: v, stack: debug.Stack(), gate: cur, seg: lvl,
+			})
+			ok = false
+		}
+	}()
+	e := x.e
+	sp := seg.script
+	base := int(sp.BitOff) >> 6
+	comb1 := sp.Kernel == truthtab.ClassComb1
+	hook := e.opts.GateHook
+	nOps := int64(len(sp.Ops))
+	for w := lo; w < hi; w++ {
+		// Clean words cost one load: the swap (an atomic RMW) only runs
+		// when bits are set. A mark racing past the zero load keeps its
+		// bit and its segDirty credit, so the word scans next sweep.
+		bits := atomic.LoadUint64(&e.dirtyBits[base+int(w)])
+		if bits != 0 {
+			bits = atomic.SwapUint64(&e.dirtyBits[base+int(w)], 0)
+			atomic.AddInt64(seg.dirty, -int64(mathbits.OnesCount64(bits)))
+		}
+		if kind == roundOblivious {
+			first := w * 64
+			last := first + 64
+			if last > nOps {
+				last = nOps
+			}
+			for i := first; i < last; i++ {
+				op := &sp.Ops[i]
+				cur = op.Gate
+				if hook != nil {
+					hook(op.Gate)
+				}
+				var prog bool
+				if comb1 {
+					prog = e.visitScriptComb1(op, sc)
+				} else {
+					prog = e.visitGate(op.Gate, sc)
+				}
+				if prog {
+					*progress = true
+				}
+			}
+			continue
+		}
+		for bits != 0 {
+			tz := mathbits.TrailingZeros64(bits)
+			bits &= bits - 1
+			op := &sp.Ops[w*64+int64(tz)]
+			cur = op.Gate
+			*claimed++
+			if hook != nil {
+				hook(op.Gate)
+			}
+			var prog bool
+			if comb1 {
+				prog = e.visitScriptComb1(op, sc)
+			} else {
+				prog = e.visitGate(op.Gate, sc)
+			}
+			if prog {
+				*progress = true
+			}
 		}
 	}
 	return true

@@ -440,11 +440,9 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 func (e *Engine) markLoads(nid netlist.NetID, wOld int64, newEvents bool) {
 	p := e.p
 	for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
-		g := &e.gate[p.FanCell[k]]
-		if newEvents || (wOld >= 0 && g.detUntil.Load() >= wOld) {
-			if !g.dirty.Load() {
-				g.dirty.Store(true)
-			}
+		cell := p.FanCell[k]
+		if newEvents || (wOld >= 0 && e.gate[cell].detUntil.Load() >= wOld) {
+			e.markDirty(cell)
 		}
 	}
 }

@@ -71,6 +71,14 @@ func benchSeqNetlist(b *testing.B, gates int) *netlist.Netlist {
 
 func benchToggle(b *testing.B, nl *netlist.Netlist, toggleNet string, opts Options) {
 	b.Helper()
+	benchToggleEvery(b, nl, toggleNet, opts, 1)
+}
+
+// benchToggleEvery is benchToggle with a checkpoint cadence: folding every
+// iteration keeps queues minimal but its full-design scan dwarfs the sweep
+// cost on sparse workloads, so those use a coarser cadence.
+func benchToggleEvery(b *testing.B, nl *netlist.Netlist, toggleNet string, opts Options, ckptEvery int) {
+	b.Helper()
 	e, err := New(nl, testLib, sdf.Uniform(nl, 2), opts)
 	if err != nil {
 		b.Fatal(err)
@@ -99,13 +107,74 @@ func benchToggle(b *testing.B, nl *netlist.Netlist, toggleNet string, opts Optio
 		}
 		// Fold and trim as a streaming driver would, so the queues stay
 		// bounded and the loop measures steady state rather than growth.
-		e.Checkpoint()
+		if (i+1)%ckptEvery == 0 {
+			e.Checkpoint()
+		}
 	}
 	b.StopTimer()
 	visits := e.Stats().Visits - startVisits
 	if visits > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(visits), "ns/visit")
 	}
+}
+
+// benchSparseNetlist models the common signoff shape where most of the
+// design is quiet: a short active chain off the toggled input feeds a DFF
+// whose clock never moves, and the flop's output fans out to a wide cloud
+// of gates that settle once and never change again. Per-iteration cost is
+// dominated by how cheaply the executor walks past the quiet gates —
+// per-gate flag scans on the interpreted path, word/segment skips on the
+// script path.
+func benchSparseNetlist(b *testing.B, quiet, active int) *netlist.Netlist {
+	b.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("benchsparse", lib)
+	for _, p := range []string{"n0", "clk"} {
+		if err := nl.MarkInput(nl.AddNet(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 1; i <= active; i++ {
+		if _, err := nl.AddInstance(fmt.Sprintf("g%d", i), "INV",
+			map[string]string{"A": fmt.Sprintf("n%d", i-1), "Y": fmt.Sprintf("n%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := nl.AddInstance("ff0", "DFF_P", map[string]string{
+		"CLK": "clk", "D": fmt.Sprintf("n%d", active), "Q": "q0", "QN": "qn0",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < quiet; i++ {
+		if _, err := nl.AddInstance(fmt.Sprintf("w%d", i), "INV",
+			map[string]string{"A": "q0", "Y": fmt.Sprintf("wy%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return nl
+}
+
+// BenchmarkScriptReplay compares the compiled script-replay path against
+// the interpreted per-gate sweep (Options.DisableScripts) on the same
+// netlists. dense re-visits every gate each toggle, isolating replay
+// dispatch; sparse keeps ~97% of the gates clean, isolating the cost of
+// walking past quiet state (dirty-bitset words vs per-gate flags).
+func BenchmarkScriptReplay(b *testing.B) {
+	const gates = 512
+	dense := benchCombNetlist(b, gates)
+	sparse := benchSparseNetlist(b, gates, 16)
+	b.Run("dense/scripts", func(b *testing.B) {
+		benchToggle(b, dense, "n0", Options{Mode: ModeSerial})
+	})
+	b.Run("dense/interpreted", func(b *testing.B) {
+		benchToggle(b, dense, "n0", Options{Mode: ModeSerial, DisableScripts: true})
+	})
+	b.Run("sparse/scripts", func(b *testing.B) {
+		benchToggleEvery(b, sparse, "n0", Options{Mode: ModeSerial}, 32)
+	})
+	b.Run("sparse/interpreted", func(b *testing.B) {
+		benchToggleEvery(b, sparse, "n0", Options{Mode: ModeSerial, DisableScripts: true}, 32)
+	})
 }
 
 // BenchmarkVisit isolates per-gate visit cost by kernel class. comb runs the

@@ -220,9 +220,11 @@ func TestKernelCounters(t *testing.T) {
 	}
 }
 
-// TestKernelSegments sanity-checks the bucketed schedule the engine adopts
-// from the plan: stable kernel order within a level, barrier exactly on each
-// level's first bucket, and every gate appearing exactly once.
+// TestKernelSegments sanity-checks the compiled schedule the engine adopts
+// from the plan: stable kernel order within a level, a barrier on each
+// level's first bucket except the plan-time fused levels (whose count must
+// match Plan.FusedLevels), every gate appearing exactly once, and every
+// segment backed by its script.
 func TestKernelSegments(t *testing.T) {
 	nl, delays := mixedKernelDesign(t)
 	p, err := plan.Build(nl, testLib, delays)
@@ -237,39 +239,49 @@ func TestKernelSegments(t *testing.T) {
 
 	seen := make(map[netlist.CellID]bool)
 	lastLevel := -2
-	for i, seg := range e.sweepSegs {
-		if len(seg.Gates) == 0 {
-			t.Fatalf("segment %d is empty", i)
+	fused := 0
+	for i := range e.sweepSegs {
+		seg := &e.sweepSegs[i]
+		if seg.script == nil || len(seg.script.Ops) == 0 {
+			t.Fatalf("segment %d has no script", i)
 		}
-		if seg.Level != lastLevel {
-			if !seg.Barrier {
-				t.Errorf("segment %d opens level %d without a barrier", i, seg.Level)
+		if seg.level != lastLevel {
+			if !seg.barrier {
+				fused++
 			}
-			if seg.Level < lastLevel {
-				t.Errorf("segment %d level %d after level %d", i, seg.Level, lastLevel)
+			if seg.level < lastLevel {
+				t.Errorf("segment %d level %d after level %d", i, seg.level, lastLevel)
 			}
-			lastLevel = seg.Level
-		} else if seg.Barrier {
-			t.Errorf("segment %d repeats a barrier inside level %d", i, seg.Level)
+			lastLevel = seg.level
+		} else if seg.barrier {
+			t.Errorf("segment %d repeats a barrier inside level %d", i, seg.level)
 		}
-		for _, g := range seg.Gates {
-			if seen[g] {
-				t.Fatalf("gate %d appears in two segments", g)
+		for _, op := range seg.script.Ops {
+			if seen[op.Gate] {
+				t.Fatalf("gate %d appears in two segments", op.Gate)
 			}
-			seen[g] = true
-			if got := p.Kernel(g); got != seg.Kernel {
-				t.Errorf("gate %d class %v in a %v segment", g, got, seg.Kernel)
+			seen[op.Gate] = true
+			if got := p.Kernel(op.Gate); got != seg.kernel {
+				t.Errorf("gate %d class %v in a %v segment", op.Gate, got, seg.kernel)
 			}
 		}
 	}
 	if len(seen) != p.NumGates() {
 		t.Fatalf("segments cover %d gates, want %d", len(seen), p.NumGates())
 	}
+	if fused != p.FusedLevels {
+		t.Errorf("%d levels open without a barrier, Plan.FusedLevels = %d", fused, p.FusedLevels)
+	}
+	// The fixture is tiny, so its shallow comb levels must actually fuse —
+	// otherwise the fused-schedule case is untested.
+	if p.FusedLevels == 0 {
+		t.Error("fixture induced no plan-time level fusion")
+	}
 	// The fixture must actually produce a seq bucket inside a comb level
 	// (the HA/FA cells) — otherwise the mixed-level case is untested.
 	mixed := false
-	for _, seg := range e.sweepSegs {
-		if seg.Level >= 0 && seg.Kernel == truthtab.ClassSeq {
+	for i := range e.sweepSegs {
+		if e.sweepSegs[i].level >= 0 && e.sweepSegs[i].kernel == truthtab.ClassSeq {
 			mixed = true
 		}
 	}

@@ -136,6 +136,12 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 		e.obs.levelNS.Observe(levelNS)
 		e.stats.sweeps.Add(1)
 		e.obs.sweeps.Inc()
+		if e.fusedLevs > 0 {
+			// Plan-time fused levels: combinational levels this sweep crossed
+			// without a barrier of their own (serial sweeps never had one;
+			// pooled sweeps share the group's claim ranges).
+			e.stats.levelsFused.Add(int64(e.fusedLevs))
+		}
 		if !oblivious {
 			e.lastDirty = int(processed)
 		}

@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
+	"gatesim/internal/sched"
+	"gatesim/internal/truthtab"
+)
+
+// Compiled-script execution: the plan lowers each sweep segment into a flat
+// instruction array (plan.Script) and the engine replays it over a dirty
+// bitset — one atomic swap tests-and-clears 64 gates, and a segment whose
+// population counter reads zero is skipped without touching its words.
+//
+// Dirtiness protocol. markDirty sets the gate's bit with a CAS-or that
+// returns the old word; only the 0→1 winner increments the segment's
+// population. The replay loop swaps each word to zero and decrements the
+// population by the word's popcount. The counter therefore never needs a
+// clearing store that could race with concurrent marks — a mark that lands
+// after its word was swapped leaves bit and count consistent and is served
+// next sweep. A skip based on a momentarily-zero counter is equally safe:
+// the in-flight mark's bit survives, and the visit that produced the mark
+// was itself claimed this sweep, so convergence cannot terminate early.
+
+// orUint64 atomically ors mask into *addr and returns the previous value.
+// (sync/atomic gained OrUint64 in Go 1.23; the module targets 1.22.)
+func orUint64(addr *uint64, mask uint64) uint64 {
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask == mask {
+			return old
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return old
+		}
+	}
+}
+
+// markDirty marks one gate for the next scan: the per-gate flag on the
+// interpreted schedule, the gate's bitset bit (plus the owning segment's
+// population count on a 0→1 transition) on the compiled one.
+func (e *Engine) markDirty(cell netlist.CellID) {
+	if e.dirtyBits == nil {
+		g := &e.gate[cell]
+		if !g.dirty.Load() {
+			g.dirty.Store(true)
+		}
+		return
+	}
+	bit := e.p.BitOf[cell]
+	w := &e.dirtyBits[bit>>6]
+	mask := uint64(1) << (uint(bit) & 63)
+	if atomic.LoadUint64(w)&mask != 0 {
+		return
+	}
+	if orUint64(w, mask)&mask == 0 {
+		atomic.AddInt64(&e.segDirty[e.p.SegOf[cell]], 1)
+	}
+}
+
+// visitScriptComb1 is visitComb1 replayed from a compiled instruction: the
+// same straight-line ClassComb1 evaluation, but every plan-derived operand
+// (slot bases, LUT, output net, minArc, the uniform-arc delays) comes
+// pre-gathered from the ScriptOp instead of five scattered plan arrays. The
+// uniform-delay case is fully branch-free: op.Delay is indexed by the
+// settled new output value, matching sched.DelayFor verdict-for-verdict.
+// Committed streams are byte-identical to the interpreted path's, which the
+// script equivalence tests check.
+func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
+	g := &e.gate[op.Gate]
+	inB := int(op.InBase)
+	ni := int(op.NIn)
+	outB := int(op.OutSlot)
+	lut := op.LUT
+	inQ := e.inQ[inB : inB+ni]
+	q := e.outQ[outB]
+	softCur := e.softCur[inB : inB+ni]
+	sc.visits[truthtab.ClassComb1]++
+
+	// Soft-resume / idle checks, exactly as in visit.
+	resume := g.softValid
+	idle := resume
+	if resume {
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if softCur[i] < iq.Len() {
+				idle = false
+				if iq.MustAt(softCur[i]).Time < g.softNow {
+					resume = false
+					break
+				}
+			}
+		}
+	}
+	if resume && idle {
+		return e.idleScriptComb1(op, sc)
+	}
+	out := &sc.outs[0]
+	var now int64
+	var sem logic.Value
+	if resume {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(softCur[i])
+			sc.vals[i] = e.softVals[inB+i]
+		}
+		sem = e.softSem[outB]
+		out.Restore(e.lastCommitted[outB], e.softPend[outB])
+		now = g.softNow
+	} else {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(e.baseCur[inB+i])
+			sc.vals[i] = e.baseVals[inB+i]
+		}
+		sem = e.semBase[outB]
+		out.Reset(e.lastCommitted[outB])
+		now = g.baseNow
+	}
+	detUntil := TimeInf
+	for {
+		// Next change point: earliest unconsumed event or stable-time
+		// expiry strictly after `now`.
+		t := TimeInf
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if et := sc.cur[i].Peek(iq).Time; et < t {
+					t = et
+				}
+			}
+			if w := iq.DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+
+		// Build the packed query index directly: settled values and U are
+		// their own 3-bit fields.
+		idx := 0
+		sc.evIn = sc.evIn[:0]
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			v := sc.vals[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if ev := sc.cur[i].Peek(iq); ev.Time == t {
+					v = ev.Val.Settle()
+					sc.evIn = append(sc.evIn, i)
+					idx |= int(v) << (3 * i)
+					continue
+				}
+			}
+			if t >= iq.DeterminedUntil() {
+				v = logic.VU
+			}
+			idx |= int(v) << (3 * i)
+		}
+		nv := lut.Data[idx]
+		sc.queries[truthtab.ClassComb1]++
+		if nv == logic.VU {
+			detUntil = t
+			break
+		}
+
+		// Consume the change point.
+		if len(sc.evIn) > 0 {
+			if nv != sem {
+				var d int64
+				if op.Uniform {
+					d = op.Delay[nv]
+				} else {
+					arcB := int(op.ArcBase)
+					d = int64(1) << 62
+					for _, i := range sc.evIn {
+						if ad := sched.DelayFor(e.p.Arcs[arcB+i], nv); ad < d {
+							d = ad
+						}
+					}
+				}
+				out.Schedule(t+d, nv)
+				sem = nv
+			}
+			for _, i := range sc.evIn {
+				sc.vals[i] = sc.cur[i].Peek(inQ[i]).Val.Settle()
+				sc.cur[i].Advance()
+			}
+		}
+		now = t
+	}
+	g.detUntil.Store(detUntil)
+
+	// Commit the single output and advance its watermark.
+	limit := detUntil
+	if limit < TimeInf {
+		limit += op.MinArc
+		if limit > TimeInf {
+			limit = TimeInf
+		}
+	}
+	commitThrough := limit - 1
+	progress := false
+	newEvents := false
+	for {
+		te, ok := out.NextPending()
+		if !ok || te > commitThrough {
+			break
+		}
+		ev := out.PopFront()
+		if ev.Time > e.committedUntil[outB] {
+			if q != nil {
+				q.Append(ev.Time, ev.Val)
+				newEvents = true
+				sc.events++
+			}
+			e.lastCommitted[outB] = ev.Val
+		}
+	}
+	if commitThrough > e.committedUntil[outB] {
+		e.committedUntil[outB] = commitThrough
+	}
+	wOld := int64(-1)
+	if q != nil && q.DeterminedUntil() < limit {
+		wOld = q.DeterminedUntil()
+		q.SetDeterminedUntil(limit)
+	}
+	if newEvents || wOld >= 0 {
+		progress = true
+		e.markLoads(op.OutNet, wOld, newEvents)
+	}
+
+	futureMin := int64(TimeInf)
+	if te, ok := out.NextPending(); ok {
+		futureMin = te
+	}
+	for i := 0; i < ni; i++ {
+		if sc.cur[i].Idx < inQ[i].Len() {
+			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
+				futureMin = et
+			}
+		}
+	}
+	g.futureMin = futureMin
+
+	// Save the soft snapshot for the next visit.
+	g.softNow = now
+	for i := 0; i < ni; i++ {
+		softCur[i] = sc.cur[i].Idx
+		e.softVals[inB+i] = sc.vals[i]
+	}
+	e.softSem[outB] = sem
+	e.softPend[outB] = append(e.softPend[outB][:0], out.Pend()...)
+	g.softValid = true
+	return progress
+}
+
+// idleScriptComb1 is idleComb1 with instruction operands: a
+// watermark-expiry-only walk with a packed-LUT probe per expiry and a
+// single output to commit from the soft pending list.
+func (e *Engine) idleScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
+	g := &e.gate[op.Gate]
+	inB := int(op.InBase)
+	ni := int(op.NIn)
+	outB := int(op.OutSlot)
+	lut := op.LUT
+	inQ := e.inQ[inB : inB+ni]
+	q := e.outQ[outB]
+
+	now := g.softNow
+	detUntil := TimeInf
+	for {
+		t := int64(TimeInf)
+		for i := 0; i < ni; i++ {
+			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+		idx := 0
+		for i := 0; i < ni; i++ {
+			v := e.softVals[inB+i]
+			if t >= inQ[i].DeterminedUntil() {
+				v = logic.VU
+			}
+			idx |= int(v) << (3 * i)
+		}
+		sc.queries[truthtab.ClassComb1]++
+		if lut.Data[idx] == logic.VU {
+			detUntil = t
+			break
+		}
+		now = t
+	}
+	g.softNow = now
+	g.detUntil.Store(detUntil)
+
+	limit := detUntil
+	if limit < TimeInf {
+		limit += op.MinArc
+		if limit > TimeInf {
+			limit = TimeInf
+		}
+	}
+	commitThrough := limit - 1
+	progress := false
+	newEvents := false
+	pend := e.softPend[outB]
+	k := 0
+	for k < len(pend) && pend[k].Time <= commitThrough {
+		ev := pend[k]
+		k++
+		if ev.Time > e.committedUntil[outB] {
+			if q != nil {
+				q.Append(ev.Time, ev.Val)
+				newEvents = true
+				sc.events++
+			}
+			e.lastCommitted[outB] = ev.Val
+		}
+	}
+	if k > 0 {
+		e.softPend[outB] = append(pend[:0], pend[k:]...)
+	}
+	if commitThrough > e.committedUntil[outB] {
+		e.committedUntil[outB] = commitThrough
+	}
+	wOld := int64(-1)
+	if q != nil && q.DeterminedUntil() < limit {
+		wOld = q.DeterminedUntil()
+		q.SetDeterminedUntil(limit)
+	}
+	if newEvents || wOld >= 0 {
+		progress = true
+		e.markLoads(op.OutNet, wOld, newEvents)
+	}
+
+	futureMin := int64(TimeInf)
+	for _, ev := range e.softPend[outB] {
+		if ev.Time < futureMin {
+			futureMin = ev.Time
+		}
+	}
+	g.futureMin = futureMin
+	return progress
+}

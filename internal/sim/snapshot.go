@@ -123,8 +123,10 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		g.softValid = false
 		g.futureMin = 0 // conservative until the first visit
 		g.detUntil.Store(0)
-		g.dirty.Store(true)
 	}
+	// Re-mark everything (flags and, with scripts on, the dirty bitset) so
+	// the first sweep after the restore rebuilds every soft snapshot.
+	e.markAllDirty()
 	e.lastDirty = len(e.gate)
 	for i := range e.queues {
 		sn := &s.Nets[i]

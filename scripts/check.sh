@@ -1,6 +1,7 @@
 #!/bin/sh
 # Repository check gate: build, vet, formatting, full tests, a short-mode
-# race pass over the concurrent packages, and a parser fuzz smoke stage.
+# race pass over the concurrent packages, and fuzz smoke stages for the
+# script replayer and the parsers.
 # The sim race run includes the cross-mode equivalence test (serial/
 # parallel/manycore on one stimulus trace), so the pooled executor is raced
 # against the serial oracle on every check. It also covers the fault tests
@@ -29,6 +30,9 @@ go test ./...
 
 echo "== go test -race (short, concurrent packages)"
 go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/ ./internal/obs/
+
+echo "== script replay fuzz smoke (5s)"
+go test -run '^$' -fuzz FuzzScriptComb1Segment -fuzztime 5s ./internal/sim/
 
 echo "== parser fuzz smoke (5s per parser)"
 go test -run '^$' -fuzz FuzzParseLiberty -fuzztime 5s ./internal/liberty/

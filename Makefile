@@ -30,11 +30,14 @@ bench-compare:
 fmt:
 	gofmt -w .
 
-# Longer coverage-guided runs of the parser fuzz targets (check.sh runs the
-# same targets for 5s each as a smoke stage). Crashers are written to the
-# package's testdata/fuzz/ directory and replay as regular tests.
+# Longer coverage-guided runs of the parser and engine-differential fuzz
+# targets (check.sh runs the same targets for 5s each as a smoke stage).
+# Crashers are written to the package's testdata/fuzz/ directory and replay
+# as regular tests.
 FUZZTIME ?= 60s
 fuzz:
+	go test -run '^$$' -fuzz FuzzScriptComb1Segment -fuzztime $(FUZZTIME) ./internal/sim/
+	go test -run '^$$' -fuzz FuzzWatermarkRelax -fuzztime $(FUZZTIME) ./internal/sim/
 	go test -run '^$$' -fuzz FuzzParseLiberty -fuzztime $(FUZZTIME) ./internal/liberty/
 	go test -run '^$$' -fuzz FuzzParseVerilog$$ -fuzztime $(FUZZTIME) ./internal/netlist/
 	go test -run '^$$' -fuzz FuzzParseVerilogHierarchy -fuzztime $(FUZZTIME) ./internal/netlist/

@@ -110,6 +110,8 @@ func compare(base, cand harness.BenchSmokeReport, threshold float64) (lines []st
 		check(fmt.Sprintf("t=%d part_unit_ns", c.Threads), b.PartUnitNS, c.PartUnitNS)
 		info(fmt.Sprintf("t=%d script_segments", c.Threads), b.ScriptSegments, c.ScriptSegments)
 		info(fmt.Sprintf("t=%d segments_skipped", c.Threads), b.SegmentsSkipped, c.SegmentsSkipped)
+		info(fmt.Sprintf("t=%d visits_watermark_only", c.Threads), b.VisitsWatermarkOnly, c.VisitsWatermarkOnly)
+		info(fmt.Sprintf("t=%d relax_nets", c.Threads), b.RelaxedNets, c.RelaxedNets)
 	}
 	if len(base.PhaseNS) > 0 && len(cand.PhaseNS) > 0 {
 		phases := make([]string, 0, len(cand.PhaseNS))

@@ -143,7 +143,19 @@ func (q *Queue) InitAt(pool *Pool, initial logic.Value, start int64) {
 }
 
 // DeterminedUntil returns the exclusive time up to which the net's value is
-// determined (the stable-time watermark).
+// determined (the stable-time watermark): the value is known for every time
+// strictly below the watermark and undetermined (U) from it onward.
+//
+// Exclusivity fixes the wakeup boundary when the watermark moves from wOld
+// to wNew. A reader whose own determination frontier (gate.detUntil, also
+// exclusive) equals wOld was blocked precisely on this net's instant wOld —
+// the first time the old watermark left undetermined — so the advance
+// unblocks it: frontiers at exactly wOld must be woken. A frontier at
+// wOld-1 (or anywhere below) was already looking at a determined instant
+// and is stalled on something else; this advance gives it nothing. Hence
+// sim's markLoads marks readers with detUntil >= wOld, strictly-greater is
+// not enough and greater-equal-wNew is too late (see sim/gate.go markLoads
+// and TestMarkLoadsBoundary).
 func (q *Queue) DeterminedUntil() int64 { return q.det.Load() }
 
 // SetDeterminedUntil advances (or rewinds, during snapshot restore) the

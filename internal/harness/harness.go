@@ -469,6 +469,14 @@ type BenchSmokePoint struct {
 	ScriptSegments  int64 `json:"script_segments,omitempty"`
 	SegmentsSkipped int64 `json:"segments_skipped,omitempty"`
 
+	// Watermark-relax counters of the SDF run: visits that committed no
+	// events (the waste the relax pass attacks) and nets whose watermark-only
+	// advance the pass drained without scheduling visits. Absent (zero) in
+	// reports written before the relax pass; benchcmp tolerates the schema
+	// gap.
+	VisitsWatermarkOnly int64 `json:"visits_watermark_only,omitempty"`
+	RelaxedNets         int64 `json:"relax_nets,omitempty"`
+
 	// Visit/query split by kernel class (see sim.Stats.VisitsByKernel):
 	// how much of the run the packed-LUT comb kernel served vs the generic
 	// sequential interpreter.
@@ -496,26 +504,28 @@ func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
 	for _, p := range pts {
 		st := p.OursSDFStats
 		rep.Samples = append(rep.Samples, BenchSmokePoint{
-			Threads:         p.Threads,
-			PartUnitNS:      p.PartUnit.Nanoseconds(),
-			PartSDFNS:       p.PartSDF.Nanoseconds(),
-			OursUnitNS:      p.OursUnit.Nanoseconds(),
-			OursSDFNS:       p.OursSDF.Nanoseconds(),
-			PartRoundsSDF:   p.PartRoundsSDF,
-			Sweeps:          st.Sweeps,
-			PoolSpawned:     st.PoolSpawned,
-			PoolRounds:      st.PoolRounds,
-			PoolWakes:       st.PoolWakes,
-			PoolParks:       st.PoolParks,
-			LevelsFused:     st.LevelsFused,
-			SweepNS:         st.SweepNS,
-			LevelNS:         st.LevelNS,
-			ScriptSegments:  st.ScriptSegments,
-			SegmentsSkipped: st.SegmentsSkipped,
-			VisitsComb1:     st.VisitsByKernel[truthtab.ClassComb1],
-			VisitsSeq:       st.VisitsByKernel[truthtab.ClassSeq],
-			QueriesComb1:    st.QueriesByKernel[truthtab.ClassComb1],
-			QueriesSeq:      st.QueriesByKernel[truthtab.ClassSeq],
+			Threads:             p.Threads,
+			PartUnitNS:          p.PartUnit.Nanoseconds(),
+			PartSDFNS:           p.PartSDF.Nanoseconds(),
+			OursUnitNS:          p.OursUnit.Nanoseconds(),
+			OursSDFNS:           p.OursSDF.Nanoseconds(),
+			PartRoundsSDF:       p.PartRoundsSDF,
+			Sweeps:              st.Sweeps,
+			PoolSpawned:         st.PoolSpawned,
+			PoolRounds:          st.PoolRounds,
+			PoolWakes:           st.PoolWakes,
+			PoolParks:           st.PoolParks,
+			LevelsFused:         st.LevelsFused,
+			SweepNS:             st.SweepNS,
+			LevelNS:             st.LevelNS,
+			ScriptSegments:      st.ScriptSegments,
+			SegmentsSkipped:     st.SegmentsSkipped,
+			VisitsWatermarkOnly: st.VisitsWatermarkOnly,
+			RelaxedNets:         st.RelaxedNets,
+			VisitsComb1:         st.VisitsByKernel[truthtab.ClassComb1],
+			VisitsSeq:           st.VisitsByKernel[truthtab.ClassSeq],
+			QueriesComb1:        st.QueriesByKernel[truthtab.ClassComb1],
+			QueriesSeq:          st.QueriesByKernel[truthtab.ClassSeq],
 		})
 	}
 	snap := cfg.Metrics.Snapshot()

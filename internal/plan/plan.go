@@ -96,6 +96,32 @@ type Plan struct {
 	// need no barrier of their own; see lowerSegments).
 	FusedLevels int
 
+	// Watermark-relax eligibility (structural, shared by WithDelays).
+	// RelaxEligible[g] marks gates whose quiet watermark advance the engine
+	// may compute without a scheduled visit: exactly the ClassComb1 gates —
+	// single output, zero state, no edge-sensitive inputs, packed LUT built —
+	// whose idle walk (idleComb1) is a pure function of input watermarks and
+	// soft state. NetLevel[n] is the net's topological depth for the relax
+	// pass's drain order: 0 for primary inputs, undriven nets and outputs of
+	// sequential-phase gates, driver's combinational level + 1 otherwise, so
+	// an eligible reader's output net is always at a strictly higher level
+	// than any of its input nets. NumNetLevels bounds the values in NetLevel.
+	// NetRelax[n] classifies net n's readers for the watermark-only mark
+	// path: RelaxNetNone nets (no eligible reader, or no readers) fall
+	// straight through to the baseline mark loop without touching the relax
+	// state, while RelaxNetMixed and RelaxNetAll nets take the staging scan —
+	// marking any ineligible or blocked reader eagerly, staging the rest.
+	// The Mixed/All distinction is informational today (both scan); it is
+	// kept because the classification falls out of the same reader pass.
+	// RelaxLevel[g] is the eligible gate's walk level — its (single) output
+	// net's NetLevel — pre-gathered so the staging path pays one load
+	// instead of three. Zero for ineligible gates (never staged).
+	RelaxEligible []bool
+	RelaxLevel    []int32
+	NetRelax      []uint8
+	NetLevel      []int32
+	NumNetLevels  int
+
 	// Initial-condition fixpoint, flattened to the slot layouts above.
 	NetInit   []logic.Value // per net
 	InInit    []logic.Value // per input slot
@@ -246,10 +272,67 @@ func Build(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delay
 		}
 	}
 	p.lowerSegments()
+	p.lowerRelax()
 
 	p.lowerDelays(delays)
 	return p, nil
 }
+
+// lowerRelax precomputes the watermark-relax vectors: per-gate eligibility
+// (the kernel-classification verdict widened to a dense bool so the mark
+// path pays one byte load per reader) and the per-net topological level the
+// relax pass drains in. Both are structural — a function of the netlist and
+// levelization only — so WithDelays shares them.
+func (p *Plan) lowerRelax() {
+	n := p.NumGates()
+	p.RelaxEligible = make([]bool, n)
+	for g := 0; g < n; g++ {
+		p.RelaxEligible[g] = p.KernelOf[p.TableOf[g]] == truthtab.ClassComb1
+	}
+	p.NetRelax = make([]uint8, len(p.Netlist.Nets))
+	for nid := range p.NetRelax {
+		all, any := true, false
+		for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
+			if p.RelaxEligible[p.FanCell[k]] {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		switch {
+		case !any:
+			p.NetRelax[nid] = RelaxNetNone
+		case all:
+			p.NetRelax[nid] = RelaxNetAll
+		default:
+			p.NetRelax[nid] = RelaxNetMixed
+		}
+	}
+	p.NetLevel = make([]int32, len(p.Netlist.Nets))
+	for lv, gates := range p.Lev.Levels {
+		for _, id := range gates {
+			for _, nid := range p.GateOutputs(id) {
+				if nid >= 0 {
+					p.NetLevel[nid] = int32(lv) + 1
+				}
+			}
+		}
+	}
+	p.NumNetLevels = len(p.Lev.Levels) + 1
+	p.RelaxLevel = make([]int32, n)
+	for g := 0; g < n; g++ {
+		if p.RelaxEligible[g] {
+			p.RelaxLevel[g] = p.NetLevel[p.OutNet[p.OutOff[g]]]
+		}
+	}
+}
+
+// NetRelax classes (see the field doc).
+const (
+	RelaxNetNone uint8 = iota
+	RelaxNetMixed
+	RelaxNetAll
+)
 
 // fuseMaxGates caps the population of a fused barrier group: a level is
 // folded into the preceding group only while the whole group stays within

@@ -140,6 +140,14 @@ type Options struct {
 	// plan's compiled scripts over the dirty bitset. The interpreted path
 	// is the bit-exact baseline the script equivalence tests diff against.
 	DisableScripts bool
+	// DisableWatermarkRelax restores per-reader dirty marks for
+	// watermark-only net advances: every waiting reader is re-visited by
+	// the sweep machinery instead of being relaxed in a batched worklist
+	// pass (see relax.go). The marking path is the bit-exact baseline the
+	// relax equivalence and fuzz tests diff against. DisableKernels
+	// implies it — the relax walk is the comb1 idle kernel, which the
+	// pre-kernel shape must not run.
+	DisableWatermarkRelax bool
 	// Metrics, when non-nil, receives the engine's obs counters and phase
 	// histograms (sim.* and pool.* names). Nil keeps every record site on
 	// the ~1 ns nil-instrument path (see internal/obs).
@@ -179,6 +187,15 @@ type Stats struct {
 	EventsCommitted int64 // events appended to net queues
 	Checkpoints     int64 // slice-boundary base consolidations
 
+	// VisitsWatermarkOnly counts the visits that committed no events: work
+	// whose only possible effect was advancing watermarks (or nothing at
+	// all). RelaxedNets counts staged readers the relax pass drained — idle
+	// walks run in place of scheduled visits, plus the cheap walk-time
+	// skips for stagings an event mark overtook — and is 0 with
+	// DisableWatermarkRelax.
+	VisitsWatermarkOnly int64
+	RelaxedNets         int64
+
 	// VisitsByKernel/QueriesByKernel split Visits/Queries by the kernel
 	// class that served them (index by truthtab.Class). With kernels
 	// disabled everything lands on truthtab.ClassSeq.
@@ -213,18 +230,20 @@ type Stats struct {
 // obs debug endpoint does so mid-run), so every field is an atomic rather
 // than a plain int64 guarded by nothing.
 type engineCounters struct {
-	sweeps      atomic.Int64
-	visits      atomic.Int64
-	queries     atomic.Int64
-	visitsBy    [truthtab.NumClasses]atomic.Int64
-	queriesBy   [truthtab.NumClasses]atomic.Int64
-	events      atomic.Int64
-	checkpoints atomic.Int64
-	levelsFused atomic.Int64
-	segsSkipped atomic.Int64
-	sweepNS     atomic.Int64
-	levelNS     atomic.Int64
-	downgrades  atomic.Int64
+	sweeps       atomic.Int64
+	visits       atomic.Int64
+	queries      atomic.Int64
+	visitsBy     [truthtab.NumClasses]atomic.Int64
+	queriesBy    [truthtab.NumClasses]atomic.Int64
+	visitsWMOnly atomic.Int64
+	relaxedNets  atomic.Int64
+	events       atomic.Int64
+	checkpoints  atomic.Int64
+	levelsFused  atomic.Int64
+	segsSkipped  atomic.Int64
+	sweepNS      atomic.Int64
+	levelNS      atomic.Int64
+	downgrades   atomic.Int64
 }
 
 // engineObs bundles the engine's observability instruments. It is built
@@ -239,6 +258,8 @@ type engineObs struct {
 	checkpoints  *obs.Counter
 	downgrades   *obs.Counter
 	segsSkipped  *obs.Counter
+	visitsWMOnly *obs.Counter
+	relaxedNets  *obs.Counter
 	visitsBy     [truthtab.NumClasses]*obs.Counter
 	queriesBy    [truthtab.NumClasses]*obs.Counter
 	sweepNS      *obs.Histogram
@@ -259,6 +280,8 @@ func newEngineObs(o Options) engineObs {
 		checkpoints:  m.Counter("sim.checkpoints"),
 		downgrades:   m.Counter("sim.downgrades"),
 		segsSkipped:  m.Counter("sim.segments_skipped"),
+		visitsWMOnly: m.Counter("sim.visits_watermark_only"),
+		relaxedNets:  m.Counter("sim.relax_nets"),
 		sweepNS:      m.Histogram("sim.sweep_ns"),
 		levelNS:      m.Histogram("sim.level_ns"),
 		checkpointNS: m.Histogram("sim.checkpoint_ns"),
@@ -325,6 +348,10 @@ type Engine struct {
 	// segment is skipped on one counter load without touching its words.
 	dirtyBits []uint64
 	segDirty  []int64
+
+	// relax is the watermark-relax worklist (see relax.go); relax.on is
+	// false with DisableWatermarkRelax or DisableKernels.
+	relax relaxState
 
 	exec       *executor
 	sweepSegs  []execSeg // sequential phase + each comb level's kernel buckets
@@ -463,10 +490,31 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 			})
 		}
 	}
+	// Watermark relaxation needs the comb1 idle kernel, so the pre-kernel
+	// A/B shape (DisableKernels) implies the marking baseline too.
+	if !e.opts.DisableWatermarkRelax && !e.opts.DisableKernels {
+		e.relax.on = true
+		e.relax.cellFlag = make([]uint32, p.NumGates())
+		// One staging bucket per level, preallocated to the level's
+		// eligible population — cellFlag dedup guarantees a bucket can
+		// never overflow it.
+		pop := make([]int64, p.NumNetLevels)
+		for g := 0; g < p.NumGates(); g++ {
+			if p.RelaxEligible[g] {
+				pop[p.RelaxLevel[g]]++
+			}
+		}
+		e.relax.cells = make([][]netlist.CellID, p.NumNetLevels)
+		for lv := range e.relax.cells {
+			e.relax.cells[lv] = make([]netlist.CellID, pop[lv])
+		}
+		e.relax.cellLen = make([]int64, p.NumNetLevels)
+	}
 	// Everything starts dirty so the first Advance initializes constant
 	// cones (tie cells, reset trees) even before any stimulus.
 	e.markAllDirty()
 	e.exec = newExecutor(e)
+	e.relax.serial = e.exec.threads == 1
 	e.lastDirty = p.NumGates() // everything starts dirty
 	return e, nil
 }
@@ -527,21 +575,23 @@ func (e *Engine) Err() error {
 func (e *Engine) Stats() Stats {
 	ps := e.exec.pool.Stats()
 	st := Stats{
-		Sweeps:          e.stats.sweeps.Load(),
-		Visits:          e.stats.visits.Load(),
-		Queries:         e.stats.queries.Load(),
-		EventsCommitted: e.stats.events.Load(),
-		Checkpoints:     e.stats.checkpoints.Load(),
-		PoolSpawned:     ps.Spawned,
-		PoolRounds:      ps.Rounds,
-		PoolWakes:       ps.Wakes,
-		PoolParks:       ps.Parks,
-		LevelsFused:     e.stats.levelsFused.Load(),
-		SweepNS:         e.stats.sweepNS.Load(),
-		LevelNS:         e.stats.levelNS.Load(),
-		ScriptSegments:  int64(e.scriptSegs),
-		SegmentsSkipped: e.stats.segsSkipped.Load(),
-		Downgrades:      e.stats.downgrades.Load(),
+		Sweeps:              e.stats.sweeps.Load(),
+		Visits:              e.stats.visits.Load(),
+		Queries:             e.stats.queries.Load(),
+		EventsCommitted:     e.stats.events.Load(),
+		Checkpoints:         e.stats.checkpoints.Load(),
+		VisitsWatermarkOnly: e.stats.visitsWMOnly.Load(),
+		RelaxedNets:         e.stats.relaxedNets.Load(),
+		PoolSpawned:         ps.Spawned,
+		PoolRounds:          ps.Rounds,
+		PoolWakes:           ps.Wakes,
+		PoolParks:           ps.Parks,
+		LevelsFused:         e.stats.levelsFused.Load(),
+		SweepNS:             e.stats.sweepNS.Load(),
+		LevelNS:             e.stats.levelNS.Load(),
+		ScriptSegments:      int64(e.scriptSegs),
+		SegmentsSkipped:     e.stats.segsSkipped.Load(),
+		Downgrades:          e.stats.downgrades.Load(),
 	}
 	for c := range st.VisitsByKernel {
 		st.VisitsByKernel[c] = e.stats.visitsBy[c].Load()

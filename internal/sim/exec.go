@@ -242,6 +242,18 @@ func (x *executor) runSweepSerial(segs []execSeg, kind roundKind) (int64, bool) 
 	progress := false
 	for si := range segs {
 		seg := &segs[si]
+		// Boundary relax drain: before scanning a segment, settle every
+		// staged watermark move at the net levels its gates can read
+		// (NetLevel <= gate level), so the sweep's in-level cascade works
+		// through walks exactly as it did through visits; deeper stagings
+		// stay bucketed, batching later moves into one walk per gate per
+		// sweep. Single-goroutine rounds only — this is the coordinator.
+		if r := &x.e.relax; r.on && kind == roundDirty && (r.pending || x.e.anyStaged()) {
+			if _, rec := x.e.relaxPass(seg.level); rec != nil {
+				x.failed.CompareAndSwap(nil, rec)
+				break
+			}
+		}
 		if seg.script != nil && kind == roundDirty && atomic.LoadInt64(seg.dirty) == 0 {
 			x.e.stats.segsSkipped.Add(1)
 			x.e.obs.segsSkipped.Inc()
@@ -466,7 +478,11 @@ func (x *executor) runScriptChunk(kind roundKind, lvl int, seg *execSeg, lo, hi 
 				}
 				var prog bool
 				if comb1 {
+					ev0 := sc.events
 					prog = e.visitScriptComb1(op, sc)
+					if sc.events == ev0 {
+						sc.visitsWMOnly++
+					}
 				} else {
 					prog = e.visitGate(op.Gate, sc)
 				}
@@ -487,7 +503,11 @@ func (x *executor) runScriptChunk(kind roundKind, lvl int, seg *execSeg, lo, hi 
 			}
 			var prog bool
 			if comb1 {
+				ev0 := sc.events
 				prog = e.visitScriptComb1(op, sc)
+				if sc.events == ev0 {
+					sc.visitsWMOnly++
+				}
 			} else {
 				prog = e.visitGate(op.Gate, sc)
 			}
@@ -519,7 +539,7 @@ func (x *executor) runCheckpoint() {
 // from the coordinating goroutine only.
 func (x *executor) mergeStats() {
 	var visits, queries [truthtab.NumClasses]int64
-	var events int64
+	var events, wmOnly int64
 	for _, sc := range x.scratches {
 		for c := range sc.visits {
 			visits[c] += sc.visits[c]
@@ -528,6 +548,12 @@ func (x *executor) mergeStats() {
 		}
 		events += sc.events
 		sc.events = 0
+		wmOnly += sc.visitsWMOnly
+		sc.visitsWMOnly = 0
+	}
+	if wmOnly != 0 {
+		x.e.stats.visitsWMOnly.Add(wmOnly)
+		x.e.obs.visitsWMOnly.Add(wmOnly)
 	}
 	var vTotal, qTotal int64
 	for c := range visits {

@@ -6,6 +6,7 @@ import (
 	"gatesim/internal/event"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
 	"gatesim/internal/sched"
 	"gatesim/internal/truthtab"
 )
@@ -31,6 +32,14 @@ type gateState struct {
 	// base. This turns steady-state visits from O(window) into O(new work).
 	softValid bool
 	softNow   int64
+
+	// blocked records that the last visit left unconsumed input events —
+	// work only a real visit may pick up. The watermark-relax staging path
+	// reads it (from the cache line it already holds for detUntil) to keep
+	// such readers on the dirty path without re-scanning their input
+	// queues; a stale value is safe either way, because the walk-time
+	// fallback re-checks the queues themselves (relaxNeedsVisit).
+	blocked bool
 
 	// futureMin is the earliest time at which the last visit left work
 	// behind — an unconsumed input event or an uncommitted pending output
@@ -60,10 +69,13 @@ type scratch struct {
 	outs   []sched.Output
 	evIn   []int
 	// visit counters, split per kernel class and merged into Engine.stats at
-	// sweep end to avoid atomic traffic in the hot loop.
-	visits  [truthtab.NumClasses]int64
-	queries [truthtab.NumClasses]int64
-	events  int64
+	// sweep end to avoid atomic traffic in the hot loop. visitsWMOnly
+	// counts the visits that committed no events — the watermark-only share
+	// the relax pass exists to eliminate (see Stats.VisitsWatermarkOnly).
+	visits       [truthtab.NumClasses]int64
+	queries      [truthtab.NumClasses]int64
+	visitsWMOnly int64
+	events       int64
 }
 
 func newScratch(e *Engine) *scratch {
@@ -437,8 +449,61 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 // always require one; a watermark-only advance matters only to loads whose
 // determination frontier was waiting at or beyond the old watermark (wOld;
 // pass -1 when the watermark did not move).
+//
+// The frontier filter is inclusive at the boundary, matching the exclusive
+// watermark semantics (event.Queue.DeterminedUntil): a reader whose
+// detUntil equals wOld stopped at the first time the net's value was NOT
+// determined — time wOld itself — so this advance is exactly what unblocks
+// it and it must be marked. A reader with detUntil == wOld-1 stopped while
+// the net was still determined at its frontier; it is blocked on something
+// else (another input, or a pending output this net cannot finalize) and
+// the advance cannot unblock it. TestMarkLoadsBoundary pins both sides.
+//
+// With watermark relaxation on, a watermark-only advance does not dirty
+// relax-eligible readers: the net is staged on the relax worklist instead
+// and the coordinator runs their idle walk in a relax pass — at the next
+// segment boundary on a single-goroutine sweep, post-sweep otherwise (see
+// relax.go). Ineligible readers above the frontier are dirtied as before.
 func (e *Engine) markLoads(nid netlist.NetID, wOld int64, newEvents bool) {
 	p := e.p
+	if !newEvents && e.relax.on && p.NetRelax[nid] != plan.RelaxNetNone {
+		// Watermark-only move (wOld >= 0 by the call sites): one scan over
+		// the readers — the same scan the baseline mark loop paid — staging
+		// each eligible waiting reader for a relax walk and marking the
+		// rest. Nets with no eligible reader at all (NetRelax) skip the
+		// branch and keep the baseline loop below.
+		if e.relax.serial {
+			for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
+				cell := p.FanCell[k]
+				g := &e.gate[cell]
+				if g.detUntil.Load() < wOld {
+					continue
+				}
+				// g.blocked rides the cache line the frontier check just
+				// loaded: a reader whose last visit left unconsumed input
+				// events needs a real visit — marking it here keeps the
+				// event cascade in-sweep, exactly the baseline's timing.
+				if !p.RelaxEligible[cell] || g.blocked {
+					e.markDirty(cell)
+					continue
+				}
+				e.stageRelaxSerial(cell)
+			}
+		} else {
+			for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
+				cell := p.FanCell[k]
+				if e.gate[cell].detUntil.Load() < wOld {
+					continue
+				}
+				if p.RelaxEligible[cell] {
+					e.stageRelax(cell)
+				} else {
+					e.markDirty(cell)
+				}
+			}
+		}
+		return
+	}
 	for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
 		cell := p.FanCell[k]
 		if newEvents || (wOld >= 0 && e.gate[cell].detUntil.Load() >= wOld) {

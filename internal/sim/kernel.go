@@ -18,9 +18,16 @@ var kernelVisit = [truthtab.NumClasses]func(*Engine, netlist.CellID, *scratch) b
 	truthtab.ClassComb1: (*Engine).visitComb1,
 }
 
-// visitGate dispatches one gate visit to its class kernel.
+// visitGate dispatches one gate visit to its class kernel. A visit that
+// commits no events only moved watermarks (or did nothing at all); those are
+// tallied separately so the relax pass's win is measurable.
 func (e *Engine) visitGate(id netlist.CellID, sc *scratch) bool {
-	return kernelVisit[e.kern[id]](e, id, sc)
+	ev0 := sc.events
+	r := kernelVisit[e.kern[id]](e, id, sc)
+	if sc.events == ev0 {
+		sc.visitsWMOnly++
+	}
+	return r
 }
 
 // visitComb1 is the ClassComb1 kernel: the straight-line replay loop for a
@@ -202,14 +209,17 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 	if te, ok := out.NextPending(); ok {
 		futureMin = te
 	}
+	blocked := false
 	for i := 0; i < ni; i++ {
 		if sc.cur[i].Idx < inQ[i].Len() {
+			blocked = true
 			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
 				futureMin = et
 			}
 		}
 	}
 	g.futureMin = futureMin
+	g.blocked = blocked
 
 	// Save the soft snapshot for the next visit.
 	g.softNow = now

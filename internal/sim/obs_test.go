@@ -210,6 +210,41 @@ func TestSerialTraceHasLevelSpans(t *testing.T) {
 	}
 }
 
+// TestWatermarkGaugeOnAdvancePath pins the fix for the sim.watermark_ps
+// gauge only ever being set on the stream path (emitSliceCounters): the
+// plain Advance/Finish run paths must keep it live too, updated at sweep
+// boundaries.
+func TestWatermarkGaugeOnAdvancePath(t *testing.T) {
+	d, err := gen.Build(smallSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e, err := New(d.Netlist, testLib, gen.Delays(d, 7), Options{Mode: ModeSerial, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 10, ActivityFactor: 0.7, Seed: 11, ScanBurst: 5})
+	for _, c := range toChanges(stim) {
+		if err := e.Inject(c.Net, c.Time, c.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Advance(4000); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["sim.watermark_ps"]; got <= 0 {
+		t.Fatalf("sim.watermark_ps gauge = %d after Advance; never set on the non-stream path", got)
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Gauges["sim.watermark_ps"]; got != TimeInf {
+		t.Fatalf("sim.watermark_ps gauge = %d after Finish, want TimeInf", got)
+	}
+}
+
 // TestDisabledObsZeroAllocAdvance is the overhead guard for the disabled
 // path at the sweep level: with no Metrics and no Trace attached, a
 // converged engine's Advance — which still runs one full dirty-scan sweep

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"runtime/debug"
+	"sync/atomic"
+
+	"gatesim/internal/netlist"
+)
+
+// Batched watermark relaxation: advancing determination frontiers through
+// quiet fanout clouds without gate visits.
+//
+// When a net's watermark moves but the visit committed no new events, the
+// only thing a waiting reader would do with a visit is re-run its idle
+// expiry walk (idleComb1). Instead of dirtying every such reader — which is
+// what made quiet fanout clouds re-visit themselves once per level per
+// sweep — markLoads stages the reader on a relax worklist and the engine
+// runs the idle walk directly in a drain pass, propagating transitively in
+// net-topological order. One drain relaxes a whole quiet cloud; the sweep
+// machinery never schedules it.
+//
+// Eligibility and fallback. A reader is relaxed only when the walk is the
+// whole visit: plan.RelaxEligible (ClassComb1 — single output, zero state,
+// no edge pins, packed LUT) and, at walk time, a valid soft snapshot with
+// no unconsumed input events. Anything else — seq kernels, never-visited
+// gates, gates with events in flight — falls back to a normal dirty mark,
+// exactly the set the baseline would have marked (the detUntil >= wOld
+// frontier filter is applied at staging time on both paths), so committed
+// event streams stay bit-identical to Options.DisableWatermarkRelax by
+// sweep confluence.
+//
+// Worklist protocol. The worklist stages gates, not nets: markLoads scans a
+// moving net's readers once — the same scan the baseline's mark loop paid —
+// and files each eligible waiting reader into a per-level bucket
+// (plan.RelaxLevel, its output net's depth), deduped through cellFlag so a
+// gate whose inputs move several times in a sweep walks once, with every
+// accumulated move batched. Buckets are preallocated to the level's
+// eligible population, so a pooled worker stages with one CAS and one
+// fetch-add; a single-goroutine sweep stages with plain stores and triages
+// through the gate's blocked flag (set by its last visit, on the cache line
+// the frontier filter already loaded): a reader whose last visit left
+// unconsumed input events is marked for a real visit instead, keeping the
+// event cascade in-sweep.
+//
+// Drain order. The pass processes buckets in increasing level, so every
+// input of a walked gate has already settled; a walk's own watermark move
+// restages readers at strictly higher levels (the eligible subgraph is a
+// DAG — feedback runs through sequential cells, which always fall back),
+// picked up later in the same pass.
+//
+// Placement. Watermark moves are the bridge that lets an event wave travel
+// several levels inside one sweep: a level-L move wakes level L+1, whose
+// visit wakes L+2, within the same segment scan. Deferring all walks to a
+// single post-sweep pass breaks that bridge — each cascade hop costs a full
+// extra sweep — so a single-goroutine sweep drains the worklist at every
+// segment boundary instead, bounded by the segment's level: only the nets
+// the upcoming segment can read (NetLevel <= segment level) are settled,
+// and deeper stagings stay bucketed so a gate whose inputs move at several
+// lower levels still walks exactly once per sweep — the pass analogue of
+// the baseline's one dirty visit per sweep. A full post-sweep pass (still
+// inside each converge iteration, before the exit checks) drains what the
+// last segments staged, so the iteration count of the baseline is
+// preserved. The exit conditions account for the pass: a fallback dirty
+// mark means another sweep is owed, and events the pass commits count
+// against the creep-stop's events delta. Pooled sweeps cannot drain
+// mid-sweep (the coordinator owns the pass) and rely on the post-sweep
+// placement alone.
+//
+// Exit safety. The post-sweep drain leaves every bucket empty at every exit
+// check (walk restages land above the level being processed and are reached
+// by the same monotone loop), so converge can never return with a live
+// entry it owed this horizon. The only entries alive outside converge are
+// the ones AdvanceCtx stages for primary-input watermark moves; on a
+// single-goroutine engine the first sweep's boundary drains pick each level
+// up just before the first segment that can read it — one walk covers the
+// stimulus move and the in-sweep cascade alike — while a pooled engine
+// drains them with one full pass before its first sweep.
+
+// relaxState is the engine's watermark-relax worklist. All slices are
+// preallocated at construction; the zero value (relax disabled) keeps every
+// field nil.
+type relaxState struct {
+	on bool
+	// serial is set when sweeps run on a single goroutine: staging may then
+	// use plain stores and read a reader's visit-owned state (dirty bit,
+	// soft snapshot) for the skip/triage checks a concurrent worker cannot
+	// make safely.
+	serial bool
+	// cellFlag[g] != 0 marks gate g staged; the 0->1 transition (CAS under
+	// workers) wins the right to file it. Cleared by the drain.
+	cellFlag []uint32
+	// cells/cellLen are the per-level staging buckets, indexed by
+	// plan.RelaxLevel. Each bucket's backing array holds the level's whole
+	// eligible population, so an append is an index store — never a grow.
+	// cellLen is advanced with atomic adds under workers, plain otherwise.
+	cells   [][]netlist.CellID
+	cellLen []int64
+	// pending records that a level-bounded drain left staged work above its
+	// bound, so the next pass must run even though lower levels look empty.
+	// Coordinator-only.
+	pending bool
+	// draining is set by the coordinator around relaxPass; while set,
+	// markDirty counts every mark in passDirty — fallback marks and marks
+	// from events the pass commits alike: work the pass owes the next
+	// sweep, which converge's exit conditions must see. Workers never run
+	// while it is set (the pool round has joined), so both fields are plain.
+	draining  bool
+	passDirty int64
+}
+
+// relaxNeedsVisit reports whether an eligible reader cannot be advanced by
+// an idle expiry walk right now: it has never been visited (no soft
+// snapshot), or input events are waiting that only a real visit may
+// consume. Reads the gate's visit-owned soft state, so callers must hold
+// single-threaded access to the gate — the coordinator mid-drain, or any
+// code on a single-goroutine sweep.
+func (e *Engine) relaxNeedsVisit(cell netlist.CellID) bool {
+	if !e.gate[cell].softValid {
+		return true
+	}
+	inB := int(e.p.InOff[cell])
+	ni := int(e.p.InOff[cell+1]) - inB
+	for i := 0; i < ni; i++ {
+		if e.softCur[inB+i] < e.inQ[inB+i].Len() {
+			return true
+		}
+	}
+	return false
+}
+
+// isDirty reports whether the gate's dirty mark is already set. Requires
+// single-threaded access — a single-goroutine engine, or the coordinator
+// once the pool round has joined — because the unsynchronized read is only
+// meaningful when no claimer can clear the bit concurrently.
+func (e *Engine) isDirty(cell netlist.CellID) bool {
+	if e.dirtyBits == nil {
+		return e.gate[cell].dirty.Load()
+	}
+	bit := e.p.BitOf[cell]
+	return e.dirtyBits[bit>>6]&(uint64(1)<<(uint(bit)&63)) != 0
+}
+
+// stageRelaxSerial stages one eligible waiting reader on a single-goroutine
+// engine: plain flag store and bucket append, no atomics. The caller has
+// already triaged blocked readers via the gate's blocked flag; a staging
+// that goes stale anyway (an event mark after staging) is resolved by the
+// walk-time checks.
+func (e *Engine) stageRelaxSerial(cell netlist.CellID) {
+	r := &e.relax
+	if r.cellFlag[cell] != 0 {
+		return
+	}
+	r.cellFlag[cell] = 1
+	lv := e.p.RelaxLevel[cell]
+	r.cells[lv][r.cellLen[lv]] = cell
+	r.cellLen[lv]++
+	r.pending = true
+}
+
+// stageRelax stages one eligible waiting reader from a pool worker: CAS the
+// flag, fetch-add the level cursor. No soft-state triage — a worker cannot
+// read another gate's visit-owned state — so stale stagings (gates that
+// turn out to need a visit) are resolved by the walk-time fallback.
+func (e *Engine) stageRelax(cell netlist.CellID) {
+	r := &e.relax
+	if !atomic.CompareAndSwapUint32(&r.cellFlag[cell], 0, 1) {
+		return
+	}
+	lv := e.p.RelaxLevel[cell]
+	n := atomic.AddInt64(&r.cellLen[lv], 1) - 1
+	r.cells[lv][n] = cell
+}
+
+// relaxAllLevels asks relaxPass to drain every net level.
+const relaxAllLevels = int(^uint(0) >> 1)
+
+// relaxPass drains the staged buckets in one monotone walk up the levels,
+// stopping after maxLv (relaxAllLevels drains everything; a single-
+// goroutine sweep passes the upcoming segment's level so only the nets that
+// segment can read are settled, leaving deeper stagings to batch further
+// moves). Walk restages land at strictly higher levels and are reached by
+// the same loop. Coordinator-only, after each sweep's pool round has
+// joined. Returns the number of dirty marks the pass made — work it owes
+// another sweep — and, for a panic inside gate code (the GateHook chaos
+// path included), a containment record for the engine to poison on, like a
+// sweep panic.
+func (e *Engine) relaxPass(maxLv int) (dirtied int64, rec *panicRecord) {
+	r := &e.relax
+	if !r.pending && !e.anyStaged() {
+		return 0, nil
+	}
+	cur := netlist.CellID(-1)
+	r.draining = true
+	r.passDirty = 0
+	defer func() {
+		r.draining = false
+		if v := recover(); v != nil {
+			rec = &panicRecord{value: v, stack: debug.Stack(), gate: cur, seg: -1}
+		}
+	}()
+	sc := e.exec.scratches[0]
+	var walked int64
+	top := len(r.cells) - 1
+	if maxLv < top {
+		top = maxLv
+	}
+	for lv := 0; lv <= top; lv++ {
+		// cellLen[lv] is fixed while the level runs: walks only restage
+		// readers of their output net, which sit strictly above lv.
+		n := r.cellLen[lv]
+		for i := int64(0); i < n; i++ {
+			cell := r.cells[lv][i]
+			r.cellFlag[cell] = 0
+			e.relaxCell(cell, &cur, sc)
+		}
+		r.cellLen[lv] = 0
+		walked += n
+	}
+	r.pending = false
+	for lv := top + 1; lv < len(r.cells); lv++ {
+		if r.cellLen[lv] > 0 {
+			r.pending = true
+			break
+		}
+	}
+	e.stats.relaxedNets.Add(walked)
+	e.obs.relaxedNets.Add(walked)
+	e.exec.mergeStats()
+	return r.passDirty, nil
+}
+
+// anyStaged reports whether any bucket holds work. Coordinator-only (plain
+// reads are safe once the pool round has joined).
+func (e *Engine) anyStaged() bool {
+	for _, n := range e.relax.cellLen {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// relaxCell runs one staged reader's idle expiry walk — committing any
+// soft-pending transitions the advancing frontiers finalize and restaging
+// its output net's readers when the watermark moved. A reader that turns
+// out to need a real visit after all (no soft snapshot yet, or input events
+// committed by a lower-level walk in this same pass, or a pooled staging
+// that raced a visit) falls back to a dirty mark; the check happens at walk
+// time, after every lower level settled, so it sees the pass's own commits.
+func (e *Engine) relaxCell(cell netlist.CellID, cur *netlist.CellID, sc *scratch) {
+	p := e.p
+	if e.isDirty(cell) {
+		// Already owed a visit (an event mark landed after staging); the
+		// visit reads the live queues, covering this move too.
+		return
+	}
+	if e.relaxNeedsVisit(cell) {
+		e.markDirty(cell)
+		return
+	}
+	*cur = cell
+	if hook := e.opts.GateHook; hook != nil {
+		hook(cell)
+	}
+	if e.dirtyBits != nil {
+		// Compiled schedule: run the walk from the gate's script
+		// instruction — same pre-gathered operands the sweep uses, so the
+		// pass pays no per-gate plan lookups either.
+		sp := &p.Scripts[p.SegOf[cell]]
+		e.idleScriptComb1(&sp.Ops[p.BitOf[cell]-sp.BitOff], sc)
+	} else {
+		e.idleComb1(cell, sc)
+	}
+	*cur = -1
+}
+
+// resetRelax empties the worklist (snapshot restore: the staged state
+// belongs to the replaced world; markAllDirty re-derives everything).
+func (e *Engine) resetRelax() {
+	r := &e.relax
+	if !r.on {
+		return
+	}
+	for lv := range r.cells {
+		n := r.cellLen[lv]
+		for _, cell := range r.cells[lv][:n] {
+			r.cellFlag[cell] = 0
+		}
+		r.cellLen[lv] = 0
+	}
+	r.pending = false
+}

@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/plan"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sdf"
+)
+
+// runCollectSliced is runCollect with the advance split into horizon slices,
+// the way RunStream drives the engine. The slicing is what exercises the
+// watermark-relax machinery: each Advance past the injected events moves
+// primary-input watermarks with no new events, and quiet comb clouds
+// downstream must relax rather than re-visit.
+func runCollectSliced(t *testing.T, p *plan.Plan, stim []gen.Change, opts Options, slice, end int64) map[netlist.NetID][]event.Event {
+	t.Helper()
+	e, err := NewFromPlan(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := slice; h < end; h += slice {
+		if err := e.Advance(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return collectEngine(e)
+}
+
+// TestRelaxMixedEquivalence checks, on the mixed-kernel fixture under sliced
+// advances, that the relax-enabled engine matches both the reference
+// simulator and the bit-exact A/B baseline (DisableWatermarkRelax) across
+// all execution modes, with and without compiled scripts.
+func TestRelaxMixedEquivalence(t *testing.T) {
+	force4Procs(t)
+	nl, delays := mixedKernelDesign(t)
+	p, err := plan.Build(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := mixedKernelStim(nl, t)
+
+	ref, err := refsim.NewFromPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refsim.Collect{}
+	rstim := make([]refsim.Stim, len(stim))
+	for i, s := range stim {
+		rstim[i] = refsim.Stim{Net: s.Net, Time: s.Time, Val: s.Val}
+	}
+	if err := ref.Run(rstim, want.Add); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []Mode{ModeSerial, ModeParallel, ModeManycore} {
+		for _, scripts := range []bool{false, true} {
+			opts := pooledOpts(mode)
+			opts.DisableScripts = !scripts
+			relaxed := runCollectSliced(t, p, stim, opts, 2000, 30000)
+			label := fmt.Sprintf("mode=%v scripts=%v", mode, scripts)
+			diffStreams(t, nl, want, relaxed, label+" relax vs refsim")
+
+			opts.DisableWatermarkRelax = true
+			baseline := runCollectSliced(t, p, stim, opts, 2000, 30000)
+			diffStreams(t, nl, relaxed, baseline, label+" relax vs disabled")
+		}
+	}
+}
+
+// TestRelaxGeneratedEquivalence repeats the relax-on/off stream comparison
+// on larger generated designs (FFs, latches, scan chains, clock gates, deep
+// comb clouds) across seeds, under sliced advances.
+func TestRelaxGeneratedEquivalence(t *testing.T) {
+	force4Procs(t)
+	for seed := int64(0); seed < 3; seed++ {
+		d, err := gen.Build(smallSpec(seed + 900))
+		if err != nil {
+			t.Fatal(err)
+		}
+		delays := gen.Delays(d, 7)
+		p, err := plan.Build(d.Netlist, testLib, delays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.7, Seed: seed, ScanBurst: 5})
+		for _, mode := range []Mode{ModeSerial, ModeParallel} {
+			opts := pooledOpts(mode)
+			relaxed := runCollectSliced(t, p, stim, opts, 4000, 48000)
+			opts.DisableWatermarkRelax = true
+			baseline := runCollectSliced(t, p, stim, opts, 4000, 48000)
+			diffStreams(t, d.Netlist, relaxed, baseline, fmt.Sprintf("seed=%d mode=%v relax vs disabled", seed, mode))
+		}
+	}
+}
+
+// relaxBoundaryFixture builds a fanout-2 net for the markLoads boundary
+// test: i0 -> inv0 -> n0, with n0 read by two further inverters.
+func relaxBoundaryFixture(t *testing.T) (*netlist.Netlist, *sdf.Delays) {
+	t.Helper()
+	lib := liberty.MustBuiltin()
+	nl := netlist.New("boundary", lib)
+	if err := nl.MarkInput(nl.AddNet("i0")); err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range [][3]string{
+		{"inv0", "i0", "n0"},
+		{"invA", "n0", "ya"},
+		{"invB", "n0", "yb"},
+	} {
+		if _, err := nl.AddInstance(inst[0], "INV", map[string]string{"A": inst[1], "Y": inst[2]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nl, sdf.Uniform(nl, 10)
+}
+
+// cellByName resolves an instance name to its CellID.
+func cellByName(t *testing.T, nl *netlist.Netlist, name string) netlist.CellID {
+	t.Helper()
+	for i := range nl.Instances {
+		if nl.Instances[i].Name == name {
+			return netlist.CellID(i)
+		}
+	}
+	t.Fatalf("instance %s missing", name)
+	return -1
+}
+
+// TestMarkLoadsBoundary pins the wakeup boundary of a watermark-only
+// advance against DeterminedUntil's exclusive semantics (event/queue.go): a
+// reader whose determination frontier sits exactly at the old watermark was
+// blocked on precisely the first newly-determined instant and must be
+// marked; a reader one below it was stalled on something else and must not
+// be. The same boundary governs the relax path's staging filter.
+func TestMarkLoadsBoundary(t *testing.T) {
+	nl, delays := relaxBoundaryFixture(t)
+	p, err := plan.Build(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0, ok := nl.Net("n0")
+	if !ok {
+		t.Fatal("net n0 missing")
+	}
+
+	// Flag-based marks (DisableScripts) so the dirty state is directly
+	// observable; relax disabled to exercise the baseline branch.
+	e, err := NewFromPlan(p, Options{Mode: ModeSerial, DisableScripts: true, DisableWatermarkRelax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	invA, invB := cellByName(t, nl, "invA"), cellByName(t, nl, "invB")
+
+	const wOld = 100
+	setup := func() {
+		for _, c := range []netlist.CellID{invA, invB} {
+			e.gate[c].dirty.Store(false)
+		}
+		e.gate[invA].detUntil.Store(wOld)     // waiting exactly at the old watermark
+		e.gate[invB].detUntil.Store(wOld - 1) // stalled below it, on something else
+	}
+
+	setup()
+	e.markLoads(n0, wOld, false)
+	if !e.gate[invA].dirty.Load() {
+		t.Error("reader with detUntil == wOld not marked by a watermark-only advance")
+	}
+	if e.gate[invB].dirty.Load() {
+		t.Error("reader with detUntil == wOld-1 marked by a watermark-only advance")
+	}
+
+	// New events wake every reader regardless of frontier.
+	setup()
+	e.markLoads(n0, wOld, true)
+	if !e.gate[invA].dirty.Load() || !e.gate[invB].dirty.Load() {
+		t.Error("new events must mark every reader")
+	}
+
+	// The relax path applies the same boundary when staging: an eligible
+	// reader at the boundary is staged for a walk; a reader below it
+	// contributes nothing; restaging is deduped by cellFlag. The engine is
+	// run to completion first so the readers hold a quiet soft snapshot —
+	// a reader that still needs a real visit is marked, not staged.
+	r, err := NewFromPlan(p, Options{Mode: ModeSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.relax.on {
+		t.Fatal("relax not armed on a default engine")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	staged := func() (n int64) {
+		for _, l := range r.relax.cellLen {
+			n += l
+		}
+		return n
+	}
+	rA, rB := cellByName(t, nl, "invA"), cellByName(t, nl, "invB")
+	r.gate[rA].detUntil.Store(wOld)
+	r.gate[rB].detUntil.Store(wOld - 1)
+	r.markLoads(n0, wOld, false)
+	if got := staged(); got != 1 {
+		t.Fatalf("staged cells = %d after one watermark-only advance, want 1", got)
+	}
+	if r.relax.cellFlag[rA] == 0 {
+		t.Error("reader with detUntil == wOld not staged by a watermark-only advance")
+	}
+	if r.relax.cellFlag[rB] != 0 {
+		t.Error("reader with detUntil == wOld-1 staged by a watermark-only advance")
+	}
+	r.markLoads(n0, wOld+5, false)
+	if got := staged(); got != 1 {
+		t.Fatalf("staged cells = %d after duplicate staging, want 1 (cellFlag dedup)", got)
+	}
+}
+
+// TestRelaxCounters checks the new observability: RelaxedNets counts drained
+// worklist entries, VisitsWatermarkOnly counts visits that committed no
+// events, the obs counters mirror the Stats fields, and the A/B switch
+// really turns the pass off.
+func TestRelaxCounters(t *testing.T) {
+	nl, delays := mixedKernelDesign(t)
+	p, err := plan.Build(nl, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := mixedKernelStim(nl, t)
+
+	reg := obs.NewRegistry()
+	e, err := NewFromPlan(p, Options{Mode: ModeSerial, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for _, s := range stim {
+		if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := int64(2000); h < 30000; h += 2000 {
+		if err := e.Advance(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.RelaxedNets == 0 {
+		t.Error("sliced run relaxed no nets; the pass never engaged")
+	}
+	if st.VisitsWatermarkOnly == 0 {
+		t.Error("no watermark-only visits counted")
+	}
+	if st.VisitsWatermarkOnly > st.Visits {
+		t.Errorf("VisitsWatermarkOnly %d exceeds Visits %d", st.VisitsWatermarkOnly, st.Visits)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["sim.relax_nets"]; got != st.RelaxedNets {
+		t.Errorf("sim.relax_nets counter = %d, Stats = %d", got, st.RelaxedNets)
+	}
+	if got := snap.Counters["sim.visits_watermark_only"]; got != st.VisitsWatermarkOnly {
+		t.Errorf("sim.visits_watermark_only counter = %d, Stats = %d", got, st.VisitsWatermarkOnly)
+	}
+
+	off, err := NewFromPlan(p, Options{Mode: ModeSerial, DisableWatermarkRelax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	for _, s := range stim {
+		if err := off.Inject(s.Net, s.Time, s.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := off.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Stats().RelaxedNets; got != 0 {
+		t.Errorf("DisableWatermarkRelax still relaxed %d nets", got)
+	}
+}
+
+// TestRelaxSegmentSkipNoLostWakeup is the clean-segment interplay proof: a
+// script segment skipped on a zero dirty population must never strand a
+// pending relax entry. Multi-slice pooled and manycore runs on a generated
+// design must both relax nets and (on the dirty-filtered path) skip
+// segments, while the committed streams stay identical to the relax-off
+// baseline — a stranded wakeup would leave a frontier behind and diverge.
+// Run under -race via scripts/check.sh.
+func TestRelaxSegmentSkipNoLostWakeup(t *testing.T) {
+	force4Procs(t)
+	d, err := gen.Build(smallSpec(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, 7)
+	p, err := plan.Build(d.Netlist, testLib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 20, ActivityFactor: 0.5, Seed: 9, ScanBurst: 5})
+
+	baseOpts := pooledOpts(ModeParallel)
+	baseOpts.DisableWatermarkRelax = true
+	baseline := runCollectSliced(t, p, stim, baseOpts, 4000, 48000)
+
+	for _, mode := range []Mode{ModeParallel, ModeManycore} {
+		opts := pooledOpts(mode)
+		e, err := NewFromPlan(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range stim {
+			if err := e.Inject(s.Net, s.Time, s.Val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for h := int64(4000); h < 48000; h += 4000 {
+			if err := e.Advance(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		st := e.Stats()
+		if st.RelaxedNets == 0 {
+			t.Errorf("mode=%v: no nets relaxed; fixture does not exercise the interplay", mode)
+		}
+		// Only dirty-filtered rounds skip clean segments; the oblivious
+		// manycore scan visits everything.
+		if mode == ModeParallel && st.SegmentsSkipped == 0 {
+			t.Error("pooled run skipped no segments; fixture does not exercise the interplay")
+		}
+		diffStreams(t, d.Netlist, baseline, collectEngine(e), fmt.Sprintf("mode=%v relax+skips vs baseline", mode))
+		for nid := range d.Netlist.Nets {
+			if w := e.Events(netlist.NetID(nid)).DeterminedUntil(); w != TimeInf {
+				t.Fatalf("mode=%v: net %s watermark %d after Finish; a wakeup was lost", mode, d.Netlist.Nets[nid].Name, w)
+			}
+		}
+		e.Close()
+	}
+}
+
+// FuzzWatermarkRelax builds random comb1-only netlists and checks the
+// relax-enabled engine against the DisableWatermarkRelax baseline under
+// sliced advances: the committed event streams must be byte-identical.
+func FuzzWatermarkRelax(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 0, 5})
+	f.Add([]byte{1, 4, 1, 7, 2, 9, 0, 2, 1, 3, 2, 8, 0, 1, 1, 6})
+	f.Add(bytes.Repeat([]byte{2, 5, 0, 3}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip("not enough bytes for a gate")
+		}
+		nl, err := fuzzCombNetlist(data)
+		if err != nil {
+			t.Skip(err)
+		}
+		p, err := plan.Build(nl, testLib, sdf.Uniform(nl, int64(1+data[0]%9)))
+		if err != nil {
+			t.Skip(err)
+		}
+		var stim []gen.Change
+		for i := 0; i < 3; i++ {
+			nid, ok := nl.Net(fmt.Sprintf("i%d", i))
+			if !ok {
+				t.Fatalf("input i%d missing", i)
+			}
+			step := int64(200 + 100*int(data[i%len(data)]%7))
+			for c := int64(0); c < 8; c++ {
+				stim = append(stim, gen.Change{Net: nid, Time: 500 + int64(i)*130 + c*step, Val: logic.Value(c % 2)})
+			}
+		}
+		slice := int64(700 + 300*int(data[len(data)-1]%5))
+		relaxed := runCollectSliced(t, p, stim, Options{Mode: ModeSerial}, slice, 12000)
+		baseline := runCollectSliced(t, p, stim, Options{Mode: ModeSerial, DisableWatermarkRelax: true}, slice, 12000)
+		diffStreams(t, nl, relaxed, baseline, "fuzz relax vs disabled")
+	})
+}

@@ -73,9 +73,13 @@ func (e *Engine) AdvanceCtx(ctx context.Context, horizon int64) error {
 			w = lt + 1
 		}
 		if q.DeterminedUntil() < w {
+			// A pure watermark advance: any injected events already marked
+			// their loads at Append time (Inject above), so this is the
+			// no-new-events case — readers with unconsumed input events fall
+			// back to dirty marks inside the relax machinery.
 			wOld := q.DeterminedUntil()
 			q.SetDeterminedUntil(w)
-			e.markLoads(netlist.NetID(nid), wOld, true)
+			e.markLoads(netlist.NetID(nid), wOld, false)
 		}
 	}
 	return e.converge(ctx, horizon)
@@ -112,6 +116,17 @@ func (e *Engine) FinishCtx(ctx context.Context) error { return e.AdvanceCtx(ctx,
 func (e *Engine) converge(ctx context.Context, horizon int64) error {
 	oblivious := e.mode == ModeManycore
 	jumped := false
+	// Entries staged outside the sweep loop — AdvanceCtx's primary-input
+	// watermark moves — are picked up by the first sweep's segment-boundary
+	// drains on a single-goroutine engine, each level just before the first
+	// segment that can read it, so one walk there covers the stimulus move
+	// and the in-sweep cascade alike. A pooled engine has no boundary
+	// drains and drains the staging up front instead.
+	if !e.relax.serial {
+		if _, rec := e.relaxPass(relaxAllLevels); rec != nil {
+			return e.poisonFromPanic("advance", rec)
+		}
+	}
 	for sweep := 0; sweep < e.opts.MaxSweeps; sweep++ {
 		// Cancellation is honored at sweep boundaries only: a sweep is the
 		// unit of consistency (events commit, dirty flags settle), so
@@ -145,21 +160,38 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 		if !oblivious {
 			e.lastDirty = int(processed)
 		}
+		if rec := e.exec.takeFailure(); rec != nil {
+			e.obs.trace.End(e.obs.tid)
+			return e.poisonFromPanic("advance", rec)
+		}
+
+		// Post-sweep relax pass: drains what the sweep's last segments staged
+		// (single-goroutine sweeps already drained at every earlier segment
+		// boundary; pooled sweeps staged everything, since only the
+		// coordinator may walk). Fallback dirty marks are work owed to the
+		// next sweep; events the pass commits count against the creep-stop's
+		// events delta below.
+		passDirtied, rec := e.relaxPass(relaxAllLevels)
+		if rec != nil {
+			e.obs.trace.End(e.obs.tid)
+			return e.poisonFromPanic("advance", rec)
+		}
+		done := processed == 0
+		if oblivious {
+			done = !progress
+		}
+		if done && !oblivious {
+			e.lastDirty = int(passDirtied)
+		}
+
 		sweepNS := time.Since(sweepStart).Nanoseconds()
 		e.stats.sweepNS.Add(sweepNS)
 		e.obs.sweepNS.Observe(sweepNS)
 		e.obs.trace.End(e.obs.tid)
 		e.obs.trace.Count("sim.events_committed", e.stats.events.Load())
+		e.updateWatermarkGauge()
 
-		if rec := e.exec.takeFailure(); rec != nil {
-			return e.poisonFromPanic("advance", rec)
-		}
-
-		if oblivious {
-			if !progress {
-				return nil
-			}
-		} else if processed == 0 {
+		if done && passDirtied == 0 {
 			return nil
 		}
 
@@ -179,6 +211,9 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 					e.queues[nid].SetDeterminedUntil(TimeInf)
 				}
 			}
+			// The jump just rewrote every watermark; the sample taken after
+			// the sweep is stale.
+			e.updateWatermarkGauge()
 			return nil
 		}
 	}
@@ -191,6 +226,36 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 		Cause:       fmt.Errorf("%w (%d sweeps)", ErrNoConvergence, e.opts.MaxSweeps),
 		Oscillation: e.oscillationReport(horizon, e.opts.MaxSweeps),
 	}
+}
+
+// updateWatermarkGauge samples the design's watermark frontier into the
+// sim.watermark_ps gauge (and the trace counter track when tracing). Called
+// at every sweep boundary so the gauge is live on the Advance/Finish run
+// paths, not only at stream slice boundaries (emitSliceCounters). The
+// frontier is the minimum watermark over the primary outputs — the
+// externally meaningful "how far has the run got" measure — falling back to
+// all nets when the netlist declares no output ports. The scan is skipped
+// entirely when nothing observes it.
+func (e *Engine) updateWatermarkGauge() {
+	if e.obs.watermark == nil && e.obs.trace == nil {
+		return
+	}
+	w := int64(TimeInf)
+	if len(e.nl.PortsOut) > 0 {
+		for _, nid := range e.nl.PortsOut {
+			if d := e.queues[nid].DeterminedUntil(); d < w {
+				w = d
+			}
+		}
+	} else {
+		for nid := range e.queues {
+			if d := e.queues[nid].DeterminedUntil(); d < w {
+				w = d
+			}
+		}
+	}
+	e.obs.watermark.Set(w)
+	e.obs.trace.Count("sim.watermark_ps", w)
 }
 
 // quiescentBelow reports whether no gate can ever produce an event below

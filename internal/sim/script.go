@@ -41,8 +41,13 @@ func orUint64(addr *uint64, mask uint64) uint64 {
 
 // markDirty marks one gate for the next scan: the per-gate flag on the
 // interpreted schedule, the gate's bitset bit (plus the owning segment's
-// population count on a 0→1 transition) on the compiled one.
+// population count on a 0→1 transition) on the compiled one. Marks made
+// while the relax pass is draining are tallied so converge knows the pass
+// owes the next sweep work (see relaxState.draining).
 func (e *Engine) markDirty(cell netlist.CellID) {
+	if e.relax.draining {
+		e.relax.passDirty++
+	}
 	if e.dirtyBits == nil {
 		g := &e.gate[cell]
 		if !g.dirty.Load() {
@@ -235,14 +240,17 @@ func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 	if te, ok := out.NextPending(); ok {
 		futureMin = te
 	}
+	blocked := false
 	for i := 0; i < ni; i++ {
 		if sc.cur[i].Idx < inQ[i].Len() {
+			blocked = true
 			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
 				futureMin = et
 			}
 		}
 	}
 	g.futureMin = futureMin
+	g.blocked = blocked
 
 	// Save the soft snapshot for the next visit.
 	g.softNow = now

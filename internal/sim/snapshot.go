@@ -125,7 +125,9 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		g.detUntil.Store(0)
 	}
 	// Re-mark everything (flags and, with scripts on, the dirty bitset) so
-	// the first sweep after the restore rebuilds every soft snapshot.
+	// the first sweep after the restore rebuilds every soft snapshot. Staged
+	// relax entries belong to the replaced world: drop them.
+	e.resetRelax()
 	e.markAllDirty()
 	e.lastDirty = len(e.gate)
 	for i := range e.queues {

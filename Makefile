@@ -1,4 +1,4 @@
-.PHONY: check build test bench bench-smoke bench-compare fmt fuzz
+.PHONY: check build test bench bench-smoke bench-compare serve-smoke fmt fuzz
 
 check:
 	./scripts/check.sh
@@ -26,6 +26,12 @@ bench-smoke:
 # scripts/bench_compare.sh and cmd/benchcmp).
 bench-compare:
 	./scripts/bench_compare.sh
+
+# End-to-end smoke of the resident server: build glsimd, serve, run
+# overlapping client sessions from two presets, SIGTERM, require a clean
+# drain (see scripts/serve_smoke.sh). check.sh runs this too.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w .

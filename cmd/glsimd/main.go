@@ -1,0 +1,191 @@
+// glsimd is the resident simulation server: it keeps lowered plans in a
+// content-addressed cache and runs concurrent streamed sessions against
+// them over an NDJSON HTTP API (see internal/serve).
+//
+// Server mode:
+//
+//	glsimd [-addr :7473] [-debug-addr :6060] [-plan-cache N]
+//	       [-max-concurrent N] [-rate R] [-burst N] [-queue N]
+//	       [-queue-timeout D] [-drain-timeout D] [-snapshot-every N]
+//	       [-max-retries N] [-default-deadline D]
+//
+// SIGTERM/SIGINT drains gracefully: in-flight sessions finish (within
+// -drain-timeout), new arrivals get 503, then the process exits 0.
+//
+// Client mode (for scripts and smoke tests — POSTs one session and streams
+// its NDJSON to stdout, exiting non-zero if the stream ends in an error):
+//
+//	glsimd -client http://127.0.0.1:7473 -preset aes128 [-seed N]
+//	       [-cycles N] [-scale F] [-mode auto|serial|parallel|manycore]
+//	       [-threads N] [-slice PS]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gatesim/internal/obs"
+	"gatesim/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7473", "HTTP listen address (host-less addr binds all interfaces)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/metrics, expvar and pprof on this address")
+		cacheSize = flag.Int("plan-cache", 8, "lowered-plan cache capacity")
+
+		maxConc      = flag.Int("max-concurrent", 0, "max concurrently running sessions (0 = default)")
+		rate         = flag.Float64("rate", 0, "session admissions per second (0 = default, negative = unlimited)")
+		burst        = flag.Float64("burst", 0, "admission token-bucket burst (0 = default)")
+		queue        = flag.Int("queue", 0, "max sessions waiting for a slot (0 = default)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max time a session waits for a slot (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight sessions on shutdown")
+
+		snapshotEvery = flag.Int("snapshot-every", 0, "checkpoint every N slices (0 = default, negative = off)")
+		maxRetries    = flag.Int("max-retries", 0, "restore-and-retry attempts after a session fault (0 = default)")
+		deadline      = flag.Duration("default-deadline", 0, "default per-session deadline (0 = server default)")
+
+		client  = flag.String("client", "", "run as a client against this server URL instead of serving")
+		preset  = flag.String("preset", "", "client: preset design family")
+		seed    = flag.Int64("seed", 1, "client: design + stimulus seed")
+		cycles  = flag.Int("cycles", 0, "client: stimulus cycles (0 = server default)")
+		scale   = flag.Float64("scale", 0, "client: preset scale factor (0 = server default)")
+		mode    = flag.String("mode", "", "client: execution mode")
+		threads = flag.Int("threads", 0, "client: worker threads")
+		slice   = flag.Int64("slice", 0, "client: streaming slice length in ps")
+	)
+	flag.Parse()
+
+	if *client != "" {
+		os.Exit(runClient(*client, &serve.SessionRequest{
+			Preset: *preset, Seed: *seed, Cycles: *cycles, Scale: *scale,
+			Mode: *mode, Threads: *threads, SlicePS: *slice,
+		}))
+	}
+
+	cfg := serve.Config{
+		CacheSize: *cacheSize,
+		Admission: serve.AdmissionConfig{
+			MaxConcurrent: *maxConc,
+			Rate:          *rate,
+			Burst:         *burst,
+			MaxQueue:      *queue,
+			QueueTimeout:  *queueTimeout,
+		},
+		DrainTimeout: *drainTimeout,
+		Registry:     obs.NewRegistry(),
+	}
+	cfg.Limits.SnapshotEverySlices = *snapshotEvery
+	cfg.Limits.MaxRetries = *maxRetries
+	cfg.Limits.Deadline = *deadline
+	if *debugAddr != "" {
+		ds, err := obs.StartDebug(*debugAddr, cfg.Registry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "glsimd:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		cfg.Debug = ds
+		fmt.Fprintf(os.Stderr, "glsimd: debug endpoint at http://%s/debug/metrics\n", ds.Addr())
+	}
+	sv := serve.NewServer(cfg)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "glsimd: serving on %s\n", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "glsimd:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "glsimd: %v: draining\n", sig)
+	}
+
+	// Drain first so in-flight session streams finish cleanly, then shut the
+	// listener down (Shutdown waits for the handlers, which are done by now).
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := sv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "glsimd: drain:", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "glsimd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "glsimd: drained, bye")
+}
+
+// runClient posts one session and copies its NDJSON stream to stdout.
+// Returns the process exit code: 0 on a done/suspended terminal line,
+// 1 on an error line or failed stream, 2 on a non-200 response.
+func runClient(base string, req *serve.SessionRequest) int {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glsimd:", err)
+		return 1
+	}
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glsimd:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "glsimd: server returned %s", resp.Status)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			fmt.Fprintf(os.Stderr, " (Retry-After: %ss)", ra)
+		}
+		fmt.Fprintln(os.Stderr)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			fmt.Fprintln(os.Stderr, "glsimd:", sc.Text())
+		}
+		return 2
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	terminal := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fmt.Println(line)
+		var l struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(sc.Bytes(), &l) == nil {
+			terminal = l.Type
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "glsimd: stream:", err)
+		return 1
+	}
+	switch terminal {
+	case "done", "suspended":
+		return 0
+	case "error":
+		fmt.Fprintln(os.Stderr, "glsimd: session failed (see error line)")
+		return 1
+	default:
+		fmt.Fprintln(os.Stderr, "glsimd: stream ended without a terminal line")
+		return 1
+	}
+}

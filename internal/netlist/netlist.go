@@ -6,6 +6,7 @@ package netlist
 
 import (
 	"fmt"
+	"sort"
 
 	"gatesim/internal/liberty"
 )
@@ -122,7 +123,11 @@ func (n *Netlist) AddInstance(instName, cellType string, conns map[string]string
 		inst.OutNets[i] = -1
 	}
 	// First pass: validate every connection without mutating any net, so a
-	// failed AddInstance leaves the netlist untouched.
+	// failed AddInstance leaves the netlist untouched. Walk pins in the
+	// cell's declared order, not the conns map: on-demand net creation below
+	// assigns NetIDs in walk order, and netlist construction must be
+	// deterministic (identical sources must digest to identical plan-cache
+	// keys).
 	type action struct {
 		pin     *liberty.Pin
 		netName string
@@ -130,7 +135,34 @@ func (n *Netlist) AddInstance(instName, cellType string, conns map[string]string
 	}
 	var actions []action
 	newDrivers := make(map[string]bool)
-	for pin, netName := range conns {
+	ordered := make([]string, 0, len(conns))
+	for _, pin := range cell.Inputs {
+		if _, ok := conns[pin]; ok {
+			ordered = append(ordered, pin)
+		}
+	}
+	for _, pin := range cell.Outputs {
+		if _, ok := conns[pin]; ok {
+			ordered = append(ordered, pin)
+		}
+	}
+	if len(ordered) < len(conns) {
+		// Keep unknown-pin connections in the walk so they still error.
+		known := make(map[string]bool, len(ordered))
+		for _, p := range ordered {
+			known[p] = true
+		}
+		extra := make([]string, 0, len(conns)-len(ordered))
+		for pin := range conns {
+			if !known[pin] {
+				extra = append(extra, pin)
+			}
+		}
+		sort.Strings(extra)
+		ordered = append(ordered, extra...)
+	}
+	for _, pin := range ordered {
+		netName := conns[pin]
 		if netName == "" {
 			continue // explicitly unconnected: .Y()
 		}

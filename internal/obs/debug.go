@@ -6,17 +6,21 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 )
 
-// debugRegistry is the registry the process-wide expvar export reads.
+// expvarRegistry is the registry the process-wide expvar export reads.
 // expvar.Publish is permanent, so the published Func indirects through this
-// pointer instead of capturing one registry; the latest StartDebug wins.
+// pointer. Ownership is first-wins: the first StartDebug claims the export
+// for its registry and releases it on Close, so a second server instance
+// cannot silently steal the process-wide view (it still serves its own
+// /debug/metrics routes from its own registry).
 var (
-	debugRegistry atomic.Pointer[Registry]
-	publishOnce   sync.Once
+	expvarRegistry atomic.Pointer[Registry]
+	publishOnce    sync.Once
 )
 
 // DebugServer is the live introspection endpoint: metric snapshots, expvar
@@ -27,12 +31,24 @@ var (
 //
 // Routes:
 //
-//	/debug/metrics  registry snapshot as JSON (the run-report schema)
-//	/debug/vars     expvar (includes the registry under "gatesim")
-//	/debug/pprof/   the standard pprof index, profile, trace, symbol
+//	/debug/metrics         primary registry snapshot as JSON (run-report schema)
+//	/debug/metrics/        index of registered named registries
+//	/debug/metrics/<name>  a named registry (see Register/Unregister)
+//	/debug/vars            expvar (includes the registry under "gatesim")
+//	/debug/pprof/          the standard pprof index, profile, trace, symbol
+//
+// Each DebugServer owns its routes: starting a second server does not
+// redirect the first one's /debug/metrics to the new registry. Named
+// registries let a multi-tenant process (glsimd) expose per-session metrics
+// next to the process registry without clobbering it.
 type DebugServer struct {
-	srv *http.Server
-	ln  net.Listener
+	srv     *http.Server
+	ln      net.Listener
+	primary *Registry
+
+	mu        sync.Mutex
+	named     map[string]*Registry
+	ownExpvar bool
 }
 
 // StartDebug listens on addr and serves the introspection routes in a
@@ -46,18 +62,22 @@ func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug endpoint: %w", err)
 	}
-	debugRegistry.Store(reg)
+	d := &DebugServer{ln: ln, primary: reg, named: make(map[string]*Registry)}
+	// Claim the process-wide expvar export only if unclaimed, and remember
+	// whether this server is the owner so Close can release it.
+	d.ownExpvar = expvarRegistry.CompareAndSwap(nil, reg)
 	publishOnce.Do(func() {
 		expvar.Publish("gatesim", expvar.Func(func() any {
-			return debugRegistry.Load().Snapshot()
+			return expvarRegistry.Load().Snapshot()
 		}))
 	})
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		debugRegistry.Load().WriteReport(w)
+		d.primary.WriteReport(w)
 	})
+	mux.HandleFunc("/debug/metrics/", d.serveNamed)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -65,13 +85,66 @@ func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	d.srv = &http.Server{Handler: mux}
 	go d.srv.Serve(ln)
 	return d, nil
+}
+
+// Register exposes reg under /debug/metrics/<name>. Registering a name again
+// replaces the previous registry (a restarted session reuses its slot).
+func (d *DebugServer) Register(name string, reg *Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.named[name] = reg
+}
+
+// Unregister removes a named registry; requests for it then return 404.
+func (d *DebugServer) Unregister(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.named, name)
+}
+
+func (d *DebugServer) serveNamed(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/debug/metrics/")
+	if name == "" {
+		d.mu.Lock()
+		names := make([]string, 0, len(d.named))
+		for n := range d.named {
+			names = append(names, n)
+		}
+		d.mu.Unlock()
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"registries":[`)
+		for i, n := range names {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%q", n)
+		}
+		fmt.Fprint(w, "]}\n")
+		return
+	}
+	d.mu.Lock()
+	reg, ok := d.named[name]
+	d.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.WriteReport(w)
 }
 
 // Addr returns the bound address (useful with ":0").
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the listener and in-flight handlers.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close stops the listener and in-flight handlers, and releases the expvar
+// export if this server owned it (a later StartDebug may then claim it).
+func (d *DebugServer) Close() error {
+	if d.ownExpvar {
+		expvarRegistry.CompareAndSwap(d.primary, nil)
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func debugGet(t *testing.T, addr, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func debugReport(t *testing.T, addr, path string) Report {
+	t.Helper()
+	code, body := debugGet(t, addr, path)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, code)
+	}
+	var rep Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("GET %s: not a report: %v", path, err)
+	}
+	return rep
+}
+
+// TestDebugServerNoLatestWinsSteal is the regression for the "latest wins"
+// pointer swap: starting a second DebugServer must not redirect the first
+// server's /debug/metrics to the second registry.
+func TestDebugServerNoLatestWinsSteal(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("first.count").Add(11)
+	d1, err := StartDebug("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+
+	r2 := NewRegistry()
+	r2.Counter("second.count").Add(22)
+	d2, err := StartDebug("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	rep1 := debugReport(t, d1.Addr(), "/debug/metrics")
+	if rep1.Counters["first.count"] != 11 {
+		t.Fatalf("first server report = %v, want its own registry", rep1.Counters)
+	}
+	if _, stolen := rep1.Counters["second.count"]; stolen {
+		t.Fatal("second StartDebug stole the first server's /debug/metrics")
+	}
+	rep2 := debugReport(t, d2.Addr(), "/debug/metrics")
+	if rep2.Counters["second.count"] != 22 {
+		t.Fatalf("second server report = %v, want its own registry", rep2.Counters)
+	}
+}
+
+// TestDebugServerNamedRegistries covers Register/Unregister: per-session
+// registries appear under /debug/metrics/<name>, the index lists them, and
+// unregistering returns them to 404 — all without touching the primary.
+func TestDebugServerNamedRegistries(t *testing.T) {
+	prim := NewRegistry()
+	prim.Counter("proc.up").Add(1)
+	d, err := StartDebug("127.0.0.1:0", prim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	sess := NewRegistry()
+	sess.Counter("sim.sweeps").Add(7)
+	d.Register("session-1", sess)
+	other := NewRegistry()
+	other.Counter("sim.sweeps").Add(9)
+	d.Register("session-2", other)
+
+	rep := debugReport(t, d.Addr(), "/debug/metrics/session-1")
+	if rep.Counters["sim.sweeps"] != 7 {
+		t.Fatalf("named registry report = %v, want sim.sweeps=7", rep.Counters)
+	}
+	if prim := debugReport(t, d.Addr(), "/debug/metrics"); prim.Counters["proc.up"] != 1 {
+		t.Fatalf("primary clobbered by Register: %v", prim.Counters)
+	}
+
+	code, body := debugGet(t, d.Addr(), "/debug/metrics/")
+	if code != http.StatusOK {
+		t.Fatalf("index status %d", code)
+	}
+	if s := string(body); !strings.Contains(s, `"session-1"`) || !strings.Contains(s, `"session-2"`) {
+		t.Fatalf("index %s missing registered names", s)
+	}
+
+	// Re-registering a name replaces its registry.
+	repl := NewRegistry()
+	repl.Counter("sim.sweeps").Add(100)
+	d.Register("session-1", repl)
+	if rep := debugReport(t, d.Addr(), "/debug/metrics/session-1"); rep.Counters["sim.sweeps"] != 100 {
+		t.Fatalf("re-Register did not replace: %v", rep.Counters)
+	}
+
+	d.Unregister("session-1")
+	if code, _ := debugGet(t, d.Addr(), "/debug/metrics/session-1"); code != http.StatusNotFound {
+		t.Fatalf("unregistered name served status %d, want 404", code)
+	}
+	if code, _ := debugGet(t, d.Addr(), "/debug/metrics/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown name served status %d, want 404", code)
+	}
+}

@@ -1,0 +1,137 @@
+// Plan content digests: a stable hash over everything plan.Build consumes,
+// so a resident server can key a cache of lowered plans by request content.
+// Two input sets with equal digests lower to structurally equal plans —
+// Build is deterministic and reads nothing outside the hashed inputs — which
+// is what lets many concurrent sessions share one cached immutable Plan.
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"sort"
+
+	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// DigestKey is the content hash identifying one (netlist, library, delays)
+// lowering input set.
+type DigestKey [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k DigestKey) String() string { return hex.EncodeToString(k[:]) }
+
+// Digest hashes the three inputs of a plan lowering: the netlist structure
+// (nets, instances, connectivity, ports), the compiled truth tables of every
+// cell type the design instantiates, and the full delay annotation (every
+// arc's rise/fall). The hash is canonical — independent of map iteration
+// order, pointer identity and source-text formatting — so textually
+// different but structurally identical inputs collide on purpose, while any
+// semantic change (one arc delay, one connection, one table entry) produces
+// a different key.
+func Digest(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays) DigestKey {
+	h := sha256.New()
+
+	// Netlist structure. Net and instance order is significant (IDs index
+	// every lowered array), so hash in ID order.
+	sec(h, "netlist")
+	writeStr(h, nl.Name)
+	writeInt(h, int64(len(nl.Nets)), int64(len(nl.Instances)))
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		writeStr(h, n.Name)
+		b := byte(0)
+		if n.IsInput {
+			b = 1
+		}
+		h.Write([]byte{b})
+	}
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		writeStr(h, inst.Name)
+		writeStr(h, inst.Type.Name)
+		writeInt(h, int64(len(inst.InNets)), int64(len(inst.OutNets)))
+		for _, nid := range inst.InNets {
+			writeInt(h, int64(nid))
+		}
+		for _, nid := range inst.OutNets {
+			writeInt(h, int64(nid))
+		}
+	}
+	sec(h, "ports")
+	for _, nid := range nl.PortsIn {
+		writeInt(h, int64(nid))
+	}
+	writeInt(h, -1)
+	for _, nid := range nl.PortsOut {
+		writeInt(h, int64(nid))
+	}
+
+	// Library: only the cell types the design uses contribute — the lowered
+	// plan depends on nothing else — hashed in sorted name order via each
+	// table's canonical serialization.
+	sec(h, "library")
+	used := make(map[string]*truthtab.Table)
+	for i := range nl.Instances {
+		name := nl.Instances[i].Type.Name
+		if _, ok := used[name]; !ok {
+			used[name] = lib.Tables[name]
+		}
+	}
+	names := make([]string, 0, len(used))
+	for name := range used {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if t := used[name]; t != nil {
+			t.DigestInto(h)
+		} else {
+			// Uncompiled type: Build would reject this input set; still hash
+			// the name so the failure is cached under a stable key.
+			writeStr(h, name)
+		}
+	}
+
+	// Delay annotation: every arc of every instance, in instance/arc order.
+	sec(h, "delays")
+	for i := range nl.Instances {
+		inst := &nl.Instances[i]
+		ni, no := len(inst.Type.Inputs), len(inst.Type.Outputs)
+		for o := 0; o < no; o++ {
+			for in := 0; in < ni; in++ {
+				d := delays.Arc(netlist.CellID(i), o, in)
+				writeInt(h, d.Rise, d.Fall)
+			}
+		}
+	}
+
+	var k DigestKey
+	h.Sum(k[:0])
+	return k
+}
+
+// sec writes a section marker so adjacent variable-length sections cannot
+// alias each other.
+func sec(h hash.Hash, name string) {
+	h.Write([]byte{0})
+	io.WriteString(h, name)
+	h.Write([]byte{0})
+}
+
+func writeStr(h hash.Hash, s string) {
+	writeInt(h, int64(len(s)))
+	io.WriteString(h, s)
+}
+
+func writeInt(h hash.Hash, vs ...int64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+}

@@ -1,0 +1,160 @@
+package plan_test
+
+import (
+	"reflect"
+	"regexp"
+	"testing"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/liberty"
+	"gatesim/internal/plan"
+	"gatesim/internal/sdf"
+	"gatesim/internal/truthtab"
+)
+
+// digestFixture builds a design once and returns independently parsed
+// (library, delays) pairs from the same SDF text, so equal digests cannot be
+// explained by shared pointers.
+func digestFixture(t *testing.T) (*gen.Design, string) {
+	t.Helper()
+	d, err := gen.Build(spec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, gen.SDFText(d, 5)
+}
+
+func applySDF(t *testing.T, d *gen.Design, text string) (*truthtab.CompiledLibrary, *sdf.Delays) {
+	t.Helper()
+	cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sdf.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays, err := sdf.Apply(f, d.Netlist, sdf.Delay{Rise: 1, Fall: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, delays
+}
+
+// TestDigestEqualImpliesStructuralEquality: the same sources parsed twice
+// through fresh library compilations and SDF parses must digest identically,
+// and the plans they lower to must be structurally equal vector-for-vector.
+func TestDigestEqualImpliesStructuralEquality(t *testing.T) {
+	d, text := digestFixture(t)
+	cl1, del1 := applySDF(t, d, text)
+	cl2, del2 := applySDF(t, d, text)
+	if cl1 == cl2 || del1 == del2 {
+		t.Fatal("fixture must produce independent objects")
+	}
+
+	k1 := plan.Digest(d.Netlist, cl1, del1)
+	k2 := plan.Digest(d.Netlist, cl2, del2)
+	if k1 != k2 {
+		t.Fatalf("digests of identical inputs differ: %s vs %s", k1, k2)
+	}
+	if len(k1.String()) != 64 {
+		t.Fatalf("DigestKey.String() = %q, want 64 hex chars", k1)
+	}
+
+	p1, err := plan.Build(d.Netlist, cl1, del1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := plan.Build(d.Netlist, cl2, del2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural equality over the lowered vectors the engines actually
+	// index. Table/LUT pointers differ between compilations, so compare the
+	// value-typed arrays.
+	check := func(name string, a, b any) {
+		t.Helper()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("plans differ structurally in %s", name)
+		}
+	}
+	check("TableOf", p1.TableOf, p2.TableOf)
+	check("InOff", p1.InOff, p2.InOff)
+	check("OutOff", p1.OutOff, p2.OutOff)
+	check("StateOff", p1.StateOff, p2.StateOff)
+	check("InNet", p1.InNet, p2.InNet)
+	check("OutNet", p1.OutNet, p2.OutNet)
+	check("FanOff", p1.FanOff, p2.FanOff)
+	check("FanCell", p1.FanCell, p2.FanCell)
+	check("FanPin", p1.FanPin, p2.FanPin)
+	check("ArcOff", p1.ArcOff, p2.ArcOff)
+	check("Arcs", p1.Arcs, p2.Arcs)
+	check("MinArc", p1.MinArc, p2.MinArc)
+	check("MaxArc", p1.MaxArc, p2.MaxArc)
+	check("KernelOf", p1.KernelOf, p2.KernelOf)
+	check("ArcUniform", p1.ArcUniform, p2.ArcUniform)
+	check("Segs", p1.Segs, p2.Segs)
+	check("BitOf", p1.BitOf, p2.BitOf)
+	check("SegOf", p1.SegOf, p2.SegOf)
+	check("NetInit", p1.NetInit, p2.NetInit)
+	check("InInit", p1.InInit, p2.InInit)
+	check("StateInit", p1.StateInit, p2.StateInit)
+	check("OutInit", p1.OutInit, p2.OutInit)
+	check("RelaxEligible", p1.RelaxEligible, p2.RelaxEligible)
+	check("RelaxLevel", p1.RelaxLevel, p2.RelaxLevel)
+	check("NetRelax", p1.NetRelax, p2.NetRelax)
+	check("IsPI", p1.IsPI, p2.IsPI)
+}
+
+// TestDigestOneByteSDFChange: flipping a single digit of one IOPATH delay in
+// the SDF text must change the digest.
+func TestDigestOneByteSDFChange(t *testing.T) {
+	d, text := digestFixture(t)
+	cl, del := applySDF(t, d, text)
+	base := plan.Digest(d.Netlist, cl, del)
+
+	// Locate the first parenthesized integer — an IOPATH delay value — and
+	// flip its leading digit.
+	loc := regexp.MustCompile(`\((\d+)\)`).FindStringSubmatchIndex(text)
+	if loc == nil {
+		t.Fatal("no delay literal found in generated SDF")
+	}
+	b := []byte(text)
+	i := loc[2]
+	if b[i] == '9' {
+		b[i] = '8'
+	} else {
+		b[i]++
+	}
+	mutated := string(b)
+	if mutated == text {
+		t.Fatal("mutation did not change the text")
+	}
+
+	_, del2 := applySDF(t, d, mutated)
+	if got := plan.Digest(d.Netlist, cl, del2); got == base {
+		t.Fatalf("digest unchanged after one-byte SDF mutation: %s", got)
+	}
+}
+
+// TestDigestNetlistSensitivity: a different design must digest differently
+// even under identical default delays.
+func TestDigestNetlistSensitivity(t *testing.T) {
+	d1, err := gen.Build(spec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := gen.Build(spec(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := truthtab.CompileLibrary(liberty.MustBuiltin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := sdf.Uniform(d1.Netlist, 10)
+	u2 := sdf.Uniform(d2.Netlist, 10)
+	if plan.Digest(d1.Netlist, cl, u1) == plan.Digest(d2.Netlist, cl, u2) {
+		t.Fatal("different netlists digested identically")
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gatesim/internal/obs"
+)
+
+// AdmissionConfig bounds how much concurrent and queued work the server
+// accepts. Zero values pick serving defaults.
+type AdmissionConfig struct {
+	// MaxConcurrent caps sessions running simultaneously (default 8).
+	MaxConcurrent int
+	// Rate is the sustained admission rate in sessions per second and Burst
+	// the token-bucket depth (defaults 50/s, burst 100). Rate < 0 disables
+	// rate limiting.
+	Rate  float64
+	Burst float64
+	// MaxQueue caps sessions waiting for a concurrency slot (default 16).
+	// Arrivals beyond it are rejected with Retry-After instead of queueing
+	// unboundedly.
+	MaxQueue int
+	// QueueTimeout caps how long an admitted-by-rate session may wait for a
+	// slot before being rejected (default 5s). A caller context deadline
+	// shorter than this wins.
+	QueueTimeout time.Duration
+}
+
+func (c *AdmissionConfig) defaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.Rate == 0 {
+		c.Rate = 50
+	}
+	if c.Burst <= 0 {
+		c.Burst = 100
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+}
+
+// ErrDraining is returned to arrivals while the server drains.
+var ErrDraining = errors.New("serve: server is draining")
+
+// BusyError is an admission rejection carrying the earliest time a retry
+// could plausibly succeed; HTTP handlers render it as 429 + Retry-After.
+type BusyError struct {
+	RetryAfter time.Duration
+	Reason     string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: busy (%s), retry after %s", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Admission is the server's front door: a token bucket shapes the arrival
+// rate, a semaphore caps concurrency, and a bounded deadline-aware queue
+// absorbs bursts. Anything beyond those bounds is rejected immediately with
+// a Retry-After hint — the queue never grows without limit.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu         sync.Mutex
+	tokens     float64
+	lastRefill time.Time
+	waiting    int
+	draining   bool
+
+	slots   chan struct{}
+	running atomic.Int64
+
+	admitted  *obs.Counter
+	rejected  *obs.Counter
+	queueWait *obs.Histogram
+	active    *obs.Gauge
+
+	now func() time.Time // test seam
+}
+
+// NewAdmission builds the admission controller. reg may be nil.
+func NewAdmission(cfg AdmissionConfig, reg *obs.Registry) *Admission {
+	cfg.defaults()
+	a := &Admission{
+		cfg:        cfg,
+		tokens:     cfg.Burst,
+		lastRefill: time.Now(),
+		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		admitted:   reg.Counter("serve.admitted"),
+		rejected:   reg.Counter("serve.rejected"),
+		queueWait:  reg.Histogram("serve.queue_wait_ns"),
+		active:     reg.Gauge("serve.sessions_active"),
+		now:        time.Now,
+	}
+	return a
+}
+
+// SetDraining flips the drain gate: while set, every Admit is rejected with
+// ErrDraining.
+func (a *Admission) SetDraining(v bool) {
+	a.mu.Lock()
+	a.draining = v
+	a.mu.Unlock()
+}
+
+// Admit blocks until the caller holds a concurrency slot, or rejects. On
+// success it returns a release func the session MUST call when finished.
+func (a *Admission) Admit(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	// Token bucket: refill by elapsed time, then take one token or reject
+	// with the time until one accrues.
+	if a.cfg.Rate > 0 {
+		now := a.now()
+		a.tokens += now.Sub(a.lastRefill).Seconds() * a.cfg.Rate
+		if a.tokens > a.cfg.Burst {
+			a.tokens = a.cfg.Burst
+		}
+		a.lastRefill = now
+		if a.tokens < 1 {
+			wait := time.Duration((1 - a.tokens) / a.cfg.Rate * float64(time.Second))
+			a.mu.Unlock()
+			a.rejected.Add(1)
+			return nil, &BusyError{RetryAfter: wait, Reason: "rate limit"}
+		}
+		a.tokens--
+	}
+	// Bounded wait queue for a concurrency slot.
+	if a.waiting >= a.cfg.MaxQueue {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		// Every queued session ahead must finish or time out first; half the
+		// queue timeout is an honest middle-of-the-road hint.
+		return nil, &BusyError{RetryAfter: a.cfg.QueueTimeout / 2, Reason: "queue full"}
+	}
+	a.waiting++
+	a.mu.Unlock()
+
+	start := a.now()
+	timer := time.NewTimer(a.cfg.QueueTimeout)
+	defer timer.Stop()
+	defer func() {
+		a.mu.Lock()
+		a.waiting--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.queueWait.Observe(a.now().Sub(start).Nanoseconds())
+		a.admitted.Add(1)
+		a.active.Set(a.running.Add(1))
+		var once sync.Once
+		return func() {
+			once.Do(func() {
+				a.active.Set(a.running.Add(-1))
+				<-a.slots
+			})
+		}, nil
+	case <-timer.C:
+		a.rejected.Add(1)
+		return nil, &BusyError{RetryAfter: a.cfg.QueueTimeout, Reason: "queue timeout"}
+	case <-ctx.Done():
+		a.rejected.Add(1)
+		return nil, ctx.Err()
+	}
+}

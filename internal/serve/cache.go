@@ -1,0 +1,214 @@
+// Package serve is the resident simulation service: it keeps lowered
+// plan.Plans in a content-hash-keyed LRU cache and runs many concurrent
+// streamed sessions against the shared immutable plans, with token-bucket
+// admission control, per-session resource limits, session-level fault
+// isolation (a gate panic poisons one session's engine, never the plan or
+// its neighbors), snapshot-based suspend/resume and restore-and-retry, and
+// graceful drain. Robustness is the spine: one hostile or crashing session
+// must never take down, starve, or corrupt the others.
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/obs"
+	"gatesim/internal/plan"
+)
+
+// CachedPlan is one immutable lowered design shared by every session whose
+// request digests to the same key. Plan is safe for concurrent engines
+// (plan.Plan is read-only after Build); Design is non-nil for preset-built
+// requests so sessions can generate stimuli against the shared netlist.
+type CachedPlan struct {
+	Key    plan.DigestKey
+	Plan   *plan.Plan
+	Design *gen.Design
+}
+
+// BuildFunc lowers a plan on a cache miss. It runs outside the cache lock;
+// panics are contained and negative-cached.
+type BuildFunc func() (*CachedPlan, error)
+
+type cacheEntry struct {
+	key  plan.DigestKey
+	done chan struct{} // closed when val/err are settled
+	val  *CachedPlan
+	err  error
+
+	// Negative cache: after a failed or panicking lowering the entry stays,
+	// answering with the cached error until failUntil passes; then the next
+	// caller re-arms the build. Backoff doubles per consecutive failure so a
+	// hot loop of identical broken requests lowers at a bounded rate.
+	failures  int
+	failUntil time.Time
+
+	elem *list.Element
+}
+
+// PlanCache is the content-addressed store of lowered plans. Lookups under
+// one key collapse to a single lowering (singleflight): the first caller
+// builds, a thundering herd of identical requests waits on the same entry.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[plan.DigestKey]*cacheEntry
+	lru     *list.List // front = most recently used settled entry
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	negative  *obs.Counter
+	lowerings *obs.Counter
+
+	now func() time.Time // test seam
+}
+
+// negBackoffBase is the first negative-cache hold; it doubles per
+// consecutive failure up to negBackoffMax.
+const (
+	negBackoffBase = 100 * time.Millisecond
+	negBackoffMax  = 30 * time.Second
+)
+
+// NewPlanCache creates a cache holding at most capacity settled plans
+// (minimum 1). reg may be nil; metrics are then discarded.
+func NewPlanCache(capacity int, reg *obs.Registry) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:       capacity,
+		entries:   make(map[plan.DigestKey]*cacheEntry),
+		lru:       list.New(),
+		hits:      reg.Counter("serve.cache_hits"),
+		misses:    reg.Counter("serve.cache_misses"),
+		evictions: reg.Counter("serve.cache_evictions"),
+		negative:  reg.Counter("serve.cache_negative_hits"),
+		lowerings: reg.Counter("serve.lowerings"),
+		now:       time.Now,
+	}
+}
+
+// Get returns the plan for key, lowering it via build if absent. The
+// returned bool reports whether the plan was served from cache (true) or
+// this call ran the lowering (false). Concurrent callers for the same key
+// share one lowering. A build that fails (or panics — the panic is
+// contained here) is negative-cached: subsequent Gets return the same error
+// without re-building until the backoff expires. ctx aborts the caller's
+// wait, never the shared build.
+func (c *PlanCache) Get(ctx context.Context, key plan.DigestKey, build BuildFunc) (*CachedPlan, bool, error) {
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			// Miss: this caller builds.
+			e = &cacheEntry{key: key, done: make(chan struct{})}
+			c.entries[key] = e
+			c.misses.Add(1)
+			c.mu.Unlock()
+			val, err := c.runBuild(e, build)
+			return val, false, err
+		}
+		select {
+		case <-e.done:
+			// Settled entry.
+			if e.err == nil {
+				c.touch(e)
+				c.hits.Add(1)
+				c.mu.Unlock()
+				return e.val, true, nil
+			}
+			if c.now().Before(e.failUntil) {
+				c.negative.Add(1)
+				err := e.err
+				c.mu.Unlock()
+				return nil, true, err
+			}
+			// Backoff expired: re-arm under the same entry, keeping the
+			// failure count for the next backoff step.
+			e.done = make(chan struct{})
+			e.err = nil
+			if e.elem != nil {
+				c.lru.Remove(e.elem)
+				e.elem = nil
+			}
+			c.misses.Add(1)
+			c.mu.Unlock()
+			val, err := c.runBuild(e, build)
+			return val, false, err
+		default:
+		}
+		// In flight: wait for the builder (singleflight), then loop to read
+		// the settled result.
+		done := e.done
+		c.mu.Unlock()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// runBuild executes build for the entry this caller owns, containing panics,
+// and settles the entry under the lock.
+func (c *PlanCache) runBuild(e *cacheEntry, build BuildFunc) (*CachedPlan, error) {
+	c.lowerings.Add(1)
+	val, err := func() (cp *CachedPlan, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("serve: plan lowering panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		return build()
+	}()
+	c.mu.Lock()
+	e.val, e.err = val, err
+	if err == nil {
+		e.failures = 0
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+	} else {
+		e.failures++
+		backoff := negBackoffBase << (e.failures - 1)
+		if backoff > negBackoffMax || backoff <= 0 {
+			backoff = negBackoffMax
+		}
+		e.failUntil = c.now().Add(backoff)
+	}
+	close(e.done)
+	c.mu.Unlock()
+	return val, err
+}
+
+// touch moves a settled positive entry to the LRU front. Caller holds mu.
+func (c *PlanCache) touch(e *cacheEntry) {
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictLocked drops least-recently-used settled plans beyond capacity.
+// In-flight and negative entries don't occupy LRU slots. Caller holds mu.
+func (c *PlanCache) evictLocked() {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len reports the number of settled plans resident in the cache.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

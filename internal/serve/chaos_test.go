@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/sim"
+)
+
+// checkNoLeak polls the goroutine count back to the baseline. Engine and
+// pool Close join their workers synchronously, but unrelated runtime
+// goroutines wind down asynchronously, so poll instead of sampling once.
+func checkNoLeak(t *testing.T, before int, label string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("%s: %d goroutines, started with %d", label, runtime.NumGoroutine(), before)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosConcurrentSessions is the acceptance scenario: ten concurrent
+// sessions over two shared plans, gate faults injected into two of them.
+//
+//   - session 2 takes a one-shot gate panic mid-run and must recover via
+//     snapshot restore-and-retry, its stream still byte-identical to refsim;
+//   - session 3 takes a persistent gate panic with checkpoints disabled and
+//     must fail with a structured error — poisoning only its own engine;
+//   - the eight untouched sessions (mixed serial/parallel) must stream
+//     byte-identical to refsim;
+//   - the plan cache must serve all ten sessions from exactly two lowerings;
+//   - drain must shut the server down with zero leaked goroutines.
+//
+// Run under -race via check.sh.
+func TestChaosConcurrentSessions(t *testing.T) {
+	force4Procs(t)
+	before := runtime.NumGoroutine()
+
+	// Fault plumbing, keyed by the server's session sequence numbers. The
+	// probe (seq 1) runs alone first and counts gate visits, so the one-shot
+	// fault for seq 2 can be planted deterministically mid-run — well after
+	// the first checkpoint, well before the end.
+	var probeVisits, recoverCount, persistCount atomic.Int64
+	var recoverAt atomic.Int64 // 0 = disarmed
+	hooks := func(seq int64) (func(netlist.CellID), func(int)) {
+		switch seq {
+		case 1:
+			return func(netlist.CellID) { probeVisits.Add(1) }, nil
+		case 2:
+			return func(netlist.CellID) {
+				if n, at := recoverCount.Add(1), recoverAt.Load(); at > 0 && n == at {
+					panic("chaos: one-shot gate fault")
+				}
+			}, nil
+		case 3:
+			return func(netlist.CellID) {
+				if persistCount.Add(1) >= 50 {
+					panic("chaos: persistent gate fault")
+				}
+			}, nil
+		}
+		return nil, nil
+	}
+
+	reg := obs.NewRegistry()
+	sv := NewServer(Config{Registry: reg, DrainTimeout: 5 * time.Second, SessionHooks: hooks})
+
+	reqA := testReq("aes128", 11)
+	reqA.Cycles = 30
+	reqA.Mode = "serial"
+	reqA.SnapshotEverySlices = 1
+	reqA.MaxRetries = 2
+	reqB := testReq("blabla", 7)
+	reqB.Cycles = 30
+	reqB.Mode = "serial"
+	reqB.SnapshotEverySlices = -1 // no checkpoints: a panic is unrecoverable
+
+	// Probe: same request as the recovering session, counting visits.
+	probeCol := newCollector()
+	probe, err := sv.StartSession(context.Background(), reqA, nil, probeCol.sink)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	wantA := refStream(t, probe.cp, reqA)
+	diffEvents(t, "probe vs refsim", wantA, probeCol.events)
+	if probeVisits.Load() < 100 {
+		t.Fatalf("probe visits = %d, too few to plant a mid-run fault", probeVisits.Load())
+	}
+	recoverAt.Store(probeVisits.Load() / 2)
+
+	type result struct {
+		s   *Session
+		err error
+	}
+
+	// Session 2: one-shot fault, must recover from its slice-1 checkpoint.
+	admit2 := make(chan *Session, 1)
+	res2 := make(chan result, 1)
+	col2 := newCollector()
+	go func() {
+		s, err := sv.StartSession(context.Background(), reqA, func(s *Session) { admit2 <- s }, col2.sink)
+		res2 <- result{s, err}
+	}()
+	s2 := <-admit2
+	if s2.ID != "s2" {
+		t.Fatalf("fault session got ID %s, want s2", s2.ID)
+	}
+
+	// Session 3: persistent fault, checkpoints disabled.
+	admit3 := make(chan *Session, 1)
+	res3 := make(chan result, 1)
+	go func() {
+		s, err := sv.StartSession(context.Background(), reqB, func(s *Session) { admit3 <- s }, nil)
+		res3 <- result{s, err}
+	}()
+	s3 := <-admit3
+	if s3.ID != "s3" {
+		t.Fatalf("persistent-fault session got ID %s, want s3", s3.ID)
+	}
+
+	// Eight untouched sessions over the same two plans, mixed engine modes.
+	clean := make([]result, 8)
+	cols := make([]*collector, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		req := reqA
+		if i%2 == 1 {
+			req = reqB
+		}
+		if i%4 >= 2 {
+			r := *req // parallel variant of the same stimulus
+			r.Mode = "parallel"
+			r.Threads = 2
+			r.BatchThreshold = 1
+			req = &r
+		}
+		cols[i] = newCollector()
+		wg.Add(1)
+		go func(i int, req *SessionRequest) {
+			defer wg.Done()
+			s, err := sv.StartSession(context.Background(), req, nil, cols[i].sink)
+			clean[i] = result{s, err}
+		}(i, req)
+	}
+	wg.Wait()
+	r2, r3 := <-res2, <-res3
+
+	// Faulted session 2: recovered, stream intact.
+	if r2.err != nil {
+		t.Fatalf("recovering session failed: %v", r2.err)
+	}
+	if r2.s.State() != StateDone {
+		t.Errorf("recovering session state = %v, want done", r2.s.State())
+	}
+	if r2.s.retries < 1 {
+		t.Errorf("recovering session retries = %d, want >= 1", r2.s.retries)
+	}
+	diffEvents(t, "recovered session vs refsim", wantA, col2.events)
+
+	// Faulted session 3: structured terminal error, only its engine died.
+	if r3.err == nil {
+		t.Fatal("persistent-fault session returned nil error")
+	}
+	if !errors.Is(r3.err, sim.ErrPoisoned) {
+		t.Errorf("persistent fault err = %v, want ErrPoisoned", r3.err)
+	}
+	var se *sim.SimError
+	if !errors.As(r3.err, &se) || se.Panic == nil {
+		t.Errorf("persistent fault err = %v, want *sim.SimError with panic info", r3.err)
+	}
+	if r3.s.State() != StateFailed {
+		t.Errorf("persistent-fault session state = %v, want failed", r3.s.State())
+	}
+
+	// Untouched sessions: all done, byte-identical to refsim.
+	wantB := refStream(t, r3.s.cp, reqB)
+	for i, r := range clean {
+		if r.err != nil {
+			t.Fatalf("clean session %d: %v", i, r.err)
+		}
+		if r.s.State() != StateDone {
+			t.Errorf("clean session %d state = %v, want done", i, r.s.State())
+		}
+		want := wantA
+		if i%2 == 1 {
+			want = wantB
+		}
+		diffEvents(t, "clean session "+r.s.ID, want, cols[i].events)
+	}
+
+	// Plan cache: eleven sessions, two lowerings, everything else hits.
+	if got := reg.Counter("serve.lowerings").Load(); got != 2 {
+		t.Errorf("lowerings = %d, want 2", got)
+	}
+	if got := reg.Counter("serve.cache_hits").Load(); got != 9 {
+		t.Errorf("cache hits = %d, want 9", got)
+	}
+	if got := reg.Counter("serve.sessions_poisoned").Load(); got < 2 {
+		t.Errorf("poisoned sessions = %d, want >= 2", got)
+	}
+	if got := reg.Counter("serve.sessions_retried").Load(); got < 1 {
+		t.Errorf("session retries = %d, want >= 1", got)
+	}
+
+	// Drain: no new arrivals, everything unwinds, no goroutines left.
+	if err := sv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := sv.StartSession(context.Background(), reqA, nil, nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain StartSession: %v, want ErrDraining", err)
+	}
+	checkNoLeak(t, before, "after drain")
+}
+
+// TestDrainCancelsInflight verifies a drain past its timeout cancels the
+// stragglers instead of hanging, and nothing leaks.
+func TestDrainCancelsInflight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sv := NewServer(Config{Registry: obs.NewRegistry(), DrainTimeout: 50 * time.Millisecond})
+
+	req := testReq("aes128", 3)
+	req.Cycles = 100000 // far more work than the drain window allows
+	admit := make(chan *Session, 1)
+	res := make(chan error, 1)
+	go func() {
+		_, err := sv.StartSession(context.Background(), req, func(s *Session) { admit <- s }, nil)
+		res <- err
+	}()
+	s := <-admit
+
+	if err := sv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	err := <-res
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled session err = %v, want context.Canceled", err)
+	}
+	if s.State() != StateCanceled {
+		t.Errorf("state = %v, want canceled", s.State())
+	}
+	checkNoLeak(t, before, "after forced drain")
+}

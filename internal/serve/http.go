@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"gatesim/internal/event"
+	"gatesim/internal/netlist"
+	"gatesim/internal/sim"
+)
+
+// The HTTP surface streams sessions as NDJSON: one header line, one line
+// per committed watched event, and one terminal line. Admission rejections
+// map to 429 + Retry-After (or 503 while draining) so well-behaved clients
+// back off instead of hammering a saturated server.
+//
+//	POST /v1/sessions               run a session (body: SessionRequest JSON)
+//	GET  /v1/sessions               list session IDs
+//	GET  /v1/sessions/{id}          session status JSON
+//	POST /v1/sessions/{id}/cancel   abort at the next sweep boundary
+//	POST /v1/sessions/{id}/suspend  checkpoint + stop at the next slice
+//	POST /v1/sessions/{id}/resume   continue a suspended session (streams)
+
+// streamLine is one NDJSON line of a session stream.
+type streamLine struct {
+	Type     string `json:"type"` // header | event | done | suspended | error
+	Session  string `json:"session,omitempty"`
+	Plan     string `json:"plan,omitempty"`
+	Cache    string `json:"cache,omitempty"`
+	Net      string `json:"net,omitempty"`
+	Time     int64  `json:"t,omitempty"`
+	Val      string `json:"v,omitempty"`
+	Events   int64  `json:"events,omitempty"`
+	State    string `json:"state,omitempty"`
+	Error    string `json:"error,omitempty"`
+	ResumeAt int64  `json:"resume_at,omitempty"`
+}
+
+// Handler returns the server's HTTP API.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			sv.handleStart(w, r)
+		case http.MethodGet:
+			writeJSON(w, map[string]any{"sessions": sv.Sessions()})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/sessions/", sv.handleSession)
+	return mux
+}
+
+func (sv *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "serve: bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sv.streamSession(w, func(onAdmit func(*Session), sink func(netlist.NetID, event.Event)) (*Session, error) {
+		return sv.StartSession(r.Context(), &req, onAdmit, sink)
+	})
+}
+
+func (sv *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	id, action, _ := strings.Cut(rest, "/")
+	s := sv.Session(id)
+	if s == nil {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		status := map[string]any{
+			"session": s.ID,
+			"state":   s.State().String(),
+			"plan":    s.PlanKey,
+			"events":  s.Events(),
+		}
+		if err := s.Err(); err != nil {
+			status["error"] = err.Error()
+		}
+		writeJSON(w, status)
+	case action == "cancel" && r.Method == http.MethodPost:
+		s.Cancel()
+		writeJSON(w, map[string]any{"session": s.ID, "state": s.State().String()})
+	case action == "suspend" && r.Method == http.MethodPost:
+		s.Suspend()
+		writeJSON(w, map[string]any{"session": s.ID, "suspending": true})
+	case action == "resume" && r.Method == http.MethodPost:
+		sv.streamSession(w, func(onAdmit func(*Session), sink func(netlist.NetID, event.Event)) (*Session, error) {
+			return sv.ResumeSession(r.Context(), id, onAdmit, sink)
+		})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// streamSession runs a session whose events stream to the response as they
+// commit. The HTTP status must be decided before the first byte, so errors
+// surfaced after the header (lowering ran, session started) arrive as a
+// terminal NDJSON error line under a 200, while admission/preparation
+// rejections — which always precede the header — get their proper status
+// (429/503/400).
+func (sv *Server) streamSession(w http.ResponseWriter, run func(func(*Session), func(netlist.NetID, event.Event)) (*Session, error)) {
+	flusher, _ := w.(http.Flusher)
+	var (
+		enc     = json.NewEncoder(w)
+		started bool
+		nl      *netlist.Netlist
+	)
+	// onAdmit, sink and the post-run epilogue all run on the handler's
+	// session: no concurrent writers, no lock needed.
+	writeLine := func(l *streamLine) {
+		enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	onAdmit := func(s *Session) {
+		started = true
+		nl = s.cp.Plan.Netlist
+		cacheState := "miss"
+		if s.reg.Gauge("serve.cache_hit").Load() == 1 {
+			cacheState = "hit"
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		writeLine(&streamLine{Type: "header", Session: s.ID, Plan: s.PlanKey, Cache: cacheState, State: "running"})
+	}
+	s, err := run(onAdmit, func(nid netlist.NetID, ev event.Event) {
+		writeLine(&streamLine{Type: "event", Net: nl.Nets[nid].Name, Time: ev.Time, Val: ev.Val.String()})
+	})
+	if err != nil {
+		if !started {
+			writeAdmissionError(w, err)
+			return
+		}
+		writeLine(&streamLine{Type: "error", Session: s.ID, Error: err.Error(), State: s.State().String(), Events: s.Events()})
+		return
+	}
+	if s.State() == StateSuspended {
+		writeLine(&streamLine{Type: "suspended", Session: s.ID, Events: s.Events(), State: s.State().String(), ResumeAt: s.resumePoint()})
+		return
+	}
+	writeLine(&streamLine{Type: "done", Session: s.ID, Events: s.Events(), State: s.State().String()})
+}
+
+// writeAdmissionError maps pre-stream failures onto HTTP status codes.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	var busy *BusyError
+	switch {
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &busy):
+		secs := int(busy.RetryAfter.Seconds() + 0.999)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case isClientError(err):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// isClientError classifies pre-run failures the client caused (bad preset,
+// unparsable sources, invalid mode) versus server-side faults.
+func isClientError(err error) bool {
+	var se *sim.SimError
+	if errors.As(err, &se) {
+		return false
+	}
+	// Parse/validation errors from the input packages are fmt.Errorf chains
+	// without structured types; treat every pre-run non-Sim error as the
+	// client's input problem.
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gatesim/internal/obs"
+)
+
+// postSession posts a SessionRequest and decodes the NDJSON stream.
+func postSession(t *testing.T, ts *httptest.Server, req *SessionRequest) (*http.Response, []streamLine) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil // error responses are plain text, not NDJSON
+	}
+	var lines []streamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var l streamLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	return resp, lines
+}
+
+func TestHTTPSessionStream(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	resp, lines := postSession(t, ts, testReq("aes128", 11))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("stream has %d lines, want header+events+done", len(lines))
+	}
+	head, tail := lines[0], lines[len(lines)-1]
+	if head.Type != "header" || head.Session == "" || head.Plan == "" || head.Cache != "miss" {
+		t.Errorf("header line = %+v", head)
+	}
+	events := 0
+	for _, l := range lines[1 : len(lines)-1] {
+		if l.Type != "event" || l.Net == "" {
+			t.Errorf("mid-stream line = %+v", l)
+		}
+		events++
+	}
+	if tail.Type != "done" || tail.State != "done" || tail.Events != int64(events) {
+		t.Errorf("terminal line = %+v (saw %d events)", tail, events)
+	}
+
+	// Second identical request streams from the cached plan.
+	_, lines2 := postSession(t, ts, testReq("aes128", 11))
+	if lines2[0].Cache != "hit" {
+		t.Errorf("second session header cache = %q, want hit", lines2[0].Cache)
+	}
+
+	// Status endpoint for the finished session.
+	st, err := http.Get(ts.URL + "/v1/sessions/" + head.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status["state"] != "done" {
+		t.Errorf("status = %v", status)
+	}
+}
+
+func TestHTTPBadRequestsAndStatuses(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Malformed body and unknown preset are client errors.
+	resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postSession(t, ts, &SessionRequest{Preset: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown preset status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/sessions/s999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPRateLimit429(t *testing.T) {
+	sv := NewServer(Config{
+		Registry:  obs.NewRegistry(),
+		Admission: AdmissionConfig{Rate: 0.0001, Burst: 1},
+	})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	resp, _ := postSession(t, ts, testReq("aes128", 11))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first session status = %d, want 200", resp.StatusCode)
+	}
+	resp, _ = postSession(t, ts, testReq("aes128", 11))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response has no Retry-After header")
+	}
+}
+
+func TestHTTPDrain503(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry(), DrainTimeout: time.Second})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+	if err := sv.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postSession(t, ts, testReq("aes128", 11))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPSuspendResume(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Run a session that suspends at the first checkpoint: easiest to drive
+	// through the Go API, then resume over HTTP.
+	req := testReq("blabla", 7)
+	req.SnapshotEverySlices = 1
+	col := newCollector()
+	s, err := sv.StartSession(t.Context(), req, func(s *Session) { s.Suspend() }, col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateSuspended {
+		t.Fatalf("state = %v, want suspended", s.State())
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+s.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume status = %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var last streamLine
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		last = streamLine{}
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Type != "done" || s.State() != StateDone {
+		t.Errorf("resume terminal = %+v, state = %v", last, s.State())
+	}
+}

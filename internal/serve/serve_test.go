@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/harness"
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/plan"
+	"gatesim/internal/refsim"
+)
+
+// ---------- helpers ----------
+
+// force4Procs lifts GOMAXPROCS so sim.Options.Threads is not clamped to 1
+// on single-CPU machines (parallel-mode tests need a real worker pool).
+func force4Procs(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// testKey makes a distinct digest key without running a real lowering.
+func testKey(b byte) plan.DigestKey {
+	var k plan.DigestKey
+	k[0] = b
+	return k
+}
+
+func testPlan(t *testing.T, preset string, seed int64) *CachedPlan {
+	t.Helper()
+	clib, err := harness.CompiledBuiltin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := gen.PresetByName(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gen.Build(p.Spec(0.0001, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := gen.Delays(d, seed)
+	key := plan.Digest(d.Netlist, clib, delays)
+	pl, err := plan.Build(d.Netlist, clib, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &CachedPlan{Key: key, Plan: pl, Design: d}
+}
+
+// testReq is a tiny preset session request with explicit stimulus knobs so
+// reference runs can mirror it exactly.
+func testReq(preset string, seed int64) *SessionRequest {
+	return &SessionRequest{
+		Preset:   preset,
+		Scale:    0.0001,
+		Seed:     seed,
+		Cycles:   12,
+		Activity: 0.6,
+		SlicePS:  8000,
+	}
+}
+
+// refStream runs the golden refsim over the cached plan with the request's
+// stimulus and returns the committed events per watched (output-port) net.
+func refStream(t *testing.T, cp *CachedPlan, req *SessionRequest) map[netlist.NetID][]event.Event {
+	t.Helper()
+	ref, err := refsim.NewFromPlan(cp.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcs := gen.Stimuli(cp.Design, gen.StimSpec{
+		Cycles: req.Cycles, ActivityFactor: req.Activity, Seed: req.Seed, ScanBurst: req.ScanBurst,
+	})
+	stim := make([]refsim.Stim, len(gcs))
+	for i, c := range gcs {
+		stim[i] = refsim.Stim{Net: c.Net, Time: c.Time, Val: c.Val}
+	}
+	col := refsim.Collect{}
+	if err := ref.Run(stim, col.Add); err != nil {
+		t.Fatal(err)
+	}
+	out := map[netlist.NetID][]event.Event{}
+	for _, nid := range cp.Plan.Netlist.PortsOut {
+		out[nid] = col[nid]
+	}
+	return out
+}
+
+// collector gathers one session's streamed events per net. Each session has
+// its own collector and sink runs on the session's goroutine, so no lock.
+type collector struct {
+	events map[netlist.NetID][]event.Event
+}
+
+func newCollector() *collector {
+	return &collector{events: map[netlist.NetID][]event.Event{}}
+}
+
+func (c *collector) sink(nid netlist.NetID, ev event.Event) {
+	c.events[nid] = append(c.events[nid], ev)
+}
+
+// diffEvents asserts two per-net event maps are byte-identical over the
+// watched nets of want.
+func diffEvents(t *testing.T, label string, want, got map[netlist.NetID][]event.Event) {
+	t.Helper()
+	for nid, w := range want {
+		g := got[nid]
+		if len(g) != len(w) {
+			t.Errorf("%s: net %d: %d events, want %d", label, nid, len(g), len(w))
+			continue
+		}
+		for i := range w {
+			if g[i].Time != w[i].Time || g[i].Val != w[i].Val {
+				t.Errorf("%s: net %d event %d: got (%d,%v) want (%d,%v)",
+					label, nid, i, g[i].Time, g[i].Val, w[i].Time, w[i].Val)
+				break
+			}
+		}
+	}
+}
+
+// ---------- plan cache ----------
+
+func TestPlanCacheSingleflight(t *testing.T) {
+	c := NewPlanCache(4, obs.NewRegistry())
+	key := testKey(1)
+	var builds atomic.Int64
+	build := func() (*CachedPlan, error) {
+		builds.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the herd window
+		return &CachedPlan{Key: key}, nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	var fromCache atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cp, hit, err := c.Get(context.Background(), key, build)
+			if err != nil || cp == nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			if hit {
+				fromCache.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Errorf("builds = %d, want 1 (singleflight)", got)
+	}
+	if got := fromCache.Load(); got != n-1 {
+		t.Errorf("served from cache = %d, want %d", got, n-1)
+	}
+}
+
+func TestPlanCacheNegativeBackoff(t *testing.T) {
+	c := NewPlanCache(4, obs.NewRegistry())
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+	key := testKey(2)
+	var builds int
+	failing := func() (*CachedPlan, error) {
+		builds++
+		return nil, errors.New("broken netlist")
+	}
+
+	if _, _, err := c.Get(context.Background(), key, failing); err == nil {
+		t.Fatal("first Get of failing build returned nil error")
+	}
+	// Within the backoff window: cached error, no rebuild.
+	_, hit, err := c.Get(context.Background(), key, failing)
+	if err == nil || !hit {
+		t.Fatalf("negative-cached Get: hit=%v err=%v", hit, err)
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1 (negative cache)", builds)
+	}
+	// Past the first backoff: re-arm, build again, backoff doubles.
+	clock = clock.Add(negBackoffBase + time.Millisecond)
+	if _, _, err := c.Get(context.Background(), key, failing); err == nil {
+		t.Fatal("re-armed Get returned nil error")
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2 after backoff expiry", builds)
+	}
+	// The doubled window holds where the base window would have expired.
+	clock = clock.Add(negBackoffBase + time.Millisecond)
+	if _, _, _ = c.Get(context.Background(), key, failing); builds != 2 {
+		t.Fatalf("builds = %d, want 2 inside doubled backoff", builds)
+	}
+	// After the doubled window a fixed build heals the entry.
+	clock = clock.Add(negBackoffBase)
+	cp, _, err := c.Get(context.Background(), key, func() (*CachedPlan, error) {
+		return &CachedPlan{Key: key}, nil
+	})
+	if err != nil || cp == nil {
+		t.Fatalf("healed Get: %v", err)
+	}
+	if _, hit, err := c.Get(context.Background(), key, failing); err != nil || !hit {
+		t.Fatalf("post-heal Get: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestPlanCachePanicContained(t *testing.T) {
+	c := NewPlanCache(4, obs.NewRegistry())
+	_, _, err := c.Get(context.Background(), testKey(3), func() (*CachedPlan, error) {
+		panic("lowering exploded")
+	})
+	if err == nil {
+		t.Fatal("panicking build returned nil error")
+	}
+	// The panic is negative-cached like any other failure.
+	_, hit, err2 := c.Get(context.Background(), testKey(3), func() (*CachedPlan, error) {
+		t.Error("build re-ran inside the backoff window")
+		return nil, nil
+	})
+	if err2 == nil || !hit {
+		t.Fatalf("panic not negative-cached: hit=%v err=%v", hit, err2)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewPlanCache(2, reg)
+	ok := func(k plan.DigestKey) BuildFunc {
+		return func() (*CachedPlan, error) { return &CachedPlan{Key: k}, nil }
+	}
+	for b := byte(1); b <= 3; b++ {
+		if _, _, err := c.Get(context.Background(), testKey(b), ok(testKey(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if got := reg.Counter("serve.cache_evictions").Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// Key 1 was least recently used: a fresh Get must rebuild it.
+	_, hit, err := c.Get(context.Background(), testKey(1), ok(testKey(1)))
+	if err != nil || hit {
+		t.Fatalf("evicted key Get: hit=%v err=%v", hit, err)
+	}
+	// Keys 2 and 3 are still resident.
+	if _, hit, _ := c.Get(context.Background(), testKey(3), ok(testKey(3))); !hit {
+		t.Error("key 3 was evicted, want resident")
+	}
+}
+
+// ---------- admission ----------
+
+func TestAdmissionConcurrencyAndQueue(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: 2 * time.Second, Rate: -1,
+	}, obs.NewRegistry())
+
+	rel1, err := a.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second admit queues for the one slot.
+	got2 := make(chan error, 1)
+	go func() {
+		rel2, err := a.Admit(context.Background())
+		if err == nil {
+			rel2()
+		}
+		got2 <- err
+	}()
+	// Wait until it occupies the queue.
+	for i := 0; ; i++ {
+		a.mu.Lock()
+		w := a.waiting
+		a.mu.Unlock()
+		if w == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("second Admit never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third admit overflows the bounded queue: immediate rejection.
+	_, err = a.Admit(context.Background())
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("queue-full Admit: %v, want BusyError", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", busy.RetryAfter)
+	}
+	// Releasing the slot admits the queued caller.
+	rel1()
+	if err := <-got2; err != nil {
+		t.Fatalf("queued Admit after release: %v", err)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond, Rate: -1,
+	}, obs.NewRegistry())
+	rel, err := a.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = a.Admit(context.Background())
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("queue-timeout Admit: %v, want BusyError", err)
+	}
+}
+
+func TestAdmissionRateLimit(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxConcurrent: 8, Rate: 0.001, Burst: 1,
+	}, obs.NewRegistry())
+	clock := time.Unix(2000, 0)
+	a.now = func() time.Time { return clock }
+	a.lastRefill = clock
+
+	rel, err := a.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	_, err = a.Admit(context.Background())
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("rate-limited Admit: %v, want BusyError", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", busy.RetryAfter)
+	}
+	// Tokens accrue with time: an hour later the bucket has refilled.
+	clock = clock.Add(time.Hour)
+	rel, err = a.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("refilled Admit: %v", err)
+	}
+	rel()
+}
+
+func TestAdmissionDraining(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{}, nil)
+	a.SetDraining(true)
+	if _, err := a.Admit(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining Admit: %v, want ErrDraining", err)
+	}
+}
+
+// ---------- server sessions ----------
+
+func TestServerSessionMatchesRefsim(t *testing.T) {
+	reg := obs.NewRegistry()
+	sv := NewServer(Config{Registry: reg})
+	req := testReq("aes128", 11)
+
+	col := newCollector()
+	var admitted *Session
+	s, err := sv.StartSession(context.Background(), req, func(s *Session) { admitted = s }, col.sink)
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	if admitted != s {
+		t.Error("onAdmit saw a different session")
+	}
+	if s.State() != StateDone {
+		t.Fatalf("state = %v, want done", s.State())
+	}
+	want := refStream(t, s.cp, req)
+	diffEvents(t, "session vs refsim", want, col.events)
+	if s.Events() == 0 {
+		t.Error("session delivered zero events")
+	}
+
+	// Same request again: plan served from cache, still byte-identical.
+	col2 := newCollector()
+	s2, err := sv.StartSession(context.Background(), req, nil, col2.sink)
+	if err != nil {
+		t.Fatalf("second StartSession: %v", err)
+	}
+	if s2.reg.Gauge("serve.cache_hit").Load() != 1 {
+		t.Error("second session missed the plan cache")
+	}
+	if got := reg.Counter("serve.lowerings").Load(); got != 1 {
+		t.Errorf("lowerings = %d, want 1", got)
+	}
+	diffEvents(t, "cached session vs refsim", want, col2.events)
+}
+
+func TestServerSuspendResume(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	req := testReq("blabla", 7)
+	req.SnapshotEverySlices = 1
+
+	col := newCollector()
+	// Suspend immediately: the first completed slice checkpoints and stops.
+	s, err := sv.StartSession(context.Background(), req, func(s *Session) { s.Suspend() }, col.sink)
+	if err != nil {
+		t.Fatalf("StartSession: %v", err)
+	}
+	if s.State() != StateSuspended {
+		t.Fatalf("state = %v, want suspended", s.State())
+	}
+	if s.SnapshotAt() == 0 {
+		t.Fatal("suspended session has no snapshot")
+	}
+	partial := s.Events()
+
+	s2, err := sv.ResumeSession(context.Background(), s.ID, nil, col.sink)
+	if err != nil {
+		t.Fatalf("ResumeSession: %v", err)
+	}
+	if s2 != s {
+		t.Fatal("resume returned a different session")
+	}
+	if s.State() != StateDone {
+		t.Fatalf("resumed state = %v, want done", s.State())
+	}
+	if s.Events() <= partial {
+		t.Errorf("resume delivered no further events (%d -> %d)", partial, s.Events())
+	}
+	want := refStream(t, s.cp, req)
+	diffEvents(t, "suspend+resume vs refsim", want, col.events)
+}
+
+func TestServerEventBudget(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	req := testReq("aes128", 5)
+	req.EventBudget = 1
+
+	s, err := sv.StartSession(context.Background(), req, nil, nil)
+	if err == nil {
+		t.Fatal("budget-1 session completed, want ErrEventBudget")
+	}
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+	if s.State() != StateFailed {
+		t.Errorf("state = %v, want failed", s.State())
+	}
+}
+
+func TestServerPoolFaultDegradesTransparently(t *testing.T) {
+	// A pool-infrastructure fault (FaultHook panic) is handled inside the
+	// engine by degrading to serial; the session and its stream are intact.
+	force4Procs(t)
+	var tripped atomic.Bool
+	sv := NewServer(Config{
+		Registry: obs.NewRegistry(),
+		SessionHooks: func(seq int64) (func(netlist.CellID), func(int)) {
+			return nil, func(item int) {
+				if tripped.CompareAndSwap(false, true) {
+					panic("injected pool fault")
+				}
+			}
+		},
+	})
+	req := testReq("aes128", 11)
+	req.Mode = "parallel"
+	req.Threads = 4
+	req.BatchThreshold = 1 // engage the pool even on this tiny design
+
+	col := newCollector()
+	s, err := sv.StartSession(context.Background(), req, nil, col.sink)
+	if err != nil {
+		t.Fatalf("StartSession with pool fault: %v", err)
+	}
+	if s.State() != StateDone {
+		t.Fatalf("state = %v, want done", s.State())
+	}
+	if !tripped.Load() {
+		t.Fatal("fault hook never fired")
+	}
+	diffEvents(t, "pool-fault session vs refsim", refStream(t, s.cp, req), col.events)
+}
+
+func TestServerDrainRejectsArrivals(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry(), DrainTimeout: time.Second})
+	if err := sv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sv.StartSession(context.Background(), testReq("aes128", 1), nil, nil)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("StartSession after drain: %v, want ErrDraining", err)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	cases := []*SessionRequest{
+		{},
+		{Preset: "no-such-preset"},
+		{Preset: "aes128", Verilog: "module m; endmodule"},
+		{Preset: "aes128", Mode: "warp"},
+	}
+	for i, req := range cases {
+		if _, err := sv.StartSession(context.Background(), req, nil, nil); err == nil {
+			t.Errorf("case %d: bad request accepted", i)
+		}
+	}
+}

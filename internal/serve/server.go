@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/harness"
+	"gatesim/internal/liberty"
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/plan"
+	"gatesim/internal/sdf"
+	"gatesim/internal/sim"
+	"gatesim/internal/truthtab"
+	"gatesim/internal/vcd"
+)
+
+// Config assembles the server. Zero values pick serving defaults.
+type Config struct {
+	// CacheSize is the plan-cache capacity in lowered plans (default 8).
+	CacheSize int
+	// Admission bounds concurrent and queued sessions.
+	Admission AdmissionConfig
+	// Limits are the default per-session resource bounds; requests may
+	// tighten or (within server policy) adjust them.
+	Limits SessionLimits
+	// DrainTimeout is how long Drain lets in-flight sessions finish before
+	// cancelling them (default 10s).
+	DrainTimeout time.Duration
+	// Registry receives server-level metrics. May be nil.
+	Registry *obs.Registry
+	// Debug, when set, gets each session's registry registered under
+	// sessions/<id> for /debug/metrics/<name> introspection.
+	Debug *obs.DebugServer
+	// SessionHooks is a test seam: called with each session's sequence
+	// number, the returned gate/fault hooks are installed into that
+	// session's engine for chaos injection. May be nil.
+	SessionHooks func(seq int64) (gate func(netlist.CellID), fault func(int))
+}
+
+// Server runs concurrent streamed simulation sessions over cache-shared
+// plans. See the package comment for the robustness contract.
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+	adm   *Admission
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+
+	seq      atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	sessionsDone   *obs.Counter
+	sessionsFailed *obs.Counter
+	drains         *obs.Counter
+}
+
+// NewServer assembles a server from the config.
+func NewServer(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 8
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	cfg.Limits.defaults()
+	return &Server{
+		cfg:            cfg,
+		cache:          NewPlanCache(cfg.CacheSize, cfg.Registry),
+		adm:            NewAdmission(cfg.Admission, cfg.Registry),
+		sessions:       make(map[string]*Session),
+		sessionsDone:   cfg.Registry.Counter("serve.sessions_done"),
+		sessionsFailed: cfg.Registry.Counter("serve.sessions_failed"),
+		drains:         cfg.Registry.Counter("serve.drains"),
+	}
+}
+
+// Cache exposes the plan cache (for tests and introspection).
+func (sv *Server) Cache() *PlanCache { return sv.cache }
+
+// SessionRequest describes one streamed run. Exactly one of Preset or
+// Verilog selects the design source.
+type SessionRequest struct {
+	// Preset mode: a synthetic Table I design family.
+	Preset    string  `json:"preset,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`    // default 0.01
+	Seed      int64   `json:"seed,omitempty"`     // design + stimulus seed
+	Cycles    int     `json:"cycles,omitempty"`   // stimulus cycles (default 20)
+	Activity  float64 `json:"activity,omitempty"` // default 0.5
+	ScanBurst int     `json:"scan_burst,omitempty"`
+
+	// Raw mode: sources shipped in the request (built-in Liberty library).
+	Verilog string `json:"verilog,omitempty"`
+	Top     string `json:"top,omitempty"`
+	SDF     string `json:"sdf,omitempty"`
+	VCD     string `json:"vcd,omitempty"`
+
+	// Per-session limit overrides (0 = server default).
+	DeadlineMS          int64  `json:"deadline_ms,omitempty"`
+	MaxSweeps           int    `json:"max_sweeps,omitempty"`
+	EventBudget         int64  `json:"event_budget,omitempty"`
+	SlicePS             int64  `json:"slice_ps,omitempty"`
+	SnapshotEverySlices int    `json:"snapshot_every_slices,omitempty"`
+	MaxRetries          int    `json:"max_retries,omitempty"`
+	Mode                string `json:"mode,omitempty"` // auto|serial|parallel|manycore
+	Threads             int    `json:"threads,omitempty"`
+	BatchThreshold      int    `json:"batch_threshold,omitempty"` // pool engagement floor
+	WatchAll            bool   `json:"watch_all,omitempty"`
+}
+
+func (r *SessionRequest) limits(def SessionLimits) SessionLimits {
+	l := def
+	if r.DeadlineMS > 0 {
+		l.Deadline = time.Duration(r.DeadlineMS) * time.Millisecond
+	}
+	if r.MaxSweeps > 0 {
+		l.MaxSweeps = r.MaxSweeps
+	}
+	if r.EventBudget != 0 {
+		l.EventBudget = r.EventBudget
+	}
+	if r.SlicePS > 0 {
+		l.SlicePS = r.SlicePS
+	}
+	if r.SnapshotEverySlices != 0 {
+		l.SnapshotEverySlices = r.SnapshotEverySlices
+	}
+	if r.MaxRetries != 0 {
+		l.MaxRetries = r.MaxRetries
+	}
+	return l
+}
+
+func (r *SessionRequest) mode() (sim.Mode, error) {
+	switch r.Mode {
+	case "", "auto":
+		return sim.ModeAuto, nil
+	case "serial":
+		return sim.ModeSerial, nil
+	case "parallel":
+		return sim.ModeParallel, nil
+	case "manycore":
+		return sim.ModeManycore, nil
+	}
+	return 0, fmt.Errorf("serve: unknown mode %q", r.Mode)
+}
+
+// StartSession admits, plans and runs one session to completion (or
+// suspension/failure), delivering watched events to sink as they commit.
+// onAdmit, when non-nil, fires once the session exists (admitted, plan
+// resolved) and before the first event — HTTP handlers emit their stream
+// header there. The returned session is non-nil whenever onAdmit fired, so
+// the caller can inspect state/metrics even after a failure; the error is
+// the session's terminal error. Blocks for the whole run: HTTP handlers
+// stream from inside sink, tests drive N of these concurrently.
+func (sv *Server) StartSession(ctx context.Context, req *SessionRequest, onAdmit func(*Session), sink func(netlist.NetID, event.Event)) (*Session, error) {
+	if sv.draining.Load() {
+		return nil, ErrDraining
+	}
+	release, err := sv.adm.Admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sv.wg.Add(1)
+	defer func() { release(); sv.wg.Done() }()
+
+	cp, hit, stim, watch, err := sv.prepare(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := req.mode()
+	if err != nil {
+		return nil, err
+	}
+
+	seq := sv.seq.Add(1)
+	s := &Session{
+		ID:               "s" + strconv.FormatInt(seq, 10),
+		PlanKey:          cp.Key.String(),
+		limits:           req.limits(sv.cfg.Limits),
+		opts:             sim.Options{Mode: mode, Threads: req.Threads, SerialBatchThreshold: req.BatchThreshold},
+		cp:               cp,
+		stim:             stim,
+		watch:            watch,
+		reg:              obs.NewRegistry(),
+		lastSent:         make(map[netlist.NetID]int64),
+		poisonedSessions: sv.cfg.Registry.Counter("serve.sessions_poisoned"),
+		retriesCounter:   sv.cfg.Registry.Counter("serve.sessions_retried"),
+	}
+	s.reg.Gauge("serve.cache_hit").Set(b2i(hit))
+	if sv.cfg.SessionHooks != nil {
+		s.opts.GateHook, s.opts.FaultHook = sv.cfg.SessionHooks(seq)
+	}
+	sv.mu.Lock()
+	sv.sessions[s.ID] = s
+	sv.mu.Unlock()
+	if sv.cfg.Debug != nil {
+		sv.cfg.Debug.Register("sessions/"+s.ID, s.reg)
+	}
+	if onAdmit != nil {
+		onAdmit(s)
+	}
+
+	err = s.run(ctx, sink)
+	sv.finish(s, err)
+	return s, err
+}
+
+// ResumeSession continues a suspended session under a fresh admission slot,
+// streaming the remaining events to sink. onAdmit fires before the stream
+// restarts, as in StartSession.
+func (sv *Server) ResumeSession(ctx context.Context, id string, onAdmit func(*Session), sink func(netlist.NetID, event.Event)) (*Session, error) {
+	if sv.draining.Load() {
+		return nil, ErrDraining
+	}
+	s := sv.Session(id)
+	if s == nil {
+		return nil, fmt.Errorf("serve: no session %q", id)
+	}
+	if s.State() != StateSuspended {
+		return s, fmt.Errorf("serve: session %s is %s, not suspended", id, s.State())
+	}
+	release, err := sv.adm.Admit(ctx)
+	if err != nil {
+		return s, err
+	}
+	sv.wg.Add(1)
+	defer func() { release(); sv.wg.Done() }()
+	if onAdmit != nil {
+		onAdmit(s)
+	}
+	err = s.run(ctx, sink)
+	sv.finish(s, err)
+	return s, err
+}
+
+func (sv *Server) finish(s *Session, err error) {
+	switch s.State() {
+	case StateDone:
+		sv.sessionsDone.Add(1)
+	case StateFailed, StateCanceled:
+		sv.sessionsFailed.Add(1)
+	}
+	// Suspended sessions keep their debug registry visible for resume.
+	if sv.cfg.Debug != nil && s.State() != StateSuspended {
+		sv.cfg.Debug.Unregister("sessions/" + s.ID)
+	}
+}
+
+// Session looks up a session by ID (nil if unknown).
+func (sv *Server) Session(id string) *Session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.sessions[id]
+}
+
+// Sessions returns a snapshot of all session IDs, sorted.
+func (sv *Server) Sessions() []string {
+	sv.mu.Lock()
+	ids := make([]string, 0, len(sv.sessions))
+	for id := range sv.sessions {
+		ids = append(ids, id)
+	}
+	sv.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Drain gracefully shuts the server down: stop admitting, let in-flight
+// sessions finish within the drain timeout, then cancel the stragglers and
+// wait for them to unwind. Always returns with zero sessions running.
+func (sv *Server) Drain(ctx context.Context) error {
+	sv.draining.Store(true)
+	sv.adm.SetDraining(true)
+	sv.drains.Add(1)
+
+	done := make(chan struct{})
+	go func() { sv.wg.Wait(); close(done) }()
+	timer := time.NewTimer(sv.cfg.DrainTimeout)
+	defer timer.Stop()
+	graceful := true
+	select {
+	case <-done:
+	case <-timer.C:
+		graceful = false
+	case <-ctx.Done():
+		graceful = false
+	}
+	if !graceful {
+		sv.mu.Lock()
+		for _, s := range sv.sessions {
+			s.Cancel()
+		}
+		sv.mu.Unlock()
+		<-done
+	}
+	return nil
+}
+
+// prepare turns the request into a cache-shared plan plus this session's
+// stimulus and watch list. Only the plan lowering is cached and shared;
+// stimulus generation is per-session.
+func (sv *Server) prepare(ctx context.Context, req *SessionRequest) (cp *CachedPlan, hit bool, stim []sim.Change, watch []netlist.NetID, err error) {
+	clib, err := harness.CompiledBuiltin()
+	if err != nil {
+		return nil, false, nil, nil, err
+	}
+	switch {
+	case req.Preset != "" && req.Verilog != "":
+		return nil, false, nil, nil, errors.New("serve: request has both preset and verilog")
+	case req.Preset != "":
+		cp, hit, err = sv.preparePreset(ctx, req, clib)
+	case req.Verilog != "":
+		cp, hit, err = sv.prepareRaw(ctx, req, clib)
+	default:
+		return nil, false, nil, nil, errors.New("serve: request needs a preset or verilog source")
+	}
+	if err != nil {
+		return nil, false, nil, nil, err
+	}
+	stim, err = sv.stimulus(req, cp)
+	if err != nil {
+		return nil, false, nil, nil, err
+	}
+	nl := cp.Plan.Netlist
+	if req.WatchAll {
+		watch = make([]netlist.NetID, len(nl.Nets))
+		for i := range nl.Nets {
+			watch[i] = netlist.NetID(i)
+		}
+	} else {
+		watch = nl.PortsOut
+	}
+	return cp, hit, stim, watch, nil
+}
+
+func (sv *Server) preparePreset(ctx context.Context, req *SessionRequest, clib *truthtab.CompiledLibrary) (*CachedPlan, bool, error) {
+	p, err := gen.PresetByName(req.Preset)
+	if err != nil {
+		return nil, false, err
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = 0.01
+	}
+	spec := p.Spec(scale, req.Seed)
+	d, err := gen.Build(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	delays := gen.Delays(d, req.Seed)
+	key := plan.Digest(d.Netlist, clib, delays)
+	return sv.cacheGet(ctx, key, func() (*CachedPlan, error) {
+		pl, err := plan.Build(d.Netlist, clib, delays)
+		if err != nil {
+			return nil, err
+		}
+		return &CachedPlan{Key: key, Plan: pl, Design: d}, nil
+	})
+}
+
+func (sv *Server) prepareRaw(ctx context.Context, req *SessionRequest, clib *truthtab.CompiledLibrary) (*CachedPlan, bool, error) {
+	lib := liberty.MustBuiltin()
+	nl, err := netlist.ParseVerilogHierarchy(req.Verilog, lib, req.Top)
+	if err != nil {
+		return nil, false, err
+	}
+	var delays *sdf.Delays
+	if req.SDF != "" {
+		f, err := sdf.Parse(req.SDF)
+		if err != nil {
+			return nil, false, err
+		}
+		if delays, err = sdf.Apply(f, nl, sdf.Delay{Rise: 1, Fall: 1}); err != nil {
+			return nil, false, err
+		}
+	} else {
+		delays = gen.Delays(&gen.Design{Netlist: nl}, 1)
+	}
+	key := plan.Digest(nl, clib, delays)
+	return sv.cacheGet(ctx, key, func() (*CachedPlan, error) {
+		pl, err := plan.Build(nl, clib, delays)
+		if err != nil {
+			return nil, err
+		}
+		return &CachedPlan{Key: key, Plan: pl}, nil
+	})
+}
+
+func (sv *Server) cacheGet(ctx context.Context, key plan.DigestKey, build BuildFunc) (*CachedPlan, bool, error) {
+	return sv.cache.Get(ctx, key, build)
+}
+
+// stimulus produces this session's sorted input changes. Preset sessions
+// generate against the CACHED design so NetIDs always index the shared
+// plan's netlist; raw sessions decode the request's VCD the same way.
+func (sv *Server) stimulus(req *SessionRequest, cp *CachedPlan) ([]sim.Change, error) {
+	if req.Preset != "" {
+		if cp.Design == nil {
+			return nil, errors.New("serve: cached preset plan lacks its design")
+		}
+		cycles := req.Cycles
+		if cycles <= 0 {
+			cycles = 20
+		}
+		activity := req.Activity
+		if activity <= 0 {
+			activity = 0.5
+		}
+		gcs := gen.Stimuli(cp.Design, gen.StimSpec{
+			Cycles: cycles, ActivityFactor: activity, Seed: req.Seed, ScanBurst: req.ScanBurst,
+		})
+		out := make([]sim.Change, len(gcs))
+		for i, c := range gcs {
+			out[i] = sim.Change{Net: c.Net, Time: c.Time, Val: c.Val}
+		}
+		// gen.Stimuli is time-ordered per net but not globally; the session's
+		// slice streaming and snapshot-resume cut (sort.Search over Time) both
+		// need a globally sorted stream. Stable keeps per-net order intact.
+		sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+		return out, nil
+	}
+	if req.VCD == "" {
+		return nil, errors.New("serve: raw session needs vcd stimulus")
+	}
+	r, err := vcd.NewReader(strings.NewReader(req.VCD))
+	if err != nil {
+		return nil, err
+	}
+	src, err := harness.NewVCDSource(r, cp.Plan.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	var out []sim.Change
+	for {
+		c, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gatesim/internal/event"
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/sim"
+)
+
+// SessionState is the lifecycle of one streamed run.
+type SessionState int32
+
+const (
+	StateQueued SessionState = iota
+	StateRunning
+	StateSuspended
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateSuspended:
+		return "suspended"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// SessionLimits are the per-session resource bounds. Zero values pick
+// serving defaults.
+type SessionLimits struct {
+	// Deadline is the wall-clock budget (default 60s).
+	Deadline time.Duration
+	// MaxSweeps bounds convergence per Advance (engine watchdog; default
+	// 10000).
+	MaxSweeps int
+	// EventBudget caps committed events; the session fails with
+	// ErrEventBudget when exceeded (default 50M; < 0 disables).
+	EventBudget int64
+	// SlicePS is the streaming window (default engine default).
+	SlicePS int64
+	// SnapshotEverySlices checkpoints the engine every N completed slices
+	// for suspend/resume and restore-and-retry (default 4; < 0 disables).
+	SnapshotEverySlices int
+	// MaxRetries bounds automatic restore-and-retry after a contained gate
+	// panic (default 1). The last retry degrades to ModeSerial.
+	MaxRetries int
+}
+
+func (l *SessionLimits) defaults() {
+	if l.Deadline <= 0 {
+		l.Deadline = 60 * time.Second
+	}
+	if l.MaxSweeps <= 0 {
+		l.MaxSweeps = 10000
+	}
+	if l.EventBudget == 0 {
+		l.EventBudget = 50_000_000
+	}
+	if l.SnapshotEverySlices == 0 {
+		l.SnapshotEverySlices = 4
+	}
+	if l.MaxRetries == 0 {
+		l.MaxRetries = 1
+	}
+}
+
+// ErrEventBudget marks a session stopped for exceeding its event budget.
+var ErrEventBudget = errors.New("serve: session event budget exceeded")
+
+// errSuspend threads the suspend request through the stream seam.
+var errSuspend = errors.New("serve: session suspended")
+
+// Session is one streamed simulation run over a cached plan. The engine is
+// private to the session — a gate panic poisons this engine only; the plan
+// and every other session keep running.
+type Session struct {
+	ID      string
+	PlanKey string
+
+	limits SessionLimits
+	opts   sim.Options
+	cp     *CachedPlan
+	stim   []sim.Change
+	watch  []netlist.NetID
+	reg    *obs.Registry
+
+	state   atomic.Int32
+	cancel  context.CancelFunc
+	suspend atomic.Bool
+
+	mu       sync.Mutex
+	snapshot bytes.Buffer // latest checkpoint (valid when snapAt > 0)
+	snapAt   int64        // slice end the snapshot was taken at
+	resumeAt int64        // where a suspended stream restarts
+	lastErr  error
+	events   atomic.Int64
+	retries  int
+
+	// lastSent dedups re-emitted events after a restore-and-retry: committed
+	// streams are flushed in clean per-net time-prefix cuts, so an event at
+	// or before the net's last delivered time was already delivered.
+	lastSent map[netlist.NetID]int64
+
+	poisonedSessions *obs.Counter
+	retriesCounter   *obs.Counter
+}
+
+// State reports the session's lifecycle state.
+func (s *Session) State() SessionState { return SessionState(s.state.Load()) }
+
+// SnapshotAt reports the slice end of the latest checkpoint (0 = none yet).
+func (s *Session) SnapshotAt() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapAt
+}
+
+// Events reports committed events delivered so far.
+func (s *Session) Events() int64 { return s.events.Load() }
+
+// Err reports the terminal error of a failed session.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Registry exposes the session's metrics registry.
+func (s *Session) Registry() *obs.Registry { return s.reg }
+
+// Suspend asks the session to stop at the next slice boundary, snapshotting
+// for a later Resume. No-op unless running.
+func (s *Session) Suspend() { s.suspend.Store(true) }
+
+// Cancel aborts the session at the next sweep boundary.
+func (s *Session) Cancel() {
+	if c := s.cancel; c != nil {
+		c()
+	}
+}
+
+// run drives the session to completion, suspension, or failure, delivering
+// watched events to sink in global time order. It owns the engine's whole
+// lifecycle: build from the shared plan, stream with periodic snapshots,
+// restore-and-retry after a contained panic (bounded, final retry in serial
+// mode), surface everything else as a structured error.
+func (s *Session) run(ctx context.Context, sink func(netlist.NetID, event.Event)) error {
+	ctx, cancelDeadline := context.WithTimeout(ctx, s.limits.Deadline)
+	defer cancelDeadline()
+	ctx, s.cancel = context.WithCancel(ctx)
+	defer s.cancel()
+
+	s.state.Store(int32(StateRunning))
+	err := s.runAttempts(ctx, sink)
+	switch {
+	case err == nil:
+		s.state.Store(int32(StateDone))
+	case errors.Is(err, errSuspend):
+		s.state.Store(int32(StateSuspended))
+		err = nil
+	case errors.Is(err, context.Canceled):
+		s.setErr(err)
+		s.state.Store(int32(StateCanceled))
+	default:
+		s.setErr(err)
+		s.state.Store(int32(StateFailed))
+	}
+	return err
+}
+
+func (s *Session) setErr(err error) {
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+}
+
+// runAttempts loops engine attempts: a contained gate panic with a usable
+// snapshot triggers restore-and-retry up to MaxRetries (the final retry
+// forces ModeSerial, mirroring the engine's own degrade ladder); any other
+// error is terminal.
+func (s *Session) runAttempts(ctx context.Context, sink func(netlist.NetID, event.Event)) error {
+	opts := s.opts
+	opts.MaxSweeps = s.limits.MaxSweeps
+	opts.Metrics = s.reg
+
+	e, err := sim.NewFromPlan(s.cp.Plan, opts)
+	if err != nil {
+		return fmt.Errorf("serve: engine construction: %w", err)
+	}
+	defer func() { e.Close() }()
+
+	// A resumed session starts from its suspension snapshot.
+	if s.resumeAt > 0 {
+		s.mu.Lock()
+		snap := append([]byte(nil), s.snapshot.Bytes()...)
+		s.mu.Unlock()
+		if err := e.LoadSnapshot(bytes.NewReader(snap)); err != nil {
+			return fmt.Errorf("serve: resume restore: %w", err)
+		}
+	}
+
+	for {
+		err := s.streamOnce(ctx, e, sink)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, sim.ErrPoisoned) {
+			return err
+		}
+		s.poisonedSessions.Add(1)
+		s.mu.Lock()
+		haveSnap := s.snapAt > 0
+		s.mu.Unlock()
+		if s.retries >= s.limits.MaxRetries || !haveSnap || ctx.Err() != nil {
+			return err
+		}
+		s.retries++
+		s.retriesCounter.Add(1)
+		if s.retries >= s.limits.MaxRetries && e.Mode() != sim.ModeSerial {
+			// Final retry: degrade to serial, the engine's own last rung.
+			e.Close()
+			serialOpts := opts
+			serialOpts.Mode = sim.ModeSerial
+			e2, err2 := sim.NewFromPlan(s.cp.Plan, serialOpts)
+			if err2 != nil {
+				return err
+			}
+			e = e2
+		}
+		s.mu.Lock()
+		snap := append([]byte(nil), s.snapshot.Bytes()...)
+		s.mu.Unlock()
+		// LoadSnapshot replaces all engine state and clears the poison.
+		if rerr := e.LoadSnapshot(bytes.NewReader(snap)); rerr != nil {
+			return errors.Join(err, fmt.Errorf("serve: retry restore: %w", rerr))
+		}
+	}
+}
+
+// streamOnce runs one stream attempt from the current engine state. The
+// stimulus source is positioned at the engine's restore point; the lastSent
+// filter drops any events a prior attempt already delivered.
+func (s *Session) streamOnce(ctx context.Context, e *sim.Engine, sink func(netlist.NetID, event.Event)) error {
+	from := s.resumePoint()
+	// First change at or past the restore point: everything before it was
+	// injected (and converged past) before the snapshot was taken.
+	idx := sort.Search(len(s.stim), func(i int) bool { return s.stim[i].Time >= from })
+	src := sim.NewSliceSource(s.stim[idx:])
+
+	slices := 0
+	return e.RunStreamCtx(ctx, src, sim.StreamConfig{
+		SlicePS: s.limits.SlicePS,
+		Watch:   s.watch,
+		OnEvent: func(nid netlist.NetID, ev event.Event) {
+			if last, ok := s.lastSent[nid]; ok && ev.Time <= last {
+				return // already delivered before a retry's restore point
+			}
+			s.lastSent[nid] = ev.Time
+			s.events.Add(1)
+			if sink != nil {
+				sink(nid, ev)
+			}
+		},
+		AfterSlice: func(end int64) error {
+			if s.limits.EventBudget > 0 {
+				if st := e.Stats(); st.EventsCommitted > s.limits.EventBudget {
+					return fmt.Errorf("%w: %d committed > budget %d",
+						ErrEventBudget, st.EventsCommitted, s.limits.EventBudget)
+				}
+			}
+			slices++
+			wantSnap := s.limits.SnapshotEverySlices > 0 && slices%s.limits.SnapshotEverySlices == 0
+			if s.suspend.Load() {
+				wantSnap = true
+			}
+			if wantSnap {
+				s.mu.Lock()
+				s.snapshot.Reset()
+				err := e.SaveSnapshot(&s.snapshot)
+				if err != nil {
+					s.snapshot.Reset()
+				} else {
+					s.snapAt = end
+				}
+				s.mu.Unlock()
+				if err != nil {
+					return fmt.Errorf("serve: checkpoint: %w", err)
+				}
+			}
+			if s.suspend.Load() {
+				s.suspend.Store(false)
+				s.mu.Lock()
+				s.resumeAt = end
+				s.mu.Unlock()
+				return errSuspend
+			}
+			return nil
+		},
+	})
+}
+
+// resumePoint is the stimulus time the current engine state corresponds to:
+// the restore snapshot's slice end, or 0 on a fresh engine.
+func (s *Session) resumePoint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.resumeAt > 0 {
+		return s.resumeAt
+	}
+	if s.retries > 0 {
+		return s.snapAt
+	}
+	return 0
+}

@@ -61,6 +61,16 @@ type StreamConfig struct {
 	// OnEvent receives watched events in global time order (ties broken by
 	// net id). May be nil (useful for pure performance runs).
 	OnEvent func(nid netlist.NetID, ev event.Event)
+	// AfterSlice, when non-nil, runs at the end of every completed slice —
+	// after the window's events are flushed and Checkpoint has folded
+	// history, i.e. at a quiescent point where SaveSnapshot is legal and the
+	// slice's read marks are recorded. `end` is the absolute end time of the
+	// slice just finished. Returning a non-nil error aborts the stream with a
+	// resumable *SimError (Op "stream"): the engine is NOT poisoned, events
+	// already emitted stay emitted, and a later RunStreamCtx may continue
+	// from the same source position. Serving layers hang periodic snapshot
+	// checkpoints, event budgets and suspend gates off this seam.
+	AfterSlice func(end int64) error
 }
 
 // RunStream drives the engine from a stimulus source in streaming slices:
@@ -183,6 +193,11 @@ func (e *Engine) RunStreamCtx(ctx context.Context, src StimulusSource, cfg Strea
 		e.obs.trace.End(e.obs.tid)
 		e.obs.sliceNS.Observe(time.Since(sliceStart).Nanoseconds())
 		e.emitSliceCounters(limit)
+		if cfg.AfterSlice != nil {
+			if err := cfg.AfterSlice(end); err != nil {
+				return &SimError{Op: "stream", Cause: err}
+			}
+		}
 		start = end
 	}
 	if err := e.FinishCtx(ctx); err != nil {

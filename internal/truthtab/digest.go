@@ -1,0 +1,49 @@
+package truthtab
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// DigestInto writes a canonical byte serialization of the compiled table to
+// w: cell name, dimensions, edge-sensitivity flags and the full extended
+// truth-table contents. Two tables with equal serializations behave
+// identically under every Lookup/LookupInto query, so content hashes built
+// over this stream (plan.Digest) may treat table equality as behavioural
+// equality. The stream is independent of compile-time incidentals (map
+// iteration, pointer identity).
+func (t *Table) DigestInto(w io.Writer) {
+	writeString(w, t.Cell.Name)
+	writeInts(w, t.NumInputs, t.NumStates, t.NumOutputs)
+	for _, es := range t.EdgeSensitive {
+		writeBool(w, es)
+	}
+	writeInts(w, t.radix...)
+	// data is []logic.Value (one byte each); write it verbatim.
+	buf := make([]byte, len(t.data))
+	for i, v := range t.data {
+		buf[i] = byte(v)
+	}
+	w.Write(buf)
+}
+
+func writeString(w io.Writer, s string) {
+	writeInts(w, len(s))
+	io.WriteString(w, s)
+}
+
+func writeBool(w io.Writer, b bool) {
+	v := byte(0)
+	if b {
+		v = 1
+	}
+	w.Write([]byte{v})
+}
+
+func writeInts(w io.Writer, vs ...int) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		w.Write(buf[:])
+	}
+}

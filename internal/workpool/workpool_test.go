@@ -68,9 +68,16 @@ func TestCloseJoinsAndRestarts(t *testing.T) {
 		t.Fatal("pool never started helpers")
 	}
 	p.Close()
-	// Close joins via WaitGroup, so the helpers are gone synchronously.
-	if after := runtime.NumGoroutine(); after > before {
-		t.Errorf("goroutines leaked across Close: %d -> %d", before, after)
+	// Close joins via WaitGroup, so the helpers are gone synchronously —
+	// but unrelated goroutines (earlier tests' workers, runtime helpers)
+	// wind down asynchronously, so poll instead of sampling once.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked across Close: %d -> %d", before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	p.Close() // idempotent
 	// The pool restarts lazily after Close.

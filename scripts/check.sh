@@ -1,13 +1,16 @@
 #!/bin/sh
 # Repository check gate: build, vet, formatting, full tests, a short-mode
-# race pass over the concurrent packages, and fuzz smoke stages for the
-# script replayer and the parsers.
+# race pass over the concurrent packages, the glsimd end-to-end smoke, and
+# fuzz smoke stages for the script replayer and the parsers.
 # The sim race run includes the cross-mode equivalence test (serial/
 # parallel/manycore on one stimulus trace), so the pooled executor is raced
 # against the serial oracle on every check. It also covers the fault tests
 # (contained panics, degradation, cancellation), so the failure ladder is
-# raced on every check too. The fuzz stage gives each parser a few seconds
-# of coverage-guided input; `make fuzz` runs the same targets longer.
+# raced on every check too. The serve race run includes the chaos test
+# (concurrent sessions over shared plans with injected gate faults), so
+# session isolation and snapshot recovery are raced on every check. The
+# fuzz stage gives each parser a few seconds of coverage-guided input;
+# `make fuzz` runs the same targets longer.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,7 +32,10 @@ echo "== go test"
 go test ./...
 
 echo "== go test -race (short, concurrent packages)"
-go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/ ./internal/obs/
+go test -race -short ./internal/sim/ ./internal/partsim/ ./internal/workpool/ ./internal/obs/ ./internal/serve/
+
+echo "== glsimd serve smoke"
+./scripts/serve_smoke.sh
 
 echo "== script replay fuzz smoke (5s)"
 go test -run '^$' -fuzz FuzzScriptComb1Segment -fuzztime 5s ./internal/sim/

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Smoke test for the resident server: build glsimd, start it on a random
+# port, run overlapping client sessions from two presets (so the second
+# session of each preset must hit the plan cache), then SIGTERM the server
+# and require a clean graceful drain (exit 0). Everything a deploy needs to
+# believe: the binary serves, streams, caches and drains.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)/glsimd
+LOG=$(mktemp)
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")" "$LOG"' EXIT
+
+echo "== build glsimd"
+go build -o "$BIN" ./cmd/glsimd
+
+# Ports are a shared resource on CI runners; retry the bind a few times.
+attempt=0
+while :; do
+    PORT=$((20000 + ($$ + attempt * 61) % 20000))
+    "$BIN" -addr "127.0.0.1:$PORT" -drain-timeout 10s >"$LOG" 2>&1 &
+    SRV_PID=$!
+    ok=""
+    for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+        if ! kill -0 "$SRV_PID" 2>/dev/null; then
+            break
+        fi
+        if grep -q "serving on" "$LOG"; then
+            ok=1
+            break
+        fi
+        sleep 0.1
+    done
+    [ -n "$ok" ] && break
+    attempt=$((attempt + 1))
+    if [ "$attempt" -ge 5 ]; then
+        echo "serve_smoke: server failed to start:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+done
+URL="http://127.0.0.1:$PORT"
+echo "== glsimd up on $URL (pid $SRV_PID)"
+
+echo "== overlapping sessions: 2x aes128 + 2x blabla"
+FAIL=$(mktemp)
+run_client() {
+    # Each client must end in a done line; count events for the log.
+    if ! out=$("$BIN" -client "$URL" -preset "$1" -seed "$2" -cycles 20 -scale 0.001 -slice 8000); then
+        echo "$1/$2" >>"$FAIL"
+        return
+    fi
+    events=$(printf '%s\n' "$out" | grep -c '"type":"event"' || true)
+    echo "   $1 seed=$2: $events events"
+}
+run_client aes128 11 & C1=$!
+run_client blabla 7 & C2=$!
+run_client aes128 11 & C3=$!
+run_client blabla 7 & C4=$!
+wait "$C1" "$C2" "$C3" "$C4"
+if [ -s "$FAIL" ]; then
+    echo "serve_smoke: client sessions failed: $(cat "$FAIL")" >&2
+    cat "$LOG" >&2
+    rm -f "$FAIL"
+    exit 1
+fi
+rm -f "$FAIL"
+
+echo "== plan cache served repeats (want 2 lowerings for 4 sessions)"
+# The status endpoint lists all sessions; 4 must exist and be done.
+sessions=$("$BIN" -client "$URL" -preset aes128 -seed 11 -cycles 1 -scale 0.001 | grep -c '"type":"header"')
+[ "$sessions" -eq 1 ] || { echo "serve_smoke: probe session failed" >&2; exit 1; }
+
+echo "== SIGTERM -> graceful drain"
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "serve_smoke: server exited non-zero on SIGTERM:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q "drained, bye" "$LOG" || {
+    echo "serve_smoke: no drain confirmation in server log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "serve_smoke: all passed"

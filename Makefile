@@ -16,10 +16,11 @@ bench:
 # exercise the persistent worker pool), then the machine-readable report:
 # BENCH_smoke.json records runtimes plus the engine's scheduling counters
 # (pool_spawned staying at the worker count across rows is the no-churn
-# invariant).
+# invariant). -lanes 8 adds one multi-stimulus lane point (an 8-lane run vs
+# 8 sequential scalar runs) under the report's "lane" field.
 bench-smoke:
 	go test -run '^$$' -bench BenchmarkFig8 -benchtime 1x .
-	go run ./cmd/experiments -fig8 -scale 0.005 -cycles 60 -threadlist 1,2,4 -json BENCH_smoke.json
+	go run ./cmd/experiments -fig8 -scale 0.005 -cycles 60 -threadlist 1,2,4 -lanes 8 -json BENCH_smoke.json
 
 # Re-run the smoke benchmark and diff it against the committed
 # BENCH_smoke.json, failing on >10% runtime regressions (see
@@ -44,6 +45,7 @@ FUZZTIME ?= 60s
 fuzz:
 	go test -run '^$$' -fuzz FuzzScriptComb1Segment -fuzztime $(FUZZTIME) ./internal/sim/
 	go test -run '^$$' -fuzz FuzzWatermarkRelax -fuzztime $(FUZZTIME) ./internal/sim/
+	go test -run '^$$' -fuzz FuzzLaneKernel -fuzztime $(FUZZTIME) ./internal/sim/
 	go test -run '^$$' -fuzz FuzzParseLiberty -fuzztime $(FUZZTIME) ./internal/liberty/
 	go test -run '^$$' -fuzz FuzzParseVerilog$$ -fuzztime $(FUZZTIME) ./internal/netlist/
 	go test -run '^$$' -fuzz FuzzParseVerilogHierarchy -fuzztime $(FUZZTIME) ./internal/netlist/

@@ -113,6 +113,23 @@ func compare(base, cand harness.BenchSmokeReport, threshold float64) (lines []st
 		info(fmt.Sprintf("t=%d visits_watermark_only", c.Threads), b.VisitsWatermarkOnly, c.VisitsWatermarkOnly)
 		info(fmt.Sprintf("t=%d relax_nets", c.Threads), b.RelaxedNets, c.RelaxedNets)
 	}
+	// The lane point (multi-stimulus lanes vs sequential scalar runs) is
+	// rendered informationally: a report from before lane mode simply lacks
+	// it, so a one-sided point is a schema gap, never a regression.
+	switch {
+	case base.Lane == nil && cand.Lane == nil:
+	case base.Lane == nil || cand.Lane == nil:
+		lines = append(lines, "lane point present on one side only (schema gap; not compared)")
+	default:
+		b, c := base.Lane, cand.Lane
+		check(fmt.Sprintf("lanes=%d lane_run_ns", c.Lanes), b.LaneRunNS, c.LaneRunNS)
+		check(fmt.Sprintf("lanes=%d scalar_run_ns", c.Lanes), b.ScalarRunNS, c.ScalarRunNS)
+		info(fmt.Sprintf("lanes=%d visits_lane", c.Lanes), b.VisitsLane, c.VisitsLane)
+		lines = append(lines, fmt.Sprintf("%-28s %9.2f -> %9.2f Mev*lane/s",
+			fmt.Sprintf("lanes=%d lane_throughput", c.Lanes), b.LaneThroughput/1e6, c.LaneThroughput/1e6))
+		lines = append(lines, fmt.Sprintf("%-28s %8.2fx -> %8.2fx",
+			fmt.Sprintf("lanes=%d speedup_vs_scalar", c.Lanes), b.SpeedupVsScalar, c.SpeedupVsScalar))
+	}
 	if len(base.PhaseNS) > 0 && len(cand.PhaseNS) > 0 {
 		phases := make([]string, 0, len(cand.PhaseNS))
 		for name := range cand.PhaseNS {

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"gatesim/internal/gen"
 	"gatesim/internal/netlist"
@@ -74,7 +73,6 @@ func run(preset string, scale float64, seed int64, cycles int, af float64, scan 
 	stim := gen.Stimuli(d, gen.StimSpec{
 		Cycles: cycles, ActivityFactor: af, Seed: seed, ScanBurst: scan,
 	})
-	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
 	names := make([]string, len(d.Netlist.PortsIn))
 	idx := make(map[netlist.NetID]int)
 	for i, nid := range d.Netlist.PortsIn {

@@ -6,13 +6,16 @@
 //
 //	experiments -table1 [-scale S]
 //	experiments -table2 [-scale S] [-presets a,b] [-short N] [-threads T]
-//	experiments -fig8   [-preset aes256] [-scale S] [-cycles N] [-threadlist 1,2,4,8] [-json FILE]
+//	experiments -fig8   [-preset aes256] [-scale S] [-cycles N] [-threadlist 1,2,4,8] [-lanes L] [-json FILE]
 //	experiments -libcomp [-cells 1000]
 //	experiments -all
 //
 // With -json FILE, -fig8 additionally writes the machine-readable
 // bench-smoke report (runtimes plus engine scheduling counters) to FILE;
-// `make bench-smoke` uses this to produce BENCH_smoke.json.
+// `make bench-smoke` uses this to produce BENCH_smoke.json. With -lanes L
+// (L > 1), -fig8 also measures one multi-stimulus lane point — a single
+// L-lane run against L sequential scalar runs of the same traces — and
+// records it in the report's "lane" field.
 //
 // Observability flags apply to the simulator runs inside -table2/-fig8:
 // -trace FILE records a Chrome/Perfetto trace-event JSON, -metrics FILE
@@ -90,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fig8Preset = fs.String("preset", "aes256", "design for -fig8 (paper: aes256 and leon2)")
 		fig8Cycles = fs.Int("cycles", 200, "cycles for -fig8")
 		threadList = fs.String("threadlist", "1,2,4,8", "thread counts for -fig8")
+		lanes      = fs.Int("lanes", 0, "also measure a multi-stimulus lane point for -fig8 (0 = off)")
 		jsonOut    = fs.String("json", "", "also write the -fig8 bench-smoke report to this file")
 		cells      = fs.Int("cells", 1000, "library size for -libcomp")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
@@ -172,10 +176,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Threads: ths, Seed: *seed,
 			Metrics: reg, Trace: tr,
 		}
+		var laneRes *harness.LaneBenchResult
+		if *lanes > 1 {
+			r, err := harness.LaneBench(ctx, harness.LaneBenchConfig{
+				Preset: *fig8Preset, Scale: *scale, Cycles: *fig8Cycles,
+				Lanes: *lanes, Threads: 1, Seed: *seed,
+				Metrics: reg, Trace: tr,
+			})
+			if err != nil {
+				return err
+			}
+			laneRes = &r
+		}
 		if *jsonOut != "" {
 			rep, err := harness.BenchSmoke(ctx, cfg)
 			if err != nil {
 				return err
+			}
+			if laneRes != nil {
+				pt := laneRes.Point()
+				rep.Lane = &pt
 			}
 			f, err := os.Create(*jsonOut)
 			if err != nil {
@@ -195,6 +215,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 					s.PoolSpawned, s.PoolRounds, s.PoolWakes, s.PoolParks, s.LevelsFused,
 					s.VisitsComb1, s.VisitsSeq)
 			}
+			if laneRes != nil {
+				fmt.Fprintf(stdout, "lanes n=%d lane=%.3fs scalar=%.3fs visits_lane=%d throughput=%.2fMev*lane/s speedup=%.2fx\n",
+					laneRes.Lanes, laneRes.LaneWall.Seconds(), laneRes.ScalarWall.Seconds(),
+					laneRes.VisitsLane, laneRes.LaneThroughput/1e6, laneRes.Speedup)
+			}
 		} else {
 			pts, err := harness.Fig8(ctx, cfg)
 			if err != nil {
@@ -202,6 +227,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprint(stdout, harness.FormatFig8(*fig8Preset, pts))
 			fmt.Fprintln(stdout)
+			if laneRes != nil {
+				fmt.Fprint(stdout, harness.FormatLaneBench(*fig8Preset, []harness.LaneBenchResult{*laneRes}))
+				fmt.Fprintln(stdout)
+			}
 		}
 	}
 	if *par {

@@ -17,7 +17,12 @@
 //
 //	glsimd -client http://127.0.0.1:7473 -preset aes128 [-seed N]
 //	       [-cycles N] [-scale F] [-mode auto|serial|parallel|manycore]
-//	       [-threads N] [-slice PS]
+//	       [-threads N] [-slice PS] [-lanes L]
+//
+// With -lanes L (L > 1) the client requests a multi-stimulus lane session:
+// L independently seeded vectors of the preset stimulus in one lane-mode
+// pass, streamed as merged lane events (changed-lane mask + per-lane
+// values). Preset sessions only; lane sessions cannot suspend or resume.
 package main
 
 import (
@@ -63,13 +68,14 @@ func main() {
 		mode    = flag.String("mode", "", "client: execution mode")
 		threads = flag.Int("threads", 0, "client: worker threads")
 		slice   = flag.Int64("slice", 0, "client: streaming slice length in ps")
+		lanes   = flag.Int("lanes", 0, "client: multi-stimulus lane count (0 = scalar session)")
 	)
 	flag.Parse()
 
 	if *client != "" {
 		os.Exit(runClient(*client, &serve.SessionRequest{
 			Preset: *preset, Seed: *seed, Cycles: *cycles, Scale: *scale,
-			Mode: *mode, Threads: *threads, SlicePS: *slice,
+			Mode: *mode, Threads: *threads, SlicePS: *slice, Lanes: *lanes,
 		}))
 	}
 

@@ -4,20 +4,29 @@
 // watching every net, and produces switching-activity statistics plus a
 // dynamic-power report.
 //
+// With -lanes N (N > 1) it instead runs an activity sweep: N independently
+// seeded stimulus vectors evaluated in ONE lane-mode pass through the
+// netlist, reporting per-seed toggle counts and the activity spread — the
+// vector-dependence question (is power stimulus-sensitive?) answered at
+// roughly the cost of a single run.
+//
 // Run with:
 //
-//	go run ./examples/power [-preset picorv32a] [-scale 0.01] [-cycles 300]
+//	go run ./examples/power [-preset picorv32a] [-scale 0.01] [-cycles 300] [-lanes 32]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/bits"
 
 	"gatesim/internal/event"
 	"gatesim/internal/gen"
+	"gatesim/internal/lane"
 	"gatesim/internal/liberty"
 	"gatesim/internal/netlist"
+	"gatesim/internal/sdf"
 	"gatesim/internal/sim"
 	"gatesim/internal/stats"
 	"gatesim/internal/truthtab"
@@ -28,6 +37,7 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "design scale")
 	cycles := flag.Int("cycles", 300, "simulated clock cycles")
 	af := flag.Float64("af", 0.5, "input activity factor")
+	lanes := flag.Int("lanes", 0, "run an N-seed activity sweep in one lane-mode pass (0 = scalar)")
 	flag.Parse()
 
 	p, err := gen.PresetByName(*preset)
@@ -47,6 +57,12 @@ func main() {
 		log.Fatal(err)
 	}
 	delays := gen.Delays(d, 1)
+
+	if *lanes > 1 {
+		laneSweep(d, clib, delays, *lanes, *cycles, *af)
+		return
+	}
+
 	engine, err := sim.New(d.Netlist, clib, delays, sim.Options{Mode: sim.ModeAuto})
 	if err != nil {
 		log.Fatal(err)
@@ -86,4 +102,74 @@ func main() {
 		activity.Total(), activity.ActivityFactor(*cycles), 100*activity.GlitchRatio())
 	rep := activity.Power(lastT, 1.8)
 	fmt.Print(rep.Format(12))
+}
+
+// laneSweep evaluates `lanes` independently seeded stimulus vectors in one
+// lane-mode pass, watching every net and counting each lane's toggles from
+// the changed-lane masks. The spread of per-seed activity is the sweep's
+// answer: how stimulus-dependent is this design's switching?
+func laneSweep(d *gen.Design, clib *truthtab.CompiledLibrary, delays *sdf.Delays, lanes, cycles int, af float64) {
+	engine, err := sim.New(d.Netlist, clib, delays, sim.Options{Mode: sim.ModeSerial, Lanes: lanes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	perLaneG := gen.LaneStimuli(d, gen.StimSpec{
+		Cycles: cycles, ActivityFactor: af, Seed: 1, ScanBurst: 16,
+	}, lanes)
+	perLane := make([][]sim.Change, lanes)
+	for l, cs := range perLaneG {
+		perLane[l] = make([]sim.Change, len(cs))
+		for i, c := range cs {
+			perLane[l][i] = sim.Change{Net: c.Net, Time: c.Time, Val: c.Val}
+		}
+	}
+	merged, err := sim.MergeLaneChanges(perLane)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var watch []netlist.NetID
+	for i := range d.Netlist.Nets {
+		watch = append(watch, netlist.NetID(i))
+	}
+	toggles := make([]int64, lanes)
+	var lastT int64
+	err = engine.RunLaneStream(merged, sim.LaneStreamConfig{
+		SlicePS: 16 * d.Spec.ClockPeriodPS,
+		Watch:   watch,
+		OnEvent: func(nid netlist.NetID, t int64, mask uint32, w lane.Word) {
+			for m := mask; m != 0; m &= m - 1 {
+				toggles[bits.TrailingZeros32(m)]++
+			}
+			if t > lastT {
+				lastT = t
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nets := len(d.Netlist.Nets)
+	fmt.Printf("lane sweep: %d stimulus seeds in one pass, %d cycles (%d ps), %d lane visits\n",
+		lanes, cycles, lastT, engine.Stats().VisitsLane)
+	minT, maxT, sum := toggles[0], toggles[0], int64(0)
+	for _, n := range toggles {
+		if n < minT {
+			minT = n
+		}
+		if n > maxT {
+			maxT = n
+		}
+		sum += n
+	}
+	fmt.Printf("%6s %12s %10s\n", "seed", "transitions", "tog/net/cyc")
+	for l, n := range toggles {
+		fmt.Printf("%6d %12d %10.3f\n", l, n, float64(n)/float64(nets)/float64(cycles))
+	}
+	mean := float64(sum) / float64(lanes)
+	fmt.Printf("spread: min %d  max %d  mean %.0f  (max/min %.3f)\n",
+		minT, maxT, mean, float64(maxT)/float64(minT))
 }

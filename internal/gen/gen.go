@@ -16,6 +16,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"gatesim/internal/liberty"
@@ -417,7 +418,10 @@ type StimSpec struct {
 // reset pulse, random data toggles at the given activity factor (injected
 // shortly after each rising edge), and periodic scan-enable bursts that
 // shift the scan chains (§IV-A: "insert random signals to the scan chain
-// FFs to mimic the test scenario"). Events are strictly increasing per net.
+// FFs to mimic the test scenario"). Events are strictly increasing per net
+// and the returned trace is globally time-sorted (stable, so per-net order
+// is preserved): consumers can inject or slice it directly without
+// re-sorting.
 func Stimuli(d *Design, spec StimSpec) []Change {
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x9e3779b9))
 	period := d.Spec.ClockPeriodPS
@@ -478,6 +482,96 @@ func Stimuli(d *Design, spec StimSpec) []Change {
 				add(nid, t0+period/8+int64(i%7), dataVal[i])
 			}
 		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out
+}
+
+// LaneStimuli generates one stimulus trace per lane in the pattern-set
+// model: every lane shares the full schedule — clock, reset, scan, and
+// which data inputs toggle at which times (selection drawn once from
+// spec.Seed) — while the data values diverge through per-lane initial
+// vectors (lane l seeds its values with Seed+l). Each cycle thus applies
+// one input vector per lane at identical change points, which is the
+// workload the lane engine is built for: a lane-mode run replays one
+// shared schedule instead of a per-lane union. The result feeds
+// sim.MergeLaneChanges for a lane-mode run, or a scalar engine one lane at
+// a time for the reference.
+func LaneStimuli(d *Design, spec StimSpec, lanes int) [][]Change {
+	selRng := rand.New(rand.NewSource(spec.Seed ^ 0x9e3779b9))
+	period := d.Spec.ClockPeriodPS
+	if spec.ResetCycles == 0 {
+		spec.ResetCycles = 2
+	}
+	out := make([][]Change, lanes)
+	// addAll emits a shared-schedule event carrying the same value in every
+	// lane (clock, reset, scan enable).
+	addAll := func(nid netlist.NetID, t int64, v logic.Value) {
+		for l := range out {
+			out[l] = append(out[l], Change{Net: nid, Time: t, Val: v})
+		}
+	}
+
+	// Initial values at t=0: control nets shared, data vectors per lane.
+	addAll(d.Clk, 0, logic.V0)
+	if d.Clk2 >= 0 {
+		addAll(d.Clk2, 0, logic.V0)
+	}
+	addAll(d.RstN, 0, logic.V0)
+	addAll(d.ScanEn, 0, logic.V0)
+	dataVal := make([][]logic.Value, lanes)
+	for l := range dataVal {
+		vr := rand.New(rand.NewSource((spec.Seed + int64(l)) ^ 0x51c64e6d))
+		dataVal[l] = make([]logic.Value, len(d.Data))
+		for i, nid := range d.Data {
+			dataVal[l][i] = logic.Value(vr.Intn(2))
+			out[l] = append(out[l], Change{Net: nid, Time: 0, Val: dataVal[l][i]})
+		}
+	}
+
+	if d.Clk2 >= 0 && d.Spec.ClockPeriod2PS > 0 {
+		p2 := d.Spec.ClockPeriod2PS
+		end := int64(spec.Cycles) * period
+		for t := p2 / 2; t < end; t += p2 {
+			addAll(d.Clk2, t, logic.V1)
+			if t+p2/2 < end {
+				addAll(d.Clk2, t+p2/2, logic.V0)
+			}
+		}
+	}
+
+	scanOn := false
+	for c := 0; c < spec.Cycles; c++ {
+		t0 := int64(c)*period + period/2
+		addAll(d.Clk, t0, logic.V1)
+		addAll(d.Clk, t0+period/2, logic.V0)
+		if c == spec.ResetCycles {
+			addAll(d.RstN, t0+period/4, logic.V1)
+		}
+		if spec.ScanBurst > 0 && c > spec.ResetCycles {
+			if c%spec.ScanBurst == 0 && !scanOn {
+				addAll(d.ScanEn, t0+period/4, logic.V1)
+				scanOn = true
+			} else if scanOn {
+				addAll(d.ScanEn, t0+period/4, logic.V0)
+				scanOn = false
+			}
+		}
+		// Shared toggle selection; a selected input flips in every lane, so
+		// the per-net change points align exactly and values stay divergent.
+		for i, nid := range d.Data {
+			if selRng.Float64() < spec.ActivityFactor {
+				t := t0 + period/8 + int64(i%7)
+				for l := range out {
+					dataVal[l][i] = logic.Not(dataVal[l][i])
+					out[l] = append(out[l], Change{Net: nid, Time: t, Val: dataVal[l][i]})
+				}
+			}
+		}
+	}
+	for l := range out {
+		cs := out[l]
+		sort.SliceStable(cs, func(a, b int) bool { return cs[a].Time < cs[b].Time })
 	}
 	return out
 }

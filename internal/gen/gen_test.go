@@ -171,6 +171,73 @@ func TestStimuliWellFormed(t *testing.T) {
 	}
 }
 
+// TestStimuliGloballySorted pins the source-side ordering contract:
+// consumers (slice streaming, snapshot-resume cuts, lane merging) rely on
+// the trace being globally time-sorted, not just per net.
+func TestStimuliGloballySorted(t *testing.T) {
+	d, err := Build(Spec{Name: "x", Seed: 9, CombGates: 80, FFs: 12, ScanFFs: 4,
+		Depth: 4, DataInputs: 8, Outputs: 2, ClockPeriodPS: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stim := Stimuli(d, StimSpec{Cycles: 40, ActivityFactor: 0.8, Seed: 3, ScanBurst: 8})
+	for i := 1; i < len(stim); i++ {
+		if stim[i].Time < stim[i-1].Time {
+			t.Fatalf("stimulus %d at t=%d after t=%d: trace not globally sorted",
+				i, stim[i].Time, stim[i-1].Time)
+		}
+	}
+}
+
+// TestLaneStimuliIndependentSeeds: each lane shares the clock/reset/scan
+// schedule but gets its own data activity.
+func TestLaneStimuliIndependentSeeds(t *testing.T) {
+	d, err := Build(Spec{Name: "x", Seed: 9, CombGates: 80, FFs: 12, ScanFFs: 4,
+		Depth: 4, DataInputs: 8, Outputs: 2, ClockPeriodPS: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := StimSpec{Cycles: 20, ActivityFactor: 0.6, Seed: 11, ScanBurst: 8}
+	lanes := LaneStimuli(d, spec, 4)
+	if len(lanes) != 4 {
+		t.Fatalf("lanes: %d", len(lanes))
+	}
+	clockOf := func(cs []Change) []Change {
+		var out []Change
+		for _, c := range cs {
+			if c.Net == d.Clk {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	c0 := clockOf(lanes[0])
+	differ := false
+	for l := 1; l < 4; l++ {
+		cl := clockOf(lanes[l])
+		if len(cl) != len(c0) {
+			t.Fatalf("lane %d clock schedule diverged: %d vs %d events", l, len(cl), len(c0))
+		}
+		for i := range c0 {
+			if cl[i] != c0[i] {
+				t.Fatalf("lane %d clock event %d: %+v vs %+v", l, i, cl[i], c0[i])
+			}
+		}
+		if len(lanes[l]) != len(lanes[0]) {
+			differ = true // different toggle counts ⇒ different data streams
+		}
+		for i := range lanes[l] {
+			if i < len(lanes[0]) && lanes[l][i] != lanes[0][i] {
+				differ = true
+				break
+			}
+		}
+	}
+	if !differ {
+		t.Error("all lanes produced identical stimulus; seeds not independent")
+	}
+}
+
 func TestActivityFactorMonotone(t *testing.T) {
 	d, err := Build(Spec{Name: "x", Seed: 5, CombGates: 60, FFs: 8,
 		Depth: 3, DataInputs: 10, Outputs: 2})

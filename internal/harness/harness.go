@@ -439,6 +439,12 @@ type BenchSmokeReport struct {
 	// Metrics is the full obs snapshot of the run, making this report a
 	// strict superset of the pre-obs schema.
 	Metrics *obs.Report `json:"metrics,omitempty"`
+
+	// Lane, when present, records one multi-stimulus lane point (see
+	// LaneBench): a single lane-mode run against the same traces run
+	// sequentially through scalar engines. Absent in reports written before
+	// lane mode; benchcmp tolerates the schema gap.
+	Lane *LaneBenchPoint `json:"lane,omitempty"`
 }
 
 // BenchSmokePoint flattens one Fig8Point for JSON consumers.

@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"gatesim/internal/gen"
+	"gatesim/internal/obs"
+	"gatesim/internal/plan"
+	"gatesim/internal/sim"
+)
+
+// LaneBenchConfig controls the multi-stimulus lane measurement: one
+// lane-mode run carrying Lanes independently seeded stimulus vectors,
+// against the honest baseline — the same Lanes traces run sequentially
+// through scalar engines at one thread.
+type LaneBenchConfig struct {
+	Preset string
+	Scale  float64
+	Cycles int
+	Lanes  int
+	// Threads is the lane run's thread count (the scalar baseline always
+	// runs serial: the comparison is one pass vs N passes, not parallelism).
+	Threads int
+	Seed    int64
+	// Metrics/Trace, when non-nil, instrument the lane run.
+	Metrics *obs.Registry
+	Trace   *obs.Trace
+}
+
+// LaneBenchResult is one measured lane point.
+type LaneBenchResult struct {
+	Lanes   int
+	Threads int
+	// LaneWall is the wall time of the single lane-mode run (all lanes).
+	LaneWall time.Duration
+	// ScalarWall is the summed wall time of the sequential scalar runs.
+	ScalarWall time.Duration
+	// VisitsLane / Events are the lane run's counters.
+	VisitsLane int64
+	Events     int64
+	// Speedup is the aggregate ratio ScalarWall / LaneWall: how many times
+	// faster the lane run delivers the same Lanes committed streams.
+	Speedup float64
+	// LaneThroughput is committed events x lanes per second of lane wall
+	// time — the lane run's aggregate delivery rate across all carried
+	// stimulus vectors.
+	LaneThroughput float64
+}
+
+// LaneBench measures one lane point on a generated preset. Stimuli come
+// from gen.LaneStimuli (shared clock/reset/scan schedule, per-lane data
+// seeds), so the lanes exercise the case the lane engine is built for:
+// mostly shared change points with diverging data.
+func LaneBench(ctx context.Context, cfg LaneBenchConfig) (LaneBenchResult, error) {
+	if cfg.Lanes <= 1 {
+		return LaneBenchResult{}, fmt.Errorf("harness: LaneBench needs Lanes > 1, got %d", cfg.Lanes)
+	}
+	p, err := gen.PresetByName(cfg.Preset)
+	if err != nil {
+		return LaneBenchResult{}, err
+	}
+	d, err := gen.Build(p.Spec(cfg.Scale, cfg.Seed))
+	if err != nil {
+		return LaneBenchResult{}, err
+	}
+	lib, err := CompiledBuiltin()
+	if err != nil {
+		return LaneBenchResult{}, err
+	}
+	delays := gen.Delays(d, cfg.Seed)
+	pl, err := plan.Build(d.Netlist, lib, delays)
+	if err != nil {
+		return LaneBenchResult{}, err
+	}
+	spec := gen.StimSpec{Cycles: cfg.Cycles, ActivityFactor: 0.6, Seed: cfg.Seed, ScanBurst: 16}
+	perLane := gen.LaneStimuli(d, spec, cfg.Lanes)
+
+	res := LaneBenchResult{Lanes: cfg.Lanes, Threads: cfg.Threads}
+
+	// Baseline: the same traces, one scalar streamed run each, serial.
+	for _, stim := range perLane {
+		wall, _, err := timeEngine(ctx, d, pl, stim, sim.Options{Mode: sim.ModeSerial})
+		if err != nil {
+			return LaneBenchResult{}, err
+		}
+		res.ScalarWall += wall
+	}
+
+	// Lane run: all traces merged into one pass.
+	changes := make([][]sim.Change, len(perLane))
+	for l, cs := range perLane {
+		changes[l] = make([]sim.Change, len(cs))
+		for i, c := range cs {
+			changes[l][i] = sim.Change{Net: c.Net, Time: c.Time, Val: c.Val}
+		}
+	}
+	merged, err := sim.MergeLaneChanges(changes)
+	if err != nil {
+		return LaneBenchResult{}, err
+	}
+	mode := sim.ModeSerial
+	if cfg.Threads > 1 {
+		mode = sim.ModeParallel
+	}
+	e, err := sim.NewFromPlan(pl, sim.Options{
+		Mode: mode, Threads: cfg.Threads, Lanes: cfg.Lanes,
+		Metrics: cfg.Metrics, Trace: cfg.Trace,
+	})
+	if err != nil {
+		return LaneBenchResult{}, err
+	}
+	defer e.Close()
+	start := time.Now()
+	if err := e.RunLaneStreamCtx(ctx, merged, sim.LaneStreamConfig{
+		SlicePS: 16 * d.Spec.ClockPeriodPS,
+	}); err != nil {
+		return LaneBenchResult{}, fmt.Errorf("harness: lane run (%d lanes): %w", cfg.Lanes, err)
+	}
+	res.LaneWall = time.Since(start)
+	st := e.Stats()
+	res.VisitsLane = st.VisitsLane
+	res.Events = st.EventsCommitted
+	if res.LaneWall > 0 {
+		res.Speedup = float64(res.ScalarWall) / float64(res.LaneWall)
+		res.LaneThroughput = float64(res.Events) * float64(res.Lanes) / res.LaneWall.Seconds()
+	}
+	return res, nil
+}
+
+// LaneBenchPoint is the JSON shape of a lane point inside the bench-smoke
+// report. Reports written before lane mode lack it entirely; benchcmp
+// treats one-sided absence as a schema gap.
+type LaneBenchPoint struct {
+	Lanes       int   `json:"lanes"`
+	Threads     int   `json:"threads"`
+	LaneRunNS   int64 `json:"lane_run_ns"`
+	ScalarRunNS int64 `json:"scalar_run_ns"`
+	VisitsLane  int64 `json:"visits_lane"`
+	// LaneThroughput is committed events x lanes per second of lane wall.
+	LaneThroughput  float64 `json:"lane_throughput"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+}
+
+// Point flattens the result for the report.
+func (r LaneBenchResult) Point() LaneBenchPoint {
+	return LaneBenchPoint{
+		Lanes: r.Lanes, Threads: r.Threads,
+		LaneRunNS: r.LaneWall.Nanoseconds(), ScalarRunNS: r.ScalarWall.Nanoseconds(),
+		VisitsLane: r.VisitsLane, LaneThroughput: r.LaneThroughput, SpeedupVsScalar: r.Speedup,
+	}
+}
+
+// FormatLaneBench renders one lane point for the terminal.
+func FormatLaneBench(preset string, rows []LaneBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-stimulus lanes on %s (baseline: same traces run sequentially, scalar, 1 thread)\n", preset)
+	fmt.Fprintf(&b, "%7s %8s %12s %12s %12s %12s %10s\n", "#Lanes", "Threads", "Lane(s)", "Scalar(s)", "VisitsLane", "Mev*lane/s", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d %8d %12.3f %12.3f %12d %12.2f %9.2fx\n",
+			r.Lanes, r.Threads, r.LaneWall.Seconds(), r.ScalarWall.Seconds(), r.VisitsLane, r.LaneThroughput/1e6, r.Speedup)
+	}
+	return b.String()
+}

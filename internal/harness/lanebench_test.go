@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestLaneBench runs a tiny lane point end to end: the measurement must
+// produce a populated result and the lane run must actually be in lane
+// mode (visits_lane > 0).
+func TestLaneBench(t *testing.T) {
+	res, err := LaneBench(context.Background(), LaneBenchConfig{
+		Preset: "blabla", Scale: 0.01, Cycles: 20, Lanes: 4, Threads: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VisitsLane == 0 {
+		t.Error("lane run recorded no lane visits")
+	}
+	if res.LaneWall <= 0 || res.ScalarWall <= 0 || res.Speedup <= 0 || res.LaneThroughput <= 0 {
+		t.Errorf("unpopulated result: %+v", res)
+	}
+	if res.Lanes != 4 || res.Threads != 1 {
+		t.Errorf("config not echoed: %+v", res)
+	}
+	if _, err := LaneBench(context.Background(), LaneBenchConfig{Preset: "blabla", Lanes: 1}); err == nil {
+		t.Error("Lanes=1 accepted")
+	}
+}
+
+// BenchmarkLane32 is the profiling entry for the 32-lane aes256 point:
+//
+//	go test -run '^$' -bench BenchmarkLane32 -benchtime 1x -cpuprofile cpu.out ./internal/harness/
+//
+// LANEBENCH_SCALE / LANEBENCH_CYCLES / LANEBENCH_LANES / LANEBENCH_THREADS
+// override the smoke shape.
+func BenchmarkLane32(b *testing.B) {
+	scale := 0.005
+	if s := os.Getenv("LANEBENCH_SCALE"); s != "" {
+		scale, _ = strconv.ParseFloat(s, 64)
+	}
+	cycles := 60
+	if s := os.Getenv("LANEBENCH_CYCLES"); s != "" {
+		cycles, _ = strconv.Atoi(s)
+	}
+	lanes := 32
+	if s := os.Getenv("LANEBENCH_LANES"); s != "" {
+		lanes, _ = strconv.Atoi(s)
+	}
+	threads := 1
+	if s := os.Getenv("LANEBENCH_THREADS"); s != "" {
+		threads, _ = strconv.Atoi(s)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := LaneBench(context.Background(), LaneBenchConfig{
+			Preset: "aes256", Scale: scale, Cycles: cycles, Lanes: lanes, Threads: threads, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Speedup, "speedup")
+		b.ReportMetric(float64(res.VisitsLane), "visits_lane")
+	}
+}

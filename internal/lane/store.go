@@ -1,0 +1,67 @@
+package lane
+
+import "sync/atomic"
+
+// Entry is one lane-vector event: the full post-change word on a net plus
+// the mask of lanes that actually changed at that time.
+type Entry struct {
+	Mask uint32
+	Word Word
+}
+
+// storePageSize matches event.PageSize so a store page covers exactly one
+// queue page worth of events.
+const storePageSize = 32
+
+type storePage struct {
+	masks [storePageSize]uint32
+	words [storePageSize]Word
+}
+
+// Store is the append-only lane side channel of one event queue: entry i
+// carries the changed-lane mask and merged lane word of the queue's event
+// at absolute index i. Lane mode never trims or restores queues, so store
+// indices coincide with queue indices from zero and pages are never freed.
+//
+// Concurrency mirrors the queue's publication protocol with the roles
+// swapped: the single writer fills the entry BEFORE its q.Append, whose
+// atomic end-store is the release point; a reader that has observed
+// i < q.Len() may call At(i). The page directory itself is published with
+// an atomic pointer (copy-on-grow), so directory growth is safe against
+// concurrent readers of already-published entries.
+type Store struct {
+	dir atomic.Pointer[[]*storePage]
+	n   int64 // entries appended; single-writer private
+}
+
+// Append records the entry for the next queue index. Call strictly before
+// the paired queue Append that publishes it.
+func (s *Store) Append(mask uint32, w Word) {
+	pi, off := int(s.n/storePageSize), int(s.n%storePageSize)
+	dir := s.dir.Load()
+	if dir == nil || pi >= len(*dir) {
+		var nd []*storePage
+		if dir != nil {
+			nd = append(nd, *dir...)
+		}
+		nd = append(nd, new(storePage))
+		s.dir.Store(&nd)
+		dir = &nd
+	}
+	pg := (*dir)[pi]
+	pg.masks[off] = mask
+	pg.words[off] = w
+	s.n++
+}
+
+// At returns entry i. The caller must have observed the paired queue's
+// length exceed i first.
+func (s *Store) At(i int64) (uint32, Word) {
+	dir := s.dir.Load()
+	pg := (*dir)[i/storePageSize]
+	return pg.masks[i%storePageSize], pg.words[i%storePageSize]
+}
+
+// Len returns the number of entries appended. Writer-side bookkeeping
+// only; readers bound their indices by the paired queue's length.
+func (s *Store) Len() int64 { return s.n }

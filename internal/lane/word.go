@@ -1,0 +1,130 @@
+// Package lane implements the bit-parallel multi-stimulus value layer
+// (GATSPI-style word parallelism): the 4-value steady-state logic of up to
+// 32 independent stimulus lanes packed into one uint64, two bits per lane,
+// so one pass over the netlist evaluates every lane at once.
+//
+// Encoding: lane l occupies bits [2l, 2l+1] and holds logic.Value & 3 —
+// V0=00, V1=01, VX=10, VZ=11. Only the four steady values are ever stored;
+// edge markers settle before packing and U is carried out-of-band (the
+// engine's watermarks are shared across lanes, so "undetermined" is a
+// property of a net's time range, not of one lane's value).
+//
+// Lane subsets are addressed by uint32 masks (bit l = lane l). Spread
+// widens a mask to the word domain; the Kleene ops work on bit planes (the
+// even "low" plane and the odd "high" plane), giving branch-free all-lane
+// evaluation that matches logic.And/Or/Not/Xor lane for lane.
+package lane
+
+import (
+	"math/bits"
+
+	"gatesim/internal/logic"
+)
+
+// MaxLanes is the lane capacity of one Word (2 bits per lane in a uint64).
+const MaxLanes = 32
+
+// Word packs one 4-value logic value per lane.
+type Word uint64
+
+// loPlanes masks the low (even) bit of every lane.
+const loPlanes = 0x5555555555555555
+
+// Broadcast returns a word holding v in every lane. v must be steady; the
+// two low bits are taken.
+func Broadcast(v logic.Value) Word {
+	return Word(uint64(v&3) * loPlanes)
+}
+
+// Get returns lane l's value.
+func (w Word) Get(l int) logic.Value {
+	return logic.Value((w >> (2 * uint(l))) & 3)
+}
+
+// Set returns w with lane l replaced by v (low two bits).
+func (w Word) Set(l int, v logic.Value) Word {
+	sh := 2 * uint(l)
+	return (w &^ (3 << sh)) | Word(v&3)<<sh
+}
+
+// Spread widens a lane mask to the word domain: both bits of every selected
+// lane set.
+func Spread(mask uint32) Word {
+	x := uint64(mask)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & loPlanes
+	return Word(x | x<<1)
+}
+
+// Merge returns w with the masked lanes replaced by o's lanes.
+func (w Word) Merge(o Word, mask uint32) Word {
+	s := Spread(mask)
+	return (w &^ s) | (o & s)
+}
+
+// DiffMask returns the lanes on which a and b differ.
+func DiffMask(a, b Word) uint32 {
+	d := uint64(a ^ b)
+	d = (d | d>>1) & loPlanes
+	d = (d | d>>1) & 0x3333333333333333
+	d = (d | d>>2) & 0x0F0F0F0F0F0F0F0F
+	d = (d | d>>4) & 0x00FF00FF00FF00FF
+	d = (d | d>>8) & 0x0000FFFF0000FFFF
+	d = (d | d>>16) & 0x00000000FFFFFFFF
+	return uint32(d)
+}
+
+// Uniform reports whether every lane in mask (nonzero) holds the same
+// value, returning that value.
+func (w Word) Uniform(mask uint32) (logic.Value, bool) {
+	v := w.Get(bits.TrailingZeros32(mask))
+	if (w^Broadcast(v))&Spread(mask) != 0 {
+		return v, false
+	}
+	return v, true
+}
+
+// planes splits a word into its low and high bit planes, both normalized to
+// the even positions.
+func planes(w Word) (lo, hi uint64) {
+	return uint64(w) & loPlanes, (uint64(w) >> 1) & loPlanes
+}
+
+// Not returns the lane-wise Kleene negation (Z reads as X, as in logic.Not).
+func Not(a Word) Word {
+	lo, hi := planes(a)
+	is0 := ^lo & ^hi & loPlanes
+	return Word(is0 | hi<<1)
+}
+
+// And returns the lane-wise Kleene conjunction (0 dominates X).
+func And(a, b Word) Word {
+	loA, hiA := planes(a)
+	loB, hiB := planes(b)
+	is1 := (loA &^ hiA) & (loB &^ hiB)
+	is0 := (^loA &^ hiA & loPlanes) | (^loB &^ hiB & loPlanes)
+	outX := loPlanes &^ (is0 | is1)
+	return Word(is1 | outX<<1)
+}
+
+// Or returns the lane-wise Kleene disjunction (1 dominates X).
+func Or(a, b Word) Word {
+	loA, hiA := planes(a)
+	loB, hiB := planes(b)
+	is1 := (loA &^ hiA) | (loB &^ hiB)
+	is0 := (^loA &^ hiA & loPlanes) & (^loB &^ hiB & loPlanes)
+	outX := loPlanes &^ (is0 | is1)
+	return Word(is1 | outX<<1)
+}
+
+// Xor returns the lane-wise Kleene exclusive-or.
+func Xor(a, b Word) Word {
+	loA, hiA := planes(a)
+	loB, hiB := planes(b)
+	u := hiA | hiB
+	out1 := (loA ^ loB) &^ u
+	return Word(out1 | u<<1)
+}

@@ -1,0 +1,142 @@
+package lane
+
+import (
+	"math/rand"
+	"testing"
+
+	"gatesim/internal/logic"
+)
+
+// steady is the full packable alphabet.
+var steady = []logic.Value{logic.V0, logic.V1, logic.VX, logic.VZ}
+
+func TestGetSetBroadcast(t *testing.T) {
+	for _, v := range steady {
+		w := Broadcast(v)
+		for l := 0; l < MaxLanes; l++ {
+			if got := w.Get(l); got != v {
+				t.Fatalf("Broadcast(%v).Get(%d) = %v", v, l, got)
+			}
+		}
+	}
+	var w Word
+	for l := 0; l < MaxLanes; l++ {
+		w = w.Set(l, steady[l%len(steady)])
+	}
+	for l := 0; l < MaxLanes; l++ {
+		if got := w.Get(l); got != steady[l%len(steady)] {
+			t.Fatalf("Set/Get lane %d: got %v want %v", l, got, steady[l%len(steady)])
+		}
+	}
+	// Set must not disturb neighbours.
+	w2 := w.Set(7, logic.VZ)
+	for l := 0; l < MaxLanes; l++ {
+		want := steady[l%len(steady)]
+		if l == 7 {
+			want = logic.VZ
+		}
+		if got := w2.Get(l); got != want {
+			t.Fatalf("Set(7) disturbed lane %d: got %v want %v", l, got, want)
+		}
+	}
+}
+
+// TestOpsExhaustive checks every Kleene op against the scalar logic package
+// for all value pairs, with the pair rotated across every lane position.
+func TestOpsExhaustive(t *testing.T) {
+	for li := 0; li < MaxLanes; li++ {
+		for _, a := range steady {
+			for _, b := range steady {
+				// Fill all other lanes with a different pair to catch
+				// cross-lane bleed.
+				wa := Broadcast(steady[(li+1)%4]).Set(li, a)
+				wb := Broadcast(steady[(li+2)%4]).Set(li, b)
+				check := func(name string, got Word, want logic.Value) {
+					t.Helper()
+					if g := got.Get(li); g != want {
+						t.Fatalf("%s(%v,%v) lane %d = %v, want %v", name, a, b, li, g, want)
+					}
+				}
+				check("And", And(wa, wb), logic.And(a, b))
+				check("Or", Or(wa, wb), logic.Or(a, b))
+				check("Xor", Xor(wa, wb), logic.Xor(a, b))
+				check("Not", Not(wa), logic.Not(a))
+			}
+		}
+	}
+}
+
+func TestSpreadMergeDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 2000; iter++ {
+		var a, b Word
+		for l := 0; l < MaxLanes; l++ {
+			a = a.Set(l, steady[rng.Intn(4)])
+			b = b.Set(l, steady[rng.Intn(4)])
+		}
+		mask := rng.Uint32()
+		m := a.Merge(b, mask)
+		var wantDiff uint32
+		for l := 0; l < MaxLanes; l++ {
+			want := a.Get(l)
+			if mask&(1<<uint(l)) != 0 {
+				want = b.Get(l)
+			}
+			if got := m.Get(l); got != want {
+				t.Fatalf("Merge lane %d: got %v want %v", l, got, want)
+			}
+			if a.Get(l) != b.Get(l) {
+				wantDiff |= 1 << uint(l)
+			}
+		}
+		if got := DiffMask(a, b); got != wantDiff {
+			t.Fatalf("DiffMask = %08x, want %08x", got, wantDiff)
+		}
+	}
+	if Spread(0) != 0 {
+		t.Fatalf("Spread(0) != 0")
+	}
+	if Spread(0xFFFFFFFF) != Word(^uint64(0)) {
+		t.Fatalf("Spread(all) != all-ones")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	w := Broadcast(logic.V1)
+	if v, ok := w.Uniform(0xFFFFFFFF); !ok || v != logic.V1 {
+		t.Fatalf("uniform broadcast: %v %v", v, ok)
+	}
+	w = w.Set(13, logic.V0)
+	if _, ok := w.Uniform(0xFFFFFFFF); ok {
+		t.Fatalf("non-uniform word reported uniform")
+	}
+	// Lane 13 excluded from the mask: uniform again.
+	if v, ok := w.Uniform(0xFFFFFFFF &^ (1 << 13)); !ok || v != logic.V1 {
+		t.Fatalf("masked uniform: %v %v", v, ok)
+	}
+	// Mask of just lane 13.
+	if v, ok := w.Uniform(1 << 13); !ok || v != logic.V0 {
+		t.Fatalf("single-lane uniform: %v %v", v, ok)
+	}
+}
+
+func TestStore(t *testing.T) {
+	var s Store
+	const n = 4 * storePageSize
+	for i := 0; i < n; i++ {
+		s.Append(uint32(i*2654435761), Broadcast(steady[i%4]).Set(i%MaxLanes, steady[(i+1)%4]))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		m, w := s.At(int64(i))
+		if m != uint32(i*2654435761) {
+			t.Fatalf("entry %d mask mismatch", i)
+		}
+		want := Broadcast(steady[i%4]).Set(i%MaxLanes, steady[(i+1)%4])
+		if w != want {
+			t.Fatalf("entry %d word mismatch", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gatesim/internal/event"
+	"gatesim/internal/lane"
 	"gatesim/internal/netlist"
 	"gatesim/internal/sim"
 )
@@ -37,6 +38,13 @@ type streamLine struct {
 	State    string `json:"state,omitempty"`
 	Error    string `json:"error,omitempty"`
 	ResumeAt int64  `json:"resume_at,omitempty"`
+
+	// Lane sessions only. The header carries the lane count; each event
+	// carries the changed-lane bitmask (bit l = lane l changed here) and
+	// every lane's value rendered lane 0 first ("01XZ…").
+	Lanes int    `json:"lanes,omitempty"`
+	Mask  uint32 `json:"mask,omitempty"`
+	Vals  string `json:"vals,omitempty"`
 }
 
 // Handler returns the server's HTTP API.
@@ -60,6 +68,10 @@ func (sv *Server) handleStart(w http.ResponseWriter, r *http.Request) {
 	var req SessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "serve: bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Lanes > 1 {
+		sv.streamLaneSession(w, r, &req)
 		return
 	}
 	sv.streamSession(w, func(onAdmit func(*Session), sink func(netlist.NetID, event.Event)) (*Session, error) {
@@ -149,6 +161,56 @@ func (sv *Server) streamSession(w http.ResponseWriter, run func(func(*Session), 
 		return
 	}
 	writeLine(&streamLine{Type: "done", Session: s.ID, Events: s.Events(), State: s.State().String()})
+}
+
+// streamLaneSession is streamSession's lane twin: the header line carries
+// the lane count, each event line carries the changed-lane mask and all
+// lane values, and there is no suspended epilogue — lane sessions cannot
+// suspend.
+func (sv *Server) streamLaneSession(w http.ResponseWriter, r *http.Request, req *SessionRequest) {
+	flusher, _ := w.(http.Flusher)
+	var (
+		enc     = json.NewEncoder(w)
+		started bool
+		nl      *netlist.Netlist
+	)
+	writeLine := func(l *streamLine) {
+		enc.Encode(l)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	onAdmit := func(s *Session) {
+		started = true
+		nl = s.cp.Plan.Netlist
+		cacheState := "miss"
+		if s.reg.Gauge("serve.cache_hit").Load() == 1 {
+			cacheState = "hit"
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		writeLine(&streamLine{Type: "header", Session: s.ID, Plan: s.PlanKey, Cache: cacheState, State: "running", Lanes: req.Lanes})
+	}
+	s, err := sv.StartLaneSession(r.Context(), req, onAdmit, func(nid netlist.NetID, lc sim.LaneChange) {
+		writeLine(&streamLine{Type: "event", Net: nl.Nets[nid].Name, Time: lc.Time, Mask: lc.Mask, Vals: laneVals(lc.Word, req.Lanes)})
+	})
+	if err != nil {
+		if !started {
+			writeAdmissionError(w, err)
+			return
+		}
+		writeLine(&streamLine{Type: "error", Session: s.ID, Error: err.Error(), State: s.State().String(), Events: s.Events()})
+		return
+	}
+	writeLine(&streamLine{Type: "done", Session: s.ID, Events: s.Events(), State: s.State().String()})
+}
+
+// laneVals renders a packed lane word lane 0 first, one value rune per lane.
+func laneVals(w lane.Word, lanes int) string {
+	b := make([]byte, 0, lanes)
+	for l := 0; l < lanes; l++ {
+		b = append(b, w.Get(l).String()...)
+	}
+	return string(b)
 }
 
 // writeAdmissionError maps pre-stream failures onto HTTP status codes.

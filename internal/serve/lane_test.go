@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gatesim/internal/event"
+	"gatesim/internal/gen"
+	"gatesim/internal/netlist"
+	"gatesim/internal/obs"
+	"gatesim/internal/refsim"
+	"gatesim/internal/sim"
+)
+
+// laneCollector gathers a lane session's merged events and splits them back
+// into per-lane scalar streams: lane l's stream is the (time, value) pairs
+// of every event whose changed-lane mask has bit l set.
+type laneCollector struct {
+	lanes   int
+	perLane []map[netlist.NetID][]event.Event
+}
+
+func newLaneCollector(lanes int) *laneCollector {
+	c := &laneCollector{lanes: lanes, perLane: make([]map[netlist.NetID][]event.Event, lanes)}
+	for l := range c.perLane {
+		c.perLane[l] = map[netlist.NetID][]event.Event{}
+	}
+	return c
+}
+
+func (c *laneCollector) sink(nid netlist.NetID, lc sim.LaneChange) {
+	for l := 0; l < c.lanes; l++ {
+		if lc.Mask&(1<<uint(l)) != 0 {
+			c.perLane[l][nid] = append(c.perLane[l][nid], event.Event{Time: lc.Time, Val: lc.Word.Get(l)})
+		}
+	}
+}
+
+// TestServerLaneSessionMatchesRefsim runs one lane session and checks every
+// lane's reconstructed output stream against a scalar refsim run of that
+// lane's stimulus alone: the server surface must preserve the engine's
+// per-lane exactness guarantee.
+func TestServerLaneSessionMatchesRefsim(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	req := testReq("aes128", 11)
+	req.Lanes = 4
+
+	col := newLaneCollector(req.Lanes)
+	s, err := sv.StartLaneSession(context.Background(), req, nil, col.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateDone {
+		t.Fatalf("lane session state = %v, err = %v", s.State(), s.Err())
+	}
+	if s.Events() == 0 {
+		t.Fatal("lane session committed no events")
+	}
+
+	cp := testPlan(t, req.Preset, req.Seed)
+	perLane := gen.LaneStimuli(cp.Design, gen.StimSpec{
+		Cycles: req.Cycles, ActivityFactor: req.Activity, Seed: req.Seed, ScanBurst: req.ScanBurst,
+	}, req.Lanes)
+	for l, gcs := range perLane {
+		ref, err := refsim.NewFromPlan(cp.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stim := make([]refsim.Stim, len(gcs))
+		for i, c := range gcs {
+			stim[i] = refsim.Stim{Net: c.Net, Time: c.Time, Val: c.Val}
+		}
+		rc := refsim.Collect{}
+		if err := ref.Run(stim, rc.Add); err != nil {
+			t.Fatal(err)
+		}
+		want := map[netlist.NetID][]event.Event{}
+		for _, nid := range cp.Plan.Netlist.PortsOut {
+			want[nid] = rc[nid]
+		}
+		diffEvents(t, "lane "+string(rune('0'+l)), want, col.perLane[l])
+	}
+}
+
+// TestServerLaneSessionGuards exercises the request-validation edges of the
+// lane surface: wrong entry point, wrong lane counts, non-preset sources.
+func TestServerLaneSessionGuards(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	ctx := context.Background()
+
+	laneReq := testReq("aes128", 1)
+	laneReq.Lanes = 4
+	if _, err := sv.StartSession(ctx, laneReq, nil, nil); err == nil {
+		t.Error("StartSession accepted a lane request")
+	}
+	if _, err := sv.StartLaneSession(ctx, testReq("aes128", 1), nil, nil); err == nil {
+		t.Error("StartLaneSession accepted lanes <= 1")
+	}
+	over := testReq("aes128", 1)
+	over.Lanes = 64
+	if _, err := sv.StartLaneSession(ctx, over, nil, nil); err == nil {
+		t.Error("StartLaneSession accepted 64 lanes")
+	}
+	raw := &SessionRequest{Verilog: "module top; endmodule", Top: "top", Lanes: 4}
+	if _, err := sv.StartLaneSession(ctx, raw, nil, nil); err == nil {
+		t.Error("StartLaneSession accepted a verilog source")
+	}
+	if _, err := sv.StartLaneSession(ctx, &SessionRequest{Lanes: 4}, nil, nil); err == nil {
+		t.Error("StartLaneSession accepted a request with no design source")
+	}
+}
+
+// TestHTTPLaneSessionStream drives a lane session through the HTTP surface:
+// the header carries the lane count, every event line carries a non-empty
+// changed-lane mask and one value per lane, and the stream terminates done.
+func TestHTTPLaneSessionStream(t *testing.T) {
+	sv := NewServer(Config{Registry: obs.NewRegistry()})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	req := testReq("aes128", 11)
+	req.Lanes = 4
+	resp, lines := postSession(t, ts, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if len(lines) < 3 {
+		t.Fatalf("stream has %d lines, want header+events+done", len(lines))
+	}
+	head, tail := lines[0], lines[len(lines)-1]
+	if head.Type != "header" || head.Lanes != 4 {
+		t.Errorf("header line = %+v", head)
+	}
+	for _, l := range lines[1 : len(lines)-1] {
+		if l.Type != "event" || l.Net == "" || l.Mask == 0 || len(l.Vals) != 4 {
+			t.Errorf("lane event line = %+v", l)
+		}
+	}
+	if tail.Type != "done" || tail.State != "done" || tail.Events == 0 {
+		t.Errorf("terminal line = %+v", tail)
+	}
+}

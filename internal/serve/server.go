@@ -15,6 +15,7 @@ import (
 	"gatesim/internal/event"
 	"gatesim/internal/gen"
 	"gatesim/internal/harness"
+	"gatesim/internal/lane"
 	"gatesim/internal/liberty"
 	"gatesim/internal/netlist"
 	"gatesim/internal/obs"
@@ -118,6 +119,15 @@ type SessionRequest struct {
 	Threads             int    `json:"threads,omitempty"`
 	BatchThreshold      int    `json:"batch_threshold,omitempty"` // pool engagement floor
 	WatchAll            bool   `json:"watch_all,omitempty"`
+
+	// Lanes > 1 runs a multi-stimulus lane session: Lanes independently
+	// seeded vectors of the preset stimulus evaluated in one lane-mode pass,
+	// streaming merged lane events (changed-lane mask + packed word) instead
+	// of scalar ones. Preset sessions only (a raw VCD is a single vector),
+	// and lane engines have no snapshots, so such sessions cannot suspend,
+	// resume, or restore-and-retry. Start them through StartLaneSession or
+	// the HTTP surface.
+	Lanes int `json:"lanes,omitempty"`
 }
 
 func (r *SessionRequest) limits(def SessionLimits) SessionLimits {
@@ -166,6 +176,32 @@ func (r *SessionRequest) mode() (sim.Mode, error) {
 // the session's terminal error. Blocks for the whole run: HTTP handlers
 // stream from inside sink, tests drive N of these concurrently.
 func (sv *Server) StartSession(ctx context.Context, req *SessionRequest, onAdmit func(*Session), sink func(netlist.NetID, event.Event)) (*Session, error) {
+	if req.Lanes > 1 {
+		return nil, errors.New("serve: lane requests (lanes > 1) must go through StartLaneSession")
+	}
+	return sv.start(ctx, req, onAdmit, func(ctx context.Context, s *Session) error {
+		return s.run(ctx, sink)
+	})
+}
+
+// StartLaneSession is StartSession's multi-stimulus twin: one lane-mode run
+// carrying req.Lanes independently seeded vectors of the preset stimulus,
+// delivering merged lane events (changed-lane mask + packed word) to sink as
+// they commit. Lane engines have no snapshots, so the session cannot
+// suspend, resume, or restore-and-retry; the deadline, sweep watchdog,
+// event budget and Cancel still apply.
+func (sv *Server) StartLaneSession(ctx context.Context, req *SessionRequest, onAdmit func(*Session), sink func(netlist.NetID, sim.LaneChange)) (*Session, error) {
+	if req.Lanes <= 1 {
+		return nil, fmt.Errorf("serve: lane session needs lanes > 1, got %d", req.Lanes)
+	}
+	return sv.start(ctx, req, onAdmit, func(ctx context.Context, s *Session) error {
+		return s.runLane(ctx, sink)
+	})
+}
+
+// start owns the shared session lifecycle — admission, plan resolution,
+// registration, onAdmit — around a mode-specific run function.
+func (sv *Server) start(ctx context.Context, req *SessionRequest, onAdmit func(*Session), run func(context.Context, *Session) error) (*Session, error) {
 	if sv.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -176,7 +212,18 @@ func (sv *Server) StartSession(ctx context.Context, req *SessionRequest, onAdmit
 	sv.wg.Add(1)
 	defer func() { release(); sv.wg.Done() }()
 
-	cp, hit, stim, watch, err := sv.prepare(ctx, req)
+	var (
+		cp       *CachedPlan
+		hit      bool
+		stim     []sim.Change
+		laneStim []sim.LaneChange
+		watch    []netlist.NetID
+	)
+	if req.Lanes > 1 {
+		cp, hit, laneStim, watch, err = sv.prepareLane(ctx, req)
+	} else {
+		cp, hit, stim, watch, err = sv.prepare(ctx, req)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +237,10 @@ func (sv *Server) StartSession(ctx context.Context, req *SessionRequest, onAdmit
 		ID:               "s" + strconv.FormatInt(seq, 10),
 		PlanKey:          cp.Key.String(),
 		limits:           req.limits(sv.cfg.Limits),
-		opts:             sim.Options{Mode: mode, Threads: req.Threads, SerialBatchThreshold: req.BatchThreshold},
+		opts:             sim.Options{Mode: mode, Threads: req.Threads, SerialBatchThreshold: req.BatchThreshold, Lanes: req.Lanes},
 		cp:               cp,
 		stim:             stim,
+		laneStim:         laneStim,
 		watch:            watch,
 		reg:              obs.NewRegistry(),
 		lastSent:         make(map[netlist.NetID]int64),
@@ -213,7 +261,7 @@ func (sv *Server) StartSession(ctx context.Context, req *SessionRequest, onAdmit
 		onAdmit(s)
 	}
 
-	err = s.run(ctx, sink)
+	err = run(ctx, s)
 	sv.finish(s, err)
 	return s, err
 }
@@ -346,6 +394,66 @@ func (sv *Server) prepare(ctx context.Context, req *SessionRequest) (cp *CachedP
 	return cp, hit, stim, watch, nil
 }
 
+// prepareLane is prepare's lane-mode twin: preset sessions only (a raw VCD
+// is a single stimulus vector), producing the merged multi-vector trace —
+// a shared clock/reset/scan schedule with per-lane data seeds — in place of
+// the scalar stimulus. The plan is cache-shared exactly as in scalar mode:
+// lane state lives in the engine, not the plan.
+func (sv *Server) prepareLane(ctx context.Context, req *SessionRequest) (cp *CachedPlan, hit bool, laneStim []sim.LaneChange, watch []netlist.NetID, err error) {
+	if req.Lanes > lane.MaxLanes {
+		return nil, false, nil, nil, fmt.Errorf("serve: %d lanes exceeds the %d-lane limit", req.Lanes, lane.MaxLanes)
+	}
+	if req.Verilog != "" || req.VCD != "" {
+		return nil, false, nil, nil, errors.New("serve: lane sessions are preset-only (a raw VCD is a single stimulus vector)")
+	}
+	if req.Preset == "" {
+		return nil, false, nil, nil, errors.New("serve: lane session needs a preset")
+	}
+	clib, err := harness.CompiledBuiltin()
+	if err != nil {
+		return nil, false, nil, nil, err
+	}
+	cp, hit, err = sv.preparePreset(ctx, req, clib)
+	if err != nil {
+		return nil, false, nil, nil, err
+	}
+	if cp.Design == nil {
+		return nil, false, nil, nil, errors.New("serve: cached preset plan lacks its design")
+	}
+	cycles := req.Cycles
+	if cycles <= 0 {
+		cycles = 20
+	}
+	activity := req.Activity
+	if activity <= 0 {
+		activity = 0.5
+	}
+	perLane := gen.LaneStimuli(cp.Design, gen.StimSpec{
+		Cycles: cycles, ActivityFactor: activity, Seed: req.Seed, ScanBurst: req.ScanBurst,
+	}, req.Lanes)
+	changes := make([][]sim.Change, len(perLane))
+	for l, cs := range perLane {
+		changes[l] = make([]sim.Change, len(cs))
+		for i, c := range cs {
+			changes[l][i] = sim.Change{Net: c.Net, Time: c.Time, Val: c.Val}
+		}
+	}
+	laneStim, err = sim.MergeLaneChanges(changes)
+	if err != nil {
+		return nil, false, nil, nil, err
+	}
+	nl := cp.Plan.Netlist
+	if req.WatchAll {
+		watch = make([]netlist.NetID, len(nl.Nets))
+		for i := range nl.Nets {
+			watch[i] = netlist.NetID(i)
+		}
+	} else {
+		watch = nl.PortsOut
+	}
+	return cp, hit, laneStim, watch, nil
+}
+
 func (sv *Server) preparePreset(ctx context.Context, req *SessionRequest, clib *truthtab.CompiledLibrary) (*CachedPlan, bool, error) {
 	p, err := gen.PresetByName(req.Preset)
 	if err != nil {
@@ -422,14 +530,12 @@ func (sv *Server) stimulus(req *SessionRequest, cp *CachedPlan) ([]sim.Change, e
 		gcs := gen.Stimuli(cp.Design, gen.StimSpec{
 			Cycles: cycles, ActivityFactor: activity, Seed: req.Seed, ScanBurst: req.ScanBurst,
 		})
+		// gen.Stimuli is globally time-sorted at the source; the session's
+		// slice streaming and snapshot-resume cut consume it directly.
 		out := make([]sim.Change, len(gcs))
 		for i, c := range gcs {
 			out[i] = sim.Change{Net: c.Net, Time: c.Time, Val: c.Val}
 		}
-		// gen.Stimuli is time-ordered per net but not globally; the session's
-		// slice streaming and snapshot-resume cut (sort.Search over Time) both
-		// need a globally sorted stream. Stable keeps per-net order intact.
-		sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
 		return out, nil
 	}
 	if req.VCD == "" {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gatesim/internal/event"
+	"gatesim/internal/lane"
 	"gatesim/internal/netlist"
 	"gatesim/internal/obs"
 	"gatesim/internal/sim"
@@ -102,14 +103,18 @@ type Session struct {
 	opts   sim.Options
 	cp     *CachedPlan
 	stim   []sim.Change
-	watch  []netlist.NetID
-	reg    *obs.Registry
+	// laneStim replaces stim for lane sessions (opts.Lanes > 1): the merged
+	// multi-vector trace, one entry per (time, net) change point carrying
+	// every lane's value.
+	laneStim []sim.LaneChange
+	watch    []netlist.NetID
+	reg      *obs.Registry
 
 	state   atomic.Int32
-	cancel  context.CancelFunc
 	suspend atomic.Bool
 
 	mu       sync.Mutex
+	cancel   context.CancelFunc
 	snapshot bytes.Buffer // latest checkpoint (valid when snapAt > 0)
 	snapAt   int64        // slice end the snapshot was taken at
 	resumeAt int64        // where a suspended stream restarts
@@ -150,14 +155,26 @@ func (s *Session) Err() error {
 func (s *Session) Registry() *obs.Registry { return s.reg }
 
 // Suspend asks the session to stop at the next slice boundary, snapshotting
-// for a later Resume. No-op unless running.
+// for a later Resume. No-op unless running. Lane sessions ignore it: lane
+// engines have no snapshots, so they run to completion or cancellation.
 func (s *Session) Suspend() { s.suspend.Store(true) }
 
 // Cancel aborts the session at the next sweep boundary.
 func (s *Session) Cancel() {
-	if c := s.cancel; c != nil {
+	s.mu.Lock()
+	c := s.cancel
+	s.mu.Unlock()
+	if c != nil {
 		c()
 	}
+}
+
+// setCancel publishes the run's cancel func under the session lock, so a
+// concurrent Cancel (e.g. from Drain) never races the run's startup.
+func (s *Session) setCancel(c context.CancelFunc) {
+	s.mu.Lock()
+	s.cancel = c
+	s.mu.Unlock()
 }
 
 // run drives the session to completion, suspension, or failure, delivering
@@ -168,8 +185,9 @@ func (s *Session) Cancel() {
 func (s *Session) run(ctx context.Context, sink func(netlist.NetID, event.Event)) error {
 	ctx, cancelDeadline := context.WithTimeout(ctx, s.limits.Deadline)
 	defer cancelDeadline()
-	ctx, s.cancel = context.WithCancel(ctx)
-	defer s.cancel()
+	ctx, cancel := context.WithCancel(ctx)
+	s.setCancel(cancel)
+	defer cancel()
 
 	s.state.Store(int32(StateRunning))
 	err := s.runAttempts(ctx, sink)
@@ -314,6 +332,72 @@ func (s *Session) streamOnce(ctx context.Context, e *sim.Engine, sink func(netli
 				s.resumeAt = end
 				s.mu.Unlock()
 				return errSuspend
+			}
+			return nil
+		},
+	})
+}
+
+// runLane is run's lane-mode twin. Lane engines have no snapshots, so there
+// is no checkpoint cadence, no suspension, and no restore-and-retry: a
+// contained gate panic is terminal for this session (the shared plan and
+// every other session keep running). Deadline, cancel, sweep watchdog and
+// event budget apply exactly as in scalar sessions.
+func (s *Session) runLane(ctx context.Context, sink func(netlist.NetID, sim.LaneChange)) error {
+	ctx, cancelDeadline := context.WithTimeout(ctx, s.limits.Deadline)
+	defer cancelDeadline()
+	ctx, cancel := context.WithCancel(ctx)
+	s.setCancel(cancel)
+	defer cancel()
+
+	s.state.Store(int32(StateRunning))
+	err := s.streamLane(ctx, sink)
+	switch {
+	case err == nil:
+		s.state.Store(int32(StateDone))
+	case errors.Is(err, context.Canceled):
+		s.setErr(err)
+		s.state.Store(int32(StateCanceled))
+	default:
+		if errors.Is(err, sim.ErrPoisoned) {
+			s.poisonedSessions.Add(1)
+		}
+		s.setErr(err)
+		s.state.Store(int32(StateFailed))
+	}
+	return err
+}
+
+// streamLane runs the session's single lane-mode attempt: the whole merged
+// trace through a fresh engine, watched lane events to sink in global time
+// order. No lastSent dedup is needed — with no retries every event commits
+// exactly once.
+func (s *Session) streamLane(ctx context.Context, sink func(netlist.NetID, sim.LaneChange)) error {
+	opts := s.opts
+	opts.MaxSweeps = s.limits.MaxSweeps
+	opts.Metrics = s.reg
+
+	e, err := sim.NewFromPlan(s.cp.Plan, opts)
+	if err != nil {
+		return fmt.Errorf("serve: engine construction: %w", err)
+	}
+	defer e.Close()
+
+	return e.RunLaneStreamCtx(ctx, s.laneStim, sim.LaneStreamConfig{
+		SlicePS: s.limits.SlicePS,
+		Watch:   s.watch,
+		OnEvent: func(nid netlist.NetID, t int64, mask uint32, w lane.Word) {
+			s.events.Add(1)
+			if sink != nil {
+				sink(nid, sim.LaneChange{Net: nid, Time: t, Mask: mask, Word: w})
+			}
+		},
+		AfterSlice: func(end int64) error {
+			if s.limits.EventBudget > 0 {
+				if st := e.Stats(); st.EventsCommitted > s.limits.EventBudget {
+					return fmt.Errorf("%w: %d committed > budget %d",
+						ErrEventBudget, st.EventsCommitted, s.limits.EventBudget)
+				}
 			}
 			return nil
 		},

@@ -44,10 +44,12 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
 	"gatesim/internal/event"
+	"gatesim/internal/lane"
 	"gatesim/internal/levelize"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
@@ -140,6 +142,19 @@ type Options struct {
 	// plan's compiled scripts over the dirty bitset. The interpreted path
 	// is the bit-exact baseline the script equivalence tests diff against.
 	DisableScripts bool
+	// Lanes is the number of independent stimulus lanes evaluated together
+	// (1..lane.MaxLanes; 0 means 1). With Lanes > 1 the engine runs in lane
+	// mode: every net carries a lane.Word vector alongside its event queue,
+	// comb1 script visits evaluate all lanes branch-free through
+	// truthtab.LanePackedLUT, and seq/ineligible cells evaluate each lane
+	// through the scalar interpreter at shared change points. Lane mode
+	// requires the compiled-script schedule (DisableKernels/DisableScripts
+	// reject), drives stimuli through InjectLanes/RunLaneStream (the scalar
+	// Inject/RunStream entry points reject), forces watermark relaxation
+	// off, and never checkpoints or snapshots (event history is retained for
+	// per-lane stream extraction). Lanes = 1 is today's scalar engine,
+	// bit-exact and unchanged.
+	Lanes int
 	// DisableWatermarkRelax restores per-reader dirty marks for
 	// watermark-only net advances: every waiting reader is re-visited by
 	// the sweep machinery instead of being relaxed in a batched worklist
@@ -174,6 +189,9 @@ func (o Options) withDefaults() Options {
 	if o.SerialBatchThreshold <= 0 {
 		o.SerialBatchThreshold = defaultSerialBatchThreshold
 	}
+	if o.Lanes <= 0 {
+		o.Lanes = 1
+	}
 	return o
 }
 
@@ -195,6 +213,11 @@ type Stats struct {
 	// DisableWatermarkRelax.
 	VisitsWatermarkOnly int64
 	RelaxedNets         int64
+
+	// VisitsLane counts lane-mode gate visits: each one evaluated every
+	// active stimulus lane, so the per-lane visit equivalent is
+	// VisitsLane × Options.Lanes. Zero in scalar mode.
+	VisitsLane int64
 
 	// VisitsByKernel/QueriesByKernel split Visits/Queries by the kernel
 	// class that served them (index by truthtab.Class). With kernels
@@ -236,6 +259,7 @@ type engineCounters struct {
 	visitsBy     [truthtab.NumClasses]atomic.Int64
 	queriesBy    [truthtab.NumClasses]atomic.Int64
 	visitsWMOnly atomic.Int64
+	visitsLane   atomic.Int64
 	relaxedNets  atomic.Int64
 	events       atomic.Int64
 	checkpoints  atomic.Int64
@@ -259,7 +283,9 @@ type engineObs struct {
 	downgrades   *obs.Counter
 	segsSkipped  *obs.Counter
 	visitsWMOnly *obs.Counter
+	visitsLane   *obs.Counter
 	relaxedNets  *obs.Counter
+	lanesActive  *obs.Gauge
 	visitsBy     [truthtab.NumClasses]*obs.Counter
 	queriesBy    [truthtab.NumClasses]*obs.Counter
 	sweepNS      *obs.Histogram
@@ -281,7 +307,9 @@ func newEngineObs(o Options) engineObs {
 		downgrades:   m.Counter("sim.downgrades"),
 		segsSkipped:  m.Counter("sim.segments_skipped"),
 		visitsWMOnly: m.Counter("sim.visits_watermark_only"),
+		visitsLane:   m.Counter("sim.visits_lane"),
 		relaxedNets:  m.Counter("sim.relax_nets"),
+		lanesActive:  m.Gauge("sim.lanes_active"),
 		sweepNS:      m.Histogram("sim.sweep_ns"),
 		levelNS:      m.Histogram("sim.level_ns"),
 		checkpointNS: m.Histogram("sim.checkpoint_ns"),
@@ -353,6 +381,28 @@ type Engine struct {
 	// false with DisableWatermarkRelax or DisableKernels.
 	relax relaxState
 
+	// Lane mode (Options.Lanes > 1). Each net's laneStores entry parallels
+	// its event queue index-for-index: entry i holds the changed-lane mask
+	// and full merged lane word of the queue's event i (lane mode never
+	// trims, so indices coincide from zero). The slot arrays are lane-word
+	// twins of the scalar base/soft checkpoint arrays; the base never folds
+	// forward (lane mode skips Checkpoint), so laneBase* stay at their
+	// broadcast initial values. All empty/zero in scalar mode.
+	lanes             int
+	laneMask          uint32
+	laneStores        []lane.Store // per net
+	laneLast          []lane.Word  // per net: current word after all appends (PI injection)
+	inStore           []*lane.Store
+	outStore          []*lane.Store
+	laneBaseVals      []lane.Word
+	laneSemBase       []lane.Word
+	laneLastCommitted []lane.Word
+	laneBaseStates    []lane.Word
+	laneSoftVals      []lane.Word
+	laneSoftSem       []lane.Word
+	laneSoftStates    []lane.Word
+	laneSoftPend      [][]event.Event // [outSlot*lanes + lane]
+
 	exec       *executor
 	sweepSegs  []execSeg // sequential phase + each comb level's kernel buckets
 	scriptSegs int       // compiled scripts in the schedule (Stats.ScriptSegments)
@@ -384,7 +434,16 @@ func New(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delays,
 // and may be shared with other simulators concurrently.
 func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 	e := &Engine{p: p, nl: p.Netlist, opts: opts.withDefaults()}
+	if e.opts.Lanes > lane.MaxLanes {
+		return nil, fmt.Errorf("sim: Lanes %d exceeds lane.MaxLanes %d", e.opts.Lanes, lane.MaxLanes)
+	}
+	if e.opts.Lanes > 1 && (e.opts.DisableKernels || e.opts.DisableScripts) {
+		return nil, fmt.Errorf("sim: lane mode requires the compiled-script schedule (DisableKernels/DisableScripts unset)")
+	}
+	e.lanes = e.opts.Lanes
+	e.laneMask = uint32(1)<<uint(e.lanes) - 1
 	e.obs = newEngineObs(e.opts)
+	e.obs.lanesActive.Set(int64(e.lanes))
 	e.mode = e.opts.Mode
 	if e.mode == ModeAuto {
 		switch {
@@ -439,6 +498,45 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 		e.gate[i].baseNow = -TimeInf
 	}
 
+	if e.lanes > 1 {
+		// Lane twins of the slot arrays, every lane starting at the scalar
+		// initial value. The per-net stores start empty, aligned with the
+		// (untrimmed, unrestored) queues at index zero.
+		e.laneStores = make([]lane.Store, p.NumNets())
+		e.laneLast = make([]lane.Word, p.NumNets())
+		for n := range e.laneLast {
+			e.laneLast[n] = lane.Broadcast(p.NetInit[n])
+		}
+		e.inStore = make([]*lane.Store, nIn)
+		for s, nid := range p.InNet {
+			e.inStore[s] = &e.laneStores[nid]
+		}
+		e.outStore = make([]*lane.Store, nOut)
+		for s, nid := range p.OutNet {
+			if nid >= 0 {
+				e.outStore[s] = &e.laneStores[nid]
+			}
+		}
+		e.laneBaseVals = make([]lane.Word, nIn)
+		for s, v := range p.InInit {
+			e.laneBaseVals[s] = lane.Broadcast(v)
+		}
+		e.laneSemBase = make([]lane.Word, nOut)
+		e.laneLastCommitted = make([]lane.Word, nOut)
+		for s, v := range p.OutInit {
+			e.laneSemBase[s] = lane.Broadcast(v)
+			e.laneLastCommitted[s] = lane.Broadcast(v)
+		}
+		e.laneBaseStates = make([]lane.Word, len(p.StateInit))
+		for s, v := range p.StateInit {
+			e.laneBaseStates[s] = lane.Broadcast(v)
+		}
+		e.laneSoftVals = make([]lane.Word, nIn)
+		e.laneSoftSem = make([]lane.Word, nOut)
+		e.laneSoftStates = make([]lane.Word, len(p.StateInit))
+		e.laneSoftPend = make([][]event.Event, nOut*e.lanes)
+	}
+
 	e.kern = make([]truthtab.Class, p.NumGates())
 	switch {
 	case !e.opts.DisableKernels && !e.opts.DisableScripts:
@@ -491,8 +589,10 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 		}
 	}
 	// Watermark relaxation needs the comb1 idle kernel, so the pre-kernel
-	// A/B shape (DisableKernels) implies the marking baseline too.
-	if !e.opts.DisableWatermarkRelax && !e.opts.DisableKernels {
+	// A/B shape (DisableKernels) implies the marking baseline too. Lane mode
+	// forces it off: the relax walk is the scalar idle kernel, and lane
+	// gates must only advance through their lane-word twins.
+	if !e.opts.DisableWatermarkRelax && !e.opts.DisableKernels && e.lanes == 1 {
 		e.relax.on = true
 		e.relax.cellFlag = make([]uint32, p.NumGates())
 		// One staging bucket per level, preallocated to the level's
@@ -581,6 +681,7 @@ func (e *Engine) Stats() Stats {
 		EventsCommitted:     e.stats.events.Load(),
 		Checkpoints:         e.stats.checkpoints.Load(),
 		VisitsWatermarkOnly: e.stats.visitsWMOnly.Load(),
+		VisitsLane:          e.stats.visitsLane.Load(),
 		RelaxedNets:         e.stats.relaxedNets.Load(),
 		PoolSpawned:         ps.Spawned,
 		PoolRounds:          ps.Rounds,

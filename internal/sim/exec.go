@@ -479,7 +479,11 @@ func (x *executor) runScriptChunk(kind roundKind, lvl int, seg *execSeg, lo, hi 
 				var prog bool
 				if comb1 {
 					ev0 := sc.events
-					prog = e.visitScriptComb1(op, sc)
+					if e.lanes > 1 {
+						prog = e.visitLaneScriptComb1(op, sc)
+					} else {
+						prog = e.visitScriptComb1(op, sc)
+					}
 					if sc.events == ev0 {
 						sc.visitsWMOnly++
 					}
@@ -504,7 +508,11 @@ func (x *executor) runScriptChunk(kind roundKind, lvl int, seg *execSeg, lo, hi 
 			var prog bool
 			if comb1 {
 				ev0 := sc.events
-				prog = e.visitScriptComb1(op, sc)
+				if e.lanes > 1 {
+					prog = e.visitLaneScriptComb1(op, sc)
+				} else {
+					prog = e.visitScriptComb1(op, sc)
+				}
 				if sc.events == ev0 {
 					sc.visitsWMOnly++
 				}
@@ -539,7 +547,7 @@ func (x *executor) runCheckpoint() {
 // from the coordinating goroutine only.
 func (x *executor) mergeStats() {
 	var visits, queries [truthtab.NumClasses]int64
-	var events, wmOnly int64
+	var events, wmOnly, laneVisits int64
 	for _, sc := range x.scratches {
 		for c := range sc.visits {
 			visits[c] += sc.visits[c]
@@ -550,6 +558,12 @@ func (x *executor) mergeStats() {
 		sc.events = 0
 		wmOnly += sc.visitsWMOnly
 		sc.visitsWMOnly = 0
+		laneVisits += sc.visitsLane
+		sc.visitsLane = 0
+	}
+	if laneVisits != 0 {
+		x.e.stats.visitsLane.Add(laneVisits)
+		x.e.obs.visitsLane.Add(laneVisits)
 	}
 	if wmOnly != 0 {
 		x.e.stats.visitsWMOnly.Add(wmOnly)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"gatesim/internal/event"
+	"gatesim/internal/lane"
 	"gatesim/internal/logic"
 	"gatesim/internal/netlist"
 	"gatesim/internal/plan"
@@ -68,6 +69,19 @@ type scratch struct {
 	qNext  []logic.Value
 	outs   []sched.Output
 	evIn   []int
+	// Lane-mode twins (allocated only when Options.Lanes > 1): per-input
+	// lane words, the per-point event words and changed-lane masks, one
+	// sched.Output per (output, lane), and per-lane query buffers for the
+	// generic interpreter path.
+	laneVals   []lane.Word
+	qWords     []lane.Word
+	evMask     []uint32
+	laneOuts   []sched.Output // [out*lanes + lane]
+	laneSem    []lane.Word
+	laneStates []lane.Word
+	laneQOuts  []logic.Value // [out*lanes + lane]
+	laneQNext  []logic.Value // [state*lanes + lane]
+	lanePendK  []int         // [lane] soft-pend commit prefix counters
 	// visit counters, split per kernel class and merged into Engine.stats at
 	// sweep end to avoid atomic traffic in the hot loop. visitsWMOnly
 	// counts the visits that committed no events — the watermark-only share
@@ -75,12 +89,13 @@ type scratch struct {
 	visits       [truthtab.NumClasses]int64
 	queries      [truthtab.NumClasses]int64
 	visitsWMOnly int64
+	visitsLane   int64
 	events       int64
 }
 
 func newScratch(e *Engine) *scratch {
 	maxIn, maxOut, maxState := e.p.MaxInputs, e.p.MaxOutputs, e.p.MaxStates
-	return &scratch{
+	sc := &scratch{
 		cur:    make([]event.Cursor, maxIn),
 		vals:   make([]logic.Value, maxIn),
 		states: make([]logic.Value, maxState),
@@ -91,6 +106,18 @@ func newScratch(e *Engine) *scratch {
 		outs:   make([]sched.Output, maxOut),
 		evIn:   make([]int, 0, maxIn),
 	}
+	if L := e.lanes; L > 1 {
+		sc.laneVals = make([]lane.Word, maxIn)
+		sc.qWords = make([]lane.Word, maxIn)
+		sc.evMask = make([]uint32, maxIn)
+		sc.laneOuts = make([]sched.Output, maxOut*L)
+		sc.laneSem = make([]lane.Word, maxOut)
+		sc.laneStates = make([]lane.Word, maxState)
+		sc.laneQOuts = make([]logic.Value, maxOut*L)
+		sc.laneQNext = make([]logic.Value, maxState*L)
+		sc.lanePendK = make([]int, L)
+	}
+	return sc
 }
 
 // visit replays the gate's change points from its base checkpoint, commits

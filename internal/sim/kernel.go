@@ -23,7 +23,14 @@ var kernelVisit = [truthtab.NumClasses]func(*Engine, netlist.CellID, *scratch) b
 // tallied separately so the relax pass's win is measurable.
 func (e *Engine) visitGate(id netlist.CellID, sc *scratch) bool {
 	ev0 := sc.events
-	r := kernelVisit[e.kern[id]](e, id, sc)
+	var r bool
+	if e.lanes > 1 {
+		// Lane mode routes every interpreted gate through the generic lane
+		// visit; lane comb1 kernels dispatch from the script loop directly.
+		r = e.visitLaneGate(id, sc)
+	} else {
+		r = kernelVisit[e.kern[id]](e, id, sc)
+	}
 	if sc.events == ev0 {
 		sc.visitsWMOnly++
 	}

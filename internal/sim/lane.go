@@ -1,0 +1,1065 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sort"
+	"time"
+
+	"gatesim/internal/event"
+	"gatesim/internal/lane"
+	"gatesim/internal/logic"
+	"gatesim/internal/netlist"
+	"gatesim/internal/plan"
+	"gatesim/internal/sched"
+	"gatesim/internal/truthtab"
+)
+
+// Lane mode: bit-parallel multi-stimulus execution (Options.Lanes > 1).
+//
+// The engine's time spine — event queues, watermarks, cursors, the
+// commit/replay discipline — is unchanged and shared across lanes. What a
+// queue event *means* changes: event i on a net is "at this time, the lanes
+// in laneStores[nid] entry i's mask changed, to the values in its word".
+// Each gate visit replays the shared change points once and evaluates every
+// lane at each of them; per-lane scheduling state (semantic values, pending
+// output transitions) is kept lane-by-lane so lane l's committed stream is
+// exactly what a scalar engine running lane l's stimulus alone would commit.
+//
+// Correctness argument, per lane l: at every change point the visit
+// presents lane l exactly what the scalar replay would present it (its own
+// event values, its own current values, and the same shared VU expiries —
+// watermarks are per-net and identical), schedules only l's own output
+// changes through l's own sched.Output, and stops before consuming at the
+// first point where *any* lane's result is undetermined. Stopping early for
+// lane l because another lane was undetermined only delays l's commits —
+// determination is monotone under watermark refinement, so when the visit
+// resumes past the frontier, l's replay produces the same transitions. The
+// shared committedUntil guard drops exactly the replay duplicates, as in
+// scalar mode, because per-lane replay is deterministic.
+//
+// Lane mode never checkpoints, trims, or snapshots: stores and queues grow
+// with the trace (extraction reads them from index zero), and the lane base
+// state stays at the broadcast initial values.
+
+// visitLaneScriptComb1 is visitScriptComb1 over lane words: one pass over
+// the shared change points evaluating every lane through the packed LUT
+// (truthtab.LanePackedLUT), scheduling per-lane transitions for the lanes
+// whose inputs actually changed, and committing the merged per-lane streams
+// fan-out into the single output queue + lane store.
+func (e *Engine) visitLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
+	g := &e.gate[op.Gate]
+	inB := int(op.InBase)
+	ni := int(op.NIn)
+	outB := int(op.OutSlot)
+	llut := truthtab.LanePackedLUT{LUT: op.LUT}
+	inQ := e.inQ[inB : inB+ni]
+	inSt := e.inStore[inB : inB+ni]
+	q := e.outQ[outB]
+	softCur := e.softCur[inB : inB+ni]
+	L := e.lanes
+	sc.visits[truthtab.ClassComb1]++
+	sc.visitsLane++
+
+	// Soft-resume / idle checks, exactly as in visitScriptComb1.
+	resume := g.softValid
+	idle := resume
+	if resume {
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if softCur[i] < iq.Len() {
+				idle = false
+				if iq.MustAt(softCur[i]).Time < g.softNow {
+					resume = false
+					break
+				}
+			}
+		}
+	}
+	if resume && idle {
+		return e.idleLaneScriptComb1(op, sc)
+	}
+	outs := sc.laneOuts[:L]
+	var now int64
+	var sem lane.Word
+	if resume {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(softCur[i])
+			sc.laneVals[i] = e.laneSoftVals[inB+i]
+		}
+		sem = e.laneSoftSem[outB]
+		lc := e.laneLastCommitted[outB]
+		for ln := 0; ln < L; ln++ {
+			outs[ln].Restore(lc.Get(ln), e.laneSoftPend[outB*L+ln])
+		}
+		now = g.softNow
+	} else {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(e.baseCur[inB+i])
+			sc.laneVals[i] = e.laneBaseVals[inB+i]
+		}
+		sem = e.laneSemBase[outB]
+		lc := e.laneLastCommitted[outB]
+		for ln := 0; ln < L; ln++ {
+			outs[ln].Reset(lc.Get(ln))
+		}
+		now = g.baseNow
+	}
+	detUntil := TimeInf
+	for {
+		// Next change point: earliest unconsumed event or stable-time
+		// expiry strictly after `now`.
+		t := TimeInf
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if et := sc.cur[i].Peek(iq).Time; et < t {
+					t = et
+				}
+			}
+			if w := iq.DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+
+		// Gather the per-lane query: event words for inputs changing at t,
+		// shared VU fields for expired inputs, current words otherwise.
+		var expired uint32
+		var evLanes uint32
+		sc.evIn = sc.evIn[:0]
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if sc.cur[i].Peek(iq).Time == t {
+					m, w := inSt[i].At(sc.cur[i].Idx)
+					sc.evMask[i] = m
+					sc.qWords[i] = w
+					sc.evIn = append(sc.evIn, i)
+					evLanes |= m
+					continue
+				}
+			}
+			if t >= iq.DeterminedUntil() {
+				expired |= 1 << uint(i)
+			}
+			sc.qWords[i] = sc.laneVals[i]
+		}
+		// Every active lane is evaluated — not just the changed ones — so
+		// the stop-before-consume frontier below can never overrun a quiet
+		// lane's own undetermined point and commit a cancellable event.
+		outW, undet := llut.LookupLanes(sc.qWords[:ni], expired, e.laneMask)
+		sc.queries[truthtab.ClassComb1]++
+		if undet != 0 {
+			detUntil = t
+			break
+		}
+
+		// Consume the change point: only lanes with an input event here may
+		// schedule (a quiet lane's scalar replay has no change point at t),
+		// and only when their semantic output moved.
+		if len(sc.evIn) > 0 {
+			changed := evLanes & lane.DiffMask(outW, sem)
+			for m := changed; m != 0; m &= m - 1 {
+				ln := bits.TrailingZeros32(m)
+				nv := outW.Get(ln)
+				var d int64
+				if op.Uniform {
+					d = op.Delay[nv]
+				} else {
+					arcB := int(op.ArcBase)
+					d = int64(1) << 62
+					for _, i := range sc.evIn {
+						if sc.evMask[i]&(1<<uint(ln)) == 0 {
+							continue
+						}
+						if ad := sched.DelayFor(e.p.Arcs[arcB+i], nv); ad < d {
+							d = ad
+						}
+					}
+				}
+				outs[ln].Schedule(t+d, nv)
+			}
+			sem = sem.Merge(outW, changed)
+			for _, i := range sc.evIn {
+				sc.laneVals[i] = sc.qWords[i]
+				sc.cur[i].Advance()
+			}
+		}
+		now = t
+	}
+	g.detUntil.Store(detUntil)
+
+	// Commit the merged per-lane streams and advance the shared watermark.
+	limit := detUntil
+	if limit < TimeInf {
+		limit += op.MinArc
+		if limit > TimeInf {
+			limit = TimeInf
+		}
+	}
+	commitThrough := limit - 1
+	newEvents := e.commitLaneOutputs(outB, outs, commitThrough, sc)
+	if commitThrough > e.committedUntil[outB] {
+		e.committedUntil[outB] = commitThrough
+	}
+	progress := false
+	wOld := int64(-1)
+	if q != nil && q.DeterminedUntil() < limit {
+		wOld = q.DeterminedUntil()
+		q.SetDeterminedUntil(limit)
+	}
+	if newEvents || wOld >= 0 {
+		progress = true
+		e.markLoads(op.OutNet, wOld, newEvents)
+	}
+
+	futureMin := int64(TimeInf)
+	for ln := 0; ln < L; ln++ {
+		if te, ok := outs[ln].NextPending(); ok && te < futureMin {
+			futureMin = te
+		}
+	}
+	blocked := false
+	for i := 0; i < ni; i++ {
+		if sc.cur[i].Idx < inQ[i].Len() {
+			blocked = true
+			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
+				futureMin = et
+			}
+		}
+	}
+	g.futureMin = futureMin
+	g.blocked = blocked
+
+	// Save the soft snapshot for the next visit.
+	g.softNow = now
+	for i := 0; i < ni; i++ {
+		softCur[i] = sc.cur[i].Idx
+		e.laneSoftVals[inB+i] = sc.laneVals[i]
+	}
+	e.laneSoftSem[outB] = sem
+	for ln := 0; ln < L; ln++ {
+		e.laneSoftPend[outB*L+ln] = append(e.laneSoftPend[outB*L+ln][:0], outs[ln].Pend()...)
+	}
+	g.softValid = true
+	return progress
+}
+
+// idleLaneScriptComb1 is idleScriptComb1 over lane words: a
+// watermark-expiry-only walk probing every lane per expiry, and the merged
+// soft-pending prefixes to commit.
+func (e *Engine) idleLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
+	g := &e.gate[op.Gate]
+	inB := int(op.InBase)
+	ni := int(op.NIn)
+	outB := int(op.OutSlot)
+	llut := truthtab.LanePackedLUT{LUT: op.LUT}
+	inQ := e.inQ[inB : inB+ni]
+	q := e.outQ[outB]
+
+	now := g.softNow
+	detUntil := TimeInf
+	for {
+		t := int64(TimeInf)
+		for i := 0; i < ni; i++ {
+			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+		var expired uint32
+		for i := 0; i < ni; i++ {
+			if t >= inQ[i].DeterminedUntil() {
+				expired |= 1 << uint(i)
+			}
+			sc.qWords[i] = e.laneSoftVals[inB+i]
+		}
+		sc.queries[truthtab.ClassComb1]++
+		if _, undet := llut.LookupLanes(sc.qWords[:ni], expired, e.laneMask); undet != 0 {
+			detUntil = t
+			break
+		}
+		now = t
+	}
+	g.softNow = now
+	g.detUntil.Store(detUntil)
+
+	limit := detUntil
+	if limit < TimeInf {
+		limit += op.MinArc
+		if limit > TimeInf {
+			limit = TimeInf
+		}
+	}
+	commitThrough := limit - 1
+	newEvents := e.commitLaneSoftPend(outB, commitThrough, sc)
+	if commitThrough > e.committedUntil[outB] {
+		e.committedUntil[outB] = commitThrough
+	}
+	progress := false
+	wOld := int64(-1)
+	if q != nil && q.DeterminedUntil() < limit {
+		wOld = q.DeterminedUntil()
+		q.SetDeterminedUntil(limit)
+	}
+	if newEvents || wOld >= 0 {
+		progress = true
+		e.markLoads(op.OutNet, wOld, newEvents)
+	}
+
+	futureMin := int64(TimeInf)
+	L := e.lanes
+	for ln := 0; ln < L; ln++ {
+		for _, ev := range e.laneSoftPend[outB*L+ln] {
+			if ev.Time < futureMin {
+				futureMin = ev.Time
+			}
+		}
+	}
+	g.futureMin = futureMin
+	return progress
+}
+
+// visitLaneGate is the lane-mode generic (ClassSeq) visit: the scalar
+// interpreter run lane-by-lane at the shared change points. A lane
+// participates at a point when one of its inputs changed there, or when the
+// point is a watermark crossing (which every lane's scalar replay would
+// visit — watermarks are shared). Non-participating lanes are untouched:
+// their scalar replays have no change point at that time, so their states
+// and semantic outputs must not move.
+func (e *Engine) visitLaneGate(id netlist.CellID, sc *scratch) bool {
+	p := e.p
+	g := &e.gate[id]
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	no := int(p.OutOff[id+1]) - outB
+	stB := int(p.StateOff[id])
+	ns := int(p.StateOff[id+1]) - stB
+	tab := p.Tables[p.TableOf[id]]
+	arcB := int(p.ArcOff[id])
+	inQ := e.inQ[inB : inB+ni]
+	inSt := e.inStore[inB : inB+ni]
+	outQ := e.outQ[outB : outB+no]
+	softCur := e.softCur[inB : inB+ni]
+	committedUntil := e.committedUntil[outB : outB+no]
+	minArc := p.MinArc[outB : outB+no]
+	L := e.lanes
+	sc.visits[truthtab.ClassSeq]++
+	sc.visitsLane++
+
+	resume := g.softValid
+	idle := resume
+	if resume {
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if softCur[i] < iq.Len() {
+				idle = false
+				if iq.MustAt(softCur[i]).Time < g.softNow {
+					resume = false
+					break
+				}
+			}
+		}
+	}
+	if resume && idle {
+		return e.idleLaneVisit(id, sc)
+	}
+	var now int64
+	if resume {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(softCur[i])
+			sc.laneVals[i] = e.laneSoftVals[inB+i]
+		}
+		copy(sc.laneStates, e.laneSoftStates[stB:stB+ns])
+		copy(sc.laneSem, e.laneSoftSem[outB:outB+no])
+		for o := 0; o < no; o++ {
+			lc := e.laneLastCommitted[outB+o]
+			for ln := 0; ln < L; ln++ {
+				sc.laneOuts[o*L+ln].Restore(lc.Get(ln), e.laneSoftPend[(outB+o)*L+ln])
+			}
+		}
+		now = g.softNow
+	} else {
+		for i := 0; i < ni; i++ {
+			sc.cur[i] = inQ[i].NewCursor(e.baseCur[inB+i])
+			sc.laneVals[i] = e.laneBaseVals[inB+i]
+		}
+		copy(sc.laneStates, e.laneBaseStates[stB:stB+ns])
+		copy(sc.laneSem, e.laneSemBase[outB:outB+no])
+		for o := 0; o < no; o++ {
+			lc := e.laneLastCommitted[outB+o]
+			for ln := 0; ln < L; ln++ {
+				sc.laneOuts[o*L+ln].Reset(lc.Get(ln))
+			}
+		}
+		now = g.baseNow
+	}
+	detUntil := TimeInf
+	for {
+		t := TimeInf
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			if sc.cur[i].Idx < iq.Len() {
+				if et := sc.cur[i].Peek(iq).Time; et < t {
+					t = et
+				}
+			}
+			if w := iq.DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+
+		// Classify the inputs at t. expiryPoint records whether any input
+		// watermark crossing lies in (now, t] — those points exist in every
+		// lane's scalar replay, so all lanes participate there.
+		var expired uint32
+		var evLanes uint32
+		expiryPoint := false
+		sc.evIn = sc.evIn[:0]
+		for i := 0; i < ni; i++ {
+			iq := inQ[i]
+			sc.evMask[i] = 0
+			if sc.cur[i].Idx < iq.Len() {
+				if sc.cur[i].Peek(iq).Time == t {
+					m, w := inSt[i].At(sc.cur[i].Idx)
+					sc.evMask[i] = m
+					sc.qWords[i] = w
+					sc.evIn = append(sc.evIn, i)
+					evLanes |= m
+					continue
+				}
+			}
+			if w := iq.DeterminedUntil(); w > now && w <= t {
+				expiryPoint = true
+			}
+			if t >= iq.DeterminedUntil() {
+				expired |= 1 << uint(i)
+			}
+		}
+		partMask := evLanes
+		if expiryPoint {
+			partMask = e.laneMask
+		}
+
+		// Evaluate every participating lane; stop before consuming anything
+		// if any of them comes back undetermined.
+		undet := false
+		for m := partMask; m != 0 && !undet; m &= m - 1 {
+			ln := bits.TrailingZeros32(m)
+			for i := 0; i < ni; i++ {
+				switch {
+				case sc.evMask[i] != 0 && sc.evMask[i]&(1<<uint(ln)) != 0:
+					// This lane's own event: edge-code it for edge pins.
+					if tab.EdgeSensitive[i] {
+						sc.qIns[i] = logic.EdgeCode(sc.laneVals[i].Get(ln), sc.qWords[i].Get(ln))
+					} else {
+						sc.qIns[i] = sc.qWords[i].Get(ln)
+					}
+				case expired&(1<<uint(i)) != 0:
+					sc.qIns[i] = logic.VU
+				default:
+					sc.qIns[i] = sc.laneVals[i].Get(ln)
+				}
+			}
+			for s := 0; s < ns; s++ {
+				sc.states[s] = sc.laneStates[s].Get(ln)
+			}
+			tab.LookupInto(sc.qIns[:ni], sc.states[:ns], sc.qOuts[:no], sc.qNext[:ns])
+			sc.queries[truthtab.ClassSeq]++
+			for o := 0; o < no; o++ {
+				if sc.qOuts[o] == logic.VU {
+					undet = true
+				}
+				sc.laneQOuts[o*L+ln] = sc.qOuts[o]
+			}
+			for s := 0; s < ns; s++ {
+				if sc.qNext[s] == logic.VU {
+					undet = true
+				}
+				sc.laneQNext[s*L+ln] = sc.qNext[s]
+			}
+		}
+		if undet {
+			detUntil = t
+			break
+		}
+
+		// Consume: schedule per-lane output changes for event lanes, fold
+		// next-states for participating lanes, advance the shared cursors.
+		if len(sc.evIn) > 0 {
+			for o := 0; o < no; o++ {
+				for m := evLanes; m != 0; m &= m - 1 {
+					ln := bits.TrailingZeros32(m)
+					nv := sc.laneQOuts[o*L+ln]
+					if nv == sc.laneSem[o].Get(ln) {
+						continue
+					}
+					d := int64(1) << 62
+					for _, i := range sc.evIn {
+						if sc.evMask[i]&(1<<uint(ln)) == 0 {
+							continue
+						}
+						if ad := sched.DelayFor(p.Arcs[arcB+o*ni+i], nv); ad < d {
+							d = ad
+						}
+					}
+					sc.laneOuts[o*L+ln].Schedule(t+d, nv)
+					sc.laneSem[o] = sc.laneSem[o].Set(ln, nv)
+				}
+			}
+			for _, i := range sc.evIn {
+				sc.laneVals[i] = sc.qWords[i]
+				sc.cur[i].Advance()
+			}
+		}
+		for s := 0; s < ns; s++ {
+			w := sc.laneStates[s]
+			for m := partMask; m != 0; m &= m - 1 {
+				ln := bits.TrailingZeros32(m)
+				w = w.Set(ln, sc.laneQNext[s*L+ln])
+			}
+			sc.laneStates[s] = w
+		}
+		now = t
+	}
+	g.detUntil.Store(detUntil)
+
+	progress := false
+	for o := 0; o < no; o++ {
+		limit := detUntil
+		if limit < TimeInf {
+			limit += minArc[o]
+			if limit > TimeInf {
+				limit = TimeInf
+			}
+		}
+		commitThrough := limit - 1
+		newEvents := e.commitLaneOutputs(outB+o, sc.laneOuts[o*L:(o+1)*L], commitThrough, sc)
+		if commitThrough > committedUntil[o] {
+			committedUntil[o] = commitThrough
+		}
+		q := outQ[o]
+		wOld := int64(-1)
+		if q != nil && q.DeterminedUntil() < limit {
+			wOld = q.DeterminedUntil()
+			q.SetDeterminedUntil(limit)
+		}
+		if newEvents || wOld >= 0 {
+			progress = true
+			e.markLoads(p.OutNet[outB+o], wOld, newEvents)
+		}
+	}
+
+	futureMin := int64(TimeInf)
+	for o := 0; o < no; o++ {
+		for ln := 0; ln < L; ln++ {
+			if te, ok := sc.laneOuts[o*L+ln].NextPending(); ok && te < futureMin {
+				futureMin = te
+			}
+		}
+	}
+	for i := 0; i < ni; i++ {
+		if sc.cur[i].Idx < inQ[i].Len() {
+			if et := sc.cur[i].Peek(inQ[i]).Time; et < futureMin {
+				futureMin = et
+			}
+		}
+	}
+	g.futureMin = futureMin
+
+	g.softNow = now
+	for i := 0; i < ni; i++ {
+		softCur[i] = sc.cur[i].Idx
+		e.laneSoftVals[inB+i] = sc.laneVals[i]
+	}
+	copy(e.laneSoftStates[stB:stB+ns], sc.laneStates[:ns])
+	copy(e.laneSoftSem[outB:outB+no], sc.laneSem[:no])
+	for o := 0; o < no; o++ {
+		for ln := 0; ln < L; ln++ {
+			e.laneSoftPend[(outB+o)*L+ln] = append(e.laneSoftPend[(outB+o)*L+ln][:0], sc.laneOuts[o*L+ln].Pend()...)
+		}
+	}
+	g.softValid = true
+	return progress
+}
+
+// idleLaneVisit is idleVisit over lanes: an expiry-only walk evaluating
+// every lane from the soft values/states (nothing is consumed — a
+// determined expiry outcome must agree with the "nothing happened"
+// refinement in every lane), then merged soft-pend commits.
+func (e *Engine) idleLaneVisit(id netlist.CellID, sc *scratch) bool {
+	p := e.p
+	g := &e.gate[id]
+	inB := int(p.InOff[id])
+	ni := int(p.InOff[id+1]) - inB
+	outB := int(p.OutOff[id])
+	no := int(p.OutOff[id+1]) - outB
+	stB := int(p.StateOff[id])
+	ns := int(p.StateOff[id+1]) - stB
+	tab := p.Tables[p.TableOf[id]]
+	inQ := e.inQ[inB : inB+ni]
+	outQ := e.outQ[outB : outB+no]
+	committedUntil := e.committedUntil[outB : outB+no]
+	minArc := p.MinArc[outB : outB+no]
+	L := e.lanes
+
+	now := g.softNow
+	detUntil := TimeInf
+	for {
+		t := int64(TimeInf)
+		for i := 0; i < ni; i++ {
+			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+				t = w
+			}
+		}
+		if t >= TimeInf {
+			break
+		}
+		undet := false
+		for ln := 0; ln < L && !undet; ln++ {
+			for i := 0; i < ni; i++ {
+				if t >= inQ[i].DeterminedUntil() {
+					sc.qIns[i] = logic.VU
+				} else {
+					sc.qIns[i] = e.laneSoftVals[inB+i].Get(ln)
+				}
+			}
+			for s := 0; s < ns; s++ {
+				sc.states[s] = e.laneSoftStates[stB+s].Get(ln)
+			}
+			tab.LookupInto(sc.qIns[:ni], sc.states[:ns], sc.qOuts[:no], sc.qNext[:ns])
+			sc.queries[truthtab.ClassSeq]++
+			for _, v := range sc.qOuts[:no] {
+				if v == logic.VU {
+					undet = true
+					break
+				}
+			}
+			if !undet {
+				for _, v := range sc.qNext[:ns] {
+					if v == logic.VU {
+						undet = true
+						break
+					}
+				}
+			}
+		}
+		if undet {
+			detUntil = t
+			break
+		}
+		now = t
+	}
+	g.softNow = now
+	g.detUntil.Store(detUntil)
+
+	progress := false
+	for o := 0; o < no; o++ {
+		limit := detUntil
+		if limit < TimeInf {
+			limit += minArc[o]
+			if limit > TimeInf {
+				limit = TimeInf
+			}
+		}
+		commitThrough := limit - 1
+		newEvents := e.commitLaneSoftPend(outB+o, commitThrough, sc)
+		if commitThrough > committedUntil[o] {
+			committedUntil[o] = commitThrough
+		}
+		q := outQ[o]
+		wOld := int64(-1)
+		if q != nil && q.DeterminedUntil() < limit {
+			wOld = q.DeterminedUntil()
+			q.SetDeterminedUntil(limit)
+		}
+		if newEvents || wOld >= 0 {
+			progress = true
+			e.markLoads(p.OutNet[outB+o], wOld, newEvents)
+		}
+	}
+
+	futureMin := int64(TimeInf)
+	for o := 0; o < no; o++ {
+		for ln := 0; ln < L; ln++ {
+			for _, ev := range e.laneSoftPend[(outB+o)*L+ln] {
+				if ev.Time < futureMin {
+					futureMin = ev.Time
+				}
+			}
+		}
+	}
+	g.futureMin = futureMin
+	return progress
+}
+
+// commitLaneOutputs pops every lane's pending transitions through
+// commitThrough off outs (one sched.Output per lane) and appends the merged
+// (mask, word) entries to the output's queue + lane store. The shared
+// committedUntil guard drops replay duplicates exactly as in scalar mode:
+// per-lane replay is deterministic, so a re-derived pop below the guard is
+// byte-identical to the one already committed.
+func (e *Engine) commitLaneOutputs(outSlot int, outs []sched.Output, commitThrough int64, sc *scratch) bool {
+	q := e.outQ[outSlot]
+	st := e.outStore[outSlot]
+	lc := e.laneLastCommitted[outSlot]
+	newEvents := false
+	for {
+		t := int64(1) << 62
+		for ln := range outs {
+			if te, ok := outs[ln].NextPending(); ok && te < t {
+				t = te
+			}
+		}
+		if t > commitThrough {
+			break
+		}
+		var mask uint32
+		w := lc
+		for ln := range outs {
+			if te, ok := outs[ln].NextPending(); ok && te == t {
+				ev := outs[ln].PopFront()
+				w = w.Set(ln, ev.Val)
+				mask |= 1 << uint(ln)
+			}
+		}
+		if t > e.committedUntil[outSlot] {
+			if q != nil {
+				// Store entry first: the queue's atomic end-store publishes it.
+				st.Append(mask, w)
+				q.Append(t, w.Get(0))
+				newEvents = true
+				sc.events++
+			}
+			lc = w
+		}
+	}
+	e.laneLastCommitted[outSlot] = lc
+	return newEvents
+}
+
+// commitLaneSoftPend is commitLaneOutputs over the saved soft-pending lists
+// (the idle paths, which have no live sched.Outputs): the per-lane prefixes
+// through commitThrough are merged by time, committed, and compacted away.
+func (e *Engine) commitLaneSoftPend(outSlot int, commitThrough int64, sc *scratch) bool {
+	L := e.lanes
+	q := e.outQ[outSlot]
+	st := e.outStore[outSlot]
+	lc := e.laneLastCommitted[outSlot]
+	pendBase := outSlot * L
+	k := sc.lanePendK[:L]
+	for ln := range k {
+		k[ln] = 0
+	}
+	newEvents := false
+	for {
+		t := int64(1) << 62
+		for ln := 0; ln < L; ln++ {
+			pend := e.laneSoftPend[pendBase+ln]
+			if k[ln] < len(pend) && pend[k[ln]].Time < t {
+				t = pend[k[ln]].Time
+			}
+		}
+		if t > commitThrough {
+			break
+		}
+		var mask uint32
+		w := lc
+		for ln := 0; ln < L; ln++ {
+			pend := e.laneSoftPend[pendBase+ln]
+			if k[ln] < len(pend) && pend[k[ln]].Time == t {
+				w = w.Set(ln, pend[k[ln]].Val)
+				mask |= 1 << uint(ln)
+				k[ln]++
+			}
+		}
+		if t > e.committedUntil[outSlot] {
+			if q != nil {
+				st.Append(mask, w)
+				q.Append(t, w.Get(0))
+				newEvents = true
+				sc.events++
+			}
+			lc = w
+		}
+	}
+	for ln := 0; ln < L; ln++ {
+		if k[ln] > 0 {
+			pend := e.laneSoftPend[pendBase+ln]
+			e.laneSoftPend[pendBase+ln] = append(pend[:0], pend[k[ln]:]...)
+		}
+	}
+	e.laneLastCommitted[outSlot] = lc
+	return newEvents
+}
+
+// Lanes returns the number of active stimulus lanes (1 in scalar mode).
+func (e *Engine) Lanes() int { return e.lanes }
+
+// InjectLanes appends a lane-vector stimulus event to a primary-input net:
+// the lanes in mask change to their values in w at time t. Per-lane
+// re-assertions of the current value are dropped (mirroring Inject); if no
+// lane genuinely changes the call is a no-op. Times must strictly increase
+// per net across the lanes that remain, and must not fall below the net's
+// watermark.
+func (e *Engine) InjectLanes(nid netlist.NetID, t int64, w lane.Word, mask uint32) error {
+	if e.poison != nil {
+		return e.poisonError("inject")
+	}
+	if e.lanes <= 1 {
+		return fmt.Errorf("sim: InjectLanes requires lane mode (Options.Lanes > 1)")
+	}
+	if int(nid) >= len(e.queues) || !e.p.IsPI[nid] {
+		return fmt.Errorf("sim: net %d is not a primary input", nid)
+	}
+	q := &e.queues[nid]
+	last := e.laneLast[nid]
+	var changed uint32
+	merged := last
+	for m := mask & e.laneMask; m != 0; m &= m - 1 {
+		ln := bits.TrailingZeros32(m)
+		v := w.Get(ln).Settle()
+		if last.Get(ln) == v {
+			continue
+		}
+		changed |= 1 << uint(ln)
+		merged = merged.Set(ln, v)
+	}
+	if changed == 0 {
+		return nil
+	}
+	if t < q.DeterminedUntil() {
+		return fmt.Errorf("sim: inject at %d below watermark %d on %s", t, q.DeterminedUntil(), e.nl.Nets[nid].Name)
+	}
+	if lt := q.LastTime(); t <= lt {
+		return fmt.Errorf("sim: inject at %d not after last event %d on %s", t, lt, e.nl.Nets[nid].Name)
+	}
+	e.laneStores[nid].Append(changed, merged)
+	q.Append(t, merged.Get(0))
+	e.laneLast[nid] = merged
+	e.markLoads(nid, -1, true)
+	return nil
+}
+
+// LaneChange is one lane-vector stimulus event for RunLaneStream: the lanes
+// in Mask change to their values in Word at Time. Word bits outside Mask
+// are ignored.
+type LaneChange struct {
+	Net  netlist.NetID
+	Time int64
+	Mask uint32
+	Word lane.Word
+}
+
+// MergeLaneChanges folds per-lane scalar stimulus traces (perLane[l] is
+// lane l's trace, per-net time-ordered) into one lane-vector trace sorted
+// by time: one LaneChange per (net, time) carrying the mask and values of
+// every lane that changes there. Shared stimulus (clocks, resets) merges
+// into single full-mask entries, which is what makes a lane run cost one
+// pass.
+func MergeLaneChanges(perLane [][]Change) ([]LaneChange, error) {
+	if len(perLane) == 0 || len(perLane) > lane.MaxLanes {
+		return nil, fmt.Errorf("sim: MergeLaneChanges with %d lanes (1..%d)", len(perLane), lane.MaxLanes)
+	}
+	type laneEv struct {
+		t   int64
+		nid netlist.NetID
+		ln  int
+		v   logic.Value
+	}
+	n := 0
+	for _, cs := range perLane {
+		n += len(cs)
+	}
+	flat := make([]laneEv, 0, n)
+	for ln, cs := range perLane {
+		for _, c := range cs {
+			flat = append(flat, laneEv{c.Time, c.Net, ln, c.Val.Settle()})
+		}
+	}
+	sort.Slice(flat, func(a, b int) bool {
+		if flat[a].t != flat[b].t {
+			return flat[a].t < flat[b].t
+		}
+		if flat[a].nid != flat[b].nid {
+			return flat[a].nid < flat[b].nid
+		}
+		return flat[a].ln < flat[b].ln
+	})
+	var out []LaneChange
+	for _, ev := range flat {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.Time == ev.t && last.Net == ev.nid {
+				last.Mask |= 1 << uint(ev.ln)
+				last.Word = last.Word.Set(ev.ln, ev.v)
+				continue
+			}
+		}
+		out = append(out, LaneChange{
+			Net: ev.nid, Time: ev.t,
+			Mask: 1 << uint(ev.ln), Word: lane.Word(0).Set(ev.ln, ev.v),
+		})
+	}
+	return out, nil
+}
+
+// LaneStreamConfig configures RunLaneStream.
+type LaneStreamConfig struct {
+	// SlicePS is the streaming window length (default 65536 ps). Lane mode
+	// keeps full event history — slicing here bounds convergence work per
+	// window, not memory.
+	SlicePS int64
+	// Watch lists the nets whose committed lane events are reported.
+	// Default: the primary outputs.
+	Watch []netlist.NetID
+	// OnEvent receives watched lane events in global time order (ties by
+	// net id): the changed-lane mask and the full merged word. May be nil.
+	OnEvent func(nid netlist.NetID, t int64, mask uint32, w lane.Word)
+	// AfterSlice runs at the end of every completed slice, as in
+	// StreamConfig.AfterSlice — minus the snapshot legality (lane mode has
+	// no snapshots). A non-nil error aborts with a resumable *SimError.
+	AfterSlice func(end int64) error
+}
+
+// RunLaneStream drives a lane-mode engine from a merged lane-vector
+// stimulus trace (see MergeLaneChanges) in streaming slices. It is
+// RunLaneStreamCtx without cancellation.
+func (e *Engine) RunLaneStream(changes []LaneChange, cfg LaneStreamConfig) error {
+	return e.RunLaneStreamCtx(context.Background(), changes, cfg)
+}
+
+// RunLaneStreamCtx is RunStreamCtx's lane-mode twin: inject each slice's
+// lane changes, converge to the slice horizon, and flush watched lane
+// events up to the slowest watched watermark. Unlike the scalar stream it
+// never checkpoints: per-lane stream extraction (LaneEvents) needs the full
+// event history, so memory grows with the trace.
+func (e *Engine) RunLaneStreamCtx(ctx context.Context, changes []LaneChange, cfg LaneStreamConfig) error {
+	if e.poison != nil {
+		return e.poisonError("stream")
+	}
+	if e.lanes <= 1 {
+		return fmt.Errorf("sim: RunLaneStream requires lane mode (Options.Lanes > 1)")
+	}
+	if cfg.SlicePS <= 0 {
+		cfg.SlicePS = 65536
+	}
+	watch := cfg.Watch
+	if watch == nil {
+		watch = e.nl.PortsOut
+	}
+	read := make(map[netlist.NetID]int64, len(watch))
+	for _, nid := range watch {
+		read[nid] = e.Events(nid).Start()
+	}
+
+	type timedLaneEvent struct {
+		nid  netlist.NetID
+		t    int64
+		mask uint32
+		w    lane.Word
+	}
+	var emitBuf []timedLaneEvent
+	flush := func(limit int64) {
+		emitBuf = emitBuf[:0]
+		for _, nid := range watch {
+			q := e.Events(nid)
+			st := &e.laneStores[nid]
+			i := read[nid]
+			for ; i < q.Len(); i++ {
+				ev := q.MustAt(i)
+				if ev.Time >= limit {
+					break
+				}
+				mask, w := st.At(i)
+				emitBuf = append(emitBuf, timedLaneEvent{nid, ev.Time, mask, w})
+			}
+			read[nid] = i
+		}
+		if cfg.OnEvent != nil {
+			sort.Slice(emitBuf, func(a, b int) bool {
+				if emitBuf[a].t != emitBuf[b].t {
+					return emitBuf[a].t < emitBuf[b].t
+				}
+				return emitBuf[a].nid < emitBuf[b].nid
+			})
+			for _, te := range emitBuf {
+				cfg.OnEvent(te.nid, te.t, te.mask, te.w)
+			}
+		}
+	}
+
+	pos := 0
+	start := int64(0)
+	if len(changes) > 0 {
+		start = (changes[0].Time / cfg.SlicePS) * cfg.SlicePS
+	}
+	for pos < len(changes) {
+		end := start + cfg.SlicePS
+		sliceStart := time.Now()
+		e.obs.trace.Begin(e.obs.tid, "slice")
+		for pos < len(changes) && changes[pos].Time < end {
+			c := changes[pos]
+			pos++
+			if err := e.InjectLanes(c.Net, c.Time, c.Word, c.Mask); err != nil {
+				e.obs.trace.End(e.obs.tid)
+				return err
+			}
+		}
+		if err := e.AdvanceCtx(ctx, end); err != nil {
+			e.obs.trace.End(e.obs.tid)
+			return err
+		}
+		limit := end
+		for _, nid := range watch {
+			if w := e.Events(nid).DeterminedUntil(); w < limit {
+				limit = w
+			}
+		}
+		flush(limit)
+		e.obs.trace.End(e.obs.tid)
+		e.obs.sliceNS.Observe(time.Since(sliceStart).Nanoseconds())
+		e.emitSliceCounters(limit)
+		if cfg.AfterSlice != nil {
+			if err := cfg.AfterSlice(end); err != nil {
+				return &SimError{Op: "stream", Cause: err}
+			}
+		}
+		start = end
+	}
+	if err := e.FinishCtx(ctx); err != nil {
+		return err
+	}
+	flush(TimeInf + 1)
+	e.emitSliceCounters(TimeInf)
+	return nil
+}
+
+// LaneEvents reconstructs lane ln's scalar committed-event stream on a net
+// from the queue + lane store: exactly the events a scalar engine running
+// lane ln's stimulus alone would have committed there. Lane mode never
+// trims, so the whole history is available.
+func (e *Engine) LaneEvents(nid netlist.NetID, ln int) []event.Event {
+	q := &e.queues[nid]
+	st := &e.laneStores[nid]
+	var out []event.Event
+	for i := q.Start(); i < q.Len(); i++ {
+		ev := q.MustAt(i)
+		mask, w := st.At(i)
+		if mask&(1<<uint(ln)) == 0 {
+			continue
+		}
+		out = append(out, event.Event{Time: ev.Time, Val: w.Get(ln)})
+	}
+	return out
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"bytes"
 	"runtime"
-	"sort"
 	"testing"
 	"time"
 
@@ -123,7 +122,6 @@ func TestPoolNoGoroutineChurn(t *testing.T) {
 	}
 	delays := gen.Delays(d, 7)
 	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 60, ActivityFactor: 0.7, Seed: 4, ScanBurst: 6})
-	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
 
 	e, err := New(d.Netlist, testLib, delays, pooledOpts(ModeParallel))
 	if err != nil {
@@ -284,7 +282,6 @@ func TestSnapshotRestoreRunStream(t *testing.T) {
 	}
 	delays := gen.Delays(d, 7)
 	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 40, ActivityFactor: 0.6, Seed: 9, ScanBurst: 8})
-	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
 	watch := d.Outs
 
 	// One-shot reference waveform on the watched nets.

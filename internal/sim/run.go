@@ -20,6 +20,9 @@ func (e *Engine) Inject(nid netlist.NetID, t int64, v logic.Value) error {
 	if e.poison != nil {
 		return e.poisonError("inject")
 	}
+	if e.lanes > 1 {
+		return fmt.Errorf("sim: Inject on a lane-mode engine; use InjectLanes")
+	}
 	if int(nid) >= len(e.queues) || !e.p.IsPI[nid] {
 		return fmt.Errorf("sim: net %d is not a primary input", nid)
 	}
@@ -317,6 +320,12 @@ func (e *Engine) SetReadMark(nid netlist.NetID, idx int64) {
 // itself poisons the engine like a sweep panic would.
 func (e *Engine) Checkpoint() {
 	if e.poison != nil {
+		return
+	}
+	// Lane mode never folds or trims: per-lane stream extraction reads the
+	// full queue + lane-store history, and the lane base state is the
+	// broadcast initial values for the whole run.
+	if e.lanes > 1 {
 		return
 	}
 	start := time.Now()

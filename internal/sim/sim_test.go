@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
-	"sort"
 	"testing"
 
 	"gatesim/internal/event"
@@ -346,9 +345,7 @@ func TestStreamedMatchesOneShot(t *testing.T) {
 		}
 	}
 
-	// Streamed run: 4-cycle slices. Slicing consumes stimuli in global time
-	// order (per-net order is preserved by stable sort).
-	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
+	// Streamed run: 4-cycle slices. gen.Stimuli is globally time-sorted.
 	e2, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})
 	if err != nil {
 		t.Fatal(err)
@@ -584,7 +581,6 @@ func TestRandomAdvanceSlicing(t *testing.T) {
 	}
 	delays := gen.Delays(d, 7)
 	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 25, ActivityFactor: 0.7, Seed: 4, ScanBurst: 6})
-	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
 
 	oneShot, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})
 	if err != nil {
@@ -724,7 +720,6 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	delays := gen.Delays(d, 7)
 	stim := gen.Stimuli(d, gen.StimSpec{Cycles: 30, ActivityFactor: 0.6, Seed: 5, ScanBurst: 7})
-	sort.SliceStable(stim, func(a, b int) bool { return stim[a].Time < stim[b].Time })
 
 	// Uninterrupted reference.
 	ref, err := New(d.Netlist, testLib, delays, Options{Mode: ModeSerial})

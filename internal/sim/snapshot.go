@@ -55,6 +55,9 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	if e.poison != nil {
 		return e.poisonError("snapshot")
 	}
+	if e.lanes > 1 {
+		return fmt.Errorf("sim: snapshots are not supported in lane mode")
+	}
 	s := snapshot{
 		Version:        snapshotVersion,
 		Design:         e.nl.Name,
@@ -95,6 +98,9 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 // including poison: restoring a known-good snapshot is the sanctioned way
 // to bring a poisoned engine back into service.
 func (e *Engine) LoadSnapshot(r io.Reader) error {
+	if e.lanes > 1 {
+		return fmt.Errorf("sim: snapshots are not supported in lane mode")
+	}
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return fmt.Errorf("sim: decoding snapshot: %w", err)

@@ -89,6 +89,9 @@ func (e *Engine) RunStreamCtx(ctx context.Context, src StimulusSource, cfg Strea
 	if e.poison != nil {
 		return e.poisonError("stream")
 	}
+	if e.lanes > 1 {
+		return fmt.Errorf("sim: RunStream on a lane-mode engine; use RunLaneStream")
+	}
 	if cfg.SlicePS <= 0 {
 		cfg.SlicePS = 65536
 	}

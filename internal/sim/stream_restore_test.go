@@ -3,7 +3,6 @@ package sim
 import (
 	"bytes"
 	"errors"
-	"sort"
 	"testing"
 
 	"gatesim/internal/event"
@@ -19,9 +18,7 @@ func streamChanges(stim []gen.Change) []Change {
 	for i, s := range stim {
 		out[i] = Change{Net: s.Net, Time: s.Time, Val: s.Val}
 	}
-	// gen.Stimuli is only per-net time-ordered; slicing and resume cuts
-	// need a globally sorted stream (stable to keep per-net order).
-	sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	// gen.Stimuli is globally time-sorted at the source.
 	return out
 }
 

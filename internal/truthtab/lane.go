@@ -1,0 +1,74 @@
+package truthtab
+
+import (
+	"math/bits"
+
+	"gatesim/internal/lane"
+	"gatesim/internal/logic"
+)
+
+// LanePackedLUT evaluates every stimulus lane of a ClassComb1 cell through
+// its PackedLUT in one call. Undetermined inputs are shared across lanes
+// (watermarks are per-net, not per-lane), so an expired input contributes
+// the same VU field to every lane's row index; per-lane values come from
+// the packed words.
+type LanePackedLUT struct {
+	LUT *PackedLUT
+}
+
+// LookupLanes probes the LUT for every lane in laneMask. ins holds one
+// word per input; inputs flagged in expired present VU to all lanes and
+// their words are ignored. It returns the output word (lanes outside
+// laneMask are zero; lanes whose probe returned VU hold a placeholder) and
+// the mask of lanes whose output is undetermined — the caller treats any
+// nonzero undet as a stop-before-consume frontier, so placeholder bits are
+// never observed.
+//
+// When every active lane presents the same row — common under shared
+// clock/reset stimulus — one probe is broadcast to all lanes.
+func (l LanePackedLUT) LookupLanes(ins []lane.Word, expired uint32, laneMask uint32) (out lane.Word, undet uint32) {
+	n := l.LUT.NumInputs
+	data := l.LUT.Data
+	base := 0
+	uniform := true
+	for i := 0; i < n; i++ {
+		if expired&(1<<uint(i)) != 0 {
+			base |= int(logic.VU) << (3 * i)
+			continue
+		}
+		if uniform {
+			if _, ok := ins[i].Uniform(laneMask); !ok {
+				uniform = false
+			}
+		}
+	}
+	if uniform {
+		idx := base
+		ref := bits.TrailingZeros32(laneMask)
+		for i := 0; i < n; i++ {
+			if expired&(1<<uint(i)) == 0 {
+				idx |= int(ins[i].Get(ref)) << (3 * i)
+			}
+		}
+		if v := data[idx]; v != logic.VU {
+			return lane.Broadcast(v), 0
+		}
+		return lane.Broadcast(logic.VX), laneMask
+	}
+	for m := laneMask; m != 0; m &= m - 1 {
+		ln := bits.TrailingZeros32(m)
+		idx := base
+		for i := 0; i < n; i++ {
+			if expired&(1<<uint(i)) == 0 {
+				idx |= int(ins[i].Get(ln)) << (3 * i)
+			}
+		}
+		v := data[idx]
+		if v == logic.VU {
+			undet |= 1 << uint(ln)
+			v = logic.VX
+		}
+		out = out.Set(ln, v)
+	}
+	return out, undet
+}

@@ -1,0 +1,137 @@
+package truthtab
+
+import (
+	"sort"
+	"testing"
+
+	"gatesim/internal/lane"
+	"gatesim/internal/logic"
+)
+
+// TestLanePackedLUTExhaustive differentially tests LookupLanes against the
+// scalar PackedLUT for every builtin comb1 cell: for every expired-input
+// subset, every combination of the four settled values on the live inputs
+// is evaluated, with combinations packed many-per-word so lanes hold
+// genuinely different rows.
+func TestLanePackedLUTExhaustive(t *testing.T) {
+	cl := compileBuiltin(t)
+	names := make([]string, 0, len(cl.Tables))
+	for name := range cl.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	settled := []logic.Value{logic.V0, logic.V1, logic.VX, logic.VZ}
+	comb1 := 0
+	for _, name := range names {
+		tab := cl.Tables[name]
+		if tab.Class() != ClassComb1 {
+			continue
+		}
+		comb1++
+		lut := tab.PackLUT()
+		llut := LanePackedLUT{LUT: lut}
+		n := lut.NumInputs
+		t.Run(name, func(t *testing.T) {
+			for exp := uint32(0); exp < 1<<uint(n); exp++ {
+				live := []int{}
+				for i := 0; i < n; i++ {
+					if exp&(1<<uint(i)) == 0 {
+						live = append(live, i)
+					}
+				}
+				nCombos := 1
+				for range live {
+					nCombos *= len(settled)
+				}
+				// Pack combos into lane words, lane.MaxLanes at a time.
+				for lo := 0; lo < nCombos; lo += lane.MaxLanes {
+					hi := lo + lane.MaxLanes
+					if hi > nCombos {
+						hi = nCombos
+					}
+					lanes := hi - lo
+					laneMask := uint32(1)<<uint(lanes) - 1
+					ins := make([]lane.Word, n)
+					// Poison expired inputs' words: they must be ignored.
+					for i := 0; i < n; i++ {
+						if exp&(1<<uint(i)) != 0 {
+							ins[i] = lane.Broadcast(logic.VZ)
+						}
+					}
+					scalarIns := make([][]logic.Value, lanes)
+					for ln := 0; ln < lanes; ln++ {
+						combo := lo + ln
+						row := make([]logic.Value, n)
+						for i := 0; i < n; i++ {
+							row[i] = logic.VU
+						}
+						for _, i := range live {
+							row[i] = settled[combo%len(settled)]
+							combo /= len(settled)
+							ins[i] = ins[i].Set(ln, row[i])
+						}
+						scalarIns[ln] = row
+					}
+					out, undet := llut.LookupLanes(ins, exp, laneMask)
+					for ln := 0; ln < lanes; ln++ {
+						want := lut.Lookup(scalarIns[ln])
+						if want == logic.VU {
+							if undet&(1<<uint(ln)) == 0 {
+								t.Fatalf("exp=%b lane %d (%v): scalar VU but lane determined %v",
+									exp, ln, scalarIns[ln], out.Get(ln))
+							}
+							continue
+						}
+						if undet&(1<<uint(ln)) != 0 {
+							t.Fatalf("exp=%b lane %d (%v): scalar %v but lane undetermined",
+								exp, ln, scalarIns[ln], want)
+						}
+						if got := out.Get(ln); got != want {
+							t.Fatalf("exp=%b lane %d (%v): lane %v, scalar %v",
+								exp, ln, scalarIns[ln], got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+	if comb1 == 0 {
+		t.Fatal("builtin library has no comb1 cells")
+	}
+}
+
+// TestLanePackedLUTUniformFastPath pins the broadcast fast path: uniform
+// words must produce the same result as the per-lane slow path.
+func TestLanePackedLUTUniformFastPath(t *testing.T) {
+	cl := compileBuiltin(t)
+	settled := []logic.Value{logic.V0, logic.V1, logic.VX, logic.VZ}
+	for name, tab := range cl.Tables {
+		if tab.Class() != ClassComb1 {
+			continue
+		}
+		lut := tab.PackLUT()
+		llut := LanePackedLUT{LUT: lut}
+		n := lut.NumInputs
+		for combo := 0; combo < 1<<(2*uint(n)); combo++ {
+			ins := make([]lane.Word, n)
+			row := make([]logic.Value, n)
+			c := combo
+			for i := 0; i < n; i++ {
+				row[i] = settled[c%4]
+				c /= 4
+				ins[i] = lane.Broadcast(row[i])
+			}
+			out, undet := llut.LookupLanes(ins, 0, 0xFFFFFFFF)
+			want := lut.Lookup(row)
+			for ln := 0; ln < lane.MaxLanes; ln++ {
+				if want == logic.VU {
+					if undet&(1<<uint(ln)) == 0 {
+						t.Fatalf("%s %v lane %d: want undet", name, row, ln)
+					}
+				} else if got := out.Get(ln); got != want || undet != 0 {
+					t.Fatalf("%s %v lane %d: got %v undet=%x want %v", name, row, ln, got, undet, want)
+				}
+			}
+		}
+	}
+}

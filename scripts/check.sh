@@ -43,6 +43,9 @@ go test -run '^$' -fuzz FuzzScriptComb1Segment -fuzztime 5s ./internal/sim/
 echo "== watermark relax differential fuzz smoke (5s)"
 go test -run '^$' -fuzz FuzzWatermarkRelax -fuzztime 5s ./internal/sim/
 
+echo "== lane kernel differential fuzz smoke (5s)"
+go test -run '^$' -fuzz FuzzLaneKernel -fuzztime 5s ./internal/sim/
+
 echo "== parser fuzz smoke (5s per parser)"
 go test -run '^$' -fuzz FuzzParseLiberty -fuzztime 5s ./internal/liberty/
 go test -run '^$' -fuzz FuzzParseVerilog'$' -fuzztime 5s ./internal/netlist/

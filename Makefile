@@ -44,7 +44,7 @@ fmt:
 FUZZTIME ?= 60s
 fuzz:
 	go test -run '^$$' -fuzz FuzzScriptComb1Segment -fuzztime $(FUZZTIME) ./internal/sim/
-	go test -run '^$$' -fuzz FuzzWatermarkRelax -fuzztime $(FUZZTIME) ./internal/sim/
+	go test -run '^$$' -fuzz FuzzFrontier -fuzztime $(FUZZTIME) ./internal/sim/
 	go test -run '^$$' -fuzz FuzzLaneKernel -fuzztime $(FUZZTIME) ./internal/sim/
 	go test -run '^$$' -fuzz FuzzParseLiberty -fuzztime $(FUZZTIME) ./internal/liberty/
 	go test -run '^$$' -fuzz FuzzParseVerilog$$ -fuzztime $(FUZZTIME) ./internal/netlist/

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -22,23 +23,35 @@ import (
 )
 
 func main() {
-	maxDiffs := flag.Int("max", 20, "maximum differences to print")
-	sigFilter := flag.String("signals", "", "comma-separated subset of signals to compare")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: vcddiff a.vcd b.vcd")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flag parsing, comparison, and report
+// rendering behind injected streams, returning the process exit code
+// (0 equivalent, 1 differences, 2 usage or I/O error) instead of exiting.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vcddiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxDiffs := fs.Int("max", 20, "maximum differences to print")
+	sigFilter := fs.String("signals", "", "comma-separated subset of signals to compare")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	diffs, err := diff(flag.Arg(0), flag.Arg(1), *sigFilter, *maxDiffs)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: vcddiff a.vcd b.vcd [-max N] [-signals s1,s2]")
+		return 2
+	}
+	diffs, err := diff(stdout, fs.Arg(0), fs.Arg(1), *sigFilter, *maxDiffs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vcddiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vcddiff:", err)
+		return 2
 	}
 	if diffs > 0 {
-		fmt.Printf("%d difference(s)\n", diffs)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "%d difference(s)\n", diffs)
+		return 1
 	}
-	fmt.Println("waveforms are equivalent")
+	fmt.Fprintln(stdout, "waveforms are equivalent")
+	return 0
 }
 
 type wave struct {
@@ -83,7 +96,7 @@ func load(path string) (*wave, error) {
 	return w, nil
 }
 
-func diff(pathA, pathB, sigFilter string, maxDiffs int) (int, error) {
+func diff(out io.Writer, pathA, pathB, sigFilter string, maxDiffs int) (int, error) {
 	a, err := load(pathA)
 	if err != nil {
 		return 0, err
@@ -117,7 +130,7 @@ func diff(pathA, pathB, sigFilter string, maxDiffs int) (int, error) {
 	report := func(format string, args ...any) {
 		diffs++
 		if diffs <= maxDiffs {
-			fmt.Printf(format+"\n", args...)
+			fmt.Fprintf(out, format+"\n", args...)
 		}
 	}
 	inA, inB := map[string]bool{}, map[string]bool{}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -35,7 +37,7 @@ func TestDiffEqual(t *testing.T) {
 	}
 	a := writeVCD(t, dir, "a.vcd", gen)
 	b := writeVCD(t, dir, "b.vcd", gen)
-	n, err := diff(a, b, "", 20)
+	n, err := diff(io.Discard, a, b, "", 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestDiffValueMismatch(t *testing.T) {
 	b := writeVCD(t, dir, "b.vcd", func(w *vcd.Writer) {
 		w.Change(10, 0, logic.V0)
 	})
-	n, err := diff(a, b, "", 20)
+	n, err := diff(io.Discard, a, b, "", 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestDiffLengthMismatchAndFilter(t *testing.T) {
 		w.Change(10, 0, logic.V1)
 		w.Change(10, 1, logic.V1)
 	})
-	n, err := diff(a, b, "", 20)
+	n, err := diff(io.Discard, a, b, "", 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func TestDiffLengthMismatchAndFilter(t *testing.T) {
 		t.Errorf("diffs: %d", n)
 	}
 	// Filtering to the matching signal hides the difference.
-	n, err = diff(a, b, "b", 20)
+	n, err = diff(io.Discard, a, b, "b", 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,76 @@ func TestDiffLengthMismatchAndFilter(t *testing.T) {
 }
 
 func TestDiffMissingFile(t *testing.T) {
-	if _, err := diff("/nope.vcd", "/nope2.vcd", "", 5); err == nil {
+	if _, err := diff(io.Discard, "/nope.vcd", "/nope2.vcd", "", 5); err == nil {
 		t.Error("missing file must error")
+	}
+}
+
+// TestRunExitCodes pins the CLI contract through the run() seam: exit 0 on
+// equivalent waveforms, 1 when differences were found, 2 on usage or I/O
+// errors — the codes scripts branch on.
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	gen := func(w *vcd.Writer) {
+		w.Change(0, 0, logic.V0)
+		w.Change(10, 0, logic.V1)
+	}
+	a := writeVCD(t, dir, "a.vcd", gen)
+	b := writeVCD(t, dir, "b.vcd", gen)
+	c := writeVCD(t, dir, "c.vcd", func(w *vcd.Writer) {
+		w.Change(0, 0, logic.V0)
+		w.Change(10, 0, logic.V0)
+	})
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"equivalent", []string{a, b}, 0},
+		{"different", []string{a, c}, 1},
+		{"missing-arg", []string{a}, 2},
+		{"bad-flag", []string{"-nope", a, b}, 2},
+		{"missing-file", []string{a, filepath.Join(dir, "nope.vcd")}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.code {
+				t.Errorf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.code, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunGoldenOutput pins the report text: the divergence lines and the
+// trailing summary go to stdout, byte-for-byte, so downstream tooling can
+// parse them.
+func TestRunGoldenOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := writeVCD(t, dir, "a.vcd", func(w *vcd.Writer) {
+		w.Change(10, 0, logic.V1)
+		w.Change(20, 1, logic.V1)
+	})
+	b := writeVCD(t, dir, "b.vcd", func(w *vcd.Writer) {
+		w.Change(10, 0, logic.V0)
+		w.Change(20, 1, logic.V1)
+	})
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{a, b}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", got, stderr.String())
+	}
+	want := "a: event 0: 10->1 vs 10->0\n1 difference(s)\n"
+	if stdout.String() != want {
+		t.Errorf("stdout = %q, want %q", stdout.String(), want)
+	}
+
+	stdout.Reset()
+	if got := run([]string{a, a}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d, want 0", got)
+	}
+	if want := "waveforms are equivalent\n"; stdout.String() != want {
+		t.Errorf("stdout = %q, want %q", stdout.String(), want)
 	}
 }

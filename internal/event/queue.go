@@ -106,6 +106,13 @@ type Queue struct {
 
 	baseVal logic.Value // value of the net before event index `start`
 
+	// gen counts trims (and re-inits): it increments whenever storage that a
+	// cursor may reference is released. Cursors record the generation they
+	// were seeked under; a mismatch forces a re-seek instead of reading a
+	// page that may have been recycled through the free list. Plain field:
+	// TrimTo and InitAt are already excluded from concurrent access.
+	gen uint32
+
 	// det is the exclusive time up to which the value of this net is
 	// determined; at and beyond it the net reads as U. Maintained by the
 	// simulator through DeterminedUntil/SetDeterminedUntil.
@@ -139,6 +146,7 @@ func (q *Queue) InitAt(pool *Pool, initial logic.Value, start int64) {
 	q.headSkip = 0
 	q.tailBase = 0
 	q.baseVal = initial
+	q.gen++ // any surviving cursor must re-seek, never read recycled pages
 	q.det.Store(0)
 }
 
@@ -291,6 +299,7 @@ func (q *Queue) TrimTo(keep int64) {
 		pgStart += PageSize
 	}
 	q.start = keep
+	q.gen++ // invalidate cursors: released pages may be recycled by Append
 	if q.head.Load() == nil {
 		// Everything gone; reset offsets so the next Append starts cleanly.
 		q.headSkip = 0
@@ -306,8 +315,9 @@ func (q *Queue) TrimTo(keep int64) {
 // sequential events in O(1) without re-walking the page list.
 type Cursor struct {
 	pg     *page
-	pgBase int64 // absolute index of pg.times[0]
-	Idx    int64 // next absolute index to read
+	pgBase int64  // absolute index of pg.times[0]
+	gen    uint32 // queue trim generation the cached page belongs to
+	Idx    int64  // next absolute index to read
 }
 
 // NewCursor positions a cursor at absolute index idx (>= q.Start()).
@@ -318,8 +328,17 @@ func (q *Queue) NewCursor(idx int64) Cursor {
 }
 
 func (c *Cursor) seek(q *Queue) {
+	if c.Idx < q.start {
+		// The cursor points below the retained prefix: TrimTo released the
+		// events it was reading. Silently re-seeking would return a wrong
+		// event (the old behaviour was "undefined"); the caller violated the
+		// retention contract (readMarks / baseCur bound every TrimTo), so
+		// fail loudly at the point of damage.
+		panic("event: cursor invalidated by TrimTo (Idx below retained start)")
+	}
 	c.pg = q.head.Load()
 	c.pgBase = q.start - int64(q.headSkip)
+	c.gen = q.gen
 	for c.pg != nil && c.Idx-c.pgBase >= PageSize {
 		c.pg = c.pg.next.Load()
 		c.pgBase += PageSize
@@ -327,10 +346,12 @@ func (c *Cursor) seek(q *Queue) {
 }
 
 // Peek returns the event at the cursor without advancing; the cursor must
-// be in [q.Start(), q.Len()). The queue must be the one the cursor was
-// created on; after TrimTo below the cursor the behaviour is undefined.
+// be in [q.Start(), q.Len()) and belong to q. A cursor that survived a
+// TrimTo re-seeks (its cached page may have been recycled); if the trim
+// released the cursor's own position, Peek panics instead of returning an
+// event from a recycled page.
 func (c *Cursor) Peek(q *Queue) Event {
-	if c.pg == nil || c.Idx < c.pgBase || c.Idx-c.pgBase >= PageSize {
+	if c.pg == nil || c.gen != q.gen || c.Idx < c.pgBase || c.Idx-c.pgBase >= PageSize {
 		c.seek(q)
 	}
 	return Event{Time: c.pg.times[c.Idx-c.pgBase], Val: c.pg.vals[c.Idx-c.pgBase]}
@@ -352,4 +373,78 @@ func NewQueueAt(pool *Pool, initial logic.Value, start int64) *Queue {
 	q := new(Queue)
 	q.InitAt(pool, initial, start)
 	return q
+}
+
+// SeekAfter positions a cursor at the first event with Time > t and returns
+// the net's value at time t (after every event with Time <= t). Whole pages
+// are skipped by their last retained event — the paged layout doubles as a
+// change-point index, so the walk is O(pages), not O(events). Reader-safe
+// like At: it only follows published links below Len().
+func (q *Queue) SeekAfter(t int64) (Cursor, logic.Value) {
+	val := q.baseVal
+	end := q.end.Load()
+	c := Cursor{pg: q.head.Load(), pgBase: q.start - int64(q.headSkip), gen: q.gen, Idx: q.start}
+	for c.pg != nil && c.Idx < end {
+		last := c.pgBase + PageSize - 1
+		if last > end-1 {
+			last = end - 1
+		}
+		if c.pg.times[last-c.pgBase] <= t {
+			// Every retained event on this page is at or below t: take the
+			// page's final value and hop to the next page in one step.
+			val = c.pg.vals[last-c.pgBase]
+			c.Idx = last + 1
+			if c.Idx >= end {
+				break
+			}
+			c.pg = c.pg.next.Load()
+			c.pgBase += PageSize
+			continue
+		}
+		for c.pg.times[c.Idx-c.pgBase] <= t {
+			val = c.pg.vals[c.Idx-c.pgBase]
+			c.Idx++
+		}
+		break
+	}
+	return c, val
+}
+
+// Reader is a persistent per-consumer read position that answers monotone
+// value queries in O(changes in window): ValueAt(q, t) costs one cursor
+// advance per event between the previous query time and t, instead of a
+// re-walk from the consumer's last retained position. A reader survives
+// TrimTo — if the trim released its position it restarts from the base
+// value via SeekAfter (page-skipping), and a backward query time likewise
+// restarts rather than failing. The zero value is ready to use.
+type Reader struct {
+	cur   Cursor
+	val   logic.Value
+	lastT int64
+	ok    bool
+}
+
+// ValueAt returns the net's committed value at time t: the value after
+// every event with Time <= t, ignoring the determinedness watermark (the
+// caller decides whether t is inside the determined region). Queries on the
+// same queue with nondecreasing t are O(events in (lastT, t]); a backward t
+// or an invalidating trim costs one page-skipping re-seek.
+func (r *Reader) ValueAt(q *Queue, t int64) logic.Value {
+	if !r.ok || t < r.lastT || r.cur.Idx < q.start {
+		r.cur, r.val = q.SeekAfter(t)
+		r.lastT = t
+		r.ok = true
+		return r.val
+	}
+	r.lastT = t
+	end := q.Len()
+	for r.cur.Idx < end {
+		ev := r.cur.Peek(q)
+		if ev.Time > t {
+			break
+		}
+		r.val = ev.Val
+		r.cur.Advance()
+	}
+	return r.val
 }

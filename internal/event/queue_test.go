@@ -317,3 +317,100 @@ func TestNewQueueAt(t *testing.T) {
 		t.Fatalf("cursor peek: %+v", e)
 	}
 }
+
+// TestCursorTrimInvalidation pins the hardened TrimTo contract: a cursor
+// whose position survives a trim re-seeks correctly even though its cached
+// page was released and recycled by later appends, and a cursor whose
+// position the trim released panics loudly on the next Peek instead of
+// returning an event from a recycled page (the old "behaviour is
+// undefined").
+func TestCursorTrimInvalidation(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.V0)
+	n := int64(PageSize * 4)
+	for i := int64(0); i < n; i++ {
+		q.Append(i*10, logic.Value(i%2))
+	}
+	live := q.NewCursor(PageSize * 3) // survives the trim
+	dead := q.NewCursor(PageSize * 1) // released by the trim
+	if e := dead.Peek(q); e.Time != PageSize*1*10 {
+		t.Fatalf("pre-trim peek: %+v", e)
+	}
+	q.TrimTo(PageSize * 3)
+	// Recycle the released pages so a stale cursor's cached page now holds
+	// unrelated events.
+	for i := n; i < n+PageSize*3; i++ {
+		q.Append(i*10, logic.V1)
+	}
+	if e := live.Peek(q); e.Time != PageSize*3*10 {
+		t.Errorf("surviving cursor read a recycled page: %+v", e)
+	}
+	live.Advance()
+	if e := live.Peek(q); e.Time != (PageSize*3+1)*10 {
+		t.Errorf("surviving cursor after advance: %+v", e)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Peek on a trim-invalidated cursor must panic")
+			}
+		}()
+		dead.Peek(q)
+	}()
+}
+
+// TestSeekAfterAndReader pins the change-point index and the persistent
+// reader: SeekAfter answers a point-in-time value with page skipping, and
+// Reader answers monotone queries incrementally, surviving trims and
+// backward query times by re-seeking.
+func TestSeekAfterAndReader(t *testing.T) {
+	var pool Pool
+	q := NewQueue(&pool, logic.VX)
+	n := int64(PageSize*5 + 7)
+	for i := int64(0); i < n; i++ {
+		q.Append(i*10, logic.Value(i%3))
+	}
+	model := func(tm int64) logic.Value {
+		v := logic.VX
+		for i := int64(0); i < n; i++ {
+			if i*10 > tm {
+				break
+			}
+			v = logic.Value(i % 3)
+		}
+		return v
+	}
+	for _, tm := range []int64{-1, 0, 5, 10, 155, PageSize * 10, n*10 - 10, n * 10, n * 100} {
+		_, v := q.SeekAfter(tm)
+		if v != model(tm) {
+			t.Errorf("SeekAfter(%d) value = %v, want %v", tm, v, model(tm))
+		}
+	}
+	var r Reader
+	for tm := int64(0); tm < n*10+20; tm += 7 {
+		if v := r.ValueAt(q, tm); v != model(tm) {
+			t.Fatalf("ValueAt(%d) = %v, want %v", tm, v, model(tm))
+		}
+	}
+	// Backward query restarts.
+	if v := r.ValueAt(q, 25); v != model(25) {
+		t.Errorf("backward ValueAt(25) = %v, want %v", v, model(25))
+	}
+	// A trim that releases the reader's position restarts from the new base.
+	r2 := Reader{}
+	if v := r2.ValueAt(q, 15); v != model(15) {
+		t.Fatal("reader warmup")
+	}
+	q.TrimTo(PageSize * 2)
+	// Below the retained window only the folded base value survives — the
+	// same answer the pre-hardening O(events) scan gave.
+	if v := r2.ValueAt(q, 20); v != q.BaseVal() {
+		t.Errorf("post-trim ValueAt(20) = %v, want base %v", v, q.BaseVal())
+	}
+	if v := r2.ValueAt(q, PageSize*2*10+5); v != model(PageSize*2*10+5) {
+		t.Errorf("post-trim ValueAt(in-window) = %v, want %v", v, model(PageSize*2*10+5))
+	}
+	if v := r2.ValueAt(q, n*10); v != model(n*10) {
+		t.Errorf("post-trim ValueAt(end) = %v, want %v", v, model(n*10))
+	}
+}

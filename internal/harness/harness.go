@@ -475,13 +475,22 @@ type BenchSmokePoint struct {
 	ScriptSegments  int64 `json:"script_segments,omitempty"`
 	SegmentsSkipped int64 `json:"segments_skipped,omitempty"`
 
-	// Watermark-relax counters of the SDF run: visits that committed no
-	// events (the waste the relax pass attacks) and nets whose watermark-only
-	// advance the pass drained without scheduling visits. Absent (zero) in
-	// reports written before the relax pass; benchcmp tolerates the schema
-	// gap.
+	// Frontier counters of the SDF run: visits that committed no events
+	// (the waste the frontier plane attacks), staged-net watermark commits
+	// the frontier pass published, and LUT probes the idle walks' memo
+	// skipped. RelaxedNets is the retired predecessor counter — kept in the
+	// schema so benchcmp renders old baselines as a gap instead of a zero
+	// regression; new reports never populate it. Absent (zero) counters in
+	// reports from other eras are schema gaps benchcmp tolerates.
 	VisitsWatermarkOnly int64 `json:"visits_watermark_only,omitempty"`
 	RelaxedNets         int64 `json:"relax_nets,omitempty"`
+	FrontierCommits     int64 `json:"frontier_commits,omitempty"`
+	QueriesSaved        int64 `json:"queries_saved,omitempty"`
+
+	// SpeedupVsT1 is this sample's ours_sdf speedup relative to the
+	// report's threads=1 sample (1.0 for the t=1 row itself; 0 when the
+	// report has no t=1 sample to normalize against).
+	SpeedupVsT1 float64 `json:"speedup_vs_t1,omitempty"`
 
 	// Visit/query split by kernel class (see sim.Stats.VisitsByKernel):
 	// how much of the run the packed-LUT comb kernel served vs the generic
@@ -527,12 +536,30 @@ func BenchSmoke(ctx context.Context, cfg Fig8Config) (BenchSmokeReport, error) {
 			ScriptSegments:      st.ScriptSegments,
 			SegmentsSkipped:     st.SegmentsSkipped,
 			VisitsWatermarkOnly: st.VisitsWatermarkOnly,
-			RelaxedNets:         st.RelaxedNets,
+			FrontierCommits:     st.FrontierCommits,
+			QueriesSaved:        st.QueriesSaved,
 			VisitsComb1:         st.VisitsByKernel[truthtab.ClassComb1],
 			VisitsSeq:           st.VisitsByKernel[truthtab.ClassSeq],
 			QueriesComb1:        st.QueriesByKernel[truthtab.ClassComb1],
 			QueriesSeq:          st.QueriesByKernel[truthtab.ClassSeq],
 		})
+	}
+	// Normalize each sample's ours_sdf time against the t=1 sample, giving
+	// the report its speedup-vs-threads curve without consumers re-deriving
+	// it from raw times.
+	var t1ns int64
+	for _, s := range rep.Samples {
+		if s.Threads == 1 {
+			t1ns = s.OursSDFNS
+			break
+		}
+	}
+	if t1ns > 0 {
+		for i := range rep.Samples {
+			if ns := rep.Samples[i].OursSDFNS; ns > 0 {
+				rep.Samples[i].SpeedupVsT1 = float64(t1ns) / float64(ns)
+			}
+		}
 	}
 	snap := cfg.Metrics.Snapshot()
 	rep.PhaseNS = snap.PhaseNS()

@@ -100,9 +100,11 @@ func TestDigestEqualImpliesStructuralEquality(t *testing.T) {
 	check("InInit", p1.InInit, p2.InInit)
 	check("StateInit", p1.StateInit, p2.StateInit)
 	check("OutInit", p1.OutInit, p2.OutInit)
-	check("RelaxEligible", p1.RelaxEligible, p2.RelaxEligible)
-	check("RelaxLevel", p1.RelaxLevel, p2.RelaxLevel)
-	check("NetRelax", p1.NetRelax, p2.NetRelax)
+	check("FrontEligible", p1.FrontEligible, p2.FrontEligible)
+	check("FrontLevel", p1.FrontLevel, p2.FrontLevel)
+	check("NetFront", p1.NetFront, p2.NetFront)
+	check("FrontOff", p1.FrontOff, p2.FrontOff)
+	check("FrontCell", p1.FrontCell, p2.FrontCell)
 	check("IsPI", p1.IsPI, p2.IsPI)
 }
 

@@ -96,29 +96,40 @@ type Plan struct {
 	// need no barrier of their own; see lowerSegments).
 	FusedLevels int
 
-	// Watermark-relax eligibility (structural, shared by WithDelays).
-	// RelaxEligible[g] marks gates whose quiet watermark advance the engine
+	// Frontier plane lowering (structural, shared by WithDelays): the
+	// net→reader-cloud structure the engine's frontier pass publishes
+	// watermark advances through, one commit per net instead of one walk
+	// per reader visit.
+	//
+	// FrontEligible[g] marks gates whose quiet watermark advance the engine
 	// may compute without a scheduled visit: exactly the ClassComb1 gates —
 	// single output, zero state, no edge-sensitive inputs, packed LUT built —
-	// whose idle walk (idleComb1) is a pure function of input watermarks and
-	// soft state. NetLevel[n] is the net's topological depth for the relax
-	// pass's drain order: 0 for primary inputs, undriven nets and outputs of
-	// sequential-phase gates, driver's combinational level + 1 otherwise, so
-	// an eligible reader's output net is always at a strictly higher level
-	// than any of its input nets. NumNetLevels bounds the values in NetLevel.
-	// NetRelax[n] classifies net n's readers for the watermark-only mark
-	// path: RelaxNetNone nets (no eligible reader, or no readers) fall
-	// straight through to the baseline mark loop without touching the relax
-	// state, while RelaxNetMixed and RelaxNetAll nets take the staging scan —
-	// marking any ineligible or blocked reader eagerly, staging the rest.
-	// The Mixed/All distinction is informational today (both scan); it is
-	// kept because the classification falls out of the same reader pass.
-	// RelaxLevel[g] is the eligible gate's walk level — its (single) output
+	// whose idle walk (idleComb1 and its script/lane twins) is a pure
+	// function of input watermarks and soft state. NetLevel[n] is the net's
+	// topological depth for the frontier drain order: 0 for primary inputs,
+	// undriven nets and outputs of sequential-phase gates, driver's
+	// combinational level + 1 otherwise, so an eligible reader's output net
+	// is always at a strictly higher level than any of its input nets.
+	// NumNetLevels bounds the values in NetLevel.
+	//
+	// NetFront[n] classifies net n's readers for the watermark-only mark
+	// path: FrontNetNone nets (no eligible reader, or no readers) fall
+	// straight through to the baseline mark loop without touching frontier
+	// state; FrontNetAll nets have only eligible readers, so a frontier
+	// commit needs no fallback scan; FrontNetMixed nets additionally walk
+	// their full fanout at drain time to dirty-mark the ineligible readers.
+	// The eligible reader cloud itself is a planned unit:
+	// FrontCell[FrontOff[n]:FrontOff[n+1]] lists net n's eligible readers,
+	// so a commit iterates exactly the cloud, not the whole fanout.
+	//
+	// FrontLevel[g] is the eligible gate's walk level — its (single) output
 	// net's NetLevel — pre-gathered so the staging path pays one load
 	// instead of three. Zero for ineligible gates (never staged).
-	RelaxEligible []bool
-	RelaxLevel    []int32
-	NetRelax      []uint8
+	FrontEligible []bool
+	FrontLevel    []int32
+	NetFront      []uint8
+	FrontOff      []int32
+	FrontCell     []netlist.CellID
 	NetLevel      []int32
 	NumNetLevels  int
 
@@ -272,43 +283,61 @@ func Build(nl *netlist.Netlist, lib *truthtab.CompiledLibrary, delays *sdf.Delay
 		}
 	}
 	p.lowerSegments()
-	p.lowerRelax()
+	p.lowerFrontier()
 
 	p.lowerDelays(delays)
 	return p, nil
 }
 
-// lowerRelax precomputes the watermark-relax vectors: per-gate eligibility
-// (the kernel-classification verdict widened to a dense bool so the mark
-// path pays one byte load per reader) and the per-net topological level the
-// relax pass drains in. Both are structural — a function of the netlist and
+// lowerFrontier precomputes the frontier-plane vectors: per-gate
+// eligibility (the kernel-classification verdict widened to a dense bool so
+// the mark path pays one byte load per reader), the per-net reader-cloud
+// CSR a frontier commit iterates, and the per-net topological level the
+// frontier pass drains in. All structural — a function of the netlist and
 // levelization only — so WithDelays shares them.
-func (p *Plan) lowerRelax() {
+func (p *Plan) lowerFrontier() {
 	n := p.NumGates()
-	p.RelaxEligible = make([]bool, n)
+	p.FrontEligible = make([]bool, n)
 	for g := 0; g < n; g++ {
-		p.RelaxEligible[g] = p.KernelOf[p.TableOf[g]] == truthtab.ClassComb1
+		p.FrontEligible[g] = p.KernelOf[p.TableOf[g]] == truthtab.ClassComb1
 	}
-	p.NetRelax = make([]uint8, len(p.Netlist.Nets))
-	for nid := range p.NetRelax {
+	nets := len(p.Netlist.Nets)
+	p.NetFront = make([]uint8, nets)
+	p.FrontOff = make([]int32, nets+1)
+	eligible := 0
+	for nid := 0; nid < nets; nid++ {
 		all, any := true, false
 		for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
-			if p.RelaxEligible[p.FanCell[k]] {
+			if p.FrontEligible[p.FanCell[k]] {
 				any = true
+				eligible++
 			} else {
 				all = false
 			}
 		}
 		switch {
 		case !any:
-			p.NetRelax[nid] = RelaxNetNone
+			p.NetFront[nid] = FrontNetNone
 		case all:
-			p.NetRelax[nid] = RelaxNetAll
+			p.NetFront[nid] = FrontNetAll
 		default:
-			p.NetRelax[nid] = RelaxNetMixed
+			p.NetFront[nid] = FrontNetMixed
 		}
 	}
-	p.NetLevel = make([]int32, len(p.Netlist.Nets))
+	p.FrontCell = make([]netlist.CellID, 0, eligible)
+	for nid := 0; nid < nets; nid++ {
+		p.FrontOff[nid] = int32(len(p.FrontCell))
+		if p.NetFront[nid] == FrontNetNone {
+			continue
+		}
+		for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
+			if c := p.FanCell[k]; p.FrontEligible[c] {
+				p.FrontCell = append(p.FrontCell, c)
+			}
+		}
+	}
+	p.FrontOff[nets] = int32(len(p.FrontCell))
+	p.NetLevel = make([]int32, nets)
 	for lv, gates := range p.Lev.Levels {
 		for _, id := range gates {
 			for _, nid := range p.GateOutputs(id) {
@@ -319,19 +348,19 @@ func (p *Plan) lowerRelax() {
 		}
 	}
 	p.NumNetLevels = len(p.Lev.Levels) + 1
-	p.RelaxLevel = make([]int32, n)
+	p.FrontLevel = make([]int32, n)
 	for g := 0; g < n; g++ {
-		if p.RelaxEligible[g] {
-			p.RelaxLevel[g] = p.NetLevel[p.OutNet[p.OutOff[g]]]
+		if p.FrontEligible[g] {
+			p.FrontLevel[g] = p.NetLevel[p.OutNet[p.OutOff[g]]]
 		}
 	}
 }
 
-// NetRelax classes (see the field doc).
+// NetFront classes (see the field doc).
 const (
-	RelaxNetNone uint8 = iota
-	RelaxNetMixed
-	RelaxNetAll
+	FrontNetNone uint8 = iota
+	FrontNetMixed
+	FrontNetAll
 )
 
 // fuseMaxGates caps the population of a fused barrier group: a level is

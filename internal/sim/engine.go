@@ -150,19 +150,20 @@ type Options struct {
 	// through the scalar interpreter at shared change points. Lane mode
 	// requires the compiled-script schedule (DisableKernels/DisableScripts
 	// reject), drives stimuli through InjectLanes/RunLaneStream (the scalar
-	// Inject/RunStream entry points reject), forces watermark relaxation
-	// off, and never checkpoints or snapshots (event history is retained for
-	// per-lane stream extraction). Lanes = 1 is today's scalar engine,
-	// bit-exact and unchanged.
+	// Inject/RunStream entry points reject), and never checkpoints or
+	// snapshots (event history is retained for per-lane stream extraction).
+	// The frontier plane participates: quiet watermark advances run the
+	// lane-word idle kernel from frontier commits, lane-mask-aware. Lanes =
+	// 1 is today's scalar engine, bit-exact and unchanged.
 	Lanes int
-	// DisableWatermarkRelax restores per-reader dirty marks for
-	// watermark-only net advances: every waiting reader is re-visited by
-	// the sweep machinery instead of being relaxed in a batched worklist
-	// pass (see relax.go). The marking path is the bit-exact baseline the
-	// relax equivalence and fuzz tests diff against. DisableKernels
-	// implies it — the relax walk is the comb1 idle kernel, which the
+	// DisableFrontier restores per-reader dirty marks for watermark-only
+	// net advances: every waiting reader is re-visited by the sweep
+	// machinery instead of being advanced through the per-net frontier
+	// plane (see frontier.go). The marking path is the bit-exact baseline
+	// the frontier equivalence and fuzz tests diff against. DisableKernels
+	// implies it — the frontier walk is the comb1 idle kernel, which the
 	// pre-kernel shape must not run.
-	DisableWatermarkRelax bool
+	DisableFrontier bool
 	// Metrics, when non-nil, receives the engine's obs counters and phase
 	// histograms (sim.* and pool.* names). Nil keeps every record site on
 	// the ~1 ns nil-instrument path (see internal/obs).
@@ -207,12 +208,16 @@ type Stats struct {
 
 	// VisitsWatermarkOnly counts the visits that committed no events: work
 	// whose only possible effect was advancing watermarks (or nothing at
-	// all). RelaxedNets counts staged readers the relax pass drained — idle
-	// walks run in place of scheduled visits, plus the cheap walk-time
-	// skips for stagings an event mark overtook — and is 0 with
-	// DisableWatermarkRelax.
+	// all). FrontierCommits counts staged-net watermark publishes the
+	// frontier pass drained — each one delivered a net's coalesced advance
+	// to its whole reader cloud in one scan (see frontier.go) — and
+	// QueriesSaved counts LUT probes the idle walks skipped because a
+	// memoized determinedness mask already decided the expiry. Both are 0
+	// with DisableFrontier (the masks are only consulted by the idle
+	// kernels the frontier plane runs).
 	VisitsWatermarkOnly int64
-	RelaxedNets         int64
+	FrontierCommits     int64
+	QueriesSaved        int64
 
 	// VisitsLane counts lane-mode gate visits: each one evaluated every
 	// active stimulus lane, so the per-lane visit equivalent is
@@ -253,21 +258,22 @@ type Stats struct {
 // obs debug endpoint does so mid-run), so every field is an atomic rather
 // than a plain int64 guarded by nothing.
 type engineCounters struct {
-	sweeps       atomic.Int64
-	visits       atomic.Int64
-	queries      atomic.Int64
-	visitsBy     [truthtab.NumClasses]atomic.Int64
-	queriesBy    [truthtab.NumClasses]atomic.Int64
-	visitsWMOnly atomic.Int64
-	visitsLane   atomic.Int64
-	relaxedNets  atomic.Int64
-	events       atomic.Int64
-	checkpoints  atomic.Int64
-	levelsFused  atomic.Int64
-	segsSkipped  atomic.Int64
-	sweepNS      atomic.Int64
-	levelNS      atomic.Int64
-	downgrades   atomic.Int64
+	sweeps          atomic.Int64
+	visits          atomic.Int64
+	queries         atomic.Int64
+	visitsBy        [truthtab.NumClasses]atomic.Int64
+	queriesBy       [truthtab.NumClasses]atomic.Int64
+	visitsWMOnly    atomic.Int64
+	visitsLane      atomic.Int64
+	frontierCommits atomic.Int64
+	queriesSaved    atomic.Int64
+	events          atomic.Int64
+	checkpoints     atomic.Int64
+	levelsFused     atomic.Int64
+	segsSkipped     atomic.Int64
+	sweepNS         atomic.Int64
+	levelNS         atomic.Int64
+	downgrades      atomic.Int64
 }
 
 // engineObs bundles the engine's observability instruments. It is built
@@ -277,45 +283,47 @@ type engineObs struct {
 	trace *obs.Trace
 	tid   int // the engine's coordinator track
 
-	sweeps       *obs.Counter
-	events       *obs.Counter
-	checkpoints  *obs.Counter
-	downgrades   *obs.Counter
-	segsSkipped  *obs.Counter
-	visitsWMOnly *obs.Counter
-	visitsLane   *obs.Counter
-	relaxedNets  *obs.Counter
-	lanesActive  *obs.Gauge
-	visitsBy     [truthtab.NumClasses]*obs.Counter
-	queriesBy    [truthtab.NumClasses]*obs.Counter
-	sweepNS      *obs.Histogram
-	levelNS      *obs.Histogram
-	checkpointNS *obs.Histogram
-	sliceNS      *obs.Histogram
-	quiesceNS    *obs.Histogram
-	watermark    *obs.Gauge
+	sweeps          *obs.Counter
+	events          *obs.Counter
+	checkpoints     *obs.Counter
+	downgrades      *obs.Counter
+	segsSkipped     *obs.Counter
+	visitsWMOnly    *obs.Counter
+	visitsLane      *obs.Counter
+	frontierCommits *obs.Counter
+	queriesSaved    *obs.Counter
+	lanesActive     *obs.Gauge
+	visitsBy        [truthtab.NumClasses]*obs.Counter
+	queriesBy       [truthtab.NumClasses]*obs.Counter
+	sweepNS         *obs.Histogram
+	levelNS         *obs.Histogram
+	checkpointNS    *obs.Histogram
+	sliceNS         *obs.Histogram
+	quiesceNS       *obs.Histogram
+	watermark       *obs.Gauge
 }
 
 func newEngineObs(o Options) engineObs {
 	m := o.Metrics
 	eo := engineObs{
-		trace:        o.Trace,
-		tid:          o.Trace.Thread("sim.engine"),
-		sweeps:       m.Counter("sim.sweeps"),
-		events:       m.Counter("sim.events_committed"),
-		checkpoints:  m.Counter("sim.checkpoints"),
-		downgrades:   m.Counter("sim.downgrades"),
-		segsSkipped:  m.Counter("sim.segments_skipped"),
-		visitsWMOnly: m.Counter("sim.visits_watermark_only"),
-		visitsLane:   m.Counter("sim.visits_lane"),
-		relaxedNets:  m.Counter("sim.relax_nets"),
-		lanesActive:  m.Gauge("sim.lanes_active"),
-		sweepNS:      m.Histogram("sim.sweep_ns"),
-		levelNS:      m.Histogram("sim.level_ns"),
-		checkpointNS: m.Histogram("sim.checkpoint_ns"),
-		sliceNS:      m.Histogram("sim.slice_ns"),
-		quiesceNS:    m.Histogram("sim.quiesce_ns"),
-		watermark:    m.Gauge("sim.watermark_ps"),
+		trace:           o.Trace,
+		tid:             o.Trace.Thread("sim.engine"),
+		sweeps:          m.Counter("sim.sweeps"),
+		events:          m.Counter("sim.events_committed"),
+		checkpoints:     m.Counter("sim.checkpoints"),
+		downgrades:      m.Counter("sim.downgrades"),
+		segsSkipped:     m.Counter("sim.segments_skipped"),
+		visitsWMOnly:    m.Counter("sim.visits_watermark_only"),
+		visitsLane:      m.Counter("sim.visits_lane"),
+		frontierCommits: m.Counter("sim.frontier_commits"),
+		queriesSaved:    m.Counter("sim.queries_saved"),
+		lanesActive:     m.Gauge("sim.lanes_active"),
+		sweepNS:         m.Histogram("sim.sweep_ns"),
+		levelNS:         m.Histogram("sim.level_ns"),
+		checkpointNS:    m.Histogram("sim.checkpoint_ns"),
+		sliceNS:         m.Histogram("sim.slice_ns"),
+		quiesceNS:       m.Histogram("sim.quiesce_ns"),
+		watermark:       m.Gauge("sim.watermark_ps"),
 	}
 	for c := truthtab.Class(0); c < truthtab.NumClasses; c++ {
 		eo.visitsBy[c] = m.Counter("sim.visits_by_kernel." + c.String())
@@ -363,6 +371,10 @@ type Engine struct {
 	// finished reading; unwatched nets hold unreadMark.
 	readMarks []int64
 
+	// valRd holds one persistent event reader per net for Value queries,
+	// allocated on the first Value call (debug/test surface, usually unused).
+	valRd []event.Reader
+
 	// kern caches the kernel class per gate (the plan classifies per
 	// interned table; the executor dispatches per gate). All ClassSeq under
 	// Options.DisableKernels.
@@ -377,9 +389,9 @@ type Engine struct {
 	dirtyBits []uint64
 	segDirty  []int64
 
-	// relax is the watermark-relax worklist (see relax.go); relax.on is
-	// false with DisableWatermarkRelax or DisableKernels.
-	relax relaxState
+	// front is the per-net frontier worklist (see frontier.go); front.on
+	// is false with DisableFrontier or DisableKernels.
+	front frontierState
 
 	// Lane mode (Options.Lanes > 1). Each net's laneStores entry parallels
 	// its event queue index-for-index: entry i holds the changed-lane mask
@@ -588,33 +600,62 @@ func NewFromPlan(p *plan.Plan, opts Options) (*Engine, error) {
 			})
 		}
 	}
-	// Watermark relaxation needs the comb1 idle kernel, so the pre-kernel
-	// A/B shape (DisableKernels) implies the marking baseline too. Lane mode
-	// forces it off: the relax walk is the scalar idle kernel, and lane
-	// gates must only advance through their lane-word twins.
-	if !e.opts.DisableWatermarkRelax && !e.opts.DisableKernels && e.lanes == 1 {
-		e.relax.on = true
-		e.relax.cellFlag = make([]uint32, p.NumGates())
-		// One staging bucket per level, preallocated to the level's
-		// eligible population — cellFlag dedup guarantees a bucket can
-		// never overflow it.
-		pop := make([]int64, p.NumNetLevels)
-		for g := 0; g < p.NumGates(); g++ {
-			if p.RelaxEligible[g] {
-				pop[p.RelaxLevel[g]]++
+	// The frontier plane needs the comb1 idle kernel, so the pre-kernel
+	// A/B shape (DisableKernels) implies the marking baseline too. Lane
+	// mode participates: the walk dispatches to the lane-word idle kernel,
+	// so lane gates advance through their lane twins (lane mode always
+	// compiles scripts).
+	if !e.opts.DisableFrontier && !e.opts.DisableKernels {
+		f := &e.front
+		f.on = true
+		nets := len(p.Netlist.Nets)
+		f.netMark = make([]int64, nets)
+		for i := range f.netMark {
+			f.netMark[i] = frontierUnstaged
+		}
+		// One staging bucket per level in each tier, preallocated to the
+		// level's population — flag dedup guarantees a bucket can never
+		// overflow it. The buckets subslice two flat backing arrays so
+		// construction stays O(arrays), not O(levels) (TestNewFromPlanAllocs).
+		npop := make([]int64, p.NumNetLevels)
+		nTot := int64(0)
+		for nid := 0; nid < nets; nid++ {
+			if p.NetFront[nid] != plan.FrontNetNone {
+				npop[p.NetLevel[nid]]++
+				nTot++
 			}
 		}
-		e.relax.cells = make([][]netlist.CellID, p.NumNetLevels)
-		for lv := range e.relax.cells {
-			e.relax.cells[lv] = make([]netlist.CellID, pop[lv])
+		f.nets = make([][]netlist.NetID, p.NumNetLevels)
+		nBack := make([]netlist.NetID, nTot)
+		for lv := range f.nets {
+			f.nets[lv], nBack = nBack[:npop[lv]:npop[lv]], nBack[npop[lv]:]
 		}
-		e.relax.cellLen = make([]int64, p.NumNetLevels)
+		f.netLen = make([]int64, p.NumNetLevels)
+		// cellState pre-bakes each eligible gate's walk level next to the
+		// staged bit so the commit hot path never touches plan.FrontLevel.
+		f.cellState = make([]uint32, p.NumGates())
+		cpop := make([]int64, p.NumNetLevels)
+		cTot := int64(0)
+		for g := 0; g < p.NumGates(); g++ {
+			if p.FrontEligible[g] {
+				f.cellState[g] = uint32(p.FrontLevel[g]) << 1
+				cpop[p.FrontLevel[g]]++
+				cTot++
+			}
+		}
+		f.cells = make([][]netlist.CellID, p.NumNetLevels)
+		cBack := make([]netlist.CellID, cTot)
+		for lv := range f.cells {
+			f.cells[lv], cBack = cBack[:cpop[lv]:cpop[lv]], cBack[cpop[lv]:]
+		}
+		f.cellLen = make([]int64, p.NumNetLevels)
+		f.loLv = p.NumNetLevels
 	}
 	// Everything starts dirty so the first Advance initializes constant
 	// cones (tie cells, reset trees) even before any stimulus.
 	e.markAllDirty()
 	e.exec = newExecutor(e)
-	e.relax.serial = e.exec.threads == 1
+	e.front.serial = e.exec.threads == 1
 	e.lastDirty = p.NumGates() // everything starts dirty
 	return e, nil
 }
@@ -682,7 +723,8 @@ func (e *Engine) Stats() Stats {
 		Checkpoints:         e.stats.checkpoints.Load(),
 		VisitsWatermarkOnly: e.stats.visitsWMOnly.Load(),
 		VisitsLane:          e.stats.visitsLane.Load(),
-		RelaxedNets:         e.stats.relaxedNets.Load(),
+		FrontierCommits:     e.stats.frontierCommits.Load(),
+		QueriesSaved:        e.stats.queriesSaved.Load(),
 		PoolSpawned:         ps.Spawned,
 		PoolRounds:          ps.Rounds,
 		PoolWakes:           ps.Wakes,

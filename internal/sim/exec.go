@@ -242,14 +242,22 @@ func (x *executor) runSweepSerial(segs []execSeg, kind roundKind) (int64, bool) 
 	progress := false
 	for si := range segs {
 		seg := &segs[si]
-		// Boundary relax drain: before scanning a segment, settle every
+		// Boundary frontier drain: before scanning a segment, settle every
 		// staged watermark move at the net levels its gates can read
 		// (NetLevel <= gate level), so the sweep's in-level cascade works
 		// through walks exactly as it did through visits; deeper stagings
 		// stay bucketed, batching later moves into one walk per gate per
-		// sweep. Single-goroutine rounds only — this is the coordinator.
-		if r := &x.e.relax; r.on && kind == roundDirty && (r.pending || x.e.anyStaged()) {
-			if _, rec := x.e.relaxPass(seg.level); rec != nil {
+		// sweep. The sequential segment (level -1) drains with bound 0:
+		// primary-input moves staged by AdvanceCtx and flop-output moves
+		// from the previous sweep live in net bucket 0, and their seq
+		// readers must be dirty before the seq scan, not a sweep later.
+		// Single-goroutine rounds only — this is the coordinator.
+		if f := &x.e.front; f.on && kind == roundDirty && f.staged > 0 {
+			bound := seg.level
+			if bound < 0 {
+				bound = 0
+			}
+			if _, rec := x.e.frontierPass(bound); rec != nil {
 				x.failed.CompareAndSwap(nil, rec)
 				break
 			}
@@ -547,7 +555,7 @@ func (x *executor) runCheckpoint() {
 // from the coordinating goroutine only.
 func (x *executor) mergeStats() {
 	var visits, queries [truthtab.NumClasses]int64
-	var events, wmOnly, laneVisits int64
+	var events, wmOnly, laneVisits, qSaved int64
 	for _, sc := range x.scratches {
 		for c := range sc.visits {
 			visits[c] += sc.visits[c]
@@ -560,6 +568,12 @@ func (x *executor) mergeStats() {
 		sc.visitsWMOnly = 0
 		laneVisits += sc.visitsLane
 		sc.visitsLane = 0
+		qSaved += sc.queriesSaved
+		sc.queriesSaved = 0
+	}
+	if qSaved != 0 {
+		x.e.stats.queriesSaved.Add(qSaved)
+		x.e.obs.queriesSaved.Add(qSaved)
 	}
 	if laneVisits != 0 {
 		x.e.stats.visitsLane.Add(laneVisits)

@@ -35,12 +35,29 @@ type gateState struct {
 	softNow   int64
 
 	// blocked records that the last visit left unconsumed input events —
-	// work only a real visit may pick up. The watermark-relax staging path
-	// reads it (from the cache line it already holds for detUntil) to keep
-	// such readers on the dirty path without re-scanning their input
-	// queues; a stale value is safe either way, because the walk-time
-	// fallback re-checks the queues themselves (relaxNeedsVisit).
+	// work only a real visit may pick up. The frontier commit reads it
+	// (from the cache line it already holds for detUntil) to keep such
+	// readers on the dirty path without re-scanning their input queues; a
+	// stale value is safe either way, because the walk-time fallback
+	// re-checks the queues themselves (frontierNeedsVisit).
 	blocked bool
+
+	// Idle-walk determinedness memo, valid only while the gate's soft
+	// input values are unchanged (every real visit path zeroes both; so
+	// does LoadSnapshot). maskDet is the largest expired-input set the LUT
+	// was proven determined under; maskUndet is the smallest set proven
+	// undetermined (0 = none recorded — an expiry set is never empty).
+	// Soundness is the antitone property the watermark machinery already
+	// relies on (determination is monotone under refinement): determined
+	// under S stays determined — with the same value — under any S' ⊆ S,
+	// and undetermined under S stays undetermined under any S' ⊇ S. The
+	// idle walks discard the probe's non-U value, so determinedness alone
+	// decides the walk and a memo hit reproduces the probe's control flow
+	// exactly (streams are identical by construction, not just confluence).
+	// maskDet is replaced only by a superset and maskUndet only by a
+	// subset: a union of determined sets is not necessarily determined.
+	maskDet   uint32
+	maskUndet uint32
 
 	// futureMin is the earliest time at which the last visit left work
 	// behind — an unconsumed input event or an uncommitted pending output
@@ -82,14 +99,22 @@ type scratch struct {
 	laneQOuts  []logic.Value // [out*lanes + lane]
 	laneQNext  []logic.Value // [state*lanes + lane]
 	lanePendK  []int         // [lane] soft-pend commit prefix counters
+	// wm is the per-walk input watermark snapshot for the idle kernels: one
+	// coherent read per input per walk instead of one atomic load per input
+	// per expiry (conservative under concurrent advancement — a fresher
+	// watermark is picked up by the staging its move files).
+	wm []int64
 	// visit counters, split per kernel class and merged into Engine.stats at
 	// sweep end to avoid atomic traffic in the hot loop. visitsWMOnly
 	// counts the visits that committed no events — the watermark-only share
-	// the relax pass exists to eliminate (see Stats.VisitsWatermarkOnly).
+	// the frontier plane exists to eliminate (see Stats.VisitsWatermarkOnly).
+	// queriesSaved counts LUT probes the idle walks' determinedness memo
+	// skipped (see gateState.maskDet).
 	visits       [truthtab.NumClasses]int64
 	queries      [truthtab.NumClasses]int64
 	visitsWMOnly int64
 	visitsLane   int64
+	queriesSaved int64
 	events       int64
 }
 
@@ -105,6 +130,7 @@ func newScratch(e *Engine) *scratch {
 		qNext:  make([]logic.Value, maxState),
 		outs:   make([]sched.Output, maxOut),
 		evIn:   make([]int, 0, maxIn),
+		wm:     make([]int64, maxIn),
 	}
 	if L := e.lanes; L > 1 {
 		sc.laneVals = make([]lane.Word, maxIn)
@@ -486,49 +512,20 @@ func (e *Engine) idleVisit(id netlist.CellID, sc *scratch) bool {
 // else (another input, or a pending output this net cannot finalize) and
 // the advance cannot unblock it. TestMarkLoadsBoundary pins both sides.
 //
-// With watermark relaxation on, a watermark-only advance does not dirty
-// relax-eligible readers: the net is staged on the relax worklist instead
-// and the coordinator runs their idle walk in a relax pass — at the next
-// segment boundary on a single-goroutine sweep, post-sweep otherwise (see
-// relax.go). Ineligible readers above the frontier are dirtied as before.
+// With the frontier plane on, a watermark-only advance does not scan the
+// readers at all: the net is staged in O(1) on the frontier worklist —
+// repeated moves coalesce onto one staging carrying their minimum wOld —
+// and the drain publishes the accumulated advance to the whole reader
+// cloud in one frontier commit, applying this same detUntil >= wOld filter
+// per reader at drain time (conservative: detUntil only advances, so a
+// drain-time read at worst wakes a reader whose walk is a no-op). Nets
+// with no eligible reader at all (plan.FrontNetNone) skip the plane and
+// keep the baseline loop.
 func (e *Engine) markLoads(nid netlist.NetID, wOld int64, newEvents bool) {
 	p := e.p
-	if !newEvents && e.relax.on && p.NetRelax[nid] != plan.RelaxNetNone {
-		// Watermark-only move (wOld >= 0 by the call sites): one scan over
-		// the readers — the same scan the baseline mark loop paid — staging
-		// each eligible waiting reader for a relax walk and marking the
-		// rest. Nets with no eligible reader at all (NetRelax) skip the
-		// branch and keep the baseline loop below.
-		if e.relax.serial {
-			for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
-				cell := p.FanCell[k]
-				g := &e.gate[cell]
-				if g.detUntil.Load() < wOld {
-					continue
-				}
-				// g.blocked rides the cache line the frontier check just
-				// loaded: a reader whose last visit left unconsumed input
-				// events needs a real visit — marking it here keeps the
-				// event cascade in-sweep, exactly the baseline's timing.
-				if !p.RelaxEligible[cell] || g.blocked {
-					e.markDirty(cell)
-					continue
-				}
-				e.stageRelaxSerial(cell)
-			}
-		} else {
-			for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {
-				cell := p.FanCell[k]
-				if e.gate[cell].detUntil.Load() < wOld {
-					continue
-				}
-				if p.RelaxEligible[cell] {
-					e.stageRelax(cell)
-				} else {
-					e.markDirty(cell)
-				}
-			}
-		}
+	if !newEvents && e.front.on && p.NetFront[nid] != plan.FrontNetNone {
+		// Watermark-only move (wOld >= 0 by the call sites).
+		e.stageFrontierNet(nid, wOld)
 		return
 	}
 	for k := p.FanOff[nid]; k < p.FanOff[nid+1]; k++ {

@@ -80,6 +80,9 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 	if resume && idle {
 		return e.idleComb1(id, sc)
 	}
+	// A real visit may change the soft input values the idle walks' memo
+	// was proven against; drop it (cheap, and stale masks are unsound).
+	g.maskDet, g.maskUndet = 0, 0
 	out := &sc.outs[0]
 	var now int64
 	var sem logic.Value
@@ -101,6 +104,11 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 		now = g.baseNow
 	}
 	detUntil := TimeInf
+	frontOn := e.front.on
+	fullU := uint32(0)
+	if frontOn && lut.AllU {
+		fullU = uint32(1)<<uint(ni) - 1
+	}
 	for {
 		// Next change point: earliest unconsumed event or stable-time
 		// expiry strictly after `now`.
@@ -121,8 +129,10 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 		}
 
 		// Build the packed query index directly: settled values and U are
-		// their own 3-bit fields.
+		// their own 3-bit fields. exp tracks the expired pins so trailing
+		// pure-expiry probes can seed the idle walks' determinedness memo.
 		idx := 0
+		var exp uint32
 		sc.evIn = sc.evIn[:0]
 		for i := 0; i < ni; i++ {
 			iq := inQ[i]
@@ -137,18 +147,38 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 			}
 			if t >= iq.DeterminedUntil() {
 				v = logic.VU
+				exp |= 1 << uint(i)
 			}
 			idx |= int(v) << (3 * i)
+		}
+		// Every pin expired and the function is input-sensitive: the verdict
+		// is U by construction (PackedLUT.AllU), no probe needed. exp only
+		// covers pins that took the expiry branch, so this is event-free.
+		// (fullU is zero unless the frontier is armed and the LUT qualifies,
+		// so the nonzero compare is the whole check on the hot path.)
+		if exp == fullU && fullU != 0 {
+			sc.queriesSaved++
+			detUntil = t
+			break
 		}
 		nv := lut.Data[idx]
 		sc.queries[truthtab.ClassComb1]++
 		if nv == logic.VU {
+			// An event-free probe used exactly the values this visit will
+			// store as the soft snapshot, so its verdict seeds the memo and
+			// the post-visit wakeup walk skips the re-probe.
+			if frontOn && len(sc.evIn) == 0 && (g.maskUndet == 0 || exp&^g.maskUndet == 0) {
+				g.maskUndet = exp
+			}
 			detUntil = t
 			break
 		}
 
 		// Consume the change point.
 		if len(sc.evIn) > 0 {
+			// The new input values invalidate any memo seeded at earlier
+			// expiry-only probes of this visit.
+			g.maskDet, g.maskUndet = 0, 0
 			if nv != sem {
 				var d int64
 				if uniform {
@@ -168,6 +198,8 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 				sc.vals[i] = sc.cur[i].Peek(inQ[i]).Val.Settle()
 				sc.cur[i].Advance()
 			}
+		} else if frontOn && exp&g.maskDet == g.maskDet {
+			g.maskDet = exp
 		}
 		now = t
 	}
@@ -242,7 +274,9 @@ func (e *Engine) visitComb1(id netlist.CellID, sc *scratch) bool {
 
 // idleComb1 is idleVisit specialized the same way: a watermark-expiry-only
 // walk with a packed-LUT probe per expiry and a single output to commit
-// from the soft pending list.
+// from the soft pending list. The gate's determinedness memo
+// (gateState.maskDet/maskUndet) elides probes whose expired-input set a
+// previous walk already decided under the same soft values.
 func (e *Engine) idleComb1(id netlist.CellID, sc *scratch) bool {
 	p := e.p
 	g := &e.gate[id]
@@ -253,30 +287,121 @@ func (e *Engine) idleComb1(id netlist.CellID, sc *scratch) bool {
 	inQ := e.inQ[inB : inB+ni]
 	q := e.outQ[outB]
 
+	// One coherent watermark snapshot per walk (see scratch.wm), folding in
+	// the maximal expired set and its last expiry instant for the shortcut
+	// below, then the expiry loop: at each expiry the set of expired inputs
+	// alone decides the probe (the non-expired values are the unchanged
+	// soft values), so the gate's determinedness memo can skip the LUT
+	// probe whenever the set is inside a proven-determined mask or covers
+	// a proven-U one.
+	wm := sc.wm[:ni]
+	var expMax uint32
+	tLast := int64(0)
+	for i := 0; i < ni; i++ {
+		w := inQ[i].DeterminedUntil()
+		wm[i] = w
+		if w < TimeInf {
+			expMax |= 1 << uint(i)
+			if w > tLast {
+				tLast = w
+			}
+		}
+	}
 	now := g.softNow
 	detUntil := TimeInf
+	frontOn := e.front.on
+	// Maximal-set shortcut: the expired set only grows along the walk, and
+	// determinedness is antitone in it, so if the probe with *every*
+	// finite-watermark input expired at once comes back determined, every
+	// instant of the walk is determined — one probe (or a memo hit) settles
+	// the whole walk and the loop below degenerates to the TimeInf break. A
+	// U verdict seeds the memo and the loop finds the first U instant.
+	full := uint32(1)<<uint(ni) - 1
+	if tLast > now && g.maskDet != 0 && !(expMax == full && lut.AllU) &&
+		(g.maskUndet == 0 || expMax&g.maskUndet != g.maskUndet) {
+		det := false
+		if expMax&^g.maskDet == 0 {
+			sc.queriesSaved++
+			det = true
+		} else {
+			idx := 0
+			for i := 0; i < ni; i++ {
+				v := e.softVals[inB+i]
+				if expMax&(1<<uint(i)) != 0 {
+					v = logic.VU
+				}
+				idx |= int(v) << (3 * i)
+			}
+			sc.queries[truthtab.ClassComb1]++
+			if lut.Data[idx] != logic.VU {
+				det = true
+				if expMax&g.maskDet == g.maskDet {
+					g.maskDet = expMax
+				}
+			} else if g.maskUndet == 0 || expMax&^g.maskUndet == 0 {
+				g.maskUndet = expMax
+			}
+		}
+		if det {
+			now = tLast
+		}
+	}
+	// Incremental probe state: the expired set only grows as the walk
+	// advances, so the set and the packed probe index are maintained in
+	// place — pins expired at `now` start as VU, the rest hold their soft
+	// value and flip to VU once the walk crosses their watermark — instead
+	// of rebuilding both O(ni) scans at every change point.
+	exp := uint32(0)
+	idx := 0
+	for i := 0; i < ni; i++ {
+		v := e.softVals[inB+i]
+		if now >= wm[i] {
+			v = logic.VU
+			exp |= 1 << uint(i)
+		}
+		idx |= int(v) << (3 * i)
+	}
 	for {
 		t := int64(TimeInf)
 		for i := 0; i < ni; i++ {
-			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+			if w := wm[i]; w > now && w < t {
 				t = w
 			}
 		}
 		if t >= TimeInf {
 			break
 		}
-		idx := 0
 		for i := 0; i < ni; i++ {
-			v := e.softVals[inB+i]
-			if t >= inQ[i].DeterminedUntil() {
-				v = logic.VU
+			if b := uint32(1) << uint(i); exp&b == 0 && t >= wm[i] {
+				exp |= b
+				idx = idx&^(7<<(3*uint(i))) | int(logic.VU)<<(3*uint(i))
 			}
-			idx |= int(v) << (3 * i)
+		}
+		if frontOn && exp == full && lut.AllU {
+			sc.queriesSaved++
+			detUntil = t
+			break
+		}
+		if g.maskUndet != 0 && exp&g.maskUndet == g.maskUndet {
+			sc.queriesSaved++
+			detUntil = t
+			break
+		}
+		if exp&^g.maskDet == 0 {
+			sc.queriesSaved++
+			now = t
+			continue
 		}
 		sc.queries[truthtab.ClassComb1]++
 		if lut.Data[idx] == logic.VU {
+			if frontOn && (g.maskUndet == 0 || exp&^g.maskUndet == 0) {
+				g.maskUndet = exp
+			}
 			detUntil = t
 			break
+		}
+		if frontOn && exp&g.maskDet == g.maskDet {
+			g.maskDet = exp
 		}
 		now = t
 	}

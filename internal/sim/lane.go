@@ -80,6 +80,9 @@ func (e *Engine) visitLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 	if resume && idle {
 		return e.idleLaneScriptComb1(op, sc)
 	}
+	// A real visit may change the soft lane words the idle walks' memo was
+	// proven against; drop it (cheap, and stale masks are unsound).
+	g.maskDet, g.maskUndet = 0, 0
 	outs := sc.laneOuts[:L]
 	var now int64
 	var sem lane.Word
@@ -107,6 +110,11 @@ func (e *Engine) visitLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 		now = g.baseNow
 	}
 	detUntil := TimeInf
+	frontOn := e.front.on
+	fullU := uint32(0)
+	if frontOn && llut.LUT.AllU {
+		fullU = uint32(1)<<uint(ni) - 1
+	}
 	for {
 		// Next change point: earliest unconsumed event or stable-time
 		// expiry strictly after `now`.
@@ -148,12 +156,25 @@ func (e *Engine) visitLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 			}
 			sc.qWords[i] = sc.laneVals[i]
 		}
+		// Every pin expired and the function is input-sensitive: U in every
+		// lane by construction, no probe needed (see visitComb1; fullU is
+		// zero unless the frontier is armed and the LUT qualifies).
+		if expired == fullU && fullU != 0 {
+			sc.queriesSaved++
+			detUntil = t
+			break
+		}
 		// Every active lane is evaluated — not just the changed ones — so
 		// the stop-before-consume frontier below can never overrun a quiet
 		// lane's own undetermined point and commit a cancellable event.
 		outW, undet := llut.LookupLanes(sc.qWords[:ni], expired, e.laneMask)
 		sc.queries[truthtab.ClassComb1]++
 		if undet != 0 {
+			// Event-free probe against the final soft lane words: seed the
+			// idle walks' memo (see visitComb1).
+			if frontOn && len(sc.evIn) == 0 && (g.maskUndet == 0 || expired&^g.maskUndet == 0) {
+				g.maskUndet = expired
+			}
 			detUntil = t
 			break
 		}
@@ -162,6 +183,7 @@ func (e *Engine) visitLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 		// schedule (a quiet lane's scalar replay has no change point at t),
 		// and only when their semantic output moved.
 		if len(sc.evIn) > 0 {
+			g.maskDet, g.maskUndet = 0, 0
 			changed := evLanes & lane.DiffMask(outW, sem)
 			for m := changed; m != 0; m &= m - 1 {
 				ln := bits.TrailingZeros32(m)
@@ -188,6 +210,8 @@ func (e *Engine) visitLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 				sc.laneVals[i] = sc.qWords[i]
 				sc.cur[i].Advance()
 			}
+		} else if frontOn && expired&g.maskDet == g.maskDet {
+			g.maskDet = expired
 		}
 		now = t
 	}
@@ -261,29 +285,104 @@ func (e *Engine) idleLaneScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 	inQ := e.inQ[inB : inB+ni]
 	q := e.outQ[outB]
 
+	// Watermark snapshot + determinedness memo, as in idleComb1. The lane
+	// probe's verdict is "determined in every active lane", which is
+	// antitone in the expired set exactly like the scalar one (per lane),
+	// so the same masks apply to the all-lanes outcome.
+	wm := sc.wm[:ni]
+	var expMax uint32
+	tLast := int64(0)
+	for i := 0; i < ni; i++ {
+		w := inQ[i].DeterminedUntil()
+		wm[i] = w
+		if w < TimeInf {
+			expMax |= 1 << uint(i)
+			if w > tLast {
+				tLast = w
+			}
+		}
+	}
 	now := g.softNow
 	detUntil := TimeInf
+	frontOn := e.front.on
+	// Maximal-set shortcut, as in idleComb1; the all-lanes verdict is
+	// antitone per lane, so one determined-in-every-lane probe with every
+	// finite-watermark input expired settles the entire walk.
+	full := uint32(1)<<uint(ni) - 1
+	if tLast > now && g.maskDet != 0 && !(expMax == full && llut.LUT.AllU) &&
+		(g.maskUndet == 0 || expMax&g.maskUndet != g.maskUndet) {
+		det := false
+		if expMax&^g.maskDet == 0 {
+			sc.queriesSaved++
+			det = true
+		} else {
+			// LookupLanes only reads its input words, so the walk probes the
+			// engine's soft lane words in place — no per-probe copy.
+			sc.queries[truthtab.ClassComb1]++
+			if _, undet := llut.LookupLanes(e.laneSoftVals[inB:inB+ni], expMax, e.laneMask); undet == 0 {
+				det = true
+				if expMax&g.maskDet == g.maskDet {
+					g.maskDet = expMax
+				}
+			} else if g.maskUndet == 0 || expMax&^g.maskUndet == 0 {
+				g.maskUndet = expMax
+			}
+		}
+		if det {
+			now = tLast
+		}
+	}
+	// Incremental expired set, as in idleComb1: it only grows along the
+	// walk, so it is maintained in place instead of being rebuilt O(ni) at
+	// every change point. The lane probe takes the set as an argument and
+	// reads the engine's soft lane words directly, so there is no packed
+	// index (or copy) to maintain.
+	expired := uint32(0)
+	for i := 0; i < ni; i++ {
+		if now >= wm[i] {
+			expired |= 1 << uint(i)
+		}
+	}
 	for {
 		t := int64(TimeInf)
 		for i := 0; i < ni; i++ {
-			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+			if w := wm[i]; w > now && w < t {
 				t = w
 			}
 		}
 		if t >= TimeInf {
 			break
 		}
-		var expired uint32
 		for i := 0; i < ni; i++ {
-			if t >= inQ[i].DeterminedUntil() {
-				expired |= 1 << uint(i)
+			if b := uint32(1) << uint(i); expired&b == 0 && t >= wm[i] {
+				expired |= b
 			}
-			sc.qWords[i] = e.laneSoftVals[inB+i]
 		}
-		sc.queries[truthtab.ClassComb1]++
-		if _, undet := llut.LookupLanes(sc.qWords[:ni], expired, e.laneMask); undet != 0 {
+		if frontOn && expired == full && llut.LUT.AllU {
+			sc.queriesSaved++
 			detUntil = t
 			break
+		}
+		if g.maskUndet != 0 && expired&g.maskUndet == g.maskUndet {
+			sc.queriesSaved++
+			detUntil = t
+			break
+		}
+		if expired&^g.maskDet == 0 {
+			sc.queriesSaved++
+			now = t
+			continue
+		}
+		sc.queries[truthtab.ClassComb1]++
+		if _, undet := llut.LookupLanes(e.laneSoftVals[inB:inB+ni], expired, e.laneMask); undet != 0 {
+			if frontOn && (g.maskUndet == 0 || expired&^g.maskUndet == 0) {
+				g.maskUndet = expired
+			}
+			detUntil = t
+			break
+		}
+		if frontOn && expired&g.maskDet == g.maskDet {
+			g.maskDet = expired
 		}
 		now = t
 	}

@@ -79,7 +79,7 @@ func (e *Engine) AdvanceCtx(ctx context.Context, horizon int64) error {
 			// A pure watermark advance: any injected events already marked
 			// their loads at Append time (Inject above), so this is the
 			// no-new-events case — readers with unconsumed input events fall
-			// back to dirty marks inside the relax machinery.
+			// back to dirty marks inside the frontier machinery.
 			wOld := q.DeterminedUntil()
 			q.SetDeterminedUntil(w)
 			e.markLoads(netlist.NetID(nid), wOld, false)
@@ -119,14 +119,14 @@ func (e *Engine) FinishCtx(ctx context.Context) error { return e.AdvanceCtx(ctx,
 func (e *Engine) converge(ctx context.Context, horizon int64) error {
 	oblivious := e.mode == ModeManycore
 	jumped := false
-	// Entries staged outside the sweep loop — AdvanceCtx's primary-input
+	// Nets staged outside the sweep loop — AdvanceCtx's primary-input
 	// watermark moves — are picked up by the first sweep's segment-boundary
 	// drains on a single-goroutine engine, each level just before the first
-	// segment that can read it, so one walk there covers the stimulus move
-	// and the in-sweep cascade alike. A pooled engine has no boundary
+	// segment that can read it, so one commit there covers the stimulus
+	// move and the in-sweep cascade alike. A pooled engine has no boundary
 	// drains and drains the staging up front instead.
-	if !e.relax.serial {
-		if _, rec := e.relaxPass(relaxAllLevels); rec != nil {
+	if !e.front.serial {
+		if _, rec := e.frontierPass(frontierAllLevels); rec != nil {
 			return e.poisonFromPanic("advance", rec)
 		}
 	}
@@ -168,13 +168,13 @@ func (e *Engine) converge(ctx context.Context, horizon int64) error {
 			return e.poisonFromPanic("advance", rec)
 		}
 
-		// Post-sweep relax pass: drains what the sweep's last segments staged
-		// (single-goroutine sweeps already drained at every earlier segment
-		// boundary; pooled sweeps staged everything, since only the
-		// coordinator may walk). Fallback dirty marks are work owed to the
+		// Post-sweep frontier pass: drains what the sweep's last segments
+		// staged (single-goroutine sweeps already drained at every earlier
+		// segment boundary; pooled sweeps staged everything, since only the
+		// coordinator may drain). Fallback dirty marks are work owed to the
 		// next sweep; events the pass commits count against the creep-stop's
 		// events delta below.
-		passDirtied, rec := e.relaxPass(relaxAllLevels)
+		passDirtied, rec := e.frontierPass(frontierAllLevels)
 		if rec != nil {
 			e.obs.trace.End(e.obs.tid)
 			return e.poisonFromPanic("advance", rec)
@@ -292,17 +292,14 @@ func (e *Engine) Value(nid netlist.NetID, t int64) logic.Value {
 	if t >= q.DeterminedUntil() {
 		return logic.VU
 	}
-	// Binary search over retained events would be possible; nets are
-	// queried rarely (debug, tests), so scan.
-	v := q.BaseVal()
-	for i := q.Start(); i < q.Len(); i++ {
-		ev := q.MustAt(i)
-		if ev.Time > t {
-			break
-		}
-		v = ev.Val
+	// Persistent per-net readers: repeated queries at nondecreasing times
+	// cost O(changes in the window) via the reader's cursor, and a cold or
+	// backward query costs one page-skipping seek instead of an O(events)
+	// scan from the retained start.
+	if e.valRd == nil {
+		e.valRd = make([]event.Reader, len(e.queues))
 	}
-	return v
+	return e.valRd[nid].ValueAt(q, t)
 }
 
 // SetReadMark records, per net, the event index below which an external

@@ -42,11 +42,11 @@ func orUint64(addr *uint64, mask uint64) uint64 {
 // markDirty marks one gate for the next scan: the per-gate flag on the
 // interpreted schedule, the gate's bitset bit (plus the owning segment's
 // population count on a 0→1 transition) on the compiled one. Marks made
-// while the relax pass is draining are tallied so converge knows the pass
-// owes the next sweep work (see relaxState.draining).
+// while the frontier pass is draining are tallied so converge knows the
+// pass owes the next sweep work (see frontierState.draining).
 func (e *Engine) markDirty(cell netlist.CellID) {
-	if e.relax.draining {
-		e.relax.passDirty++
+	if e.front.draining {
+		e.front.passDirty++
 	}
 	if e.dirtyBits == nil {
 		g := &e.gate[cell]
@@ -103,6 +103,9 @@ func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 	if resume && idle {
 		return e.idleScriptComb1(op, sc)
 	}
+	// A real visit may change the soft input values the idle walks' memo
+	// was proven against; drop it (cheap, and stale masks are unsound).
+	g.maskDet, g.maskUndet = 0, 0
 	out := &sc.outs[0]
 	var now int64
 	var sem logic.Value
@@ -124,6 +127,11 @@ func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 		now = g.baseNow
 	}
 	detUntil := TimeInf
+	frontOn := e.front.on
+	fullU := uint32(0)
+	if frontOn && lut.AllU {
+		fullU = uint32(1)<<uint(ni) - 1
+	}
 	for {
 		// Next change point: earliest unconsumed event or stable-time
 		// expiry strictly after `now`.
@@ -144,8 +152,11 @@ func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 		}
 
 		// Build the packed query index directly: settled values and U are
-		// their own 3-bit fields.
+		// their own 3-bit fields. exp tracks the expired pins so trailing
+		// pure-expiry probes can seed the idle walks' determinedness memo
+		// (see visitComb1).
 		idx := 0
+		var exp uint32
 		sc.evIn = sc.evIn[:0]
 		for i := 0; i < ni; i++ {
 			iq := inQ[i]
@@ -160,18 +171,31 @@ func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 			}
 			if t >= iq.DeterminedUntil() {
 				v = logic.VU
+				exp |= 1 << uint(i)
 			}
 			idx |= int(v) << (3 * i)
+		}
+		// Every pin expired and the function is input-sensitive: U by
+		// construction, no probe needed (see visitComb1; fullU is zero
+		// unless the frontier is armed and the LUT qualifies).
+		if exp == fullU && fullU != 0 {
+			sc.queriesSaved++
+			detUntil = t
+			break
 		}
 		nv := lut.Data[idx]
 		sc.queries[truthtab.ClassComb1]++
 		if nv == logic.VU {
+			if frontOn && len(sc.evIn) == 0 && (g.maskUndet == 0 || exp&^g.maskUndet == 0) {
+				g.maskUndet = exp
+			}
 			detUntil = t
 			break
 		}
 
 		// Consume the change point.
 		if len(sc.evIn) > 0 {
+			g.maskDet, g.maskUndet = 0, 0
 			if nv != sem {
 				var d int64
 				if op.Uniform {
@@ -192,6 +216,8 @@ func (e *Engine) visitScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 				sc.vals[i] = sc.cur[i].Peek(inQ[i]).Val.Settle()
 				sc.cur[i].Advance()
 			}
+		} else if frontOn && exp&g.maskDet == g.maskDet {
+			g.maskDet = exp
 		}
 		now = t
 	}
@@ -276,30 +302,109 @@ func (e *Engine) idleScriptComb1(op *plan.ScriptOp, sc *scratch) bool {
 	inQ := e.inQ[inB : inB+ni]
 	q := e.outQ[outB]
 
+	// Watermark snapshot + determinedness memo, exactly as in idleComb1.
+	wm := sc.wm[:ni]
+	var expMax uint32
+	tLast := int64(0)
+	for i := 0; i < ni; i++ {
+		w := inQ[i].DeterminedUntil()
+		wm[i] = w
+		if w < TimeInf {
+			expMax |= 1 << uint(i)
+			if w > tLast {
+				tLast = w
+			}
+		}
+	}
 	now := g.softNow
 	detUntil := TimeInf
+	frontOn := e.front.on
+	// Maximal-set shortcut, as in idleComb1: one determined probe with
+	// every finite-watermark input expired settles the entire walk.
+	full := uint32(1)<<uint(ni) - 1
+	if tLast > now && g.maskDet != 0 && !(expMax == full && lut.AllU) &&
+		(g.maskUndet == 0 || expMax&g.maskUndet != g.maskUndet) {
+		det := false
+		if expMax&^g.maskDet == 0 {
+			sc.queriesSaved++
+			det = true
+		} else {
+			idx := 0
+			for i := 0; i < ni; i++ {
+				v := e.softVals[inB+i]
+				if expMax&(1<<uint(i)) != 0 {
+					v = logic.VU
+				}
+				idx |= int(v) << (3 * i)
+			}
+			sc.queries[truthtab.ClassComb1]++
+			if lut.Data[idx] != logic.VU {
+				det = true
+				if expMax&g.maskDet == g.maskDet {
+					g.maskDet = expMax
+				}
+			} else if g.maskUndet == 0 || expMax&^g.maskUndet == 0 {
+				g.maskUndet = expMax
+			}
+		}
+		if det {
+			now = tLast
+		}
+	}
+	// Incremental probe state, as in idleComb1: exp and the packed index
+	// are maintained in place as the walk crosses watermarks instead of
+	// being rebuilt O(ni) at every change point.
+	exp := uint32(0)
+	idx := 0
+	for i := 0; i < ni; i++ {
+		v := e.softVals[inB+i]
+		if now >= wm[i] {
+			v = logic.VU
+			exp |= 1 << uint(i)
+		}
+		idx |= int(v) << (3 * i)
+	}
 	for {
 		t := int64(TimeInf)
 		for i := 0; i < ni; i++ {
-			if w := inQ[i].DeterminedUntil(); w > now && w < t {
+			if w := wm[i]; w > now && w < t {
 				t = w
 			}
 		}
 		if t >= TimeInf {
 			break
 		}
-		idx := 0
 		for i := 0; i < ni; i++ {
-			v := e.softVals[inB+i]
-			if t >= inQ[i].DeterminedUntil() {
-				v = logic.VU
+			if b := uint32(1) << uint(i); exp&b == 0 && t >= wm[i] {
+				exp |= b
+				idx = idx&^(7<<(3*uint(i))) | int(logic.VU)<<(3*uint(i))
 			}
-			idx |= int(v) << (3 * i)
+		}
+		if frontOn && exp == full && lut.AllU {
+			sc.queriesSaved++
+			detUntil = t
+			break
+		}
+		if g.maskUndet != 0 && exp&g.maskUndet == g.maskUndet {
+			sc.queriesSaved++
+			detUntil = t
+			break
+		}
+		if exp&^g.maskDet == 0 {
+			sc.queriesSaved++
+			now = t
+			continue
 		}
 		sc.queries[truthtab.ClassComb1]++
 		if lut.Data[idx] == logic.VU {
+			if frontOn && (g.maskUndet == 0 || exp&^g.maskUndet == 0) {
+				g.maskUndet = exp
+			}
 			detUntil = t
 			break
+		}
+		if frontOn && exp&g.maskDet == g.maskDet {
+			g.maskDet = exp
 		}
 		now = t
 	}

@@ -129,11 +129,14 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 		g.softValid = false
 		g.futureMin = 0 // conservative until the first visit
 		g.detUntil.Store(0)
+		// The idle-walk memo was proven against the replaced world's soft
+		// values; stale masks would be unsound against the restored state.
+		g.maskDet, g.maskUndet = 0, 0
 	}
 	// Re-mark everything (flags and, with scripts on, the dirty bitset) so
 	// the first sweep after the restore rebuilds every soft snapshot. Staged
-	// relax entries belong to the replaced world: drop them.
-	e.resetRelax()
+	// frontier entries belong to the replaced world: drop them.
+	e.resetFrontier()
 	e.markAllDirty()
 	e.lastDirty = len(e.gate)
 	for i := range e.queues {

@@ -60,6 +60,14 @@ func (t *Table) Class() Class {
 type PackedLUT struct {
 	NumInputs int
 	Data      []logic.Value // 1 << (3*NumInputs) entries
+
+	// AllU reports that the all-inputs-undetermined row is VU. True for
+	// every input-sensitive function (false only for constants), it is a
+	// value-independent fact: whenever a probe's expired set covers all
+	// inputs the verdict is U regardless of soft values, so idle walks
+	// skip that probe entirely — for single-input cells this is every
+	// expiry probe they would ever issue.
+	AllU bool
 }
 
 // Index computes the packed row index for steady/U input values.
@@ -112,5 +120,10 @@ func (t *Table) PackLUT() *PackedLUT {
 		}
 	}
 	fill(0, 0)
+	allU := 0
+	for i := 0; i < t.NumInputs; i++ {
+		allU |= int(logic.VU) << (3 * i)
+	}
+	l.AllU = l.Data[allU] == logic.VU
 	return l
 }

@@ -40,8 +40,8 @@ echo "== glsimd serve smoke"
 echo "== script replay fuzz smoke (5s)"
 go test -run '^$' -fuzz FuzzScriptComb1Segment -fuzztime 5s ./internal/sim/
 
-echo "== watermark relax differential fuzz smoke (5s)"
-go test -run '^$' -fuzz FuzzWatermarkRelax -fuzztime 5s ./internal/sim/
+echo "== frontier differential fuzz smoke (5s)"
+go test -run '^$' -fuzz FuzzFrontier -fuzztime 5s ./internal/sim/
 
 echo "== lane kernel differential fuzz smoke (5s)"
 go test -run '^$' -fuzz FuzzLaneKernel -fuzztime 5s ./internal/sim/
